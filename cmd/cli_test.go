@@ -1,0 +1,278 @@
+// Package cmd_test builds the CLI binaries and exercises their end-to-end
+// flows: synthesize a dataset with durgen, query it with durquery in its
+// various modes, and list the durbench experiment registry.
+package cmd_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// binaries are built once per test binary into a shared temp dir.
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "durable-cli")
+	if err != nil {
+		panic(err)
+	}
+	binDir = dir
+	for _, tool := range []string{"durgen", "durquery", "durbench", "durserved"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./"+tool)
+		cmd.Dir = mustSelfDir()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			panic(tool + " build failed: " + string(out))
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// mustSelfDir returns the cmd/ source directory (this package's directory).
+func mustSelfDir() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	return wd
+}
+
+func run(t *testing.T, tool string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, tool), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v failed: %v\n%s", tool, args, err, out)
+	}
+	return string(out)
+}
+
+func runExpectError(t *testing.T, tool string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, tool), args...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %v unexpectedly succeeded:\n%s", tool, args, out)
+	}
+	return string(out)
+}
+
+func TestGenQueryRoundTrip(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "data.csv")
+	run(t, "durgen", "-kind", "ind", "-n", "2000", "-d", "2", "-seed", "3", "-out", csv)
+	st, err := os.Stat(csv)
+	if err != nil || st.Size() == 0 {
+		t.Fatalf("durgen produced nothing: %v", err)
+	}
+
+	out := run(t, "durquery", "-input", csv, "-k", "3", "-tau", "200", "-weights", "1,0.5")
+	if !strings.Contains(out, "durable records") {
+		t.Fatalf("missing summary line:\n%s", out)
+	}
+	if !strings.Contains(out, "id=") {
+		t.Fatalf("missing result rows:\n%s", out)
+	}
+
+	// Every algorithm agrees on the answer count.
+	var counts []string
+	for _, alg := range []string{"t-base", "t-hop", "s-base", "s-band", "s-hop"} {
+		o := run(t, "durquery", "-input", csv, "-k", "3", "-tau", "200", "-alg", alg, "-stats")
+		counts = append(counts, strings.Fields(o)[1])
+	}
+	for _, c := range counts[1:] {
+		if c != counts[0] {
+			t.Fatalf("algorithms disagree on CLI: %v", counts)
+		}
+	}
+}
+
+func TestQueryModes(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "data.csv")
+	run(t, "durgen", "-kind", "anti", "-n", "1500", "-d", "2", "-out", csv)
+
+	withDur := run(t, "durquery", "-input", csv, "-k", "2", "-tau", "100", "-durations")
+	if !strings.Contains(withDur, "max-durability=") {
+		t.Fatalf("durations missing:\n%s", withDur)
+	}
+	ahead := run(t, "durquery", "-input", csv, "-k", "2", "-tau", "100", "-anchor", "look-ahead", "-stats")
+	if !strings.Contains(ahead, "durable records") {
+		t.Fatalf("look-ahead failed:\n%s", ahead)
+	}
+	most := run(t, "durquery", "-input", csv, "-k", "2", "-mostdurable", "4")
+	if !strings.Contains(most, "most durable records") || strings.Count(most, "id=") != 4 {
+		t.Fatalf("mostdurable output wrong:\n%s", most)
+	}
+	par := run(t, "durquery", "-input", csv, "-k", "2", "-tau", "100", "-parallel", "4", "-stats")
+	seq := run(t, "durquery", "-input", csv, "-k", "2", "-tau", "100", "-stats")
+	if strings.Fields(par)[1] != strings.Fields(seq)[1] {
+		t.Fatalf("parallel CLI answer differs:\n%s\n%s", par, seq)
+	}
+	rmq := run(t, "durquery", "-input", csv, "-k", "2", "-tau", "100", "-rmq", "-stats")
+	if strings.Fields(rmq)[1] != strings.Fields(seq)[1] {
+		t.Fatalf("rmq CLI answer differs:\n%s\n%s", rmq, seq)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "data.csv")
+	run(t, "durgen", "-kind", "ind", "-n", "100", "-d", "2", "-out", csv)
+	runExpectError(t, "durquery", "-input", csv, "-weights", "1,2,3") // wrong arity
+	runExpectError(t, "durquery", "-input", csv, "-alg", "bogus")
+	runExpectError(t, "durquery", "-input", csv, "-anchor", "sideways")
+	runExpectError(t, "durquery", "-input", filepath.Join(t.TempDir(), "missing.csv"))
+	runExpectError(t, "durgen", "-kind", "nonsense")
+}
+
+func TestBenchList(t *testing.T) {
+	out := run(t, "durbench", "-list")
+	for _, id := range []string{"fig1", "fig8", "fig12", "tab4", "tab6", "lemma4", "abl-block", "abl-parallel"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("registry listing missing %s:\n%s", id, out)
+		}
+	}
+	runExpectError(t, "durbench", "-exp", "not-an-experiment")
+}
+
+func TestGenKinds(t *testing.T) {
+	for _, kind := range []string{"nba", "network", "rpm", "stocks"} {
+		csv := filepath.Join(t.TempDir(), kind+".csv")
+		args := []string{"-kind", kind, "-n", "500", "-out", csv}
+		if kind == "stocks" {
+			args = []string{"-kind", kind, "-n", "10", "-d", "30", "-out", csv}
+		}
+		run(t, "durgen", args...)
+		data, err := os.ReadFile(csv)
+		if err != nil || !strings.HasPrefix(string(data), "time,attr0") {
+			t.Fatalf("%s: bad CSV output", kind)
+		}
+	}
+}
+
+func TestQueryJSON(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "data.csv")
+	run(t, "durgen", "-kind", "ind", "-n", "800", "-d", "2", "-out", csv)
+	out := run(t, "durquery", "-input", csv, "-k", "2", "-tau", "150", "-json")
+	var parsed struct {
+		Records []struct {
+			ID   int   `json:"ID"`
+			Time int64 `json:"Time"`
+		} `json:"records"`
+		Stats struct {
+			CheckQueries int `json:"CheckQueries"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(out), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(parsed.Records) == 0 {
+		t.Fatal("JSON output has no records")
+	}
+	for i := 1; i < len(parsed.Records); i++ {
+		if parsed.Records[i].Time <= parsed.Records[i-1].Time {
+			t.Fatal("JSON records not time-ascending")
+		}
+	}
+}
+
+func TestQueryExpressionFlags(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "data.csv")
+	run(t, "durgen", "-kind", "ind", "-n", "1200", "-d", "2", "-out", csv)
+
+	// A linear expression must match the equivalent -weights run.
+	w := run(t, "durquery", "-input", csv, "-k", "2", "-tau", "150", "-weights", "1,0.5", "-stats")
+	e := run(t, "durquery", "-input", csv, "-k", "2", "-tau", "150", "-score", "x0 + 0.5*x1", "-stats")
+	if strings.Fields(w)[1] != strings.Fields(e)[1] {
+		t.Fatalf("expression and weights disagree:\n%s\n%s", w, e)
+	}
+
+	nl := run(t, "durquery", "-input", csv, "-k", "2", "-tau", "150", "-score", "log1p(x0) + sqrt(x1)", "-stats")
+	if !strings.Contains(nl, "durable records") {
+		t.Fatalf("non-linear expression failed:\n%s", nl)
+	}
+	runExpectError(t, "durquery", "-input", csv, "-score", "log1p(")
+	runExpectError(t, "durquery", "-input", csv, "-score", "x7") // out of range
+}
+
+func TestQueryGeneralAnchorAndExplain(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "data.csv")
+	run(t, "durgen", "-kind", "ind", "-n", "1200", "-d", "2", "-out", csv)
+
+	mid := run(t, "durquery", "-input", csv, "-k", "2", "-tau", "150",
+		"-anchor", "general", "-lead", "75", "-stats")
+	if !strings.Contains(mid, "durable records") {
+		t.Fatalf("general anchor failed:\n%s", mid)
+	}
+	runExpectError(t, "durquery", "-input", csv, "-k", "2", "-tau", "150",
+		"-anchor", "general", "-lead", "151") // lead > tau
+
+	plan := run(t, "durquery", "-input", csv, "-k", "2", "-tau", "150", "-explain")
+	for _, tok := range []string{"plan:", "t-hop", "cost"} {
+		if !strings.Contains(plan, tok) {
+			t.Fatalf("explain output missing %q:\n%s", tok, plan)
+		}
+	}
+}
+
+func TestServedEndToEnd(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binDir, "durserved"),
+		"-addr", "127.0.0.1:0", "-gen", "toy=ind:1500", "-seed", "5")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// The server logs its bound address; scan for it.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				addrCh <- strings.TrimSpace(line[i+len("listening on "):])
+				return
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not report its address")
+	}
+
+	cl, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := cl.Datasets()
+	if err != nil || len(infos) != 1 || infos[0].Name != "toy" {
+		t.Fatalf("datasets: %v %+v", err, infos)
+	}
+	recs, st, err := cl.Query(wire.Request{Dataset: "toy", K: 2, Tau: 150, Expr: "x0 + x1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || st.Algorithm == "" {
+		t.Fatalf("empty answer over TCP: %d records, stats %+v", len(recs), st)
+	}
+}

@@ -1,0 +1,68 @@
+// Command durbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	durbench -list
+//	durbench -exp fig8 [-scale 1.0] [-reps 12] [-seed 1] [-quick]
+//	durbench -exp all -out results.txt
+//
+// Experiment ids map to paper artifacts (fig1..fig13, tab4..tab6, lemma4,
+// lemma5, ablations); see DESIGN.md for the full index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id, or \"all\"")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		scale = flag.Float64("scale", 1.0, "dataset size multiplier")
+		reps  = flag.Int("reps", 12, "preference vectors per configuration (paper: 100)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		quick = flag.Bool("quick", false, "trim parameter sweeps")
+		out   = flag.String("out", "", "write output to file as well as stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, e := range bench.Registry() {
+			fmt.Printf("  %-16s %-10s %s\n", e.ID, e.Paper, e.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "durbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	cfg := bench.Config{Scale: *scale, Reps: *reps, Seed: *seed, Quick: *quick}
+	var err error
+	if *exp == "all" {
+		err = bench.RunAll(cfg, w)
+	} else {
+		err = bench.Run(*exp, cfg, w)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "durbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,70 @@
+// Command durgen writes synthetic datasets as CSV for use with durquery or
+// external tools.
+//
+// Usage:
+//
+//	durgen -kind nba -n 100000 -out nba.csv
+//	durgen -kind network -n 50000 -d 10 -out net.csv
+//	durgen -kind ind|anti -n 100000 -d 2 -out syn.csv
+//	durgen -kind rpm -n 100000 -out rpm.csv
+//	durgen -kind stocks -n 200 -d 365 -out stocks.csv   (n tickers, d days)
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/data"
+	"repro/internal/datagen"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "ind", "nba|network|ind|anti|rpm|stocks")
+		n    = flag.Int("n", 10000, "record count (tickers for stocks)")
+		d    = flag.Int("d", 2, "dimensionality (days for stocks)")
+		seed = flag.Int64("seed", 1, "random seed")
+		out  = flag.String("out", "", "output path (default stdout)")
+	)
+	flag.Parse()
+
+	var ds *data.Dataset
+	switch *kind {
+	case "nba":
+		ds = datagen.NBA(*seed, *n)
+	case "network":
+		ds = datagen.Network(*seed, *n, *d)
+	case "ind":
+		ds = datagen.IND(*seed, *n, *d)
+	case "anti":
+		ds = datagen.ANTI(*seed, *n, *d)
+	case "rpm":
+		ds = datagen.RPM(*seed, *n)
+	case "stocks":
+		ds = datagen.Stocks(*seed, *n, *d)
+	default:
+		fmt.Fprintf(os.Stderr, "durgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "durgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	if err := data.WriteCSV(w, ds); err != nil {
+		fmt.Fprintln(os.Stderr, "durgen:", err)
+		os.Exit(1)
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "durgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,199 @@
+// Command durquery runs ad-hoc durable top-k queries over a CSV dataset.
+//
+// The CSV needs a "time,attr0,attr1,..." header with records in strictly
+// increasing time order (see cmd/durgen to produce sample files).
+//
+// Usage:
+//
+//	durquery -input data.csv -k 3 -tau 500 [-start T] [-end T] \
+//	         -weights 1,0.5 [-alg s-hop] [-anchor look-back] [-durations]
+//
+// The ranking can also be a scoring expression over the positional
+// attributes (monotonicity and index pruning bounds are derived
+// automatically):
+//
+//	durquery -input data.csv -k 3 -tau 500 -score "x0 + 2*log1p(x1)"
+//
+// Mid-anchored durability windows use -anchor general with -lead, the
+// portion of the window after each record's arrival:
+//
+//	durquery -input data.csv -k 1 -tau 500 -anchor general -lead 250
+//
+// -explain prints the cost-based planner's strategy assessment instead of
+// running the query.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	durable "repro"
+	"repro/internal/data"
+)
+
+func main() {
+	var (
+		input     = flag.String("input", "", "CSV dataset path (required)")
+		k         = flag.Int("k", 1, "top-k parameter")
+		tau       = flag.Int64("tau", 0, "durability window length in ticks")
+		start     = flag.Int64("start", 0, "query interval start (default: dataset start)")
+		end       = flag.Int64("end", 0, "query interval end (default: dataset end)")
+		weightsCS = flag.String("weights", "", "comma-separated linear preference weights (default: all 1)")
+		scoreExpr = flag.String("score", "", "scoring expression over x0,x1,... (overrides -weights)")
+		algName   = flag.String("alg", "auto", "algorithm: auto|t-base|t-hop|s-base|s-band|s-hop")
+		anchorStr = flag.String("anchor", "look-back", "window anchor: look-back|look-ahead|general")
+		lead      = flag.Int64("lead", 0, "window portion after the record (general anchor only)")
+		explain   = flag.Bool("explain", false, "print the planner's strategy assessment and exit")
+		durations = flag.Bool("durations", false, "also report each result's maximum durability")
+		statsOnly = flag.Bool("stats", false, "print only summary statistics")
+		mostDur   = flag.Int("mostdurable", 0, "instead of DurTop, report the N all-time most durable records")
+		parallel  = flag.Int("parallel", 1, "evaluate the interval with this many workers")
+		useRMQ    = flag.Bool("rmq", false, "use the sparse-table RMQ building block (fixed-scorer workloads)")
+		asJSON    = flag.Bool("json", false, "emit results as JSON")
+	)
+	flag.Parse()
+	if *input == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*input)
+	if err != nil {
+		fatal(err)
+	}
+	ds, err := data.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	weights := make([]float64, ds.Dims())
+	for i := range weights {
+		weights[i] = 1
+	}
+	if *weightsCS != "" {
+		parts := strings.Split(*weightsCS, ",")
+		if len(parts) != ds.Dims() {
+			fatal(fmt.Errorf("need %d weights, got %d", ds.Dims(), len(parts)))
+		}
+		for i, p := range parts {
+			weights[i], err = strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				fatal(err)
+			}
+		}
+	}
+	var scorer durable.Scorer
+	if *scoreExpr != "" {
+		scorer, err = durable.CompileScorer(*scoreExpr, ds.Dims(), nil)
+	} else {
+		scorer, err = durable.NewLinear(weights)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	alg, err := durable.ParseAlgorithm(*algName)
+	if err != nil {
+		fatal(err)
+	}
+	anchor := durable.LookBack
+	switch *anchorStr {
+	case "look-back":
+	case "look-ahead":
+		anchor = durable.LookAhead
+	case "general":
+		anchor = durable.General
+	default:
+		fatal(fmt.Errorf("unknown anchor %q", *anchorStr))
+	}
+
+	lo, hi := ds.Span()
+	if *start == 0 && *end == 0 {
+		*start, *end = lo, hi
+	}
+
+	engOpts := durable.Options{}
+	if *useRMQ {
+		engOpts = durable.WithRMQBlock(engOpts)
+	}
+	eng := durable.NewWithOptions(ds, engOpts)
+
+	if *mostDur > 0 {
+		top, err := eng.MostDurable(*k, scorer, anchor, *mostDur)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# %d all-time most durable records (k=%d, %s)\n", len(top), *k, anchor)
+		for _, r := range top {
+			suffix := ""
+			if r.FullHistory {
+				suffix = "\t(entire history)"
+			}
+			fmt.Printf("id=%d\ttime=%d\tscore=%g\tdurability=%d%s\n", r.ID, r.Time, r.Score, r.Duration, suffix)
+		}
+		return
+	}
+
+	query := durable.Query{
+		K: *k, Tau: *tau, Lead: *lead, Start: *start, End: *end,
+		Scorer: scorer, Algorithm: alg, Anchor: anchor,
+		WithDurations: *durations,
+	}
+	if *explain {
+		plan, err := eng.Explain(query)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(plan)
+		return
+	}
+	var res *durable.Result
+	if *parallel > 1 {
+		res, err = eng.DurableTopKParallel(query, *parallel)
+	} else {
+		res, err = eng.DurableTopK(query)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Records []durable.ResultRecord `json:"records"`
+			Stats   durable.Stats          `json:"stats"`
+		}{res.Records, res.Stats}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	st := res.Stats
+	fmt.Printf("# %d durable records | alg=%s | %v | top-k queries=%d (check=%d find=%d maint=%d)\n",
+		len(res.Records), st.Algorithm, st.Elapsed, st.TopKQueries(),
+		st.CheckQueries, st.FindQueries, st.MaintQueries)
+	if *statsOnly {
+		return
+	}
+	for _, r := range res.Records {
+		if *durations {
+			suffix := ""
+			if r.FullHistory {
+				suffix = "+ (entire history)"
+			}
+			fmt.Printf("id=%d\ttime=%d\tscore=%g\tmax-durability=%d%s\n", r.ID, r.Time, r.Score, r.MaxDuration, suffix)
+		} else {
+			fmt.Printf("id=%d\ttime=%d\tscore=%g\n", r.ID, r.Time, r.Score)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "durquery:", err)
+	os.Exit(1)
+}

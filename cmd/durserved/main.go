@@ -1,0 +1,164 @@
+// Command durserved serves durable top-k queries over TCP.
+//
+// It hosts one engine per dataset; clients connect with the length-prefixed
+// JSON protocol of internal/wire (see examples/service for a programmatic
+// client) and explore k, tau, intervals, anchors and scoring functions —
+// including scoring expressions such as "points + 2*log1p(assists)" —
+// without rebuilding indexes.
+//
+// Datasets come from CSV files (cmd/durgen produces samples) or built-in
+// generators:
+//
+//	durserved -addr :7411 \
+//	    -data games=nba.csv -names games=points,assists \
+//	    -gen net=network:50000:10
+//
+// Generator specs are name=kind:n[:dims] with kind one of nba, network,
+// ind, anti, rpm.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/datagen"
+	"repro/internal/wire"
+)
+
+// keyValue collects repeatable name=value flags.
+type keyValue struct {
+	keys, values []string
+}
+
+func (kv *keyValue) String() string { return strings.Join(kv.keys, ",") }
+
+func (kv *keyValue) Set(s string) error {
+	name, value, ok := strings.Cut(s, "=")
+	if !ok || name == "" || value == "" {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	kv.keys = append(kv.keys, name)
+	kv.values = append(kv.values, value)
+	return nil
+}
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:7411", "listen address")
+		seed  = flag.Int64("seed", 1, "seed for generated datasets")
+		files keyValue
+		gens  keyValue
+		names keyValue
+	)
+	flag.Var(&files, "data", "serve a CSV dataset as name=path (repeatable)")
+	flag.Var(&gens, "gen", "serve a generated dataset as name=kind:n[:dims] (repeatable)")
+	flag.Var(&names, "names", "attribute names as dataset=col1,col2,... (repeatable)")
+	flag.Parse()
+
+	if len(files.keys)+len(gens.keys) == 0 {
+		fmt.Fprintln(os.Stderr, "durserved: need at least one -data or -gen dataset")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	attrNames := map[string][]string{}
+	for i, ds := range names.keys {
+		attrNames[ds] = strings.Split(names.values[i], ",")
+	}
+
+	srv := wire.NewServer(nil)
+	// The bounded skyband scan keeps S-Band's lazy index build tractable on
+	// adversarial data while staying exact (see DESIGN.md §2).
+	engOpts := core.Options{SkybandScanBudget: 4096}
+	register := func(name string, ds *data.Dataset) {
+		if err := srv.Add(name, ds, attrNames[name], engOpts); err != nil {
+			log.Fatalf("durserved: %v", err)
+		}
+		lo, hi := ds.Span()
+		log.Printf("durserved: serving %q: %d records, %d dims, time [%d, %d]",
+			name, ds.Len(), ds.Dims(), lo, hi)
+	}
+
+	for i, name := range files.keys {
+		f, err := os.Open(files.values[i])
+		if err != nil {
+			log.Fatalf("durserved: %v", err)
+		}
+		ds, err := data.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("durserved: %s: %v", files.values[i], err)
+		}
+		register(name, ds)
+	}
+	for i, name := range gens.keys {
+		ds, err := generate(gens.values[i], *seed)
+		if err != nil {
+			log.Fatalf("durserved: -gen %s: %v", gens.values[i], err)
+		}
+		register(name, ds)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("durserved: %v", err)
+	}
+	log.Printf("durserved: listening on %s", ln.Addr())
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		log.Print("durserved: shutting down")
+		srv.Close()
+	}()
+	if err := srv.Serve(ln); err != nil && !isClosed(err) {
+		log.Fatalf("durserved: %v", err)
+	}
+}
+
+func isClosed(err error) bool {
+	return strings.Contains(err.Error(), "use of closed network connection")
+}
+
+// generate builds a synthetic dataset from a kind:n[:dims] spec.
+func generate(spec string, seed int64) (*data.Dataset, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return nil, fmt.Errorf("want kind:n[:dims], got %q", spec)
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("bad size %q", parts[1])
+	}
+	dims := 2
+	if len(parts) == 3 {
+		dims, err = strconv.Atoi(parts[2])
+		if err != nil || dims < 1 {
+			return nil, fmt.Errorf("bad dims %q", parts[2])
+		}
+	}
+	switch parts[0] {
+	case "nba":
+		return datagen.NBA(seed, n), nil
+	case "network":
+		return datagen.Network(seed, n, dims), nil
+	case "ind":
+		return datagen.IND(seed, n, dims), nil
+	case "anti":
+		return datagen.ANTI(seed, n, dims), nil
+	case "rpm":
+		return datagen.RPM(seed, n), nil
+	default:
+		return nil, fmt.Errorf("unknown kind %q (want nba|network|ind|anti|rpm)", parts[0])
+	}
+}

@@ -1,0 +1,93 @@
+// NBA case study (paper Example I.1 / Fig. 1): find rebound performances
+// that stood out as the top record over a five-year span, and contrast the
+// durable top-k answer with tumbling- and sliding-window top-k.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	durable "repro"
+	"repro/internal/datagen"
+	"repro/internal/windows"
+)
+
+func main() {
+	// Synthetic 36-season box-score history (see DESIGN.md §2); rank by
+	// rebounds only, as in the paper's case study.
+	full := datagen.NBA(2024, 120_000)
+	ds, err := full.Project([]int{datagen.NBAReb})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := durable.New(ds)
+
+	lo, hi := ds.Span()
+	span := hi - lo
+	tau := span * 5 / 36 // a five-year window of a 36-season history
+	scorer, err := durable.NewSingleAttr(0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := eng.DurableTopK(durable.Query{
+		K: 1, Tau: tau, Start: lo, End: hi,
+		Scorer: scorer, WithDurations: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("=== durable top-1 rebound performances (5-season windows) — %d records ===\n", len(res.Records))
+	for _, r := range res.Records {
+		season := 1983 + int(36*float64(r.Time-lo)/float64(span+1))
+		fmt.Printf("  season %d: %2.0f rebounds — best of the preceding 5 seasons", season, r.Score)
+		if r.FullHistory {
+			fmt.Printf(" (and of all recorded history)")
+		} else if r.MaxDuration > tau {
+			fmt.Printf(" (actually unbeaten for %.1f seasons)", 36*float64(r.MaxDuration)/float64(span+1))
+		}
+		fmt.Println()
+	}
+
+	// Tumbling windows: the answer changes when the grid shifts.
+	gridA := windows.Tumbling(eng.Index(), scorer, 1, tau, lo, lo, hi)
+	gridB := windows.Tumbling(eng.Index(), scorer, 1, tau, lo+tau/2, lo, hi)
+	fmt.Printf("\n=== tumbling-window top-1 ===\n")
+	fmt.Printf("  grid anchored at t0:        %d champions\n", len(gridA))
+	fmt.Printf("  grid shifted half a window: %d champions\n", len(gridB))
+	fmt.Printf("  champions present in grid A but lost after the shift: %d (placement sensitivity)\n",
+		champDiff(gridA, gridB))
+
+	// Sliding windows: every placement over the same suffix (placements with
+	// a full tau-length lookback), typically far more distinct results.
+	sliding := windows.Sliding(ds, eng.Index(), scorer, 1, tau+1, lo+tau, hi)
+	union := windows.UnionIDs(sliding)
+	durableSuffix := 0
+	for _, r := range res.Records {
+		if r.Time >= lo+tau {
+			durableSuffix++
+		}
+	}
+	fmt.Printf("\n=== sliding-window top-1 (same interval) ===\n")
+	fmt.Printf("  %d distinct records across all placements vs %d durable records\n",
+		len(union), durableSuffix)
+	fmt.Println("\nThe durable answer reads consistently as \"best of the past 5 seasons\" —")
+	fmt.Println("no cherry-picked window grid, no result churn as the window slides.")
+}
+
+func champDiff(a, b []windows.WindowResult) int {
+	inB := map[int32]bool{}
+	for _, w := range b {
+		if len(w.Items) > 0 {
+			inB[w.Items[0].ID] = true
+		}
+	}
+	diff := 0
+	for _, w := range a {
+		if len(w.Items) > 0 && !inB[w.Items[0].ID] {
+			diff++
+		}
+	}
+	return diff
+}

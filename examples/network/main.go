@@ -1,0 +1,71 @@
+// Network intrusion triage (paper §I): score sessions by a weighted
+// combination of traffic features and surface the ones that were top-k
+// anomalies relative to the surrounding traffic for a sustained window —
+// durable top-k as an analyst's shortlist generator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	durable "repro"
+	"repro/internal/datagen"
+)
+
+func main() {
+	// 200k synthetic sessions with 10 heavy-tailed, MinMax-normalized
+	// features (duration, bytes, login counters, error rates, ...).
+	ds := datagen.Network(99, 200_000, 10)
+	eng := durable.New(ds)
+
+	// Analyst preference: emphasize transfer volume (x1), login counters
+	// (x2) and connection duration (x0); mild weight elsewhere.
+	w := []float64{3, 5, 4, 1, 1, 1, 2, 1, 1, 1}
+	scorer, err := durable.NewLinear(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lo, hi := ds.Span()
+	span := hi - lo
+	res, err := eng.DurableTopK(durable.Query{
+		K:             5,
+		Tau:           span / 100, // sustained against ~1% of the history around it
+		Start:         lo + span/2,
+		End:           hi,
+		Scorer:        scorer,
+		Algorithm:     durable.SHop,
+		WithDurations: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("flagged %d durable top-5 sessions out of %d in the interval (%.3f%%)\n",
+		len(res.Records), ds.Len()/2, 100*float64(len(res.Records))/float64(ds.Len()/2))
+	fmt.Printf("evaluation: %d top-k queries in %v\n\n", res.Stats.TopKQueries(), res.Stats.Elapsed)
+
+	fmt.Println("top shortlist (score = weighted anomaly, durability in ticks):")
+	shown := 0
+	for i := len(res.Records) - 1; i >= 0 && shown < 10; i-- {
+		r := res.Records[i]
+		fmt.Printf("  session %-7d t=%-7d score=%.3f durable for %d ticks\n",
+			r.ID, r.Time, r.Score, r.MaxDuration)
+		shown++
+	}
+
+	// The same query with a different preference vector needs no new index:
+	// the scoring function is a query-time parameter.
+	alt, err := durable.NewLinear([]float64{1, 1, 1, 1, 1, 5, 5, 5, 1, 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := eng.DurableTopK(durable.Query{
+		K: 5, Tau: span / 100, Start: lo + span/2, End: hi, Scorer: alt,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nre-ranked with an error-rate-focused preference: %d sessions (no re-indexing)\n",
+		len(res2.Records))
+}

@@ -1,0 +1,61 @@
+// Weather example (paper §I): "an extreme cold wave ... brought the coldest
+// temperatures in the past 20 years" — a durable top-k query over daily
+// minimum temperatures with a negated-temperature ranking, plus the bulk
+// durability profile for an all-time "records that stood the test of time"
+// report.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	durable "repro"
+	"repro/internal/datagen"
+)
+
+func main() {
+	const years = 40
+	days := int(365.25 * years)
+	ds := datagen.Weather(19, days)
+	eng := durable.New(ds)
+
+	// Rank by coldness: f(p) = -temperature. The negative weight makes the
+	// scorer non-monotone, which the tree index handles via MBR bounds (only
+	// S-Band requires monotonicity).
+	coldness := durable.MustLinear(-1)
+
+	lo, hi := ds.Span()
+	twentyYears := int64(365.25 * 20)
+	res, err := eng.DurableTopK(durable.Query{
+		K:             1,
+		Tau:           twentyYears,
+		Start:         lo + twentyYears, // only days with a full 20-year lookback
+		End:           hi,
+		Scorer:        coldness,
+		WithDurations: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("days whose low was the coldest of the preceding 20 years: %d (of %d candidate days)\n\n",
+		len(res.Records), days-int(twentyYears))
+	for _, r := range res.Records {
+		year := 1986 + int(float64(r.Time)/365.25)
+		fmt.Printf("  day %-6d (~%d): %+.1f°C — coldest in %.1f years\n",
+			r.Time, year, -r.Score, float64(r.MaxDuration)/365.25)
+	}
+
+	// The all-time report: which days stayed "coldest since ..." longest?
+	top, err := eng.MostDurable(1, coldness, durable.LookBack, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nall-time most durable cold records:")
+	for _, r := range top {
+		suffix := fmt.Sprintf("unbeaten for %.1f years of prior history", float64(r.Duration)/365.25)
+		if r.FullHistory {
+			suffix = "coldest of the entire record"
+		}
+		fmt.Printf("  day %-6d %+.1f°C — %s\n", r.Time, -r.Score, suffix)
+	}
+}

@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/skyband"
+	"repro/internal/stats"
+)
+
+// tinyConfig keeps experiment smoke tests fast.
+func tinyConfig() Config {
+	return Config{Scale: 0.02, Reps: 2, Seed: 1, Quick: true}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	cfg := tinyConfig()
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Run(e.ID, cfg, &buf); err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+			if !strings.Contains(buf.String(), e.ID) {
+				t.Fatalf("%s output missing its header", e.ID)
+			}
+		})
+	}
+}
+
+func TestGetUnknownExperiment(t *testing.T) {
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("unknown experiment must fail")
+	}
+	var buf bytes.Buffer
+	if err := Run("nope", DefaultConfig(), &buf); err == nil {
+		t.Fatal("running unknown experiment must fail")
+	}
+}
+
+func TestDatasetForNames(t *testing.T) {
+	cfg := tinyConfig()
+	for _, name := range []string{"nba-1", "nba-2", "nba-3", "nba-5", "nba-full", "network-3", "ind-500", "anti-500", "rpm-500"} {
+		ds, err := DatasetFor(cfg, name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ds.Len() == 0 {
+			t.Fatalf("%s: empty dataset", name)
+		}
+	}
+	if _, err := DatasetFor(cfg, "bogus"); err == nil {
+		t.Fatal("unknown dataset must fail")
+	}
+}
+
+func TestDatasetCaching(t *testing.T) {
+	cfg := tinyConfig()
+	a, err := DatasetFor(cfg, "ind-500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DatasetFor(cfg, "ind-500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same config+name must return the cached dataset")
+	}
+	eng1, err := EngineFor(cfg, "ind-500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := EngineFor(cfg, "ind-500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng1 != eng2 {
+		t.Fatal("engine cache broken")
+	}
+}
+
+// TestLemma4ExpectedAnswerSize is the statistical validation of Lemma 4:
+// E[|S|] = k|I|/(tau+1) under the random permutation model.
+func TestLemma4ExpectedAnswerSize(t *testing.T) {
+	n := 20_000
+	k := 5
+	trials := 12
+	var sizes []float64
+	var tau, ilen int64
+	for trial := 0; trial < trials; trial++ {
+		ds := datagen.RPM(int64(1000+trial), n)
+		eng := core.NewEngine(ds, core.Options{})
+		lo, hi := ds.Span()
+		span := hi - lo
+		tau = span / 20 // 5%
+		ilen = span / 2
+		res, err := eng.DurableTopK(core.Query{
+			K: k, Tau: tau, Start: hi - ilen, End: hi,
+			Scorer: mustSingle(), Algorithm: core.THop,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, float64(len(res.Records)))
+	}
+	predicted := float64(k) * float64(ilen+1) / float64(tau+1)
+	measured := stats.Mean(sizes)
+	if ratio := measured / predicted; math.Abs(ratio-1) > 0.15 {
+		t.Fatalf("Lemma 4 violated: measured %.1f predicted %.1f (ratio %.3f)",
+			measured, predicted, ratio)
+	}
+}
+
+// TestLemma5SkybandCandidates sanity-checks the Lemma 5 growth: |C| exceeds
+// the base k|I|/tau term and grows with dimensionality roughly like
+// log^(d-1) tau on IND data.
+func TestLemma5SkybandCandidates(t *testing.T) {
+	n := 8_000
+	k := 5
+	counts := map[int]float64{}
+	for _, d := range []int{1, 2, 3} {
+		ds := datagen.IND(7, n, d)
+		lo, hi := ds.Span()
+		span := hi - lo
+		tau := span / 10
+		ladder := skyband.NewLadder(ds, 0, 0)
+		counts[d] = float64(ladder.CandidateCount(k, hi-span/2, hi, tau))
+	}
+	base := float64(skyband.Level(k)) * 5 // k'=8, |I|/tau = 5
+	// d=1: |C| should be within a small constant of the base term.
+	if counts[1] < base/4 || counts[1] > base*8 {
+		t.Fatalf("d=1 candidates %.0f far from base %.0f", counts[1], base)
+	}
+	// Candidates must grow with dimensionality.
+	if !(counts[1] < counts[2] && counts[2] < counts[3]) {
+		t.Fatalf("candidate counts not growing with d: %v", counts)
+	}
+	// The growth factor per extra dimension should be on the order of
+	// log(tau) (very generous bounds).
+	logTau := math.Log(float64(8000) / 10)
+	if g := counts[2] / counts[1]; g > 6*logTau {
+		t.Fatalf("d=1->2 growth %.1f too large vs log tau %.1f", g, logTau)
+	}
+	if g := counts[3] / counts[2]; g > 6*logTau {
+		t.Fatalf("d=2->3 growth %.1f too large vs log tau %.1f", g, logTau)
+	}
+}
+
+func TestQuerySpecMaterialize(t *testing.T) {
+	ds, err := DatasetFor(tinyConfig(), "ind-1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := QuerySpec{K: 7, TauPct: 10, IPct: 50}
+	q := spec.Materialize(ds, mustSingle2(), core.THop)
+	lo, hi := ds.Span()
+	span := hi - lo
+	if q.K != 7 || q.Tau != span/10 || q.End != hi || q.Start != hi-span/2 {
+		t.Fatalf("materialized query wrong: %+v", q)
+	}
+	if q.Algorithm != core.THop {
+		t.Fatal("algorithm not propagated")
+	}
+}
+
+func mustSingle2() *singleish { return &singleish{} }
+
+type singleish struct{}
+
+func (*singleish) Score(x []float64) float64           { return x[0] }
+func (*singleish) Dims() int                           { return 2 }
+func (*singleish) UpperBound(lo, hi []float64) float64 { return hi[0] }
+func (*singleish) IsMonotone() bool                    { return true }

@@ -1,0 +1,108 @@
+// Package bench regenerates every table and figure of the paper's evaluation
+// (§VI) plus the expected-complexity validations (§V) and design ablations.
+// The same experiment implementations back the durbench CLI and the
+// testing.B benchmarks in the module root, so numbers printed by either path
+// come from one code base.
+//
+// Absolute sizes are scaled down from the paper's testbed (1M-500M records on
+// a dual-Xeon) to laptop/CI scale; the Config.Scale knob restores larger
+// runs. EXPERIMENTS.md records the observed shapes against the paper's.
+package bench
+
+import (
+	"math"
+)
+
+// Config controls experiment scale and repetition.
+type Config struct {
+	// Scale multiplies all dataset sizes (1.0 = default reduced scale).
+	Scale float64
+	// Reps is the number of random preference vectors per configuration
+	// (the paper uses 100).
+	Reps int
+	// Seed makes runs reproducible.
+	Seed int64
+	// Quick trims parameter sweeps for CI / go test.
+	Quick bool
+}
+
+// DefaultConfig returns the CI-friendly defaults.
+func DefaultConfig() Config {
+	return Config{Scale: 1, Reps: 12, Seed: 1}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Reps <= 0 {
+		c.Reps = 12
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+func (c Config) scaled(base int) int {
+	n := int(math.Round(float64(base) * c.Scale))
+	if n < 256 {
+		n = 256
+	}
+	return n
+}
+
+// Dataset sizes at Scale=1 (paper sizes in parentheses).
+func (c Config) nbaN() int     { return c.scaled(60_000) }  // (1M)
+func (c Config) networkN() int { return c.scaled(60_000) }  // (5M)
+func (c Config) synUnit() int  { return c.scaled(10_000) }  // fig12 multiplies by up to 50 (1M..50M)
+func (c Config) dbmsN() int    { return c.scaled(40_000) }  // tables IV-V (1M)
+func (c Config) dbmsBigN() int { return c.scaled(120_000) } // table VI (500M)
+
+// tauSweep returns the Fig. 8 durability sweep as percent of |T|.
+func (c Config) tauSweep() []int {
+	if c.Quick {
+		return []int{5, 10, 25, 50}
+	}
+	return []int{1, 5, 10, 15, 20, 25, 30, 40, 50}
+}
+
+// kSweep returns the Fig. 9 k sweep.
+func (c Config) kSweep() []int {
+	if c.Quick {
+		return []int{5, 20, 50}
+	}
+	return []int{5, 10, 15, 20, 25, 30, 35, 40, 45, 50}
+}
+
+// iSweep returns the Fig. 10 interval sweep as percent of |T|.
+func (c Config) iSweep() []int {
+	if c.Quick {
+		return []int{10, 40, 80}
+	}
+	return []int{10, 20, 30, 40, 50, 60, 70, 80}
+}
+
+// dSweep returns the Fig. 11 dimensionality sweep.
+func (c Config) dSweep() []int {
+	if c.Quick {
+		return []int{2, 5, 10, 20}
+	}
+	return []int{1, 2, 3, 5, 10, 20, 30, 37}
+}
+
+// sizeSweep returns the Fig. 12 scalability multipliers.
+func (c Config) sizeSweep() []int {
+	if c.Quick {
+		return []int{1, 5, 20}
+	}
+	return []int{1, 2, 5, 10, 20, 50}
+}
+
+// Default query parameters (paper Table III, defaults in bold: k=10,
+// tau=10%, |I|=50%).
+const (
+	defaultK      = 10
+	defaultTauPct = 10
+	defaultIPct   = 50
+)

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/datagen"
+)
+
+// caches share expensively generated datasets and built engines across
+// experiments within one process (CLI run or go test binary).
+var (
+	cacheMu   sync.Mutex
+	dsCache   = map[string]*data.Dataset{}
+	engCache  = map[string]*core.Engine{}
+	nbaFullMu sync.Mutex
+	nbaFull   = map[string]*data.Dataset{}
+)
+
+// DatasetFor returns (building and caching on first use) a named dataset:
+// "nba-1/2/3/5", "nba-full", "network-D", "ind-N", "anti-N", "rpm-N".
+func DatasetFor(cfg Config, name string) (*data.Dataset, error) {
+	cfg = cfg.withDefaults()
+	key := fmt.Sprintf("%s/scale=%g/seed=%d", name, cfg.Scale, cfg.Seed)
+	cacheMu.Lock()
+	if ds, ok := dsCache[key]; ok {
+		cacheMu.Unlock()
+		return ds, nil
+	}
+	cacheMu.Unlock()
+
+	ds, err := buildDataset(cfg, name)
+	if err != nil {
+		return nil, err
+	}
+	cacheMu.Lock()
+	dsCache[key] = ds
+	cacheMu.Unlock()
+	return ds, nil
+}
+
+func nbaFullFor(cfg Config) *data.Dataset {
+	key := fmt.Sprintf("scale=%g/seed=%d", cfg.Scale, cfg.Seed)
+	nbaFullMu.Lock()
+	defer nbaFullMu.Unlock()
+	if ds, ok := nbaFull[key]; ok {
+		return ds
+	}
+	ds := datagen.NBA(cfg.Seed, cfg.nbaN())
+	nbaFull[key] = ds
+	return ds
+}
+
+func buildDataset(cfg Config, name string) (*data.Dataset, error) {
+	switch {
+	case name == "nba-full":
+		return nbaFullFor(cfg), nil
+	case datagen.NBASubsets[name] != nil:
+		return nbaFullFor(cfg).Project(datagen.NBASubsets[name])
+	}
+	var d, n int
+	if _, err := fmt.Sscanf(name, "network-%d", &d); err == nil {
+		return datagen.Network(cfg.Seed, cfg.networkN(), d), nil
+	}
+	if _, err := fmt.Sscanf(name, "ind-%d", &n); err == nil {
+		return datagen.IND(cfg.Seed, n, 2), nil
+	}
+	if _, err := fmt.Sscanf(name, "anti-%d", &n); err == nil {
+		return datagen.ANTI(cfg.Seed, n, 2), nil
+	}
+	if _, err := fmt.Sscanf(name, "rpm-%d", &n); err == nil {
+		return datagen.RPM(cfg.Seed, n), nil
+	}
+	return nil, fmt.Errorf("bench: unknown dataset %q", name)
+}
+
+// EngineFor returns (building and caching on first use) an engine over the
+// named dataset with the harness's standard options.
+func EngineFor(cfg Config, name string) (*core.Engine, error) {
+	cfg = cfg.withDefaults()
+	key := fmt.Sprintf("%s/scale=%g/seed=%d", name, cfg.Scale, cfg.Seed)
+	cacheMu.Lock()
+	if eng, ok := engCache[key]; ok {
+		cacheMu.Unlock()
+		return eng, nil
+	}
+	cacheMu.Unlock()
+
+	ds, err := DatasetFor(cfg, name)
+	if err != nil {
+		return nil, err
+	}
+	eng := core.NewEngine(ds, EngineOptions())
+	cacheMu.Lock()
+	engCache[key] = eng
+	cacheMu.Unlock()
+	return eng, nil
+}
+
+// EngineOptions returns the harness's standard engine options: default index
+// parameters and a bounded skyband dominator scan (see DESIGN.md §2 — the
+// budget over-approximates candidate durations, keeping S-Band correct while
+// bounding preprocessing on anti-correlated data).
+func EngineOptions() core.Options {
+	return core.Options{SkybandScanBudget: 4096}
+}

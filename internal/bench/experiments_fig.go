@@ -1,0 +1,347 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/stats"
+	"repro/internal/windows"
+)
+
+// sweep runs one paper panel: for every sweep value, evaluate every
+// algorithm and print the (a) query-time panel and the (b) query-count
+// panel.
+func sweep(cfg Config, w io.Writer, dataset, varyLabel string, values []int, spec func(v int) QuerySpec, algs []core.Algorithm) error {
+	cfg = cfg.withDefaults()
+	eng, err := EngineFor(cfg, dataset)
+	if err != nil {
+		return err
+	}
+	header(w, fmt.Sprintf("%s: query time (ms, mean±std over %d preference vectors)", dataset, cfg.Reps))
+	results := make(map[int]map[core.Algorithm]*Metrics, len(values))
+	ta := newTable(w)
+	cells := []interface{}{varyLabel}
+	for _, a := range algs {
+		cells = append(cells, a.String())
+	}
+	ta.row(cells...)
+	for _, v := range values {
+		results[v] = make(map[core.Algorithm]*Metrics, len(algs))
+		row := []interface{}{v}
+		for _, a := range algs {
+			m, err := RunConfiguration(eng, spec(v), a, cfg.Reps, cfg.Seed+int64(v))
+			if err != nil {
+				return err
+			}
+			results[v][a] = m
+			row = append(row, ms(m.TimeMS))
+		}
+		ta.row(row...)
+	}
+	ta.flush()
+
+	header(w, fmt.Sprintf("%s: number of top-k queries (mean; s-hop split check+find) and candidate/answer sizes", dataset))
+	tb := newTable(w)
+	hdr := []interface{}{varyLabel}
+	for _, a := range algs {
+		if a == core.SHop {
+			hdr = append(hdr, "s-hop(chk+find)")
+		} else {
+			hdr = append(hdr, a.String())
+		}
+	}
+	hdr = append(hdr, "|C| s-band", "|S|")
+	tb.row(hdr...)
+	for _, v := range values {
+		row := []interface{}{v}
+		var candidates, answer string
+		for _, a := range algs {
+			m := results[v][a]
+			if a == core.SHop {
+				row = append(row, fmt.Sprintf("%s+%s", cnt(m.CheckQ), cnt(m.FindQ)))
+			} else {
+				row = append(row, cnt(m.Queries))
+			}
+			if a == core.SBand {
+				candidates = cnt(m.Candidates)
+			}
+			answer = cnt(m.Answer)
+		}
+		if candidates == "" {
+			candidates = "-"
+		}
+		row = append(row, candidates, answer)
+		tb.row(row...)
+	}
+	tb.flush()
+	return nil
+}
+
+func allAlgs() []core.Algorithm { return core.Algorithms() }
+
+// runFig8 regenerates Fig. 8: performance as tau varies on NBA-2 and
+// Network-2 (k=10, |I|=50%).
+func runFig8(cfg Config, w io.Writer) error {
+	for _, dsName := range []string{"nba-2", "network-2"} {
+		err := sweep(cfg, w, dsName, "tau%", cfg.withDefaults().tauSweep(), func(v int) QuerySpec {
+			return QuerySpec{K: defaultK, TauPct: v, IPct: defaultIPct}
+		}, allAlgs())
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w, "\npaper shape: s-base slowest; t-base flat in tau; t-hop/s-hop/s-band speed up as tau grows")
+	return nil
+}
+
+// runFig9 regenerates Fig. 9: performance as k varies (tau=10%, |I|=50%).
+func runFig9(cfg Config, w io.Writer) error {
+	for _, dsName := range []string{"nba-2", "network-2"} {
+		err := sweep(cfg, w, dsName, "k", cfg.withDefaults().kSweep(), func(v int) QuerySpec {
+			return QuerySpec{K: v, TauPct: defaultTauPct, IPct: defaultIPct}
+		}, allAlgs())
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w, "\npaper shape: all but s-base slow down with k; gaps narrow at k=50; blocking keeps s-hop/s-band below t-hop in #queries")
+	return nil
+}
+
+// runFig10 regenerates Fig. 10: performance as |I| varies (k=10, tau=10%).
+func runFig10(cfg Config, w io.Writer) error {
+	for _, dsName := range []string{"nba-2", "network-2"} {
+		err := sweep(cfg, w, dsName, "|I|%", cfg.withDefaults().iSweep(), func(v int) QuerySpec {
+			return QuerySpec{K: defaultK, TauPct: defaultTauPct, IPct: v}
+		}, allAlgs())
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w, "\npaper shape: hop/band algorithms scale linearly in |I| and stay 1-2 orders below the baselines")
+	return nil
+}
+
+// runFig11 regenerates Fig. 11: performance as dimensionality varies on
+// Network-X. S-Base is omitted as in the paper.
+func runFig11(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	algs := []core.Algorithm{core.TBase, core.THop, core.SBand, core.SHop}
+	header(w, "Network-X: query time (ms) and #top-k queries as d varies")
+	ta := newTable(w)
+	ta.row("d", "t-base", "t-hop", "s-band", "s-hop", "q(t-hop)", "q(s-band)", "q(s-hop)", "|C| s-band", "|S|")
+	for _, d := range cfg.dSweep() {
+		eng, err := EngineFor(cfg, fmt.Sprintf("network-%d", d))
+		if err != nil {
+			return err
+		}
+		spec := QuerySpec{K: defaultK, TauPct: defaultTauPct, IPct: defaultIPct}
+		res := map[core.Algorithm]*Metrics{}
+		for _, a := range algs {
+			m, err := RunConfiguration(eng, spec, a, cfg.Reps, cfg.Seed+int64(d))
+			if err != nil {
+				return err
+			}
+			res[a] = m
+		}
+		ta.row(d,
+			ms(res[core.TBase].TimeMS), ms(res[core.THop].TimeMS),
+			ms(res[core.SBand].TimeMS), ms(res[core.SHop].TimeMS),
+			cnt(res[core.THop].Queries), cnt(res[core.SBand].Queries), cnt(res[core.SHop].Queries),
+			cnt(res[core.SBand].Candidates), cnt(res[core.SHop].Answer))
+	}
+	ta.flush()
+	fmt.Fprintln(w, "\npaper shape: #queries flat in d; |C| explodes with d, sinking s-band while t-hop/s-hop grow slowly")
+	return nil
+}
+
+// runFig12 regenerates Fig. 12: scalability on Syn IND and ANTI with |I|
+// fixed at 50% of the (growing) span.
+func runFig12(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	algs := []core.Algorithm{core.SBase, core.THop, core.SBand, core.SHop}
+	for _, kind := range []string{"ind", "anti"} {
+		header(w, fmt.Sprintf("Syn-%s: query time (ms) as data size varies", kind))
+		ta := newTable(w)
+		ta.row("n", "s-base", "t-hop", "s-band", "s-hop", "q(t-hop)", "q(s-hop)", "|C| s-band", "|S|")
+		for _, mult := range cfg.sizeSweep() {
+			n := cfg.synUnit() * mult
+			eng, err := EngineFor(cfg, fmt.Sprintf("%s-%d", kind, n))
+			if err != nil {
+				return err
+			}
+			spec := QuerySpec{K: defaultK, TauPct: defaultTauPct, IPct: defaultIPct}
+			res := map[core.Algorithm]*Metrics{}
+			for _, a := range algs {
+				m, err := RunConfiguration(eng, spec, a, cfg.Reps, cfg.Seed+int64(mult))
+				if err != nil {
+					return err
+				}
+				res[a] = m
+			}
+			ta.row(n,
+				ms(res[core.SBase].TimeMS), ms(res[core.THop].TimeMS),
+				ms(res[core.SBand].TimeMS), ms(res[core.SHop].TimeMS),
+				cnt(res[core.THop].Queries), cnt(res[core.SHop].Queries),
+				cnt(res[core.SBand].Candidates), cnt(res[core.SHop].Answer))
+		}
+		ta.flush()
+	}
+	fmt.Fprintln(w, "\npaper shape: t-hop/s-hop near-flat (answer-size bound); s-band fine on IND, collapses on ANTI as |C| inflates")
+	return nil
+}
+
+// runFig13 regenerates Fig. 13: the runtime distribution of t-hop, s-hop and
+// s-band over 20 random 5-d projections of the NBA attributes.
+func runFig13(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	full := nbaFullFor(cfg)
+	projections := 20
+	if cfg.Quick {
+		projections = 6
+	}
+	times := map[core.Algorithm][]float64{}
+	algs := []core.Algorithm{core.THop, core.SHop, core.SBand}
+	for pi := 0; pi < projections; pi++ {
+		proj, _, err := datagen.NBARandomProjection(full, cfg.Seed+int64(pi), 5)
+		if err != nil {
+			return err
+		}
+		eng := core.NewEngine(proj, EngineOptions())
+		spec := QuerySpec{K: defaultK, TauPct: defaultTauPct, IPct: defaultIPct}
+		for _, a := range algs {
+			m, err := RunConfiguration(eng, spec, a, cfg.Reps/2+1, cfg.Seed+int64(pi))
+			if err != nil {
+				return err
+			}
+			times[a] = append(times[a], stats.Mean(m.TimeMS))
+		}
+	}
+	header(w, fmt.Sprintf("runtime distribution over %d random 5-d NBA projections (ms per projection mean)", projections))
+	ta := newTable(w)
+	ta.row("alg", "mean", "std", "min", "p50", "p90", "max")
+	for _, a := range algs {
+		s := stats.Summarize(times[a])
+		ta.row(a.String(),
+			fmt.Sprintf("%.2f", s.Mean), fmt.Sprintf("%.2f", s.Std),
+			fmt.Sprintf("%.2f", s.Min), fmt.Sprintf("%.2f", s.Median),
+			fmt.Sprintf("%.2f", s.P90), fmt.Sprintf("%.2f", s.Max))
+	}
+	ta.flush()
+	fmt.Fprintln(w, "\npaper shape: s-band slower on average with a wide spread; t-hop/s-hop concentrated in narrow ranges")
+	return nil
+}
+
+// runFig1 reproduces the Example I.1 case study: durable vs tumbling vs
+// sliding top-k over NBA rebounds.
+func runFig1(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	full := nbaFullFor(cfg)
+	ds, err := full.Project([]int{datagen.NBAReb})
+	if err != nil {
+		return err
+	}
+	eng := core.NewEngine(ds, EngineOptions())
+	lo, hi := ds.Span()
+	span := hi - lo
+	tau := span / 7 // the 5-year window of a ~36-year history
+	s := RandomPreference(nil2rng(cfg.Seed), 1)
+
+	durable, err := eng.DurableTopK(core.Query{
+		K: 1, Tau: tau, Start: lo, End: hi, Scorer: s, Algorithm: core.SHop,
+	})
+	if err != nil {
+		return err
+	}
+	tumblingA := windows.Tumbling(eng.Index(), s, 1, tau, lo, lo, hi)
+	tumblingB := windows.Tumbling(eng.Index(), s, 1, tau, lo+tau/2, lo, hi)
+	sliding := windows.Sliding(ds, eng.Index(), s, 1, tau+1, lo+tau, hi)
+	slidingUnion := windows.UnionIDs(sliding)
+
+	header(w, "Fig. 1 case study: noteworthy rebound performances, 5-year durability")
+	fmt.Fprintf(w, "durable top-1 results: %d records\n", len(durable.Records))
+	for _, r := range durable.Records {
+		fmt.Fprintf(w, "  t=%-8d rebounds=%.0f\n", r.Time, r.Score)
+	}
+	fmt.Fprintf(w, "tumbling-window top-1 (origin A): %d windows; (origin B, shifted half-window): %d windows\n",
+		len(tumblingA), len(tumblingB))
+	diff := tumblingDiff(tumblingA, tumblingB)
+	fmt.Fprintf(w, "  -> %d of the per-window champions change when the window grid shifts (placement sensitivity)\n", diff)
+	fmt.Fprintf(w, "sliding-window top-1: %d distinct records across all placements (vs %d durable)\n",
+		len(slidingUnion), len(durable.Records))
+	fmt.Fprintln(w, "\npaper shape: durable ⊂ sliding-union; tumbling champions depend on grid placement")
+	return nil
+}
+
+func tumblingDiff(a, b []windows.WindowResult) int {
+	tops := func(rs []windows.WindowResult) map[int32]bool {
+		m := map[int32]bool{}
+		for _, r := range rs {
+			if len(r.Items) > 0 {
+				m[r.Items[0].ID] = true
+			}
+		}
+		return m
+	}
+	ma, mb := tops(a), tops(b)
+	diff := 0
+	for id := range ma {
+		if !mb[id] {
+			diff++
+		}
+	}
+	return diff
+}
+
+// runFig7 prints the value distributions of the synthetic generators.
+func runFig7(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	n := 4000
+	for _, kind := range []string{"ind", "anti"} {
+		ds, err := DatasetFor(cfg, fmt.Sprintf("%s-%d", kind, n))
+		if err != nil {
+			return err
+		}
+		header(w, fmt.Sprintf("Syn %s sample (%d points)", kind, n))
+		fmt.Fprint(w, asciiScatter(ds, 48, 16))
+	}
+	fmt.Fprintln(w, "paper shape: IND fills the unit square uniformly; ANTI concentrates on the annulus arc r∈[0.8,1]")
+	return nil
+}
+
+// asciiScatter renders the first two dimensions of ds as a density plot.
+func asciiScatter(ds interface {
+	Len() int
+	Attrs(int) []float64
+}, cols, rows int) string {
+	grid := make([]int, cols*rows)
+	maxC := 1
+	for i := 0; i < ds.Len(); i++ {
+		a := ds.Attrs(i)
+		x := int(a[0] * float64(cols-1))
+		y := int(a[1] * float64(rows-1))
+		if x < 0 || x >= cols || y < 0 || y >= rows {
+			continue
+		}
+		grid[y*cols+x]++
+		if grid[y*cols+x] > maxC {
+			maxC = grid[y*cols+x]
+		}
+	}
+	shades := []byte(" .:+#@")
+	out := make([]byte, 0, (cols+1)*rows)
+	for y := rows - 1; y >= 0; y-- {
+		for x := 0; x < cols; x++ {
+			c := grid[y*cols+x]
+			idx := c * (len(shades) - 1) / maxC
+			if c > 0 && idx == 0 {
+				idx = 1
+			}
+			out = append(out, shades[idx])
+		}
+		out = append(out, '\n')
+	}
+	return string(out)
+}

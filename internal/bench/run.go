@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/score"
+	"repro/internal/stats"
+)
+
+// Metrics aggregates per-repetition observations of one (dataset, query,
+// algorithm) configuration.
+type Metrics struct {
+	TimeMS     []float64
+	Queries    []float64 // total building-block invocations
+	CheckQ     []float64
+	FindQ      []float64
+	Candidates []float64
+	Answer     []float64
+}
+
+func (m *Metrics) add(res *core.Result) {
+	st := res.Stats
+	m.TimeMS = append(m.TimeMS, float64(st.Elapsed.Microseconds())/1000)
+	m.Queries = append(m.Queries, float64(st.TopKQueries()))
+	m.CheckQ = append(m.CheckQ, float64(st.CheckQueries))
+	m.FindQ = append(m.FindQ, float64(st.FindQueries))
+	m.Candidates = append(m.Candidates, float64(st.CandidateCount))
+	m.Answer = append(m.Answer, float64(len(res.Records)))
+}
+
+// QuerySpec positions a query by percentages of the dataset's time span,
+// matching the paper's parameterization (Table III): tau and |I| as percent
+// of |T|, with I right-anchored at the most recent timestamp.
+type QuerySpec struct {
+	K      int
+	TauPct int
+	IPct   int
+}
+
+// Materialize turns the spec into a concrete query over ds.
+func (qs QuerySpec) Materialize(ds *data.Dataset, s score.Scorer, alg core.Algorithm) core.Query {
+	lo, hi := ds.Span()
+	span := hi - lo
+	tau := span * int64(qs.TauPct) / 100
+	ilen := span * int64(qs.IPct) / 100
+	return core.Query{
+		K:         qs.K,
+		Tau:       tau,
+		Start:     hi - ilen,
+		End:       hi,
+		Scorer:    s,
+		Algorithm: alg,
+	}
+}
+
+// RandomPreference draws a uniform non-negative preference vector for
+// d-dimensional data.
+func RandomPreference(rng *rand.Rand, d int) score.Scorer {
+	w := make([]float64, d)
+	for i := range w {
+		w[i] = 0.05 + 0.95*rng.Float64()
+	}
+	return score.MustLinear(w...)
+}
+
+// RunConfiguration evaluates the spec with the given algorithm over reps
+// random preference vectors and returns the aggregated metrics.
+func RunConfiguration(eng *core.Engine, qs QuerySpec, alg core.Algorithm, reps int, seed int64) (*Metrics, error) {
+	rng := rand.New(rand.NewSource(seed))
+	ds := eng.Dataset()
+	if alg == core.SBand {
+		// The durable k-skyband ladder is offline indexing (§IV-B); build
+		// it outside the timed region.
+		eng.PrepareSkyband(qs.K, core.LookBack)
+	}
+	m := &Metrics{}
+	for r := 0; r < reps; r++ {
+		s := RandomPreference(rng, ds.Dims())
+		q := qs.Materialize(ds, s, alg)
+		res, err := eng.DurableTopK(q)
+		if err != nil {
+			return nil, err
+		}
+		m.add(res)
+	}
+	return m, nil
+}
+
+// table helps print aligned experiment output.
+type table struct {
+	tw *tabwriter.Writer
+}
+
+func newTable(w io.Writer) *table {
+	return &table{tw: tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)}
+}
+
+func (t *table) row(cells ...interface{}) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(t.tw, "\t")
+		}
+		fmt.Fprint(t.tw, c)
+	}
+	fmt.Fprintln(t.tw)
+}
+
+func (t *table) flush() { t.tw.Flush() }
+
+// ms formats a mean +/- std of millisecond samples.
+func ms(samples []float64) string {
+	return fmt.Sprintf("%.2f±%.2f", stats.Mean(samples), stats.Std(samples))
+}
+
+// cnt formats a mean of count samples.
+func cnt(samples []float64) string {
+	return fmt.Sprintf("%.1f", stats.Mean(samples))
+}
+
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+}

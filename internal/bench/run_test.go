@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+func TestFormatHelpers(t *testing.T) {
+	if got := ms([]float64{1, 2, 3}); got != "2.00±1.00" {
+		t.Fatalf("ms=%q", got)
+	}
+	if got := cnt([]float64{1, 2}); got != "1.5" {
+		t.Fatalf("cnt=%q", got)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	ta := newTable(&buf)
+	ta.row("a", "bb", "ccc")
+	ta.row(1, 22, 333)
+	ta.flush()
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("rows: %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "1") {
+		t.Fatalf("row content: %q", lines[1])
+	}
+}
+
+func TestRandomPreferencePositive(t *testing.T) {
+	rng := nil2rng(1)
+	for i := 0; i < 20; i++ {
+		s := RandomPreference(rng, 4)
+		if s.Dims() != 4 {
+			t.Fatal("dims")
+		}
+		// All-positive weights keep the scorer monotone, which the S-Band
+		// runs rely on.
+		x := []float64{1, 1, 1, 1}
+		if s.Score(x) <= 0 {
+			t.Fatal("positive weights must yield a positive score of 1s")
+		}
+	}
+}
+
+func TestAsciiScatterShape(t *testing.T) {
+	ds := datagen.IND(1, 500, 2)
+	out := asciiScatter(ds, 20, 8)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("rows=%d", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 20 {
+			t.Fatalf("row width %d", len(l))
+		}
+	}
+	if !strings.ContainsAny(out, ".:+#@") {
+		t.Fatal("scatter is blank")
+	}
+}
+
+func TestRunConfigurationMetrics(t *testing.T) {
+	eng, err := EngineFor(tinyConfig(), "ind-600")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := RunConfiguration(eng, QuerySpec{K: 3, TauPct: 10, IPct: 50}, core.THop, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.TimeMS) != 4 || len(m.Queries) != 4 || len(m.Answer) != 4 {
+		t.Fatalf("metrics lengths: %+v", m)
+	}
+	for _, q := range m.Queries {
+		if q <= 0 {
+			t.Fatal("t-hop must record queries")
+		}
+	}
+}
+
+func TestConfigSweepsQuickAreSubsets(t *testing.T) {
+	full := Config{}.withDefaults()
+	quickCfg := Config{Quick: true}.withDefaults()
+	asSet := func(xs []int) map[int]bool {
+		m := map[int]bool{}
+		for _, x := range xs {
+			m[x] = true
+		}
+		return m
+	}
+	pairs := [][2][]int{
+		{full.tauSweep(), quickCfg.tauSweep()},
+		{full.kSweep(), quickCfg.kSweep()},
+		{full.iSweep(), quickCfg.iSweep()},
+		{full.dSweep(), quickCfg.dSweep()},
+		{full.sizeSweep(), quickCfg.sizeSweep()},
+	}
+	for i, p := range pairs {
+		fullSet := asSet(p[0])
+		for _, v := range p[1] {
+			if !fullSet[v] {
+				t.Fatalf("sweep %d: quick value %d not in the full sweep", i, v)
+			}
+		}
+		if len(p[1]) >= len(p[0]) {
+			t.Fatalf("sweep %d: quick must be smaller", i)
+		}
+	}
+}
+
+func TestScaledFloor(t *testing.T) {
+	cfg := Config{Scale: 0.00001}.withDefaults()
+	if cfg.scaled(1_000_000) < 256 {
+		t.Fatal("scaled sizes must keep a sane floor")
+	}
+}

@@ -1,0 +1,178 @@
+// Package blocking implements the blocking mechanism of the score-prioritized
+// durable top-k algorithms (paper §IV, Fig. 3).
+//
+// Every processed high-score record p contributes a blocking interval
+// [p.t, p.t+tau]. A candidate record q arriving at time t cannot be
+// tau-durable once t is covered by k or more blocking intervals, because
+// each covering interval witnesses a record with higher score inside q's
+// durability window. Since all intervals share the same length tau, the
+// cover count of t equals the number of interval left endpoints in
+// [t-tau, t]; the structure therefore maintains a multiset of left endpoints
+// in an order-statistic treap with O(log n) expected insert and count.
+package blocking
+
+// Set maintains the left endpoints of equal-length blocking intervals and
+// answers coverage-count queries. The zero value is not usable; construct
+// with NewSet. Not safe for concurrent use.
+type Set struct {
+	tau  int64
+	root *node
+	size int // number of intervals added, counting duplicates
+	rng  uint64
+}
+
+type node struct {
+	key         int64 // interval left endpoint
+	mult        int   // multiplicity of key
+	count       int   // total multiplicity in subtree
+	prio        uint64
+	left, right *node
+}
+
+// NewSet returns an empty blocking set for intervals of length tau >= 0.
+func NewSet(tau int64) *Set {
+	return &Set{tau: tau, rng: 0x9e3779b97f4a7c15}
+}
+
+// Tau returns the interval length.
+func (s *Set) Tau() int64 { return s.tau }
+
+// Len returns the number of intervals added, counting duplicates.
+func (s *Set) Len() int { return s.size }
+
+// next is a SplitMix64 step used for treap priorities; deterministic so runs
+// are reproducible.
+func (s *Set) next() uint64 {
+	s.rng += 0x9e3779b97f4a7c15
+	z := s.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func count(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.count
+}
+
+func (n *node) recount() { n.count = n.mult + count(n.left) + count(n.right) }
+
+// Add inserts the blocking interval [left, left+tau].
+func (s *Set) Add(left int64) {
+	s.root = s.insert(s.root, left)
+	s.size++
+}
+
+func (s *Set) insert(n *node, key int64) *node {
+	if n == nil {
+		return &node{key: key, mult: 1, count: 1, prio: s.next()}
+	}
+	switch {
+	case key == n.key:
+		n.mult++
+		n.count++
+		return n
+	case key < n.key:
+		n.left = s.insert(n.left, key)
+		if n.left.prio > n.prio {
+			n = rotateRight(n)
+		}
+	default:
+		n.right = s.insert(n.right, key)
+		if n.right.prio > n.prio {
+			n = rotateLeft(n)
+		}
+	}
+	n.recount()
+	return n
+}
+
+func rotateRight(n *node) *node {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	n.recount()
+	l.recount()
+	return l
+}
+
+func rotateLeft(n *node) *node {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	n.recount()
+	r.recount()
+	return r
+}
+
+// CountLE returns the number of intervals whose left endpoint is <= x.
+func (s *Set) CountLE(x int64) int {
+	n := s.root
+	total := 0
+	for n != nil {
+		if x < n.key {
+			n = n.left
+		} else {
+			total += n.mult + count(n.left)
+			n = n.right
+		}
+	}
+	return total
+}
+
+// CountRange returns the number of intervals with left endpoint in the
+// closed range [a, b]; zero when a > b.
+func (s *Set) CountRange(a, b int64) int {
+	if a > b {
+		return 0
+	}
+	return s.CountLE(b) - s.CountLE(a-1)
+}
+
+// Cover returns the number of blocking intervals covering time t, i.e.
+// intervals [l, l+tau] with l <= t <= l+tau.
+func (s *Set) Cover(t int64) int {
+	return s.CountRange(t-s.tau, t)
+}
+
+// KthLargestLE returns the k-th largest endpoint among the multiset entries
+// <= x (k >= 1), with ok=false when fewer than k such entries exist. The
+// durability-profile sweep uses it to locate the k-th most recent
+// higher-scoring record in one O(log n) step.
+func (s *Set) KthLargestLE(x int64, k int) (key int64, ok bool) {
+	if k < 1 {
+		return 0, false
+	}
+	c := s.CountLE(x)
+	if c < k {
+		return 0, false
+	}
+	// The k-th largest among entries <= x is the (c-k+1)-th smallest
+	// overall, which is itself <= x because its ascending rank is <= c.
+	return s.selectAsc(c - k + 1), true
+}
+
+// selectAsc returns the rank-th smallest key (1-based, counting
+// multiplicity). The caller guarantees 1 <= rank <= Len().
+func (s *Set) selectAsc(rank int) int64 {
+	n := s.root
+	for {
+		leftCount := count(n.left)
+		switch {
+		case rank <= leftCount:
+			n = n.left
+		case rank <= leftCount+n.mult:
+			return n.key
+		default:
+			rank -= leftCount + n.mult
+			n = n.right
+		}
+	}
+}
+
+// Blocked reports whether time t is covered by at least k intervals.
+func (s *Set) Blocked(t int64, k int) bool {
+	return s.Cover(t) >= k
+}

@@ -1,0 +1,224 @@
+package blocking
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveCover counts intervals [l, l+tau] covering t by direct scan.
+func naiveCover(lefts []int64, tau, t int64) int {
+	n := 0
+	for _, l := range lefts {
+		if l <= t && t <= l+tau {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCoverMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		tau := int64(rng.Intn(40))
+		s := NewSet(tau)
+		var lefts []int64
+		for i := 0; i < 200; i++ {
+			l := int64(rng.Intn(300) - 50)
+			s.Add(l)
+			lefts = append(lefts, l)
+			if i%10 == 0 {
+				probe := int64(rng.Intn(400) - 100)
+				if got, want := s.Cover(probe), naiveCover(lefts, tau, probe); got != want {
+					t.Fatalf("trial %d: Cover(%d)=%d want %d (tau=%d, %d intervals)",
+						trial, probe, got, want, tau, len(lefts))
+				}
+			}
+		}
+	}
+}
+
+func TestCoverQuick(t *testing.T) {
+	f := func(leftsRaw []int16, tauRaw uint8, probeRaw int16) bool {
+		tau := int64(tauRaw)
+		s := NewSet(tau)
+		lefts := make([]int64, len(leftsRaw))
+		for i, l := range leftsRaw {
+			lefts[i] = int64(l)
+			s.Add(int64(l))
+		}
+		probe := int64(probeRaw)
+		return s.Cover(probe) == naiveCover(lefts, tau, probe)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateEndpoints(t *testing.T) {
+	s := NewSet(10)
+	for i := 0; i < 5; i++ {
+		s.Add(100)
+	}
+	if got := s.Cover(105); got != 5 {
+		t.Fatalf("Cover(105)=%d want 5", got)
+	}
+	if got := s.Cover(111); got != 0 {
+		t.Fatalf("Cover(111)=%d want 0", got)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len=%d want 5", s.Len())
+	}
+}
+
+func TestBoundaryInclusive(t *testing.T) {
+	s := NewSet(7)
+	s.Add(10)
+	cases := []struct {
+		t    int64
+		want int
+	}{{9, 0}, {10, 1}, {17, 1}, {18, 0}}
+	for _, c := range cases {
+		if got := s.Cover(c.t); got != c.want {
+			t.Errorf("Cover(%d)=%d want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestZeroTau(t *testing.T) {
+	s := NewSet(0)
+	s.Add(5)
+	if s.Cover(5) != 1 || s.Cover(4) != 0 || s.Cover(6) != 0 {
+		t.Fatalf("zero-length interval must cover exactly its endpoint")
+	}
+}
+
+func TestCountRange(t *testing.T) {
+	s := NewSet(1)
+	for _, l := range []int64{1, 3, 3, 7, 9} {
+		s.Add(l)
+	}
+	if got := s.CountRange(3, 7); got != 3 {
+		t.Fatalf("CountRange(3,7)=%d want 3", got)
+	}
+	if got := s.CountRange(8, 2); got != 0 {
+		t.Fatalf("inverted range must count 0, got %d", got)
+	}
+	if got := s.CountLE(0); got != 0 {
+		t.Fatalf("CountLE(0)=%d want 0", got)
+	}
+	if got := s.CountLE(100); got != 5 {
+		t.Fatalf("CountLE(100)=%d want 5", got)
+	}
+}
+
+func TestBlocked(t *testing.T) {
+	s := NewSet(5)
+	s.Add(0)
+	s.Add(2)
+	if !s.Blocked(3, 2) {
+		t.Fatal("t=3 covered twice must be blocked at k=2")
+	}
+	if s.Blocked(3, 3) {
+		t.Fatal("t=3 covered twice must not be blocked at k=3")
+	}
+}
+
+// TestSortedInsertionBalance guards against degenerate treap behaviour on
+// sorted input (the common access pattern of the algorithms).
+func TestSortedInsertionBalance(t *testing.T) {
+	s := NewSet(100)
+	for i := int64(0); i < 20000; i++ {
+		s.Add(i)
+	}
+	// Sanity: counts still correct at a few probes.
+	for _, probe := range []int64{0, 50, 150, 19999, 20099} {
+		want := 0
+		for l := int64(0); l < 20000; l++ {
+			if l <= probe && probe <= l+100 {
+				want++
+			}
+		}
+		if got := s.Cover(probe); got != want {
+			t.Fatalf("Cover(%d)=%d want %d", probe, got, want)
+		}
+	}
+}
+
+func TestKthLargestLE(t *testing.T) {
+	s := NewSet(0)
+	for _, l := range []int64{5, 1, 9, 5, 3} { // sorted multiset: 1 3 5 5 9
+		s.Add(l)
+	}
+	cases := []struct {
+		x    int64
+		k    int
+		want int64
+		ok   bool
+	}{
+		{9, 1, 9, true}, {9, 2, 5, true}, {9, 3, 5, true}, {9, 4, 3, true},
+		{9, 5, 1, true}, {9, 6, 0, false},
+		{8, 1, 5, true}, {8, 2, 5, true}, {8, 3, 3, true},
+		{0, 1, 0, false}, {5, 1, 5, true}, {5, 3, 3, true},
+		{100, 0, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := s.KthLargestLE(c.x, c.k)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("KthLargestLE(%d,%d)=(%d,%v) want (%d,%v)", c.x, c.k, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestKthLargestLERandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		s := NewSet(0)
+		var keys []int64
+		for i := 0; i < 150; i++ {
+			l := int64(rng.Intn(60))
+			s.Add(l)
+			keys = append(keys, l)
+		}
+		for probe := 0; probe < 30; probe++ {
+			x := int64(rng.Intn(80) - 10)
+			k := 1 + rng.Intn(8)
+			// Oracle: gather keys <= x, sort descending, pick k-th.
+			var le []int64
+			for _, l := range keys {
+				if l <= x {
+					le = append(le, l)
+				}
+			}
+			sortDesc(le)
+			got, ok := s.KthLargestLE(x, k)
+			if k > len(le) {
+				if ok {
+					t.Fatalf("trial %d: expected !ok for x=%d k=%d", trial, x, k)
+				}
+				continue
+			}
+			if !ok || got != le[k-1] {
+				t.Fatalf("trial %d: KthLargestLE(%d,%d)=(%d,%v) want %d", trial, x, k, got, ok, le[k-1])
+			}
+		}
+	}
+}
+
+func sortDesc(xs []int64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] > xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func BenchmarkAddCover(b *testing.B) {
+	s := NewSet(1000)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(rng.Int63n(1 << 20))
+		_ = s.Cover(rng.Int63n(1 << 20))
+	}
+}

@@ -1,0 +1,105 @@
+package blocking
+
+// CoverTree maintains blocking-coverage counts over record positions
+// 0..n-1, supporting range increments and range-minimum queries in
+// O(log n). The score-prioritized algorithms for mid-anchored windows use
+// it to decide when an entire sub-interval is fully covered (every record
+// position blocked by >= k strictly higher-scoring records) and can be
+// abandoned — the general-anchor replacement for Lemma 6's geometric
+// argument, which only holds for end-anchored windows.
+//
+// Positions are record indices, not raw timestamps: coverage only matters
+// where a record exists, and indices keep the tree dense. The zero value is
+// not usable; construct with NewCoverTree. Not safe for concurrent use.
+type CoverTree struct {
+	n    int
+	min  []int32
+	lazy []int32
+}
+
+// NewCoverTree returns a tree over positions 0..n-1 with all counts zero.
+func NewCoverTree(n int) *CoverTree {
+	if n < 1 {
+		n = 1
+	}
+	return &CoverTree{n: n, min: make([]int32, 4*n), lazy: make([]int32, 4*n)}
+}
+
+// Len returns the number of positions.
+func (t *CoverTree) Len() int { return t.n }
+
+// Add increments the count of every position in the half-open range
+// [lo, hi) by delta. Out-of-range parts are clipped; empty ranges are
+// no-ops.
+func (t *CoverTree) Add(lo, hi int, delta int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > t.n {
+		hi = t.n
+	}
+	if lo >= hi || delta == 0 {
+		return
+	}
+	t.add(1, 0, t.n, lo, hi, int32(delta))
+}
+
+func (t *CoverTree) add(node, nodeLo, nodeHi, lo, hi int, delta int32) {
+	if lo <= nodeLo && nodeHi <= hi {
+		t.min[node] += delta
+		t.lazy[node] += delta
+		return
+	}
+	mid := (nodeLo + nodeHi) / 2
+	if lo < mid {
+		t.add(2*node, nodeLo, mid, lo, hi, delta)
+	}
+	if hi > mid {
+		t.add(2*node+1, mid, nodeHi, lo, hi, delta)
+	}
+	l, r := t.min[2*node], t.min[2*node+1]
+	if r < l {
+		l = r
+	}
+	t.min[node] = l + t.lazy[node]
+}
+
+// Min returns the minimum count over the half-open range [lo, hi); it
+// returns a large sentinel for empty or fully out-of-range inputs (an empty
+// range is vacuously covered).
+func (t *CoverTree) Min(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > t.n {
+		hi = t.n
+	}
+	if lo >= hi {
+		return int(coverInf)
+	}
+	return int(t.query(1, 0, t.n, lo, hi))
+}
+
+const coverInf int32 = 1 << 30
+
+func (t *CoverTree) query(node, nodeLo, nodeHi, lo, hi int) int32 {
+	if lo <= nodeLo && nodeHi <= hi {
+		return t.min[node]
+	}
+	mid := (nodeLo + nodeHi) / 2
+	best := coverInf
+	if lo < mid {
+		if v := t.query(2*node, nodeLo, mid, lo, hi); v < best {
+			best = v
+		}
+	}
+	if hi > mid {
+		if v := t.query(2*node+1, mid, nodeHi, lo, hi); v < best {
+			best = v
+		}
+	}
+	return best + t.lazy[node]
+}
+
+// At returns the count at one position.
+func (t *CoverTree) At(i int) int { return t.Min(i, i+1) }

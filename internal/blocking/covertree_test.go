@@ -1,0 +1,112 @@
+package blocking
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoverTreeBasics(t *testing.T) {
+	ct := NewCoverTree(10)
+	if got := ct.Min(0, 10); got != 0 {
+		t.Fatalf("fresh tree Min = %d, want 0", got)
+	}
+	ct.Add(2, 5, 1)
+	ct.Add(3, 8, 2)
+	wants := []int{0, 0, 1, 3, 3, 2, 2, 2, 0, 0}
+	for i, want := range wants {
+		if got := ct.At(i); got != want {
+			t.Errorf("At(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if got := ct.Min(2, 5); got != 1 {
+		t.Errorf("Min(2,5) = %d, want 1", got)
+	}
+	if got := ct.Min(3, 5); got != 3 {
+		t.Errorf("Min(3,5) = %d, want 3", got)
+	}
+	if got := ct.Min(0, 10); got != 0 {
+		t.Errorf("Min(0,10) = %d, want 0", got)
+	}
+}
+
+func TestCoverTreeClipping(t *testing.T) {
+	ct := NewCoverTree(4)
+	ct.Add(-5, 100, 1) // clipped to [0, 4)
+	if got := ct.Min(0, 4); got != 1 {
+		t.Fatalf("Min after clipped add = %d, want 1", got)
+	}
+	if got := ct.Min(2, 2); got != int(coverInf) {
+		t.Errorf("empty range Min = %d, want sentinel", got)
+	}
+	if got := ct.Min(9, 12); got != int(coverInf) {
+		t.Errorf("out-of-range Min = %d, want sentinel", got)
+	}
+	ct.Add(1, 1, 5) // empty add is a no-op
+	if got := ct.Min(0, 4); got != 1 {
+		t.Errorf("Min after empty add = %d, want 1", got)
+	}
+}
+
+func TestCoverTreeNegativeDelta(t *testing.T) {
+	ct := NewCoverTree(6)
+	ct.Add(0, 6, 3)
+	ct.Add(2, 4, -1)
+	if got := ct.Min(0, 6); got != 2 {
+		t.Fatalf("Min = %d, want 2", got)
+	}
+	if got := ct.At(1); got != 3 {
+		t.Fatalf("At(1) = %d, want 3", got)
+	}
+}
+
+func TestCoverTreeTinySize(t *testing.T) {
+	ct := NewCoverTree(0) // clamped to one position
+	ct.Add(0, 1, 7)
+	if got := ct.At(0); got != 7 {
+		t.Fatalf("At(0) = %d, want 7", got)
+	}
+}
+
+// TestQuickCoverTreeMatchesNaive compares the tree against a plain slice
+// under random interleaved adds and min queries.
+func TestQuickCoverTreeMatchesNaive(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		ct := NewCoverTree(n)
+		naive := make([]int, n)
+		for op := 0; op < 120; op++ {
+			lo := rng.Intn(n + 2)
+			hi := rng.Intn(n + 2)
+			if rng.Intn(2) == 0 {
+				delta := rng.Intn(5) - 1
+				ct.Add(lo, hi, delta)
+				for i := lo; i < hi && i < n; i++ {
+					if i >= 0 {
+						naive[i] += delta
+					}
+				}
+			} else {
+				got := ct.Min(lo, hi)
+				want := int(coverInf)
+				for i := lo; i < hi && i < n; i++ {
+					if i >= 0 && naive[i] < want {
+						want = naive[i]
+					}
+				}
+				if lo >= hi || lo >= n {
+					want = int(coverInf)
+				}
+				if got != want {
+					t.Logf("seed=%d n=%d Min(%d,%d) = %d, want %d", seed, n, lo, hi, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

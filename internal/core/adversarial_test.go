@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/score"
+	"repro/internal/topk"
+)
+
+// antiDataset draws points from the positive-orthant annulus (the paper's
+// ANTI distribution) — worst case for skyline-based structures.
+func antiDataset(rng *rand.Rand, n int) *data.Dataset {
+	times := make([]int64, n)
+	rows := make([][]float64, n)
+	t := int64(0)
+	for i := 0; i < n; i++ {
+		t += int64(1 + rng.Intn(2))
+		times[i] = t
+		x := rng.Float64()
+		y := 0.8 + 0.2*rng.Float64()
+		rows[i] = []float64{x * y, (1 - x) * y}
+	}
+	return data.MustNew(times, rows)
+}
+
+// constantDataset has all-equal scores: every record ties with every other.
+func constantDataset(n int) *data.Dataset {
+	times := make([]int64, n)
+	rows := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		times[i] = int64(i + 1)
+		rows[i] = []float64{7}
+	}
+	return data.MustNew(times, rows)
+}
+
+// monotoneIncreasing scores strictly rise over time: only a suffix of each
+// window can be durable.
+func monotoneIncreasingDataset(n int) *data.Dataset {
+	times := make([]int64, n)
+	rows := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		times[i] = int64(i + 1)
+		rows[i] = []float64{float64(i)}
+	}
+	return data.MustNew(times, rows)
+}
+
+func checkAllAlgorithms(t *testing.T, ds *data.Dataset, s score.Scorer, k int, tau int64) {
+	t.Helper()
+	eng := NewEngine(ds, Options{Index: topk.Options{LengthThreshold: 8}})
+	lo, hi := ds.Span()
+	want := BruteForce(ds, s, k, tau, lo, hi, LookBack)
+	for _, alg := range Algorithms() {
+		if alg == SBand && !score.IsMonotone(s) {
+			continue
+		}
+		res, err := eng.DurableTopK(Query{K: k, Tau: tau, Start: lo, End: hi, Scorer: s, Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		got := res.IDs()
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%v on adversarial data: got %d records want %d\n got %v\nwant %v",
+				alg, len(got), len(want), got, want)
+		}
+	}
+}
+
+func TestAntiCorrelatedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 6; trial++ {
+		ds := antiDataset(rng, 200+rng.Intn(200))
+		w := []float64{rng.Float64(), rng.Float64()}
+		checkAllAlgorithms(t, ds, score.MustLinear(w...), 1+rng.Intn(5), 5+rng.Int63n(60))
+	}
+}
+
+func TestAllScoresEqual(t *testing.T) {
+	ds := constantDataset(150)
+	s := score.MustLinear(1)
+	// With total ties, nobody has a strictly higher score: every record is
+	// durable for every k and tau.
+	checkAllAlgorithms(t, ds, s, 1, 50)
+	eng := NewEngine(ds, Options{})
+	res, err := eng.DurableTopK(Query{K: 1, Tau: 50, Start: 1, End: 150, Scorer: s, Algorithm: SHop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 150 {
+		t.Fatalf("all-ties: %d durable want 150", len(res.Records))
+	}
+}
+
+func TestMonotoneIncreasingScores(t *testing.T) {
+	ds := monotoneIncreasingDataset(200)
+	s := score.MustLinear(1)
+	// Strictly rising scores: every record is the maximum of its window, so
+	// all are durable at k=1.
+	checkAllAlgorithms(t, ds, s, 1, 30)
+	// Decreasing preference (negative weight) reverses the ranking: only
+	// records whose window reaches back to the dataset start stay top-1.
+	neg := score.MustLinear(-1)
+	checkAllAlgorithms(t, ds, neg, 1, 30)
+	checkAllAlgorithms(t, ds, neg, 3, 30)
+}
+
+func TestSingleRecordDataset(t *testing.T) {
+	ds := data.MustNew([]int64{5}, [][]float64{{1, 2}})
+	checkAllAlgorithms(t, ds, score.MustLinear(1, 1), 1, 10)
+	checkAllAlgorithms(t, ds, score.MustLinear(1, 1), 5, 0)
+}
+
+func TestHugeTauSaturates(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	ds := randDataset(rng, 120, 2, false)
+	s := randScorer(rng, 2)
+	// Tau near the int64 limit must not overflow window arithmetic.
+	checkAllAlgorithms(t, ds, s, 2, 1<<60)
+}
+
+func TestSparseTimeGaps(t *testing.T) {
+	// Huge gaps between arrivals: windows often contain a single record and
+	// sub-interval partitions are mostly empty.
+	rng := rand.New(rand.NewSource(79))
+	times := make([]int64, 80)
+	rows := make([][]float64, 80)
+	t0 := int64(0)
+	for i := range times {
+		t0 += 1 + rng.Int63n(1_000_000)
+		times[i] = t0
+		rows[i] = []float64{rng.Float64()}
+	}
+	ds := data.MustNew(times, rows)
+	checkAllAlgorithms(t, ds, score.MustLinear(1), 2, 500)
+	checkAllAlgorithms(t, ds, score.MustLinear(1), 2, 2_500_000)
+}
+
+// TestLargeAgreement cross-checks the algorithms against each other (with
+// T-Hop as reference) at a size where the brute-force oracle is too slow.
+func TestLargeAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large agreement test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(83))
+	ds := randDataset(rng, 30_000, 3, false)
+	eng := NewEngine(ds, Options{SkybandScanBudget: 2048})
+	lo, hi := ds.Span()
+	span := hi - lo
+	for _, k := range []int{1, 10} {
+		for _, tau := range []int64{span / 50, span / 5} {
+			s := randScorer(rng, 3)
+			q := Query{K: k, Tau: tau, Start: lo + span/4, End: hi, Scorer: s, Algorithm: THop}
+			ref, err := eng.DurableTopK(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, alg := range []Algorithm{TBase, SBase, SBand, SHop} {
+				q.Algorithm = alg
+				res, err := eng.DurableTopK(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(res.IDs(), ref.IDs()) {
+					t.Fatalf("k=%d tau=%d: %v disagrees with t-hop (%d vs %d records)",
+						k, tau, alg, len(res.Records), len(ref.Records))
+				}
+			}
+		}
+	}
+}

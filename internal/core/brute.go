@@ -1,0 +1,76 @@
+package core
+
+import (
+	"repro/internal/data"
+	"repro/internal/score"
+)
+
+// BruteForce evaluates DurTop(k, I, tau) directly from the definition (§II):
+// record p is tau-durable iff fewer than k records in its anchored window
+// score strictly higher. O(n·w) time; the reference oracle for tests and the
+// slowest baseline in the benchmarks. For mid-anchored windows pass General
+// and use BruteForceAnchored.
+func BruteForce(ds *data.Dataset, s score.Scorer, k int, tau, start, end int64, anchor Anchor) []int {
+	lead := int64(0)
+	if anchor == LookAhead {
+		lead = tau
+	}
+	return BruteForceAnchored(ds, s, k, tau, lead, start, end)
+}
+
+// BruteForceAnchored is BruteForce for the general anchor of §II: each
+// record p is assessed over the window [p.t - (tau - lead), p.t + lead].
+func BruteForceAnchored(ds *data.Dataset, s score.Scorer, k int, tau, lead, start, end int64) []int {
+	scores := make([]float64, ds.Len())
+	for i := range scores {
+		scores[i] = s.Score(ds.Attrs(i))
+	}
+	back := tau - lead
+	var res []int
+	lo, hi := ds.IndexRange(start, end)
+	for i := lo; i < hi; i++ {
+		t := ds.Time(i)
+		wlo, whi := ds.IndexRange(satSub(t, back), satAdd(t, lead))
+		higher := 0
+		for j := wlo; j < whi; j++ {
+			if scores[j] > scores[i] {
+				higher++
+				if higher >= k {
+					break
+				}
+			}
+		}
+		if higher < k {
+			res = append(res, i)
+		}
+	}
+	return res
+}
+
+// BruteMaxDuration computes the exact maximum durability of record id by a
+// linear backward (or forward, for LookAhead) scan; the oracle for
+// Engine.MaxDuration.
+func BruteMaxDuration(ds *data.Dataset, s score.Scorer, k int, id int, anchor Anchor) (int64, bool) {
+	base := s.Score(ds.Attrs(id))
+	higher := 0
+	if anchor == LookBack {
+		for j := id - 1; j >= 0; j-- {
+			if s.Score(ds.Attrs(j)) > base {
+				higher++
+				if higher == k {
+					return ds.Time(id) - ds.Time(j) - 1, false
+				}
+			}
+		}
+		return ds.Time(id) - ds.Time(0), true
+	}
+	for j := id + 1; j < ds.Len(); j++ {
+		if s.Score(ds.Attrs(j)) > base {
+			higher++
+			if higher == k {
+				return ds.Time(j) - ds.Time(id) - 1, false
+			}
+		}
+	}
+	return ds.Time(ds.Len()-1) - ds.Time(id), true
+}

@@ -1,0 +1,489 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/score"
+	"repro/internal/topk"
+)
+
+func mustEngine(t *testing.T, ds *data.Dataset) *Engine {
+	t.Helper()
+	return NewEngine(ds, Options{Index: topk.Options{LengthThreshold: 8}})
+}
+
+func TestQueryValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := randDataset(rng, 50, 2, false)
+	eng := mustEngine(t, ds)
+	s := score.MustLinear(1, 1)
+	base := Query{K: 1, Tau: 1, Start: 0, End: 100, Scorer: s}
+
+	q := base
+	q.K = 0
+	if _, err := eng.DurableTopK(q); !errors.Is(err, ErrBadK) {
+		t.Fatalf("k=0: %v", err)
+	}
+	q = base
+	q.Tau = -1
+	if _, err := eng.DurableTopK(q); !errors.Is(err, ErrBadTau) {
+		t.Fatalf("tau<0: %v", err)
+	}
+	q = base
+	q.Start, q.End = 10, 5
+	if _, err := eng.DurableTopK(q); !errors.Is(err, ErrBadInterval) {
+		t.Fatalf("inverted interval: %v", err)
+	}
+	q = base
+	q.Scorer = nil
+	if _, err := eng.DurableTopK(q); !errors.Is(err, ErrNoScorer) {
+		t.Fatalf("nil scorer: %v", err)
+	}
+	q = base
+	q.Scorer = score.MustLinear(1, 1, 1)
+	if _, err := eng.DurableTopK(q); !errors.Is(err, ErrDims) {
+		t.Fatalf("dims mismatch: %v", err)
+	}
+}
+
+func TestSBandRequiresMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ds := randDataset(rng, 50, 2, false)
+	eng := mustEngine(t, ds)
+	cos, err := score.NewCosine([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.DurableTopK(Query{K: 1, Tau: 1, Start: 0, End: 100, Scorer: cos, Algorithm: SBand})
+	if !errors.Is(err, ErrNotMonotone) {
+		t.Fatalf("cosine s-band: %v", err)
+	}
+	// Other algorithms accept non-monotone scorers and agree with the
+	// oracle.
+	lo, hi := ds.Span()
+	want := BruteForce(ds, cos, 2, 10, lo, hi, LookBack)
+	for _, alg := range []Algorithm{TBase, THop, SBase, SHop} {
+		res, err := eng.DurableTopK(Query{K: 2, Tau: 10, Start: lo, End: hi, Scorer: cos, Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.IDs()
+		if len(got) != len(want) {
+			t.Fatalf("%v: got %v want %v", alg, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%v: got %v want %v", alg, got, want)
+			}
+		}
+	}
+}
+
+func TestAutoPolicy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+
+	// Auto always resolves to a concrete strategy whose answer matches the
+	// oracle, regardless of dataset shape.
+	ds := randDataset(rng, 80, 1, false)
+	eng := mustEngine(t, ds)
+	lo, hi := ds.Span()
+	s1 := score.MustLinear(1)
+	res, err := eng.DurableTopK(Query{K: 2, Tau: 5, Start: lo, End: hi, Scorer: s1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Algorithm == Auto {
+		t.Fatal("Auto query reported Auto in its stats; expected a concrete strategy")
+	}
+	want := BruteForce(ds, s1, 2, 5, lo, hi, LookBack)
+	if got := res.IDs(); len(got) != len(want) {
+		t.Fatalf("Auto answer %v, oracle %v", got, want)
+	}
+
+	// A selective query over a sizable low-dimensional dataset: the planner
+	// must choose the paper's winner, T-Hop.
+	big := randDataset(rng, 20000, 2, false)
+	engBig := mustEngine(t, big)
+	blo, bhi := big.Span()
+	tau := (bhi - blo) / 5
+	res, err = engBig.DurableTopK(Query{K: 5, Tau: tau, Start: blo, End: bhi, Scorer: score.MustLinear(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Algorithm != THop {
+		t.Fatalf("Auto(selective, d=2, k=5) resolved to %v, want t-hop", res.Stats.Algorithm)
+	}
+
+	// Non-monotone scorers can never resolve to S-Band.
+	cos, err := score.NewCosine([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = engBig.DurableTopK(Query{K: 30, Tau: tau, Start: blo, End: bhi, Scorer: cos})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Algorithm == SBand {
+		t.Fatal("Auto picked S-Band for a non-monotone scorer")
+	}
+
+	// Mid-anchored windows exclude T-Base and S-Band.
+	res, err = engBig.DurableTopK(Query{
+		K: 3, Tau: tau, Lead: tau / 2, Start: blo, End: bhi,
+		Scorer: score.MustLinear(1, 1), Anchor: General,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := res.Stats.Algorithm; a == TBase || a == SBand {
+		t.Fatalf("Auto picked %v for a mid-anchored window", a)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ds := randDataset(rng, 5000, 2, false)
+	eng := mustEngine(t, ds)
+	lo, hi := ds.Span()
+	plan, err := eng.Explain(Query{
+		K: 5, Tau: (hi - lo) / 4, Start: lo, End: hi, Scorer: score.MustLinear(1, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Estimates) != 5 {
+		t.Fatalf("Explain returned %d estimates, want 5", len(plan.Estimates))
+	}
+	if plan.ExpectedAnswer <= 0 {
+		t.Errorf("ExpectedAnswer = %v, want > 0", plan.ExpectedAnswer)
+	}
+	// The chosen strategy matches what an Auto query actually runs.
+	res, err := eng.DurableTopK(Query{
+		K: 5, Tau: (hi - lo) / 4, Start: lo, End: hi, Scorer: score.MustLinear(1, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Algorithm != strategyAlgorithm(plan.Chosen) {
+		t.Errorf("Explain chose %v but Auto ran %v", plan.Chosen, res.Stats.Algorithm)
+	}
+	// Invalid queries are rejected.
+	if _, err := eng.Explain(Query{K: 0, Tau: 1, Start: lo, End: hi, Scorer: score.MustLinear(1, 1)}); err == nil {
+		t.Error("Explain accepted an invalid query")
+	}
+}
+
+func TestTauZeroEveryRecordDurable(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ds := randDataset(rng, 60, 2, false)
+	eng := mustEngine(t, ds)
+	lo, hi := ds.Span()
+	s := score.MustLinear(1, 2)
+	for _, alg := range Algorithms() {
+		res, err := eng.DurableTopK(Query{K: 1, Tau: 0, Start: lo, End: hi, Scorer: s, Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Records) != ds.Len() {
+			t.Fatalf("%v: tau=0 must return every record, got %d/%d", alg, len(res.Records), ds.Len())
+		}
+	}
+}
+
+func TestLargeKEveryRecordDurable(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds := randDataset(rng, 60, 2, false)
+	eng := mustEngine(t, ds)
+	lo, hi := ds.Span()
+	s := score.MustLinear(1, 2)
+	for _, alg := range Algorithms() {
+		res, err := eng.DurableTopK(Query{K: ds.Len() + 5, Tau: hi - lo, Start: lo, End: hi, Scorer: s, Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Records) != ds.Len() {
+			t.Fatalf("%v: k>n must return every record, got %d/%d", alg, len(res.Records), ds.Len())
+		}
+	}
+}
+
+func TestEmptyInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ds := randDataset(rng, 40, 1, false)
+	eng := mustEngine(t, ds)
+	_, hi := ds.Span()
+	s := score.MustLinear(1)
+	for _, alg := range Algorithms() {
+		res, err := eng.DurableTopK(Query{K: 1, Tau: 3, Start: hi + 10, End: hi + 20, Scorer: s, Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Records) != 0 {
+			t.Fatalf("%v: interval beyond data must be empty", alg)
+		}
+	}
+}
+
+// TestTauAntiMonotone: growing tau can only shrink the answer set.
+func TestTauAntiMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		ds := randDataset(rng, 150, 2, trial%2 == 0)
+		eng := mustEngine(t, ds)
+		lo, hi := ds.Span()
+		s := randScorer(rng, 2)
+		prev := map[int]bool{}
+		first := true
+		for _, tau := range []int64{0, 2, 5, 11, 29, 83, 1 << 20} {
+			res, err := eng.DurableTopK(Query{K: 3, Tau: tau, Start: lo, End: hi, Scorer: s, Algorithm: SHop})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur := map[int]bool{}
+			for _, r := range res.Records {
+				cur[r.ID] = true
+			}
+			if !first {
+				for id := range cur {
+					if !prev[id] {
+						t.Fatalf("trial %d tau=%d: record %d durable now but not at smaller tau", trial, tau, id)
+					}
+				}
+			}
+			prev, first = cur, false
+		}
+	}
+}
+
+func TestWithDurations(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 6; trial++ {
+		ds := randDataset(rng, 120, 2, trial%2 == 0)
+		eng := mustEngine(t, ds)
+		lo, hi := ds.Span()
+		s := randScorer(rng, 2)
+		anchor := LookBack
+		if trial%2 == 1 {
+			anchor = LookAhead
+		}
+		res, err := eng.DurableTopK(Query{
+			K: 2, Tau: 10, Start: lo, End: hi, Scorer: s,
+			Anchor: anchor, WithDurations: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res.Records {
+			wantDur, wantFull := BruteMaxDuration(ds, s, 2, r.ID, anchor)
+			if r.MaxDuration != wantDur || r.FullHistory != wantFull {
+				t.Fatalf("trial %d record %d: dur (%d,%v) want (%d,%v)",
+					trial, r.ID, r.MaxDuration, r.FullHistory, wantDur, wantFull)
+			}
+			// A record's measured durability is at least the queried tau
+			// unless truncated by the boundary of recorded history.
+			if r.MaxDuration < 10 && !r.FullHistory {
+				t.Fatalf("record %d: max duration %d below queried tau", r.ID, r.MaxDuration)
+			}
+		}
+	}
+}
+
+func TestResultRecordFields(t *testing.T) {
+	ds := data.MustNew([]int64{1, 2, 3}, [][]float64{{1}, {5}, {3}})
+	eng := mustEngine(t, ds)
+	s := score.MustLinear(2)
+	res, err := eng.DurableTopK(Query{K: 1, Tau: 2, Start: 1, End: 3, Scorer: s, Algorithm: THop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Records {
+		if r.Time != ds.Time(r.ID) {
+			t.Fatalf("record %d time mismatch", r.ID)
+		}
+		if r.Score != s.Score(ds.Attrs(r.ID)) {
+			t.Fatalf("record %d score mismatch", r.ID)
+		}
+		if r.MaxDuration != -1 {
+			t.Fatalf("MaxDuration must be -1 without WithDurations, got %d", r.MaxDuration)
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ds := randDataset(rng, 400, 2, false)
+	eng := mustEngine(t, ds)
+	lo, hi := ds.Span()
+	s := randScorer(rng, 2)
+	q := Query{K: 3, Tau: (hi - lo) / 8, Start: lo, End: hi, Scorer: s}
+
+	for _, alg := range Algorithms() {
+		q.Algorithm = alg
+		res, err := eng.DurableTopK(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := res.Stats
+		if st.Algorithm != alg {
+			t.Fatalf("stats algorithm %v want %v", st.Algorithm, alg)
+		}
+		if st.Elapsed <= 0 {
+			t.Fatalf("%v: elapsed not recorded", alg)
+		}
+		switch alg {
+		case SBase:
+			if st.TopKQueries() != 0 {
+				t.Fatalf("s-base must not call the building block, got %d", st.TopKQueries())
+			}
+			if st.CandidateCount == 0 {
+				t.Fatal("s-base must report its sorted-set size")
+			}
+		case THop:
+			if st.CheckQueries < len(res.Records) {
+				t.Fatalf("t-hop checks (%d) must cover every durable record (%d)",
+					st.CheckQueries, len(res.Records))
+			}
+		case SBand:
+			if st.CandidateCount < len(res.Records) {
+				t.Fatalf("s-band |C|=%d smaller than |S|=%d", st.CandidateCount, len(res.Records))
+			}
+		case SHop:
+			if st.FindQueries == 0 {
+				t.Fatal("s-hop must issue find queries")
+			}
+		}
+	}
+}
+
+// TestHopQueryBound checks Lemma 1/3's O(|S| + k ceil(|I|/tau)) shape with a
+// generous constant.
+func TestHopQueryBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 8; trial++ {
+		ds := randDataset(rng, 600, 2, false)
+		eng := mustEngine(t, ds)
+		lo, hi := ds.Span()
+		span := hi - lo
+		k := 1 + rng.Intn(5)
+		tau := 1 + rng.Int63n(span)
+		q := Query{K: k, Tau: tau, Start: lo, End: hi, Scorer: randScorer(rng, 2)}
+		bound := 0
+		for _, alg := range []Algorithm{THop, SHop} {
+			q.Algorithm = alg
+			res, err := eng.DurableTopK(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			intervals := int(span/tau) + 1
+			bound = 4 * (len(res.Records) + k*intervals + 1)
+			if got := res.Stats.TopKQueries(); got > bound {
+				t.Fatalf("trial %d %v: %d queries exceeds bound %d (|S|=%d k=%d |I|/tau=%d)",
+					trial, alg, got, bound, len(res.Records), k, intervals)
+			}
+		}
+	}
+}
+
+func TestAnswersSubsetOfInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ds := randDataset(rng, 200, 2, true)
+	eng := mustEngine(t, ds)
+	lo, hi := ds.Span()
+	start := lo + (hi-lo)/3
+	end := hi - (hi-lo)/3
+	s := randScorer(rng, 2)
+	for _, alg := range Algorithms() {
+		res, err := eng.DurableTopK(Query{K: 2, Tau: 7, Start: start, End: end, Scorer: s, Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res.Records {
+			if r.Time < start || r.Time > end {
+				t.Fatalf("%v returned record outside I: t=%d not in [%d,%d]", alg, r.Time, start, end)
+			}
+		}
+	}
+}
+
+func TestResultsAscendingAndUnique(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 6; trial++ {
+		ds := randDataset(rng, 300, 2, true)
+		eng := mustEngine(t, ds)
+		lo, hi := ds.Span()
+		s := randScorer(rng, 2)
+		for _, alg := range Algorithms() {
+			for _, anchor := range []Anchor{LookBack, LookAhead} {
+				res, err := eng.DurableTopK(Query{K: 2, Tau: 15, Start: lo, End: hi, Scorer: s, Algorithm: alg, Anchor: anchor})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 1; i < len(res.Records); i++ {
+					if res.Records[i].Time <= res.Records[i-1].Time {
+						t.Fatalf("%v/%v: results not strictly ascending in time", alg, anchor)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAlgorithmStrings(t *testing.T) {
+	for _, alg := range Algorithms() {
+		name := alg.String()
+		back, err := ParseAlgorithm(name)
+		if err != nil || back != alg {
+			t.Fatalf("round trip %v -> %q -> %v (%v)", alg, name, back, err)
+		}
+	}
+	if _, err := ParseAlgorithm("nope"); err == nil {
+		t.Fatal("unknown algorithm must fail")
+	}
+	if Algorithm(99).String() == "" {
+		t.Fatal("unknown algorithm must still format")
+	}
+	if Auto.String() != "auto" {
+		t.Fatal("auto name")
+	}
+	if LookBack.String() == LookAhead.String() {
+		t.Fatal("anchor names must differ")
+	}
+}
+
+func TestPrepareSkybandIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	ds := randDataset(rng, 100, 2, false)
+	eng := mustEngine(t, ds)
+	eng.PrepareSkyband(5, LookBack)
+	eng.PrepareSkyband(5, LookBack)
+	eng.PrepareSkyband(5, LookAhead)
+	lo, hi := ds.Span()
+	s := randScorer(rng, 2)
+	res, err := eng.DurableTopK(Query{K: 5, Tau: 9, Start: lo, End: hi, Scorer: s, Algorithm: SBand})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BruteForce(ds, s, 5, 9, lo, hi, LookBack)
+	if len(res.Records) != len(want) {
+		t.Fatalf("after prepare: %d results want %d", len(res.Records), len(want))
+	}
+}
+
+func TestSatArithmetic(t *testing.T) {
+	const big = int64(1) << 62
+	if satSub(-big, big) > 0 {
+		t.Fatal("satSub underflow not clamped")
+	}
+	if satAdd(big, big) < 0 {
+		t.Fatal("satAdd overflow not clamped")
+	}
+	if satSub(10, 3) != 7 || satAdd(10, 3) != 13 {
+		t.Fatal("sat arithmetic broke ordinary values")
+	}
+	if satSub(10, -3) != 13 || satAdd(10, -3) != 7 {
+		t.Fatal("sat arithmetic broke negative operands")
+	}
+}

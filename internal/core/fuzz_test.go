@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/score"
+	"repro/internal/topk"
+)
+
+// FuzzDurableTopK feeds arbitrary byte strings as (timestamps gaps, scores,
+// parameters) and cross-checks T-Hop, S-Base and S-Hop against the
+// brute-force oracle. Run `go test -fuzz FuzzDurableTopK ./internal/core`
+// for continuous fuzzing; the seed corpus below runs as a normal test.
+func FuzzDurableTopK(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5}, uint8(1), uint8(5))
+	f.Add([]byte{9, 9, 9, 9, 0, 0, 0}, uint8(2), uint8(1))
+	f.Add([]byte{0, 255, 0, 255, 7, 7, 7, 7, 7}, uint8(3), uint8(30))
+	f.Add([]byte{255}, uint8(1), uint8(0))
+	f.Fuzz(func(t *testing.T, raw []byte, kRaw, tauRaw uint8) {
+		if len(raw) == 0 || len(raw) > 512 {
+			t.Skip()
+		}
+		// Decode bytes: low nibble = time gap (1..4), high nibble = score.
+		b := data.NewBuilder(1, len(raw))
+		tt := int64(0)
+		for _, by := range raw {
+			tt += int64(by&3) + 1
+			if err := b.Append(tt, []float64{float64(by >> 4)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ds, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := int(kRaw%8) + 1
+		tau := int64(tauRaw)
+		lo, hi := ds.Span()
+		s := score.MustLinear(1)
+		want := BruteForce(ds, s, k, tau, lo, hi, LookBack)
+		eng := NewEngine(ds, Options{Index: topk.Options{LengthThreshold: 4}})
+		for _, alg := range []Algorithm{THop, SBase, SHop} {
+			res, err := eng.DurableTopK(Query{K: k, Tau: tau, Start: lo, End: hi, Scorer: s, Algorithm: alg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.IDs()
+			if len(got) != len(want) {
+				t.Fatalf("%v: %d records want %d (k=%d tau=%d n=%d)", alg, len(got), len(want), k, tau, ds.Len())
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%v: got %v want %v", alg, got, want)
+				}
+			}
+		}
+	})
+}

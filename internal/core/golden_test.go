@@ -1,0 +1,133 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/score"
+	"repro/internal/topk"
+)
+
+// TestGoldenFig2TimeHop encodes the paper's Figure 2 walkthrough: after the
+// durability check of the newest record fails, T-Hop jumps directly to the
+// most recent member of the window's top-3, skipping the low-score records
+// in between without checking them.
+func TestGoldenFig2TimeHop(t *testing.T) {
+	// times:   1   2   3   4   5   6   7   8
+	// scores:  5  90  80  85  10  11  12  20
+	ds := data.MustNew(
+		[]int64{1, 2, 3, 4, 5, 6, 7, 8},
+		[][]float64{{5}, {90}, {80}, {85}, {10}, {11}, {12}, {20}},
+	)
+	eng := NewEngine(ds, Options{Index: topk.Options{LengthThreshold: 2}})
+	s := score.MustLinear(1)
+	res, err := eng.DurableTopK(Query{K: 3, Tau: 7, Start: 1, End: 8, Scorer: s, Algorithm: THop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Records 5..7 (scores 10,11,12) and 8 (20) each face three higher
+	// scores in their windows; the first four records are durable.
+	if want := []int{0, 1, 2, 3}; !reflect.DeepEqual(res.IDs(), want) {
+		t.Fatalf("answer %v want %v", res.IDs(), want)
+	}
+	// One failed check at t=8 hops straight to t=4; then four successful
+	// checks walk the prefix. Exactly 5 checks for 8 records in I.
+	if res.Stats.CheckQueries != 5 {
+		t.Fatalf("t-hop issued %d checks, the Figure-2 walk needs exactly 5", res.Stats.CheckQueries)
+	}
+	if res.Stats.Visited != 5 {
+		t.Fatalf("t-hop visited %d records, want 5 (three skipped by the hop)", res.Stats.Visited)
+	}
+}
+
+// TestGoldenFig3Blocking encodes Figure 3: after processing three high-score
+// records, the time region covered by all three blocking intervals cannot
+// contain any tau-durable top-3 record, while a region covered by only two
+// still can.
+func TestGoldenFig3Blocking(t *testing.T) {
+	// p2@5 (90), p3@8 (80), p1@10 (100) block [l, l+10] each.
+	// victim@12 lies in all three intervals; w@18 lies in two (p1's, p3's).
+	ds := data.MustNew(
+		[]int64{5, 8, 10, 12, 18},
+		[][]float64{{90}, {80}, {100}, {50}, {50}},
+	)
+	eng := NewEngine(ds, Options{Index: topk.Options{LengthThreshold: 1}})
+	s := score.MustLinear(1)
+	for _, alg := range Algorithms() {
+		res, err := eng.DurableTopK(Query{K: 3, Tau: 10, Start: 1, End: 20, Scorer: s, Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Durable: the three tops and w (two blockers in its window);
+		// not durable: victim@12 (three blockers cover it).
+		if want := []int{0, 1, 2, 4}; !reflect.DeepEqual(res.IDs(), want) {
+			t.Fatalf("%v: answer %v want %v", alg, res.IDs(), want)
+		}
+	}
+}
+
+// TestGoldenFig5SBandDiscovery encodes Figure 5: records outside the durable
+// k-skyband candidate set can still outrank candidates; S-Band discovers
+// them through the durability-check query and converts them into blocking
+// intervals, keeping the answer exact.
+func TestGoldenFig5SBandDiscovery(t *testing.T) {
+	// 2-d records; preference (1, 1). p_b1/p_b2 are quickly dominated (out
+	// of the candidate set for large tau) yet outrank the later candidate
+	// under the scorer.
+	ds := data.MustNew(
+		[]int64{1, 2, 3, 9, 14},
+		[][]float64{
+			{10, 10}, // p1: dominates everything early, certainly in C
+			{9, 9},   // p_b1: dominated by p1 immediately -> tiny skyband duration
+			{8, 9},   // p_b2: dominated immediately as well
+			{6, 6},   // p4: candidate (nothing dominates it within recent window)
+			{7, 5},   // p5: candidate
+		},
+	)
+	eng := NewEngine(ds, Options{Index: topk.Options{LengthThreshold: 1}})
+	s := score.MustLinear(1, 1)
+	q := Query{K: 1, Tau: 8, Start: 1, End: 14, Scorer: s, Algorithm: SBand}
+	res, err := eng.DurableTopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BruteForce(ds, s, 1, 8, 1, 14, LookBack)
+	if !reflect.DeepEqual(res.IDs(), want) {
+		t.Fatalf("s-band answer %v want %v", res.IDs(), want)
+	}
+	// The candidate index must have pruned the immediately-dominated
+	// records: |C| < n.
+	if res.Stats.CandidateCount >= ds.Len() {
+		t.Fatalf("|C|=%d, expected pruning below n=%d", res.Stats.CandidateCount, ds.Len())
+	}
+}
+
+// TestGoldenExampleI1 recreates the shape of Example I.1: a record whose
+// absolute value is unimpressive is still durable top-1 because its era was
+// weak — the insight the paper's introduction leads with (Duncan's 27
+// rebounds, 2002-2010).
+func TestGoldenExampleI1WeakEra(t *testing.T) {
+	// Strong era (scores ~30+), weak era (scores < 28), strong again.
+	times := []int64{1, 2, 3, 10, 11, 12, 20, 21}
+	vals := [][]float64{{34}, {35}, {33}, {26}, {27}, {25}, {31}, {30}}
+	ds := data.MustNew(times, vals)
+	eng := NewEngine(ds, Options{Index: topk.Options{LengthThreshold: 1}})
+	s := score.MustLinear(1)
+	res, err := eng.DurableTopK(Query{K: 1, Tau: 5, Start: 1, End: 21, Scorer: s, Algorithm: SHop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[int]bool{}
+	for _, r := range res.Records {
+		ids[r.ID] = true
+	}
+	// Record 4 scores only 27 yet is the best of its 5-tick lookback.
+	if !ids[4] {
+		t.Fatalf("the weak-era champion (id 4, score 27) must be durable; got %v", res.IDs())
+	}
+	// Record 7 (score 30) is shadowed by record 6 (31) in its window.
+	if ids[7] {
+		t.Fatal("id 7 is shadowed by id 6 within tau and must not be durable")
+	}
+}

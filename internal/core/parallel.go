@@ -1,0 +1,100 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// DurableTopKParallel evaluates DurTop(k, I, tau) by splitting the query
+// interval into `workers` contiguous time chunks processed concurrently and
+// concatenating the per-chunk answers. The split is exact — a record's
+// durability depends only on its own anchored window, never on which chunk
+// of I it falls into — so results are identical to DurableTopK.
+//
+// workers <= 0 selects GOMAXPROCS. Per-chunk statistics are summed; the hop
+// algorithms pay a small extra cost per chunk boundary (one window
+// re-anchoring), so total building-block calls can exceed the sequential
+// run's by O(k · workers).
+func (e *Engine) DurableTopKParallel(q Query, workers int) (*Result, error) {
+	if err := q.validate(e.fwd.ds.Dims()); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Resolve Auto once so every chunk runs the same strategy (per-chunk
+	// planner inputs would differ slightly and could diverge).
+	q.Algorithm = e.resolveAlgorithm(&q)
+	span := q.End - q.Start
+	if workers == 1 || span < int64(workers) {
+		return e.DurableTopK(q)
+	}
+	if q.Algorithm == SBand {
+		// Materialize the shared ladder level up front so concurrent chunks
+		// don't serialize on its lazy construction.
+		e.PrepareSkyband(q.K, q.Anchor)
+	}
+
+	startAt := time.Now()
+	chunk := span/int64(workers) + 1
+	type part struct {
+		res *Result
+		err error
+	}
+	parts := make([]part, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := q.Start + int64(w)*chunk
+		hi := lo + chunk - 1
+		if hi > q.End || w == workers-1 {
+			hi = q.End
+		}
+		if lo > q.End {
+			break
+		}
+		wg.Add(1)
+		go func(w int, lo, hi int64) {
+			defer wg.Done()
+			sub := q
+			sub.Start, sub.End = lo, hi
+			sub.WithDurations = false // durations are filled once, below
+			parts[w].res, parts[w].err = e.DurableTopK(sub)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	out := &Result{Stats: Stats{Algorithm: q.Algorithm}}
+	for _, p := range parts {
+		if p.err != nil {
+			return nil, p.err
+		}
+		if p.res == nil {
+			continue
+		}
+		out.Records = append(out.Records, p.res.Records...)
+		out.Stats.CheckQueries += p.res.Stats.CheckQueries
+		out.Stats.FindQueries += p.res.Stats.FindQueries
+		out.Stats.MaintQueries += p.res.Stats.MaintQueries
+		out.Stats.CandidateCount += p.res.Stats.CandidateCount
+		out.Stats.Visited += p.res.Stats.Visited
+	}
+	if q.WithDurations {
+		v := &e.fwd
+		if q.Anchor == LookAhead {
+			v = e.reversed()
+		}
+		n := e.fwd.ds.Len()
+		for i := range out.Records {
+			mirrored := int32(out.Records[i].ID)
+			if q.Anchor == LookAhead {
+				mirrored = int32(n - 1 - out.Records[i].ID)
+			}
+			dur, full := maxDuration(v, &out.Stats, q.Scorer, q.K, mirrored)
+			out.Records[i].MaxDuration = dur
+			out.Records[i].FullHistory = full
+		}
+	}
+	out.Stats.Elapsed = time.Since(startAt)
+	return out, nil
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	for trial := 0; trial < 12; trial++ {
+		n := 100 + rng.Intn(500)
+		d := 1 + rng.Intn(3)
+		ds := randDataset(rng, n, d, trial%2 == 0)
+		eng := NewEngine(ds, Options{})
+		lo, hi := ds.Span()
+		span := hi - lo
+		s := randScorer(rng, d)
+		k := 1 + rng.Intn(4)
+		tau := rng.Int63n(span + 1)
+		anchor := LookBack
+		if trial%3 == 0 {
+			anchor = LookAhead
+		}
+		for _, alg := range Algorithms() {
+			q := Query{K: k, Tau: tau, Start: lo, End: hi, Scorer: s, Algorithm: alg, Anchor: anchor}
+			seq, err := eng.DurableTopK(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 3, 7} {
+				par, err := eng.DurableTopKParallel(q, workers)
+				if err != nil {
+					t.Fatalf("trial %d %v workers=%d: %v", trial, alg, workers, err)
+				}
+				if !reflect.DeepEqual(par.IDs(), seq.IDs()) {
+					t.Fatalf("trial %d %v workers=%d anchor=%v: parallel %v sequential %v",
+						trial, alg, workers, anchor, par.IDs(), seq.IDs())
+				}
+			}
+		}
+	}
+}
+
+func TestParallelWithDurations(t *testing.T) {
+	rng := rand.New(rand.NewSource(152))
+	ds := randDataset(rng, 300, 2, false)
+	eng := NewEngine(ds, Options{})
+	lo, hi := ds.Span()
+	s := randScorer(rng, 2)
+	q := Query{K: 2, Tau: 25, Start: lo, End: hi, Scorer: s, WithDurations: true}
+	res, err := eng.DurableTopKParallel(q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Records {
+		wantDur, wantFull := BruteMaxDuration(ds, s, 2, r.ID, LookBack)
+		if r.MaxDuration != wantDur || r.FullHistory != wantFull {
+			t.Fatalf("record %d: (%d,%v) want (%d,%v)", r.ID, r.MaxDuration, r.FullHistory, wantDur, wantFull)
+		}
+	}
+}
+
+func TestParallelValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(153))
+	ds := randDataset(rng, 50, 2, false)
+	eng := NewEngine(ds, Options{})
+	if _, err := eng.DurableTopKParallel(Query{K: 0, Scorer: randScorer(rng, 2)}, 4); err == nil {
+		t.Fatal("invalid query must fail before spawning workers")
+	}
+}
+
+func TestParallelDefaultWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(154))
+	ds := randDataset(rng, 200, 2, false)
+	eng := NewEngine(ds, Options{})
+	lo, hi := ds.Span()
+	s := randScorer(rng, 2)
+	q := Query{K: 2, Tau: 20, Start: lo, End: hi, Scorer: s}
+	res, err := eng.DurableTopKParallel(q, 0) // GOMAXPROCS
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := eng.DurableTopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.IDs(), seq.IDs()) {
+		t.Fatal("default worker count must match sequential answer")
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/blocking"
+	"repro/internal/score"
+)
+
+// DurabilityRecord reports how long one record remained in the top-k of its
+// anchored window (§II's "maximum duration", computed in bulk).
+type DurabilityRecord struct {
+	ID       int
+	Time     int64
+	Score    float64
+	Duration int64
+	// FullHistory marks records that stayed top-k across all recorded
+	// history on their window side; Duration is then truncated at the
+	// dataset boundary.
+	FullHistory bool
+}
+
+// DurabilityProfile computes, for every record, the maximum tau for which it
+// is in the top-k under the scorer, in a single O(n log n) sweep: records
+// are processed in descending (score, time) order, and each record's k-th
+// most recent strictly-higher-scoring predecessor is located with one
+// order-statistic query over the already-processed arrival times. Results
+// are in ascending time order.
+//
+// The sweep is the bulk counterpart of Engine.MaxDuration (binary search per
+// record) and powers "most durable records of all time" reports.
+func (e *Engine) DurabilityProfile(k int, s score.Scorer, anchor Anchor) ([]DurabilityRecord, error) {
+	if k < 1 {
+		return nil, ErrBadK
+	}
+	if s == nil {
+		return nil, ErrNoScorer
+	}
+	if s.Dims() != e.fwd.ds.Dims() {
+		return nil, ErrDims
+	}
+	v := &e.fwd
+	if anchor == LookAhead {
+		v = e.reversed()
+	}
+	ds := v.ds
+	n := ds.Len()
+	refs := make([]scoredRef, n)
+	for i := 0; i < n; i++ {
+		refs[i] = scoredRef{id: int32(i), time: ds.Time(i), score: s.Score(ds.Attrs(i))}
+	}
+	sortScoredDesc(refs)
+
+	firstTime := ds.Time(0)
+	out := make([]DurabilityRecord, n)
+	// times holds the arrival times of strictly-higher-scoring records; a
+	// zero-length "interval" set is a plain order-statistic multiset.
+	times := blocking.NewSet(0)
+	for gs := 0; gs < n; {
+		// Records with equal scores neither bound each other's durability,
+		// so resolve the whole tie group before inserting any member.
+		ge := gs
+		for ge < n && refs[ge].score == refs[gs].score {
+			ge++
+		}
+		for _, p := range refs[gs:ge] {
+			rec := DurabilityRecord{ID: int(p.id), Time: p.time, Score: p.score}
+			if tk, ok := times.KthLargestLE(p.time, k); ok {
+				rec.Duration = p.time - tk - 1
+			} else {
+				rec.Duration = p.time - firstTime
+				rec.FullHistory = true
+			}
+			out[p.id] = rec
+		}
+		for _, p := range refs[gs:ge] {
+			times.Add(p.time)
+		}
+		gs = ge
+	}
+	if anchor == LookAhead {
+		// Map mirrored ids/times back and restore ascending original time.
+		mapped := make([]DurabilityRecord, n)
+		for i := range out {
+			r := out[i]
+			orig := n - 1 - r.ID
+			r.ID = orig
+			r.Time = e.fwd.ds.Time(orig)
+			mapped[orig] = r
+		}
+		out = mapped
+	}
+	return out, nil
+}
+
+// MostDurable returns the top-n records by durability under the scorer:
+// records that were top-k over their entire recorded history rank first
+// (longest span first), then finite durations descending, ties broken by
+// recency. This is the "records that stood the test of time" report of the
+// paper's introduction.
+func (e *Engine) MostDurable(k int, s score.Scorer, anchor Anchor, n int) ([]DurabilityRecord, error) {
+	profile, err := e.DurabilityProfile(k, s, anchor)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(profile, func(i, j int) bool {
+		a, b := profile[i], profile[j]
+		if a.FullHistory != b.FullHistory {
+			return a.FullHistory
+		}
+		if a.Duration != b.Duration {
+			return a.Duration > b.Duration
+		}
+		return a.Time > b.Time
+	})
+	if n > 0 && n < len(profile) {
+		profile = profile[:n]
+	}
+	return profile, nil
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/score"
+	"repro/internal/topk"
+)
+
+func TestDurabilityProfileMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + rng.Intn(400)
+		d := 1 + rng.Intn(3)
+		ds := randDataset(rng, n, d, trial%2 == 0)
+		eng := NewEngine(ds, Options{Index: topk.Options{LengthThreshold: 8}})
+		s := randScorer(rng, d)
+		k := 1 + rng.Intn(5)
+		anchor := LookBack
+		if trial%3 == 0 {
+			anchor = LookAhead
+		}
+		profile, err := eng.DurabilityProfile(k, s, anchor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(profile) != n {
+			t.Fatalf("profile size %d want %d", len(profile), n)
+		}
+		for i, rec := range profile {
+			if rec.ID != i || rec.Time != ds.Time(i) {
+				t.Fatalf("trial %d: profile[%d] misordered: %+v", trial, i, rec)
+			}
+			wantDur, wantFull := BruteMaxDuration(ds, s, k, i, anchor)
+			if rec.Duration != wantDur || rec.FullHistory != wantFull {
+				t.Fatalf("trial %d anchor=%v k=%d record %d: got (%d,%v) want (%d,%v)",
+					trial, anchor, k, i, rec.Duration, rec.FullHistory, wantDur, wantFull)
+			}
+		}
+	}
+}
+
+func TestDurabilityProfileValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	ds := randDataset(rng, 20, 2, false)
+	eng := NewEngine(ds, Options{})
+	if _, err := eng.DurabilityProfile(0, score.MustLinear(1, 1), LookBack); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+	if _, err := eng.DurabilityProfile(1, nil, LookBack); err == nil {
+		t.Fatal("nil scorer must fail")
+	}
+	if _, err := eng.DurabilityProfile(1, score.MustLinear(1), LookBack); err == nil {
+		t.Fatal("dims mismatch must fail")
+	}
+}
+
+func TestMostDurableOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	ds := randDataset(rng, 300, 2, false)
+	eng := NewEngine(ds, Options{})
+	s := randScorer(rng, 2)
+	top, err := eng.MostDurable(2, s, LookBack, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 10 {
+		t.Fatalf("MostDurable returned %d records", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		a, b := top[i-1], top[i]
+		if !a.FullHistory && b.FullHistory {
+			t.Fatal("full-history records must rank first")
+		}
+		if a.FullHistory == b.FullHistory && a.Duration < b.Duration {
+			t.Fatal("durations must descend")
+		}
+	}
+	// n=0 returns the whole profile.
+	all, err := eng.MostDurable(2, s, LookBack, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != ds.Len() {
+		t.Fatalf("n=0 must return all records, got %d", len(all))
+	}
+}
+
+// TestProfileConsistentWithDurTop cross-checks the two durability paths: a
+// record is in DurTop(k, I, tau) exactly when its profile duration is >= tau
+// (or its window is truncated by history).
+func TestProfileConsistentWithDurTop(t *testing.T) {
+	rng := rand.New(rand.NewSource(124))
+	for trial := 0; trial < 8; trial++ {
+		ds := randDataset(rng, 250, 2, trial%2 == 0)
+		eng := NewEngine(ds, Options{})
+		s := randScorer(rng, 2)
+		k := 1 + rng.Intn(4)
+		lo, hi := ds.Span()
+		tau := 1 + rng.Int63n(ds.TimeSpan())
+		profile, err := eng.DurabilityProfile(k, s, LookBack)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.DurableTopK(Query{K: k, Tau: tau, Start: lo, End: hi, Scorer: s, Algorithm: THop})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inAnswer := map[int]bool{}
+		for _, r := range res.Records {
+			inAnswer[r.ID] = true
+		}
+		for _, rec := range profile {
+			wantDurable := rec.Duration >= tau || rec.FullHistory
+			if wantDurable != inAnswer[rec.ID] {
+				t.Fatalf("trial %d k=%d tau=%d record %d: profile dur=%d full=%v but durable=%v",
+					trial, k, tau, rec.ID, rec.Duration, rec.FullHistory, inAnswer[rec.ID])
+			}
+		}
+	}
+}
+
+func BenchmarkDurabilityProfile50k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ds := randDataset(rng, 50_000, 2, false)
+	eng := NewEngine(ds, Options{})
+	s := score.MustLinear(0.4, 0.6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.DurabilityProfile(10, s, LookBack); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

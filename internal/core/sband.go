@@ -1,0 +1,59 @@
+package core
+
+import (
+	"repro/internal/blocking"
+	"repro/internal/skyband"
+)
+
+// runSBand is the Score-Band algorithm (§IV-B, Algorithm 2): retrieve a
+// candidate superset C from the durable k-skyband index (a 3-sided priority
+// search tree query I x [tau, +inf)), sort C by score, and sweep with the
+// blocking mechanism. Unlike S-Base, records outside C can still outrank
+// candidates, so a candidate covered by fewer than k blocking intervals
+// needs a durability-check query; the check's top-k set also reveals the
+// missing high-score blockers (Fig. 5). Monotone scorers only.
+func runSBand(v *view, ladder *skyband.Ladder, q Query, st *Stats) []int32 {
+	ds := v.ds
+	cands := ladder.Candidates(q.K, q.Start, q.End, q.Tau)
+	st.CandidateCount = len(cands)
+	if len(cands) == 0 {
+		return nil
+	}
+	refs := make([]scoredRef, len(cands))
+	for i, id := range cands {
+		refs[i] = scoredRef{
+			id:    id,
+			time:  ds.Time(int(id)),
+			score: q.Scorer.Score(ds.Attrs(int(id))),
+		}
+	}
+	sortScoredDesc(refs)
+
+	blk := blocking.NewSet(q.Tau)
+	visited := make(map[int32]bool, len(refs)*2)
+	var res []int32
+	for _, p := range refs {
+		st.Visited++
+		if blk.Cover(p.time) < q.K {
+			items := v.topk(st, kindCheck, q.Scorer, q.K, satSub(p.time, q.Tau), p.time)
+			if v.member(q.Scorer, q.K, items, p.id) {
+				res = append(res, p.id)
+			} else {
+				// Every returned record outranks p; make the discovered
+				// blockers visible to future candidates.
+				for _, it := range items {
+					if !visited[it.ID] {
+						visited[it.ID] = true
+						blk.Add(it.Time)
+					}
+				}
+			}
+		}
+		if !visited[p.id] {
+			visited[p.id] = true
+			blk.Add(p.time)
+		}
+	}
+	sortIDs(res)
+	return res
+}

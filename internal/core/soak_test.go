@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/topk"
+)
+
+// TestSoakOracleAgreement is the long randomized cross-check: hundreds of
+// (dataset, query) configurations spanning tie-heavy domains, both anchors,
+// degenerate parameters and all five algorithms, verified against the
+// brute-force oracle. Skipped under -short.
+func TestSoakOracleAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(424242))
+	for trial := 0; trial < 250; trial++ {
+		n := 1 + rng.Intn(500)
+		d := 1 + rng.Intn(5)
+		ties := trial%2 == 0
+		ds := randDataset(rng, n, d, ties)
+		eng := NewEngine(ds, Options{
+			Index:             topk.Options{LengthThreshold: 1 << uint(rng.Intn(6)), MaxNodeSkyline: []int{-1, 4, 64}[rng.Intn(3)]},
+			SkybandScanBudget: []int{0, 16, 4096}[rng.Intn(3)],
+		})
+		lo, hi := ds.Span()
+		span := hi - lo
+		for q := 0; q < 3; q++ {
+			k := 1 + rng.Intn(12)
+			tau := rng.Int63n(span + 2)
+			start := lo - 5 + rng.Int63n(span+10)
+			end := start + rng.Int63n(span+10)
+			if start > end {
+				start, end = end, start
+			}
+			anchor := Anchor(rng.Intn(2))
+			s := randScorer(rng, d)
+			wantIDs := BruteForce(ds, s, k, tau, start, end, anchor)
+			for _, alg := range Algorithms() {
+				res, err := eng.DurableTopK(Query{
+					K: k, Tau: tau, Start: start, End: end,
+					Scorer: s, Algorithm: alg, Anchor: anchor,
+				})
+				if err != nil {
+					t.Fatalf("trial %d %v: %v", trial, alg, err)
+				}
+				got := res.IDs()
+				if len(got) == 0 && len(wantIDs) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, wantIDs) {
+					t.Fatalf("soak trial %d alg=%v anchor=%v n=%d d=%d k=%d tau=%d I=[%d,%d] ties=%v:\n got %v\nwant %v",
+						trial, alg, anchor, n, d, k, tau, start, end, ties, got, wantIDs)
+				}
+			}
+		}
+	}
+}

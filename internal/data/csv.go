@@ -1,0 +1,78 @@
+package data
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ReadCSV parses a dataset from CSV with header "time,attr0,attr1,...".
+// The header row is required; records must appear in strictly increasing
+// time order.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("data: reading CSV header: %w", err)
+	}
+	if len(header) < 2 || header[0] != "time" {
+		return nil, fmt.Errorf("data: CSV header must be \"time,attr0,...\", got %q", header)
+	}
+	d := len(header) - 1
+	b := NewBuilder(d, 0)
+	attrs := make([]float64, d)
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("data: reading CSV line %d: %w", line, err)
+		}
+		if len(row) != d+1 {
+			return nil, fmt.Errorf("data: CSV line %d has %d fields, want %d", line, len(row), d+1)
+		}
+		t, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("data: CSV line %d time: %w", line, err)
+		}
+		for j := 0; j < d; j++ {
+			v, err := strconv.ParseFloat(row[j+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("data: CSV line %d attr %d: %w", line, j, err)
+			}
+			attrs[j] = v
+		}
+		if err := b.Append(t, attrs); err != nil {
+			return nil, fmt.Errorf("data: CSV line %d: %w", line, err)
+		}
+	}
+	return b.Build()
+}
+
+// WriteCSV writes the dataset in the format accepted by ReadCSV.
+func WriteCSV(w io.Writer, ds *Dataset) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, ds.Dims()+1)
+	header[0] = "time"
+	for j := 0; j < ds.Dims(); j++ {
+		header[j+1] = "attr" + strconv.Itoa(j)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, ds.Dims()+1)
+	for i := 0; i < ds.Len(); i++ {
+		row[0] = strconv.FormatInt(ds.Time(i), 10)
+		for j, v := range ds.Attrs(i) {
+			row[j+1] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,237 @@
+// Package data provides the core temporal dataset abstraction shared by all
+// durable top-k algorithms and substrates.
+//
+// A Dataset is an immutable sequence of instant-stamped records ordered by
+// strictly increasing arrival time. Each record carries a d-dimensional
+// real-valued attribute vector; ranking is performed by a user-specified
+// scoring function over those attributes (see package score).
+//
+// Timestamps are int64 ticks at granularity 1: a window of length tau
+// anchored at time t covers the closed range [t-tau, t].
+package data
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Common validation errors returned by constructors.
+var (
+	ErrEmpty          = errors.New("data: dataset must contain at least one record")
+	ErrDimMismatch    = errors.New("data: all records must have the same dimensionality")
+	ErrNotIncreasing  = errors.New("data: arrival times must be strictly increasing")
+	ErrLengthMismatch = errors.New("data: times and attribute rows must have equal length")
+)
+
+// Record is a lightweight view of one record of a Dataset. The Attrs slice
+// aliases the dataset's storage and must not be modified.
+type Record struct {
+	ID    int       // position in arrival order, 0-based
+	Time  int64     // arrival time (instant stamp)
+	Attrs []float64 // d attribute values
+}
+
+// Dataset is an immutable, time-ordered collection of instant-stamped
+// records. The zero value is not usable; construct with New or a Builder.
+type Dataset struct {
+	times []int64
+	// attrs holds one row per record; all rows share a single backing array
+	// when built through New or Builder, keeping allocation count low.
+	attrs [][]float64
+	dims  int
+}
+
+// New validates and wraps the given parallel slices into a Dataset. The
+// slices are retained (not copied); callers must not modify them afterwards.
+// Times must be strictly increasing and every attribute row must have the
+// same length (at least 1).
+func New(times []int64, attrs [][]float64) (*Dataset, error) {
+	if len(times) == 0 {
+		return nil, ErrEmpty
+	}
+	if len(times) != len(attrs) {
+		return nil, ErrLengthMismatch
+	}
+	d := len(attrs[0])
+	if d == 0 {
+		return nil, ErrDimMismatch
+	}
+	for i, row := range attrs {
+		if len(row) != d {
+			return nil, fmt.Errorf("%w: row %d has %d attrs, want %d", ErrDimMismatch, i, len(row), d)
+		}
+		if i > 0 && times[i] <= times[i-1] {
+			return nil, fmt.Errorf("%w: times[%d]=%d, times[%d]=%d", ErrNotIncreasing, i-1, times[i-1], i, times[i])
+		}
+	}
+	return &Dataset{times: times, attrs: attrs, dims: d}, nil
+}
+
+// MustNew is like New but panics on error. Intended for tests and generators
+// whose inputs are correct by construction.
+func MustNew(times []int64, attrs [][]float64) *Dataset {
+	ds, err := New(times, attrs)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// Len returns the number of records.
+func (ds *Dataset) Len() int { return len(ds.times) }
+
+// Dims returns the attribute dimensionality d.
+func (ds *Dataset) Dims() int { return ds.dims }
+
+// Time returns the arrival time of record i.
+func (ds *Dataset) Time(i int) int64 { return ds.times[i] }
+
+// Attrs returns the attribute vector of record i. The returned slice aliases
+// internal storage and must not be modified.
+func (ds *Dataset) Attrs(i int) []float64 { return ds.attrs[i] }
+
+// Record returns a view of record i.
+func (ds *Dataset) Record(i int) Record {
+	return Record{ID: i, Time: ds.times[i], Attrs: ds.attrs[i]}
+}
+
+// Span returns the arrival times of the first and last records.
+func (ds *Dataset) Span() (lo, hi int64) {
+	return ds.times[0], ds.times[len(ds.times)-1]
+}
+
+// TimeSpan returns hi-lo, the length of the covered time range.
+func (ds *Dataset) TimeSpan() int64 {
+	lo, hi := ds.Span()
+	return hi - lo
+}
+
+// LowerBound returns the smallest record index i with Time(i) >= t,
+// or Len() if no such record exists.
+func (ds *Dataset) LowerBound(t int64) int {
+	return sort.Search(len(ds.times), func(i int) bool { return ds.times[i] >= t })
+}
+
+// UpperBound returns the smallest record index i with Time(i) > t,
+// or Len() if no such record exists.
+func (ds *Dataset) UpperBound(t int64) int {
+	return sort.Search(len(ds.times), func(i int) bool { return ds.times[i] > t })
+}
+
+// IndexRange returns the half-open index range [lo, hi) of records whose
+// arrival time lies in the closed time window [t1, t2]. The range is empty
+// (lo == hi) when no record falls inside the window.
+func (ds *Dataset) IndexRange(t1, t2 int64) (lo, hi int) {
+	return ds.LowerBound(t1), ds.UpperBound(t2)
+}
+
+// At returns the index of the record arriving exactly at time t, or -1.
+func (ds *Dataset) At(t int64) int {
+	i := ds.LowerBound(t)
+	if i < len(ds.times) && ds.times[i] == t {
+		return i
+	}
+	return -1
+}
+
+// Prefix returns a dataset view over the first n records, sharing storage.
+func (ds *Dataset) Prefix(n int) *Dataset {
+	if n <= 0 || n > ds.Len() {
+		n = ds.Len()
+	}
+	return &Dataset{times: ds.times[:n], attrs: ds.attrs[:n], dims: ds.dims}
+}
+
+// Project returns a new dataset restricted to the given attribute dimensions
+// (in the given order). Attribute storage is copied; times are shared.
+func (ds *Dataset) Project(dims []int) (*Dataset, error) {
+	if len(dims) == 0 {
+		return nil, ErrDimMismatch
+	}
+	for _, d := range dims {
+		if d < 0 || d >= ds.dims {
+			return nil, fmt.Errorf("data: projection dimension %d out of range [0,%d)", d, ds.dims)
+		}
+	}
+	n, d := ds.Len(), len(dims)
+	backing := make([]float64, n*d)
+	rows := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := backing[i*d : (i+1)*d : (i+1)*d]
+		src := ds.attrs[i]
+		for j, dim := range dims {
+			row[j] = src[dim]
+		}
+		rows[i] = row
+	}
+	return &Dataset{times: ds.times, attrs: rows, dims: d}, nil
+}
+
+// Reversed returns the time-mirrored dataset: record i of the result is
+// record n-1-i of the original, stamped with the negated original time.
+// Reversing maps "looking-ahead" durability windows onto the "looking-back"
+// machinery: a window [p.t, p.t+tau] in the original becomes [q.t-tau, q.t]
+// for the mirrored record q. Attribute rows are shared with the original.
+func (ds *Dataset) Reversed() *Dataset {
+	n := ds.Len()
+	times := make([]int64, n)
+	attrs := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		j := n - 1 - i
+		times[i] = -ds.times[j]
+		attrs[i] = ds.attrs[j]
+	}
+	return &Dataset{times: times, attrs: attrs, dims: ds.dims}
+}
+
+// Builder incrementally assembles a Dataset in arrival order.
+type Builder struct {
+	times []int64
+	flat  []float64
+	dims  int
+}
+
+// NewBuilder returns a builder for records with d attributes. The capacity
+// hint pre-sizes internal storage and may be zero.
+func NewBuilder(d, capacity int) *Builder {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Builder{
+		times: make([]int64, 0, capacity),
+		flat:  make([]float64, 0, capacity*d),
+		dims:  d,
+	}
+}
+
+// Len returns the number of records appended so far.
+func (b *Builder) Len() int { return len(b.times) }
+
+// Append adds one record. Times must be strictly increasing across calls and
+// attrs must have exactly d values; attrs is copied.
+func (b *Builder) Append(t int64, attrs []float64) error {
+	if len(attrs) != b.dims {
+		return fmt.Errorf("%w: got %d attrs, want %d", ErrDimMismatch, len(attrs), b.dims)
+	}
+	if n := len(b.times); n > 0 && t <= b.times[n-1] {
+		return fmt.Errorf("%w: appending t=%d after t=%d", ErrNotIncreasing, t, b.times[len(b.times)-1])
+	}
+	b.times = append(b.times, t)
+	b.flat = append(b.flat, attrs...)
+	return nil
+}
+
+// Build finalizes the builder into a Dataset. The builder must not be used
+// afterwards.
+func (b *Builder) Build() (*Dataset, error) {
+	if len(b.times) == 0 {
+		return nil, ErrEmpty
+	}
+	n, d := len(b.times), b.dims
+	rows := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		rows[i] = b.flat[i*d : (i+1)*d : (i+1)*d]
+	}
+	return &Dataset{times: b.times, attrs: rows, dims: d}, nil
+}

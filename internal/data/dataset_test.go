@@ -1,0 +1,283 @@
+package data
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func small(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := New(
+		[]int64{1, 3, 4, 8, 10},
+		[][]float64{{1, 0}, {2, 1}, {3, 2}, {4, 3}, {5, 4}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := New([]int64{1}, [][]float64{{1}, {2}}); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("length mismatch: %v", err)
+	}
+	if _, err := New([]int64{1, 2}, [][]float64{{1}, {1, 2}}); !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("dim mismatch: %v", err)
+	}
+	if _, err := New([]int64{2, 2}, [][]float64{{1}, {2}}); !errors.Is(err, ErrNotIncreasing) {
+		t.Fatalf("equal times: %v", err)
+	}
+	if _, err := New([]int64{2, 1}, [][]float64{{1}, {2}}); !errors.Is(err, ErrNotIncreasing) {
+		t.Fatalf("decreasing times: %v", err)
+	}
+	if _, err := New([]int64{1}, [][]float64{{}}); !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("zero dims: %v", err)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	ds := small(t)
+	if ds.Len() != 5 || ds.Dims() != 2 {
+		t.Fatalf("Len=%d Dims=%d", ds.Len(), ds.Dims())
+	}
+	if lo, hi := ds.Span(); lo != 1 || hi != 10 {
+		t.Fatalf("Span=(%d,%d)", lo, hi)
+	}
+	if ds.TimeSpan() != 9 {
+		t.Fatalf("TimeSpan=%d", ds.TimeSpan())
+	}
+	r := ds.Record(2)
+	if r.ID != 2 || r.Time != 4 || r.Attrs[0] != 3 {
+		t.Fatalf("Record(2)=%+v", r)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	ds := small(t) // times 1 3 4 8 10
+	cases := []struct {
+		t     int64
+		lower int
+		upper int
+	}{
+		{0, 0, 0}, {1, 0, 1}, {2, 1, 1}, {3, 1, 2}, {4, 2, 3},
+		{5, 3, 3}, {8, 3, 4}, {9, 4, 4}, {10, 4, 5}, {11, 5, 5},
+	}
+	for _, c := range cases {
+		if got := ds.LowerBound(c.t); got != c.lower {
+			t.Errorf("LowerBound(%d)=%d want %d", c.t, got, c.lower)
+		}
+		if got := ds.UpperBound(c.t); got != c.upper {
+			t.Errorf("UpperBound(%d)=%d want %d", c.t, got, c.upper)
+		}
+	}
+	if lo, hi := ds.IndexRange(3, 8); lo != 1 || hi != 4 {
+		t.Fatalf("IndexRange(3,8)=(%d,%d)", lo, hi)
+	}
+	if lo, hi := ds.IndexRange(5, 2); lo >= hi {
+		// inverted/empty windows yield empty ranges
+	} else {
+		t.Fatalf("IndexRange(5,2)=(%d,%d) not empty", lo, hi)
+	}
+	if ds.At(4) != 2 || ds.At(5) != -1 {
+		t.Fatalf("At: %d %d", ds.At(4), ds.At(5))
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	ds := small(t)
+	p := ds.Prefix(3)
+	if p.Len() != 3 || p.Time(2) != 4 {
+		t.Fatalf("Prefix(3): len=%d", p.Len())
+	}
+	if ds.Prefix(0).Len() != ds.Len() || ds.Prefix(99).Len() != ds.Len() {
+		t.Fatal("out-of-range prefix must return the full dataset")
+	}
+}
+
+func TestProject(t *testing.T) {
+	ds := small(t)
+	p, err := ds.Project([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dims() != 1 || p.Attrs(3)[0] != 3 {
+		t.Fatalf("Project: dims=%d attrs=%v", p.Dims(), p.Attrs(3))
+	}
+	// Projection must copy: mutating the projection cannot touch the parent.
+	p.Attrs(0)[0] = 42
+	if ds.Attrs(0)[1] == 42 {
+		t.Fatal("projection aliased parent storage")
+	}
+	if _, err := ds.Project([]int{2}); err == nil {
+		t.Fatal("out-of-range dim must fail")
+	}
+	if _, err := ds.Project(nil); err == nil {
+		t.Fatal("empty projection must fail")
+	}
+	// Re-ordering projection.
+	swapped, err := ds.Project([]int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swapped.Attrs(2)[0] != 2 || swapped.Attrs(2)[1] != 3 {
+		t.Fatalf("swapped projection: %v", swapped.Attrs(2))
+	}
+}
+
+func TestReversed(t *testing.T) {
+	ds := small(t)
+	rev := ds.Reversed()
+	if rev.Len() != ds.Len() {
+		t.Fatal("reversed length mismatch")
+	}
+	for i := 0; i < ds.Len(); i++ {
+		j := ds.Len() - 1 - i
+		if rev.Time(i) != -ds.Time(j) {
+			t.Fatalf("rev.Time(%d)=%d want %d", i, rev.Time(i), -ds.Time(j))
+		}
+		if &rev.Attrs(i)[0] != &ds.Attrs(j)[0] {
+			t.Fatal("reversed must share attribute rows")
+		}
+	}
+	// Double reversal restores times.
+	back := rev.Reversed()
+	for i := 0; i < ds.Len(); i++ {
+		if back.Time(i) != ds.Time(i) {
+			t.Fatal("double reversal must restore times")
+		}
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	b := NewBuilder(2, 4)
+	if err := b.Append(1, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append(1, []float64{3, 4}); !errors.Is(err, ErrNotIncreasing) {
+		t.Fatalf("duplicate time: %v", err)
+	}
+	if err := b.Append(2, []float64{3}); !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("dim mismatch: %v", err)
+	}
+	if err := b.Append(2, []float64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len=%d", b.Len())
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2 || ds.Attrs(1)[1] != 4 {
+		t.Fatalf("built dataset wrong: %v", ds.Attrs(1))
+	}
+	if _, err := NewBuilder(1, 0).Build(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty build: %v", err)
+	}
+}
+
+func TestBuilderCopiesAttrs(t *testing.T) {
+	b := NewBuilder(1, 0)
+	row := []float64{7}
+	if err := b.Append(1, row); err != nil {
+		t.Fatal(err)
+	}
+	row[0] = 8
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Attrs(0)[0] != 7 {
+		t.Fatal("builder must copy attribute rows")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := small(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ds.Len() || back.Dims() != ds.Dims() {
+		t.Fatalf("round trip: %d/%d", back.Len(), back.Dims())
+	}
+	for i := 0; i < ds.Len(); i++ {
+		if back.Time(i) != ds.Time(i) {
+			t.Fatalf("time %d mismatch", i)
+		}
+		for j := 0; j < ds.Dims(); j++ {
+			if back.Attrs(i)[j] != ds.Attrs(i)[j] {
+				t.Fatalf("attr %d/%d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestCSVRoundTripQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder(3, int(n)+1)
+		tt := int64(0)
+		for i := 0; i <= int(n); i++ {
+			tt += int64(1 + rng.Intn(3))
+			if err := b.Append(tt, []float64{rng.NormFloat64(), rng.Float64() * 1e9, float64(rng.Intn(10))}); err != nil {
+				return false
+			}
+		}
+		ds, err := b.Build()
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, ds); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < ds.Len(); i++ {
+			if back.Time(i) != ds.Time(i) {
+				return false
+			}
+			for j := 0; j < 3; j++ {
+				if back.Attrs(i)[j] != ds.Attrs(i)[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSVMalformed(t *testing.T) {
+	cases := []string{
+		"",                         // no header
+		"x,attr0\n1,2\n",           // bad header
+		"time\n1\n",                // no attrs
+		"time,attr0\nabc,2\n",      // bad time
+		"time,attr0\n1,xyz\n",      // bad attr
+		"time,attr0\n2,1\n1,1\n",   // decreasing
+		"time,attr0\n1,1\n2,1,9\n", // ragged row
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: malformed CSV accepted", i)
+		}
+	}
+}

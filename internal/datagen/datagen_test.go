@@ -1,0 +1,270 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := IND(7, 500, 3)
+	b := IND(7, 500, 3)
+	c := IND(8, 500, 3)
+	if a.Len() != 500 || b.Len() != 500 {
+		t.Fatal("wrong sizes")
+	}
+	for i := 0; i < a.Len(); i++ {
+		for j := 0; j < 3; j++ {
+			if a.Attrs(i)[j] != b.Attrs(i)[j] {
+				t.Fatal("same seed must reproduce identical data")
+			}
+		}
+	}
+	same := true
+	for i := 0; i < a.Len() && same; i++ {
+		for j := 0; j < 3; j++ {
+			if a.Attrs(i)[j] != c.Attrs(i)[j] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestINDRange(t *testing.T) {
+	ds := IND(1, 2000, 4)
+	for i := 0; i < ds.Len(); i++ {
+		for _, v := range ds.Attrs(i) {
+			if v < 0 || v >= 1 {
+				t.Fatalf("IND value %v outside [0,1)", v)
+			}
+		}
+	}
+}
+
+func TestANTIAnnulus(t *testing.T) {
+	for _, d := range []int{2, 3, 5} {
+		ds := ANTI(2, 1000, d)
+		for i := 0; i < ds.Len(); i++ {
+			var norm float64
+			for _, v := range ds.Attrs(i) {
+				if v < 0 {
+					t.Fatalf("ANTI value %v negative", v)
+				}
+				norm += v * v
+			}
+			r := math.Sqrt(norm)
+			if r < 0.8-1e-9 || r > 1+1e-9 {
+				t.Fatalf("ANTI radius %v outside [0.8,1]", r)
+			}
+		}
+	}
+}
+
+func TestRPMIsPermutation(t *testing.T) {
+	n := 3000
+	ds := RPM(3, n)
+	seen := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		seen = append(seen, ds.Attrs(i)[0])
+	}
+	sort.Float64s(seen)
+	for i := 0; i < n; i++ {
+		if seen[i] != float64(i+1) {
+			t.Fatalf("RPM scores are not a permutation of 1..n at rank %d: %v", i, seen[i])
+		}
+	}
+}
+
+func TestNBAConsistency(t *testing.T) {
+	ds := NBA(5, 20_000)
+	if ds.Dims() != NBAAttrCount {
+		t.Fatalf("Dims=%d want %d", ds.Dims(), NBAAttrCount)
+	}
+	if len(NBAAttrNames) != NBAAttrCount {
+		t.Fatal("attr name list out of sync")
+	}
+	for i := 0; i < ds.Len(); i++ {
+		row := ds.Attrs(i)
+		for j, v := range row {
+			if v < 0 || v != math.Trunc(v) {
+				t.Fatalf("record %d attr %s = %v not a non-negative integer", i, NBAAttrNames[j], v)
+			}
+		}
+		if row[NBAReb] != row[NBAOReb]+row[NBADReb] {
+			t.Fatalf("record %d: reb %v != oreb %v + dreb %v", i, row[NBAReb], row[NBAOReb], row[NBADReb])
+		}
+		if row[NBAPoints] != 2*row[NBAFGM]+row[NBAThreePM]+row[NBAFTM] {
+			t.Fatalf("record %d: points identity broken", i)
+		}
+		if row[NBAThreePA] > row[NBAFGA] {
+			t.Fatalf("record %d: 3PA %v > FGA %v", i, row[NBAThreePA], row[NBAFGA])
+		}
+	}
+}
+
+func TestNBAThreePointEraTrend(t *testing.T) {
+	ds := NBA(11, 60_000)
+	n := ds.Len()
+	early, late := 0.0, 0.0
+	for i := 0; i < n/4; i++ {
+		early += ds.Attrs(i)[NBAThreePA]
+	}
+	for i := 3 * n / 4; i < n; i++ {
+		late += ds.Attrs(i)[NBAThreePA]
+	}
+	if late < 2*early {
+		t.Fatalf("three-point volume must rise strongly over eras: early=%v late=%v", early, late)
+	}
+}
+
+func TestNBASubsets(t *testing.T) {
+	for name, dims := range NBASubsets {
+		ds, err := NBASubset(name, 1, 5000)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ds.Dims() != len(dims) {
+			t.Fatalf("%s: dims=%d want %d", name, ds.Dims(), len(dims))
+		}
+	}
+	if _, err := NBASubset("nba-99", 1, 100); err == nil {
+		t.Fatal("unknown subset must fail")
+	}
+}
+
+func TestNBARandomProjection(t *testing.T) {
+	full := NBA(1, 5000)
+	proj, dims, err := NBARandomProjection(full, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Dims() != 5 || len(dims) != 5 {
+		t.Fatalf("projection dims=%d", proj.Dims())
+	}
+	seen := map[int]bool{}
+	for _, d := range dims {
+		if seen[d] {
+			t.Fatal("projection dims must be distinct")
+		}
+		seen[d] = true
+	}
+}
+
+func TestNetworkNormalized(t *testing.T) {
+	ds := Network(1, 10_000, 12)
+	if ds.Dims() != 12 {
+		t.Fatalf("Dims=%d", ds.Dims())
+	}
+	for j := 0; j < ds.Dims(); j++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < ds.Len(); i++ {
+			v := ds.Attrs(i)[j]
+			if v < -1e-12 || v > 1+1e-12 {
+				t.Fatalf("column %d value %v outside [0,1]", j, v)
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if lo > 1e-9 || hi < 1-1e-9 {
+			t.Fatalf("column %d not MinMax-normalized: [%v,%v]", j, lo, hi)
+		}
+	}
+}
+
+func TestNetworkDimClamp(t *testing.T) {
+	if got := Network(1, 100, 99).Dims(); got != NetworkMaxDims {
+		t.Fatalf("dims clamp high: %d", got)
+	}
+	if got := Network(1, 100, 0).Dims(); got != 1 {
+		t.Fatalf("dims clamp low: %d", got)
+	}
+}
+
+func TestStocks(t *testing.T) {
+	ds := Stocks(1, 10, 50)
+	if ds.Len() != 500 || ds.Dims() != 3 {
+		t.Fatalf("Stocks: len=%d dims=%d", ds.Len(), ds.Dims())
+	}
+	for i := 0; i < ds.Len(); i++ {
+		if ds.Attrs(i)[0] <= 0 {
+			t.Fatalf("P/E must stay positive, got %v", ds.Attrs(i)[0])
+		}
+	}
+}
+
+func TestDistributionHelpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Poisson mean approximates lambda for both code paths.
+	for _, lambda := range []float64{3, 80} {
+		sum := 0.0
+		for i := 0; i < 5000; i++ {
+			sum += float64(poisson(rng, lambda))
+		}
+		mean := sum / 5000
+		if math.Abs(mean-lambda) > lambda*0.1 {
+			t.Fatalf("poisson(%v) mean=%v", lambda, mean)
+		}
+	}
+	if poisson(rng, 0) != 0 {
+		t.Fatal("poisson(0) must be 0")
+	}
+	// Binomial bounds and mean, both code paths.
+	for _, n := range []int{20, 500} {
+		sum := 0
+		for i := 0; i < 3000; i++ {
+			v := binomial(rng, n, 0.3)
+			if v < 0 || v > n {
+				t.Fatalf("binomial out of range: %d", v)
+			}
+			sum += v
+		}
+		mean := float64(sum) / 3000
+		want := float64(n) * 0.3
+		if math.Abs(mean-want) > want*0.1 {
+			t.Fatalf("binomial(%d,0.3) mean=%v want %v", n, mean, want)
+		}
+	}
+	if binomial(rng, 10, 0) != 0 || binomial(rng, 10, 1) != 10 {
+		t.Fatal("binomial edge probabilities")
+	}
+	// Pareto respects the scale floor.
+	for i := 0; i < 1000; i++ {
+		if v := pareto(rng, 2, 1.5); v < 2 {
+			t.Fatalf("pareto below scale: %v", v)
+		}
+	}
+	if v := lognormal(rng, 0, 0.5); v <= 0 {
+		t.Fatalf("lognormal must be positive: %v", v)
+	}
+}
+
+func TestWeather(t *testing.T) {
+	days := 3652
+	ds := Weather(3, days)
+	if ds.Len() != days || ds.Dims() != 1 {
+		t.Fatalf("Weather: len=%d dims=%d", ds.Len(), ds.Dims())
+	}
+	// Seasonal cycle: mid-year (day ~182) should be warmer than new year
+	// (day ~1) on average across years.
+	var winter, summer float64
+	years := days / 365
+	for y := 0; y < years; y++ {
+		winter += ds.Attrs(y * 365)[0]
+		summer += ds.Attrs(y*365 + 182)[0]
+	}
+	if summer/float64(years) < winter/float64(years)+10 {
+		t.Fatalf("seasonal cycle missing: winter %.1f summer %.1f", winter/float64(years), summer/float64(years))
+	}
+	// Values stay in a plausible band.
+	for i := 0; i < ds.Len(); i++ {
+		v := ds.Attrs(i)[0]
+		if v < -60 || v > 45 {
+			t.Fatalf("day %d temperature %v out of band", i, v)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Package datagen synthesizes the workloads of the paper's evaluation
+// (§VI-A, Table II): the Syn IND/ANTI distributions (identical definitions),
+// NBA-like and KDD-Cup-99-like datasets (substitutes for the unavailable
+// real data; see DESIGN.md §2), the random-permutation-model data of the
+// expected-complexity analysis (§V), and a stock-quote stream for the
+// finance example.
+//
+// All generators are deterministic in their seed.
+package datagen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// poisson draws from Poisson(lambda) by inversion for small lambda and a
+// rounded normal approximation for large lambda.
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		l := math.Exp(-lambda)
+		k, p := 0, 1.0
+		for {
+			p *= rng.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	v := lambda + math.Sqrt(lambda)*rng.NormFloat64()
+	if v < 0 {
+		return 0
+	}
+	return int(math.Round(v))
+}
+
+// binomial draws from Binomial(n, p); exact for small n, normal approximation
+// for large n.
+func binomial(rng *rand.Rand, n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if n <= 64 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if rng.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	mu := float64(n) * p
+	sd := math.Sqrt(mu * (1 - p))
+	v := int(math.Round(mu + sd*rng.NormFloat64()))
+	if v < 0 {
+		return 0
+	}
+	if v > n {
+		return n
+	}
+	return v
+}
+
+// lognormal draws exp(N(mu, sigma)).
+func lognormal(rng *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*rng.NormFloat64())
+}
+
+// pareto draws from a Pareto distribution with scale xm and shape alpha.
+func pareto(rng *rand.Rand, xm, alpha float64) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}

@@ -1,0 +1,83 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/data"
+)
+
+// IND generates the paper's independent synthetic distribution: n records
+// with d attributes drawn uniformly from the unit hypercube, one record per
+// time tick.
+func IND(seed int64, n, d int) *data.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := data.NewBuilder(d, n)
+	row := make([]float64, d)
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		mustAppend(b, int64(i+1), row)
+	}
+	return mustBuild(b)
+}
+
+// ANTI generates the paper's anti-correlated distribution: points drawn from
+// the positive orthant of an annulus centred at the origin with inner radius
+// 0.8 and outer radius 1 (Fig. 7). Most points are mutually non-dominating,
+// inflating every k-skyband. Generalizes to d dimensions by sampling a
+// uniform direction in the positive orthant and a radius in [0.8, 1].
+func ANTI(seed int64, n, d int) *data.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := data.NewBuilder(d, n)
+	row := make([]float64, d)
+	for i := 0; i < n; i++ {
+		var norm float64
+		for {
+			norm = 0
+			for j := range row {
+				row[j] = math.Abs(rng.NormFloat64())
+				norm += row[j] * row[j]
+			}
+			if norm > 0 {
+				break
+			}
+		}
+		norm = math.Sqrt(norm)
+		r := 0.8 + 0.2*rng.Float64()
+		for j := range row {
+			row[j] = row[j] / norm * r
+		}
+		mustAppend(b, int64(i+1), row)
+	}
+	return mustBuild(b)
+}
+
+// RPM generates data under the random permutation model of §V-A: an
+// adversary fixes n distinct scores (here x_i = i+1, only ranks matter) and
+// the scores are assigned to arrival slots in uniformly random order. One
+// attribute; one record per tick.
+func RPM(seed int64, n int) *data.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	b := data.NewBuilder(1, n)
+	for i := 0; i < n; i++ {
+		mustAppend(b, int64(i+1), []float64{float64(perm[i] + 1)})
+	}
+	return mustBuild(b)
+}
+
+func mustAppend(b *data.Builder, t int64, row []float64) {
+	if err := b.Append(t, row); err != nil {
+		panic(err)
+	}
+}
+
+func mustBuild(b *data.Builder) *data.Dataset {
+	ds, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}

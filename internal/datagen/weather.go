@@ -1,0 +1,37 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/data"
+)
+
+// Weather synthesizes `days` daily minimum temperatures (one record per
+// day-tick, single attribute, degrees Celsius): a seasonal cycle, a slow
+// warming trend, AR(1) weather noise, and occasional multi-day cold waves.
+// Ranking by the negated temperature turns "coldest temperatures of the past
+// 20 years" (the paper's introduction example) into a durable top-k query.
+func Weather(seed int64, days int) *data.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := data.NewBuilder(1, days)
+	ar := 0.0
+	coldWave := 0
+	coldDepth := 0.0
+	for day := 0; day < days; day++ {
+		seasonal := -12 * math.Cos(2*math.Pi*float64(day)/365.25)
+		trend := 0.00005 * float64(day) // slow warming
+		ar = 0.75*ar + rng.NormFloat64()*2.5
+		temp := 4 + seasonal + trend + ar
+		if coldWave == 0 && rng.Float64() < 0.002 {
+			coldWave = 2 + rng.Intn(6)
+			coldDepth = 6 + rng.Float64()*14
+		}
+		if coldWave > 0 {
+			temp -= coldDepth
+			coldWave--
+		}
+		mustAppend(b, int64(day+1), []float64{math.Round(temp*10) / 10})
+	}
+	return mustBuild(b)
+}

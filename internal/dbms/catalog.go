@@ -1,0 +1,225 @@
+package dbms
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/pagestore"
+)
+
+// The catalog persists everything needed to reopen a database: table schema
+// and page metadata, and the summary index root and node locations. It lives
+// in a chain of raw pages starting at page 0 (reserved at Load time):
+//
+//	bytes 0..3   magic "DTKC"
+//	bytes 4..7   next catalog page id (0 = end of chain)
+//	bytes 8..11  payload bytes in this page
+//	bytes 12..   payload fragment
+//
+// The concatenated payload is a little-endian stream:
+//
+//	u16 version | u16 dims | u64 record count | i64 lastTime
+//	u32 nMeta   | nMeta x { u32 page, i64 minT, i64 maxT, u32 slots }
+//	i32 indexRoot
+//	u32 nLoc    | nLoc x { u32 page, u16 slot }
+const (
+	catalogMagic   = "DTKC"
+	catalogVersion = 1
+	catalogHeader  = 12
+)
+
+// ErrBadCatalog reports a missing or corrupt catalog page.
+var ErrBadCatalog = errors.New("dbms: bad catalog")
+
+func encodeCatalog(db *DB) []byte {
+	meta := db.Table.Meta()
+	locs := db.Index.Locations()
+	buf := make([]byte, 0, 24+24*len(meta)+8+6*len(locs))
+	p64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+	p32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
+	p16 := func(v uint16) { buf = binary.LittleEndian.AppendUint16(buf, v) }
+
+	p16(catalogVersion)
+	p16(uint16(db.Table.Dims()))
+	p64(uint64(db.Table.Len()))
+	p64(uint64(db.Table.LastTime()))
+	p32(uint32(len(meta)))
+	for _, m := range meta {
+		p32(uint32(m.ID))
+		p64(uint64(m.MinTime))
+		p64(uint64(m.MaxTime))
+		p32(uint32(m.NumSlots))
+	}
+	p32(uint32(db.Index.Root()))
+	p32(uint32(len(locs)))
+	for _, l := range locs {
+		p32(uint32(l.Page))
+		p16(l.Slot)
+	}
+	return buf
+}
+
+type decodedCatalog struct {
+	dims     int
+	count    int
+	lastTime int64
+	meta     []pagestore.PageMeta
+	root     int32
+	locs     []pagestore.NodeLoc
+}
+
+func decodeCatalog(b []byte) (*decodedCatalog, error) {
+	off := 0
+	need := func(n int) error {
+		if off+n > len(b) {
+			return fmt.Errorf("%w: truncated payload at %d", ErrBadCatalog, off)
+		}
+		return nil
+	}
+	g64 := func() uint64 { v := binary.LittleEndian.Uint64(b[off:]); off += 8; return v }
+	g32 := func() uint32 { v := binary.LittleEndian.Uint32(b[off:]); off += 4; return v }
+	g16 := func() uint16 { v := binary.LittleEndian.Uint16(b[off:]); off += 2; return v }
+
+	if err := need(24); err != nil {
+		return nil, err
+	}
+	if v := g16(); v != catalogVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadCatalog, v)
+	}
+	c := &decodedCatalog{}
+	c.dims = int(g16())
+	c.count = int(g64())
+	c.lastTime = int64(g64())
+	nMeta := int(g32())
+	if err := need(nMeta*24 + 8); err != nil {
+		return nil, err
+	}
+	c.meta = make([]pagestore.PageMeta, nMeta)
+	for i := range c.meta {
+		c.meta[i] = pagestore.PageMeta{
+			ID:      pagestore.PageID(g32()),
+			MinTime: int64(g64()),
+			MaxTime: int64(g64()),
+		}
+		c.meta[i].NumSlots = int(g32())
+	}
+	c.root = int32(g32())
+	nLoc := int(g32())
+	if err := need(nLoc * 6); err != nil {
+		return nil, err
+	}
+	c.locs = make([]pagestore.NodeLoc, nLoc)
+	for i := range c.locs {
+		c.locs[i] = pagestore.NodeLoc{Page: pagestore.PageID(g32()), Slot: g16()}
+	}
+	return c, nil
+}
+
+// writeCatalog stores the payload in a chain starting at catalogPage.
+func writeCatalog(pool *pagestore.BufferPool, catalogPage pagestore.PageID, payload []byte) error {
+	pid := catalogPage
+	for first := true; first || len(payload) > 0; first = false {
+		f, err := pool.Fetch(pid)
+		if err != nil {
+			return err
+		}
+		chunk := len(payload)
+		if max := pagestore.PageSize - catalogHeader; chunk > max {
+			chunk = max
+		}
+		copy(f.Data[:4], catalogMagic)
+		binary.LittleEndian.PutUint32(f.Data[8:], uint32(chunk))
+		copy(f.Data[catalogHeader:], payload[:chunk])
+		payload = payload[chunk:]
+		var next pagestore.PageID
+		if len(payload) > 0 {
+			nf, err := pool.Alloc()
+			if err != nil {
+				pool.Unpin(f, true)
+				return err
+			}
+			next = nf.ID
+			pool.Unpin(nf, true)
+		}
+		binary.LittleEndian.PutUint32(f.Data[4:], uint32(next))
+		pool.Unpin(f, true)
+		if next == 0 {
+			break
+		}
+		pid = next
+	}
+	return nil
+}
+
+// readCatalog loads and concatenates the catalog chain starting at page 0.
+func readCatalog(pool *pagestore.BufferPool) ([]byte, error) {
+	var payload []byte
+	pid := pagestore.PageID(0)
+	for {
+		f, err := pool.Fetch(pid)
+		if err != nil {
+			return nil, err
+		}
+		if string(f.Data[:4]) != catalogMagic {
+			pool.Unpin(f, false)
+			return nil, fmt.Errorf("%w: magic mismatch on page %d", ErrBadCatalog, pid)
+		}
+		next := pagestore.PageID(binary.LittleEndian.Uint32(f.Data[4:]))
+		n := int(binary.LittleEndian.Uint32(f.Data[8:]))
+		if n > pagestore.PageSize-catalogHeader {
+			pool.Unpin(f, false)
+			return nil, fmt.Errorf("%w: bad fragment size %d", ErrBadCatalog, n)
+		}
+		payload = append(payload, f.Data[catalogHeader:catalogHeader+n]...)
+		pool.Unpin(f, false)
+		if next == 0 {
+			return payload, nil
+		}
+		pid = next
+	}
+}
+
+// Save persists the catalog so a file-backed database can be reopened with
+// Open. All dirty pages are flushed.
+func (db *DB) Save() error {
+	if err := writeCatalog(db.Pool, db.catalogPage, encodeCatalog(db)); err != nil {
+		return err
+	}
+	return db.Pool.FlushAll()
+}
+
+// Open reopens a database previously created with Load(FilePath:...) and
+// Save.
+func Open(path string, poolPages int) (*DB, error) {
+	if poolPages == 0 {
+		poolPages = 256
+	}
+	backing, err := pagestore.OpenFileBacking(path)
+	if err != nil {
+		return nil, err
+	}
+	pool := pagestore.NewBufferPool(backing, poolPages)
+	payload, err := readCatalog(pool)
+	if err != nil {
+		backing.Close()
+		return nil, err
+	}
+	cat, err := decodeCatalog(payload)
+	if err != nil {
+		backing.Close()
+		return nil, err
+	}
+	table, err := pagestore.RestoreTable(pool, cat.dims, cat.meta, cat.count, cat.lastTime)
+	if err != nil {
+		backing.Close()
+		return nil, err
+	}
+	idx := pagestore.RestoreSummaryIndex(pool, table, cat.root, cat.locs)
+	db := &DB{Pool: pool, Table: table, Index: idx, backing: backing}
+	if len(cat.meta) > 0 {
+		db.minTime = cat.meta[0].MinTime
+		db.maxTime = cat.meta[len(cat.meta)-1].MaxTime
+	}
+	return db, nil
+}

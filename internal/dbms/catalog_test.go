@@ -1,0 +1,169 @@
+package dbms
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/pagestore"
+	"repro/internal/score"
+)
+
+func TestSaveOpenRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	ds := randDS(rng, 12_000, 3, 0)
+	path := filepath.Join(t.TempDir(), "durable.db")
+
+	db, err := Load(ds, Options{PoolPages: 32, FilePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := score.MustLinear(0.2, 0.5, 0.3)
+	lo, hi := ds.Span()
+	span := hi - lo
+	tau := span / 8
+	start := hi - span/2
+
+	wantHop, _, err := db.DurableTHop(s, 5, tau, start, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Table.Len() != ds.Len() || re.Table.Dims() != ds.Dims() {
+		t.Fatalf("reopened table: len=%d dims=%d", re.Table.Len(), re.Table.Dims())
+	}
+	if rlo, rhi := re.Span(); rlo != lo || rhi != hi {
+		t.Fatalf("reopened span (%d,%d) want (%d,%d)", rlo, rhi, lo, hi)
+	}
+	gotHop, _, err := re.DurableTHop(s, 5, tau, start, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotHop, wantHop) {
+		t.Fatalf("reopened t-hop answers differ: %d vs %d records", len(gotHop), len(wantHop))
+	}
+	gotBase, _, err := re.DurableTBase(s, 5, tau, start, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotBase, wantHop) {
+		t.Fatal("reopened t-base disagrees")
+	}
+}
+
+func TestSaveOpenLargeCatalogChain(t *testing.T) {
+	// Enough pages that the catalog payload spans multiple chained pages
+	// (each heap page meta is 24 bytes; >340 pages exceed one 8 KiB page).
+	rng := rand.New(rand.NewSource(212))
+	ds := randDS(rng, 120_000, 2, 0)
+	path := filepath.Join(t.TempDir(), "big.db")
+	db, err := Load(ds, Options{PoolPages: 64, FilePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Table.NumPages() < 340 {
+		t.Fatalf("test needs a multi-page catalog; only %d heap pages", db.Table.NumPages())
+	}
+	if err := db.Save(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	re, err := Open(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Table.Len() != ds.Len() {
+		t.Fatalf("reopened %d records want %d", re.Table.Len(), ds.Len())
+	}
+	s := score.MustLinear(1, 1)
+	lo, hi := ds.Span()
+	got, _, err := re.DurableTHop(s, 3, (hi-lo)/10, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no results after reopen")
+	}
+}
+
+func TestOpenRejectsCorruptCatalog(t *testing.T) {
+	rng := rand.New(rand.NewSource(213))
+	ds := randDS(rng, 1000, 2, 0)
+	path := filepath.Join(t.TempDir(), "corrupt.db")
+	db, err := Load(ds, Options{FilePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	// Clobber the catalog magic.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("XXXX"), 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Open(path, 16); !errors.Is(err, ErrBadCatalog) {
+		t.Fatalf("corrupt catalog: %v", err)
+	}
+}
+
+func TestOpenRejectsMisalignedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "short.db")
+	if err := os.WriteFile(path, make([]byte, 100), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, 16); err == nil {
+		t.Fatal("page-misaligned file must be rejected")
+	}
+}
+
+func TestCatalogEncodeDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(214))
+	ds := randDS(rng, 5000, 2, 0)
+	db, err := Load(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	payload := encodeCatalog(db)
+	cat, err := decodeCatalog(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.dims != 2 || cat.count != 5000 {
+		t.Fatalf("decoded dims=%d count=%d", cat.dims, cat.count)
+	}
+	if len(cat.meta) != len(db.Table.Meta()) {
+		t.Fatalf("meta %d want %d", len(cat.meta), len(db.Table.Meta()))
+	}
+	if cat.root != db.Index.Root() || len(cat.locs) != db.Index.NumNodes() {
+		t.Fatal("index metadata mismatch")
+	}
+	// Truncated payloads must fail cleanly, never panic.
+	for cut := 0; cut < len(payload); cut += 7 {
+		if _, err := decodeCatalog(payload[:cut]); err == nil && cut < len(payload)-1 {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	_ = pagestore.PageSize
+}

@@ -1,0 +1,152 @@
+package dbms
+
+import (
+	"time"
+
+	"repro/internal/blocking"
+	"repro/internal/pagestore"
+	"repro/internal/score"
+)
+
+// DurableSHop runs Score-Hop against the paged engine as a wrapper function
+// outside the "stored procedure" layer — exactly the deployment the paper
+// suggests for S-Hop (§VI-C footnote: its heap-and-blocking control flow
+// suits a client-side wrapper better than a stored procedure). All range
+// top-k probes hit the paged summary index through the buffer pool; the
+// max-heap, blocking intervals, and visited set live in client memory.
+func (db *DB) DurableSHop(s score.Scorer, k int, tau, start, end int64) ([]uint32, Stats, error) {
+	before := db.snapshotStats()
+	startAt := time.Now()
+	queries := 0
+
+	type entry struct {
+		items  []pagestore.Item // prefetched top-k of [lo, hi], best first
+		pos    int
+		lo, hi int64
+	}
+	better := func(a, b pagestore.Item) bool {
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		return a.Time > b.Time
+	}
+	var heap []*entry
+	push := func(e *entry) {
+		heap = append(heap, e)
+		i := len(heap) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !better(heap[i].items[heap[i].pos], heap[parent].items[heap[parent].pos]) {
+				break
+			}
+			heap[i], heap[parent] = heap[parent], heap[i]
+			i = parent
+		}
+	}
+	pop := func() *entry {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap[last] = nil
+		heap = heap[:last]
+		i, n := 0, len(heap)
+		for {
+			l, r, best := 2*i+1, 2*i+2, i
+			if l < n && better(heap[l].items[heap[l].pos], heap[best].items[heap[best].pos]) {
+				best = l
+			}
+			if r < n && better(heap[r].items[heap[r].pos], heap[best].items[heap[best].pos]) {
+				best = r
+			}
+			if best == i {
+				break
+			}
+			heap[i], heap[best] = heap[best], heap[i]
+			i = best
+		}
+		return top
+	}
+	pushSub := func(lo, hi int64) error {
+		if lo > hi {
+			return nil
+		}
+		queries++
+		items, err := db.Index.TopK(s, k, lo, hi)
+		if err != nil {
+			return err
+		}
+		if len(items) > 0 {
+			push(&entry{items: items, lo: lo, hi: hi})
+		}
+		return nil
+	}
+
+	subLen := tau
+	if subLen < 1 {
+		subLen = 1
+	}
+	for lo := start; lo <= end; lo += subLen {
+		hi := lo + subLen - 1
+		if hi > end {
+			hi = end
+		}
+		if err := pushSub(lo, hi); err != nil {
+			return nil, Stats{}, err
+		}
+		if hi == end {
+			break
+		}
+	}
+
+	blk := blocking.NewSet(tau)
+	visited := make(map[uint32]bool)
+	inAnswer := make(map[uint32]bool)
+	var res []uint32
+	var resTimes []int64
+	for len(heap) > 0 {
+		e := pop()
+		p := e.items[e.pos]
+		if blk.Cover(p.Time) < k {
+			queries++
+			items, err := db.Index.TopK(s, k, p.Time-tau, p.Time)
+			if err != nil {
+				return nil, Stats{}, err
+			}
+			if member(items, k, p.Score) {
+				if !inAnswer[p.ID] {
+					inAnswer[p.ID] = true
+					res = append(res, p.ID)
+					resTimes = append(resTimes, p.Time)
+				}
+			} else {
+				for _, it := range items {
+					if !visited[it.ID] {
+						visited[it.ID] = true
+						blk.Add(it.Time)
+					}
+				}
+			}
+			if err := pushSub(e.lo, p.Time-1); err != nil {
+				return nil, Stats{}, err
+			}
+			if err := pushSub(p.Time+1, e.hi); err != nil {
+				return nil, Stats{}, err
+			}
+		} else if e.pos+1 < len(e.items) {
+			e.pos++
+			push(e)
+		}
+		if !visited[p.ID] {
+			visited[p.ID] = true
+			blk.Add(p.Time)
+		}
+	}
+	// Sort ascending by arrival time (insertion order is score-driven).
+	for i := 1; i < len(res); i++ {
+		for j := i; j > 0 && resTimes[j] < resTimes[j-1]; j-- {
+			res[j], res[j-1] = res[j-1], res[j]
+			resTimes[j], resTimes[j-1] = resTimes[j-1], resTimes[j]
+		}
+	}
+	return res, db.diffStats(before, queries, time.Since(startAt)), nil
+}

@@ -1,0 +1,557 @@
+package expr
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// intv is a closed interval [lo, hi] used for box bounds. A NaN endpoint
+// means "unknown"; consumers widen it to the appropriate infinity.
+type intv struct{ lo, hi float64 }
+
+func point(v float64) intv { return intv{v, v} }
+
+func wide() intv { return intv{math.Inf(-1), math.Inf(1)} }
+
+// node is one AST node. Implementations are immutable after parsing.
+type node interface {
+	// eval computes the node's value on one attribute vector.
+	eval(x []float64) float64
+	// interval bounds the node's value over the attribute box lo..hi.
+	interval(lo, hi []float64) intv
+}
+
+// --- literals and variables ---
+
+type numNode struct{ v float64 }
+
+func (n numNode) eval([]float64) float64       { return n.v }
+func (n numNode) interval(_, _ []float64) intv { return point(n.v) }
+
+type varNode struct {
+	dim  int
+	name string // render name; "" renders as xDIM
+}
+
+func (n varNode) eval(x []float64) float64 { return x[n.dim] }
+func (n varNode) interval(lo, hi []float64) intv {
+	return intv{lo[n.dim], hi[n.dim]}
+}
+
+// --- arithmetic ---
+
+type opKind int
+
+const (
+	opAdd opKind = iota
+	opSub
+	opMul
+	opDiv
+	opPow
+)
+
+type binNode struct {
+	op   opKind
+	l, r node
+}
+
+func (n binNode) eval(x []float64) float64 {
+	a, b := n.l.eval(x), n.r.eval(x)
+	switch n.op {
+	case opAdd:
+		return a + b
+	case opSub:
+		return a - b
+	case opMul:
+		return a * b
+	case opDiv:
+		return a / b
+	default:
+		return math.Pow(a, b)
+	}
+}
+
+func (n binNode) interval(lo, hi []float64) intv {
+	a, b := n.l.interval(lo, hi), n.r.interval(lo, hi)
+	if bad(a) || bad(b) {
+		return wide()
+	}
+	switch n.op {
+	case opAdd:
+		return intv{a.lo + b.lo, a.hi + b.hi}
+	case opSub:
+		return intv{a.lo - b.hi, a.hi - b.lo}
+	case opMul:
+		return mulI(a, b)
+	case opDiv:
+		return divI(a, b)
+	default:
+		return powI(a, b)
+	}
+}
+
+type negNode struct{ n node }
+
+func (n negNode) eval(x []float64) float64 { return -n.n.eval(x) }
+func (n negNode) interval(lo, hi []float64) intv {
+	iv := n.n.interval(lo, hi)
+	if bad(iv) {
+		return wide()
+	}
+	return intv{-iv.hi, -iv.lo}
+}
+
+// --- function calls ---
+
+type callNode struct {
+	fn   *function
+	args []node
+}
+
+func (n callNode) eval(x []float64) float64 {
+	switch n.fn.name {
+	case "pow":
+		return math.Pow(n.args[0].eval(x), n.args[1].eval(x))
+	case "min", "max":
+		v := n.args[0].eval(x)
+		for _, a := range n.args[1:] {
+			w := a.eval(x)
+			if n.fn.name == "min" {
+				v = math.Min(v, w)
+			} else {
+				v = math.Max(v, w)
+			}
+		}
+		return v
+	default:
+		return n.fn.eval1(n.args[0].eval(x))
+	}
+}
+
+func (n callNode) interval(lo, hi []float64) intv {
+	if n.fn.name == "pow" {
+		a, b := n.args[0].interval(lo, hi), n.args[1].interval(lo, hi)
+		if bad(a) || bad(b) {
+			return wide()
+		}
+		return powI(a, b)
+	}
+	if n.fn.name == "min" || n.fn.name == "max" {
+		iv := n.args[0].interval(lo, hi)
+		if bad(iv) {
+			return wide()
+		}
+		for _, a := range n.args[1:] {
+			w := a.interval(lo, hi)
+			if bad(w) {
+				return wide()
+			}
+			if n.fn.name == "min" {
+				iv = intv{math.Min(iv.lo, w.lo), math.Min(iv.hi, w.hi)}
+			} else {
+				iv = intv{math.Max(iv.lo, w.lo), math.Max(iv.hi, w.hi)}
+			}
+		}
+		return iv
+	}
+	iv := n.args[0].interval(lo, hi)
+	if bad(iv) {
+		return wide()
+	}
+	return n.fn.interval1(iv)
+}
+
+// function describes a builtin callable.
+type function struct {
+	name      string
+	arity     int  // exact arity; -1 for variadic (>= 1)
+	monotone  int8 // +1 non-decreasing, -1 non-increasing, 0 neither/unknown
+	eval1     func(float64) float64
+	interval1 func(intv) intv
+}
+
+// monoEndpoints bounds a monotone non-decreasing f by its endpoint images.
+func monoEndpoints(f func(float64) float64) func(intv) intv {
+	return func(iv intv) intv { return intv{f(iv.lo), f(iv.hi)} }
+}
+
+var functions = map[string]*function{
+	"abs": {name: "abs", arity: 1, monotone: 0, eval1: math.Abs,
+		interval1: func(iv intv) intv {
+			m := math.Max(math.Abs(iv.lo), math.Abs(iv.hi))
+			if iv.lo <= 0 && iv.hi >= 0 {
+				return intv{0, m}
+			}
+			return intv{math.Min(math.Abs(iv.lo), math.Abs(iv.hi)), m}
+		}},
+	"sqrt": {name: "sqrt", arity: 1, monotone: 1, eval1: math.Sqrt,
+		interval1: func(iv intv) intv {
+			if iv.hi < 0 {
+				return wide() // nowhere defined on the box
+			}
+			return intv{math.Sqrt(math.Max(iv.lo, 0)), math.Sqrt(iv.hi)}
+		}},
+	"exp": {name: "exp", arity: 1, monotone: 1, eval1: math.Exp,
+		interval1: monoEndpoints(math.Exp)},
+	"log": {name: "log", arity: 1, monotone: 1, eval1: math.Log,
+		interval1: func(iv intv) intv {
+			if iv.hi <= 0 {
+				return wide()
+			}
+			return intv{math.Log(math.Max(iv.lo, 0)), math.Log(iv.hi)}
+		}},
+	"log1p": {name: "log1p", arity: 1, monotone: 1, eval1: math.Log1p,
+		interval1: func(iv intv) intv {
+			if iv.hi <= -1 {
+				return wide()
+			}
+			return intv{math.Log1p(math.Max(iv.lo, -1)), math.Log1p(iv.hi)}
+		}},
+	"floor": {name: "floor", arity: 1, monotone: 1, eval1: math.Floor,
+		interval1: monoEndpoints(math.Floor)},
+	"ceil": {name: "ceil", arity: 1, monotone: 1, eval1: math.Ceil,
+		interval1: monoEndpoints(math.Ceil)},
+	"pow": {name: "pow", arity: 2},
+	"min": {name: "min", arity: -1},
+	"max": {name: "max", arity: -1},
+}
+
+// --- interval helpers ---
+
+// bad reports an interval with a NaN endpoint (unknown bound).
+func bad(iv intv) bool { return math.IsNaN(iv.lo) || math.IsNaN(iv.hi) }
+
+// safeMul multiplies bound candidates mapping the IEEE indeterminate
+// 0 * ±Inf to 0, the standard interval-arithmetic convention.
+func safeMul(a, b float64) float64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return a * b
+}
+
+func mulI(a, b intv) intv {
+	c1 := safeMul(a.lo, b.lo)
+	c2 := safeMul(a.lo, b.hi)
+	c3 := safeMul(a.hi, b.lo)
+	c4 := safeMul(a.hi, b.hi)
+	return intv{
+		math.Min(math.Min(c1, c2), math.Min(c3, c4)),
+		math.Max(math.Max(c1, c2), math.Max(c3, c4)),
+	}
+}
+
+func divI(a, b intv) intv {
+	if b.lo <= 0 && b.hi >= 0 {
+		return wide() // denominator box contains zero
+	}
+	inv := intv{1 / b.hi, 1 / b.lo}
+	return mulI(a, inv)
+}
+
+// powI bounds x^y over boxes. For non-negative bases the function is
+// monotone along each coordinate, so corner evaluation is exact; negative
+// bases widen to unknown (math.Pow is not continuous there).
+func powI(a, b intv) intv {
+	if a.lo < 0 {
+		return wide()
+	}
+	c1 := math.Pow(a.lo, b.lo)
+	c2 := math.Pow(a.lo, b.hi)
+	c3 := math.Pow(a.hi, b.lo)
+	c4 := math.Pow(a.hi, b.hi)
+	lo := math.Min(math.Min(c1, c2), math.Min(c3, c4))
+	hi := math.Max(math.Max(c1, c2), math.Max(c3, c4))
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		return wide()
+	}
+	return intv{lo, hi}
+}
+
+// --- monotonicity analysis ---
+
+// dir is the per-attribute direction of a subexpression.
+type dir int8
+
+const (
+	dirZero dir = iota // constant in the attribute
+	dirInc             // non-decreasing
+	dirDec             // non-increasing
+	dirAny             // unknown / mixed
+)
+
+func flip(d dir) dir {
+	switch d {
+	case dirInc:
+		return dirDec
+	case dirDec:
+		return dirInc
+	}
+	return d
+}
+
+// combineAdd merges directions of added subexpressions.
+func combineAdd(a, b dir) dir {
+	switch {
+	case a == dirZero:
+		return b
+	case b == dirZero:
+		return a
+	case a == b:
+		return a
+	default:
+		return dirAny
+	}
+}
+
+// constValue folds constant subtrees (no variables) to their value.
+func constValue(n node) (float64, bool) {
+	switch t := n.(type) {
+	case numNode:
+		return t.v, true
+	case negNode:
+		v, ok := constValue(t.n)
+		return -v, ok
+	case binNode:
+		a, okA := constValue(t.l)
+		b, okB := constValue(t.r)
+		if !okA || !okB {
+			return 0, false
+		}
+		return binNode{op: t.op, l: numNode{a}, r: numNode{b}}.eval(nil), true
+	case callNode:
+		args := make([]node, len(t.args))
+		for i, a := range t.args {
+			v, ok := constValue(a)
+			if !ok {
+				return 0, false
+			}
+			args[i] = numNode{v}
+		}
+		return callNode{fn: t.fn, args: args}.eval(nil), true
+	}
+	return 0, false
+}
+
+// directions computes the per-attribute direction vector of n; the analysis
+// is conservative (dirAny when monotonicity cannot be established
+// structurally).
+func directions(n node, dims int) []dir {
+	out := make([]dir, dims)
+	walkDirs(n, out)
+	return out
+}
+
+// walkDirs computes n's directions into out (length dims).
+func walkDirs(n node, out []dir) {
+	switch t := n.(type) {
+	case numNode:
+		for i := range out {
+			out[i] = dirZero
+		}
+	case varNode:
+		for i := range out {
+			out[i] = dirZero
+		}
+		out[t.dim] = dirInc
+	case negNode:
+		walkDirs(t.n, out)
+		for i := range out {
+			out[i] = flip(out[i])
+		}
+	case binNode:
+		walkBinDirs(t, out)
+	case callNode:
+		walkCallDirs(t, out)
+	}
+}
+
+func walkBinDirs(t binNode, out []dir) {
+	switch t.op {
+	case opAdd, opSub:
+		walkDirs(t.l, out)
+		rs := make([]dir, len(out))
+		walkDirs(t.r, rs)
+		for i := range out {
+			r := rs[i]
+			if t.op == opSub {
+				r = flip(r)
+			}
+			out[i] = combineAdd(out[i], r)
+		}
+	case opMul, opDiv:
+		// Monotone only when one side folds to a constant of known sign.
+		if c, ok := constValue(t.r); ok {
+			walkDirs(t.l, out)
+			scaleDirs(out, c, t.op == opDiv)
+			return
+		}
+		if c, ok := constValue(t.l); ok && t.op == opMul {
+			walkDirs(t.r, out)
+			scaleDirs(out, c, false)
+			return
+		}
+		anyDirs(t, out)
+	default: // opPow: conservative
+		anyDirs(t, out)
+	}
+}
+
+// scaleDirs adjusts directions for multiplication (or division) by the
+// constant c.
+func scaleDirs(out []dir, c float64, divide bool) {
+	switch {
+	case c == 0 && !divide:
+		for i := range out {
+			out[i] = dirZero
+		}
+	case c > 0:
+		// unchanged
+	case c < 0:
+		for i := range out {
+			out[i] = flip(out[i])
+		}
+	default: // c == 0 divisor, or NaN constant
+		for i := range out {
+			out[i] = dirAny
+		}
+	}
+}
+
+func walkCallDirs(t callNode, out []dir) {
+	switch t.fn.name {
+	case "min", "max":
+		walkDirs(t.args[0], out)
+		rs := make([]dir, len(out))
+		for _, a := range t.args[1:] {
+			walkDirs(a, rs)
+			for i := range out {
+				out[i] = combineAdd(out[i], rs[i])
+			}
+		}
+	default:
+		switch t.fn.monotone {
+		case 1:
+			walkDirs(t.args[0], out)
+		case -1:
+			walkDirs(t.args[0], out)
+			for i := range out {
+				out[i] = flip(out[i])
+			}
+		default:
+			anyDirs(t, out)
+		}
+	}
+}
+
+// anyDirs marks every attribute referenced under n as unknown, others zero.
+func anyDirs(n node, out []dir) {
+	seen := map[int]bool{}
+	collectVars(n, seen)
+	for i := range out {
+		if seen[i] {
+			out[i] = dirAny
+		} else {
+			out[i] = dirZero
+		}
+	}
+}
+
+// collectVars records every attribute position referenced under n.
+func collectVars(n node, seen map[int]bool) {
+	switch t := n.(type) {
+	case varNode:
+		seen[t.dim] = true
+	case negNode:
+		collectVars(t.n, seen)
+	case binNode:
+		collectVars(t.l, seen)
+		collectVars(t.r, seen)
+	case callNode:
+		for _, a := range t.args {
+			collectVars(a, seen)
+		}
+	}
+}
+
+// --- rendering ---
+
+// Operator precedence levels for minimal-parenthesis rendering.
+const (
+	precAdd = iota + 1
+	precMul
+	precUnary
+	precPow
+	precAtom
+)
+
+func renderTo(b *strings.Builder, n node, outer int) {
+	switch t := n.(type) {
+	case numNode:
+		if t.v < 0 || math.Signbit(t.v) {
+			// Negative literals only arise from folding; parenthesize so the
+			// output re-parses as a unary minus in any context.
+			b.WriteByte('(')
+			b.WriteString(strconv.FormatFloat(t.v, 'g', -1, 64))
+			b.WriteByte(')')
+			return
+		}
+		b.WriteString(strconv.FormatFloat(t.v, 'g', -1, 64))
+	case varNode:
+		if t.name != "" {
+			b.WriteString(t.name)
+		} else {
+			b.WriteByte('x')
+			b.WriteString(strconv.Itoa(t.dim))
+		}
+	case negNode:
+		if outer > precUnary {
+			b.WriteByte('(')
+			defer b.WriteByte(')')
+		}
+		b.WriteByte('-')
+		renderTo(b, t.n, precUnary+1)
+	case binNode:
+		prec, sym := precAdd, "+"
+		switch t.op {
+		case opSub:
+			sym = "-"
+		case opMul:
+			prec, sym = precMul, "*"
+		case opDiv:
+			prec, sym = precMul, "/"
+		case opPow:
+			prec, sym = precPow, "^"
+		}
+		if outer > prec {
+			b.WriteByte('(')
+			defer b.WriteByte(')')
+		}
+		// Left-associative operators need the right child one level tighter;
+		// '^' is right-associative and needs the left child tighter.
+		lp, rp := prec, prec+1
+		if t.op == opPow {
+			lp, rp = prec+1, prec
+		}
+		renderTo(b, t.l, lp)
+		b.WriteString(" " + sym + " ")
+		renderTo(b, t.r, rp)
+	case callNode:
+		b.WriteString(t.fn.name)
+		b.WriteByte('(')
+		for i, a := range t.args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderTo(b, a, precAdd)
+		}
+		b.WriteByte(')')
+	}
+}
+
+func render(n node, outer int) string {
+	var b strings.Builder
+	renderTo(&b, n, outer)
+	return b.String()
+}

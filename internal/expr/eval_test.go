@@ -1,0 +1,164 @@
+package expr
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEvalGolden(t *testing.T) {
+	cases := []struct {
+		src  string
+		x    []float64
+		want float64
+	}{
+		{"abs(-3)", nil, 3},
+		{"sqrt(16)", nil, 4},
+		{"exp(0)", nil, 1},
+		{"log(e)", nil, 1},
+		{"log1p(0)", nil, 0},
+		{"floor(2.7)", nil, 2},
+		{"ceil(2.2)", nil, 3},
+		{"pow(2, 10)", nil, 1024},
+		{"min(3, 1, 2)", nil, 1},
+		{"max(3, 1, 2)", nil, 3},
+		{"pi", nil, math.Pi},
+		{"x0/x1", []float64{7, 2}, 3.5},
+		{"0.6*x0 + 0.3*x1 + 2*log1p(x2)", []float64{10, 5, math.E - 1}, 9.5},
+	}
+	for _, c := range cases {
+		e := compile(t, c.src, Options{Dims: 3})
+		x := c.x
+		if x == nil {
+			x = []float64{0, 0, 0}
+		}
+		if got := e.Score(x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalIEEEEdgeCases(t *testing.T) {
+	e := compile(t, "1/x0", Options{Dims: 1})
+	if got := e.Score([]float64{0}); !math.IsInf(got, 1) {
+		t.Errorf("1/0 = %v, want +Inf", got)
+	}
+	l := compile(t, "log(x0)", Options{Dims: 1})
+	if got := l.Score([]float64{-1}); !math.IsNaN(got) {
+		t.Errorf("log(-1) = %v, want NaN", got)
+	}
+	if got := l.Score([]float64{0}); !math.IsInf(got, -1) {
+		t.Errorf("log(0) = %v, want -Inf", got)
+	}
+}
+
+func TestUpperBoundGolden(t *testing.T) {
+	cases := []struct {
+		src    string
+		lo, hi []float64
+		want   float64 // exact expected bound
+	}{
+		{"x0 + x1", []float64{0, 0}, []float64{2, 3}, 5},
+		{"x0 - x1", []float64{0, 1}, []float64{2, 3}, 1},
+		{"2*x0", []float64{-1, 0}, []float64{4, 0}, 8},
+		{"-3*x0", []float64{-2, 0}, []float64{4, 0}, 6},
+		{"x0*x1", []float64{-2, -3}, []float64{2, 3}, 6},
+		{"x0^2", []float64{0, 0}, []float64{3, 0}, 9},
+		{"sqrt(x0)", []float64{4, 0}, []float64{9, 0}, 3},
+		{"min(x0, x1)", []float64{1, 2}, []float64{5, 3}, 3},
+		{"max(x0, x1)", []float64{1, 2}, []float64{5, 3}, 5},
+		{"abs(x0)", []float64{-5, 0}, []float64{2, 0}, 5},
+		{"x0/x1", []float64{1, 2}, []float64{6, 4}, 3},
+	}
+	for _, c := range cases {
+		e := compile(t, c.src, Options{Dims: 2})
+		if got := e.UpperBound(c.lo, c.hi); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("UpperBound(%q, %v, %v) = %v, want %v", c.src, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestUpperBoundWidensOnZeroDivisor(t *testing.T) {
+	e := compile(t, "1/x0", Options{Dims: 1})
+	if got := e.UpperBound([]float64{-1}, []float64{1}); !math.IsInf(got, 1) {
+		t.Errorf("bound over divisor box containing 0 = %v, want +Inf", got)
+	}
+}
+
+func TestUpperBoundWidensOnUndefinedDomain(t *testing.T) {
+	e := compile(t, "log(x0)", Options{Dims: 1})
+	if got := e.UpperBound([]float64{-3}, []float64{-1}); !math.IsInf(got, 1) {
+		t.Errorf("bound of log over negative box = %v, want +Inf", got)
+	}
+	s := compile(t, "sqrt(x0)", Options{Dims: 1})
+	if got := s.UpperBound([]float64{-3}, []float64{-1}); !math.IsInf(got, 1) {
+		t.Errorf("bound of sqrt over negative box = %v, want +Inf", got)
+	}
+}
+
+func TestRange(t *testing.T) {
+	e := compile(t, "x0 - 2*x1", Options{Dims: 2})
+	min, max := e.Range([]float64{0, 0}, []float64{4, 3})
+	if min != -6 || max != 4 {
+		t.Errorf("Range = [%v, %v], want [-6, 4]", min, max)
+	}
+}
+
+func TestIsMonotone(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"x0 + x1", true},
+		{"2*x0 + 3*x1", true},
+		{"x0 - x1", false},
+		{"-x0", false},
+		{"-(-x0)", true},
+		{"0*x0", true},     // constant in x0
+		{"x0 - x0", false}, // structurally mixed; analysis is conservative
+		{"log1p(x0) + sqrt(x1)", true},
+		{"min(x0, x1)", true},
+		{"max(2*x0, x1 + 1)", true},
+		{"min(x0, -x1)", false},
+		{"abs(x0)", false},
+		{"x0 * x1", false},
+		{"x0 / 2", true},
+		{"x0 / -2", false},
+		{"x0 / x1", false},
+		{"6/2 * x0", true},      // constant folding: 3*x0
+		{"-(2 - 5) * x0", true}, // folds to 3*x0
+		{"x0^2", false},         // conservative for pow
+		{"exp(x0) + floor(x1) + ceil(x0)", true},
+		{"5", true},
+		{"x0 + x1 - 1", true}, // subtracting a constant keeps directions
+	}
+	for _, c := range cases {
+		e := compile(t, c.src, Options{Dims: 2})
+		if got := e.IsMonotone(); got != c.want {
+			t.Errorf("IsMonotone(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestConstValueFolding(t *testing.T) {
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"1 + 2*3", 7},
+		{"-(4 - 1)", -3},
+		{"min(3, 2)", 2},
+		{"pow(2, 3)", 8},
+		{"sqrt(9)", 3},
+	}
+	for _, c := range cases {
+		e := compile(t, c.src, Options{Dims: 1})
+		v, ok := constValue(e.root)
+		if !ok || v != c.want {
+			t.Errorf("constValue(%q) = %v, %v; want %v, true", c.src, v, ok, c.want)
+		}
+	}
+	e := compile(t, "x0 + 1", Options{Dims: 1})
+	if _, ok := constValue(e.root); ok {
+		t.Error("constValue should not fold expressions with variables")
+	}
+}

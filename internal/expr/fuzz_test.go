@@ -1,0 +1,49 @@
+package expr
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzCompile feeds arbitrary strings to the compiler: it must never panic,
+// and whatever compiles must render to a form that re-compiles and
+// evaluates identically.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"", "x0", "1+2*3", "log1p(x0) + sqrt(x1)", "min(x0, x1, 2)",
+		"-x0^2", "pow(x0, .5)", "((((x0))))", "1e309", "x999999",
+		"pi*e", "0/0", "x0--x1", "max()", "2e", ".", "x0 $ 1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Compile(src, Options{Dims: 4})
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		x := []float64{1.5, -2, 0.25, 7}
+		v1 := e.Score(x)
+		rendered := e.String()
+		e2, err := Compile(rendered, Options{Dims: 4})
+		if err != nil {
+			t.Fatalf("rendered form %q of %q does not re-compile: %v", rendered, src, err)
+		}
+		v2 := e2.Score(x)
+		if v1 != v2 && !(math.IsNaN(v1) && math.IsNaN(v2)) {
+			t.Fatalf("%q: render round-trip changed value: %v vs %v (rendered %q)",
+				src, v1, v2, rendered)
+		}
+		// Bound soundness on one fixed box.
+		lo := []float64{-4, -4, -4, -4}
+		hi := []float64{4, 4, 4, 4}
+		ub := e.UpperBound(lo, hi)
+		if math.IsNaN(ub) {
+			t.Fatalf("%q: UpperBound returned NaN", src)
+		}
+		inBox := []float64{0.5, -1, 3.25, -3}
+		if v := e.Score(inBox); !math.IsNaN(v) && v > ub+1e-9*(1+math.Abs(v)) {
+			t.Fatalf("%q: Score(%v)=%v exceeds box bound %v", src, inBox, v, ub)
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package expr_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/datagen"
+	"repro/internal/expr"
+	"repro/internal/score"
+)
+
+// randomDataset builds a small random dataset for engine-level tests.
+func randomDataset(t *testing.T, n, dims int, seed int64) *data.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	times := make([]int64, n)
+	attrs := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		times[i] = int64(i + 1)
+		row := make([]float64, dims)
+		for j := range row {
+			row[j] = rng.Float64() * 100
+		}
+		attrs[i] = row
+	}
+	ds, err := data.New(times, attrs)
+	if err != nil {
+		t.Fatalf("building dataset: %v", err)
+	}
+	return ds
+}
+
+// TestExprMatchesLinearScorer: a compiled linear expression must produce the
+// same durable top-k answer as the native Linear scorer on every algorithm.
+func TestExprMatchesLinearScorer(t *testing.T) {
+	ds := randomDataset(t, 600, 3, 42)
+	eng := core.NewEngine(ds, core.Options{})
+	native := score.MustLinear(0.6, 0.3, 0.1)
+	compiled := expr.MustCompile("0.6*x0 + 0.3*x1 + 0.1*x2", expr.Options{Dims: 3})
+
+	if !compiled.IsMonotone() {
+		t.Fatal("compiled non-negative linear expression should be monotone")
+	}
+	for _, alg := range core.Algorithms() {
+		q := core.Query{K: 3, Tau: 80, Start: 1, End: 600, Algorithm: alg}
+		q.Scorer = native
+		want, err := eng.DurableTopK(q)
+		if err != nil {
+			t.Fatalf("%v native: %v", alg, err)
+		}
+		q.Scorer = compiled
+		got, err := eng.DurableTopK(q)
+		if err != nil {
+			t.Fatalf("%v compiled: %v", alg, err)
+		}
+		if !reflect.DeepEqual(got.IDs(), want.IDs()) {
+			t.Errorf("%v: compiled expression answer %v differs from native %v",
+				alg, got.IDs(), want.IDs())
+		}
+	}
+}
+
+// TestExprNonLinearAgainstOracle: a genuinely non-linear expression works
+// through the anchor-generic algorithms and matches the brute-force oracle.
+func TestExprNonLinearAgainstOracle(t *testing.T) {
+	ds := randomDataset(t, 400, 2, 7)
+	eng := core.NewEngine(ds, core.Options{})
+	s := expr.MustCompile("log1p(x0) * 2 + sqrt(x1)", expr.Options{Dims: 2})
+	want := core.BruteForce(ds, s, 2, 50, 1, 400, core.LookBack)
+	for _, alg := range []core.Algorithm{core.TBase, core.THop, core.SBase, core.SHop} {
+		res, err := eng.DurableTopK(core.Query{
+			K: 2, Tau: 50, Start: 1, End: 400, Scorer: s, Algorithm: alg,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		got := res.IDs()
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%v: got %v, want %v", alg, got, want)
+		}
+	}
+}
+
+// TestExprMonotoneEnablesSBand: the automatic monotonicity detection must
+// unlock S-Band for provably monotone expressions and reject mixed ones.
+func TestExprMonotoneEnablesSBand(t *testing.T) {
+	ds := randomDataset(t, 300, 2, 11)
+	eng := core.NewEngine(ds, core.Options{})
+	mono := expr.MustCompile("x0 + log1p(x1)", expr.Options{Dims: 2})
+	res, err := eng.DurableTopK(core.Query{
+		K: 2, Tau: 40, Start: 1, End: 300, Scorer: mono, Algorithm: core.SBand,
+	})
+	if err != nil {
+		t.Fatalf("S-Band with monotone expression: %v", err)
+	}
+	want := core.BruteForce(ds, mono, 2, 40, 1, 300, core.LookBack)
+	if !reflect.DeepEqual(res.IDs(), append([]int(nil), want...)) && len(want) > 0 {
+		t.Errorf("S-Band answer %v, want %v", res.IDs(), want)
+	}
+
+	mixed := expr.MustCompile("x0 - x1", expr.Options{Dims: 2})
+	_, err = eng.DurableTopK(core.Query{
+		K: 2, Tau: 40, Start: 1, End: 300, Scorer: mixed, Algorithm: core.SBand,
+	})
+	if err == nil {
+		t.Fatal("S-Band must reject a non-monotone expression")
+	}
+}
+
+// TestExprOnGeneratedWorkload smoke-tests an expression scorer over the
+// NBA-like generator end to end.
+func TestExprOnGeneratedWorkload(t *testing.T) {
+	full := datagen.NBA(3, 2000)
+	ds, err := full.Project([]int{0, 1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(ds, core.Options{})
+	s := expr.MustCompile("x0 + 0.5*x1 + 0.7*x2 + 2*x3 + 2*x4", expr.Options{Dims: 5})
+	res, err := eng.DurableTopK(core.Query{
+		K: 5, Tau: 200, Start: ds.Time(0), End: ds.Time(ds.Len() - 1), Scorer: s,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.BruteForce(ds, s, 5, 200, ds.Time(0), ds.Time(ds.Len()-1), core.LookBack)
+	if !reflect.DeepEqual(res.IDs(), want) {
+		t.Errorf("auto algorithm with expression scorer: got %d records, want %d",
+			len(res.IDs()), len(want))
+	}
+}

@@ -1,0 +1,156 @@
+package expr
+
+import (
+	"strconv"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNumber
+	tokIdent
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokCaret
+	tokLParen
+	tokRParen
+	tokComma
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of expression"
+	case tokNumber:
+		return "number"
+	case tokIdent:
+		return "identifier"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokSlash:
+		return "'/'"
+	case tokCaret:
+		return "'^'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	}
+	return "unknown token"
+}
+
+// token is one lexical token with its source offset.
+type token struct {
+	kind tokKind
+	pos  int
+	text string  // identifiers
+	num  float64 // numbers
+}
+
+// lexer produces tokens from an expression source string.
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+func isSpace(b byte) bool { return b == ' ' || b == '\t' || b == '\n' || b == '\r' }
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+
+func isAlpha(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b == '_'
+}
+
+// next returns the next token or a *ParseError.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	b := l.src[l.pos]
+	switch b {
+	case '+':
+		l.pos++
+		return token{kind: tokPlus, pos: start}, nil
+	case '-':
+		l.pos++
+		return token{kind: tokMinus, pos: start}, nil
+	case '*':
+		l.pos++
+		return token{kind: tokStar, pos: start}, nil
+	case '/':
+		l.pos++
+		return token{kind: tokSlash, pos: start}, nil
+	case '^':
+		l.pos++
+		return token{kind: tokCaret, pos: start}, nil
+	case '(':
+		l.pos++
+		return token{kind: tokLParen, pos: start}, nil
+	case ')':
+		l.pos++
+		return token{kind: tokRParen, pos: start}, nil
+	case ',':
+		l.pos++
+		return token{kind: tokComma, pos: start}, nil
+	}
+	if isDigit(b) || b == '.' {
+		return l.number(start)
+	}
+	if isAlpha(b) {
+		for l.pos < len(l.src) && (isAlpha(l.src[l.pos]) || isDigit(l.src[l.pos])) {
+			l.pos++
+		}
+		return token{kind: tokIdent, pos: start, text: l.src[start:l.pos]}, nil
+	}
+	return token{}, &ParseError{Pos: start, Msg: "unexpected character " + strconv.QuoteRune(rune(b))}
+}
+
+// number scans an unsigned decimal literal with optional fraction and
+// exponent (1, 2.5, .75, 1e-3).
+func (l *lexer) number(start int) (token, error) {
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' {
+		l.pos++
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		mark := l.pos
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		if l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+		} else {
+			l.pos = mark // "2e" was the number 2 followed by identifier e
+		}
+	}
+	text := l.src[start:l.pos]
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return token{}, &ParseError{Pos: start, Msg: "malformed number " + strconv.Quote(text)}
+	}
+	return token{kind: tokNumber, pos: start, num: v}, nil
+}

@@ -1,0 +1,241 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+)
+
+// parser is a recursive-descent parser over the grammar in the package
+// documentation.
+type parser struct {
+	lex   *lexer
+	names map[string]int // user attribute names -> positions
+	tok   token          // one-token lookahead
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errHere(format string, args ...interface{}) error {
+	return &ParseError{Pos: p.tok.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// parse consumes the whole source and returns its AST.
+func (p *parser) parse() (node, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokEOF {
+		return nil, ErrEmpty
+	}
+	n, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errHere("unexpected %s after expression", p.tok.kind)
+	}
+	return n, nil
+}
+
+// expr := term (('+'|'-') term)*
+func (p *parser) expr() (node, error) {
+	left, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokPlus || p.tok.kind == tokMinus {
+		op := opAdd
+		if p.tok.kind == tokMinus {
+			op = opSub
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		left = binNode{op: op, l: left, r: right}
+	}
+	return left, nil
+}
+
+// term := unary (('*'|'/') unary)*
+func (p *parser) term() (node, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokStar || p.tok.kind == tokSlash {
+		op := opMul
+		if p.tok.kind == tokSlash {
+			op = opDiv
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		left = binNode{op: op, l: left, r: right}
+	}
+	return left, nil
+}
+
+// unary := '-' unary | power
+func (p *parser) unary() (node, error) {
+	if p.tok.kind == tokMinus {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		n, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return negNode{n: n}, nil
+	}
+	return p.power()
+}
+
+// power := atom ('^' unary)?   (right-associative; -x^2 parses as -(x^2))
+func (p *parser) power() (node, error) {
+	base, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokCaret {
+		return base, nil
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	exp, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	return binNode{op: opPow, l: base, r: exp}, nil
+}
+
+// atom := NUMBER | IDENT | IDENT '(' args ')' | '(' expr ')'
+func (p *parser) atom() (node, error) {
+	switch p.tok.kind {
+	case tokNumber:
+		n := numNode{v: p.tok.num}
+		return n, p.advance()
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		n, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.errHere("expected ')', found %s", p.tok.kind)
+		}
+		return n, p.advance()
+	case tokIdent:
+		return p.ident()
+	default:
+		return nil, p.errHere("expected a value, found %s", p.tok.kind)
+	}
+}
+
+// ident resolves an identifier token: call, named attribute, positional
+// attribute, or constant.
+func (p *parser) ident() (node, error) {
+	name, pos := p.tok.text, p.tok.pos
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokLParen {
+		fn, ok := functions[name]
+		if !ok {
+			return nil, &ParseError{Pos: pos, Msg: fmt.Sprintf("unknown function %q", name)}
+		}
+		return p.call(fn)
+	}
+	if dim, ok := p.names[name]; ok {
+		return varNode{dim: dim, name: name}, nil
+	}
+	if dim, ok := positionalRef(name); ok {
+		return varNode{dim: dim}, nil
+	}
+	switch name {
+	case "pi":
+		return numNode{v: math.Pi}, nil
+	case "e":
+		return numNode{v: math.E}, nil
+	}
+	if _, isFn := functions[name]; isFn {
+		return nil, &ParseError{Pos: pos, Msg: fmt.Sprintf("function %q needs arguments", name)}
+	}
+	return nil, &ParseError{Pos: pos, Msg: fmt.Sprintf("unknown identifier %q", name)}
+}
+
+// call parses the parenthesized argument list of fn (the opening paren is
+// the current token).
+func (p *parser) call(fn *function) (node, error) {
+	if err := p.advance(); err != nil { // consume '('
+		return nil, err
+	}
+	var args []node
+	if p.tok.kind != tokRParen {
+		for {
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.tok.kind != tokRParen {
+		return nil, p.errHere("expected ')' closing %s(), found %s", fn.name, p.tok.kind)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	switch {
+	case fn.arity >= 0 && len(args) != fn.arity:
+		return nil, p.errHere("%s() takes %d argument(s), got %d", fn.name, fn.arity, len(args))
+	case fn.arity < 0 && len(args) < 1:
+		return nil, p.errHere("%s() needs at least one argument", fn.name)
+	}
+	return callNode{fn: fn, args: args}, nil
+}
+
+// positionalRef matches the x0, x1, … attribute syntax.
+func positionalRef(name string) (int, bool) {
+	if len(name) < 2 || name[0] != 'x' {
+		return 0, false
+	}
+	dim := 0
+	for i := 1; i < len(name); i++ {
+		b := name[i]
+		if b < '0' || b > '9' {
+			return 0, false
+		}
+		if i == 1 && b == '0' && len(name) > 2 {
+			return 0, false // no leading zeros: x01 is an ordinary identifier
+		}
+		dim = dim*10 + int(b-'0')
+		if dim > 1<<20 {
+			return 0, false
+		}
+	}
+	return dim, true
+}

@@ -1,0 +1,250 @@
+package expr
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func compile(t *testing.T, src string, opts Options) *Expr {
+	t.Helper()
+	e, err := Compile(src, opts)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", src, err)
+	}
+	return e
+}
+
+func TestCompileValid(t *testing.T) {
+	cases := []string{
+		"1",
+		"x0",
+		"x0 + x1",
+		"2*x0 - 3*x1/4",
+		"-x0",
+		"--x0",
+		"(x0 + 1) * (x1 - 2)",
+		"x0^2",
+		"2^x0^2", // right-assoc
+		"log1p(x0) + sqrt(x1)",
+		"min(x0, x1, x2)",
+		"max(x0)",
+		"pow(x0, 0.5)",
+		"pi * e",
+		"1e3 + 2.5E-2 + .5",
+		"abs(-x0)",
+		"floor(x0) + ceil(x1)",
+	}
+	for _, src := range cases {
+		if _, err := Compile(src, Options{Dims: 4}); err != nil {
+			t.Errorf("Compile(%q) failed: %v", src, err)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // substring of the error
+	}{
+		{"", "empty"},
+		{"   ", "empty"},
+		{"x0 +", "expected a value"},
+		{"(x0", "expected ')'"},
+		{"x0)", "unexpected ')'"},
+		{"1 2", "unexpected number"},
+		{"foo(x0)", "unknown function"},
+		{"bogus", "unknown identifier"},
+		{"log()", "takes 1 argument"},
+		{"log(x0, x1)", "takes 1 argument"},
+		{"pow(x0)", "takes 2 argument"},
+		{"min()", "at least one argument"},
+		{"log", "needs arguments"},
+		{"x0 $ x1", "unexpected character"},
+		{"x0 + x9", "out of range"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src, Options{Dims: 3})
+		if err == nil {
+			t.Errorf("Compile(%q): expected error containing %q, got nil", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Compile(%q): error %q does not contain %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	_, err := Compile("x0 + bogus", Options{Dims: 1})
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("expected *ParseError, got %T (%v)", err, err)
+	}
+	if pe.Pos != 5 {
+		t.Errorf("error position = %d, want 5", pe.Pos)
+	}
+}
+
+func TestEmptyExpression(t *testing.T) {
+	_, err := Compile("", Options{})
+	if !errors.Is(err, ErrEmpty) {
+		t.Fatalf("expected ErrEmpty, got %v", err)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	cases := []struct {
+		src  string
+		x    []float64
+		want float64
+	}{
+		{"1 + 2 * 3", nil, 7},
+		{"(1 + 2) * 3", nil, 9},
+		{"2 - 3 - 4", nil, -5},  // left-assoc
+		{"12 / 2 / 3", nil, 2},  // left-assoc
+		{"2 ^ 3 ^ 2", nil, 512}, // right-assoc
+		{"-2 ^ 2", nil, -4},     // unary binds looser than ^
+		{"(-2) ^ 2", nil, 4},
+		{"2 * -3", nil, -6},
+		{"2 ^ -1", nil, 0.5},
+		{"x0 + x1 * x0", []float64{2, 5}, 12},
+		{"1e3", nil, 1000},
+		{"2e", nil, 2 * math.E}, // "2e" lexes as 2 followed by identifier e? no: juxtaposition is an error
+	}
+	for _, c := range cases {
+		if c.src == "2e" {
+			// "2e" is the number 2 followed by the identifier e with no
+			// operator: a parse error, not implicit multiplication.
+			if _, err := Compile(c.src, Options{Dims: 1}); err == nil {
+				t.Errorf("Compile(%q) should fail (no implicit multiplication)", c.src)
+			}
+			continue
+		}
+		e := compile(t, c.src, Options{Dims: 2})
+		x := c.x
+		if x == nil {
+			x = []float64{0, 0}
+		}
+		if got := e.Score(x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestPositionalRefs(t *testing.T) {
+	e := compile(t, "x0 + 10*x1 + 100*x11", Options{Dims: 12})
+	x := make([]float64, 12)
+	x[0], x[1], x[11] = 1, 2, 3
+	if got := e.Score(x); got != 321 {
+		t.Errorf("Score = %v, want 321", got)
+	}
+	if got := e.Vars(); len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 11 {
+		t.Errorf("Vars = %v, want [0 1 11]", got)
+	}
+}
+
+func TestLeadingZeroNotPositional(t *testing.T) {
+	// x01 must not silently alias x1; it is an unknown identifier.
+	if _, err := Compile("x01", Options{Dims: 3}); err == nil {
+		t.Fatal("x01 should not resolve as a positional reference")
+	}
+}
+
+func TestNamedAttributes(t *testing.T) {
+	opts := Options{Names: []string{"points", "assists", "rebounds"}}
+	e := compile(t, "0.5*points + assists + 2*rebounds", opts)
+	if e.Dims() != 3 {
+		t.Fatalf("Dims = %d, want 3", e.Dims())
+	}
+	if got := e.Score([]float64{10, 4, 3}); got != 15 {
+		t.Errorf("Score = %v, want 15", got)
+	}
+	// Positional references coexist with names.
+	e2 := compile(t, "points + x2", opts)
+	if got := e2.Score([]float64{1, 0, 5}); got != 6 {
+		t.Errorf("Score = %v, want 6", got)
+	}
+}
+
+func TestNameTableErrors(t *testing.T) {
+	cases := []Options{
+		{Names: []string{"points", "points"}}, // duplicate
+		{Names: []string{"min"}},              // builtin collision
+		{Names: []string{"pi"}},               // constant collision
+		{Names: []string{"bad name"}},         // invalid chars
+		{Names: []string{"1st"}},              // leading digit
+	}
+	for i, opts := range cases {
+		if _, err := Compile("1", opts); err == nil {
+			t.Errorf("case %d: expected name-table error", i)
+		}
+	}
+}
+
+func TestEmptyNameSlotsAreSkipped(t *testing.T) {
+	opts := Options{Names: []string{"points", "", "rebounds"}}
+	e := compile(t, "points + x1 + rebounds", opts)
+	if got := e.Score([]float64{1, 2, 4}); got != 7 {
+		t.Errorf("Score = %v, want 7", got)
+	}
+}
+
+func TestDimsInference(t *testing.T) {
+	e := compile(t, "x3 + x1", Options{})
+	if e.Dims() != 4 {
+		t.Errorf("inferred Dims = %d, want 4", e.Dims())
+	}
+	c := compile(t, "42", Options{})
+	if c.Dims() != 1 {
+		t.Errorf("constant Dims = %d, want 1", c.Dims())
+	}
+	n := compile(t, "1", Options{Names: []string{"a", "b", "c"}})
+	if n.Dims() != 3 {
+		t.Errorf("named Dims = %d, want 3", n.Dims())
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCompile should panic on a bad expression")
+		}
+	}()
+	MustCompile("(", Options{})
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	cases := []string{
+		"1 + 2*3",
+		"x0 - (x1 - x2)",
+		"-x0 ^ 2",
+		"(-x0) ^ 2",
+		"2*x0 - 3*x1/4 + min(x0, x1, 1)",
+		"log1p(x0) + sqrt(abs(x1 - 3))",
+		"pow(x0 + 1, 2) / (x1 + 5)",
+		"2 ^ 3 ^ x0",
+		"max(x0, -x1)",
+	}
+	xs := [][]float64{{0.3, 1.7, 2.2}, {5, 0.1, 9}, {1, 1, 1}}
+	for _, src := range cases {
+		e1 := compile(t, src, Options{Dims: 3})
+		e2 := compile(t, e1.String(), Options{Dims: 3})
+		for _, x := range xs {
+			a, b := e1.Score(x), e2.Score(x)
+			if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+				t.Errorf("%q: rendered %q evaluates differently: %v vs %v at %v",
+					src, e1.String(), a, b, x)
+			}
+		}
+	}
+}
+
+func TestSourceAccessor(t *testing.T) {
+	src := " x0+1 "
+	e := compile(t, src, Options{Dims: 1})
+	if e.Source() != src {
+		t.Errorf("Source = %q, want %q", e.Source(), src)
+	}
+}

@@ -1,0 +1,243 @@
+package expr
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// genExpr builds a random expression source of bounded depth over dims
+// attributes. The construction is deterministic in rng.
+func genExpr(rng *rand.Rand, depth, dims int) string {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return strconv.FormatFloat(math.Round(rng.Float64()*8*100)/100, 'g', -1, 64)
+		default:
+			return "x" + strconv.Itoa(rng.Intn(dims))
+		}
+	}
+	switch rng.Intn(12) {
+	case 0:
+		return "(" + genExpr(rng, depth-1, dims) + " + " + genExpr(rng, depth-1, dims) + ")"
+	case 1:
+		return "(" + genExpr(rng, depth-1, dims) + " - " + genExpr(rng, depth-1, dims) + ")"
+	case 2:
+		return "(" + genExpr(rng, depth-1, dims) + " * " + genExpr(rng, depth-1, dims) + ")"
+	case 3:
+		return "(" + genExpr(rng, depth-1, dims) + " / " + genExpr(rng, depth-1, dims) + ")"
+	case 4:
+		return "-" + "(" + genExpr(rng, depth-1, dims) + ")"
+	case 5:
+		return "abs(" + genExpr(rng, depth-1, dims) + ")"
+	case 6:
+		return "sqrt(" + genExpr(rng, depth-1, dims) + ")"
+	case 7:
+		return "log1p(" + genExpr(rng, depth-1, dims) + ")"
+	case 8:
+		return "min(" + genExpr(rng, depth-1, dims) + ", " + genExpr(rng, depth-1, dims) + ")"
+	case 9:
+		return "max(" + genExpr(rng, depth-1, dims) + ", " + genExpr(rng, depth-1, dims) + ")"
+	case 10:
+		return "(" + genExpr(rng, depth-1, dims) + ")^2"
+	default:
+		return "exp(" + genExpr(rng, depth-1, dims) + " / 16)"
+	}
+}
+
+// genBox returns a random attribute box lo <= hi in [-8, 8]^dims.
+func genBox(rng *rand.Rand, dims int) (lo, hi []float64) {
+	lo = make([]float64, dims)
+	hi = make([]float64, dims)
+	for i := 0; i < dims; i++ {
+		a := rng.Float64()*16 - 8
+		b := rng.Float64()*16 - 8
+		if a > b {
+			a, b = b, a
+		}
+		lo[i], hi[i] = a, b
+	}
+	return lo, hi
+}
+
+// genPointIn samples a point uniformly inside the box.
+func genPointIn(rng *rand.Rand, lo, hi []float64) []float64 {
+	x := make([]float64, len(lo))
+	for i := range x {
+		x[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
+	}
+	return x
+}
+
+// TestQuickUpperBoundSound: for random expressions, boxes, and in-box sample
+// points, every finite score is bounded by UpperBound.
+func TestQuickUpperBoundSound(t *testing.T) {
+	const dims = 3
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := genExpr(rng, 3, dims)
+		e, err := Compile(src, Options{Dims: dims})
+		if err != nil {
+			t.Fatalf("generated expression %q does not compile: %v", src, err)
+		}
+		lo, hi := genBox(rng, dims)
+		bound := e.UpperBound(lo, hi)
+		if math.IsNaN(bound) {
+			t.Errorf("UpperBound(%q) returned NaN", src)
+			return false
+		}
+		for i := 0; i < 32; i++ {
+			x := genPointIn(rng, lo, hi)
+			v := e.Score(x)
+			if math.IsNaN(v) {
+				continue // outside the expression's domain
+			}
+			tol := 1e-9 * (1 + math.Abs(v))
+			if v > bound+tol {
+				t.Errorf("expr %q: Score(%v)=%v exceeds UpperBound(%v,%v)=%v",
+					src, x, v, lo, hi, bound)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRangeSound mirrors the upper-bound property for the lower side.
+func TestQuickRangeSound(t *testing.T) {
+	const dims = 3
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := genExpr(rng, 3, dims)
+		e, err := Compile(src, Options{Dims: dims})
+		if err != nil {
+			t.Fatalf("generated expression %q does not compile: %v", src, err)
+		}
+		lo, hi := genBox(rng, dims)
+		min, max := e.Range(lo, hi)
+		if min > max {
+			t.Errorf("expr %q: Range returned min %v > max %v", src, min, max)
+			return false
+		}
+		for i := 0; i < 32; i++ {
+			x := genPointIn(rng, lo, hi)
+			v := e.Score(x)
+			if math.IsNaN(v) {
+				continue
+			}
+			tol := 1e-9 * (1 + math.Abs(v))
+			if v < min-tol || v > max+tol {
+				t.Errorf("expr %q: Score(%v)=%v escapes Range [%v, %v]", src, x, v, min, max)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMonotoneSound: whenever the analysis claims monotonicity, scores
+// must be non-decreasing along componentwise-ordered pairs.
+func TestQuickMonotoneSound(t *testing.T) {
+	const dims = 3
+	monotoneSeen := 0
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := genExpr(rng, 3, dims)
+		e, err := Compile(src, Options{Dims: dims})
+		if err != nil {
+			t.Fatalf("generated expression %q does not compile: %v", src, err)
+		}
+		if !e.IsMonotone() {
+			return true
+		}
+		monotoneSeen++
+		for i := 0; i < 32; i++ {
+			x := make([]float64, dims)
+			y := make([]float64, dims)
+			for j := 0; j < dims; j++ {
+				x[j] = rng.Float64()*16 - 8
+				y[j] = x[j] + rng.Float64()*4
+			}
+			a, b := e.Score(x), e.Score(y)
+			if math.IsNaN(a) || math.IsNaN(b) {
+				continue
+			}
+			tol := 1e-9 * (1 + math.Abs(a))
+			if a > b+tol {
+				t.Errorf("expr %q claimed monotone but Score(%v)=%v > Score(%v)=%v",
+					src, x, a, y, b)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+	if monotoneSeen == 0 {
+		t.Error("generator produced no monotone expressions; property vacuous")
+	}
+}
+
+// TestQuickStringRoundTrip: rendering and re-parsing preserves evaluation.
+func TestQuickStringRoundTrip(t *testing.T) {
+	const dims = 3
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := genExpr(rng, 4, dims)
+		e1, err := Compile(src, Options{Dims: dims})
+		if err != nil {
+			t.Fatalf("generated expression %q does not compile: %v", src, err)
+		}
+		rendered := e1.String()
+		e2, err := Compile(rendered, Options{Dims: dims})
+		if err != nil {
+			t.Errorf("rendered form %q of %q does not re-compile: %v", rendered, src, err)
+			return false
+		}
+		if e1.IsMonotone() != e2.IsMonotone() {
+			t.Errorf("monotonicity changed across round-trip of %q", src)
+			return false
+		}
+		for i := 0; i < 16; i++ {
+			x := genPointIn(rng, []float64{-8, -8, -8}, []float64{8, 8, 8})
+			a, b := e1.Score(x), e2.Score(x)
+			if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+				t.Errorf("round-trip of %q via %q: %v vs %v at %v", src, rendered, a, b, x)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGeneratorShape sanity-checks the random generator itself so the
+// properties above exercise non-trivial structure.
+func TestGeneratorShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sawCall, sawVar := false, false
+	for i := 0; i < 64; i++ {
+		src := genExpr(rng, 3, 3)
+		if strings.ContainsAny(src, "(") {
+			sawCall = true
+		}
+		if strings.Contains(src, "x") {
+			sawVar = true
+		}
+	}
+	if !sawCall || !sawVar {
+		t.Errorf("generator too trivial: sawCall=%v sawVar=%v", sawCall, sawVar)
+	}
+}

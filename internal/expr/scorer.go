@@ -1,0 +1,11 @@
+package expr
+
+import "repro/internal/score"
+
+// Compile-time checks: a compiled expression plugs into every scorer
+// capability the durable top-k engine can exploit.
+var (
+	_ score.Scorer        = (*Expr)(nil)
+	_ score.Bounder       = (*Expr)(nil)
+	_ score.MonotoneAware = (*Expr)(nil)
+)

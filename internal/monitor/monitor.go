@@ -1,0 +1,230 @@
+// Package monitor decides durability online, over a live stream of
+// instant-stamped records — the continuous counterpart of the offline
+// engine, in the streaming setting of Mouratidis et al. [11] that the
+// paper's §II and §VII discuss.
+//
+// Two symmetric questions are answered per arrival, both in O(log w)
+// amortized time for a trailing window of w records:
+//
+//   - Look-back (instant): is the new record in the top-k of the tau-length
+//     window ending at its own arrival? This is decidable the moment the
+//     record arrives, because its window is already complete — the paper's
+//     "best in the past tau" claim.
+//   - Look-ahead (delayed): once a record's forward window [p.t, p.t+tau]
+//     closes, was it beaten by fewer than k later arrivals? This is the
+//     "has yet to be broken" claim of the paper's opening example,
+//     confirmed exactly tau ticks after the fact or refuted implicitly by
+//     the confirmation's Durable flag.
+//
+// Ties follow the paper's definition: only strictly higher scores count
+// against a record. Timestamps must be strictly increasing.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/score"
+)
+
+// Decision is the instant look-back verdict for one arrival.
+type Decision struct {
+	ID      int   // arrival index, 0-based
+	Time    int64 // arrival time
+	Durable bool  // in the top-k of [t-tau, t]
+	Rank    int   // 1 + number of strictly higher scores in the window
+	Window  int   // records in [t-tau, t] including this one
+}
+
+// Confirmation is the delayed look-ahead verdict for a past arrival,
+// emitted once its forward window closes (or the stream is finalized).
+type Confirmation struct {
+	ID      int   // arrival index of the confirmed record
+	Time    int64 // its arrival time
+	Durable bool  // beaten by fewer than k arrivals in (t, t+tau]
+	Beaten  int   // number of strictly higher scores that arrived in time
+	// Truncated marks confirmations forced by Finish before the window
+	// closed naturally; Durable then refers to the observed prefix only.
+	Truncated bool
+}
+
+// Options configures a Monitor.
+type Options struct {
+	// TrackAhead also maintains the delayed look-ahead confirmations.
+	// Without it Observe never returns confirmations and uses one less
+	// structure.
+	TrackAhead bool
+}
+
+// Monitor ingests a time-ordered stream and reports durable top-k records.
+// Not safe for concurrent use.
+type Monitor struct {
+	k    int
+	tau  int64
+	s    score.Scorer
+	opts Options
+
+	seq      uint64
+	lastTime int64
+	started  bool
+
+	// Trailing look-back window: multiset of scores within [t-tau, t].
+	win   treap
+	queue []winEntry // FIFO by arrival time
+
+	// Pending look-ahead candidates with lazily counted defeats.
+	ahead   treap
+	pending []aheadEntry // FIFO by arrival time
+}
+
+type winEntry struct {
+	time int64
+	key  streamKey
+}
+
+type aheadEntry struct {
+	id   int
+	time int64
+	key  streamKey
+}
+
+// New returns a monitor for top-k durability over tau-length windows under
+// the scoring function s.
+func New(k int, tau int64, s score.Scorer, opts Options) (*Monitor, error) {
+	if k < 1 {
+		return nil, errors.New("monitor: k must be >= 1")
+	}
+	if tau < 0 {
+		return nil, errors.New("monitor: tau must be >= 0")
+	}
+	if s == nil {
+		return nil, errors.New("monitor: scorer must not be nil")
+	}
+	return &Monitor{k: k, tau: tau, s: s, opts: opts}, nil
+}
+
+// K returns the top-k parameter.
+func (m *Monitor) K() int { return m.k }
+
+// Tau returns the window length.
+func (m *Monitor) Tau() int64 { return m.tau }
+
+// Len returns the number of records currently inside the trailing window.
+func (m *Monitor) Len() int { return m.win.len() }
+
+// Pending returns the number of look-ahead candidates awaiting
+// confirmation.
+func (m *Monitor) Pending() int { return len(m.pending) }
+
+// Observe ingests one record. It returns the instant look-back decision for
+// this record and any look-ahead confirmations that became due strictly
+// before t (windows [p.t, p.t+tau] with p.t+tau < t are complete, since no
+// further arrival can fall inside them).
+func (m *Monitor) Observe(t int64, attrs []float64) (Decision, []Confirmation, error) {
+	if m.started && t <= m.lastTime {
+		return Decision{}, nil, fmt.Errorf("monitor: time %d not after %d", t, m.lastTime)
+	}
+	if d := m.s.Dims(); len(attrs) != d {
+		return Decision{}, nil, fmt.Errorf("monitor: got %d attrs, want %d", len(attrs), d)
+	}
+	m.started = true
+	m.lastTime = t
+	sc := m.s.Score(attrs)
+
+	confirms := m.confirmDue(t)
+
+	// Count this arrival against every pending candidate it out-scores;
+	// their windows all contain t (pending times are within the last tau).
+	if m.opts.TrackAhead {
+		m.ahead.addBelowScore(sc, 1)
+	}
+
+	// Evict trailing records older than t - tau, then decide instantly.
+	cut := t - m.tau
+	for len(m.queue) > 0 && m.queue[0].time < cut {
+		m.win.remove(m.queue[0].key)
+		m.queue = m.queue[1:]
+	}
+	higher := m.win.countGreaterScore(sc)
+	id := int(m.seq)
+	dec := Decision{
+		ID:      id,
+		Time:    t,
+		Durable: higher < m.k,
+		Rank:    higher + 1,
+		Window:  m.win.len() + 1,
+	}
+
+	key := streamKey{score: sc, seq: m.seq}
+	m.seq++
+	m.win.insert(key)
+	m.queue = append(m.queue, winEntry{time: t, key: key})
+	if m.opts.TrackAhead {
+		m.ahead.insert(key)
+		m.pending = append(m.pending, aheadEntry{id: id, time: t, key: key})
+	}
+	return dec, confirms, nil
+}
+
+// confirmDue pops pending candidates whose forward windows closed before
+// now.
+func (m *Monitor) confirmDue(now int64) []Confirmation {
+	if !m.opts.TrackAhead {
+		return nil
+	}
+	var out []Confirmation
+	for len(m.pending) > 0 && m.pending[0].time+m.tau < now {
+		p := m.pending[0]
+		m.pending = m.pending[1:]
+		beaten, ok := m.ahead.remove(p.key)
+		if !ok {
+			beaten = 0 // unreachable; defensive
+		}
+		out = append(out, Confirmation{
+			ID: p.id, Time: p.time,
+			Durable: beaten < m.k, Beaten: beaten,
+		})
+	}
+	return out
+}
+
+// Finish confirms every remaining look-ahead candidate at end of stream.
+// Candidates whose window extends past the last observed arrival are marked
+// Truncated: nothing observed refuted them, but the window was cut short.
+// Observe may continue afterwards; confirmations then restart from later
+// arrivals.
+func (m *Monitor) Finish() []Confirmation {
+	if !m.opts.TrackAhead {
+		return nil
+	}
+	var out []Confirmation
+	for _, p := range m.pending {
+		beaten, _ := m.ahead.remove(p.key)
+		out = append(out, Confirmation{
+			ID: p.id, Time: p.time,
+			Durable:   beaten < m.k,
+			Beaten:    beaten,
+			Truncated: p.time+m.tau > m.lastTime,
+		})
+	}
+	m.pending = nil
+	return out
+}
+
+// TopK reports the ids currently in the trailing window's top-k, best
+// first — the continuously monitored answer of [11].
+func (m *Monitor) TopK() []int {
+	n := m.win.len()
+	if n > m.k {
+		n = m.k
+	}
+	out := make([]int, 0, n)
+	for r := 1; r <= n; r++ {
+		key, ok := m.win.kthLargest(r)
+		if !ok {
+			break
+		}
+		out = append(out, int(key.seq))
+	}
+	return out
+}

@@ -1,0 +1,359 @@
+package monitor
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/score"
+)
+
+// stream is a reusable random stream: strictly increasing times, integer
+// scores from [0, spread) to exercise ties.
+func stream(rng *rand.Rand, n, spread int) ([]int64, [][]float64) {
+	times := make([]int64, n)
+	attrs := make([][]float64, n)
+	t := int64(0)
+	for i := 0; i < n; i++ {
+		t += int64(1 + rng.Intn(3))
+		times[i] = t
+		attrs[i] = []float64{float64(rng.Intn(spread))}
+	}
+	return times, attrs
+}
+
+func mustMonitor(t testing.TB, k int, tau int64, opts Options) *Monitor {
+	t.Helper()
+	m, err := New(k, tau, score.MustLinear(1), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestLookBackMatchesOracle: the instant decisions must equal the offline
+// engine's look-back answer over the whole stream.
+func TestLookBackMatchesOracle(t *testing.T) {
+	for _, spread := range []int{500, 7, 1} {
+		rng := rand.New(rand.NewSource(int64(spread)))
+		times, attrs := stream(rng, 400, spread)
+		ds, err := data.New(times, attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 3} {
+			const tau = 37
+			m := mustMonitor(t, k, tau, Options{})
+			var live []int
+			for i := range times {
+				dec, confirms, err := m.Observe(times[i], attrs[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(confirms) != 0 {
+					t.Fatal("confirmations without TrackAhead")
+				}
+				if dec.ID != i || dec.Time != times[i] {
+					t.Fatalf("decision identity wrong: %+v", dec)
+				}
+				if dec.Durable {
+					live = append(live, i)
+				}
+				if dec.Durable != (dec.Rank <= k) {
+					t.Fatalf("rank %d inconsistent with durable=%v (k=%d)", dec.Rank, dec.Durable, k)
+				}
+			}
+			lo, hi := ds.Span()
+			want := core.BruteForce(ds, score.MustLinear(1), k, tau, lo, hi, core.LookBack)
+			if !reflect.DeepEqual(live, want) {
+				t.Fatalf("spread=%d k=%d: live %v, oracle %v", spread, k, live, want)
+			}
+		}
+	}
+}
+
+// TestLookAheadMatchesOracle: delayed confirmations (plus Finish) must equal
+// the offline look-ahead answer, with truncation exactly on the suffix
+// whose windows overrun the stream.
+func TestLookAheadMatchesOracle(t *testing.T) {
+	for _, spread := range []int{500, 5} {
+		rng := rand.New(rand.NewSource(int64(100 + spread)))
+		times, attrs := stream(rng, 400, spread)
+		ds, err := data.New(times, attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const k, tau = 2, 41
+		m := mustMonitor(t, k, tau, Options{TrackAhead: true})
+		var confirmed []Confirmation
+		for i := range times {
+			_, confirms, err := m.Observe(times[i], attrs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			confirmed = append(confirmed, confirms...)
+		}
+		confirmed = append(confirmed, m.Finish()...)
+		if len(confirmed) != len(times) {
+			t.Fatalf("confirmed %d of %d records", len(confirmed), len(times))
+		}
+		// Confirmations arrive in arrival order.
+		var durable []int
+		for i, c := range confirmed {
+			if c.ID != i {
+				t.Fatalf("confirmation %d out of order: %+v", i, c)
+			}
+			if c.Durable {
+				durable = append(durable, c.ID)
+			}
+			wantTrunc := c.Time+tau > times[len(times)-1]
+			if c.Truncated != wantTrunc {
+				t.Fatalf("record %d truncated=%v, want %v", c.ID, c.Truncated, wantTrunc)
+			}
+		}
+		lo, hi := ds.Span()
+		want := core.BruteForce(ds, score.MustLinear(1), k, tau, lo, hi, core.LookAhead)
+		if !reflect.DeepEqual(durable, want) {
+			t.Fatalf("spread=%d: confirmations %v, oracle %v", spread, durable, want)
+		}
+	}
+}
+
+// TestQuickStreamAgainstOracle drives both directions through testing/quick.
+func TestQuickStreamAgainstOracle(t *testing.T) {
+	prop := func(seed int64, kRaw, tauRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 60 + rng.Intn(120)
+		spread := 1 + rng.Intn(40)
+		times, attrs := stream(rng, n, spread)
+		ds, err := data.New(times, attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 1 + int(kRaw)%5
+		tau := int64(tauRaw)%80 + 1
+		m, err := New(k, tau, score.MustLinear(1), Options{TrackAhead: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var live []int
+		var confirmed []int
+		for i := range times {
+			dec, confirms, err := m.Observe(times[i], attrs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dec.Durable {
+				live = append(live, i)
+			}
+			for _, c := range confirms {
+				if c.Durable {
+					confirmed = append(confirmed, c.ID)
+				}
+			}
+		}
+		for _, c := range m.Finish() {
+			if c.Durable {
+				confirmed = append(confirmed, c.ID)
+			}
+		}
+		sort.Ints(confirmed)
+		lo, hi := ds.Span()
+		s := score.MustLinear(1)
+		back := core.BruteForce(ds, s, k, tau, lo, hi, core.LookBack)
+		ahead := core.BruteForce(ds, s, k, tau, lo, hi, core.LookAhead)
+		return reflect.DeepEqual(live, back) && reflect.DeepEqual(confirmed, ahead)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKTracksWindow(t *testing.T) {
+	m := mustMonitor(t, 2, 10, Options{})
+	feed := []struct {
+		t int64
+		v float64
+	}{{1, 5}, {2, 9}, {3, 7}, {4, 9}, {15, 1}}
+	for _, f := range feed {
+		if _, _, err := m.Observe(f.t, []float64{f.v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After t=15, everything before t=5 expired; window = {t=15}.
+	if got := m.TopK(); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("TopK after expiry = %v, want [4]", got)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("window length %d, want 1", m.Len())
+	}
+}
+
+func TestTopKOrdering(t *testing.T) {
+	m := mustMonitor(t, 3, 100, Options{})
+	vals := []float64{4, 8, 6, 8, 2}
+	for i, v := range vals {
+		if _, _, err := m.Observe(int64(i+1), []float64{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Best-first with later arrivals ranked above equal scores: 8@3, 8@1, 6@2.
+	if got := m.TopK(); !reflect.DeepEqual(got, []int{3, 1, 2}) {
+		t.Fatalf("TopK = %v, want [3 1 2]", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0, 1, score.MustLinear(1), Options{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := New(1, -1, score.MustLinear(1), Options{}); err == nil {
+		t.Error("negative tau accepted")
+	}
+	if _, err := New(1, 1, nil, Options{}); err == nil {
+		t.Error("nil scorer accepted")
+	}
+	m := mustMonitor(t, 1, 5, Options{})
+	if _, _, err := m.Observe(3, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Observe(3, []float64{1}); err == nil {
+		t.Error("non-increasing time accepted")
+	}
+	if _, _, err := m.Observe(4, []float64{1, 2}); err == nil {
+		t.Error("wrong dimensionality accepted")
+	}
+}
+
+func TestTauZero(t *testing.T) {
+	m := mustMonitor(t, 1, 0, Options{TrackAhead: true})
+	var durable int
+	var confirms []Confirmation
+	for i := 1; i <= 5; i++ {
+		dec, cs, err := m.Observe(int64(i), []float64{float64(i % 2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dec.Durable || dec.Window != 1 {
+			t.Fatalf("tau=0 decision %+v; every record should top its own point window", dec)
+		}
+		durable++
+		confirms = append(confirms, cs...)
+	}
+	confirms = append(confirms, m.Finish()...)
+	for _, c := range confirms {
+		if !c.Durable || c.Beaten != 0 {
+			t.Fatalf("tau=0 confirmation %+v; point windows cannot be beaten", c)
+		}
+	}
+	if durable != 5 || len(confirms) != 5 {
+		t.Fatalf("durable=%d confirms=%d, want 5 and 5", durable, len(confirms))
+	}
+}
+
+func TestTiesDoNotBeat(t *testing.T) {
+	m := mustMonitor(t, 1, 100, Options{TrackAhead: true})
+	for i := 1; i <= 4; i++ {
+		dec, _, err := m.Observe(int64(i), []float64{42}) // all equal
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dec.Durable || dec.Rank != 1 {
+			t.Fatalf("tied record %d not durable: %+v", i, dec)
+		}
+	}
+	for _, c := range m.Finish() {
+		if !c.Durable || c.Beaten != 0 {
+			t.Fatalf("tied confirmation %+v", c)
+		}
+	}
+}
+
+func TestFinishThenContinue(t *testing.T) {
+	m := mustMonitor(t, 1, 3, Options{TrackAhead: true})
+	if _, _, err := m.Observe(1, []float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Finish(); len(got) != 1 || !got[0].Truncated {
+		t.Fatalf("Finish = %+v, want one truncated confirmation", got)
+	}
+	if m.Pending() != 0 {
+		t.Fatal("pending not drained")
+	}
+	// The stream may continue; new records confirm independently.
+	if _, _, err := m.Observe(2, []float64{9}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Finish(); len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("second Finish = %+v", got)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	m := mustMonitor(t, 3, 17, Options{TrackAhead: true})
+	if m.K() != 3 || m.Tau() != 17 || m.Len() != 0 || m.Pending() != 0 {
+		t.Fatalf("fresh monitor accessors wrong: k=%d tau=%d len=%d pending=%d",
+			m.K(), m.Tau(), m.Len(), m.Pending())
+	}
+	if _, _, err := m.Observe(1, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 1 || m.Pending() != 1 {
+		t.Fatalf("after one observe: len=%d pending=%d", m.Len(), m.Pending())
+	}
+}
+
+// TestTreapRemoveMissing covers the defensive branch.
+func TestTreapRemoveMissing(t *testing.T) {
+	var tr treap
+	tr.insert(streamKey{score: 1, seq: 1})
+	if _, ok := tr.remove(streamKey{score: 2, seq: 2}); ok {
+		t.Fatal("removed a missing key")
+	}
+	if v, ok := tr.remove(streamKey{score: 1, seq: 1}); !ok || v != 0 {
+		t.Fatalf("remove = %d, %v", v, ok)
+	}
+	if tr.len() != 0 {
+		t.Fatal("treap not empty")
+	}
+}
+
+// TestTreapLazyCounters exercises addBelowScore + remove accounting
+// directly.
+func TestTreapLazyCounters(t *testing.T) {
+	var tr treap
+	keys := []streamKey{{1, 0}, {3, 1}, {5, 2}, {3, 3}}
+	for _, k := range keys {
+		tr.insert(k)
+	}
+	tr.addBelowScore(4, 1)  // hits scores 1, 3, 3
+	tr.addBelowScore(3, 1)  // hits score 1 only (strictly below)
+	tr.addBelowScore(10, 1) // hits everything
+	wants := map[streamKey]int{
+		{1, 0}: 3, {3, 1}: 2, {5, 2}: 1, {3, 3}: 2,
+	}
+	for k, want := range wants {
+		if got, ok := tr.remove(k); !ok || got != want {
+			t.Errorf("counter of %v = %d (%v), want %d", k, got, ok, want)
+		}
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m, err := New(10, 1024, score.MustLinear(1), Options{TrackAhead: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.Observe(int64(i+1), []float64{rng.Float64()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package monitor
+
+// streamKey orders stream records by (score, seq): seq is the unique
+// arrival index, so keys never collide and equal scores stay distinct.
+type streamKey struct {
+	score float64
+	seq   uint64
+}
+
+func keyLess(a, b streamKey) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	return a.seq < b.seq
+}
+
+// treap is an order-statistic treap over streamKeys with a lazily
+// propagated integer "hit counter" per node. The trailing look-back window
+// uses sizes and countGreater; the look-ahead pending set additionally uses
+// addBelow/valueOf to accumulate how many later arrivals out-scored each
+// pending record without touching them individually.
+type treap struct {
+	root *tnode
+	rng  uint64
+}
+
+type tnode struct {
+	key  streamKey
+	prio uint64
+	size int
+	val  int // hit counter (excluding pending lazy above this node)
+	lazy int // pending addition for the whole subtree
+	l, r *tnode
+}
+
+func tsize(n *tnode) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *tnode) resize() { n.size = 1 + tsize(n.l) + tsize(n.r) }
+
+// push propagates the lazy addition one level down.
+func (n *tnode) push() {
+	if n.lazy == 0 {
+		return
+	}
+	if n.l != nil {
+		n.l.val += n.lazy
+		n.l.lazy += n.lazy
+	}
+	if n.r != nil {
+		n.r.val += n.lazy
+		n.r.lazy += n.lazy
+	}
+	n.lazy = 0
+}
+
+// next is a SplitMix64 step; deterministic priorities keep runs
+// reproducible.
+func (t *treap) next() uint64 {
+	t.rng += 0x9e3779b97f4a7c15
+	z := t.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (t *treap) len() int { return tsize(t.root) }
+
+// split divides n into keys < key and keys >= key.
+func split(n *tnode, key streamKey) (lo, hi *tnode) {
+	if n == nil {
+		return nil, nil
+	}
+	n.push()
+	if keyLess(n.key, key) {
+		l, r := split(n.r, key)
+		n.r = l
+		n.resize()
+		return n, r
+	}
+	l, r := split(n.l, key)
+	n.l = r
+	n.resize()
+	return l, n
+}
+
+// merge joins lo and hi; every key in lo precedes every key in hi.
+func merge(lo, hi *tnode) *tnode {
+	switch {
+	case lo == nil:
+		return hi
+	case hi == nil:
+		return lo
+	}
+	if lo.prio > hi.prio {
+		lo.push()
+		lo.r = merge(lo.r, hi)
+		lo.resize()
+		return lo
+	}
+	hi.push()
+	hi.l = merge(lo, hi.l)
+	hi.resize()
+	return hi
+}
+
+// insert adds key with a zero counter.
+func (t *treap) insert(key streamKey) {
+	lo, hi := split(t.root, key)
+	n := &tnode{key: key, prio: t.next(), size: 1}
+	t.root = merge(merge(lo, n), hi)
+}
+
+// remove deletes key and returns its accumulated counter value.
+func (t *treap) remove(key streamKey) (val int, ok bool) {
+	var walk func(n *tnode) *tnode
+	walk = func(n *tnode) *tnode {
+		if n == nil {
+			return nil
+		}
+		n.push()
+		switch {
+		case key == n.key:
+			val, ok = n.val, true
+			return merge(n.l, n.r)
+		case keyLess(key, n.key):
+			n.l = walk(n.l)
+		default:
+			n.r = walk(n.r)
+		}
+		n.resize()
+		return n
+	}
+	t.root = walk(t.root)
+	return val, ok
+}
+
+// countGreaterScore returns how many keys have a score strictly above s.
+func (t *treap) countGreaterScore(s float64) int {
+	total := 0
+	n := t.root
+	for n != nil {
+		if n.key.score > s {
+			total += tsize(n.r) + 1
+			n = n.l
+		} else {
+			n = n.r
+		}
+	}
+	return total
+}
+
+// addBelowScore adds delta to the counter of every key with score strictly
+// below s.
+func (t *treap) addBelowScore(s float64, delta int) {
+	// Split at the smallest possible key of score s: everything below has
+	// score < s.
+	lo, hi := split(t.root, streamKey{score: s, seq: 0})
+	if lo != nil {
+		lo.val += delta
+		lo.lazy += delta
+	}
+	t.root = merge(lo, hi)
+}
+
+// kthLargest returns the key ranked rank (1 = highest score) and its
+// counter.
+func (t *treap) kthLargest(rank int) (streamKey, bool) {
+	n := t.root
+	if rank < 1 || rank > tsize(n) {
+		return streamKey{}, false
+	}
+	for {
+		n.push()
+		right := tsize(n.r)
+		switch {
+		case rank <= right:
+			n = n.r
+		case rank == right+1:
+			return n.key, true
+		default:
+			rank -= right + 1
+			n = n.l
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package pagestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+// Slotted page layout (little endian):
+//
+//	offset 0  uint16  nSlots
+//	offset 2  uint16  freeUpper (start of tuple space, grows down)
+//	offset 4  uint32  checksum over [slotDirEnd, PageSize)
+//	offset 8  slot directory: nSlots x { off uint16, len uint16 }
+//	...free space...
+//	tuples packed at the page end
+const (
+	slotDirStart  = 8
+	slotEntrySize = 4
+)
+
+// ErrCorruptPage reports a checksum mismatch.
+var ErrCorruptPage = errors.New("pagestore: page checksum mismatch")
+
+// SlottedPage interprets a PageSize byte slice as a slotted data page.
+type SlottedPage []byte
+
+// InitSlotted formats p as an empty slotted page.
+func InitSlotted(p []byte) {
+	for i := range p {
+		p[i] = 0
+	}
+	binary.LittleEndian.PutUint16(p[2:], PageSize)
+}
+
+// NumSlots returns the number of stored tuples.
+func (p SlottedPage) NumSlots() int {
+	return int(binary.LittleEndian.Uint16(p[0:]))
+}
+
+func (p SlottedPage) freeUpper() int {
+	return int(binary.LittleEndian.Uint16(p[2:]))
+}
+
+// FreeSpace returns the bytes available for one more tuple (including its
+// slot directory entry).
+func (p SlottedPage) FreeSpace() int {
+	free := p.freeUpper() - (slotDirStart + p.NumSlots()*slotEntrySize) - slotEntrySize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Insert appends a tuple, returning its slot number, or ok=false when the
+// page lacks space.
+func (p SlottedPage) Insert(tuple []byte) (slot int, ok bool) {
+	if len(tuple) > p.FreeSpace() {
+		return 0, false
+	}
+	n := p.NumSlots()
+	newUpper := p.freeUpper() - len(tuple)
+	copy(p[newUpper:], tuple)
+	entry := slotDirStart + n*slotEntrySize
+	binary.LittleEndian.PutUint16(p[entry:], uint16(newUpper))
+	binary.LittleEndian.PutUint16(p[entry+2:], uint16(len(tuple)))
+	binary.LittleEndian.PutUint16(p[0:], uint16(n+1))
+	binary.LittleEndian.PutUint16(p[2:], uint16(newUpper))
+	return n, true
+}
+
+// Tuple returns the slot's bytes, aliasing the page.
+func (p SlottedPage) Tuple(slot int) []byte {
+	entry := slotDirStart + slot*slotEntrySize
+	off := int(binary.LittleEndian.Uint16(p[entry:]))
+	ln := int(binary.LittleEndian.Uint16(p[entry+2:]))
+	return p[off : off+ln]
+}
+
+// SetChecksum seals the page's tuple area with a CRC32.
+func (p SlottedPage) SetChecksum() {
+	binary.LittleEndian.PutUint32(p[4:], p.computeChecksum())
+}
+
+// VerifyChecksum reports whether the stored checksum matches the tuple area.
+func (p SlottedPage) VerifyChecksum() error {
+	if binary.LittleEndian.Uint32(p[4:]) != p.computeChecksum() {
+		return ErrCorruptPage
+	}
+	return nil
+}
+
+func (p SlottedPage) computeChecksum() uint32 {
+	return crc32.ChecksumIEEE(p[p.freeUpper():PageSize])
+}

@@ -1,0 +1,200 @@
+package pagestore
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/score"
+)
+
+func buildTestDB(t *testing.T, ds *data.Dataset, poolPages int) (*BufferPool, *Table, *SummaryIndex) {
+	t.Helper()
+	bp := NewBufferPool(NewMemBacking(), poolPages)
+	tbl, err := CreateTable(bp, ds.Dims())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ds.Len(); i++ {
+		if err := tbl.Append(uint32(i), ds.Time(i), ds.Attrs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idx, err := BuildSummaryIndex(bp, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bp, tbl, idx
+}
+
+func randDS(rng *rand.Rand, n, d, domain int) *data.Dataset {
+	b := data.NewBuilder(d, n)
+	tt := int64(0)
+	row := make([]float64, d)
+	for i := 0; i < n; i++ {
+		tt += int64(1 + rng.Intn(3))
+		for j := range row {
+			if domain > 0 {
+				row[j] = float64(rng.Intn(domain))
+			} else {
+				row[j] = rng.Float64() * 10
+			}
+		}
+		if err := b.Append(tt, row); err != nil {
+			panic(err)
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+func naivePagedTopK(ds *data.Dataset, s score.Scorer, k int, t1, t2 int64) []Item {
+	var items []Item
+	for i := 0; i < ds.Len(); i++ {
+		tm := ds.Time(i)
+		if tm < t1 || tm > t2 {
+			continue
+		}
+		items = append(items, Item{ID: uint32(i), Time: tm, Score: s.Score(ds.Attrs(i))})
+	}
+	sort.Slice(items, func(i, j int) bool { return betterItem(items[i], items[j]) })
+	if len(items) > k {
+		items = items[:k]
+	}
+	return items
+}
+
+func TestSummaryTopKMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 10; trial++ {
+		n := 500 + rng.Intn(4000)
+		d := 1 + rng.Intn(3)
+		domain := 0
+		if trial%2 == 0 {
+			domain = 7
+		}
+		ds := randDS(rng, n, d, domain)
+		_, _, idx := buildTestDB(t, ds, 64)
+		w := make([]float64, d)
+		for j := range w {
+			w[j] = rng.Float64()
+		}
+		s := score.MustLinear(w...)
+		lo, hi := ds.Span()
+		for q := 0; q < 10; q++ {
+			k := 1 + rng.Intn(10)
+			t1 := lo + rng.Int63n(hi-lo+1)
+			t2 := t1 + rng.Int63n(hi-t1+1)
+			got, err := idx.TopK(s, k, t1, t2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := naivePagedTopK(ds, s, k, t1, t2)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: %d items want %d", trial, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].ID != want[i].ID || got[i].Score != want[i].Score {
+					t.Fatalf("trial %d item %d: got %+v want %+v", trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSummaryTopKEdge(t *testing.T) {
+	ds := randDS(rand.New(rand.NewSource(67)), 100, 2, 0)
+	_, _, idx := buildTestDB(t, ds, 32)
+	s := score.MustLinear(1, 1)
+	if items, err := idx.TopK(s, 0, 0, 1000); err != nil || items != nil {
+		t.Fatalf("k=0: %v %v", items, err)
+	}
+	if items, err := idx.TopK(s, 5, 100, 50); err != nil || items != nil {
+		t.Fatalf("inverted window: %v %v", items, err)
+	}
+	lo, hi := ds.Span()
+	items, err := idx.TopK(s, 1000, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != ds.Len() {
+		t.Fatalf("k>n returned %d", len(items))
+	}
+}
+
+func TestSummaryIndexSmallPool(t *testing.T) {
+	// The index must work with a pool barely larger than its pin working
+	// set, exercising eviction during both build and query.
+	ds := randDS(rand.New(rand.NewSource(71)), 20_000, 2, 0)
+	bp, _, idx := buildTestDB(t, ds, 8)
+	bp.ResetStats()
+	s := score.MustLinear(0.3, 0.7)
+	lo, hi := ds.Span()
+	items, err := idx.TopK(s, 10, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 10 {
+		t.Fatalf("got %d items", len(items))
+	}
+	if bp.Stats().Reads == 0 {
+		t.Fatal("tiny pool must incur backing reads")
+	}
+}
+
+func TestNodeEncodeDecodeRoundTrip(t *testing.T) {
+	n := &summaryNode{
+		minT: -5, maxT: 99,
+		children: []int32{1, 2, 3},
+		mbrLo:    []float64{0.5, -1},
+		mbrHi:    []float64{2, 3},
+		skyTimes: []int64{7, 9},
+		skyAttrs: [][]float64{{1, 2}, {3, 4}},
+	}
+	buf := make([]byte, PageSize)
+	enc := encodeNode(buf, n, 2)
+	dec, err := decodeNode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.minT != n.minT || dec.maxT != n.maxT || len(dec.children) != 3 ||
+		dec.mbrHi[1] != 3 || dec.skyTimes[1] != 9 || dec.skyAttrs[0][1] != 2 {
+		t.Fatalf("round trip mismatch: %+v", dec)
+	}
+	leaf := &summaryNode{minT: 1, maxT: 2, leafPage: 42, mbrLo: []float64{0}, mbrHi: []float64{1}}
+	encLeaf := encodeNode(buf, leaf, 1)
+	decLeaf, err := decodeNode(encLeaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decLeaf.leafPage != 42 || decLeaf.children != nil {
+		t.Fatalf("leaf round trip: %+v", decLeaf)
+	}
+}
+
+func TestSummaryHighDimensionalFits(t *testing.T) {
+	// 37 attributes: node tuples must still fit a page (the sky cap
+	// auto-shrinks).
+	ds := randDS(rand.New(rand.NewSource(73)), 2000, 37, 0)
+	_, _, idx := buildTestDB(t, ds, 128)
+	w := make([]float64, 37)
+	for j := range w {
+		w[j] = 1
+	}
+	s := score.MustLinear(w...)
+	lo, hi := ds.Span()
+	items, err := idx.TopK(s, 5, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naivePagedTopK(ds, s, 5, lo, hi)
+	for i := range want {
+		if items[i].ID != want[i].ID {
+			t.Fatalf("item %d: %+v want %+v", i, items[i], want[i])
+		}
+	}
+}

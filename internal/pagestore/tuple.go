@@ -1,0 +1,37 @@
+package pagestore
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Record tuple encoding (little endian):
+//
+//	uint32  record id
+//	int64   arrival time
+//	d x float64 attributes
+//
+// TupleSize returns the encoded size for d attributes.
+func TupleSize(d int) int { return 4 + 8 + 8*d }
+
+// EncodeTuple serializes one record into buf (len >= TupleSize(d)) and
+// returns the used prefix.
+func EncodeTuple(buf []byte, id uint32, t int64, attrs []float64) []byte {
+	binary.LittleEndian.PutUint32(buf[0:], id)
+	binary.LittleEndian.PutUint64(buf[4:], uint64(t))
+	for i, v := range attrs {
+		binary.LittleEndian.PutUint64(buf[12+8*i:], math.Float64bits(v))
+	}
+	return buf[:TupleSize(len(attrs))]
+}
+
+// DecodeTuple deserializes a record tuple; attrs must have the table's
+// dimensionality.
+func DecodeTuple(b []byte, attrs []float64) (id uint32, t int64) {
+	id = binary.LittleEndian.Uint32(b[0:])
+	t = int64(binary.LittleEndian.Uint64(b[4:]))
+	for i := range attrs {
+		attrs[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[12+8*i:]))
+	}
+	return id, t
+}

@@ -1,0 +1,226 @@
+package planner
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// base is a mid-sized selective query over low-dimensional data.
+func base() Inputs {
+	return Inputs{
+		N: 20000, Dims: 2, NI: 20000,
+		K: 5, Tau: 4000, Window: 20000,
+		Monotone: true,
+	}
+}
+
+func estimateOf(p Plan, s Strategy) Estimate {
+	for _, e := range p.Estimates {
+		if e.Strategy == s {
+			return e
+		}
+	}
+	return Estimate{}
+}
+
+func TestChoosePickesHopForSelectiveQueries(t *testing.T) {
+	p := Choose(base())
+	if p.Chosen != THop {
+		t.Fatalf("selective low-d query chose %v, want t-hop\n%s", p.Chosen, p)
+	}
+}
+
+func TestChosenIsFirstAndEligible(t *testing.T) {
+	p := Choose(base())
+	if len(p.Estimates) != 5 {
+		t.Fatalf("expected 5 estimates, got %d", len(p.Estimates))
+	}
+	if p.Estimates[0].Strategy != p.Chosen {
+		t.Errorf("Chosen %v is not the first estimate %v", p.Chosen, p.Estimates[0].Strategy)
+	}
+	if !p.Estimates[0].Eligible {
+		t.Error("chosen strategy is marked ineligible")
+	}
+	for i := 1; i < len(p.Estimates); i++ {
+		a, b := p.Estimates[i-1], p.Estimates[i]
+		if a.Eligible == b.Eligible && a.Cost > b.Cost {
+			t.Errorf("estimates not sorted: %v(%v) before %v(%v)", a.Strategy, a.Cost, b.Strategy, b.Cost)
+		}
+		if !a.Eligible && b.Eligible {
+			t.Error("ineligible estimate sorted before an eligible one")
+		}
+	}
+}
+
+func TestNonMonotoneExcludesSBand(t *testing.T) {
+	in := base()
+	in.Monotone = false
+	p := Choose(in)
+	e := estimateOf(p, SBand)
+	if e.Eligible {
+		t.Fatal("S-Band eligible for a non-monotone scorer")
+	}
+	if !strings.Contains(e.Reason, "monotone") {
+		t.Errorf("ineligibility reason %q does not mention monotonicity", e.Reason)
+	}
+	if p.Chosen == SBand {
+		t.Fatal("chose the ineligible S-Band")
+	}
+}
+
+func TestMidAnchorExcludesTBaseAndSBand(t *testing.T) {
+	in := base()
+	in.MidAnchor = true
+	p := Choose(in)
+	if estimateOf(p, TBase).Eligible || estimateOf(p, SBand).Eligible {
+		t.Fatal("mid-anchored query left T-Base or S-Band eligible")
+	}
+	if p.Chosen == TBase || p.Chosen == SBand {
+		t.Fatalf("chose ineligible %v for a mid-anchored query", p.Chosen)
+	}
+}
+
+func TestHighKMonotonePrefersSBand(t *testing.T) {
+	// The repo's Figure 9 reproduction: at 2 dimensions and large k, S-Band
+	// issues the fewest expensive probes and wins despite its sort.
+	in := base()
+	in.K = 50
+	p := Choose(in)
+	if p.Chosen != SBand {
+		t.Fatalf("high-k monotone 2-d query chose %v, want s-band\n%s", p.Chosen, p)
+	}
+}
+
+func TestHighDimensionRejectsSBand(t *testing.T) {
+	// Figure 11: the candidate set explodes as log^(d-1), making S-Band
+	// worse than T-Base at d=30+ even though it stays eligible.
+	in := base()
+	in.Dims = 30
+	in.K = 50
+	p := Choose(in)
+	if p.Chosen == SBand {
+		t.Fatalf("chose S-Band at d=30\n%s", p)
+	}
+	sband := estimateOf(p, SBand)
+	low := estimateOf(Choose(base()), SBand)
+	if sband.Cost <= low.Cost {
+		t.Errorf("S-Band cost did not grow with dimensionality: %v (d=30) vs %v (d=2)",
+			sband.Cost, low.Cost)
+	}
+}
+
+func TestTinyDatasetPrefersSort(t *testing.T) {
+	in := Inputs{N: 100, Dims: 1, NI: 100, K: 2, Tau: 5, Window: 160, Monotone: true}
+	p := Choose(in)
+	if p.Chosen != SBase && p.Chosen != TBase {
+		t.Fatalf("tiny unselective query chose %v, want a baseline\n%s", p.Chosen, p)
+	}
+}
+
+func TestHopCostFallsWithTau(t *testing.T) {
+	in := base()
+	prev := estimateOf(Choose(in), THop).Cost
+	for _, tau := range []int64{6000, 10000, 16000} {
+		in.Tau = tau
+		c := estimateOf(Choose(in), THop).Cost
+		if c >= prev {
+			t.Errorf("T-Hop cost did not fall as tau grew: %v at tau=%d (prev %v)", c, tau, prev)
+		}
+		prev = c
+	}
+}
+
+func TestTBaseCostFlatInTau(t *testing.T) {
+	in := base()
+	a := estimateOf(Choose(in), TBase).Cost
+	in.Tau = 10000
+	b := estimateOf(Choose(in), TBase).Cost
+	// The maintenance term dominates; only the answer-size term shrinks.
+	if b > a {
+		t.Errorf("T-Base cost rose with tau: %v -> %v", a, b)
+	}
+	if a > 2*b {
+		t.Errorf("T-Base cost should be roughly flat in tau: %v vs %v", a, b)
+	}
+}
+
+func TestWarmSkybandDiscountsSBand(t *testing.T) {
+	in := base()
+	cold := estimateOf(Choose(in), SBand).Cost
+	in.SBandReady = true
+	warm := estimateOf(Choose(in), SBand).Cost
+	if warm >= cold {
+		t.Errorf("materialized ladder did not lower S-Band cost: warm %v, cold %v", warm, cold)
+	}
+}
+
+func TestExpectedAnswerMatchesLemma4(t *testing.T) {
+	in := base() // density 1 record/tick: E|S| = k*NI/(tau+1)
+	p := Choose(in)
+	want := float64(in.K) * float64(in.NI) / float64(in.Tau+1)
+	if p.ExpectedAnswer < want*0.9 || p.ExpectedAnswer > want*1.1 {
+		t.Errorf("ExpectedAnswer = %v, want about %v", p.ExpectedAnswer, want)
+	}
+	if p.ExpectedCandidates < p.ExpectedAnswer {
+		t.Errorf("ExpectedCandidates %v below ExpectedAnswer %v", p.ExpectedCandidates, p.ExpectedAnswer)
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	s := Choose(base()).String()
+	for _, tok := range []string{"t-hop", "s-band", "E|S|", "cost"} {
+		if !strings.Contains(s, tok) {
+			t.Errorf("Plan.String() missing %q:\n%s", tok, s)
+		}
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	names := map[Strategy]string{
+		TBase: "t-base", THop: "t-hop", SBase: "s-base", SBand: "s-band", SHop: "s-hop",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+	if got := Strategy(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown strategy rendered %q", got)
+	}
+}
+
+// TestQuickChooseTotal: Choose is total and structurally sound on arbitrary
+// (even nonsensical) inputs — no panics, NaN costs, or ineligible winners.
+func TestQuickChooseTotal(t *testing.T) {
+	prop := func(n, ni int32, dims, k uint8, tau, window int32, mono, mid, ready bool) bool {
+		in := Inputs{
+			N: int(n), NI: int(ni), Dims: int(dims), K: int(k),
+			Tau: int64(tau), Window: int64(window),
+			Monotone: mono, MidAnchor: mid, SBandReady: ready,
+		}
+		p := Choose(in)
+		if len(p.Estimates) != 5 {
+			return false
+		}
+		if !p.Estimates[0].Eligible || p.Estimates[0].Strategy != p.Chosen {
+			return false
+		}
+		for _, e := range p.Estimates {
+			if e.Eligible && (e.Cost < 0 || e.Cost != e.Cost) { // negative or NaN
+				t.Logf("bad cost %v for %v on %+v", e.Cost, e.Strategy, in)
+				return false
+			}
+		}
+		if mid && (p.Chosen == TBase || p.Chosen == SBand) {
+			return false
+		}
+		if !mono && p.Chosen == SBand {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+// Package pst implements a static priority search tree answering 3-sided
+// range reporting queries: given x1 <= x2 and y0, report every stored point
+// with x in [x1, x2] and y >= y0 in O(log n + output) time.
+//
+// The durable k-skyband index (paper §IV-B, Fig. 4) maps each record to the
+// point (arrival time, skyband duration) and retrieves durable candidates
+// with the 3-sided query I x [tau, +inf).
+package pst
+
+import "sort"
+
+// Point is a 2-D point with an application-assigned identifier.
+type Point struct {
+	X, Y int64
+	ID   int32
+}
+
+// Tree is an immutable priority search tree. The zero value is an empty
+// tree; construct with Build.
+type Tree struct {
+	nodes []node
+	root  int32
+}
+
+type node struct {
+	pt          Point
+	minX, maxX  int64 // x-range of the subtree, including pt
+	left, right int32 // -1 when absent
+}
+
+// Build constructs a tree over the given points. The input slice is copied
+// and may be in any order.
+func Build(pts []Point) *Tree {
+	t := &Tree{root: -1}
+	if len(pts) == 0 {
+		return t
+	}
+	sorted := make([]Point, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].X < sorted[j].X })
+	t.nodes = make([]node, 0, len(sorted))
+	t.root = t.build(sorted)
+	return t
+}
+
+// Len returns the number of stored points.
+func (t *Tree) Len() int { return len(t.nodes) }
+
+// build consumes pts (sorted by X) and returns the subtree root index.
+func (t *Tree) build(pts []Point) int32 {
+	if len(pts) == 0 {
+		return -1
+	}
+	// Extract the point with maximum Y as the subtree root (heap on Y).
+	maxI := 0
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y > pts[maxI].Y {
+			maxI = i
+		}
+	}
+	n := node{
+		pt:   pts[maxI],
+		minX: pts[0].X,
+		maxX: pts[len(pts)-1].X,
+	}
+	// Remaining points, still sorted by X; reuse storage by shifting.
+	rest := make([]Point, 0, len(pts)-1)
+	rest = append(rest, pts[:maxI]...)
+	rest = append(rest, pts[maxI+1:]...)
+	id := int32(len(t.nodes))
+	t.nodes = append(t.nodes, n)
+	mid := len(rest) / 2
+	left := t.build(rest[:mid])
+	right := t.build(rest[mid:])
+	t.nodes[id].left = left
+	t.nodes[id].right = right
+	return id
+}
+
+// Query invokes visit for every point with X in [x1, x2] and Y >= y0 until
+// visit returns false. Visit order is unspecified.
+func (t *Tree) Query(x1, x2, y0 int64, visit func(Point) bool) {
+	if t.root >= 0 && x1 <= x2 {
+		t.query(t.root, x1, x2, y0, visit)
+	}
+}
+
+func (t *Tree) query(id int32, x1, x2, y0 int64, visit func(Point) bool) bool {
+	n := &t.nodes[id]
+	// Heap property: every Y below is <= n.pt.Y.
+	if n.pt.Y < y0 {
+		return true
+	}
+	if n.maxX < x1 || n.minX > x2 {
+		return true
+	}
+	if n.pt.X >= x1 && n.pt.X <= x2 {
+		if !visit(n.pt) {
+			return false
+		}
+	}
+	if n.left >= 0 && !t.query(n.left, x1, x2, y0, visit) {
+		return false
+	}
+	if n.right >= 0 && !t.query(n.right, x1, x2, y0, visit) {
+		return false
+	}
+	return true
+}
+
+// Collect returns the IDs of all points with X in [x1, x2] and Y >= y0.
+func (t *Tree) Collect(x1, x2, y0 int64) []int32 {
+	var out []int32
+	t.Query(x1, x2, y0, func(p Point) bool {
+		out = append(out, p.ID)
+		return true
+	})
+	return out
+}
+
+// Count returns the number of points with X in [x1, x2] and Y >= y0.
+func (t *Tree) Count(x1, x2, y0 int64) int {
+	n := 0
+	t.Query(x1, x2, y0, func(Point) bool {
+		n++
+		return true
+	})
+	return n
+}

@@ -1,0 +1,152 @@
+package pst
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func naiveCollect(pts []Point, x1, x2, y0 int64) []int32 {
+	var out []int32
+	for _, p := range pts {
+		if p.X >= x1 && p.X <= x2 && p.Y >= y0 {
+			out = append(out, p.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sorted(ids []int32) []int32 {
+	out := append([]int32(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equal(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQueryMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(500)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: int64(rng.Intn(200)), Y: int64(rng.Intn(200)), ID: int32(i)}
+		}
+		tr := Build(pts)
+		if tr.Len() != n {
+			t.Fatalf("Len=%d want %d", tr.Len(), n)
+		}
+		for q := 0; q < 20; q++ {
+			x1 := int64(rng.Intn(250) - 25)
+			x2 := x1 + int64(rng.Intn(100))
+			y0 := int64(rng.Intn(250) - 25)
+			got := sorted(tr.Collect(x1, x2, y0))
+			want := naiveCollect(pts, x1, x2, y0)
+			if !equal(got, want) {
+				t.Fatalf("trial %d: Collect(%d,%d,%d)=%v want %v", trial, x1, x2, y0, got, want)
+			}
+			if c := tr.Count(x1, x2, y0); c != len(want) {
+				t.Fatalf("Count=%d want %d", c, len(want))
+			}
+		}
+	}
+}
+
+func TestQuick(t *testing.T) {
+	f := func(xs, ys []int8, x1, x2, y0 int8) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		pts := make([]Point, n)
+		for i := 0; i < n; i++ {
+			pts[i] = Point{X: int64(xs[i]), Y: int64(ys[i]), ID: int32(i)}
+		}
+		tr := Build(pts)
+		got := sorted(tr.Collect(int64(x1), int64(x2), int64(y0)))
+		want := naiveCollect(pts, int64(x1), int64(x2), int64(y0))
+		return equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := Build(nil)
+	if tr.Len() != 0 {
+		t.Fatal("empty tree must have Len 0")
+	}
+	if ids := tr.Collect(0, 100, 0); len(ids) != 0 {
+		t.Fatalf("empty tree returned %v", ids)
+	}
+}
+
+func TestInvertedRange(t *testing.T) {
+	tr := Build([]Point{{X: 5, Y: 5, ID: 1}})
+	if ids := tr.Collect(10, 0, 0); len(ids) != 0 {
+		t.Fatalf("inverted x-range returned %v", ids)
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	pts := make([]Point, 100)
+	for i := range pts {
+		pts[i] = Point{X: int64(i), Y: 50, ID: int32(i)}
+	}
+	tr := Build(pts)
+	visits := 0
+	tr.Query(0, 99, 0, func(Point) bool {
+		visits++
+		return visits < 5
+	})
+	if visits != 5 {
+		t.Fatalf("visit stopped after %d, want 5", visits)
+	}
+}
+
+func TestDuplicateCoordinates(t *testing.T) {
+	pts := []Point{{X: 1, Y: 1, ID: 0}, {X: 1, Y: 1, ID: 1}, {X: 1, Y: 1, ID: 2}}
+	tr := Build(pts)
+	if got := tr.Count(1, 1, 1); got != 3 {
+		t.Fatalf("Count=%d want 3", got)
+	}
+}
+
+func BenchmarkBuild10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]Point, 10_000)
+	for i := range pts {
+		pts[i] = Point{X: rng.Int63n(1 << 30), Y: rng.Int63n(1 << 30), ID: int32(i)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(pts)
+	}
+}
+
+func BenchmarkQuery10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]Point, 10_000)
+	for i := range pts {
+		pts[i] = Point{X: int64(i), Y: rng.Int63n(1 << 20), ID: int32(i)}
+	}
+	tr := Build(pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x1 := rng.Int63n(9000)
+		tr.Count(x1, x1+1000, 1<<19)
+	}
+}

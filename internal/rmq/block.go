@@ -1,0 +1,78 @@
+package rmq
+
+import (
+	"sync"
+
+	"repro/internal/data"
+	"repro/internal/score"
+	"repro/internal/topk"
+)
+
+// Block adapts the sparse-table RMQ structure to the durable top-k engine's
+// pluggable building-block interface (core.Block). One table is built lazily
+// per distinct Scorer instance and cached, so repeated durable queries under
+// the same ranking pay the O(n log n) construction once and then answer each
+// range top-k probe in O(k log k). Safe for concurrent use.
+//
+// Reuse the same Scorer value across queries to hit the cache; a fresh
+// but equivalent scorer instance builds a fresh table.
+type Block struct {
+	ds *data.Dataset
+
+	mu     sync.Mutex
+	tables map[score.Scorer]*Table
+}
+
+// NewBlock returns an RMQ building block over ds.
+func NewBlock(ds *data.Dataset) *Block {
+	return &Block{ds: ds, tables: make(map[score.Scorer]*Table)}
+}
+
+// CachedTables reports how many per-scorer tables have been materialized.
+func (b *Block) CachedTables() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.tables)
+}
+
+func (b *Block) table(s score.Scorer) *Table {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t, ok := b.tables[s]; ok {
+		return t
+	}
+	values := make([]float64, b.ds.Len())
+	for i := range values {
+		values[i] = s.Score(b.ds.Attrs(i))
+	}
+	t := New(values)
+	b.tables[s] = t
+	return t
+}
+
+// QueryRange implements the building-block contract over the half-open
+// record index range [lo, hi).
+func (b *Block) QueryRange(s score.Scorer, k int, lo, hi int) []topk.Item {
+	if k <= 0 || lo >= hi {
+		return nil
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.ds.Len() {
+		hi = b.ds.Len()
+	}
+	items := b.table(s).TopK(lo, hi-1, k)
+	out := make([]topk.Item, len(items))
+	for i, it := range items {
+		out[i] = topk.Item{ID: int32(it.Index), Time: b.ds.Time(it.Index), Score: it.Value}
+	}
+	return out
+}
+
+// Query implements the building-block contract over the closed time window
+// [t1, t2].
+func (b *Block) Query(s score.Scorer, k int, t1, t2 int64) []topk.Item {
+	lo, hi := b.ds.IndexRange(t1, t2)
+	return b.QueryRange(s, k, lo, hi)
+}

@@ -1,0 +1,170 @@
+// Package rmq provides an alternative range top-k building block for
+// workloads that rank by a fixed scoring function: a sparse-table range
+// maximum query structure with O(n log n) construction, O(1) range argmax,
+// and O(k log k) range top-k by recursive range splitting.
+//
+// The paper treats the top-k building block as a pluggable black box (§II);
+// this package demonstrates the plug-in point of package core with a
+// structure that beats the general tree index when the scorer is known up
+// front (e.g. repeated durable queries over one ranking, varying only k, tau
+// and I).
+//
+// Ties follow the library-wide contract: equal values rank by recency
+// (larger index first).
+package rmq
+
+import (
+	"math/bits"
+)
+
+// Table answers range-argmax queries over a fixed array of values.
+type Table struct {
+	values []float64
+	// sparse[j][i] is the argmax of values[i : i+2^j].
+	sparse [][]int32
+}
+
+// New builds the sparse table in O(n log n) time and space.
+func New(values []float64) *Table {
+	n := len(values)
+	t := &Table{values: values}
+	if n == 0 {
+		return t
+	}
+	levels := bits.Len(uint(n))
+	t.sparse = make([][]int32, levels)
+	base := make([]int32, n)
+	for i := range base {
+		base[i] = int32(i)
+	}
+	t.sparse[0] = base
+	for j := 1; j < levels; j++ {
+		width := 1 << j
+		prev := t.sparse[j-1]
+		row := make([]int32, n-width+1)
+		half := width / 2
+		for i := range row {
+			row[i] = t.pick(prev[i], prev[i+half])
+		}
+		t.sparse[j] = row
+	}
+	return t
+}
+
+// pick returns the better of two candidate indices: higher value, or equal
+// value with larger index (recency).
+func (t *Table) pick(a, b int32) int32 {
+	va, vb := t.values[a], t.values[b]
+	if va > vb {
+		return a
+	}
+	if vb > va {
+		return b
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Len returns the number of indexed values.
+func (t *Table) Len() int { return len(t.values) }
+
+// ArgMax returns the index of the maximum value in the inclusive index
+// range [lo, hi] (ties broken toward hi). lo <= hi must hold.
+func (t *Table) ArgMax(lo, hi int) int {
+	j := bits.Len(uint(hi-lo+1)) - 1
+	return int(t.pick(t.sparse[j][lo], t.sparse[j][hi-(1<<j)+1]))
+}
+
+// Item is one range top-k result.
+type Item struct {
+	Index int
+	Value float64
+}
+
+// rangeCand is a heap entry: a sub-range with its precomputed argmax.
+type rangeCand struct {
+	lo, hi int
+	argmax int
+	value  float64
+}
+
+func (t *Table) cand(lo, hi int) (rangeCand, bool) {
+	if lo > hi {
+		return rangeCand{}, false
+	}
+	am := t.ArgMax(lo, hi)
+	return rangeCand{lo: lo, hi: hi, argmax: am, value: t.values[am]}, true
+}
+
+func candBefore(a, b rangeCand) bool {
+	if a.value != b.value {
+		return a.value > b.value
+	}
+	return a.argmax > b.argmax
+}
+
+// TopK returns up to k items of the inclusive index range [lo, hi], ordered
+// by (value desc, index desc). Runs in O(k log k) after the O(1) initial
+// argmax: each emitted maximum splits its range into two sub-ranges pushed
+// onto a candidate heap.
+func (t *Table) TopK(lo, hi, k int) []Item {
+	if k <= 0 || lo > hi || len(t.values) == 0 {
+		return nil
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(t.values) {
+		hi = len(t.values) - 1
+	}
+	var heap []rangeCand
+	push := func(c rangeCand, ok bool) {
+		if !ok {
+			return
+		}
+		heap = append(heap, c)
+		i := len(heap) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !candBefore(heap[i], heap[parent]) {
+				break
+			}
+			heap[i], heap[parent] = heap[parent], heap[i]
+			i = parent
+		}
+	}
+	pop := func() rangeCand {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i, n := 0, len(heap)
+		for {
+			l, r, best := 2*i+1, 2*i+2, i
+			if l < n && candBefore(heap[l], heap[best]) {
+				best = l
+			}
+			if r < n && candBefore(heap[r], heap[best]) {
+				best = r
+			}
+			if best == i {
+				break
+			}
+			heap[i], heap[best] = heap[best], heap[i]
+			i = best
+		}
+		return top
+	}
+
+	push(t.cand(lo, hi))
+	out := make([]Item, 0, k)
+	for len(heap) > 0 && len(out) < k {
+		c := pop()
+		out = append(out, Item{Index: c.argmax, Value: c.value})
+		push(t.cand(c.lo, c.argmax-1))
+		push(t.cand(c.argmax+1, c.hi))
+	}
+	return out
+}

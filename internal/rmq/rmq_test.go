@@ -1,0 +1,228 @@
+package rmq
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/score"
+)
+
+func TestArgMaxMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(400)
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = float64(rng.Intn(12)) // small domain: plenty of ties
+		}
+		tbl := New(values)
+		for q := 0; q < 30; q++ {
+			lo := rng.Intn(n)
+			hi := lo + rng.Intn(n-lo)
+			got := tbl.ArgMax(lo, hi)
+			// Naive: maximum value, tie toward the largest index.
+			want := lo
+			for i := lo + 1; i <= hi; i++ {
+				if values[i] >= values[want] {
+					want = i
+				}
+			}
+			if got != want {
+				t.Fatalf("trial %d: ArgMax(%d,%d)=%d want %d (values %v)", trial, lo, hi, got, want, values[lo:hi+1])
+			}
+		}
+	}
+}
+
+func TestTopKMatchesSort(t *testing.T) {
+	f := func(raw []uint8, kRaw uint8, loRaw, spanRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		values := make([]float64, len(raw))
+		for i, v := range raw {
+			values[i] = float64(v % 8)
+		}
+		tbl := New(values)
+		lo := int(loRaw) % len(values)
+		hi := lo + int(spanRaw)%(len(values)-lo)
+		k := int(kRaw%12) + 1
+		got := tbl.TopK(lo, hi, k)
+
+		type pair struct {
+			idx int
+			v   float64
+		}
+		var all []pair
+		for i := lo; i <= hi; i++ {
+			all = append(all, pair{i, values[i]})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].v != all[j].v {
+				return all[i].v > all[j].v
+			}
+			return all[i].idx > all[j].idx
+		})
+		if len(all) > k {
+			all = all[:k]
+		}
+		if len(got) != len(all) {
+			return false
+		}
+		for i := range got {
+			if got[i].Index != all[i].idx || got[i].Value != all[i].v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	tbl := New([]float64{3, 1, 2})
+	if items := tbl.TopK(0, 2, 0); items != nil {
+		t.Fatal("k=0 must return nil")
+	}
+	if items := tbl.TopK(2, 0, 3); items != nil {
+		t.Fatal("inverted range must return nil")
+	}
+	if items := tbl.TopK(-5, 99, 10); len(items) != 3 {
+		t.Fatalf("clamped range returned %d items", len(items))
+	}
+	empty := New(nil)
+	if empty.Len() != 0 || empty.TopK(0, 0, 1) != nil {
+		t.Fatal("empty table must answer nil")
+	}
+}
+
+func randDS(rng *rand.Rand, n int) *data.Dataset {
+	b := data.NewBuilder(1, n)
+	tt := int64(0)
+	for i := 0; i < n; i++ {
+		tt += int64(1 + rng.Intn(3))
+		if err := b.Append(tt, []float64{float64(rng.Intn(20))}); err != nil {
+			panic(err)
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+func TestBlockMatchesTreeIndexEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(137))
+	for trial := 0; trial < 10; trial++ {
+		ds := randDS(rng, 100+rng.Intn(400))
+		s, err := score.NewSingle(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The engine with the RMQ block must agree with the brute-force
+		// oracle for every algorithm and both anchors.
+		eng := core.NewEngine(ds, core.Options{
+			NewBlock: func(d *data.Dataset) core.Block { return NewBlock(d) },
+		})
+		lo, hi := ds.Span()
+		span := hi - lo
+		for q := 0; q < 4; q++ {
+			k := 1 + rng.Intn(5)
+			tau := rng.Int63n(span + 1)
+			anchor := core.LookBack
+			if q%2 == 1 {
+				anchor = core.LookAhead
+			}
+			want := core.BruteForce(ds, s, k, tau, lo, hi, anchor)
+			for _, alg := range core.Algorithms() {
+				res, err := eng.DurableTopK(core.Query{
+					K: k, Tau: tau, Start: lo, End: hi,
+					Scorer: s, Algorithm: alg, Anchor: anchor,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := res.IDs()
+				if len(got) == 0 && len(want) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d alg=%v anchor=%v k=%d tau=%d:\n got %v\nwant %v",
+						trial, alg, anchor, k, tau, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBlockCachesPerScorer(t *testing.T) {
+	ds := randDS(rand.New(rand.NewSource(139)), 100)
+	blk := NewBlock(ds)
+	s1, _ := score.NewSingle(0, 1)
+	s2 := score.MustLinear(2)
+	blk.Query(s1, 3, 0, 1000)
+	blk.Query(s1, 5, 0, 1000)
+	if blk.CachedTables() != 1 {
+		t.Fatalf("tables=%d want 1 (same scorer reused)", blk.CachedTables())
+	}
+	blk.Query(s2, 3, 0, 1000)
+	if blk.CachedTables() != 2 {
+		t.Fatalf("tables=%d want 2", blk.CachedTables())
+	}
+}
+
+func TestBlockWithDurationsUsesQueryRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	ds := randDS(rng, 300)
+	s, _ := score.NewSingle(0, 1)
+	eng := core.NewEngine(ds, core.Options{
+		NewBlock: func(d *data.Dataset) core.Block { return NewBlock(d) },
+	})
+	lo, hi := ds.Span()
+	res, err := eng.DurableTopK(core.Query{
+		K: 2, Tau: 30, Start: lo, End: hi, Scorer: s, WithDurations: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Records {
+		wantDur, wantFull := core.BruteMaxDuration(ds, s, 2, r.ID, core.LookBack)
+		if r.MaxDuration != wantDur || r.FullHistory != wantFull {
+			t.Fatalf("record %d: (%d,%v) want (%d,%v)", r.ID, r.MaxDuration, r.FullHistory, wantDur, wantFull)
+		}
+	}
+}
+
+func BenchmarkTableBuild100k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	values := make([]float64, 100_000)
+	for i := range values {
+		values[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		New(values)
+	}
+}
+
+func BenchmarkTableTopK100k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	values := make([]float64, 100_000)
+	for i := range values {
+		values[i] = rng.Float64()
+	}
+	tbl := New(values)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Intn(90_000)
+		tbl.TopK(lo, lo+9_999, 10)
+	}
+}

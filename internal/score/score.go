@@ -1,0 +1,312 @@
+// Package score defines the user-specified scoring functions that rank
+// records in durable top-k queries, together with the optional capabilities
+// (box upper bounds, monotonicity) that the range top-k index exploits for
+// pruning.
+//
+// The paper's preference-function class is provided concretely:
+//
+//   - Linear:        f_u(p) = Σ u_i · p.x_i
+//   - MonotoneCombo: f_u(p) = Σ u_i · h(p.x_i) for a monotone h (e.g. log)
+//   - Cosine:        f_u(p) = (u·p) / (|u||p|)
+//
+// Any type implementing Scorer can be plugged into the algorithms; the
+// building-block index falls back to conservative bounds when the optional
+// interfaces are absent.
+package score
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Scorer maps a d-dimensional attribute vector to a real-valued score.
+// Implementations must be pure: equal inputs yield equal outputs.
+type Scorer interface {
+	// Score evaluates the function on one attribute vector.
+	Score(x []float64) float64
+	// Dims returns the expected input dimensionality.
+	Dims() int
+}
+
+// Bounder is implemented by scorers that can bound their maximum over an
+// axis-aligned box lo..hi (componentwise). The bound must satisfy
+// UpperBound(lo,hi) >= Score(x) for every lo <= x <= hi. The range top-k
+// index uses it for branch-and-bound pruning.
+type Bounder interface {
+	UpperBound(lo, hi []float64) float64
+}
+
+// MonotoneAware is implemented by scorers that can report whether they are
+// monotone non-decreasing in every attribute. Monotone scorers admit
+// skyline-based pruning and the durable k-skyband candidate index (S-Band).
+type MonotoneAware interface {
+	IsMonotone() bool
+}
+
+// IsMonotone reports whether s declares itself monotone non-decreasing in
+// every attribute. Unknown scorers are conservatively non-monotone.
+func IsMonotone(s Scorer) bool {
+	if m, ok := s.(MonotoneAware); ok {
+		return m.IsMonotone()
+	}
+	return false
+}
+
+// UpperBound returns a valid upper bound of s over the box lo..hi, falling
+// back to +Inf for scorers without bounding support.
+func UpperBound(s Scorer, lo, hi []float64) float64 {
+	if b, ok := s.(Bounder); ok {
+		return b.UpperBound(lo, hi)
+	}
+	return math.Inf(1)
+}
+
+// ErrBadWeights reports an invalid preference vector.
+var ErrBadWeights = errors.New("score: preference vector must be non-empty and finite")
+
+func validWeights(w []float64) error {
+	if len(w) == 0 {
+		return ErrBadWeights
+	}
+	for i, v := range w {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: weight %d is %v", ErrBadWeights, i, v)
+		}
+	}
+	return nil
+}
+
+// Linear is the preference function f_u(p) = Σ u_i·p.x_i. It is monotone
+// when every weight is non-negative.
+type Linear struct {
+	w []float64
+}
+
+// NewLinear returns a linear scorer with the given preference vector.
+// The weights are copied.
+func NewLinear(weights []float64) (*Linear, error) {
+	if err := validWeights(weights); err != nil {
+		return nil, err
+	}
+	w := make([]float64, len(weights))
+	copy(w, weights)
+	return &Linear{w: w}, nil
+}
+
+// MustLinear is NewLinear that panics on error; for tests and generators.
+func MustLinear(weights ...float64) *Linear {
+	s, err := NewLinear(weights)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Weights returns a copy of the preference vector.
+func (s *Linear) Weights() []float64 {
+	w := make([]float64, len(s.w))
+	copy(w, s.w)
+	return w
+}
+
+// Dims implements Scorer.
+func (s *Linear) Dims() int { return len(s.w) }
+
+// Score implements Scorer.
+func (s *Linear) Score(x []float64) float64 {
+	var sum float64
+	for i, w := range s.w {
+		sum += w * x[i]
+	}
+	return sum
+}
+
+// UpperBound implements Bounder: the maximum of a linear function over a box
+// is attained at the corner selected by the sign of each weight.
+func (s *Linear) UpperBound(lo, hi []float64) float64 {
+	var sum float64
+	for i, w := range s.w {
+		if w >= 0 {
+			sum += w * hi[i]
+		} else {
+			sum += w * lo[i]
+		}
+	}
+	return sum
+}
+
+// IsMonotone implements MonotoneAware.
+func (s *Linear) IsMonotone() bool {
+	for _, w := range s.w {
+		if w < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String describes the scorer.
+func (s *Linear) String() string { return fmt.Sprintf("linear%v", s.w) }
+
+// MonotoneCombo is the preference function f_u(p) = Σ u_i·h(p.x_i) for a
+// monotone non-decreasing transform h (the paper's example: h = log).
+// Weights must be non-negative.
+type MonotoneCombo struct {
+	w     []float64
+	h     func(float64) float64
+	hName string
+}
+
+// NewMonotoneCombo returns Σ u_i·h(p.x_i). h must be monotone non-decreasing
+// over the attribute domain and weights must be non-negative; name is used
+// only for diagnostics.
+func NewMonotoneCombo(weights []float64, h func(float64) float64, name string) (*MonotoneCombo, error) {
+	if err := validWeights(weights); err != nil {
+		return nil, err
+	}
+	for i, v := range weights {
+		if v < 0 {
+			return nil, fmt.Errorf("%w: weight %d is negative", ErrBadWeights, i)
+		}
+	}
+	if h == nil {
+		return nil, errors.New("score: transform h must not be nil")
+	}
+	w := make([]float64, len(weights))
+	copy(w, weights)
+	return &MonotoneCombo{w: w, h: h, hName: name}, nil
+}
+
+// Log1pCombo returns Σ u_i·log(1+x_i), the paper's log example shifted to be
+// defined at zero.
+func Log1pCombo(weights []float64) (*MonotoneCombo, error) {
+	return NewMonotoneCombo(weights, func(v float64) float64 { return math.Log1p(v) }, "log1p")
+}
+
+// Dims implements Scorer.
+func (s *MonotoneCombo) Dims() int { return len(s.w) }
+
+// Score implements Scorer.
+func (s *MonotoneCombo) Score(x []float64) float64 {
+	var sum float64
+	for i, w := range s.w {
+		sum += w * s.h(x[i])
+	}
+	return sum
+}
+
+// UpperBound implements Bounder: with non-negative weights and monotone h,
+// the box maximum is at the upper corner.
+func (s *MonotoneCombo) UpperBound(lo, hi []float64) float64 {
+	var sum float64
+	for i, w := range s.w {
+		sum += w * s.h(hi[i])
+	}
+	return sum
+}
+
+// IsMonotone implements MonotoneAware.
+func (s *MonotoneCombo) IsMonotone() bool { return true }
+
+// String describes the scorer.
+func (s *MonotoneCombo) String() string { return fmt.Sprintf("%s-combo%v", s.hName, s.w) }
+
+// Cosine is the preference function f_u(p) = (u·p)/(|u||p|), i.e. the cosine
+// similarity between the preference vector and the record. It is not
+// monotone. Bounds assume non-negative attribute values (as produced by
+// MinMax normalization) and non-negative weights.
+type Cosine struct {
+	w    []float64
+	norm float64
+}
+
+// NewCosine returns a cosine scorer; weights must be non-negative with a
+// positive norm.
+func NewCosine(weights []float64) (*Cosine, error) {
+	if err := validWeights(weights); err != nil {
+		return nil, err
+	}
+	var n float64
+	for i, v := range weights {
+		if v < 0 {
+			return nil, fmt.Errorf("%w: weight %d is negative", ErrBadWeights, i)
+		}
+		n += v * v
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("%w: zero vector", ErrBadWeights)
+	}
+	w := make([]float64, len(weights))
+	copy(w, weights)
+	return &Cosine{w: w, norm: math.Sqrt(n)}, nil
+}
+
+// Dims implements Scorer.
+func (s *Cosine) Dims() int { return len(s.w) }
+
+// Score implements Scorer. Zero vectors score 0.
+func (s *Cosine) Score(x []float64) float64 {
+	var dot, nx float64
+	for i, w := range s.w {
+		dot += w * x[i]
+		nx += x[i] * x[i]
+	}
+	if nx == 0 {
+		return 0
+	}
+	return dot / (s.norm * math.Sqrt(nx))
+}
+
+// UpperBound implements Bounder. For boxes in the non-negative orthant the
+// dot product is maximized at the upper corner and the vector norm is
+// minimized at the lower corner; the ratio bounds the cosine from above,
+// clamped at 1 (Cauchy-Schwarz).
+func (s *Cosine) UpperBound(lo, hi []float64) float64 {
+	var dot, nlo float64
+	for i, w := range s.w {
+		dot += w * hi[i]
+		nlo += lo[i] * lo[i]
+	}
+	if nlo == 0 {
+		return 1
+	}
+	return math.Min(1, dot/(s.norm*math.Sqrt(nlo)))
+}
+
+// IsMonotone implements MonotoneAware: cosine is scale-invariant, hence not
+// monotone.
+func (s *Cosine) IsMonotone() bool { return false }
+
+// String describes the scorer.
+func (s *Cosine) String() string { return fmt.Sprintf("cosine%v", s.w) }
+
+// Single ranks by one attribute: f(p) = p.x_dim. It is the k=1-attribute
+// special case used by the NBA-1 style workloads.
+type Single struct {
+	dim  int
+	dims int
+}
+
+// NewSingle ranks by attribute dim of d-dimensional records.
+func NewSingle(dim, dims int) (*Single, error) {
+	if dims <= 0 || dim < 0 || dim >= dims {
+		return nil, fmt.Errorf("score: invalid single-attribute scorer dim=%d dims=%d", dim, dims)
+	}
+	return &Single{dim: dim, dims: dims}, nil
+}
+
+// Dims implements Scorer.
+func (s *Single) Dims() int { return s.dims }
+
+// Score implements Scorer.
+func (s *Single) Score(x []float64) float64 { return x[s.dim] }
+
+// UpperBound implements Bounder.
+func (s *Single) UpperBound(lo, hi []float64) float64 { return hi[s.dim] }
+
+// IsMonotone implements MonotoneAware.
+func (s *Single) IsMonotone() bool { return true }
+
+// String describes the scorer.
+func (s *Single) String() string { return fmt.Sprintf("attr[%d]", s.dim) }

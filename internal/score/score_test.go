@@ -1,0 +1,215 @@
+package score
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearScore(t *testing.T) {
+	s := MustLinear(1, 2, 3)
+	if got := s.Score([]float64{1, 1, 1}); got != 6 {
+		t.Fatalf("Score=%v want 6", got)
+	}
+	if s.Dims() != 3 {
+		t.Fatalf("Dims=%d want 3", s.Dims())
+	}
+}
+
+func TestLinearWeightsCopied(t *testing.T) {
+	w := []float64{1, 2}
+	s, err := NewLinear(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w[0] = 99
+	if got := s.Score([]float64{1, 0}); got != 1 {
+		t.Fatalf("scorer must copy weights; Score=%v", got)
+	}
+	out := s.Weights()
+	out[0] = -5
+	if got := s.Score([]float64{1, 0}); got != 1 {
+		t.Fatal("Weights() must return a copy")
+	}
+}
+
+func TestLinearMonotonicity(t *testing.T) {
+	if !MustLinear(1, 0, 2).IsMonotone() {
+		t.Fatal("non-negative weights must be monotone")
+	}
+	if MustLinear(1, -1).IsMonotone() {
+		t.Fatal("negative weight must not be monotone")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := NewLinear(nil); err == nil {
+		t.Fatal("empty weights must fail")
+	}
+	if _, err := NewLinear([]float64{math.NaN()}); err == nil {
+		t.Fatal("NaN weight must fail")
+	}
+	if _, err := NewLinear([]float64{math.Inf(1)}); err == nil {
+		t.Fatal("Inf weight must fail")
+	}
+	if _, err := NewCosine([]float64{0, 0}); err == nil {
+		t.Fatal("zero cosine vector must fail")
+	}
+	if _, err := NewCosine([]float64{1, -1}); err == nil {
+		t.Fatal("negative cosine weight must fail")
+	}
+	if _, err := NewMonotoneCombo([]float64{-1}, math.Log1p, "log1p"); err == nil {
+		t.Fatal("negative combo weight must fail")
+	}
+	if _, err := NewMonotoneCombo([]float64{1}, nil, "nil"); err == nil {
+		t.Fatal("nil transform must fail")
+	}
+	if _, err := NewSingle(3, 3); err == nil {
+		t.Fatal("out-of-range single dim must fail")
+	}
+	if _, err := NewSingle(0, 0); err == nil {
+		t.Fatal("zero dims must fail")
+	}
+}
+
+// upperBoundHolds checks UB(lo,hi) >= Score(x) for random x within the box.
+func upperBoundHolds(t *testing.T, s Scorer, d int, nonneg bool) {
+	t.Helper()
+	b, ok := s.(Bounder)
+	if !ok {
+		t.Fatalf("%T must implement Bounder", s)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		lo := make([]float64, d)
+		hi := make([]float64, d)
+		x := make([]float64, d)
+		for j := 0; j < d; j++ {
+			a, c := rng.Float64()*10, rng.Float64()*10
+			if !nonneg {
+				a -= 5
+				c -= 5
+			}
+			if a > c {
+				a, c = c, a
+			}
+			lo[j], hi[j] = a, c
+			x[j] = a + rng.Float64()*(c-a)
+		}
+		if sc, ub := s.Score(x), b.UpperBound(lo, hi); sc > ub+1e-9 {
+			t.Fatalf("trial %d: Score(%v)=%v exceeds UpperBound(%v,%v)=%v", trial, x, sc, lo, hi, ub)
+		}
+	}
+}
+
+func TestLinearUpperBound(t *testing.T) {
+	upperBoundHolds(t, MustLinear(1, -2, 0.5), 3, false)
+	upperBoundHolds(t, MustLinear(0.3, 0.7), 2, false)
+}
+
+func TestComboUpperBound(t *testing.T) {
+	s, err := Log1pCombo([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	upperBoundHolds(t, s, 2, true)
+	if !s.IsMonotone() {
+		t.Fatal("log combo must be monotone")
+	}
+}
+
+func TestCosineUpperBound(t *testing.T) {
+	s, err := NewCosine([]float64{1, 2, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	upperBoundHolds(t, s, 3, true)
+	if s.IsMonotone() {
+		t.Fatal("cosine must not be monotone")
+	}
+}
+
+func TestCosineScoreRange(t *testing.T) {
+	s, err := NewCosine([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Score([]float64{2, 2}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("parallel vector must score 1, got %v", got)
+	}
+	if got := s.Score([]float64{0, 0}); got != 0 {
+		t.Fatalf("zero vector must score 0, got %v", got)
+	}
+	f := func(a, b uint8) bool {
+		v := s.Score([]float64{float64(a), float64(b)})
+		return v >= -1e-12 && v <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleScorer(t *testing.T) {
+	s, err := NewSingle(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Score([]float64{9, 4, 7}); got != 4 {
+		t.Fatalf("Score=%v want 4", got)
+	}
+	if !s.IsMonotone() {
+		t.Fatal("single-attribute scorer must be monotone")
+	}
+	if ub := s.UpperBound([]float64{0, 0, 0}, []float64{1, 5, 2}); ub != 5 {
+		t.Fatalf("UpperBound=%v want 5", ub)
+	}
+}
+
+func TestIsMonotoneHelper(t *testing.T) {
+	if !IsMonotone(MustLinear(1, 1)) {
+		t.Fatal("linear with non-negative weights is monotone")
+	}
+	type opaque struct{ Scorer }
+	if IsMonotone(opaque{MustLinear(1, 1)}) {
+		t.Fatal("wrapper without MonotoneAware must be treated as non-monotone")
+	}
+}
+
+func TestUpperBoundFallback(t *testing.T) {
+	type opaque struct{ Scorer }
+	ub := UpperBound(opaque{MustLinear(1)}, []float64{0}, []float64{1})
+	if !math.IsInf(ub, 1) {
+		t.Fatalf("unknown scorer must bound to +Inf, got %v", ub)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	for _, s := range []interface{ String() string }{
+		MustLinear(1, 2),
+		mustCosine(t),
+		mustCombo(t),
+	} {
+		if s.String() == "" {
+			t.Fatalf("%T has empty String()", s)
+		}
+	}
+}
+
+func mustCosine(t *testing.T) *Cosine {
+	t.Helper()
+	s, err := NewCosine([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustCombo(t *testing.T) *MonotoneCombo {
+	t.Helper()
+	s, err := Log1pCombo([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

@@ -1,0 +1,211 @@
+package skyband
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/skyline"
+)
+
+func randDS(rng *rand.Rand, n, d, domain int) *data.Dataset {
+	times := make([]int64, n)
+	rows := make([][]float64, n)
+	t := int64(0)
+	for i := 0; i < n; i++ {
+		t += int64(1 + rng.Intn(3))
+		times[i] = t
+		row := make([]float64, d)
+		for j := range row {
+			if domain > 0 {
+				row[j] = float64(rng.Intn(domain))
+			} else {
+				row[j] = rng.Float64()
+			}
+		}
+		rows[i] = row
+	}
+	return data.MustNew(times, rows)
+}
+
+// naiveDuration computes the k-skyband duration by unbounded backward scan.
+func naiveDuration(ds *data.Dataset, i, k int) int64 {
+	p := ds.Attrs(i)
+	found := 0
+	for j := i - 1; j >= 0; j-- {
+		if skyline.Dominates(ds.Attrs(j), p) {
+			found++
+			if found == k {
+				return ds.Time(i) - ds.Time(j) - 1
+			}
+		}
+	}
+	return Unbounded
+}
+
+func TestDurationMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(500)
+		d := 1 + rng.Intn(3)
+		domain := 0
+		if trial%2 == 0 {
+			domain = 6
+		}
+		ds := randDS(rng, n, d, domain)
+		// Small blocks exercise the block-skip path.
+		sc := NewScanner(ds, 16)
+		for _, k := range []int{1, 2, 4} {
+			durs := sc.Durations(k, 0)
+			for i := 0; i < n; i++ {
+				if want := naiveDuration(ds, i, k); durs[i] != want {
+					t.Fatalf("trial %d n=%d d=%d k=%d record %d: got %d want %d",
+						trial, n, d, k, i, durs[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestBudgetOverApproximates(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	ds := randDS(rng, 400, 2, 0)
+	sc := NewScanner(ds, 32)
+	exact := sc.Durations(3, 0)
+	budgeted := sc.Durations(3, 20)
+	for i := range exact {
+		if budgeted[i] < exact[i] {
+			t.Fatalf("record %d: budget shrank duration %d -> %d (must only grow)",
+				i, exact[i], budgeted[i])
+		}
+	}
+}
+
+func TestDurationSemantics(t *testing.T) {
+	// Record at t=10 dominated by records at t=7 and t=3.
+	ds := data.MustNew(
+		[]int64{3, 7, 10},
+		[][]float64{{5, 5}, {4, 4}, {3, 3}},
+	)
+	sc := NewScanner(ds, 0)
+	// k=1: first dominator looking back is t=7 -> duration 10-7-1 = 2.
+	if got := sc.Duration(2, 1, 0); got != 2 {
+		t.Fatalf("k=1 duration=%d want 2", got)
+	}
+	// k=2: second dominator is t=3 -> duration 10-3-1 = 6.
+	if got := sc.Duration(2, 2, 0); got != 6 {
+		t.Fatalf("k=2 duration=%d want 6", got)
+	}
+	// k=3: only two dominators exist.
+	if got := sc.Duration(2, 3, 0); got != Unbounded {
+		t.Fatalf("k=3 duration=%d want Unbounded", got)
+	}
+	// The first record never has dominators.
+	if got := sc.Duration(0, 1, 0); got != Unbounded {
+		t.Fatalf("first record duration=%d want Unbounded", got)
+	}
+}
+
+func TestIncomparableRecordsStayUnbounded(t *testing.T) {
+	// Anti-correlated: nobody dominates anybody.
+	ds := data.MustNew(
+		[]int64{1, 2, 3},
+		[][]float64{{1, 3}, {2, 2}, {3, 1}},
+	)
+	sc := NewScanner(ds, 0)
+	for i := 0; i < 3; i++ {
+		if got := sc.Duration(i, 1, 0); got != Unbounded {
+			t.Fatalf("record %d duration=%d want Unbounded", i, got)
+		}
+	}
+}
+
+func TestLevel(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 9: 16, 16: 16, 17: 32}
+	for k, want := range cases {
+		if got := Level(k); got != want {
+			t.Errorf("Level(%d)=%d want %d", k, got, want)
+		}
+	}
+}
+
+func TestLadderCandidatesSuperset(t *testing.T) {
+	// For any k and tau, records that are tau-durable under SOME monotone
+	// scorer must appear among the ladder's candidates; verify against the
+	// definitional k-skyband membership directly.
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 10; trial++ {
+		n := 50 + rng.Intn(300)
+		ds := randDS(rng, n, 2, 8)
+		ladder := NewLadder(ds, 0, 16)
+		lo, hi := ds.Span()
+		span := hi - lo
+		for _, k := range []int{1, 3, 5} {
+			tau := 1 + rng.Int63n(span)
+			start := lo + rng.Int63n(span/2+1)
+			cands := ladder.Candidates(k, start, hi, tau)
+			inC := map[int32]bool{}
+			for _, id := range cands {
+				inC[id] = true
+			}
+			// Every record in [start,hi] that is in the k-skyband of its
+			// tau-window must be a candidate.
+			for i := 0; i < n; i++ {
+				tm := ds.Time(i)
+				if tm < start || tm > hi {
+					continue
+				}
+				wlo, whi := ds.IndexRange(tm-tau, tm)
+				doms := 0
+				for j := wlo; j < whi; j++ {
+					if j != i && skyline.Dominates(ds.Attrs(j), ds.Attrs(i)) {
+						doms++
+					}
+				}
+				if doms < k && !inC[int32(i)] {
+					t.Fatalf("trial %d k=%d tau=%d: skyband record %d missing from candidates",
+						trial, k, tau, i)
+				}
+			}
+			if got := ladder.CandidateCount(k, start, hi, tau); got != len(cands) {
+				t.Fatalf("CandidateCount=%d want %d", got, len(cands))
+			}
+		}
+	}
+}
+
+func TestLadderLevelsMaterializeLazily(t *testing.T) {
+	ds := randDS(rand.New(rand.NewSource(53)), 100, 2, 0)
+	ladder := NewLadder(ds, 0, 0)
+	if levels := ladder.BuiltLevels(); len(levels) != 0 {
+		t.Fatalf("fresh ladder has levels %v", levels)
+	}
+	ladder.CandidateCount(5, 0, 1000, 1)
+	if levels := ladder.BuiltLevels(); len(levels) != 1 || levels[0] != 8 {
+		t.Fatalf("after k=5 query: levels %v want [8]", levels)
+	}
+	ladder.CandidateCount(6, 0, 1000, 1) // same level, no new build
+	if levels := ladder.BuiltLevels(); len(levels) != 1 {
+		t.Fatalf("k=6 should reuse level 8, got %v", levels)
+	}
+}
+
+func TestDurationsConvenience(t *testing.T) {
+	ds := randDS(rand.New(rand.NewSource(59)), 64, 2, 0)
+	a := Durations(ds, 2, 0)
+	b := NewScanner(ds, 0).Durations(2, 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Durations wrapper disagrees with Scanner")
+		}
+	}
+}
+
+func BenchmarkDurationsIND10k(b *testing.B) {
+	ds := randDS(rand.New(rand.NewSource(1)), 10_000, 2, 0)
+	sc := NewScanner(ds, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Durations(8, 4096)
+	}
+}

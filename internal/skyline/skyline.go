@@ -1,0 +1,167 @@
+// Package skyline implements the dominance, skyline (maxima), and k-skyband
+// operators used as substrates by the range top-k index node summaries and
+// the durable k-skyband candidate index (paper §IV-B).
+//
+// All operators use the "larger is better" convention: point a dominates
+// point b when a is >= b in every dimension and > b in at least one. The
+// k-skyband of a set is the subset of points dominated by fewer than k
+// others (the skyline is the 1-skyband).
+package skyline
+
+// Dominates reports whether a dominates b: a >= b componentwise with strict
+// inequality in at least one dimension. The slices must have equal length.
+func Dominates(a, b []float64) bool {
+	strict := false
+	for i := range a {
+		switch {
+		case a[i] < b[i]:
+			return false
+		case a[i] > b[i]:
+			strict = true
+		}
+	}
+	return strict
+}
+
+// DominatesOrEqual reports whether a >= b componentwise.
+func DominatesOrEqual(a, b []float64) bool {
+	for i := range a {
+		if a[i] < b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Points abstracts an indexed point set so callers can run skyline operators
+// directly over a data.Dataset, a slice of rows, or index-table tuples
+// without copying.
+type Points interface {
+	// Point returns the attribute vector of the point with the given id.
+	Point(id int32) []float64
+}
+
+// Rows adapts a [][]float64 to the Points interface; ids are row indices.
+type Rows [][]float64
+
+// Point implements Points.
+func (r Rows) Point(id int32) []float64 { return r[id] }
+
+// Compute returns the ids of the skyline (maxima) among ids. Duplicate
+// coordinate vectors are all retained (none dominates its equal). The result
+// preserves the relative order of ids. Runs the standard O(m^2) pairwise
+// scan with the common "move current maxima forward" optimization, which is
+// near-linear for independently distributed data.
+func Compute(ps Points, ids []int32) []int32 {
+	sky := make([]int32, 0, 8)
+	for _, id := range ids {
+		p := ps.Point(id)
+		dominated := false
+		keep := sky[:0]
+		for _, sid := range sky {
+			q := ps.Point(sid)
+			if !dominated && Dominates(q, p) {
+				dominated = true
+				// p is out, but remaining skyline members all stay.
+				keep = append(keep, sid)
+				continue
+			}
+			if dominated || !Dominates(p, q) {
+				keep = append(keep, sid)
+			}
+		}
+		sky = keep
+		if !dominated {
+			sky = append(sky, id)
+		}
+	}
+	return sky
+}
+
+// Merge returns the skyline of the union of two skylines a and b. Both
+// inputs must themselves be skylines (mutually non-dominating); the result
+// is a fresh slice.
+func Merge(ps Points, a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	deadB := make([]bool, len(b))
+	for _, ida := range a {
+		pa := ps.Point(ida)
+		dominated := false
+		for j, idb := range b {
+			if deadB[j] {
+				continue
+			}
+			pb := ps.Point(idb)
+			if Dominates(pb, pa) {
+				dominated = true
+				break
+			}
+			if Dominates(pa, pb) {
+				deadB[j] = true
+			}
+		}
+		if !dominated {
+			out = append(out, ida)
+		}
+	}
+	for j, idb := range b {
+		if !deadB[j] {
+			out = append(out, idb)
+		}
+	}
+	return out
+}
+
+// KSkyband returns the ids among ids dominated by fewer than k other points
+// of the set. k must be >= 1; the 1-skyband equals Compute's skyline up to
+// ordering. O(m^2) pairwise; intended for oracle tests and small sets.
+func KSkyband(ps Points, ids []int32, k int) []int32 {
+	out := make([]int32, 0, len(ids))
+	for _, id := range ids {
+		p := ps.Point(id)
+		dominators := 0
+		for _, other := range ids {
+			if other == id {
+				continue
+			}
+			if Dominates(ps.Point(other), p) {
+				dominators++
+				if dominators >= k {
+					break
+				}
+			}
+		}
+		if dominators < k {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// CountDominators returns the number of ids whose points dominate p, at most
+// limit (0 means unlimited).
+func CountDominators(ps Points, ids []int32, p []float64, limit int) int {
+	n := 0
+	for _, id := range ids {
+		if Dominates(ps.Point(id), p) {
+			n++
+			if limit > 0 && n >= limit {
+				return n
+			}
+		}
+	}
+	return n
+}
+
+// AnyDominates reports whether any of ids dominates p. Because every point
+// of a set is dominated-or-equaled by some member of the set's skyline,
+// calling this on a block's skyline answers "does any point of the block
+// dominate p" exactly.
+func AnyDominates(ps Points, ids []int32, p []float64) bool {
+	for _, id := range ids {
+		if Dominates(ps.Point(id), p) {
+			return true
+		}
+	}
+	return false
+}

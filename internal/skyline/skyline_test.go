@@ -1,0 +1,203 @@
+package skyline
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{2, 2}, []float64{1, 1}, true},
+		{[]float64{2, 1}, []float64{1, 1}, true},
+		{[]float64{1, 1}, []float64{1, 1}, false}, // equal: no strict dim
+		{[]float64{2, 0}, []float64{1, 1}, false}, // incomparable
+		{[]float64{1, 1}, []float64{2, 2}, false},
+		{[]float64{3}, []float64{2}, true},
+	}
+	for _, c := range cases {
+		if got := Dominates(c.a, c.b); got != c.want {
+			t.Errorf("Dominates(%v,%v)=%v want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDominatesOrEqual(t *testing.T) {
+	if !DominatesOrEqual([]float64{1, 1}, []float64{1, 1}) {
+		t.Fatal("equal vectors must dominate-or-equal")
+	}
+	if DominatesOrEqual([]float64{1, 0}, []float64{1, 1}) {
+		t.Fatal("smaller in one dim must not dominate-or-equal")
+	}
+}
+
+func naiveSkyline(rows [][]float64, ids []int32) map[int32]bool {
+	out := map[int32]bool{}
+	for _, id := range ids {
+		dominated := false
+		for _, other := range ids {
+			if other != id && Dominates(rows[other], rows[id]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+func randRows(rng *rand.Rand, n, d int, domain int) ([][]float64, []int32) {
+	rows := make([][]float64, n)
+	ids := make([]int32, n)
+	for i := range rows {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = float64(rng.Intn(domain))
+		}
+		rows[i] = row
+		ids[i] = int32(i)
+	}
+	return rows, ids
+}
+
+func TestComputeMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(120)
+		d := 1 + rng.Intn(4)
+		domain := 3 + rng.Intn(50) // small domains force duplicates
+		rows, ids := randRows(rng, n, d, domain)
+		got := Compute(Rows(rows), ids)
+		want := naiveSkyline(rows, ids)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: skyline size %d want %d", trial, len(got), len(want))
+		}
+		for _, id := range got {
+			if !want[id] {
+				t.Fatalf("trial %d: %d not in naive skyline", trial, id)
+			}
+		}
+	}
+}
+
+func TestComputeKeepsDuplicates(t *testing.T) {
+	rows := [][]float64{{1, 2}, {1, 2}, {0, 0}}
+	got := Compute(Rows(rows), []int32{0, 1, 2})
+	if len(got) != 2 {
+		t.Fatalf("duplicate maxima must both stay, got %v", got)
+	}
+}
+
+func TestMergeMatchesCompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(100)
+		rows, ids := randRows(rng, n, 2, 20)
+		mid := n / 2
+		a := Compute(Rows(rows), ids[:mid])
+		b := Compute(Rows(rows), ids[mid:])
+		merged := Merge(Rows(rows), a, b)
+		direct := Compute(Rows(rows), ids)
+		sortIDs := func(s []int32) {
+			sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		}
+		sortIDs(merged)
+		sortIDs(direct)
+		if len(merged) != len(direct) {
+			t.Fatalf("trial %d: merge %v direct %v", trial, merged, direct)
+		}
+		for i := range merged {
+			if merged[i] != direct[i] {
+				t.Fatalf("trial %d: merge %v direct %v", trial, merged, direct)
+			}
+		}
+	}
+}
+
+func TestKSkybandOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(80)
+		rows, ids := randRows(rng, n, 2, 10)
+		for _, k := range []int{1, 2, 3, 5} {
+			band := KSkyband(Rows(rows), ids, k)
+			inBand := map[int32]bool{}
+			for _, id := range band {
+				inBand[id] = true
+			}
+			for _, id := range ids {
+				doms := 0
+				for _, other := range ids {
+					if other != id && Dominates(rows[other], rows[id]) {
+						doms++
+					}
+				}
+				if (doms < k) != inBand[id] {
+					t.Fatalf("trial %d k=%d id=%d: doms=%d inBand=%v", trial, k, id, doms, inBand[id])
+				}
+			}
+		}
+	}
+}
+
+func TestSkylandIsOneSkyband(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	rows, ids := randRows(rng, 100, 3, 8)
+	sky := Compute(Rows(rows), ids)
+	band := KSkyband(Rows(rows), ids, 1)
+	if len(sky) != len(band) {
+		t.Fatalf("skyline size %d != 1-skyband size %d", len(sky), len(band))
+	}
+}
+
+// TestAnyDominatesExactness verifies the block-skip property: a block
+// contains a dominator of p iff its skyline contains one.
+func TestAnyDominatesExactness(t *testing.T) {
+	f := func(raw [][3]uint8, px, py, pz uint8) bool {
+		rows := make([][]float64, len(raw))
+		ids := make([]int32, len(raw))
+		for i, r := range raw {
+			rows[i] = []float64{float64(r[0]), float64(r[1]), float64(r[2])}
+			ids[i] = int32(i)
+		}
+		p := []float64{float64(px), float64(py), float64(pz)}
+		sky := Compute(Rows(rows), ids)
+		bySkyline := AnyDominates(Rows(rows), sky, p)
+		byAll := AnyDominates(Rows(rows), ids, p)
+		return bySkyline == byAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountDominatorsLimit(t *testing.T) {
+	rows := [][]float64{{5, 5}, {4, 4}, {3, 3}, {2, 2}}
+	ids := []int32{0, 1, 2, 3}
+	if got := CountDominators(Rows(rows), ids, []float64{1, 1}, 0); got != 4 {
+		t.Fatalf("unlimited count=%d want 4", got)
+	}
+	if got := CountDominators(Rows(rows), ids, []float64{1, 1}, 2); got != 2 {
+		t.Fatalf("limited count=%d want 2", got)
+	}
+}
+
+func BenchmarkComputeIND1k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]float64, 1000)
+	ids := make([]int32, 1000)
+	for i := range rows {
+		rows[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		ids[i] = int32(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compute(Rows(rows), ids)
+	}
+}

@@ -1,0 +1,136 @@
+// Package stats provides the small numeric summaries used by the benchmark
+// harness: mean, standard deviation, percentiles, and fixed-width text
+// histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Std returns the sample standard deviation of xs (0 for fewer than two
+// samples).
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs by linear
+// interpolation; 0 for empty input. xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary bundles the usual run statistics.
+type Summary struct {
+	N                  int
+	Mean, Std          float64
+	Min, Median, Max   float64
+	P25, P75, P90, P99 float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Std:    Std(xs),
+		Min:    Percentile(xs, 0),
+		P25:    Percentile(xs, 25),
+		Median: Percentile(xs, 50),
+		P75:    Percentile(xs, 75),
+		P90:    Percentile(xs, 90),
+		P99:    Percentile(xs, 99),
+		Max:    Percentile(xs, 100),
+	}
+}
+
+// String formats the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3g std=%.3g min=%.3g p50=%.3g p90=%.3g max=%.3g",
+		s.N, s.Mean, s.Std, s.Min, s.Median, s.P90, s.Max)
+}
+
+// Histogram renders a fixed-width text histogram of xs with the given number
+// of equal-width bins (for the Fig. 7 / Fig. 13 style distribution views).
+func Histogram(xs []float64, bins, width int) string {
+	if len(xs) == 0 || bins < 1 {
+		return "(empty)\n"
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	counts := make([]int, bins)
+	for _, x := range xs {
+		b := int(float64(bins) * (x - lo) / span)
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	maxCount := 1
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var sb strings.Builder
+	for b, c := range counts {
+		bar := strings.Repeat("#", c*width/maxCount)
+		fmt.Fprintf(&sb, "[%8.3g, %8.3g) %6d %s\n",
+			lo+span*float64(b)/float64(bins),
+			lo+span*float64(b+1)/float64(bins), c, bar)
+	}
+	return sb.String()
+}

@@ -1,0 +1,118 @@
+package topk
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/score"
+)
+
+// Forest is an appendable range top-k index built with the logarithmic
+// method: records accumulate in a small buffer; full buffers become static
+// trees, and equal-sized trees merge by rebuilding. Appends cost amortized
+// O(log n) index work and queries fan out over O(log n) trees plus the
+// buffer, providing the update support the paper assumes of the building
+// block (§II). Records must arrive in strictly increasing time order, the
+// natural regime for instant-stamped temporal data.
+//
+// Not safe for concurrent use.
+type Forest struct {
+	opts  Options
+	base  int
+	dims  int
+	times []int64
+	flat  []float64
+	trees []chunkTree
+	// buffered records are those in [bufStart, len(times)).
+	bufStart int
+	rebuilds int
+}
+
+type chunkTree struct {
+	start, size int
+	idx         *Index
+}
+
+// NewForest returns an empty forest for d-dimensional records.
+func NewForest(d int, opts Options) *Forest {
+	opts = opts.withDefaults()
+	return &Forest{opts: opts, base: opts.LengthThreshold, dims: d}
+}
+
+// Len returns the number of appended records.
+func (f *Forest) Len() int { return len(f.times) }
+
+// Time returns the arrival time of record i.
+func (f *Forest) Time(i int) int64 { return f.times[i] }
+
+// Attrs returns the attribute vector of record i (aliases internal storage).
+func (f *Forest) Attrs(i int) []float64 {
+	return f.flat[i*f.dims : (i+1)*f.dims]
+}
+
+// Rebuilds returns the number of static tree (re)builds performed, an
+// ablation metric for the amortized analysis.
+func (f *Forest) Rebuilds() int { return f.rebuilds }
+
+// Trees returns the current number of static trees in the forest.
+func (f *Forest) Trees() int { return len(f.trees) }
+
+// Append adds one record; attrs is copied.
+func (f *Forest) Append(t int64, attrs []float64) error {
+	if len(attrs) != f.dims {
+		return fmt.Errorf("topk: append got %d attrs, want %d", len(attrs), f.dims)
+	}
+	if n := len(f.times); n > 0 && t <= f.times[n-1] {
+		return fmt.Errorf("topk: append t=%d not after t=%d", t, f.times[len(f.times)-1])
+	}
+	f.times = append(f.times, t)
+	f.flat = append(f.flat, attrs...)
+	if len(f.times)-f.bufStart >= f.base {
+		f.flush()
+	}
+	return nil
+}
+
+// flush turns the buffer into a tree and cascades equal-size merges.
+func (f *Forest) flush() {
+	start, size := f.bufStart, len(f.times)-f.bufStart
+	f.bufStart = len(f.times)
+	for len(f.trees) > 0 && f.trees[len(f.trees)-1].size == size {
+		prev := f.trees[len(f.trees)-1]
+		f.trees = f.trees[:len(f.trees)-1]
+		start, size = prev.start, prev.size+size
+	}
+	f.trees = append(f.trees, chunkTree{start: start, size: size, idx: f.buildTree(start, size)})
+	f.rebuilds++
+}
+
+func (f *Forest) buildTree(start, size int) *Index {
+	rows := make([][]float64, size)
+	for i := 0; i < size; i++ {
+		rows[i] = f.flat[(start+i)*f.dims : (start+i+1)*f.dims]
+	}
+	ds := data.MustNew(f.times[start:start+size], rows)
+	return Build(ds, f.opts)
+}
+
+// Query returns up to k records with highest (score desc, time desc) rank
+// among records with arrival time in [t1, t2], with IDs referring to append
+// order.
+func (f *Forest) Query(s score.Scorer, k int, t1, t2 int64) []Item {
+	if k <= 0 || t1 > t2 {
+		return nil
+	}
+	res := newKHeap(k)
+	for _, ct := range f.trees {
+		for _, it := range ct.idx.Query(s, k, t1, t2) {
+			it.ID += int32(ct.start)
+			res.offer(it)
+		}
+	}
+	for i := f.bufStart; i < len(f.times); i++ {
+		if f.times[i] >= t1 && f.times[i] <= t2 {
+			res.offer(Item{ID: int32(i), Time: f.times[i], Score: s.Score(f.Attrs(i))})
+		}
+	}
+	return res.sortedDesc()
+}

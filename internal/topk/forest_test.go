@@ -1,0 +1,109 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/score"
+)
+
+func TestForestMatchesStatic(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(900)
+		d := 1 + rng.Intn(3)
+		ds := randDS(rng, n, d, 4*(trial%2)) // alternate ties / no ties
+		opts := Options{LengthThreshold: 16, MaxNodeSkyline: 16}
+		idx := Build(ds, opts)
+		f := NewForest(d, opts)
+		for i := 0; i < n; i++ {
+			if err := f.Append(ds.Time(i), ds.Attrs(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if f.Len() != n {
+			t.Fatalf("forest Len=%d want %d", f.Len(), n)
+		}
+		s := linearFor(rng, d)
+		lo, hi := ds.Span()
+		for q := 0; q < 15; q++ {
+			k := 1 + rng.Intn(6)
+			t1 := lo + int64(rng.Intn(int(hi-lo)+1)) - 2
+			t2 := t1 + int64(rng.Intn(int(hi-lo)+2))
+			got := f.Query(s, k, t1, t2)
+			want := idx.Query(s, k, t1, t2)
+			if !itemsEqual(got, want) {
+				t.Fatalf("trial %d n=%d k=%d [%d,%d]:\nforest %v\nstatic %v",
+					trial, n, k, t1, t2, got, want)
+			}
+		}
+	}
+}
+
+func TestForestAppendValidation(t *testing.T) {
+	f := NewForest(2, Options{})
+	if err := f.Append(1, []float64{1}); err == nil {
+		t.Fatal("wrong dims must fail")
+	}
+	if err := f.Append(5, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append(5, []float64{1, 2}); err == nil {
+		t.Fatal("non-increasing time must fail")
+	}
+	if err := f.Append(4, []float64{1, 2}); err == nil {
+		t.Fatal("decreasing time must fail")
+	}
+}
+
+func TestForestBinaryCounterShape(t *testing.T) {
+	base := 8
+	f := NewForest(1, Options{LengthThreshold: base})
+	total := base * 11 // 11 full chunks
+	for i := 0; i < total; i++ {
+		if err := f.Append(int64(i+1), []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 11 = 1011b: expect trees of sizes 8*8, 2*8, 1*8 => 3 trees.
+	if f.Trees() != 3 {
+		t.Fatalf("Trees=%d want 3 (binary counter over 11 chunks)", f.Trees())
+	}
+	if f.Rebuilds() < 11 {
+		t.Fatalf("Rebuilds=%d want >= 11", f.Rebuilds())
+	}
+}
+
+func TestForestPendingBufferQueried(t *testing.T) {
+	f := NewForest(1, Options{LengthThreshold: 64})
+	for i := 0; i < 10; i++ { // all records still in the pending buffer
+		if err := f.Append(int64(i+1), []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := f.Query(score.MustLinear(1), 3, 1, 10)
+	if len(got) != 3 || got[0].Score != 9 {
+		t.Fatalf("pending-buffer query wrong: %v", got)
+	}
+}
+
+func TestForestAttrsCopied(t *testing.T) {
+	f := NewForest(1, Options{})
+	row := []float64{7}
+	if err := f.Append(1, row); err != nil {
+		t.Fatal(err)
+	}
+	row[0] = 9
+	if f.Attrs(0)[0] != 7 {
+		t.Fatal("forest must copy appended attrs")
+	}
+}
+
+func BenchmarkForestAppend(b *testing.B) {
+	f := NewForest(2, Options{})
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Append(int64(i+1), []float64{rng.Float64(), rng.Float64()})
+	}
+}

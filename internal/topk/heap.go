@@ -1,0 +1,141 @@
+package topk
+
+import "sort"
+
+// kHeap keeps the k best items under the (score desc, time desc) order. It
+// is a binary min-heap whose root is the current k-th best item, so an
+// incoming candidate only enters when it beats the root.
+type kHeap struct {
+	k     int
+	items []Item
+}
+
+func newKHeap(k int) *kHeap {
+	return &kHeap{k: k, items: make([]Item, 0, k)}
+}
+
+// worse is the heap order: a sinks below b when a ranks after b.
+func worse(a, b Item) bool { return Better(b, a) }
+
+// wouldImprove reports whether a hypothetical item with the given score
+// upper bound and maximum possible arrival time could enter the heap.
+func (h *kHeap) wouldImprove(ubScore float64, maxTime int64) bool {
+	if len(h.items) < h.k {
+		return true
+	}
+	kth := h.items[0]
+	if ubScore != kth.Score {
+		return ubScore > kth.Score
+	}
+	return maxTime > kth.Time
+}
+
+// offer inserts the item if it belongs to the current top-k.
+func (h *kHeap) offer(it Item) {
+	if len(h.items) < h.k {
+		h.items = append(h.items, it)
+		h.up(len(h.items) - 1)
+		return
+	}
+	if !Better(it, h.items[0]) {
+		return
+	}
+	h.items[0] = it
+	h.down(0)
+}
+
+func (h *kHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !worse(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *kHeap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && worse(h.items[l], h.items[least]) {
+			least = l
+		}
+		if r < n && worse(h.items[r], h.items[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h.items[i], h.items[least] = h.items[least], h.items[i]
+		i = least
+	}
+}
+
+// sortedDesc returns the collected items ordered best-first.
+func (h *kHeap) sortedDesc() []Item {
+	out := h.items
+	sort.Slice(out, func(i, j int) bool { return Better(out[i], out[j]) })
+	return out
+}
+
+// pqEntry is a branch-and-bound frontier node keyed by (ub desc, maxT desc).
+type pqEntry struct {
+	node int32
+	ub   float64
+	maxT int64
+}
+
+func pqBefore(a, b pqEntry) bool {
+	if a.ub != b.ub {
+		return a.ub > b.ub
+	}
+	return a.maxT > b.maxT
+}
+
+// nodePQ is a max-heap of frontier entries.
+type nodePQ struct {
+	es []pqEntry
+}
+
+func (q *nodePQ) len() int { return len(q.es) }
+
+func (q *nodePQ) push(e pqEntry) {
+	q.es = append(q.es, e)
+	i := len(q.es) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !pqBefore(q.es[i], q.es[parent]) {
+			break
+		}
+		q.es[i], q.es[parent] = q.es[parent], q.es[i]
+		i = parent
+	}
+}
+
+func (q *nodePQ) pop() pqEntry {
+	top := q.es[0]
+	last := len(q.es) - 1
+	q.es[0] = q.es[last]
+	q.es = q.es[:last]
+	n := len(q.es)
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && pqBefore(q.es[l], q.es[best]) {
+			best = l
+		}
+		if r < n && pqBefore(q.es[r], q.es[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		q.es[i], q.es[best] = q.es[best], q.es[i]
+		i = best
+	}
+	return top
+}

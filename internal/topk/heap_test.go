@@ -1,0 +1,96 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKHeapKeepsBestK(t *testing.T) {
+	f := func(scoresRaw []uint8, kRaw uint8) bool {
+		k := int(kRaw%10) + 1
+		items := make([]Item, len(scoresRaw))
+		for i, s := range scoresRaw {
+			items[i] = Item{ID: int32(i), Time: int64(i), Score: float64(s % 16)} // force ties
+		}
+		h := newKHeap(k)
+		for _, it := range items {
+			h.offer(it)
+		}
+		got := h.sortedDesc()
+
+		want := append([]Item(nil), items...)
+		sort.Slice(want, func(i, j int) bool { return Better(want[i], want[j]) })
+		if len(want) > k {
+			want = want[:k]
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKHeapWouldImprove(t *testing.T) {
+	h := newKHeap(2)
+	if !h.wouldImprove(0, 0) {
+		t.Fatal("non-full heap always improvable")
+	}
+	h.offer(Item{ID: 1, Time: 10, Score: 5})
+	h.offer(Item{ID: 2, Time: 20, Score: 7})
+	// kth is (5, t=10).
+	if h.wouldImprove(4, 100) {
+		t.Fatal("lower score cannot improve")
+	}
+	if !h.wouldImprove(6, 0) {
+		t.Fatal("higher score must improve")
+	}
+	if h.wouldImprove(5, 10) || h.wouldImprove(5, 5) {
+		t.Fatal("equal score needs later time to improve")
+	}
+	if !h.wouldImprove(5, 11) {
+		t.Fatal("equal score with later time must improve")
+	}
+}
+
+func TestNodePQOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pq := nodePQ{}
+	n := 300
+	for i := 0; i < n; i++ {
+		pq.push(pqEntry{node: int32(i), ub: float64(rng.Intn(10)), maxT: int64(rng.Intn(10))})
+	}
+	var prev *pqEntry
+	for pq.len() > 0 {
+		e := pq.pop()
+		if prev != nil && pqBefore(e, *prev) {
+			t.Fatalf("pq order violated: %+v after %+v", e, *prev)
+		}
+		cp := e
+		prev = &cp
+	}
+}
+
+func TestBetterTotalOrder(t *testing.T) {
+	a := Item{ID: 1, Time: 5, Score: 2}
+	b := Item{ID: 2, Time: 9, Score: 2}
+	c := Item{ID: 3, Time: 1, Score: 3}
+	if !Better(c, a) || !Better(c, b) {
+		t.Fatal("higher score must rank first")
+	}
+	if !Better(b, a) || Better(a, b) {
+		t.Fatal("equal score must prefer recency")
+	}
+	if Better(a, a) {
+		t.Fatal("irreflexive")
+	}
+}

@@ -1,0 +1,160 @@
+package windows
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/score"
+	"repro/internal/topk"
+)
+
+func randDS(rng *rand.Rand, n, d, domain int) *data.Dataset {
+	b := data.NewBuilder(d, n)
+	tt := int64(0)
+	row := make([]float64, d)
+	for i := 0; i < n; i++ {
+		tt += int64(1 + rng.Intn(3))
+		for j := range row {
+			if domain > 0 {
+				row[j] = float64(rng.Intn(domain))
+			} else {
+				row[j] = rng.Float64() * 10
+			}
+		}
+		if err := b.Append(tt, row); err != nil {
+			panic(err)
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+func naiveWindowTopK(ds *data.Dataset, s score.Scorer, k int, t1, t2 int64) []topk.Item {
+	lo, hi := ds.IndexRange(t1, t2)
+	var items []topk.Item
+	for i := lo; i < hi; i++ {
+		items = append(items, topk.Item{ID: int32(i), Time: ds.Time(i), Score: s.Score(ds.Attrs(i))})
+	}
+	sort.Slice(items, func(i, j int) bool { return topk.Better(items[i], items[j]) })
+	if len(items) > k {
+		items = items[:k]
+	}
+	return items
+}
+
+func TestSlidingMatchesNaivePerPlacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 15; trial++ {
+		n := 20 + rng.Intn(300)
+		ds := randDS(rng, n, 2, 5*(trial%2)) // ties half the time
+		idx := topk.Build(ds, topk.Options{LengthThreshold: 8})
+		s := score.MustLinear(rng.Float64(), rng.Float64())
+		k := 1 + rng.Intn(4)
+		winLen := int64(1 + rng.Intn(int(ds.TimeSpan())+1))
+		lo, hi := ds.Span()
+		got := Sliding(ds, idx, s, k, winLen, lo, hi)
+		if len(got) != ds.Len() {
+			t.Fatalf("trial %d: %d placements want %d", trial, len(got), ds.Len())
+		}
+		for _, wr := range got {
+			want := naiveWindowTopK(ds, s, k, wr.Start, wr.End)
+			if len(wr.Items) != len(want) {
+				t.Fatalf("trial %d window [%d,%d]: %d items want %d",
+					trial, wr.Start, wr.End, len(wr.Items), len(want))
+			}
+			for i := range want {
+				if wr.Items[i].ID != want[i].ID {
+					t.Fatalf("trial %d window [%d,%d] item %d: got %d want %d",
+						trial, wr.Start, wr.End, i, wr.Items[i].ID, want[i].ID)
+				}
+			}
+		}
+	}
+}
+
+func TestTumblingGrid(t *testing.T) {
+	ds := randDS(rand.New(rand.NewSource(103)), 100, 1, 0)
+	idx := topk.Build(ds, topk.Options{})
+	s := score.MustLinear(1)
+	lo, hi := ds.Span()
+	winLen := (hi - lo) / 5
+	if winLen < 1 {
+		t.Skip("span too small")
+	}
+	rs := Tumbling(idx, s, 1, winLen, lo, lo, hi)
+	if len(rs) == 0 {
+		t.Fatal("no windows returned")
+	}
+	for i, wr := range rs {
+		if wr.End-wr.Start != winLen-1 {
+			t.Fatalf("window %d has length %d want %d", i, wr.End-wr.Start+1, winLen)
+		}
+		if i > 0 && wr.Start <= rs[i-1].Start {
+			t.Fatal("windows must advance")
+		}
+		want := naiveWindowTopK(ds, s, 1, wr.Start, wr.End)
+		if wr.Items[0].ID != want[0].ID {
+			t.Fatalf("window %d champion %d want %d", i, wr.Items[0].ID, want[0].ID)
+		}
+	}
+	// A different origin shifts boundaries.
+	shifted := Tumbling(idx, s, 1, winLen, lo+winLen/2, lo, hi)
+	if len(shifted) > 0 && shifted[0].Start == rs[0].Start {
+		t.Fatal("shifted grid must move window boundaries")
+	}
+}
+
+func TestTumblingDegenerate(t *testing.T) {
+	ds := randDS(rand.New(rand.NewSource(104)), 10, 1, 0)
+	idx := topk.Build(ds, topk.Options{})
+	s := score.MustLinear(1)
+	if rs := Tumbling(idx, s, 1, 0, 0, 0, 100); rs != nil {
+		t.Fatal("zero window length must return nil")
+	}
+	if rs := Tumbling(idx, s, 1, 10, 0, 100, 50); rs != nil {
+		t.Fatal("inverted range must return nil")
+	}
+}
+
+func TestSlidingFilterDurableMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	for trial := 0; trial < 15; trial++ {
+		n := 20 + rng.Intn(300)
+		ds := randDS(rng, n, 2, 4*(trial%2))
+		idx := topk.Build(ds, topk.Options{LengthThreshold: 8})
+		s := score.MustLinear(rng.Float64(), rng.Float64())
+		k := 1 + rng.Intn(4)
+		lo, hi := ds.Span()
+		span := hi - lo
+		tau := rng.Int63n(span + 1)
+		start := lo + rng.Int63n(span+1)
+		end := start + rng.Int63n(hi-start+1)
+		got := SlidingFilterDurable(ds, idx, s, k, tau, start, end)
+		want := core.BruteForce(ds, s, k, tau, start, end, core.LookBack)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d k=%d tau=%d I=[%d,%d]: got %v want %v",
+				trial, k, tau, start, end, got, want)
+		}
+	}
+}
+
+func TestUnionIDs(t *testing.T) {
+	rs := []WindowResult{
+		{Items: []topk.Item{{ID: 3}, {ID: 1}}},
+		{Items: []topk.Item{{ID: 1}, {ID: 7}}},
+	}
+	got := UnionIDs(rs)
+	if !reflect.DeepEqual(got, []int{1, 3, 7}) {
+		t.Fatalf("UnionIDs=%v", got)
+	}
+}

@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client speaks the wire protocol over one connection. Method calls are
+// serialized (one in-flight request per connection); open several clients
+// for parallelism. Safe for concurrent use.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	bw   *bufio.Writer
+	br   *bufio.Reader
+}
+
+// Dial connects to a durable top-k server at addr (host:port).
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (e.g. one side of net.Pipe).
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		bw:   bufio.NewWriter(conn),
+		br:   bufio.NewReader(conn),
+	}
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do sends one request and waits for its response. Protocol-level failures
+// return an error; request-level failures are reported in Response.Error.
+func (c *Client) Do(req Request) (*Response, error) {
+	req.V = Version
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteFrame(c.bw, &req); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := ReadFrame(c.br, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// do runs one request and folds Response.Error into the error return.
+func (c *Client) do(req Request) (*Response, error) {
+	resp, err := c.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("wire: server: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Ping round-trips a no-op frame.
+func (c *Client) Ping() error {
+	_, err := c.do(Request{Op: OpPing})
+	return err
+}
+
+// Datasets lists the datasets the server exposes.
+func (c *Client) Datasets() ([]DatasetInfo, error) {
+	resp, err := c.do(Request{Op: OpDatasets})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Datasets, nil
+}
+
+// Query runs one durable top-k query. Fill either Weights or Expr in req;
+// Start/End of zero default to the dataset's full span.
+func (c *Client) Query(req Request) ([]Record, *Stats, error) {
+	req.Op = OpQuery
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Records, resp.Stats, nil
+}
+
+// Explain returns the server-side planner's rendered cost assessment.
+func (c *Client) Explain(req Request) (string, error) {
+	req.Op = OpExplain
+	resp, err := c.do(req)
+	if err != nil {
+		return "", err
+	}
+	return resp.Plan, nil
+}
+
+// MostDurable returns the req.N records with the largest maximum
+// durability for req.K under the request's scorer and anchor, best first
+// (MaxDuration carries each record's duration).
+func (c *Client) MostDurable(req Request) ([]Record, error) {
+	req.Op = OpMostDurable
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Records, nil
+}

@@ -1,0 +1,329 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/expr"
+	"repro/internal/score"
+)
+
+// Server hosts durable top-k engines over named datasets and answers wire
+// requests. Engines are built once at registration; queries on one engine
+// run concurrently. The zero value is not usable; construct with NewServer.
+type Server struct {
+	logf func(format string, args ...interface{})
+
+	mu     sync.RWMutex
+	sets   map[string]*served
+	closed bool
+
+	lnMu sync.Mutex
+	lns  map[net.Listener]struct{}
+	wg   sync.WaitGroup
+}
+
+type served struct {
+	eng   *core.Engine
+	attrs []string
+}
+
+// NewServer returns an empty server. logf (nil = log.Printf) receives
+// per-connection protocol errors; request errors are reported to clients,
+// not logged.
+func NewServer(logf func(format string, args ...interface{})) *Server {
+	if logf == nil {
+		logf = log.Printf
+	}
+	return &Server{
+		logf: logf,
+		sets: make(map[string]*served),
+		lns:  make(map[net.Listener]struct{}),
+	}
+}
+
+// Add registers ds under name, building its engine. attrs optionally names
+// the dataset's attribute columns for use in scoring expressions; it may be
+// nil (positional x0, x1, … always work).
+func (s *Server) Add(name string, ds *data.Dataset, attrs []string, opts core.Options) error {
+	if name == "" {
+		return errors.New("wire: dataset name must not be empty")
+	}
+	if attrs != nil && len(attrs) != ds.Dims() {
+		return fmt.Errorf("wire: %d attribute names for %d dimensions", len(attrs), ds.Dims())
+	}
+	// Validate names eagerly so registration, not the first query, fails.
+	if _, err := expr.Compile("1", expr.Options{Dims: ds.Dims(), Names: attrs}); err != nil {
+		return fmt.Errorf("wire: attribute names: %w", err)
+	}
+	eng := core.NewEngine(ds, opts)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.sets[name]; dup {
+		return fmt.Errorf("wire: dataset %q already registered", name)
+	}
+	s.sets[name] = &served{eng: eng, attrs: attrs}
+	return nil
+}
+
+// Serve accepts connections on ln until the listener or server closes.
+// It always returns a non-nil error (net.ErrClosed after Close).
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	if s.closed {
+		s.lnMu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	s.lns[ln] = struct{}{}
+	s.lnMu.Unlock()
+	defer func() {
+		s.lnMu.Lock()
+		delete(s.lns, ln)
+		s.lnMu.Unlock()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+// Close stops all listeners and waits for in-flight connections to finish.
+func (s *Server) Close() error {
+	s.lnMu.Lock()
+	s.closed = true
+	for ln := range s.lns {
+		ln.Close()
+	}
+	s.lnMu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// ServeConn answers requests on one connection until EOF or a protocol
+// error; it closes conn before returning. Exported so tests and embedders
+// can drive the protocol over net.Pipe.
+func (s *Server) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		var req Request
+		if err := ReadFrame(conn, &req); err != nil {
+			if !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.EOF) {
+				s.logf("wire: %s: read: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		resp := s.handle(&req)
+		if err := WriteFrame(conn, resp); err != nil {
+			s.logf("wire: %s: write: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+func errResponse(err error) *Response {
+	return &Response{V: Version, Error: err.Error()}
+}
+
+func (s *Server) handle(req *Request) *Response {
+	if req.V != Version {
+		return errResponse(fmt.Errorf("%w: %d (want %d)", ErrBadVersion, req.V, Version))
+	}
+	switch req.Op {
+	case OpPing:
+		return &Response{V: Version, OK: true}
+	case OpDatasets:
+		return s.handleDatasets()
+	case OpQuery:
+		return s.handleQuery(req)
+	case OpExplain:
+		return s.handleExplain(req)
+	case OpMostDurable:
+		return s.handleMostDurable(req)
+	default:
+		return errResponse(fmt.Errorf("wire: unknown op %q", req.Op))
+	}
+}
+
+func (s *Server) handleDatasets() *Response {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	resp := &Response{V: Version, OK: true}
+	names := make([]string, 0, len(s.sets))
+	for name := range s.sets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sv := s.sets[name]
+		ds := sv.eng.Dataset()
+		lo, hi := ds.Span()
+		resp.Datasets = append(resp.Datasets, DatasetInfo{
+			Name: name, Len: ds.Len(), Dims: ds.Dims(),
+			Start: lo, End: hi, Attrs: sv.attrs,
+		})
+	}
+	return resp
+}
+
+// lookup resolves the served dataset of a request.
+func (s *Server) lookup(name string) (*served, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sv, ok := s.sets[name]
+	if !ok {
+		return nil, fmt.Errorf("wire: unknown dataset %q", name)
+	}
+	return sv, nil
+}
+
+// buildQuery translates the request into a core.Query against sv.
+func buildQuery(req *Request, sv *served) (core.Query, error) {
+	var q core.Query
+	ds := sv.eng.Dataset()
+	scorer, err := requestScorer(req, sv)
+	if err != nil {
+		return q, err
+	}
+	alg := core.Auto
+	if req.Algorithm != "" && req.Algorithm != "auto" {
+		alg, err = core.ParseAlgorithm(req.Algorithm)
+		if err != nil {
+			return q, err
+		}
+	}
+	anchor := core.LookBack
+	switch req.Anchor {
+	case "", "look-back":
+	case "look-ahead":
+		anchor = core.LookAhead
+	case "general":
+		anchor = core.General
+	default:
+		return q, fmt.Errorf("wire: unknown anchor %q", req.Anchor)
+	}
+	start, end := req.Start, req.End
+	if start == 0 && end == 0 {
+		start, end = ds.Span()
+	}
+	return core.Query{
+		K: req.K, Tau: req.Tau, Lead: req.Lead, Start: start, End: end,
+		Scorer: scorer, Algorithm: alg, Anchor: anchor,
+		WithDurations: req.WithDurations,
+	}, nil
+}
+
+// requestScorer resolves the request's scoring function.
+func requestScorer(req *Request, sv *served) (score.Scorer, error) {
+	ds := sv.eng.Dataset()
+	switch {
+	case len(req.Weights) > 0 && req.Expr != "":
+		return nil, errors.New("wire: weights and expr are mutually exclusive")
+	case len(req.Weights) > 0:
+		return score.NewLinear(req.Weights)
+	case req.Expr != "":
+		return expr.Compile(req.Expr, expr.Options{Dims: ds.Dims(), Names: sv.attrs})
+	default:
+		return nil, errors.New("wire: query needs weights or expr")
+	}
+}
+
+func (s *Server) handleQuery(req *Request) *Response {
+	sv, err := s.lookup(req.Dataset)
+	if err != nil {
+		return errResponse(err)
+	}
+	q, err := buildQuery(req, sv)
+	if err != nil {
+		return errResponse(err)
+	}
+	res, err := sv.eng.DurableTopK(q)
+	if err != nil {
+		return errResponse(err)
+	}
+	resp := &Response{V: Version, OK: true, Stats: &Stats{
+		Algorithm:      res.Stats.Algorithm.String(),
+		CheckQueries:   res.Stats.CheckQueries,
+		FindQueries:    res.Stats.FindQueries,
+		MaintQueries:   res.Stats.MaintQueries,
+		CandidateCount: res.Stats.CandidateCount,
+		Visited:        res.Stats.Visited,
+		ElapsedMicros:  res.Stats.Elapsed.Microseconds(),
+	}}
+	resp.Records = make([]Record, 0, len(res.Records))
+	for _, r := range res.Records {
+		resp.Records = append(resp.Records, Record{
+			ID: r.ID, Time: r.Time, Score: r.Score,
+			MaxDuration: r.MaxDuration, FullHistory: r.FullHistory,
+		})
+	}
+	return resp
+}
+
+func (s *Server) handleExplain(req *Request) *Response {
+	sv, err := s.lookup(req.Dataset)
+	if err != nil {
+		return errResponse(err)
+	}
+	q, err := buildQuery(req, sv)
+	if err != nil {
+		return errResponse(err)
+	}
+	plan, err := sv.eng.Explain(q)
+	if err != nil {
+		return errResponse(err)
+	}
+	return &Response{V: Version, OK: true, Plan: plan.String()}
+}
+
+// handleMostDurable answers the "stood the test of time" report: the N
+// records with the largest maximum durability for the requested k, scorer
+// and anchor. Mid-anchored windows have no duration notion and are
+// rejected.
+func (s *Server) handleMostDurable(req *Request) *Response {
+	sv, err := s.lookup(req.Dataset)
+	if err != nil {
+		return errResponse(err)
+	}
+	scorer, err := requestScorer(req, sv)
+	if err != nil {
+		return errResponse(err)
+	}
+	anchor := core.LookBack
+	switch req.Anchor {
+	case "", "look-back":
+	case "look-ahead":
+		anchor = core.LookAhead
+	default:
+		return errResponse(fmt.Errorf("wire: most-durable supports look-back or look-ahead, not %q", req.Anchor))
+	}
+	if req.N < 1 {
+		return errResponse(errors.New("wire: most-durable needs n >= 1"))
+	}
+	top, err := sv.eng.MostDurable(req.K, scorer, anchor, req.N)
+	if err != nil {
+		return errResponse(err)
+	}
+	resp := &Response{V: Version, OK: true}
+	for _, r := range top {
+		resp.Records = append(resp.Records, Record{
+			ID: r.ID, Time: r.Time, Score: r.Score,
+			MaxDuration: r.Duration, FullHistory: r.FullHistory,
+		})
+	}
+	return resp
+}

@@ -1,0 +1,159 @@
+// Package wire provides a small network protocol for serving durable top-k
+// queries, so one process can build the range top-k index once and many
+// clients can explore parameters (k, tau, interval, scoring function)
+// interactively — the usage mode the paper's introduction motivates.
+//
+// The protocol is length-prefixed JSON over any stream connection (TCP in
+// cmd/durserved, net.Pipe in tests): each frame is a 4-byte big-endian
+// payload length followed by one JSON document. Requests carry an operation
+// name plus parameters; every request yields exactly one response on the
+// same connection, in order. Scoring functions travel either as linear
+// preference weights or as scoring expressions compiled server-side against
+// the dataset's attribute names (package expr).
+//
+// The wire types are versioned through Request.V; servers reject frames
+// whose version or size they do not understand rather than guessing.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Version is the protocol version spoken by this package.
+const Version = 1
+
+// MaxFrame is the default limit on one frame's payload size; both sides
+// reject larger frames to bound memory under malformed input.
+const MaxFrame = 8 << 20
+
+// Operation names.
+const (
+	OpPing        = "ping"
+	OpDatasets    = "datasets"
+	OpQuery       = "query"
+	OpExplain     = "explain"
+	OpMostDurable = "most-durable"
+)
+
+// Request is one client frame.
+type Request struct {
+	V  int    `json:"v"`
+	Op string `json:"op"`
+
+	// Dataset names the served dataset (query, explain).
+	Dataset string `json:"dataset,omitempty"`
+
+	// Query parameters (query, explain, most-durable).
+	K     int   `json:"k,omitempty"`
+	Tau   int64 `json:"tau,omitempty"`
+	Lead  int64 `json:"lead,omitempty"`
+	Start int64 `json:"start,omitempty"`
+	End   int64 `json:"end,omitempty"`
+
+	// N is the number of records a most-durable request reports.
+	N int `json:"n,omitempty"`
+
+	// Anchor is "look-back" (default), "look-ahead" or "general".
+	Anchor string `json:"anchor,omitempty"`
+	// Algorithm is "auto" (default) or one of the five strategy names.
+	Algorithm string `json:"algorithm,omitempty"`
+
+	// Weights selects a linear preference scorer; Expr selects a compiled
+	// scoring expression over the dataset's attribute names. Exactly one
+	// must be set for query/explain.
+	Weights []float64 `json:"weights,omitempty"`
+	Expr    string    `json:"expr,omitempty"`
+
+	// WithDurations also reports each result's maximum durability.
+	WithDurations bool `json:"withDurations,omitempty"`
+}
+
+// Record is one durable record of a query response.
+type Record struct {
+	ID          int     `json:"id"`
+	Time        int64   `json:"time"`
+	Score       float64 `json:"score"`
+	MaxDuration int64   `json:"maxDuration,omitempty"`
+	FullHistory bool    `json:"fullHistory,omitempty"`
+}
+
+// Stats mirrors the engine's evaluation statistics.
+type Stats struct {
+	Algorithm      string `json:"algorithm"`
+	CheckQueries   int    `json:"checkQueries"`
+	FindQueries    int    `json:"findQueries"`
+	MaintQueries   int    `json:"maintQueries"`
+	CandidateCount int    `json:"candidateCount"`
+	Visited        int    `json:"visited"`
+	ElapsedMicros  int64  `json:"elapsedMicros"`
+}
+
+// DatasetInfo describes one served dataset.
+type DatasetInfo struct {
+	Name  string   `json:"name"`
+	Len   int      `json:"len"`
+	Dims  int      `json:"dims"`
+	Start int64    `json:"start"`
+	End   int64    `json:"end"`
+	Attrs []string `json:"attrs,omitempty"` // names usable in expressions
+}
+
+// Response is one server frame.
+type Response struct {
+	V     int    `json:"v"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+
+	Records  []Record      `json:"records,omitempty"`
+	Stats    *Stats        `json:"stats,omitempty"`
+	Datasets []DatasetInfo `json:"datasets,omitempty"`
+	Plan     string        `json:"plan,omitempty"` // explain output
+}
+
+// Protocol errors shared by both sides.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+	ErrBadVersion    = errors.New("wire: unsupported protocol version")
+)
+
+// WriteFrame marshals v and writes one length-prefixed frame.
+func WriteFrame(w io.Writer, v interface{}) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: encoding frame: %w", err)
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame into v.
+func ReadFrame(r io.Reader, v interface{}) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err // io.EOF signals a cleanly closed peer
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return fmt.Errorf("wire: reading frame body: %w", err)
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("wire: decoding frame: %w", err)
+	}
+	return nil
+}
