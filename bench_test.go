@@ -22,6 +22,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/planner"
 	"repro/internal/score"
+	"repro/internal/topk"
 )
 
 // benchConfig keeps dataset sizes moderate so the full suite finishes in
@@ -372,6 +373,72 @@ func BenchmarkExprScore(b *testing.B) {
 		sink += e.Score(x)
 	}
 	_ = sink
+}
+
+// --- Bulk scoring fast path --------------------------------------------------
+
+// BenchmarkRangeTopKProbe measures one leaf-scan-heavy range top-k probe —
+// the innermost building block every durable strategy issues hundreds of
+// times per query — with bulk vs scalar scoring and a shared scratch.
+// benchstat bulk vs scalar quantifies the columnar fast path.
+func BenchmarkRangeTopKProbe(b *testing.B) {
+	cfg := benchConfig()
+	for _, dsName := range []string{"nba-2", "network-5"} {
+		eng, err := bench.EngineFor(cfg, dsName)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ds := eng.Dataset()
+		idx := topk.Build(ds, bench.EngineOptions().Index)
+		lin := bench.RandomPreference(rngFor(dsName), ds.Dims())
+		n := ds.Len()
+		span := n / 10
+		for _, sc := range []struct {
+			name   string
+			scorer score.Scorer
+		}{{"bulk", lin}, {"scalar", bench.Scalarized{S: lin}}} {
+			b.Run(fmt.Sprintf("%s/%s", dsName, sc.name), func(b *testing.B) {
+				scr := topk.GetScratch()
+				defer topk.PutScratch(scr)
+				var dst []topk.Item
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					lo := (i * 131) % (n - span)
+					dst = idx.QueryRangeInto(sc.scorer, 10, lo, lo+span, scr, dst)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkDurableBulkVsScalar runs a full durable query with and without
+// the bulk-scoring capability, isolating the end-to-end effect of the
+// columnar fast path on the paper's algorithms.
+func BenchmarkDurableBulkVsScalar(b *testing.B) {
+	eng, err := bench.EngineFor(benchConfig(), "nba-2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := eng.Dataset()
+	lin := bench.RandomPreference(rngFor("nba-2"), ds.Dims())
+	for _, alg := range []core.Algorithm{core.THop, core.SHop} {
+		for _, sc := range []struct {
+			name   string
+			scorer score.Scorer
+		}{{"bulk", lin}, {"scalar", bench.Scalarized{S: lin}}} {
+			b.Run(fmt.Sprintf("%s/%s", alg, sc.name), func(b *testing.B) {
+				q := bench.QuerySpec{K: 10, TauPct: 10, IPct: 50}.Materialize(ds, sc.scorer, alg)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.DurableTopK(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkPlannerChoose measures one cost-model evaluation.

@@ -5,9 +5,15 @@
 //	durbench -list
 //	durbench -exp fig8 [-scale 1.0] [-reps 12] [-seed 1] [-quick]
 //	durbench -exp all -out results.txt
+//	durbench -topkjson BENCH_topk.json [-topkds nba-2] [-scale 0.25]
 //
 // Experiment ids map to paper artifacts (fig1..fig13, tab4..tab6, lemma4,
 // lemma5, ablations); see DESIGN.md for the full index.
+//
+// -topkjson writes a machine-readable perf snapshot (ns/op, allocs/op per
+// durable top-k strategy plus bulk/scalar probe microbenchmarks) meant to be
+// committed at the repo root so the performance trajectory is tracked across
+// PRs.
 package main
 
 import (
@@ -21,15 +27,27 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id, or \"all\"")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		scale = flag.Float64("scale", 1.0, "dataset size multiplier")
-		reps  = flag.Int("reps", 12, "preference vectors per configuration (paper: 100)")
-		seed  = flag.Int64("seed", 1, "random seed")
-		quick = flag.Bool("quick", false, "trim parameter sweeps")
-		out   = flag.String("out", "", "write output to file as well as stdout")
+		exp      = flag.String("exp", "", "experiment id, or \"all\"")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		scale    = flag.Float64("scale", 1.0, "dataset size multiplier")
+		reps     = flag.Int("reps", 12, "preference vectors per configuration (paper: 100)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		quick    = flag.Bool("quick", false, "trim parameter sweeps")
+		out      = flag.String("out", "", "write output to file as well as stdout")
+		topkJSON = flag.String("topkjson", "", "write per-strategy ns/op + allocs/op JSON to this path and exit")
+		topkDS   = flag.String("topkds", "nba-2", "dataset for -topkjson")
 	)
 	flag.Parse()
+
+	if *topkJSON != "" {
+		cfg := bench.Config{Scale: *scale, Reps: *reps, Seed: *seed, Quick: *quick}
+		if err := bench.WriteTopKJSON(cfg, *topkDS, *topkJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "durbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *topkJSON)
+		return
+	}
 
 	if *list {
 		fmt.Println("available experiments:")

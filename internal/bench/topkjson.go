@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/score"
+	"repro/internal/topk"
+)
+
+// TopKPerf is one steady-state microbenchmark row of the tracked perf
+// snapshot: nanoseconds and allocations per operation.
+type TopKPerf struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// TopKReport is the schema of BENCH_topk.json: a machine-readable record of
+// the hot-path performance per durable top-k strategy, tracked across PRs.
+type TopKReport struct {
+	Dataset    string     `json:"dataset"`
+	Records    int        `json:"records"`
+	Dims       int        `json:"dims"`
+	K          int        `json:"k"`
+	TauPct     int        `json:"tau_pct"`
+	IPct       int        `json:"i_pct"`
+	Strategies []TopKPerf `json:"strategies"`
+	Probes     []TopKPerf `json:"probes"`
+}
+
+// Scalarized hides the BulkScorer capability of the wrapped scorer — while
+// keeping bounding and monotonicity, so pruning behaves identically — so
+// bulk-vs-scalar comparisons measure only the leaf-scan difference. Shared
+// by the probe microbenchmarks here and the module-root benchmarks.
+type Scalarized struct{ S score.Scorer }
+
+func (w Scalarized) Score(x []float64) float64 { return w.S.Score(x) }
+func (w Scalarized) Dims() int                 { return w.S.Dims() }
+func (w Scalarized) UpperBound(lo, hi []float64) float64 {
+	return score.UpperBound(w.S, lo, hi)
+}
+func (w Scalarized) IsMonotone() bool { return score.IsMonotone(w.S) }
+
+func perfRow(name string, r testing.BenchmarkResult) TopKPerf {
+	return TopKPerf{
+		Name:        name,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// TopKPerfReport measures every durable top-k strategy end to end plus the
+// bulk and scalar flavors of the underlying range top-k probe on the given
+// dataset, one query evaluation per benchmark iteration.
+func TopKPerfReport(cfg Config, dsName string) (*TopKReport, error) {
+	cfg = cfg.withDefaults()
+	eng, err := EngineFor(cfg, dsName)
+	if err != nil {
+		return nil, err
+	}
+	ds := eng.Dataset()
+	spec := QuerySpec{K: defaultK, TauPct: defaultTauPct, IPct: defaultIPct}
+	rep := &TopKReport{
+		Dataset: dsName, Records: ds.Len(), Dims: ds.Dims(),
+		K: spec.K, TauPct: spec.TauPct, IPct: spec.IPct,
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := RandomPreference(rng, ds.Dims())
+	for _, alg := range core.Algorithms() {
+		if alg == core.SBand {
+			eng.PrepareSkyband(spec.K, core.LookBack)
+		}
+		q := spec.Materialize(ds, s, alg)
+		var evalErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.DurableTopK(q); err != nil {
+					evalErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if evalErr != nil {
+			return nil, fmt.Errorf("bench: %v: %w", alg, evalErr)
+		}
+		rep.Strategies = append(rep.Strategies, perfRow(alg.String(), r))
+	}
+
+	// Probe microbenchmarks: one leaf-scan-heavy QueryRange per iteration,
+	// bulk-scored vs scalar-scored, on a shared scratch.
+	idx := topk.Build(ds, EngineOptions().Index)
+	n := ds.Len()
+	span := n / 10
+	if span < 1 {
+		span = 1
+	}
+	for _, pb := range []struct {
+		name   string
+		scorer score.Scorer
+	}{{"probe-bulk", s}, {"probe-scalar", Scalarized{s}}} {
+		scorer := pb.scorer
+		r := testing.Benchmark(func(b *testing.B) {
+			sc := topk.GetScratch()
+			defer topk.PutScratch(sc)
+			var dst []topk.Item
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lo := (i * 131) % (n - span)
+				dst = idx.QueryRangeInto(scorer, spec.K, lo, lo+span, sc, dst)
+			}
+		})
+		rep.Probes = append(rep.Probes, perfRow(pb.name, r))
+	}
+	return rep, nil
+}
+
+// WriteTopKJSON runs TopKPerfReport and writes the report to path.
+func WriteTopKJSON(cfg Config, dsName, path string) error {
+	rep, err := TopKPerfReport(cfg, dsName)
+	if err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

@@ -43,7 +43,7 @@ func anchorSpan(q *Query) (back, lead int64) {
 // contains all k items and each outranks q strictly — except for records
 // tying the k-th score, which the gap scan below surfaces and checks
 // individually.
-func runTHopAnchored(v *view, q Query, st *Stats) []int32 {
+func runTHopAnchored(v *view, pr *probe, q Query, st *Stats) []int32 {
 	ds := v.ds
 	back, lead := anchorSpan(&q)
 	loIdx := ds.LowerBound(q.Start)
@@ -52,7 +52,7 @@ func runTHopAnchored(v *view, q Query, st *Stats) []int32 {
 	for cur >= loIdx {
 		st.Visited++
 		t := ds.Time(cur)
-		items := v.topk(st, kindCheck, q.Scorer, q.K, satSub(t, back), satAdd(t, lead))
+		items := v.topk(pr, st, kindCheck, q.Scorer, q.K, satSub(t, back), satAdd(t, lead))
 		if v.member(q.Scorer, q.K, items, int32(cur)) {
 			res = append(res, int32(cur))
 			cur--
@@ -92,7 +92,7 @@ func runTHopAnchored(v *view, q Query, st *Stats) []int32 {
 		if gapLo < loIdx {
 			gapLo = loIdx
 		}
-		if !checkGapTies(v, &q, st, gapLo, cur, sk, &res) {
+		if !checkGapTies(v, pr, &q, st, gapLo, cur, sk, &res) {
 			// Potentially more ties than one probe returns: give up on this
 			// hop and step normally. Correct, merely slower on tie floods.
 			cur--
@@ -108,13 +108,14 @@ func runTHopAnchored(v *view, q Query, st *Stats) []int32 {
 // [gapLo, gapHi) whose score ties sk, appending durable ones to res. It
 // reports false when the range may hold more tying records than one
 // building-block probe can enumerate.
-func checkGapTies(v *view, q *Query, st *Stats, gapLo, gapHi int, sk float64, res *[]int32) bool {
+func checkGapTies(v *view, pr *probe, q *Query, st *Stats, gapLo, gapHi int, sk float64, res *[]int32) bool {
 	if gapLo >= gapHi {
 		return true
 	}
 	back, lead := anchorSpan(q)
-	items := v.idx.QueryRange(q.Scorer, q.K, gapLo, gapHi)
-	st.FindQueries++
+	// The tie list stays live while the per-tie checks below issue further
+	// probes, so it must not share the transient probe buffer.
+	items := v.topkRangeKeep(pr, st, kindFind, q.Scorer, q.K, gapLo, gapHi)
 	ties := 0
 	for _, it := range items {
 		if it.Score >= sk {
@@ -129,7 +130,7 @@ func checkGapTies(v *view, q *Query, st *Stats, gapLo, gapHi int, sk float64, re
 	for _, it := range items[:ties] {
 		st.Visited++
 		t := it.Time
-		w := v.topk(st, kindCheck, q.Scorer, q.K, satSub(t, back), satAdd(t, lead))
+		w := v.topk(pr, st, kindCheck, q.Scorer, q.K, satSub(t, back), satAdd(t, lead))
 		if v.member(q.Scorer, q.K, w, it.ID) {
 			*res = append(*res, it.ID)
 		}
@@ -272,18 +273,20 @@ func (c *coverBlocks) rangeCovered(t1, t2 int64) bool {
 // scores never block each other, and sub-interval abandonment re-proved by
 // an explicit min-coverage query (Lemma 6's geometric shortcut only holds
 // for end-anchored windows).
-func runSHopAnchored(v *view, q Query, st *Stats) []int32 {
+func runSHopAnchored(v *view, pr *probe, q Query, st *Stats) []int32 {
 	back, lead := anchorSpan(&q)
 	subLen := q.Tau
 	if subLen < 1 {
 		subLen = 1
 	}
 	h := &shopHeap{}
+	// Prefetch lists live in the heap across probes (topkKeep), matching
+	// runSHop.
 	pushSub := func(lo, hi int64) {
 		if lo > hi {
 			return
 		}
-		items := v.topk(st, kindFind, q.Scorer, q.K, lo, hi)
+		items := v.topkKeep(pr, st, kindFind, q.Scorer, q.K, lo, hi)
 		if len(items) > 0 {
 			h.push(&shopEntry{items: items, lo: lo, hi: hi})
 		}
@@ -309,7 +312,7 @@ func runSHopAnchored(v *view, q Query, st *Stats) []int32 {
 		st.Visited++
 		blk.flushBelow(p.Score)
 		if !blk.covered(p.ID) && !inAnswer[p.ID] {
-			items := v.topk(st, kindCheck, q.Scorer, q.K, satSub(p.Time, back), satAdd(p.Time, lead))
+			items := v.topk(pr, st, kindCheck, q.Scorer, q.K, satSub(p.Time, back), satAdd(p.Time, lead))
 			if v.member(q.Scorer, q.K, items, p.ID) {
 				inAnswer[p.ID] = true
 				res = append(res, p.ID)

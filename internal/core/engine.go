@@ -22,6 +22,17 @@ type Block interface {
 	QueryRange(s score.Scorer, k int, lo, hi int) []topk.Item
 }
 
+// ScratchBlock is an optional Block capability: probes that run on
+// caller-provided working memory (topk.Scratch) and append results into a
+// reusable buffer. One durable top-k evaluation issues hundreds of
+// building-block probes; the engine threads a single Scratch plus one result
+// buffer through all of them, making the probe hot path allocation-free.
+// Both *topk.Index and *rmq.Block implement it.
+type ScratchBlock interface {
+	QueryInto(s score.Scorer, k int, t1, t2 int64, sc *topk.Scratch, dst []topk.Item) []topk.Item
+	QueryRangeInto(s score.Scorer, k int, lo, hi int, sc *topk.Scratch, dst []topk.Item) []topk.Item
+}
+
 // Options configures an Engine.
 type Options struct {
 	// Index configures the default range top-k building block.
@@ -57,6 +68,14 @@ type Engine struct {
 type view struct {
 	ds  *data.Dataset
 	idx Block
+	// into is idx's optional scratch-probe capability, nil when absent.
+	into ScratchBlock
+}
+
+func newView(ds *data.Dataset, idx Block) view {
+	v := view{ds: ds, idx: idx}
+	v.into, _ = idx.(ScratchBlock)
+	return v
 }
 
 // counter tags for instrumented building-block calls.
@@ -68,9 +87,20 @@ const (
 	kindMaint
 )
 
-// topk runs one instrumented building-block query over the closed window
-// [t1, t2].
-func (v *view) topk(st *Stats, kind queryKind, s score.Scorer, k int, t1, t2 int64) []topk.Item {
+// probe carries the reusable working memory of one DurableTopK evaluation:
+// a single topk.Scratch shared by every building-block call of the query
+// (the strategy's own probes and the WithDurations binary searches) plus a
+// result buffer for transient probes.
+type probe struct {
+	sc  *topk.Scratch
+	buf []topk.Item
+}
+
+func newProbe() *probe { return &probe{sc: topk.GetScratch()} }
+
+func (pr *probe) release() { topk.PutScratch(pr.sc) }
+
+func (st *Stats) count(kind queryKind) {
 	switch kind {
 	case kindCheck:
 		st.CheckQueries++
@@ -79,7 +109,49 @@ func (v *view) topk(st *Stats, kind queryKind, s score.Scorer, k int, t1, t2 int
 	default:
 		st.MaintQueries++
 	}
+}
+
+// topk runs one instrumented building-block query over the closed window
+// [t1, t2]. The result is transient: it lives in pr's buffer and is
+// overwritten by the next transient probe, so callers must finish consuming
+// it first (use topkKeep to retain a result).
+func (v *view) topk(pr *probe, st *Stats, kind queryKind, s score.Scorer, k int, t1, t2 int64) []topk.Item {
+	st.count(kind)
+	if v.into != nil {
+		pr.buf = v.into.QueryInto(s, k, t1, t2, pr.sc, pr.buf)
+		return pr.buf
+	}
 	return v.idx.Query(s, k, t1, t2)
+}
+
+// topkKeep is topk for callers that retain the result beyond the next probe
+// (e.g. S-Hop's per-subinterval prefetch lists): the result is freshly
+// allocated, only the probe's internal working memory is reused.
+func (v *view) topkKeep(pr *probe, st *Stats, kind queryKind, s score.Scorer, k int, t1, t2 int64) []topk.Item {
+	st.count(kind)
+	if v.into != nil {
+		return v.into.QueryInto(s, k, t1, t2, pr.sc, nil)
+	}
+	return v.idx.Query(s, k, t1, t2)
+}
+
+// topkRange is the transient probe over a half-open record index range.
+func (v *view) topkRange(pr *probe, st *Stats, kind queryKind, s score.Scorer, k int, lo, hi int) []topk.Item {
+	st.count(kind)
+	if v.into != nil {
+		pr.buf = v.into.QueryRangeInto(s, k, lo, hi, pr.sc, pr.buf)
+		return pr.buf
+	}
+	return v.idx.QueryRange(s, k, lo, hi)
+}
+
+// topkRangeKeep is topkRange with a freshly allocated, retainable result.
+func (v *view) topkRangeKeep(pr *probe, st *Stats, kind queryKind, s score.Scorer, k int, lo, hi int) []topk.Item {
+	st.count(kind)
+	if v.into != nil {
+		return v.into.QueryRangeInto(s, k, lo, hi, pr.sc, nil)
+	}
+	return v.idx.QueryRange(s, k, lo, hi)
 }
 
 // member reports whether record id (arriving at t2) is in the top-k of
@@ -96,7 +168,7 @@ func (v *view) member(s score.Scorer, k int, items []topk.Item, id int32) bool {
 func NewEngine(ds *data.Dataset, opts Options) *Engine {
 	return &Engine{
 		opts:   opts,
-		fwd:    view{ds: ds, idx: buildBlock(ds, opts)},
+		fwd:    newView(ds, buildBlock(ds, opts)),
 		ladder: make(map[Anchor]*skyband.Ladder),
 	}
 }
@@ -195,7 +267,8 @@ func (e *Engine) reversed() *view {
 	defer e.mu.Unlock()
 	if e.rev == nil {
 		rds := e.fwd.ds.Reversed()
-		e.rev = &view{ds: rds, idx: buildBlock(rds, e.opts)}
+		rv := newView(rds, buildBlock(rds, e.opts))
+		e.rev = &rv
 	}
 	return e.rev
 }
@@ -270,17 +343,23 @@ func (e *Engine) DurableTopK(q Query) (*Result, error) {
 	}
 	general := runQ.Anchor == General
 
+	// One probe's worth of working memory serves the whole evaluation: every
+	// building-block call below — strategy probes and duration searches —
+	// shares its scratch buffers.
+	pr := newProbe()
+	defer pr.release()
+
 	st := Stats{Algorithm: alg}
 	startAt := time.Now()
 	var ids []int32
 	switch alg {
 	case TBase:
-		ids = runTBase(v, runQ, &st)
+		ids = runTBase(v, pr, runQ, &st)
 	case THop:
 		if general {
-			ids = runTHopAnchored(v, runQ, &st)
+			ids = runTHopAnchored(v, pr, runQ, &st)
 		} else {
-			ids = runTHop(v, runQ, &st)
+			ids = runTHop(v, pr, runQ, &st)
 		}
 	case SBase:
 		if general {
@@ -289,12 +368,12 @@ func (e *Engine) DurableTopK(q Query) (*Result, error) {
 			ids = runSBase(v, runQ, &st)
 		}
 	case SBand:
-		ids = runSBand(v, e.skyLadder(skyAnchor, v), runQ, &st)
+		ids = runSBand(v, pr, e.skyLadder(skyAnchor, v), runQ, &st)
 	case SHop:
 		if general {
-			ids = runSHopAnchored(v, runQ, &st)
+			ids = runSHopAnchored(v, pr, runQ, &st)
 		} else {
-			ids = runSHop(v, runQ, &st)
+			ids = runSHop(v, pr, runQ, &st)
 		}
 	}
 	st.Elapsed = time.Since(startAt)
@@ -326,7 +405,7 @@ func (e *Engine) DurableTopK(q Query) (*Result, error) {
 			if mirror {
 				mirrored = int32(n - 1 - res.Records[i].ID)
 			}
-			dur, full := maxDuration(v, &st, q.Scorer, q.K, mirrored)
+			dur, full := maxDuration(v, pr, &st, q.Scorer, q.K, mirrored)
 			res.Records[i].MaxDuration = dur
 			res.Records[i].FullHistory = full
 		}
@@ -345,20 +424,21 @@ func (e *Engine) MaxDuration(id, k int, s score.Scorer, anchor Anchor) (int64, b
 		mid = int32(e.fwd.ds.Len() - 1 - id)
 	}
 	var st Stats
-	return maxDuration(v, &st, s, k, mid)
+	pr := newProbe()
+	defer pr.release()
+	return maxDuration(v, pr, &st, s, k, mid)
 }
 
 // maxDuration binary-searches the earliest window start keeping record id in
 // the top-k (§II): membership is monotone in the window start, and each
-// probe costs one building-block query.
-func maxDuration(v *view, st *Stats, s score.Scorer, k int, id int32) (int64, bool) {
+// probe costs one building-block query. The probes reuse pr's buffers.
+func maxDuration(v *view, pr *probe, st *Stats, s score.Scorer, k int, id int32) (int64, bool) {
 	i := int(id)
 	// Find the smallest j such that id is in the top-k of records [j, i].
 	lo, hi := 0, i // invariant: predicate(hi) is true (window of one record)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		st.CheckQueries++
-		items := v.idx.QueryRange(s, k, mid, i+1)
+		items := v.topkRange(pr, st, kindCheck, s, k, mid, i+1)
 		if v.member(s, k, items, id) {
 			hi = mid
 		} else {

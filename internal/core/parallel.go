@@ -84,13 +84,15 @@ func (e *Engine) DurableTopKParallel(q Query, workers int) (*Result, error) {
 		if q.Anchor == LookAhead {
 			v = e.reversed()
 		}
+		pr := newProbe()
+		defer pr.release()
 		n := e.fwd.ds.Len()
 		for i := range out.Records {
 			mirrored := int32(out.Records[i].ID)
 			if q.Anchor == LookAhead {
 				mirrored = int32(n - 1 - out.Records[i].ID)
 			}
-			dur, full := maxDuration(v, &out.Stats, q.Scorer, q.K, mirrored)
+			dur, full := maxDuration(v, pr, &out.Stats, q.Scorer, q.K, mirrored)
 			out.Records[i].MaxDuration = dur
 			out.Records[i].FullHistory = full
 		}

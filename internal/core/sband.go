@@ -12,7 +12,7 @@ import (
 // candidates, so a candidate covered by fewer than k blocking intervals
 // needs a durability-check query; the check's top-k set also reveals the
 // missing high-score blockers (Fig. 5). Monotone scorers only.
-func runSBand(v *view, ladder *skyband.Ladder, q Query, st *Stats) []int32 {
+func runSBand(v *view, pr *probe, ladder *skyband.Ladder, q Query, st *Stats) []int32 {
 	ds := v.ds
 	cands := ladder.Candidates(q.K, q.Start, q.End, q.Tau)
 	st.CandidateCount = len(cands)
@@ -35,7 +35,7 @@ func runSBand(v *view, ladder *skyband.Ladder, q Query, st *Stats) []int32 {
 	for _, p := range refs {
 		st.Visited++
 		if blk.Cover(p.time) < q.K {
-			items := v.topk(st, kindCheck, q.Scorer, q.K, satSub(p.time, q.Tau), p.time)
+			items := v.topk(pr, st, kindCheck, q.Scorer, q.K, satSub(p.time, q.Tau), p.time)
 			if v.member(q.Scorer, q.K, items, p.id) {
 				res = append(res, p.id)
 			} else {

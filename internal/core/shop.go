@@ -70,17 +70,19 @@ func (h *shopHeap) pop() *shopEntry {
 // queries); a blocked record merely advances its sub-interval's cursor — the
 // hop in score domain. Building-block calls are O(|S| + k·ceil(|I|/tau))
 // (Lemma 3).
-func runSHop(v *view, q Query, st *Stats) []int32 {
+func runSHop(v *view, pr *probe, q Query, st *Stats) []int32 {
 	subLen := q.Tau
 	if subLen < 1 {
 		subLen = 1
 	}
 	h := &shopHeap{}
+	// Prefetch lists live in the heap across probes, so they need their own
+	// allocations (topkKeep); only the probe working memory is shared.
 	pushSub := func(lo, hi int64) {
 		if lo > hi {
 			return
 		}
-		items := v.topk(st, kindFind, q.Scorer, q.K, lo, hi)
+		items := v.topkKeep(pr, st, kindFind, q.Scorer, q.K, lo, hi)
 		if len(items) > 0 {
 			h.push(&shopEntry{items: items, lo: lo, hi: hi})
 		}
@@ -105,7 +107,7 @@ func runSHop(v *view, q Query, st *Stats) []int32 {
 		p := e.current()
 		st.Visited++
 		if blk.Cover(p.Time) < q.K {
-			items := v.topk(st, kindCheck, q.Scorer, q.K, satSub(p.Time, q.Tau), p.Time)
+			items := v.topk(pr, st, kindCheck, q.Scorer, q.K, satSub(p.Time, q.Tau), p.Time)
 			if v.member(q.Scorer, q.K, items, p.ID) {
 				if !inAnswer[p.ID] {
 					inAnswer[p.ID] = true

@@ -11,7 +11,7 @@ import (
 // from scratch (one building-block query) only when the expiring record was
 // itself a member; entering records on the old side of the window are merged
 // in O(log k).
-func runTBase(v *view, q Query, st *Stats) []int32 {
+func runTBase(v *view, pr *probe, q Query, st *Stats) []int32 {
 	ds := v.ds
 	loIdx := ds.LowerBound(q.Start)
 	hiIdx := ds.UpperBound(q.End) - 1
@@ -29,11 +29,11 @@ func runTBase(v *view, q Query, st *Stats) []int32 {
 		t := ds.Time(i)
 		winLo := ds.LowerBound(satSub(t, q.Tau))
 		if i == hiIdx {
-			cur = v.topk(st, kindMaint, q.Scorer, q.K, satSub(t, q.Tau), t)
+			cur = v.topkKeep(pr, st, kindMaint, q.Scorer, q.K, satSub(t, q.Tau), t)
 		} else {
 			// The expiring record is the previous right endpoint i+1.
 			if itemsContain(cur, int32(i+1)) {
-				cur = v.topk(st, kindMaint, q.Scorer, q.K, satSub(t, q.Tau), t)
+				cur = v.topkKeep(pr, st, kindMaint, q.Scorer, q.K, satSub(t, q.Tau), t)
 			} else {
 				// Entering records extend the window on the old side:
 				// indices [winLo, prevWinLo).

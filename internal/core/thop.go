@@ -7,7 +7,7 @@ package core
 // records, each of which outranks it (strictly, thanks to the recency
 // tie-break of the building block). The number of building-block calls is
 // O(|S| + k·ceil(|I|/tau)) (Lemma 1).
-func runTHop(v *view, q Query, st *Stats) []int32 {
+func runTHop(v *view, pr *probe, q Query, st *Stats) []int32 {
 	ds := v.ds
 	loIdx := ds.LowerBound(q.Start)
 	cur := ds.UpperBound(q.End) - 1
@@ -15,7 +15,7 @@ func runTHop(v *view, q Query, st *Stats) []int32 {
 	for cur >= loIdx {
 		st.Visited++
 		t := ds.Time(cur)
-		items := v.topk(st, kindCheck, q.Scorer, q.K, satSub(t, q.Tau), t)
+		items := v.topk(pr, st, kindCheck, q.Scorer, q.K, satSub(t, q.Tau), t)
 		if v.member(q.Scorer, q.K, items, int32(cur)) {
 			res = append(res, int32(cur))
 			cur--

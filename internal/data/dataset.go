@@ -6,6 +6,12 @@
 // real-valued attribute vector; ranking is performed by a user-specified
 // scoring function over those attributes (see package score).
 //
+// Attribute storage is columnar-friendly: every constructor materializes one
+// contiguous row-major backing array (record i occupies flat[i*d : (i+1)*d]),
+// so the scoring hot loops of packages topk and rmq can evaluate whole index
+// spans with a single bounds-checked slice and no per-record pointer chase
+// (see score.BulkScorer).
+//
 // Timestamps are int64 ticks at granularity 1: a window of length tau
 // anchored at time t covers the closed range [t-tau, t].
 package data
@@ -36,16 +42,18 @@ type Record struct {
 // records. The zero value is not usable; construct with New or a Builder.
 type Dataset struct {
 	times []int64
-	// attrs holds one row per record; all rows share a single backing array
-	// when built through New or Builder, keeping allocation count low.
-	attrs [][]float64
-	dims  int
+	// flat is the single row-major attribute backing array: record i's
+	// attributes are flat[i*dims : (i+1)*dims]. Guaranteed contiguous by
+	// every constructor.
+	flat []float64
+	dims int
 }
 
 // New validates and wraps the given parallel slices into a Dataset. The
-// slices are retained (not copied); callers must not modify them afterwards.
-// Times must be strictly increasing and every attribute row must have the
-// same length (at least 1).
+// times slice is retained (not copied) and must not be modified afterwards;
+// attribute rows are copied into a single contiguous backing array. Times
+// must be strictly increasing and every attribute row must have the same
+// length (at least 1).
 func New(times []int64, attrs [][]float64) (*Dataset, error) {
 	if len(times) == 0 {
 		return nil, ErrEmpty
@@ -65,7 +73,33 @@ func New(times []int64, attrs [][]float64) (*Dataset, error) {
 			return nil, fmt.Errorf("%w: times[%d]=%d, times[%d]=%d", ErrNotIncreasing, i-1, times[i-1], i, times[i])
 		}
 	}
-	return &Dataset{times: times, attrs: attrs, dims: d}, nil
+	flat := make([]float64, 0, len(times)*d)
+	for _, row := range attrs {
+		flat = append(flat, row...)
+	}
+	return &Dataset{times: times, flat: flat, dims: d}, nil
+}
+
+// NewFlat wraps an already-contiguous row-major attribute array: record i's
+// attributes are flat[i*d : (i+1)*d]. Both slices are retained (not copied);
+// callers must not modify them afterwards. Times must be strictly increasing
+// and len(flat) must equal len(times)*d.
+func NewFlat(times []int64, flat []float64, d int) (*Dataset, error) {
+	if len(times) == 0 {
+		return nil, ErrEmpty
+	}
+	if d < 1 {
+		return nil, ErrDimMismatch
+	}
+	if len(flat) != len(times)*d {
+		return nil, fmt.Errorf("%w: %d attribute values for %d records of dim %d", ErrLengthMismatch, len(flat), len(times), d)
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			return nil, fmt.Errorf("%w: times[%d]=%d, times[%d]=%d", ErrNotIncreasing, i-1, times[i-1], i, times[i])
+		}
+	}
+	return &Dataset{times: times, flat: flat, dims: d}, nil
 }
 
 // MustNew is like New but panics on error. Intended for tests and generators
@@ -87,13 +121,26 @@ func (ds *Dataset) Dims() int { return ds.dims }
 // Time returns the arrival time of record i.
 func (ds *Dataset) Time(i int) int64 { return ds.times[i] }
 
+// Times returns the full arrival-time slice. It aliases internal storage and
+// must not be modified.
+func (ds *Dataset) Times() []int64 { return ds.times }
+
 // Attrs returns the attribute vector of record i. The returned slice aliases
 // internal storage and must not be modified.
-func (ds *Dataset) Attrs(i int) []float64 { return ds.attrs[i] }
+func (ds *Dataset) Attrs(i int) []float64 {
+	d := ds.dims
+	return ds.flat[i*d : (i+1)*d : (i+1)*d]
+}
+
+// FlatAttrs returns the contiguous row-major attribute backing array: record
+// i's attributes are FlatAttrs()[i*Dims() : (i+1)*Dims()]. It aliases
+// internal storage and must not be modified. Bulk scorers consume it
+// directly (see score.BulkScorer).
+func (ds *Dataset) FlatAttrs() []float64 { return ds.flat }
 
 // Record returns a view of record i.
 func (ds *Dataset) Record(i int) Record {
-	return Record{ID: i, Time: ds.times[i], Attrs: ds.attrs[i]}
+	return Record{ID: i, Time: ds.times[i], Attrs: ds.Attrs(i)}
 }
 
 // Span returns the arrival times of the first and last records.
@@ -140,7 +187,7 @@ func (ds *Dataset) Prefix(n int) *Dataset {
 	if n <= 0 || n > ds.Len() {
 		n = ds.Len()
 	}
-	return &Dataset{times: ds.times[:n], attrs: ds.attrs[:n], dims: ds.dims}
+	return &Dataset{times: ds.times[:n], flat: ds.flat[:n*ds.dims], dims: ds.dims}
 }
 
 // Project returns a new dataset restricted to the given attribute dimensions
@@ -155,34 +202,33 @@ func (ds *Dataset) Project(dims []int) (*Dataset, error) {
 		}
 	}
 	n, d := ds.Len(), len(dims)
-	backing := make([]float64, n*d)
-	rows := make([][]float64, n)
+	flat := make([]float64, n*d)
 	for i := 0; i < n; i++ {
-		row := backing[i*d : (i+1)*d : (i+1)*d]
-		src := ds.attrs[i]
+		src := ds.flat[i*ds.dims:]
+		row := flat[i*d : (i+1)*d]
 		for j, dim := range dims {
 			row[j] = src[dim]
 		}
-		rows[i] = row
 	}
-	return &Dataset{times: ds.times, attrs: rows, dims: d}, nil
+	return &Dataset{times: ds.times, flat: flat, dims: d}, nil
 }
 
 // Reversed returns the time-mirrored dataset: record i of the result is
 // record n-1-i of the original, stamped with the negated original time.
 // Reversing maps "looking-ahead" durability windows onto the "looking-back"
 // machinery: a window [p.t, p.t+tau] in the original becomes [q.t-tau, q.t]
-// for the mirrored record q. Attribute rows are shared with the original.
+// for the mirrored record q. Attribute rows are copied into a fresh
+// contiguous backing array in mirrored order.
 func (ds *Dataset) Reversed() *Dataset {
-	n := ds.Len()
+	n, d := ds.Len(), ds.dims
 	times := make([]int64, n)
-	attrs := make([][]float64, n)
+	flat := make([]float64, n*d)
 	for i := 0; i < n; i++ {
 		j := n - 1 - i
 		times[i] = -ds.times[j]
-		attrs[i] = ds.attrs[j]
+		copy(flat[i*d:(i+1)*d], ds.flat[j*d:(j+1)*d])
 	}
-	return &Dataset{times: times, attrs: attrs, dims: ds.dims}
+	return &Dataset{times: times, flat: flat, dims: d}
 }
 
 // Builder incrementally assembles a Dataset in arrival order.
@@ -228,10 +274,5 @@ func (b *Builder) Build() (*Dataset, error) {
 	if len(b.times) == 0 {
 		return nil, ErrEmpty
 	}
-	n, d := len(b.times), b.dims
-	rows := make([][]float64, n)
-	for i := 0; i < n; i++ {
-		rows[i] = b.flat[i*d : (i+1)*d : (i+1)*d]
-	}
-	return &Dataset{times: b.times, attrs: rows, dims: d}, nil
+	return &Dataset{times: b.times, flat: b.flat, dims: b.dims}, nil
 }

@@ -142,8 +142,10 @@ func TestReversed(t *testing.T) {
 		if rev.Time(i) != -ds.Time(j) {
 			t.Fatalf("rev.Time(%d)=%d want %d", i, rev.Time(i), -ds.Time(j))
 		}
-		if &rev.Attrs(i)[0] != &ds.Attrs(j)[0] {
-			t.Fatal("reversed must share attribute rows")
+		for c := 0; c < ds.Dims(); c++ {
+			if rev.Attrs(i)[c] != ds.Attrs(j)[c] {
+				t.Fatalf("rev.Attrs(%d)=%v want %v", i, rev.Attrs(i), ds.Attrs(j))
+			}
 		}
 	}
 	// Double reversal restores times.
@@ -279,5 +281,63 @@ func TestCSVMalformed(t *testing.T) {
 		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
 			t.Errorf("case %d: malformed CSV accepted", i)
 		}
+	}
+}
+
+func TestFlatAttrsContiguity(t *testing.T) {
+	build := func(name string, ds *Dataset) {
+		t.Helper()
+		flat := ds.FlatAttrs()
+		if len(flat) != ds.Len()*ds.Dims() {
+			t.Fatalf("%s: FlatAttrs len=%d want %d", name, len(flat), ds.Len()*ds.Dims())
+		}
+		for i := 0; i < ds.Len(); i++ {
+			row := ds.Attrs(i)
+			if &row[0] != &flat[i*ds.Dims()] {
+				t.Fatalf("%s: row %d does not alias the flat backing", name, i)
+			}
+		}
+	}
+	ds := small(t)
+	build("New", ds)
+	build("Reversed", ds.Reversed())
+	build("Prefix", ds.Prefix(3))
+	proj, err := ds.Project([]int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	build("Project", proj)
+	b := NewBuilder(2, 0)
+	for i := 0; i < 5; i++ {
+		if err := b.Append(int64(i+1), []float64{float64(i), float64(2 * i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	built, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	build("Builder", built)
+}
+
+func TestNewFlat(t *testing.T) {
+	ds, err := NewFlat([]int64{1, 2, 3}, []float64{1, 2, 3, 4, 5, 6}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 3 || ds.Dims() != 2 || ds.Attrs(1)[1] != 4 {
+		t.Fatalf("NewFlat: %v", ds.Attrs(1))
+	}
+	if _, err := NewFlat(nil, nil, 1); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := NewFlat([]int64{1}, []float64{1}, 0); !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("zero dim: %v", err)
+	}
+	if _, err := NewFlat([]int64{1, 2}, []float64{1, 2, 3}, 2); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("length: %v", err)
+	}
+	if _, err := NewFlat([]int64{2, 1}, []float64{1, 2}, 1); !errors.Is(err, ErrNotIncreasing) {
+		t.Fatalf("order: %v", err)
 	}
 }

@@ -20,6 +20,11 @@ type node interface {
 	eval(x []float64) float64
 	// interval bounds the node's value over the attribute box lo..hi.
 	interval(lo, hi []float64) intv
+	// evalBlock computes the node's value for records [lo, hi) of the flat
+	// row-major attribute array with stride d, writing record i's value to
+	// dst[i-lo]. Temporaries come from sc; hi-lo never exceeds blockLen.
+	// Results are bit-for-bit identical to per-record eval calls.
+	evalBlock(dst []float64, sc *blockScratch, flat []float64, d, lo, hi int)
 }
 
 // --- literals and variables ---

@@ -1,0 +1,78 @@
+package expr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestScoreRangeMatchesScore checks block evaluation against per-record AST
+// walks bit-for-bit, across spans larger than one evaluation block and over
+// attribute data containing NaN, ±Inf and -0.0.
+func TestScoreRangeMatchesScore(t *testing.T) {
+	exprs := []string{
+		"x0",
+		"-x0 + 2*x1",
+		"0.6*x0 + 0.3*x1 + 2*log1p(x2)",
+		"sqrt(abs(x0)) * exp(-x1/10)",
+		"min(x0, x1, x2) + max(x0, -x1)",
+		"pow(abs(x0), 0.5) + x1^2",
+		"(x0 + x1) / (x2 - 3)",
+		"floor(x0) - ceil(x1) + pi",
+	}
+	const d = 3
+	n := 3*blockLen + 17 // force multiple blocks plus a ragged tail
+	rng := rand.New(rand.NewSource(13))
+	flat := make([]float64, n*d)
+	specials := []float64{math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1)}
+	for i := range flat {
+		if rng.Intn(12) == 0 {
+			flat[i] = specials[rng.Intn(len(specials))]
+		} else {
+			flat[i] = rng.NormFloat64() * 10
+		}
+	}
+	for _, src := range exprs {
+		e := MustCompile(src, Options{Dims: d})
+		for trial := 0; trial < 8; trial++ {
+			lo := rng.Intn(n)
+			hi := lo + rng.Intn(n-lo) + 1
+			if trial == 0 {
+				lo, hi = 0, n
+			}
+			dst := make([]float64, hi-lo)
+			e.ScoreRange(dst, flat, d, lo, hi)
+			for i := lo; i < hi; i++ {
+				want := e.Score(flat[i*d : (i+1)*d])
+				if math.Float64bits(dst[i-lo]) != math.Float64bits(want) {
+					t.Fatalf("%q row %d: bulk %v != scalar %v", src, i, dst[i-lo], want)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkScoreRange(b *testing.B) {
+	e := MustCompile("0.6*x0 + 0.3*x1 + 2*log1p(x2)", Options{Dims: 3})
+	const n, d = 4096, 3
+	rng := rand.New(rand.NewSource(3))
+	flat := make([]float64, n*d)
+	for i := range flat {
+		flat[i] = rng.Float64() * 50
+	}
+	dst := make([]float64, n)
+	b.Run("block", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.ScoreRange(dst, flat, d, 0, n)
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < n; r++ {
+				dst[r] = e.Score(flat[r*d : (r+1)*d])
+			}
+		}
+	})
+}

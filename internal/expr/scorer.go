@@ -8,4 +8,5 @@ var (
 	_ score.Scorer        = (*Expr)(nil)
 	_ score.Bounder       = (*Expr)(nil)
 	_ score.MonotoneAware = (*Expr)(nil)
+	_ score.BulkScorer    = (*Expr)(nil)
 )

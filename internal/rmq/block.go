@@ -41,10 +41,11 @@ func (b *Block) table(s score.Scorer) *Table {
 	if t, ok := b.tables[s]; ok {
 		return t
 	}
+	// Bulk-score the whole dataset in one pass over the contiguous flat
+	// attribute array (score.BulkScorer), instead of one dispatched call
+	// plus row dereference per record.
 	values := make([]float64, b.ds.Len())
-	for i := range values {
-		values[i] = s.Score(b.ds.Attrs(i))
-	}
+	score.ScoreFlatRange(s, values, b.ds.FlatAttrs(), b.ds.Dims(), 0, b.ds.Len())
 	t := New(values)
 	b.tables[s] = t
 	return t
@@ -75,4 +76,31 @@ func (b *Block) QueryRange(s score.Scorer, k int, lo, hi int) []topk.Item {
 func (b *Block) Query(s score.Scorer, k int, t1, t2 int64) []topk.Item {
 	lo, hi := b.ds.IndexRange(t1, t2)
 	return b.QueryRange(s, k, lo, hi)
+}
+
+// QueryRangeInto is QueryRange appending results into dst[:0] (pass nil to
+// allocate), matching the engine's scratch-probe capability. The Scratch is
+// accepted for interface compatibility; the RMQ walk keeps its own small
+// candidate heap.
+func (b *Block) QueryRangeInto(s score.Scorer, k int, lo, hi int, _ *topk.Scratch, dst []topk.Item) []topk.Item {
+	dst = dst[:0]
+	if k <= 0 || lo >= hi {
+		return dst
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.ds.Len() {
+		hi = b.ds.Len()
+	}
+	for _, it := range b.table(s).TopK(lo, hi-1, k) {
+		dst = append(dst, topk.Item{ID: int32(it.Index), Time: b.ds.Time(it.Index), Score: it.Value})
+	}
+	return dst
+}
+
+// QueryInto is Query appending results into dst[:0]; see QueryRangeInto.
+func (b *Block) QueryInto(s score.Scorer, k int, t1, t2 int64, sc *topk.Scratch, dst []topk.Item) []topk.Item {
+	lo, hi := b.ds.IndexRange(t1, t2)
+	return b.QueryRangeInto(s, k, lo, hi, sc, dst)
 }

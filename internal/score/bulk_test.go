@@ -1,0 +1,142 @@
+package score
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// scalarOnly hides every optional capability of the wrapped scorer, forcing
+// ScoreFlatRange down the per-record fallback loop.
+type scalarOnly struct{ s Scorer }
+
+func (w scalarOnly) Score(x []float64) float64 { return w.s.Score(x) }
+func (w scalarOnly) Dims() int                 { return w.s.Dims() }
+
+// adversarialFlat builds a flat row-major attribute array seasoned with the
+// IEEE specials every scorer must propagate identically: NaN, ±Inf, -0.0.
+func adversarialFlat(rng *rand.Rand, n, d int) []float64 {
+	flat := make([]float64, n*d)
+	specials := []float64{math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1), 0}
+	for i := range flat {
+		switch rng.Intn(10) {
+		case 0:
+			flat[i] = specials[rng.Intn(len(specials))]
+		default:
+			flat[i] = rng.NormFloat64() * 100
+		}
+	}
+	return flat
+}
+
+// assertBitIdentical checks ScoreRange against per-record Score bit-for-bit
+// over several sub-ranges, including the full range.
+func assertBitIdentical(t *testing.T, s Scorer, flat []float64, n, d int) {
+	t.Helper()
+	bs, ok := s.(BulkScorer)
+	if !ok {
+		t.Fatalf("%T must implement BulkScorer", s)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		lo := rng.Intn(n)
+		hi := lo + rng.Intn(n-lo) + 1
+		if trial == 0 {
+			lo, hi = 0, n
+		}
+		dst := make([]float64, hi-lo)
+		bs.ScoreRange(dst, flat, d, lo, hi)
+		for i := lo; i < hi; i++ {
+			want := s.Score(flat[i*d : (i+1)*d])
+			if math.Float64bits(dst[i-lo]) != math.Float64bits(want) {
+				t.Fatalf("%T row %d: bulk %v (%#x) != scalar %v (%#x)",
+					s, i, dst[i-lo], math.Float64bits(dst[i-lo]), want, math.Float64bits(want))
+			}
+		}
+	}
+}
+
+func TestScoreRangeMatchesScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, d := range []int{1, 2, 3, 4, 7} {
+		n := 300
+		flat := adversarialFlat(rng, n, d)
+		w := make([]float64, d)
+		for i := range w {
+			w[i] = rng.NormFloat64()
+		}
+		lin, err := NewLinear(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitIdentical(t, lin, flat, n, d)
+
+		pos := make([]float64, d)
+		for i := range pos {
+			pos[i] = 0.05 + rng.Float64()
+		}
+		combo, err := Log1pCombo(pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitIdentical(t, combo, flat, n, d)
+
+		cos, err := NewCosine(pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitIdentical(t, cos, flat, n, d)
+
+		single, err := NewSingle(d-1, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitIdentical(t, single, flat, n, d)
+	}
+}
+
+func TestScoreFlatRangeFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n, d = 100, 3
+	flat := adversarialFlat(rng, n, d)
+	s := scalarOnly{MustLinear(0.25, -1.5, 3)}
+	dst := make([]float64, n)
+	ScoreFlatRange(s, dst, flat, d, 0, n)
+	for i := 0; i < n; i++ {
+		want := s.Score(flat[i*d : (i+1)*d])
+		if math.Float64bits(dst[i]) != math.Float64bits(want) {
+			t.Fatalf("fallback row %d: %v != %v", i, dst[i], want)
+		}
+	}
+	// The bulk branch must produce the same values as the fallback.
+	bulk := make([]float64, n)
+	ScoreFlatRange(s.s, bulk, flat, d, 0, n)
+	for i := range bulk {
+		if math.Float64bits(bulk[i]) != math.Float64bits(dst[i]) {
+			t.Fatalf("bulk/fallback divergence at %d: %v != %v", i, bulk[i], dst[i])
+		}
+	}
+}
+
+func BenchmarkScoreRangeLinear(b *testing.B) {
+	const n, d = 4096, 4
+	rng := rand.New(rand.NewSource(3))
+	flat := make([]float64, n*d)
+	for i := range flat {
+		flat[i] = rng.Float64()
+	}
+	s := MustLinear(0.1, 0.2, 0.3, 0.4)
+	dst := make([]float64, n)
+	b.Run("bulk", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.ScoreRange(dst, flat, d, 0, n)
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ScoreFlatRange(scalarOnly{s}, dst, flat, d, 0, n)
+		}
+	})
+}

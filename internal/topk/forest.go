@@ -87,11 +87,15 @@ func (f *Forest) flush() {
 }
 
 func (f *Forest) buildTree(start, size int) *Index {
-	rows := make([][]float64, size)
-	for i := 0; i < size; i++ {
-		rows[i] = f.flat[(start+i)*f.dims : (start+i+1)*f.dims]
+	d := f.dims
+	ds, err := data.NewFlat(
+		f.times[start:start+size:start+size],
+		f.flat[start*d:(start+size)*d:(start+size)*d],
+		d,
+	)
+	if err != nil {
+		panic(err) // unreachable: forest appends maintain the invariants
 	}
-	ds := data.MustNew(f.times[start:start+size], rows)
 	return Build(ds, f.opts)
 }
 
@@ -102,7 +106,7 @@ func (f *Forest) Query(s score.Scorer, k int, t1, t2 int64) []Item {
 	if k <= 0 || t1 > t2 {
 		return nil
 	}
-	res := newKHeap(k)
+	res := newKHeap(k, f.Len())
 	for _, ct := range f.trees {
 		for _, it := range ct.idx.Query(s, k, t1, t2) {
 			it.ID += int32(ct.start)

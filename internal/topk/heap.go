@@ -1,17 +1,23 @@
 package topk
 
-import "sort"
-
 // kHeap keeps the k best items under the (score desc, time desc) order. It
 // is a binary min-heap whose root is the current k-th best item, so an
-// incoming candidate only enters when it beats the root.
+// incoming candidate only enters when it beats the root. The item storage is
+// caller-provided (usually from a Scratch), so steady-state probes allocate
+// nothing.
 type kHeap struct {
 	k     int
 	items []Item
 }
 
-func newKHeap(k int) *kHeap {
-	return &kHeap{k: k, items: make([]Item, 0, k)}
+// newKHeap allocates a standalone heap for k results; capHint bounds the
+// initial capacity (pass the number of available records so huge k values
+// don't over-allocate).
+func newKHeap(k, capHint int) *kHeap {
+	if capHint > k || capHint < 0 {
+		capHint = k
+	}
+	return &kHeap{k: k, items: make([]Item, 0, capHint)}
 }
 
 // worse is the heap order: a sinks below b when a ranks after b.
@@ -41,7 +47,7 @@ func (h *kHeap) offer(it Item) {
 		return
 	}
 	h.items[0] = it
-	h.down(0)
+	siftDownItems(h.items, 0)
 }
 
 func (h *kHeap) up(i int) {
@@ -55,30 +61,37 @@ func (h *kHeap) up(i int) {
 	}
 }
 
-func (h *kHeap) down(i int) {
-	n := len(h.items)
+// siftDownItems restores the min-heap property of items from position i.
+func siftDownItems(items []Item, i int) {
+	n := len(items)
 	for {
 		l, r := 2*i+1, 2*i+2
 		least := i
-		if l < n && worse(h.items[l], h.items[least]) {
+		if l < n && worse(items[l], items[least]) {
 			least = l
 		}
-		if r < n && worse(h.items[r], h.items[least]) {
+		if r < n && worse(items[r], items[least]) {
 			least = r
 		}
 		if least == i {
 			return
 		}
-		h.items[i], h.items[least] = h.items[least], h.items[i]
+		items[i], items[least] = items[least], items[i]
 		i = least
 	}
 }
 
-// sortedDesc returns the collected items ordered best-first.
+// sortedDesc reorders the collected items best-first in place and returns
+// them. The items form a min-heap (root = worst), so a plain heapsort —
+// repeatedly swapping the root behind the shrinking heap — leaves the slice
+// in descending rank order without the sort.Slice closure allocations.
 func (h *kHeap) sortedDesc() []Item {
-	out := h.items
-	sort.Slice(out, func(i, j int) bool { return Better(out[i], out[j]) })
-	return out
+	items := h.items
+	for n := len(items) - 1; n > 0; n-- {
+		items[0], items[n] = items[n], items[0]
+		siftDownItems(items[:n], 0)
+	}
+	return items
 }
 
 // pqEntry is a branch-and-bound frontier node keyed by (ub desc, maxT desc).
@@ -95,7 +108,7 @@ func pqBefore(a, b pqEntry) bool {
 	return a.maxT > b.maxT
 }
 
-// nodePQ is a max-heap of frontier entries.
+// nodePQ is a max-heap of frontier entries over caller-provided storage.
 type nodePQ struct {
 	es []pqEntry
 }

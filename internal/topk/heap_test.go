@@ -14,7 +14,7 @@ func TestKHeapKeepsBestK(t *testing.T) {
 		for i, s := range scoresRaw {
 			items[i] = Item{ID: int32(i), Time: int64(i), Score: float64(s % 16)} // force ties
 		}
-		h := newKHeap(k)
+		h := newKHeap(k, -1)
 		for _, it := range items {
 			h.offer(it)
 		}
@@ -41,7 +41,7 @@ func TestKHeapKeepsBestK(t *testing.T) {
 }
 
 func TestKHeapWouldImprove(t *testing.T) {
-	h := newKHeap(2)
+	h := newKHeap(2, -1)
 	if !h.wouldImprove(0, 0) {
 		t.Fatal("non-full heap always improvable")
 	}

@@ -86,6 +86,12 @@ type Index struct {
 	opts  Options
 	nodes []node
 	root  int32
+	// Hot-loop caches of the dataset's columnar storage: leaf scans read
+	// times and the flat row-major attribute array directly instead of
+	// going through per-record accessors.
+	times []int64
+	flat  []float64
+	dims  int
 	// pointsAdapter lets skyline operators address records by id.
 	pts dsPoints
 }
@@ -98,7 +104,10 @@ func (p dsPoints) Point(id int32) []float64 { return p.ds.Attrs(int(id)) }
 // and O(n) space.
 func Build(ds *data.Dataset, opts Options) *Index {
 	opts = opts.withDefaults()
-	x := &Index{ds: ds, opts: opts, pts: dsPoints{ds}}
+	x := &Index{
+		ds: ds, opts: opts, pts: dsPoints{ds},
+		times: ds.Times(), flat: ds.FlatAttrs(), dims: ds.Dims(),
+	}
 	est := 2*ds.Len()/opts.LengthThreshold + 2
 	x.nodes = make([]node, 0, est)
 	x.root = x.build(0, int32(ds.Len()))
@@ -207,19 +216,39 @@ func (x *Index) Query(s score.Scorer, k int, t1, t2 int64) []Item {
 
 // QueryRange is Query over the half-open record index range [lo, hi).
 func (x *Index) QueryRange(s score.Scorer, k int, lo, hi int) []Item {
-	if k <= 0 || lo >= hi {
-		return nil
+	sc := GetScratch()
+	out := x.QueryRangeInto(s, k, lo, hi, sc, nil)
+	PutScratch(sc)
+	return out
+}
+
+// QueryInto is Query with caller-provided working memory: the probe runs on
+// sc's buffers and the result is appended to dst[:0] (pass nil to allocate).
+// Results share dst's backing array; they remain valid after further probes
+// with the same Scratch as long as the same dst is not reused.
+func (x *Index) QueryInto(s score.Scorer, k int, t1, t2 int64, sc *Scratch, dst []Item) []Item {
+	lo, hi := x.ds.IndexRange(t1, t2)
+	return x.QueryRangeInto(s, k, lo, hi, sc, dst)
+}
+
+// QueryRangeInto is QueryRange with caller-provided working memory; see
+// QueryInto. With a warmed Scratch and a reused dst the probe performs zero
+// allocations.
+func (x *Index) QueryRangeInto(s score.Scorer, k int, lo, hi int, sc *Scratch, dst []Item) []Item {
+	if hi > len(x.times) {
+		hi = len(x.times)
 	}
 	if lo < 0 {
 		lo = 0
 	}
-	if hi > x.ds.Len() {
-		hi = x.ds.Len()
+	if k <= 0 || lo >= hi {
+		return dst[:0]
 	}
 	monotone := score.IsMonotone(s)
-	res := newKHeap(k)
-	pq := nodePQ{}
-	pq.push(pqEntry{node: x.root, ub: math.Inf(1), maxT: x.ds.Time(hi - 1)})
+	bulk, hasBulk := s.(score.BulkScorer)
+	res := kHeap{k: k, items: sc.heap[:0]}
+	pq := nodePQ{es: sc.pq[:0]}
+	pq.push(pqEntry{node: x.root, ub: math.Inf(1), maxT: x.times[hi-1]})
 	for pq.len() > 0 {
 		e := pq.pop()
 		if !res.wouldImprove(e.ub, e.maxT) {
@@ -231,9 +260,20 @@ func (x *Index) QueryRange(s score.Scorer, k int, lo, hi int) []Item {
 			continue
 		}
 		if n.left < 0 || int(chi-clo) <= x.opts.LengthThreshold {
-			// Leaf or small clipped span: scan.
-			for i := clo; i < chi; i++ {
-				res.offer(Item{ID: i, Time: x.ds.Time(int(i)), Score: s.Score(x.ds.Attrs(int(i)))})
+			// Leaf or small clipped span: bulk-score the whole clipped span
+			// into the scratch column, then merge into the k-heap.
+			span := int(chi - clo)
+			buf := sc.scoreBuf(span)
+			if hasBulk {
+				bulk.ScoreRange(buf, x.flat, x.dims, int(clo), int(chi))
+			} else {
+				d := x.dims
+				for i := int(clo); i < int(chi); i++ {
+					buf[i-int(clo)] = s.Score(x.flat[i*d : (i+1)*d : (i+1)*d])
+				}
+			}
+			for i := 0; i < span; i++ {
+				res.offer(Item{ID: clo + int32(i), Time: x.times[int(clo)+i], Score: buf[i]})
 			}
 			continue
 		}
@@ -244,13 +284,17 @@ func (x *Index) QueryRange(s score.Scorer, k int, lo, hi int) []Item {
 				continue
 			}
 			ub := x.upperBound(s, monotone, cn)
-			maxT := x.ds.Time(int(cchi - 1))
+			maxT := x.times[cchi-1]
 			if res.wouldImprove(ub, maxT) {
 				pq.push(pqEntry{node: c, ub: ub, maxT: maxT})
 			}
 		}
 	}
-	return res.sortedDesc()
+	out := append(dst[:0], res.sortedDesc()...)
+	// Return grown buffers to the scratch for the next probe.
+	sc.heap = res.items[:0]
+	sc.pq = pq.es[:0]
+	return out
 }
 
 // Member reports whether record id is in the top-k of the closed time window

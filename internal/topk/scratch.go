@@ -1,0 +1,39 @@
+package topk
+
+import "sync"
+
+// Scratch holds the reusable working memory of one range top-k probe: the
+// k-heap backing, the branch-and-bound frontier, and the bulk-scoring column
+// buffer. A single durable top-k evaluation issues hundreds of probes; by
+// threading one Scratch through all of them (see package core) the probe hot
+// path runs with zero steady-state allocations.
+//
+// A Scratch must not be shared by concurrent probes. Obtain one with
+// GetScratch and return it with PutScratch, or embed a long-lived instance
+// in a single-threaded caller.
+type Scratch struct {
+	heap   []Item    // k-heap item storage
+	pq     []pqEntry // frontier priority-queue storage
+	scores []float64 // bulk leaf-scan score buffer
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return new(Scratch) }}
+
+// GetScratch returns a Scratch from the shared pool.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch returns sc to the shared pool. The caller must not use sc
+// afterwards.
+func PutScratch(sc *Scratch) {
+	if sc != nil {
+		scratchPool.Put(sc)
+	}
+}
+
+// scoreBuf returns a scratch buffer of length n for bulk leaf scoring.
+func (sc *Scratch) scoreBuf(n int) []float64 {
+	if cap(sc.scores) < n {
+		sc.scores = make([]float64, n)
+	}
+	return sc.scores[:n]
+}

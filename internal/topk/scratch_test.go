@@ -1,0 +1,117 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/score"
+)
+
+// scalarOnly hides BulkScorer (and every other optional capability except
+// what it re-declares), forcing leaf scans down the per-record path.
+type scalarOnly struct{ s score.Scorer }
+
+func (w scalarOnly) Score(x []float64) float64 { return w.s.Score(x) }
+func (w scalarOnly) Dims() int                 { return w.s.Dims() }
+
+// TestBulkLeafScanMatchesScalar runs identical query workloads through the
+// bulk-scored and scalar-scored leaf paths and requires identical results —
+// the QueryRange half of the refactor's differential guarantee.
+func TestBulkLeafScanMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		n := 50 + rng.Intn(800)
+		d := 1 + rng.Intn(4)
+		ds := randDS(rng, n, d, 6) // small int domain forces ties
+		idx := Build(ds, Options{LengthThreshold: 1 + rng.Intn(32)})
+		w := make([]float64, d)
+		for i := range w {
+			w[i] = rng.Float64()*2 - 1
+		}
+		s := score.MustLinear(w...)
+		for q := 0; q < 15; q++ {
+			k := 1 + rng.Intn(12)
+			lo := rng.Intn(n)
+			hi := lo + rng.Intn(n-lo) + 1
+			bulk := idx.QueryRange(s, k, lo, hi)
+			scalar := idx.QueryRange(scalarOnly{s}, k, lo, hi)
+			if !itemsEqual(bulk, scalar) {
+				t.Fatalf("trial %d q=%d n=%d k=%d [%d,%d):\n bulk   %v\n scalar %v",
+					trial, q, n, k, lo, hi, bulk, scalar)
+			}
+		}
+	}
+}
+
+// TestQueryRangeIntoReusesDst checks the Into contract: results land in the
+// provided buffer, and reusing it across probes never corrupts results.
+func TestQueryRangeIntoReusesDst(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ds := randDS(rng, 500, 2, 0)
+	idx := Build(ds, Options{LengthThreshold: 16})
+	s := score.MustLinear(0.4, 0.6)
+	sc := GetScratch()
+	defer PutScratch(sc)
+	var dst []Item
+	for q := 0; q < 50; q++ {
+		k := 1 + rng.Intn(10)
+		lo := rng.Intn(500)
+		hi := lo + rng.Intn(500-lo) + 1
+		dst = idx.QueryRangeInto(s, k, lo, hi, sc, dst)
+		want := idx.QueryRange(s, k, lo, hi)
+		if !itemsEqual(dst, want) {
+			t.Fatalf("q=%d k=%d [%d,%d): got %v want %v", q, k, lo, hi, dst, want)
+		}
+		if cap(dst) > 0 && len(want) > 0 && &dst[0] != &dst[:1][0] {
+			t.Fatal("result must live in dst's backing")
+		}
+	}
+}
+
+// TestQueryRangeIntoZeroAllocs asserts the acceptance criterion directly:
+// once the scratch and result buffer are warm, a probe performs zero
+// allocations — for the bulk-scored built-in scorers and for compiled
+// expressions alike.
+func TestQueryRangeIntoZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	ds := randDS(rng, 4096, 2, 0)
+	idx := Build(ds, Options{})
+	s := score.MustLinear(0.3, 0.7)
+	sc := GetScratch()
+	defer PutScratch(sc)
+	var dst []Item
+	// Warm the buffers.
+	for i := 0; i < 10; i++ {
+		dst = idx.QueryRangeInto(s, 10, i*128, 4096-i, sc, dst)
+	}
+	probes := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		lo := (probes * 37) % 2048
+		dst = idx.QueryRangeInto(s, 10, lo, lo+1500, sc, dst)
+		probes++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state probe allocates %.1f times, want 0", allocs)
+	}
+}
+
+// TestHugeKDoesNotOverAllocate guards the k-heap bound: a k far beyond the
+// range size must not pre-allocate k-sized buffers.
+func TestHugeKDoesNotOverAllocate(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ds := randDS(rng, 200, 2, 0)
+	idx := Build(ds, Options{LengthThreshold: 16})
+	s := score.MustLinear(1, 2)
+	items := idx.QueryRange(s, 1_000_000_000, 0, 200)
+	if len(items) != 200 {
+		t.Fatalf("got %d items, want all 200", len(items))
+	}
+	for i := 1; i < len(items); i++ {
+		if Better(items[i], items[i-1]) {
+			t.Fatal("results must be ordered best-first")
+		}
+	}
+	if h := newKHeap(1_000_000_000, 200); cap(h.items) != 200 {
+		t.Fatalf("newKHeap capacity %d, want bounded at 200", cap(h.items))
+	}
+}
