@@ -276,3 +276,91 @@ func TestServedEndToEnd(t *testing.T) {
 		t.Fatalf("empty answer over TCP: %d records, stats %+v", len(recs), st)
 	}
 }
+
+func TestQueryShardedModes(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "data.csv")
+	run(t, "durgen", "-kind", "ind", "-n", "2000", "-d", "2", "-out", csv)
+
+	// Compare the full record listings (every id/time/score line), not just
+	// the summary count, so shard-to-global id mapping bugs surface here.
+	recordLines := func(out string) string {
+		var recs []string
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "id=") {
+				recs = append(recs, line)
+			}
+		}
+		return strings.Join(recs, "\n")
+	}
+	seq := recordLines(run(t, "durquery", "-input", csv, "-k", "3", "-tau", "150"))
+	if seq == "" {
+		t.Fatal("baseline query returned no records")
+	}
+	for _, extra := range [][]string{
+		{"-shards", "4"},
+		{"-shards", "4", "-parallel", "2"},
+		{"-shards", "7", "-shardby", "timespan"},
+	} {
+		args := append([]string{"-input", csv, "-k", "3", "-tau", "150"}, extra...)
+		out := recordLines(run(t, "durquery", args...))
+		if out != seq {
+			t.Fatalf("sharded CLI records differ (%v):\n%s\n---\n%s", extra, out, seq)
+		}
+	}
+	// Sharded durations and most-durable flow through the same Querier.
+	dur := run(t, "durquery", "-input", csv, "-k", "2", "-tau", "100", "-shards", "3", "-durations")
+	if !strings.Contains(dur, "max-durability=") {
+		t.Fatalf("sharded durations missing:\n%s", dur)
+	}
+	most := run(t, "durquery", "-input", csv, "-k", "2", "-shards", "3", "-mostdurable", "4")
+	if strings.Count(most, "id=") != 4 {
+		t.Fatalf("sharded mostdurable wrong:\n%s", most)
+	}
+	runExpectError(t, "durquery", "-input", csv, "-shards", "4", "-shardby", "hash")
+}
+
+func TestServedSharded(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binDir, "durserved"),
+		"-addr", "127.0.0.1:0", "-gen", "toy=ind:1500", "-seed", "5",
+		"-shards", "4", "-shardby", "timespan")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				addrCh <- strings.TrimSpace(line[i+len("listening on "):])
+				return
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("sharded server did not report its address")
+	}
+	cl, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	recs, st, err := cl.Query(wire.Request{Dataset: "toy", K: 2, Tau: 150, Expr: "x0 + x1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || st.Algorithm == "" {
+		t.Fatalf("empty sharded answer over TCP: %d records, stats %+v", len(recs), st)
+	}
+}

@@ -6,6 +6,7 @@
 //	durbench -exp fig8 [-scale 1.0] [-reps 12] [-seed 1] [-quick]
 //	durbench -exp all -out results.txt
 //	durbench -topkjson BENCH_topk.json [-topkds nba-2] [-scale 0.25]
+//	durbench -shardjson BENCH_sharded.json [-shardds nba-2] [-scale 0.25]
 //
 // Experiment ids map to paper artifacts (fig1..fig13, tab4..tab6, lemma4,
 // lemma5, ablations); see DESIGN.md for the full index.
@@ -13,7 +14,8 @@
 // -topkjson writes a machine-readable perf snapshot (ns/op, allocs/op per
 // durable top-k strategy plus bulk/scalar probe microbenchmarks) meant to be
 // committed at the repo root so the performance trajectory is tracked across
-// PRs.
+// PRs. -shardjson does the same for the time-sharded engine: ns/op and
+// speedup versus the single-shard baseline at 1/2/4/8 shards.
 package main
 
 import (
@@ -27,15 +29,17 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment id, or \"all\"")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		scale    = flag.Float64("scale", 1.0, "dataset size multiplier")
-		reps     = flag.Int("reps", 12, "preference vectors per configuration (paper: 100)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		quick    = flag.Bool("quick", false, "trim parameter sweeps")
-		out      = flag.String("out", "", "write output to file as well as stdout")
-		topkJSON = flag.String("topkjson", "", "write per-strategy ns/op + allocs/op JSON to this path and exit")
-		topkDS   = flag.String("topkds", "nba-2", "dataset for -topkjson")
+		exp       = flag.String("exp", "", "experiment id, or \"all\"")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		scale     = flag.Float64("scale", 1.0, "dataset size multiplier")
+		reps      = flag.Int("reps", 12, "preference vectors per configuration (paper: 100)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		quick     = flag.Bool("quick", false, "trim parameter sweeps")
+		out       = flag.String("out", "", "write output to file as well as stdout")
+		topkJSON  = flag.String("topkjson", "", "write per-strategy ns/op + allocs/op JSON to this path and exit")
+		topkDS    = flag.String("topkds", "nba-2", "dataset for -topkjson")
+		shardJSON = flag.String("shardjson", "", "write the shard-scaling sweep (ns/op + speedup at 1/2/4/8 shards) to this path and exit")
+		shardDS   = flag.String("shardds", "nba-2", "dataset for -shardjson")
 	)
 	flag.Parse()
 
@@ -46,6 +50,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("wrote", *topkJSON)
+		return
+	}
+	if *shardJSON != "" {
+		cfg := bench.Config{Scale: *scale, Reps: *reps, Seed: *seed, Quick: *quick}
+		if err := bench.WriteShardJSON(cfg, *shardDS, *shardJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "durbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *shardJSON)
 		return
 	}
 

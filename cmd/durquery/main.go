@@ -8,6 +8,11 @@
 //	durquery -input data.csv -k 3 -tau 500 [-start T] [-end T] \
 //	         -weights 1,0.5 [-alg s-hop] [-anchor look-back] [-durations]
 //
+// -shards N evaluates through a time-sharded engine (N independent
+// per-shard indexes, -parallel workers fanning the query out; -shardby
+// picks count or timespan partitioning); answers are identical to the
+// single-engine run.
+//
 // The ranking can also be a scoring expression over the positional
 // attributes (monotonicity and index pruning bounds are derived
 // automatically):
@@ -52,6 +57,8 @@ func main() {
 		statsOnly = flag.Bool("stats", false, "print only summary statistics")
 		mostDur   = flag.Int("mostdurable", 0, "instead of DurTop, report the N all-time most durable records")
 		parallel  = flag.Int("parallel", 1, "evaluate the interval with this many workers")
+		shards    = flag.Int("shards", 1, "evaluate over this many time shards (independent per-shard engines)")
+		shardBy   = flag.String("shardby", "count", "shard partitioning: count|timespan")
 		useRMQ    = flag.Bool("rmq", false, "use the sparse-table RMQ building block (fixed-scorer workloads)")
 		asJSON    = flag.Bool("json", false, "emit results as JSON")
 	)
@@ -120,7 +127,27 @@ func main() {
 	if *useRMQ {
 		engOpts = durable.WithRMQBlock(engOpts)
 	}
-	eng := durable.NewWithOptions(ds, engOpts)
+	strategy, err := durable.ParseShardStrategy(*shardBy)
+	if err != nil {
+		fatal(err)
+	}
+	// -parallel only overrides the shard fan-out width when given
+	// explicitly; otherwise the engine default min(shards, GOMAXPROCS)
+	// applies.
+	workers := 0
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "parallel" {
+			workers = *parallel
+		}
+	})
+	var eng durable.Querier
+	if *shards > 1 {
+		eng = durable.NewSharded(ds, engOpts, durable.ShardOptions{
+			Shards: *shards, Workers: workers, Strategy: strategy,
+		})
+	} else {
+		eng = durable.NewWithOptions(ds, engOpts)
+	}
 
 	if *mostDur > 0 {
 		top, err := eng.MostDurable(*k, scorer, anchor, *mostDur)
@@ -152,8 +179,10 @@ func main() {
 		return
 	}
 	var res *durable.Result
-	if *parallel > 1 {
-		res, err = eng.DurableTopKParallel(query, *parallel)
+	if single, ok := eng.(*durable.Engine); ok && *parallel > 1 {
+		// Unsharded: -parallel splits the query interval across workers.
+		// Sharded engines already fan out per shard on their worker pool.
+		res, err = single.DurableTopKParallel(query, *parallel)
 	} else {
 		res, err = eng.DurableTopK(query)
 	}

@@ -15,6 +15,11 @@
 //
 // Generator specs are name=kind:n[:dims] with kind one of nba, network,
 // ind, anti, rpm.
+//
+// -shards N (with optional -shardby count|timespan and -workers W) serves
+// every dataset from a time-sharded engine: N independent per-shard indexes
+// over zero-copy dataset slices, with queries fanned out on a bounded worker
+// pool. Answers are identical to the single-engine deployment.
 package main
 
 import (
@@ -53,16 +58,24 @@ func (kv *keyValue) Set(s string) error {
 
 func main() {
 	var (
-		addr  = flag.String("addr", "127.0.0.1:7411", "listen address")
-		seed  = flag.Int64("seed", 1, "seed for generated datasets")
-		files keyValue
-		gens  keyValue
-		names keyValue
+		addr    = flag.String("addr", "127.0.0.1:7411", "listen address")
+		seed    = flag.Int64("seed", 1, "seed for generated datasets")
+		shards  = flag.Int("shards", 1, "serve each dataset from this many time shards (sharded engine when > 1)")
+		shardBy = flag.String("shardby", "count", "shard partitioning: count|timespan")
+		workers = flag.Int("workers", 0, "per-query shard fan-out pool size (0 = min(shards, GOMAXPROCS))")
+		files   keyValue
+		gens    keyValue
+		names   keyValue
 	)
 	flag.Var(&files, "data", "serve a CSV dataset as name=path (repeatable)")
 	flag.Var(&gens, "gen", "serve a generated dataset as name=kind:n[:dims] (repeatable)")
 	flag.Var(&names, "names", "attribute names as dataset=col1,col2,... (repeatable)")
 	flag.Parse()
+
+	strategy, err := core.ParseShardStrategy(*shardBy)
+	if err != nil {
+		log.Fatalf("durserved: %v", err)
+	}
 
 	if len(files.keys)+len(gens.keys) == 0 {
 		fmt.Fprintln(os.Stderr, "durserved: need at least one -data or -gen dataset")
@@ -79,13 +92,25 @@ func main() {
 	// The bounded skyband scan keeps S-Band's lazy index build tractable on
 	// adversarial data while staying exact (see DESIGN.md §2).
 	engOpts := core.Options{SkybandScanBudget: 4096}
+	shardOpts := core.ShardOptions{Shards: *shards, Workers: *workers, Strategy: strategy}
 	register := func(name string, ds *data.Dataset) {
-		if err := srv.Add(name, ds, attrNames[name], engOpts); err != nil {
+		var err error
+		suffix := ""
+		if *shards > 1 {
+			// Build first so the log reports the shard count actually
+			// constructed (cut collapse can yield fewer than requested).
+			se := core.NewShardedEngine(ds, engOpts, shardOpts)
+			err = srv.AddQuerier(name, se, attrNames[name])
+			suffix = fmt.Sprintf(", %d %s-partitioned time shards", se.NumShards(), strategy)
+		} else {
+			err = srv.Add(name, ds, attrNames[name], engOpts)
+		}
+		if err != nil {
 			log.Fatalf("durserved: %v", err)
 		}
 		lo, hi := ds.Span()
-		log.Printf("durserved: serving %q: %d records, %d dims, time [%d, %d]",
-			name, ds.Len(), ds.Dims(), lo, hi)
+		log.Printf("durserved: serving %q: %d records, %d dims, time [%d, %d]%s",
+			name, ds.Len(), ds.Dims(), lo, hi, suffix)
 	}
 
 	for i, name := range files.keys {

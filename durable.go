@@ -120,6 +120,44 @@ func New(ds *Dataset) *Engine { return core.NewEngine(ds, Options{}) }
 // NewWithOptions builds an engine with explicit options.
 func NewWithOptions(ds *Dataset, opts Options) *Engine { return core.NewEngine(ds, opts) }
 
+// ShardedEngine scales durable top-k evaluation horizontally: contiguous
+// time-range shards, one independent engine per shard over a zero-copy
+// dataset view, queries fanned out on a bounded worker pool and merged with
+// exact handling of records whose durability window straddles shard
+// boundaries. Results are identical to Engine over the same dataset.
+type ShardedEngine = core.ShardedEngine
+
+// ShardOptions configures time sharding: shard count, fan-out worker pool
+// size and the partitioning strategy.
+type ShardOptions = core.ShardOptions
+
+// ShardStrategy selects the time-domain partitioning rule.
+type ShardStrategy = core.ShardStrategy
+
+// ShardInfo describes one time shard of a ShardedEngine.
+type ShardInfo = core.ShardInfo
+
+// Partitioning strategies: ByCount balances records per shard (robust to
+// bursty arrivals), ByTimeSpan gives every shard an equal slice of the time
+// domain (natural for wall-clock routing such as one shard per month).
+const (
+	ByCount    = core.ByCount
+	ByTimeSpan = core.ByTimeSpan
+)
+
+// Querier is the query-serving contract shared by Engine and ShardedEngine.
+type Querier = core.Querier
+
+// NewSharded partitions ds into time shards and builds one engine per shard;
+// see ShardOptions for sizing. It shares the Query/Result contract with New:
+// the same queries return the same answers, evaluated shard-parallel.
+func NewSharded(ds *Dataset, opts Options, shards ShardOptions) *ShardedEngine {
+	return core.NewShardedEngine(ds, opts, shards)
+}
+
+// ParseShardStrategy converts "count" or "timespan" to a ShardStrategy.
+func ParseShardStrategy(s string) (ShardStrategy, error) { return core.ParseShardStrategy(s) }
+
 // NewLinear returns the preference scorer f(p) = sum w_i * x_i.
 func NewLinear(weights []float64) (Scorer, error) { return score.NewLinear(weights) }
 

@@ -380,3 +380,59 @@ func TestPublicAPIParallelAutoConsistent(t *testing.T) {
 			par.Stats.Algorithm, seq.Stats.Algorithm)
 	}
 }
+
+func TestPublicAPISharded(t *testing.T) {
+	ds := buildDataset(t, 900)
+	eng := durable.New(ds)
+	scorer := durable.MustLinear(1, 0.5)
+	lo, hi := ds.Span()
+	q := durable.Query{K: 3, Tau: 120, Start: lo, End: hi, Scorer: scorer}
+	want, err := eng.DurableTopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strategy := range []durable.ShardStrategy{durable.ByCount, durable.ByTimeSpan} {
+		se := durable.NewSharded(ds, durable.Options{}, durable.ShardOptions{
+			Shards: 6, Workers: 3, Strategy: strategy,
+		})
+		if se.NumShards() != 6 {
+			t.Fatalf("%v: %d shards, want 6", strategy, se.NumShards())
+		}
+		res, err := se.DurableTopK(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.IDs(), want.IDs()) {
+			t.Fatalf("%v: sharded answer differs:\n got %v\nwant %v", strategy, res.IDs(), want.IDs())
+		}
+		// The sharded engine serves the same auxiliary surface.
+		if _, err := se.Explain(q); err != nil {
+			t.Fatal(err)
+		}
+		top, err := se.MostDurable(3, scorer, durable.LookBack, 4)
+		if err != nil || len(top) != 4 {
+			t.Fatalf("sharded MostDurable: %v (%d records)", err, len(top))
+		}
+	}
+	// Both engine flavors satisfy the shared Querier contract.
+	for _, qr := range []durable.Querier{eng, durable.NewSharded(ds, durable.Options{}, durable.ShardOptions{Shards: 2})} {
+		if qr.Dataset().Len() != ds.Len() {
+			t.Fatal("Querier dataset mismatch")
+		}
+	}
+}
+
+func TestPublicAPIParseShardStrategy(t *testing.T) {
+	for name, want := range map[string]durable.ShardStrategy{"count": durable.ByCount, "timespan": durable.ByTimeSpan} {
+		got, err := durable.ParseShardStrategy(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseShardStrategy(%q) = %v, %v", name, got, err)
+		}
+		if got.String() != name {
+			t.Fatalf("round trip %q -> %q", name, got)
+		}
+	}
+	if _, err := durable.ParseShardStrategy("hash"); err == nil {
+		t.Fatal("bogus strategy accepted")
+	}
+}

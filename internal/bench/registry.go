@@ -33,6 +33,7 @@ var registry = []Experiment{
 	{ID: "abl-forest", Paper: "ablation", Title: "static tree vs appendable forest", Run: runAblationForest},
 	{ID: "abl-block", Paper: "ablation", Title: "tree vs RMQ building block (fixed scorer)", Run: runAblationBlock},
 	{ID: "abl-parallel", Paper: "ablation", Title: "interval-partitioned parallel evaluation", Run: runAblationParallel},
+	{ID: "shardscale", Paper: "extension", Title: "time-sharded scale-out: latency vs shard count", Run: runShardScale},
 	{ID: "abl-planner", Paper: "ablation", Title: "cost-based Auto planner vs fixed strategies", Run: runAblationPlanner},
 	{ID: "ext-anchor", Paper: "extension", Title: "mid-anchored durability windows (lead sweep)", Run: runExtAnchor},
 	{ID: "ext-expr", Paper: "extension", Title: "compiled scoring expressions vs native scorers", Run: runExtExpr},

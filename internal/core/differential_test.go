@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"repro/internal/data"
+)
+
+// Cross-strategy differential property harness: every evaluation strategy —
+// the five single-engine algorithms and the sharded engine at several shard
+// counts — must return bit-identical answers to the brute-force oracle on
+// randomized dataset shapes and randomized queries.
+//
+// Each trial derives its own seed from a master seed and logs it on failure;
+// rerun one trial with
+//
+//	DIFF_SEED=<seed> go test -run TestDifferentialAllStrategies ./internal/core
+
+// diffShardCounts are the sharded-engine configurations under differential
+// test (1 = degenerate single shard; 16 usually exceeds the shard-per-record
+// density on small datasets, exercising cut clamping).
+var diffShardCounts = []int{1, 2, 7, 16}
+
+// diffDataset builds one of three adversarially shaped datasets:
+//
+//	clustered: tight bursts of arrivals (gap 1) separated by long gaps, so
+//	  shard boundaries land inside and between bursts and tau spans whole
+//	  bursts at once
+//	adversarial: monotone score ramps up then down with heavy exact score
+//	  ties from a tiny integer domain — worst case for tie-break handling
+//	dense: consecutive timestamps (gap exactly 1 everywhere, the closest a
+//	  strictly-increasing time domain comes to duplicate timestamps), so
+//	  window and shard edges always collide with record arrivals
+func diffDataset(rng *rand.Rand, flavor string, n, d int) *data.Dataset {
+	times := make([]int64, n)
+	rows := make([][]float64, n)
+	t := int64(rng.Intn(3))
+	for i := 0; i < n; i++ {
+		switch flavor {
+		case "clustered":
+			if rng.Intn(12) == 0 {
+				t += int64(50 + rng.Intn(200)) // burst gap
+			} else {
+				t += 1
+			}
+		case "dense":
+			t += 1
+		default: // adversarial
+			t += int64(1 + rng.Intn(3))
+		}
+		times[i] = t
+		row := make([]float64, d)
+		for j := range row {
+			switch flavor {
+			case "adversarial":
+				// Ramp with plateaus of exact ties.
+				ramp := i
+				if i > n/2 {
+					ramp = n - i
+				}
+				row[j] = float64(ramp/5) + float64(rng.Intn(2))
+			default:
+				if rng.Intn(3) == 0 {
+					row[j] = float64(rng.Intn(5)) // frequent exact ties
+				} else {
+					row[j] = rng.Float64() * 100
+				}
+			}
+		}
+		rows[i] = row
+	}
+	return data.MustNew(times, rows)
+}
+
+// diffQuery draws one randomized query over ds, biased toward the regimes
+// where strategies diverge: tiny and huge tau, narrow intervals (often
+// narrower than one shard), boundary-pinned intervals.
+func diffQuery(rng *rand.Rand, ds *data.Dataset) Query {
+	lo, hi := ds.Span()
+	span := hi - lo
+	q := Query{K: 1 + rng.Intn(6)}
+	switch rng.Intn(4) {
+	case 0:
+		q.Tau = int64(rng.Intn(3)) // degenerate windows
+	case 1:
+		q.Tau = span + int64(rng.Intn(10)) // window covers everything
+	default:
+		q.Tau = int64(rng.Intn(int(span) + 2))
+	}
+	switch rng.Intn(3) {
+	case 0: // narrow interval, often narrower than a shard
+		q.Start = lo + int64(rng.Intn(int(span)+1))
+		q.End = q.Start + int64(rng.Intn(8))
+		if q.End > hi {
+			q.End = hi
+		}
+	default:
+		q.Start = lo + int64(rng.Intn(int(span)+1))
+		q.End = q.Start + int64(rng.Intn(int(hi-q.Start)+1))
+	}
+	switch rng.Intn(3) {
+	case 0:
+		q.Anchor = LookAhead
+	case 1:
+		q.Anchor = General
+		if q.Tau > 0 {
+			q.Lead = int64(rng.Intn(int(q.Tau) + 1))
+		}
+	default:
+		q.Anchor = LookBack
+	}
+	return q
+}
+
+func runDifferentialTrial(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	flavor := []string{"clustered", "adversarial", "dense"}[rng.Intn(3)]
+	n := 40 + rng.Intn(260)
+	d := 1 + rng.Intn(3)
+	ds := diffDataset(rng, flavor, n, d)
+	s := randScorer(rng, d)
+	eng := NewEngine(ds, testEngineOpts())
+	sharded := make([]*ShardedEngine, len(diffShardCounts))
+	for i, count := range diffShardCounts {
+		// Alternate strategy and straddle path so both get coverage.
+		sharded[i] = NewShardedEngine(ds, testEngineOpts(), ShardOptions{
+			Shards:            count,
+			Workers:           1 + rng.Intn(3),
+			Strategy:          ShardStrategy(rng.Intn(2)),
+			StraddleThreshold: []int{1, 16, 1 << 30}[rng.Intn(3)],
+		})
+	}
+
+	fail := func(engine string, q Query, got, want []int) {
+		t.Fatalf("seed %d (DIFF_SEED=%d to reproduce): flavor=%s n=%d d=%d engine=%s\n"+
+			"query k=%d tau=%d lead=%d I=[%d,%d] anchor=%v\n got %v\nwant %v",
+			seed, seed, flavor, n, d, engine, q.K, q.Tau, q.Lead, q.Start, q.End, q.Anchor, got, want)
+	}
+
+	for qi := 0; qi < 5; qi++ {
+		q := diffQuery(rng, ds)
+		q.Scorer = s
+		var want []int
+		if q.Anchor == General {
+			want = BruteForceAnchored(ds, s, q.K, q.Tau, q.Lead, q.Start, q.End)
+		} else {
+			want = BruteForce(ds, s, q.K, q.Tau, q.Start, q.End, q.Anchor)
+		}
+		for _, alg := range Algorithms() {
+			sub := q
+			sub.Algorithm = alg
+			mid := q.Anchor == General && q.Lead > 0 && q.Lead < q.Tau
+			if mid && (alg == TBase || alg == SBand) {
+				continue // rejected by contract, covered elsewhere
+			}
+			res, err := eng.DurableTopK(sub)
+			if err != nil {
+				t.Fatalf("seed %d: %v: %v", seed, alg, err)
+			}
+			if got := res.IDs(); !(len(got) == 0 && len(want) == 0) && !reflect.DeepEqual(got, want) {
+				fail(alg.String(), q, got, want)
+			}
+		}
+		for i, se := range sharded {
+			res, err := se.DurableTopK(q)
+			if err != nil {
+				t.Fatalf("seed %d: shards=%d: %v", seed, diffShardCounts[i], err)
+			}
+			if got := res.IDs(); !(len(got) == 0 && len(want) == 0) && !reflect.DeepEqual(got, want) {
+				fail(fmt.Sprintf("sharded-%d", se.NumShards()), q, got, want)
+			}
+		}
+	}
+}
+
+func TestDifferentialAllStrategies(t *testing.T) {
+	if env := os.Getenv("DIFF_SEED"); env != "" {
+		seed, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("bad DIFF_SEED %q: %v", env, err)
+		}
+		runDifferentialTrial(t, seed)
+		return
+	}
+	master := rand.New(rand.NewSource(20260727))
+	trials := 20
+	if testing.Short() {
+		trials = 6
+	}
+	for trial := 0; trial < trials; trial++ {
+		runDifferentialTrial(t, master.Int63())
+	}
+}

@@ -175,12 +175,23 @@ func NewEngine(ds *data.Dataset, opts Options) *Engine {
 
 // plannerInputs characterizes q for the cost model.
 func (e *Engine) plannerInputs(q *Query) planner.Inputs {
-	ds := e.fwd.ds
-	lo, hi := ds.IndexRange(q.Start, q.End)
-	anchor := q.Anchor
-	if anchor == General && q.Lead == q.Tau && q.Tau > 0 {
-		anchor = LookAhead
+	return queryPlannerInputs(e.fwd.ds, q, e.ladderBuilt(normalizedAnchor(q)))
+}
+
+// normalizedAnchor collapses end-anchored General queries onto the one-sided
+// anchor they evaluate as (the ladder cache is keyed by that).
+func normalizedAnchor(q *Query) Anchor {
+	if q.Anchor == General && q.Lead == q.Tau && q.Tau > 0 {
+		return LookAhead
 	}
+	return q.Anchor
+}
+
+// queryPlannerInputs characterizes q over ds for the cost model; shared by
+// Engine and ShardedEngine so the Auto strategy choice cannot drift between
+// the two.
+func queryPlannerInputs(ds *data.Dataset, q *Query, sbandReady bool) planner.Inputs {
+	lo, hi := ds.IndexRange(q.Start, q.End)
 	return planner.Inputs{
 		N:          ds.Len(),
 		Dims:       ds.Dims(),
@@ -190,7 +201,7 @@ func (e *Engine) plannerInputs(q *Query) planner.Inputs {
 		Window:     q.End - q.Start,
 		Monotone:   score.IsMonotone(q.Scorer),
 		MidAnchor:  q.Anchor == General && q.Lead > 0 && q.Lead < q.Tau,
-		SBandReady: e.ladderBuilt(anchor),
+		SBandReady: sbandReady,
 	}
 }
 
@@ -245,6 +256,25 @@ func (e *Engine) Explain(q Query) (planner.Plan, error) {
 		return planner.Plan{}, err
 	}
 	return e.plan(&q), nil
+}
+
+// checkAlgorithm enforces the strategy constraints shared by Engine and
+// ShardedEngine after Auto resolution: S-Band needs a monotone scorer, and
+// truly mid-anchored windows (0 < Lead < Tau) support neither the
+// anchor-specific variants nor duration reporting.
+func checkAlgorithm(q *Query, alg Algorithm) error {
+	if alg == SBand && !score.IsMonotone(q.Scorer) {
+		return ErrNotMonotone
+	}
+	if q.Anchor == General && q.Lead > 0 && q.Lead < q.Tau {
+		if alg == TBase || alg == SBand {
+			return fmt.Errorf("%w: %v", ErrAnchorUnsupp, alg)
+		}
+		if q.WithDurations {
+			return fmt.Errorf("%w: WithDurations", ErrAnchorUnsupp)
+		}
+	}
+	return nil
 }
 
 func buildBlock(ds *data.Dataset, opts Options) Block {
@@ -311,8 +341,8 @@ func (e *Engine) DurableTopK(q Query) (*Result, error) {
 		return nil, err
 	}
 	alg := e.resolveAlgorithm(&q)
-	if alg == SBand && !score.IsMonotone(q.Scorer) {
-		return nil, ErrNotMonotone
+	if err := checkAlgorithm(&q, alg); err != nil {
+		return nil, err
 	}
 
 	// Normalize the anchor: end-anchored General queries collapse onto the
@@ -333,13 +363,8 @@ func (e *Engine) DurableTopK(q Query) (*Result, error) {
 		runQ.Anchor = LookBack
 		skyAnchor = LookBack
 	case q.Anchor == General:
-		// Mid-anchored window: only the anchor-generic variants apply.
-		if alg == TBase || alg == SBand {
-			return nil, fmt.Errorf("%w: %v", ErrAnchorUnsupp, alg)
-		}
-		if q.WithDurations {
-			return nil, fmt.Errorf("%w: WithDurations", ErrAnchorUnsupp)
-		}
+		// Mid-anchored window: only the anchor-generic variants apply
+		// (already enforced by checkAlgorithm).
 	}
 	general := runQ.Anchor == General
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/data"
@@ -54,6 +55,106 @@ func FuzzDurableTopK(f *testing.F) {
 					t.Fatalf("%v: got %v want %v", alg, got, want)
 				}
 			}
+		}
+	})
+}
+
+// FuzzShardedQuery fuzzes the shard-boundary invariants of ShardedEngine:
+// arbitrary datasets and shard counts against the single-engine and
+// brute-force answers, with the interval optionally pinned exactly onto a
+// shard boundary arrival and often narrower than one shard. Run
+// `go test -fuzz FuzzShardedQuery ./internal/core` for continuous fuzzing;
+// the seed corpus below runs as a normal test.
+func FuzzShardedQuery(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(1), uint8(5), uint8(3), uint8(0), uint8(0))
+	f.Add([]byte{9, 9, 9, 9, 0, 0, 0}, uint8(2), uint8(1), uint8(2), uint8(1), uint8(4))
+	f.Add([]byte{0, 255, 0, 255, 7, 7, 7, 7, 7}, uint8(3), uint8(30), uint8(16), uint8(3), uint8(9))
+	f.Add([]byte{255, 4, 129}, uint8(1), uint8(0), uint8(1), uint8(7), uint8(2))
+	f.Add([]byte{8, 1, 8, 1, 8, 1, 8, 1, 8, 1, 8, 1}, uint8(2), uint8(200), uint8(5), uint8(5), uint8(0))
+	f.Fuzz(func(t *testing.T, raw []byte, kRaw, tauRaw, shardRaw, cfg, pin uint8) {
+		if len(raw) == 0 || len(raw) > 512 {
+			t.Skip()
+		}
+		// Decode bytes: low nibble = time gap (1..4), high nibble = score.
+		b := data.NewBuilder(1, len(raw))
+		tt := int64(0)
+		for _, by := range raw {
+			tt += int64(by&3) + 1
+			if err := b.Append(tt, []float64{float64(by >> 4)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ds, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := int(kRaw%8) + 1
+		tau := int64(tauRaw)
+		anchor := LookBack
+		if cfg&1 != 0 {
+			anchor = LookAhead
+		}
+		straddle := 1 << 30 // per-record cross-shard probes
+		if cfg&2 != 0 {
+			straddle = 1 // transient straddle-region engines
+		}
+		se := NewShardedEngine(ds, Options{Index: topk.Options{LengthThreshold: 4}}, ShardOptions{
+			Shards:            int(shardRaw%20) + 1,
+			Workers:           int(cfg>>2&3) + 1,
+			Strategy:          ShardStrategy(cfg >> 4 & 1),
+			StraddleThreshold: straddle,
+		})
+
+		// The interval: pinned exactly onto a shard-boundary arrival (the
+		// hardest alignment), or an arbitrary — often sub-shard-width — cut
+		// of the time domain.
+		lo, hi := ds.Span()
+		var start, end int64
+		infos := se.Shards()
+		if cfg&8 != 0 {
+			in := infos[int(pin)%len(infos)]
+			start = in.Start
+			end = start + int64(pin%16)
+			if cfg&16 != 0 {
+				end = in.End // exactly one whole shard
+			}
+			if end > hi {
+				end = hi
+			}
+		} else {
+			span := hi - lo
+			start = lo + int64(pin)%(span+1)
+			end = start + int64(tauRaw)%(span-start+int64(lo)+1)
+			if end > hi {
+				end = hi
+			}
+		}
+		if start > end {
+			start, end = end, start
+		}
+
+		s := score.MustLinear(1)
+		want := BruteForce(ds, s, k, tau, start, end, anchor)
+		q := Query{K: k, Tau: tau, Start: start, End: end, Scorer: s, Anchor: anchor}
+		eng := NewEngine(ds, Options{Index: topk.Options{LengthThreshold: 4}})
+		single, err := eng.DurableTopK(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := se.DurableTopK(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.IDs()
+		if len(got) == 0 && len(want) == 0 {
+			return
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("sharded (shards=%d straddle=%d) vs oracle: k=%d tau=%d I=[%d,%d] anchor=%v n=%d\n got %v\nwant %v",
+				se.NumShards(), straddle, k, tau, start, end, anchor, ds.Len(), got, want)
+		}
+		if !reflect.DeepEqual(got, single.IDs()) {
+			t.Fatalf("sharded vs single engine: got %v want %v", got, single.IDs())
 		}
 	})
 }

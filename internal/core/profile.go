@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/blocking"
+	"repro/internal/data"
 	"repro/internal/score"
 )
 
@@ -43,7 +44,16 @@ func (e *Engine) DurabilityProfile(k int, s score.Scorer, anchor Anchor) ([]Dura
 	if anchor == LookAhead {
 		v = e.reversed()
 	}
-	ds := v.ds
+	out := durabilitySweep(v.ds, k, s)
+	if anchor == LookAhead {
+		out = mirrorProfile(out, e.fwd.ds)
+	}
+	return out, nil
+}
+
+// durabilitySweep is the profile core over an already-oriented dataset (pass
+// the time-mirrored dataset for look-ahead windows).
+func durabilitySweep(ds *data.Dataset, k int, s score.Scorer) []DurabilityRecord {
 	n := ds.Len()
 	refs := make([]scoredRef, n)
 	for i := 0; i < n; i++ {
@@ -78,19 +88,22 @@ func (e *Engine) DurabilityProfile(k int, s score.Scorer, anchor Anchor) ([]Dura
 		}
 		gs = ge
 	}
-	if anchor == LookAhead {
-		// Map mirrored ids/times back and restore ascending original time.
-		mapped := make([]DurabilityRecord, n)
-		for i := range out {
-			r := out[i]
-			orig := n - 1 - r.ID
-			r.ID = orig
-			r.Time = e.fwd.ds.Time(orig)
-			mapped[orig] = r
-		}
-		out = mapped
+	return out
+}
+
+// mirrorProfile maps a sweep over the mirrored dataset back onto the
+// original ids and times, restoring ascending original time order.
+func mirrorProfile(out []DurabilityRecord, orig *data.Dataset) []DurabilityRecord {
+	n := len(out)
+	mapped := make([]DurabilityRecord, n)
+	for i := range out {
+		r := out[i]
+		o := n - 1 - r.ID
+		r.ID = o
+		r.Time = orig.Time(o)
+		mapped[o] = r
 	}
-	return out, nil
+	return mapped
 }
 
 // MostDurable returns the top-n records by durability under the scorer:
@@ -103,6 +116,12 @@ func (e *Engine) MostDurable(k int, s score.Scorer, anchor Anchor, n int) ([]Dur
 	if err != nil {
 		return nil, err
 	}
+	return mostDurable(profile, n), nil
+}
+
+// mostDurable sorts a profile by the durability report order and truncates
+// it to the top n.
+func mostDurable(profile []DurabilityRecord, n int) []DurabilityRecord {
 	sort.Slice(profile, func(i, j int) bool {
 		a, b := profile[i], profile[j]
 		if a.FullHistory != b.FullHistory {
@@ -116,5 +135,5 @@ func (e *Engine) MostDurable(k int, s score.Scorer, anchor Anchor, n int) ([]Dur
 	if n > 0 && n < len(profile) {
 		profile = profile[:n]
 	}
-	return profile, nil
+	return profile
 }

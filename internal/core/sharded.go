@@ -1,0 +1,622 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/planner"
+	"repro/internal/score"
+)
+
+// ShardStrategy selects how NewShardedEngine cuts the time domain into
+// contiguous shards.
+type ShardStrategy int
+
+const (
+	// ByCount gives every shard (nearly) the same number of records. Best
+	// for bursty arrival processes: per-shard index sizes, memory and query
+	// work stay balanced regardless of how arrivals cluster in time.
+	ByCount ShardStrategy = iota
+	// ByTimeSpan gives every shard the same width of the time domain. Best
+	// when queries are routed by wall-clock ranges (e.g. one shard per
+	// month) and arrivals are roughly uniform.
+	ByTimeSpan
+)
+
+// String names the strategy ("count", "timespan").
+func (s ShardStrategy) String() string {
+	if s == ByTimeSpan {
+		return "timespan"
+	}
+	return "count"
+}
+
+// ParseShardStrategy converts a name accepted by String back to a strategy.
+func ParseShardStrategy(s string) (ShardStrategy, error) {
+	switch s {
+	case "count":
+		return ByCount, nil
+	case "timespan":
+		return ByTimeSpan, nil
+	}
+	return ByCount, fmt.Errorf("core: unknown shard strategy %q (want count|timespan)", s)
+}
+
+// ShardOptions configures a ShardedEngine.
+type ShardOptions struct {
+	// Shards is the number of contiguous time shards; values below 1 (and
+	// above the record count) are clamped.
+	Shards int
+	// Workers bounds the query fan-out pool (and shard index construction);
+	// <= 0 selects min(Shards, GOMAXPROCS).
+	Workers int
+	// Strategy picks the partitioning rule: ByCount (default) or ByTimeSpan.
+	Strategy ShardStrategy
+	// StraddleThreshold tunes boundary handling: a shard's boundary
+	// straddlers (records whose durability window crosses into a
+	// neighboring shard) are answered by per-record cross-shard probes when
+	// they number at most the threshold, and by a transient engine over the
+	// straddle region otherwise. 0 selects the default (128). Mostly a test
+	// knob; both paths are exact.
+	StraddleThreshold int
+}
+
+const defaultStraddleThreshold = 128
+
+// timeShard is one contiguous partition of the parent dataset: records
+// [lo, hi) served by an independent engine over a zero-copy slice view.
+type timeShard struct {
+	lo, hi int
+	eng    *Engine
+}
+
+// ShardInfo describes one time shard of a ShardedEngine.
+type ShardInfo struct {
+	Lo, Hi     int   // record index range [Lo, Hi) in the parent dataset
+	Start, End int64 // arrival times of the shard's first and last record
+}
+
+// ShardedEngine scales durable top-k evaluation horizontally: the dataset is
+// partitioned into contiguous time-range shards, each served by an
+// independent Engine over a zero-copy data.Dataset.Slice view, and queries
+// fan out across the shards on a bounded worker pool.
+//
+// The decomposition is exact. A record's durable set within the query
+// interval is the disjoint union of its per-shard durable sets (each record
+// belongs to exactly one shard, by arrival), and a record's durability
+// verdict depends only on its own anchored window: records whose window lies
+// entirely inside their shard are answered by the shard engine alone, while
+// boundary straddlers — records whose window crosses a shard edge — are
+// answered across shards, either by summing per-shard strictly-higher counts
+// (capped at k per shard, which keeps the sum exact for the >= k test) or by
+// a transient engine over the straddle region. Every record is therefore
+// decided exactly once, never once per shard.
+//
+// Safe for concurrent queries, like Engine.
+type ShardedEngine struct {
+	ds       *data.Dataset
+	opts     Options
+	workers  int
+	strategy ShardStrategy
+	straddle int
+	shards   []timeShard
+
+	mu  sync.Mutex
+	rev *data.Dataset // lazily built mirror for look-ahead durability sweeps
+}
+
+// Querier is the query-serving contract shared by Engine and ShardedEngine;
+// callers that only evaluate queries (the wire server, CLIs) can hold either
+// behind it.
+type Querier interface {
+	DurableTopK(q Query) (*Result, error)
+	Explain(q Query) (planner.Plan, error)
+	MostDurable(k int, s score.Scorer, anchor Anchor, n int) ([]DurabilityRecord, error)
+	Dataset() *data.Dataset
+}
+
+var (
+	_ Querier = (*Engine)(nil)
+	_ Querier = (*ShardedEngine)(nil)
+)
+
+// NewShardedEngine partitions ds into so.Shards contiguous time shards and
+// builds one engine per shard (concurrently, on the bounded worker pool).
+func NewShardedEngine(ds *data.Dataset, opts Options, so ShardOptions) *ShardedEngine {
+	cuts := shardCuts(ds, so.Shards, so.Strategy)
+	count := len(cuts) - 1
+	workers := so.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > count {
+			workers = count
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	straddle := so.StraddleThreshold
+	if straddle <= 0 {
+		straddle = defaultStraddleThreshold
+	}
+	se := &ShardedEngine{
+		ds: ds, opts: opts, workers: workers,
+		strategy: so.Strategy, straddle: straddle,
+		shards: make([]timeShard, count),
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range se.shards {
+		se.shards[i] = timeShard{lo: cuts[i], hi: cuts[i+1]}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			sh := &se.shards[i]
+			sh.eng = NewEngine(ds.Slice(sh.lo, sh.hi), opts)
+		}(i)
+	}
+	wg.Wait()
+	return se
+}
+
+// shardCuts returns ascending record-index cut points partitioning [0, n)
+// into non-empty contiguous ranges (first cut 0, last cut n).
+func shardCuts(ds *data.Dataset, count int, strategy ShardStrategy) []int {
+	n := ds.Len()
+	if count < 1 {
+		count = 1
+	}
+	if count > n {
+		count = n
+	}
+	cuts := make([]int, 0, count+1)
+	cuts = append(cuts, 0)
+	switch strategy {
+	case ByTimeSpan:
+		t0, t1 := ds.Span()
+		// Edges are computed in float64 so extreme time domains cannot
+		// overflow; rounding only nudges a cut, never breaks correctness.
+		span := float64(t1) - float64(t0)
+		for j := 1; j < count; j++ {
+			edge := float64(t0) + span*float64(j)/float64(count)
+			cut := ds.LowerBound(int64(edge))
+			if cut > cuts[len(cuts)-1] && cut < n {
+				cuts = append(cuts, cut)
+			}
+		}
+	default:
+		for j := 1; j < count; j++ {
+			cut := int(int64(j) * int64(n) / int64(count))
+			if cut > cuts[len(cuts)-1] && cut < n {
+				cuts = append(cuts, cut)
+			}
+		}
+	}
+	return append(cuts, n)
+}
+
+// Dataset returns the full (unsharded) dataset.
+func (se *ShardedEngine) Dataset() *data.Dataset { return se.ds }
+
+// NumShards returns the number of time shards actually built (duplicate cut
+// points collapse, so it can be below ShardOptions.Shards).
+func (se *ShardedEngine) NumShards() int { return len(se.shards) }
+
+// Workers returns the bounded fan-out width.
+func (se *ShardedEngine) Workers() int { return se.workers }
+
+// Shards describes the time shards in ascending time order.
+func (se *ShardedEngine) Shards() []ShardInfo {
+	out := make([]ShardInfo, len(se.shards))
+	for i, sh := range se.shards {
+		out[i] = ShardInfo{
+			Lo: sh.lo, Hi: sh.hi,
+			Start: se.ds.Time(sh.lo), End: se.ds.Time(sh.hi - 1),
+		}
+	}
+	return out
+}
+
+// PrepareSkyband eagerly materializes every shard's durable k-skyband ladder
+// level for queries with parameter k (see Engine.PrepareSkyband).
+func (se *ShardedEngine) PrepareSkyband(k int, anchor Anchor) {
+	for i := range se.shards {
+		se.shards[i].eng.PrepareSkyband(k, anchor)
+	}
+}
+
+// plan runs the cost model over the full dataset shape, so Auto resolves to
+// one strategy shared by every shard (per-shard resolution could diverge).
+// The first shard's ladder state stands in for SBandReady: PrepareSkyband
+// materializes every shard, and lazy S-Band builds reach all queried shards.
+func (se *ShardedEngine) plan(q *Query) planner.Plan {
+	return planner.Choose(queryPlannerInputs(se.ds, q, se.shards[0].eng.ladderBuilt(normalizedAnchor(q))))
+}
+
+// Explain returns the planner's cost-based assessment of q over the full
+// dataset shape (shard fan-out does not change the strategy choice).
+func (se *ShardedEngine) Explain(q Query) (planner.Plan, error) {
+	if err := q.validate(se.ds.Dims()); err != nil {
+		return planner.Plan{}, err
+	}
+	return se.plan(&q), nil
+}
+
+func (se *ShardedEngine) resolveAlgorithm(q *Query) Algorithm {
+	if q.Algorithm != Auto {
+		return q.Algorithm
+	}
+	return strategyAlgorithm(se.plan(q).Chosen)
+}
+
+// windowSides returns the portions of the durability window before (back)
+// and after (lead) each record's arrival for q's anchor.
+func windowSides(q *Query) (back, lead int64) {
+	switch q.Anchor {
+	case LookAhead:
+		return 0, q.Tau
+	case General:
+		return q.Tau - q.Lead, q.Lead
+	default:
+		return q.Tau, 0
+	}
+}
+
+// shardAt returns the index of the shard owning global record index idx.
+func (se *ShardedEngine) shardAt(idx int) int {
+	return sort.Search(len(se.shards), func(i int) bool { return se.shards[i].hi > idx })
+}
+
+// shardPart is one shard's contribution to a fanned-out query.
+type shardPart struct {
+	ids []int32 // global record ids, ascending
+	st  Stats
+	err error
+}
+
+// DurableTopK answers DurTop(k, I, tau) by fanning the query out across the
+// time shards on the bounded worker pool and concatenating the per-shard
+// answers (shards are time-ordered, so concatenation preserves the ascending
+// time order of the Result contract). Results are identical to
+// Engine.DurableTopK over the unsharded dataset.
+func (se *ShardedEngine) DurableTopK(q Query) (*Result, error) {
+	if err := q.validate(se.ds.Dims()); err != nil {
+		return nil, err
+	}
+	alg := se.resolveAlgorithm(&q)
+	q.Algorithm = alg
+	if err := checkAlgorithm(&q, alg); err != nil {
+		return nil, err
+	}
+	back, lead := windowSides(&q)
+
+	startAt := time.Now()
+	qlo, qhi := se.ds.IndexRange(q.Start, q.End)
+	var tasks []int
+	for i := range se.shards {
+		if se.shards[i].lo < qhi && se.shards[i].hi > qlo {
+			tasks = append(tasks, i)
+		}
+	}
+
+	parts := make([]shardPart, len(tasks))
+	workers := se.workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		pr := newProbe()
+		for ti, si := range tasks {
+			parts[ti] = se.evalShard(pr, si, &q, back, lead, qlo, qhi)
+		}
+		pr.release()
+	} else {
+		feed := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				pr := newProbe()
+				defer pr.release()
+				for ti := range feed {
+					parts[ti] = se.evalShard(pr, tasks[ti], &q, back, lead, qlo, qhi)
+				}
+			}()
+		}
+		for ti := range tasks {
+			feed <- ti
+		}
+		close(feed)
+		wg.Wait()
+	}
+
+	out := &Result{Stats: Stats{Algorithm: alg}}
+	total := 0
+	for i := range parts {
+		if parts[i].err != nil {
+			return nil, parts[i].err
+		}
+		total += len(parts[i].ids)
+	}
+	out.Records = make([]ResultRecord, 0, total)
+	for i := range parts {
+		p := &parts[i]
+		for _, id := range p.ids {
+			gid := int(id)
+			out.Records = append(out.Records, ResultRecord{
+				ID:          gid,
+				Time:        se.ds.Time(gid),
+				Score:       q.Scorer.Score(se.ds.Attrs(gid)),
+				MaxDuration: -1,
+			})
+		}
+		addStats(&out.Stats, &p.st)
+	}
+
+	if q.WithDurations {
+		ahead := q.Anchor == LookAhead || (q.Anchor == General && q.Tau > 0 && q.Lead == q.Tau)
+		// The duration binary searches are the most expensive per-record
+		// step; stride them over the same worker budget as the fan-out,
+		// with per-worker probes and stats merged afterwards.
+		durWorkers := min(se.workers, len(out.Records))
+		if durWorkers <= 1 {
+			pr := newProbe()
+			for i := range out.Records {
+				dur, full := se.maxDurationSharded(pr, &out.Stats, q.Scorer, q.K, out.Records[i].ID, ahead)
+				out.Records[i].MaxDuration = dur
+				out.Records[i].FullHistory = full
+			}
+			pr.release()
+		} else {
+			stats := make([]Stats, durWorkers)
+			var wg sync.WaitGroup
+			for w := 0; w < durWorkers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					pr := newProbe()
+					defer pr.release()
+					for i := w; i < len(out.Records); i += durWorkers {
+						dur, full := se.maxDurationSharded(pr, &stats[w], q.Scorer, q.K, out.Records[i].ID, ahead)
+						out.Records[i].MaxDuration = dur
+						out.Records[i].FullHistory = full
+					}
+				}(w)
+			}
+			wg.Wait()
+			for w := range stats {
+				addStats(&out.Stats, &stats[w])
+			}
+		}
+	}
+	out.Stats.Elapsed = time.Since(startAt)
+	return out, nil
+}
+
+// evalShard answers the query restricted to one shard's records. Interior
+// records (whole window inside the shard) go through the shard engine;
+// boundary straddlers are decided across shards.
+func (se *ShardedEngine) evalShard(pr *probe, si int, q *Query, back, lead int64, qlo, qhi int) shardPart {
+	var part shardPart
+	sh := &se.shards[si]
+	subLo, subHi := max(qlo, sh.lo), min(qhi, sh.hi)
+	if subLo >= subHi {
+		return part
+	}
+	n := se.ds.Len()
+
+	// The interior is the contiguous index run whose windows touch no other
+	// shard: strictly after the previous shard's last arrival plus back, and
+	// strictly before the next shard's first arrival minus lead.
+	iLo, iHi := subLo, subHi
+	if sh.lo > 0 {
+		minT := satAdd(satAdd(se.ds.Time(sh.lo-1), back), 1)
+		iLo = clampInt(se.ds.LowerBound(minT), subLo, subHi)
+	}
+	if sh.hi < n {
+		maxT := satSub(satSub(se.ds.Time(sh.hi), lead), 1)
+		iHi = clampInt(se.ds.UpperBound(maxT), iLo, subHi)
+	}
+
+	se.evalStraddlers(pr, &part, q, back, lead, subLo, iLo)
+	if part.err != nil {
+		return part
+	}
+	if iLo < iHi {
+		sub := *q
+		sub.Start, sub.End = se.ds.Time(iLo), se.ds.Time(iHi-1)
+		sub.WithDurations = false
+		res, err := sh.eng.DurableTopK(sub)
+		if err != nil {
+			part.err = err
+			return part
+		}
+		for _, r := range res.Records {
+			part.ids = append(part.ids, int32(sh.lo+r.ID))
+		}
+		addStats(&part.st, &res.Stats)
+	}
+	se.evalStraddlers(pr, &part, q, back, lead, iHi, subHi)
+	return part
+}
+
+func addStats(dst, src *Stats) {
+	dst.CheckQueries += src.CheckQueries
+	dst.FindQueries += src.FindQueries
+	dst.MaintQueries += src.MaintQueries
+	dst.CandidateCount += src.CandidateCount
+	dst.Visited += src.Visited
+}
+
+// evalStraddlers decides the boundary records in [lo, hi): small runs by
+// per-record cross-shard probes, large runs by a transient engine over the
+// straddle region — every record of every straddler's window, reached
+// through a zero-copy slice, so the run is answered by the hop machinery at
+// answer-proportional cost instead of per-record probing. Both paths are
+// exact.
+func (se *ShardedEngine) evalStraddlers(pr *probe, part *shardPart, q *Query, back, lead int64, lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	if hi-lo <= se.straddle {
+		for i := lo; i < hi; i++ {
+			part.st.Visited++
+			if se.durableAt(pr, &part.st, q, back, lead, i) {
+				part.ids = append(part.ids, int32(i))
+			}
+		}
+		return
+	}
+
+	// Region = union of the straddlers' windows; contiguous because windows
+	// are anchored to sorted arrivals.
+	rlo := se.ds.LowerBound(satSub(se.ds.Time(lo), back))
+	rhi := se.ds.UpperBound(satAdd(se.ds.Time(hi-1), lead))
+	sub := *q
+	sub.Start, sub.End = se.ds.Time(lo), se.ds.Time(hi-1)
+	sub.WithDurations = false
+	if sub.Algorithm == SBand {
+		// S-Band amortizes a skyband ladder across queries; on a transient
+		// engine that build is pure overhead, so hop instead.
+		sub.Algorithm = SHop
+	}
+	mini := NewEngine(se.ds.Slice(rlo, rhi), se.opts)
+	res, err := mini.DurableTopK(sub)
+	if err != nil {
+		part.err = err
+		return
+	}
+	for _, r := range res.Records {
+		part.ids = append(part.ids, int32(rlo+r.ID))
+	}
+	addStats(&part.st, &res.Stats)
+}
+
+// durableAt decides one record from the definition: durable iff fewer than k
+// records of its anchored window score strictly higher, counted across every
+// overlapped shard.
+func (se *ShardedEngine) durableAt(pr *probe, st *Stats, q *Query, back, lead int64, i int) bool {
+	t := se.ds.Time(i)
+	wlo, whi := se.ds.IndexRange(satSub(t, back), satAdd(t, lead))
+	ref := q.Scorer.Score(se.ds.Attrs(i))
+	return se.higherCount(pr, st, q.Scorer, q.K, wlo, whi, ref) < q.K
+}
+
+// higherCount returns min(h, k) where h is the number of records in the
+// global index range [lo, hi) scoring strictly above ref. Each shard probe
+// contributes min(h_shard, k) — exact while all h_shard < k and saturating
+// at k otherwise — so the sum answers the "h >= k?" durability test exactly.
+func (se *ShardedEngine) higherCount(pr *probe, st *Stats, s score.Scorer, k, lo, hi int, ref float64) int {
+	higher := 0
+	for si := se.shardAt(lo); si < len(se.shards) && se.shards[si].lo < hi; si++ {
+		sh := &se.shards[si]
+		plo, phi := max(lo, sh.lo)-sh.lo, min(hi, sh.hi)-sh.lo
+		if plo >= phi {
+			continue
+		}
+		items := sh.eng.fwd.topkRange(pr, st, kindCheck, s, k, plo, phi)
+		for _, it := range items {
+			if !(it.Score > ref) {
+				break // items descend by score; the rest cannot be higher
+			}
+			if higher++; higher >= k {
+				return higher
+			}
+		}
+	}
+	return higher
+}
+
+// maxDurationSharded is the cross-shard counterpart of maxDuration: a binary
+// search over the window start (end, when ahead) with sharded strictly-higher
+// counts as the membership predicate.
+func (se *ShardedEngine) maxDurationSharded(pr *probe, st *Stats, s score.Scorer, k, id int, ahead bool) (int64, bool) {
+	ref := s.Score(se.ds.Attrs(id))
+	t := se.ds.Time(id)
+	n := se.ds.Len()
+	if !ahead {
+		// Smallest j such that id stays top-k of records [j, id].
+		lo, hi := 0, id
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if se.higherCount(pr, st, s, k, mid, id+1, ref) < k {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		if lo == 0 {
+			return t - se.ds.Time(0), true
+		}
+		return t - se.ds.Time(lo-1) - 1, false
+	}
+	// Largest j such that id stays top-k of records [id, j].
+	lo, hi := id, n-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if se.higherCount(pr, st, s, k, id, mid+1, ref) < k {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	if lo == n-1 {
+		return se.ds.Time(n-1) - t, true
+	}
+	return se.ds.Time(lo+1) - t - 1, false
+}
+
+// reversedDS returns the lazily built, cached time-mirrored dataset.
+func (se *ShardedEngine) reversedDS() *data.Dataset {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	if se.rev == nil {
+		se.rev = se.ds.Reversed()
+	}
+	return se.rev
+}
+
+// DurabilityProfile computes every record's maximum durability in one sweep
+// over the full dataset (see Engine.DurabilityProfile; the sweep needs no
+// index, so sharding does not change it).
+func (se *ShardedEngine) DurabilityProfile(k int, s score.Scorer, anchor Anchor) ([]DurabilityRecord, error) {
+	if k < 1 {
+		return nil, ErrBadK
+	}
+	if s == nil {
+		return nil, ErrNoScorer
+	}
+	if s.Dims() != se.ds.Dims() {
+		return nil, ErrDims
+	}
+	ds := se.ds
+	if anchor == LookAhead {
+		ds = se.reversedDS()
+	}
+	out := durabilitySweep(ds, k, s)
+	if anchor == LookAhead {
+		out = mirrorProfile(out, se.ds)
+	}
+	return out, nil
+}
+
+// MostDurable returns the top-n records by durability (see
+// Engine.MostDurable).
+func (se *ShardedEngine) MostDurable(k int, s score.Scorer, anchor Anchor, n int) ([]DurabilityRecord, error) {
+	profile, err := se.DurabilityProfile(k, s, anchor)
+	if err != nil {
+		return nil, err
+	}
+	return mostDurable(profile, n), nil
+}
+
+func clampInt(x, lo, hi int) int {
+	return min(max(x, lo), hi)
+}

@@ -190,6 +190,34 @@ func (ds *Dataset) Prefix(n int) *Dataset {
 	return &Dataset{times: ds.times[:n], flat: ds.flat[:n*ds.dims], dims: ds.dims}
 }
 
+// Slice returns a zero-copy view over the records of the half-open index
+// range [lo, hi): both the time slice and the flat columnar attribute array
+// are re-sliced, never copied, so record i of the view is record lo+i of ds
+// backed by the same storage. Out-of-range bounds are clamped; an empty range
+// returns nil (a Dataset always holds at least one record).
+func (ds *Dataset) Slice(lo, hi int) *Dataset {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > ds.Len() {
+		hi = ds.Len()
+	}
+	if lo >= hi {
+		return nil
+	}
+	d := ds.dims
+	return &Dataset{times: ds.times[lo:hi], flat: ds.flat[lo*d : hi*d], dims: d}
+}
+
+// SliceTime returns the zero-copy view (see Slice) over the records whose
+// arrival time lies in the closed window [t1, t2], or nil when no record
+// does. Time shards carve a dataset into contiguous per-engine views with
+// this without duplicating the columnar storage.
+func (ds *Dataset) SliceTime(t1, t2 int64) *Dataset {
+	lo, hi := ds.IndexRange(t1, t2)
+	return ds.Slice(lo, hi)
+}
+
 // Project returns a new dataset restricted to the given attribute dimensions
 // (in the given order). Attribute storage is copied; times are shared.
 func (ds *Dataset) Project(dims []int) (*Dataset, error) {

@@ -341,3 +341,70 @@ func TestNewFlat(t *testing.T) {
 		t.Fatalf("order: %v", err)
 	}
 }
+
+func TestSlice(t *testing.T) {
+	times := []int64{10, 20, 30, 40, 50}
+	attrs := [][]float64{{1, 2}, {3, 4}, {5, 6}, {7, 8}, {9, 10}}
+	ds := MustNew(times, attrs)
+
+	v := ds.Slice(1, 4)
+	if v.Len() != 3 || v.Dims() != 2 {
+		t.Fatalf("Slice(1,4): len=%d dims=%d", v.Len(), v.Dims())
+	}
+	for i := 0; i < v.Len(); i++ {
+		if v.Time(i) != ds.Time(1+i) {
+			t.Fatalf("time %d: %d want %d", i, v.Time(i), ds.Time(1+i))
+		}
+		if &v.Attrs(i)[0] != &ds.Attrs(1 + i)[0] {
+			t.Fatalf("record %d: attrs copied, want zero-copy alias", i)
+		}
+	}
+	if &v.FlatAttrs()[0] != &ds.FlatAttrs()[2] {
+		t.Fatal("flat array copied, want zero-copy alias")
+	}
+	if &v.Times()[0] != &ds.Times()[1] {
+		t.Fatal("times copied, want zero-copy alias")
+	}
+
+	// Clamping and empty ranges.
+	if full := ds.Slice(-3, 99); full.Len() != ds.Len() {
+		t.Fatalf("clamped slice len %d", full.Len())
+	}
+	if ds.Slice(3, 3) != nil || ds.Slice(4, 2) != nil {
+		t.Fatal("empty range must return nil")
+	}
+}
+
+func TestSliceTime(t *testing.T) {
+	times := []int64{10, 20, 30, 40, 50}
+	attrs := [][]float64{{1}, {2}, {3}, {4}, {5}}
+	ds := MustNew(times, attrs)
+	cases := []struct {
+		t1, t2 int64
+		want   []int64
+	}{
+		{20, 40, []int64{20, 30, 40}}, // closed on both ends
+		{15, 44, []int64{20, 30, 40}}, // non-record endpoints
+		{10, 10, []int64{10}},         // single boundary record
+		{0, 9, nil},                   // before everything
+		{51, 99, nil},                 // after everything
+		{0, 99, times},                // everything
+	}
+	for _, c := range cases {
+		v := ds.SliceTime(c.t1, c.t2)
+		if c.want == nil {
+			if v != nil {
+				t.Fatalf("SliceTime(%d,%d): want nil, got %d records", c.t1, c.t2, v.Len())
+			}
+			continue
+		}
+		if v == nil || v.Len() != len(c.want) {
+			t.Fatalf("SliceTime(%d,%d): got %v", c.t1, c.t2, v)
+		}
+		for i, wt := range c.want {
+			if v.Time(i) != wt {
+				t.Fatalf("SliceTime(%d,%d)[%d] = %d want %d", c.t1, c.t2, i, v.Time(i), wt)
+			}
+		}
+	}
+}

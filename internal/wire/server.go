@@ -31,7 +31,7 @@ type Server struct {
 }
 
 type served struct {
-	eng   *core.Engine
+	eng   core.Querier
 	attrs []string
 }
 
@@ -53,6 +53,25 @@ func NewServer(logf func(format string, args ...interface{})) *Server {
 // the dataset's attribute columns for use in scoring expressions; it may be
 // nil (positional x0, x1, … always work).
 func (s *Server) Add(name string, ds *data.Dataset, attrs []string, opts core.Options) error {
+	return s.add(name, ds, attrs, func() core.Querier { return core.NewEngine(ds, opts) })
+}
+
+// AddSharded registers ds under name backed by a time-sharded engine: one
+// independent engine per contiguous time shard, queries fanned out on a
+// bounded worker pool (see core.ShardedEngine). The wire contract is
+// identical to Add — same requests, same answers.
+func (s *Server) AddSharded(name string, ds *data.Dataset, attrs []string, opts core.Options, shards core.ShardOptions) error {
+	return s.add(name, ds, attrs, func() core.Querier { return core.NewShardedEngine(ds, opts, shards) })
+}
+
+// AddQuerier registers an already-built engine (either flavor) under name;
+// use it when the caller needs the engine handle too (e.g. to report the
+// shard layout actually built).
+func (s *Server) AddQuerier(name string, eng core.Querier, attrs []string) error {
+	return s.add(name, eng.Dataset(), attrs, func() core.Querier { return eng })
+}
+
+func (s *Server) add(name string, ds *data.Dataset, attrs []string, build func() core.Querier) error {
 	if name == "" {
 		return errors.New("wire: dataset name must not be empty")
 	}
@@ -63,7 +82,17 @@ func (s *Server) Add(name string, ds *data.Dataset, attrs []string, opts core.Op
 	if _, err := expr.Compile("1", expr.Options{Dims: ds.Dims(), Names: attrs}); err != nil {
 		return fmt.Errorf("wire: attribute names: %w", err)
 	}
-	eng := core.NewEngine(ds, opts)
+	// Reject duplicates before building: index construction (especially
+	// per-shard) is far too expensive to discard. The name is re-checked
+	// under the same lock that inserts it, so concurrent registrations of
+	// one name still resolve to a single winner.
+	s.mu.Lock()
+	_, dup := s.sets[name]
+	s.mu.Unlock()
+	if dup {
+		return fmt.Errorf("wire: dataset %q already registered", name)
+	}
+	eng := build()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.sets[name]; dup {

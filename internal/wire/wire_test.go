@@ -440,3 +440,64 @@ func TestMostDurableOverWire(t *testing.T) {
 		t.Error("general anchor accepted for most-durable")
 	}
 }
+
+// TestShardedDatasetOverWire registers the same dataset twice — one plain
+// engine, one time-sharded — and checks that every wire operation returns
+// identical answers through both.
+func TestShardedDatasetOverWire(t *testing.T) {
+	srv := NewServer(func(string, ...interface{}) {})
+	ds := testDataset(t, 600, 7)
+	// Register the plain engine pre-built through AddQuerier, exercising
+	// the same path durserved's sharded registration takes.
+	if err := srv.AddQuerier("plain", core.NewEngine(ds, core.Options{}), nil); err != nil {
+		t.Fatal(err)
+	}
+	err := srv.AddSharded("sharded", ds, nil, core.Options{},
+		core.ShardOptions{Shards: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddSharded("sharded", ds, nil, core.Options{}, core.ShardOptions{Shards: 2}); err == nil {
+		t.Fatal("duplicate sharded registration accepted")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	base := Request{K: 3, Tau: 80, Weights: []float64{1, 0.5}, WithDurations: true}
+	reqPlain, reqSharded := base, base
+	reqPlain.Dataset, reqSharded.Dataset = "plain", "sharded"
+	wantRecs, _, err := cl.Query(reqPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRecs, _, err := cl.Query(reqSharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wantRecs) == 0 || !reflect.DeepEqual(gotRecs, wantRecs) {
+		t.Fatalf("sharded wire answer differs:\n got %+v\nwant %+v", gotRecs, wantRecs)
+	}
+
+	for _, name := range []string{"plain", "sharded"} {
+		req := base
+		req.Dataset = name
+		req.N = 3
+		top, err := cl.MostDurable(req)
+		if err != nil || len(top) != 3 {
+			t.Fatalf("%s most-durable: %v (%d records)", name, err, len(top))
+		}
+		plan, err := cl.Explain(req)
+		if err != nil || plan == "" {
+			t.Fatalf("%s explain: %v %q", name, err, plan)
+		}
+	}
+}
