@@ -1,0 +1,127 @@
+// Command benchgate compares a freshly measured BENCH_topk.json snapshot
+// against the committed baseline and gates CI on performance regressions.
+//
+// Usage:
+//
+//	benchgate -old BENCH_topk.json -new fresh.json [-maxratio 1.3]
+//
+// Wall-clock numbers (ns_per_op) are compared with a generous tolerance and
+// only ever produce warnings — CI runners differ too much from the hosts
+// that committed the baselines to fail on time alone. Allocation counts are
+// host-independent, so the gate is strict exactly where the repo's hot-path
+// guarantees live: any probe that was allocation-free in the baseline and
+// allocates in the fresh run fails the build, as does any other
+// allocs_per_op increase on the probe rows. Warnings are emitted in GitHub
+// Actions annotation syntax so they surface on the workflow run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func load(path string) (*bench.TopKReport, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep bench.TopKReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func byName(rows []bench.TopKPerf) map[string]bench.TopKPerf {
+	m := make(map[string]bench.TopKPerf, len(rows))
+	for _, r := range rows {
+		m[r.Name] = r
+	}
+	return m
+}
+
+func main() {
+	var (
+		oldPath  = flag.String("old", "BENCH_topk.json", "committed baseline snapshot")
+		newPath  = flag.String("new", "", "freshly measured snapshot (required)")
+		maxRatio = flag.Float64("maxratio", 1.3, "ns_per_op ratio above which a warning is emitted")
+	)
+	flag.Parse()
+	if *newPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldRep, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	newRep, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	if oldRep.Records != newRep.Records || oldRep.K != newRep.K || oldRep.Dataset != newRep.Dataset {
+		fmt.Printf("::warning::benchgate: workload drifted (old %s n=%d k=%d, new %s n=%d k=%d); ns ratios are indicative only\n",
+			oldRep.Dataset, oldRep.Records, oldRep.K, newRep.Dataset, newRep.Records, newRep.K)
+	}
+
+	failed := false
+	warn := 0
+	check := func(kind string, olds, news map[string]bench.TopKPerf, strictAllocs bool) {
+		// Rows present only on one side are surfaced, not silently skipped:
+		// a renamed or newly added probe must show up here so the baseline
+		// gets re-committed rather than the strict gate quietly shrinking.
+		for name := range news {
+			if _, ok := olds[name]; !ok {
+				fmt.Printf("::warning::benchgate: %s %q has no committed baseline row (new or renamed?); re-commit the baseline to gate it\n", kind, name)
+				warn++
+			}
+		}
+		for name, o := range olds {
+			n, ok := news[name]
+			if !ok {
+				fmt.Printf("::warning::benchgate: %s %q missing from fresh run\n", kind, name)
+				warn++
+				continue
+			}
+			if o.NsPerOp > 0 {
+				ratio := n.NsPerOp / o.NsPerOp
+				verdict := "ok"
+				if ratio > *maxRatio {
+					verdict = "SLOWER"
+					fmt.Printf("::warning::benchgate: %s %q ns/op %.0f -> %.0f (%.2fx > %.2fx tolerance)\n",
+						kind, name, o.NsPerOp, n.NsPerOp, ratio, *maxRatio)
+					warn++
+				}
+				fmt.Printf("%-10s %-14s ns/op %12.0f -> %12.0f (%.2fx, %s) allocs %d -> %d\n",
+					kind, name, o.NsPerOp, n.NsPerOp, ratio, verdict, o.AllocsPerOp, n.AllocsPerOp)
+			}
+			if strictAllocs && n.AllocsPerOp > o.AllocsPerOp {
+				reason := "allocs_per_op increased"
+				if o.AllocsPerOp == 0 {
+					reason = "zero-alloc probe now allocates"
+				}
+				fmt.Printf("::error::benchgate: %s %q %s: %d -> %d\n",
+					kind, name, reason, o.AllocsPerOp, n.AllocsPerOp)
+				failed = true
+			}
+		}
+	}
+	check("strategy", byName(oldRep.Strategies), byName(newRep.Strategies), false)
+	check("probe", byName(oldRep.Probes), byName(newRep.Probes), true)
+
+	switch {
+	case failed:
+		fmt.Println("benchgate: FAIL (allocation regression on the probe hot path)")
+		os.Exit(1)
+	case warn > 0:
+		fmt.Printf("benchgate: pass with %d warning(s)\n", warn)
+	default:
+		fmt.Println("benchgate: pass")
+	}
+}

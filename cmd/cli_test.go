@@ -364,3 +364,147 @@ func TestServedSharded(t *testing.T) {
 		t.Fatalf("empty sharded answer over TCP: %d records, stats %+v", len(recs), st)
 	}
 }
+
+func TestQueryLiveMode(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "data.csv")
+	run(t, "durgen", "-kind", "ind", "-n", "2000", "-d", "2", "-out", csv)
+
+	recordLines := func(out string) string {
+		var recs []string
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "id=") {
+				recs = append(recs, line)
+			}
+		}
+		return strings.Join(recs, "\n")
+	}
+	batch := recordLines(run(t, "durquery", "-input", csv, "-k", "3", "-tau", "150"))
+	if batch == "" {
+		t.Fatal("baseline query returned no records")
+	}
+	live := recordLines(run(t, "durquery", "-input", csv, "-k", "3", "-tau", "150", "-live"))
+	if live != batch {
+		t.Fatalf("live CLI records differ from batch:\n%s\n---\n%s", live, batch)
+	}
+	// Durations, expressions and most-durable flow through the same Querier.
+	dur := run(t, "durquery", "-input", csv, "-k", "2", "-tau", "100", "-live", "-durations")
+	if !strings.Contains(dur, "max-durability=") {
+		t.Fatalf("live durations missing:\n%s", dur)
+	}
+	most := run(t, "durquery", "-input", csv, "-k", "2", "-live", "-mostdurable", "4")
+	if strings.Count(most, "id=") != 4 {
+		t.Fatalf("live mostdurable wrong:\n%s", most)
+	}
+	runExpectError(t, "durquery", "-input", csv, "-live", "-shards", "4")
+}
+
+// TestServedLiveIngest pipes a durgen stream into durserved -live -ingest
+// (the `durgen | durserved` deployment) and watches records become queryable
+// over the wire while also appending through the protocol itself.
+func TestServedLiveIngest(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "feed.csv")
+	run(t, "durgen", "-kind", "ind", "-n", "1200", "-d", "2", "-seed", "7", "-out", csv)
+	feed, err := os.Open(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer feed.Close()
+
+	cmd := exec.Command(filepath.Join(binDir, "durserved"),
+		"-addr", "127.0.0.1:0", "-live", "feed=2", "-ingest", "feed",
+		"-livek", "3", "-livetau", "50")
+	cmd.Stdin = feed
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				addrCh <- strings.TrimSpace(line[i+len("listening on "):])
+				return
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not report its address")
+	}
+
+	cl, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Wait for the stdin ingest to drain (1200 records).
+	deadline := time.Now().Add(15 * time.Second)
+	var got int
+	for time.Now().Before(deadline) {
+		infos, err := cl.Datasets()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(infos) != 1 || !infos[0].Live {
+			t.Fatalf("live dataset not listed: %+v", infos)
+		}
+		got = infos[0].Len
+		if got == 1200 {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if got != 1200 {
+		t.Fatalf("ingest stalled at %d of 1200 records", got)
+	}
+
+	// Queries serve the ingested stream.
+	recs, st, err := cl.Query(wire.Request{Dataset: "feed", K: 3, Tau: 150, Weights: []float64{1, 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || st.Algorithm == "" {
+		t.Fatalf("no live answer over TCP: %d records", len(recs))
+	}
+
+	// Appending through the wire keeps working after stdin drained, and the
+	// monitor (livek=3) reports a decision per row. The ingest lock clears
+	// asynchronously once the feed goroutine exits, so retry briefly.
+	infos, err := cl.Datasets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp *wire.Response
+	for retry := time.Now().Add(10 * time.Second); ; {
+		resp, err = cl.Append("feed", []wire.IngestRow{{Time: infos[0].End + 10, Attrs: []float64{1, 2}}})
+		if err == nil || !strings.Contains(err.Error(), "ingest stream") || !time.Now().Before(retry) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Appended != 1 || len(resp.Decisions) != 1 {
+		t.Fatalf("wire append response %+v", resp)
+	}
+}
+
+func TestQueryLiveFlagConflicts(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "data.csv")
+	run(t, "durgen", "-kind", "ind", "-n", "200", "-d", "2", "-out", csv)
+	runExpectError(t, "durquery", "-input", csv, "-live", "-rmq")
+}

@@ -7,6 +7,7 @@
 //	durbench -exp all -out results.txt
 //	durbench -topkjson BENCH_topk.json [-topkds nba-2] [-scale 0.25]
 //	durbench -shardjson BENCH_sharded.json [-shardds nba-2] [-scale 0.25]
+//	durbench -streamjson BENCH_stream.json [-streamds nba-2] [-scale 0.25]
 //
 // Experiment ids map to paper artifacts (fig1..fig13, tab4..tab6, lemma4,
 // lemma5, ablations); see DESIGN.md for the full index.
@@ -29,17 +30,19 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "", "experiment id, or \"all\"")
-		list      = flag.Bool("list", false, "list experiments and exit")
-		scale     = flag.Float64("scale", 1.0, "dataset size multiplier")
-		reps      = flag.Int("reps", 12, "preference vectors per configuration (paper: 100)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		quick     = flag.Bool("quick", false, "trim parameter sweeps")
-		out       = flag.String("out", "", "write output to file as well as stdout")
-		topkJSON  = flag.String("topkjson", "", "write per-strategy ns/op + allocs/op JSON to this path and exit")
-		topkDS    = flag.String("topkds", "nba-2", "dataset for -topkjson")
-		shardJSON = flag.String("shardjson", "", "write the shard-scaling sweep (ns/op + speedup at 1/2/4/8 shards) to this path and exit")
-		shardDS   = flag.String("shardds", "nba-2", "dataset for -shardjson")
+		exp        = flag.String("exp", "", "experiment id, or \"all\"")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		scale      = flag.Float64("scale", 1.0, "dataset size multiplier")
+		reps       = flag.Int("reps", 12, "preference vectors per configuration (paper: 100)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		quick      = flag.Bool("quick", false, "trim parameter sweeps")
+		out        = flag.String("out", "", "write output to file as well as stdout")
+		topkJSON   = flag.String("topkjson", "", "write per-strategy ns/op + allocs/op JSON to this path and exit")
+		topkDS     = flag.String("topkds", "nba-2", "dataset for -topkjson")
+		shardJSON  = flag.String("shardjson", "", "write the shard-scaling sweep (ns/op + speedup at 1/2/4/8 shards) to this path and exit")
+		shardDS    = flag.String("shardds", "nba-2", "dataset for -shardjson")
+		streamJSON = flag.String("streamjson", "", "write the live-ingestion snapshot (appends/sec, rebuild amortization, freshness lag) to this path and exit")
+		streamDS   = flag.String("streamds", "nba-2", "dataset for -streamjson")
 	)
 	flag.Parse()
 
@@ -59,6 +62,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("wrote", *shardJSON)
+		return
+	}
+	if *streamJSON != "" {
+		cfg := bench.Config{Scale: *scale, Reps: *reps, Seed: *seed, Quick: *quick}
+		if err := bench.WriteStreamJSON(cfg, *streamDS, *streamJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "durbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *streamJSON)
 		return
 	}
 

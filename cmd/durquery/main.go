@@ -24,6 +24,12 @@
 //
 //	durquery -input data.csv -k 1 -tau 500 -anchor general -lead 250
 //
+// -live evaluates through the streaming ingestion engine instead: records
+// are appended one at a time (exactly as durserved -live would receive
+// them) and the query runs over the incrementally built index. Answers are
+// identical to the default batch evaluation — this flag exists to exercise
+// and demonstrate the live path from the command line.
+//
 // -explain prints the cost-based planner's strategy assessment instead of
 // running the query.
 package main
@@ -60,6 +66,7 @@ func main() {
 		shards    = flag.Int("shards", 1, "evaluate over this many time shards (independent per-shard engines)")
 		shardBy   = flag.String("shardby", "count", "shard partitioning: count|timespan")
 		useRMQ    = flag.Bool("rmq", false, "use the sparse-table RMQ building block (fixed-scorer workloads)")
+		live      = flag.Bool("live", false, "evaluate through the streaming ingestion engine (append records one at a time)")
 		asJSON    = flag.Bool("json", false, "emit results as JSON")
 	)
 	flag.Parse()
@@ -141,11 +148,32 @@ func main() {
 		}
 	})
 	var eng durable.Querier
-	if *shards > 1 {
+	switch {
+	case *live:
+		if *shards > 1 {
+			fatal(fmt.Errorf("-live and -shards are mutually exclusive"))
+		}
+		if *useRMQ {
+			// The live engine's forward building block is always the
+			// incremental forest; silently overriding -rmq would misreport
+			// what was measured.
+			fatal(fmt.Errorf("-live and -rmq are mutually exclusive (the live path always uses the forest index)"))
+		}
+		le, err := durable.NewLive(ds.Dims(), engOpts, durable.LiveOptions{Capacity: ds.Len()})
+		if err != nil {
+			fatal(err)
+		}
+		for i := 0; i < ds.Len(); i++ {
+			if _, _, err := le.Append(ds.Time(i), ds.Attrs(i)); err != nil {
+				fatal(err)
+			}
+		}
+		eng = le
+	case *shards > 1:
 		eng = durable.NewSharded(ds, engOpts, durable.ShardOptions{
 			Shards: *shards, Workers: workers, Strategy: strategy,
 		})
-	} else {
+	default:
 		eng = durable.NewWithOptions(ds, engOpts)
 	}
 

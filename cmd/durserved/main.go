@@ -20,6 +20,17 @@
 // every dataset from a time-sharded engine: N independent per-shard indexes
 // over zero-copy dataset slices, with queries fanned out on a bounded worker
 // pool. Answers are identical to the single-engine deployment.
+//
+// -live name=dims serves a live dataset: it starts empty and grows through
+// append requests on the wire (or -ingest below), with queries at any moment
+// answering exactly as a batch engine over the records ingested so far.
+// -livek/-livetau additionally enable the online monitor (uniform linear
+// scoring): every append then reports the instant look-back durability
+// verdict plus look-ahead confirmations as windows close. -ingest name
+// streams the ReadCSV format from stdin into the named live dataset while
+// the server runs, so a producer can be piped straight in:
+//
+//	durgen -kind nba -n 100000 | durserved -live games=2 -ingest games
 package main
 
 import (
@@ -36,6 +47,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/datagen"
+	"repro/internal/score"
 	"repro/internal/wire"
 )
 
@@ -63,13 +75,18 @@ func main() {
 		shards  = flag.Int("shards", 1, "serve each dataset from this many time shards (sharded engine when > 1)")
 		shardBy = flag.String("shardby", "count", "shard partitioning: count|timespan")
 		workers = flag.Int("workers", 0, "per-query shard fan-out pool size (0 = min(shards, GOMAXPROCS))")
+		liveK   = flag.Int("livek", 0, "monitor live datasets online with this top-k (0 = no monitor)")
+		liveTau = flag.Int64("livetau", 0, "durability window length for -livek monitoring")
+		ingest  = flag.String("ingest", "", "stream CSV records from stdin into this live dataset")
 		files   keyValue
 		gens    keyValue
 		names   keyValue
+		lives   keyValue
 	)
 	flag.Var(&files, "data", "serve a CSV dataset as name=path (repeatable)")
 	flag.Var(&gens, "gen", "serve a generated dataset as name=kind:n[:dims] (repeatable)")
 	flag.Var(&names, "names", "attribute names as dataset=col1,col2,... (repeatable)")
+	flag.Var(&lives, "live", "serve an initially empty live dataset as name=dims (repeatable)")
 	flag.Parse()
 
 	strategy, err := core.ParseShardStrategy(*shardBy)
@@ -77,8 +94,8 @@ func main() {
 		log.Fatalf("durserved: %v", err)
 	}
 
-	if len(files.keys)+len(gens.keys) == 0 {
-		fmt.Fprintln(os.Stderr, "durserved: need at least one -data or -gen dataset")
+	if len(files.keys)+len(gens.keys)+len(lives.keys) == 0 {
+		fmt.Fprintln(os.Stderr, "durserved: need at least one -data, -gen or -live dataset")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -131,6 +148,90 @@ func main() {
 			log.Fatalf("durserved: -gen %s: %v", gens.values[i], err)
 		}
 		register(name, ds)
+	}
+
+	liveEngines := map[string]*core.LiveEngine{}
+	for i, name := range lives.keys {
+		dims, err := strconv.Atoi(lives.values[i])
+		if err != nil || dims < 1 {
+			log.Fatalf("durserved: -live %s=%s: want name=dims", name, lives.values[i])
+		}
+		liveOpts := core.LiveOptions{}
+		if *liveK > 0 {
+			w := make([]float64, dims)
+			for j := range w {
+				w[j] = 1
+			}
+			s, err := score.NewLinear(w)
+			if err != nil {
+				log.Fatalf("durserved: %v", err)
+			}
+			liveOpts = core.LiveOptions{
+				MonitorK: *liveK, MonitorTau: *liveTau, MonitorScorer: s, TrackAhead: true,
+			}
+		}
+		le, err := srv.AddLive(name, dims, attrNames[name], engOpts, liveOpts)
+		if err != nil {
+			log.Fatalf("durserved: -live %s: %v", name, err)
+		}
+		liveEngines[name] = le
+		monitored := ""
+		if *liveK > 0 {
+			monitored = fmt.Sprintf(", monitored k=%d tau=%d", *liveK, *liveTau)
+		}
+		log.Printf("durserved: serving live %q: %d dims, awaiting appends%s", name, dims, monitored)
+	}
+
+	if *ingest != "" {
+		le, ok := liveEngines[*ingest]
+		if !ok {
+			log.Fatalf("durserved: -ingest %s: no such -live dataset", *ingest)
+		}
+		// Wire appends are locked out until stdin drains: a client record
+		// with a later timestamp interleaved mid-feed would make the feed's
+		// next record non-increasing and abort the whole stream.
+		if err := srv.SetIngesting(*ingest, true); err != nil {
+			log.Fatalf("durserved: %v", err)
+		}
+		go func() {
+			defer func() {
+				if err := srv.SetIngesting(*ingest, false); err != nil {
+					log.Printf("durserved: %v", err)
+				}
+			}()
+			// The monitor's per-record verdicts would swamp the log on a
+			// bulk feed; aggregate them and report the totals at drain
+			// time. Wire appends still return verdicts row by row.
+			var n, instant, confirmedDur, confirmed int
+			err := data.StreamCSV(os.Stdin, func(t int64, attrs []float64) error {
+				dec, confirms, err := le.Append(t, attrs)
+				if err != nil {
+					return err
+				}
+				n++
+				if dec.Durable {
+					instant++
+				}
+				confirmed += len(confirms)
+				for _, c := range confirms {
+					if c.Durable {
+						confirmedDur++
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				log.Printf("durserved: ingest %q: %v (after %d records)", *ingest, err, n)
+				return
+			}
+			suffix := ""
+			if le.Monitored() {
+				suffix = fmt.Sprintf("; monitor: %d instant-durable, %d/%d look-ahead windows confirmed durable (%d still open)",
+					instant, confirmedDur, confirmed, n-confirmed)
+			}
+			log.Printf("durserved: ingest %q: stdin drained after %d records (%d index rebuilds)%s",
+				*ingest, n, le.Rebuilds(), suffix)
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

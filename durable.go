@@ -158,6 +158,29 @@ func NewSharded(ds *Dataset, opts Options, shards ShardOptions) *ShardedEngine {
 // ParseShardStrategy converts "count" or "timespan" to a ShardStrategy.
 func ParseShardStrategy(s string) (ShardStrategy, error) { return core.ParseShardStrategy(s) }
 
+// LiveEngine answers durable top-k queries over a still-growing dataset: the
+// streaming counterpart of Engine. Records arrive one at a time through
+// Append (incremental flat-storage appends indexed by a logarithmic-merge
+// forest — no full rebuilds on the look-back query path); a query at any
+// point returns exactly what a batch Engine built over the records appended
+// so far would. Look-ahead and S-Band queries build their auxiliary
+// structures (reversed view, skyband ladder) per prefix; for per-arrival
+// look-ahead verdicts use the built-in monitor instead, which emits instant
+// look-back decisions with each arrival and delayed look-ahead confirmations
+// as durability windows close in O(log w) per record.
+type LiveEngine = core.LiveEngine
+
+// LiveOptions configures live ingestion: storage capacity hints and the
+// optional online durability monitor (fixed k, tau and scorer).
+type LiveOptions = core.LiveOptions
+
+// NewLive returns an empty live engine for d-dimensional records. Feed it
+// with Append; query it at any time through the same Querier contract as New
+// and NewSharded.
+func NewLive(d int, opts Options, live LiveOptions) (*LiveEngine, error) {
+	return core.NewLiveEngine(d, opts, live)
+}
+
 // NewLinear returns the preference scorer f(p) = sum w_i * x_i.
 func NewLinear(weights []float64) (Scorer, error) { return score.NewLinear(weights) }
 

@@ -40,6 +40,7 @@ type ShardReport struct {
 	IPct       int         `json:"i_pct"`
 	Strategy   string      `json:"strategy"`
 	GOMAXPROCS int         `json:"gomaxprocs"`
+	Seed       int64       `json:"seed"`
 	Rows       []ShardPerf `json:"rows"`
 }
 
@@ -58,6 +59,7 @@ func ShardScaleReport(cfg Config, dsName string) (*ShardReport, error) {
 		K: spec.K, TauPct: spec.TauPct, IPct: spec.IPct,
 		Strategy:   core.ByCount.String(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       cfg.Seed,
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	s := RandomPreference(rng, ds.Dims())

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+)
+
+// StreamReport is the schema of BENCH_stream.json: the live-ingestion
+// trajectory tracked across PRs alongside BENCH_topk.json and
+// BENCH_sharded.json. Throughput numbers are host-dependent (compare against
+// the recorded GOMAXPROCS); the amortization column is structural and
+// host-independent.
+type StreamReport struct {
+	Dataset    string `json:"dataset"`
+	Records    int    `json:"records"`
+	Dims       int    `json:"dims"`
+	K          int    `json:"k"`
+	TauPct     int    `json:"tau_pct"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Seed       int64  `json:"seed"`
+
+	// Pure ingestion: sustained Append throughput over the whole dataset,
+	// plus the incremental index's rebuild accounting.
+	AppendsPerSec float64 `json:"appends_per_sec"`
+	Rebuilds      int     `json:"rebuilds"`
+	// IndexedRowsPerAppend is the rebuild amortization constant: total rows
+	// (re)indexed by chunk-tree builds divided by records appended. The
+	// logarithmic method bounds it by O(log n).
+	IndexedRowsPerAppend float64 `json:"indexed_rows_per_append"`
+
+	// Interleaved append+query: every append is followed by a durable
+	// top-k query over the trailing window — the freshness lag is how long
+	// an arrival takes to be reflected in a queryable answer (append +
+	// first consistent query, amortized over the stream).
+	IngestWithQueriesPerSec float64 `json:"ingest_with_queries_per_sec"`
+	FreshnessLagNs          float64 `json:"freshness_lag_ns"`
+
+	// Steady state: repeated durable top-k queries with no appends in
+	// between (memoized snapshot engine, warm probe scratch).
+	SteadyQueryNs float64 `json:"steady_query_ns"`
+}
+
+// StreamPerfReport measures the live-ingestion subsystem on the given
+// dataset: ingest throughput, rebuild amortization, interleaved
+// append+query freshness, and steady-state live query latency.
+func StreamPerfReport(cfg Config, dsName string) (*StreamReport, error) {
+	cfg = cfg.withDefaults()
+	ds, err := DatasetFor(cfg, dsName)
+	if err != nil {
+		return nil, err
+	}
+	n, d := ds.Len(), ds.Dims()
+	spec := QuerySpec{K: defaultK, TauPct: defaultTauPct, IPct: defaultIPct}
+	rep := &StreamReport{
+		Dataset: dsName, Records: n, Dims: d,
+		K: spec.K, TauPct: spec.TauPct,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       cfg.Seed,
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := RandomPreference(rng, d)
+
+	// Pure ingestion throughput + rebuild amortization.
+	le, err := core.NewLiveEngine(d, EngineOptions(), core.LiveOptions{})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if _, _, err := le.Append(ds.Time(i), ds.Attrs(i)); err != nil {
+			return nil, err
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	rep.AppendsPerSec = float64(n) / elapsed
+	rep.Rebuilds = le.Rebuilds()
+	rep.IndexedRowsPerAppend = float64(le.IndexedRows()) / float64(n)
+
+	// Interleaved append+query: one trailing-window durable top-k per
+	// append, measuring how fresh answers stay while the stream runs.
+	le2, err := core.NewLiveEngine(d, EngineOptions(), core.LiveOptions{})
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := ds.Span()
+	tau := (hi - lo) * int64(spec.TauPct) / 100
+	var queryNs int64
+	start = time.Now()
+	for i := 0; i < n; i++ {
+		t := ds.Time(i)
+		if _, _, err := le2.Append(t, ds.Attrs(i)); err != nil {
+			return nil, err
+		}
+		qs := time.Now()
+		if _, err := le2.DurableTopK(core.Query{
+			K: spec.K, Tau: tau, Start: t - tau, End: t, Scorer: s, Algorithm: core.SHop,
+		}); err != nil {
+			return nil, err
+		}
+		queryNs += time.Since(qs).Nanoseconds()
+	}
+	rep.IngestWithQueriesPerSec = float64(n) / time.Since(start).Seconds()
+	rep.FreshnessLagNs = float64(queryNs) / float64(n)
+
+	// Steady state: the batch-comparable query workload over the fully
+	// ingested live engine.
+	q := spec.Materialize(le.Dataset(), s, core.SHop)
+	reps := 50
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err := le.DurableTopK(q); err != nil {
+			return nil, err
+		}
+	}
+	rep.SteadyQueryNs = float64(time.Since(start).Nanoseconds()) / float64(reps)
+	return rep, nil
+}
+
+// WriteStreamJSON runs StreamPerfReport and writes BENCH_stream.json.
+func WriteStreamJSON(cfg Config, dsName, path string) error {
+	rep, err := StreamPerfReport(cfg, dsName)
+	if err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// runStreamScale is the registry experiment: the BENCH_stream.json numbers
+// rendered as a table.
+func runStreamScale(cfg Config, w io.Writer) error {
+	dsName := "nba-2"
+	if cfg.Quick {
+		dsName = "ind-4000"
+	}
+	rep, err := StreamPerfReport(cfg, dsName)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "dataset=%s n=%d d=%d | k=%d tau=%d%% | GOMAXPROCS=%d seed=%d\n",
+		rep.Dataset, rep.Records, rep.Dims, rep.K, rep.TauPct, rep.GOMAXPROCS, rep.Seed)
+	fmt.Fprintf(w, "%-28s %14.0f\n", "appends/s (pure ingest)", rep.AppendsPerSec)
+	fmt.Fprintf(w, "%-28s %14d\n", "chunk-tree rebuilds", rep.Rebuilds)
+	fmt.Fprintf(w, "%-28s %14.2f\n", "indexed rows per append", rep.IndexedRowsPerAppend)
+	fmt.Fprintf(w, "%-28s %14.0f\n", "appends/s (query each row)", rep.IngestWithQueriesPerSec)
+	fmt.Fprintf(w, "%-28s %14.0f\n", "freshness lag ns", rep.FreshnessLagNs)
+	fmt.Fprintf(w, "%-28s %14.0f\n", "steady live query ns", rep.SteadyQueryNs)
+	fmt.Fprintln(w, "\nexpected: indexed rows per append stays O(log n); freshness lag tracks a"+
+		"\nsingle trailing-window query (no index rebuild on the query path)")
+	return nil
+}

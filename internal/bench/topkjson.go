@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -23,6 +24,8 @@ type TopKPerf struct {
 
 // TopKReport is the schema of BENCH_topk.json: a machine-readable record of
 // the hot-path performance per durable top-k strategy, tracked across PRs.
+// GOMAXPROCS and Seed are recorded (like BENCH_sharded.json's) so snapshots
+// taken on different hosts or workloads are comparable at a glance.
 type TopKReport struct {
 	Dataset    string     `json:"dataset"`
 	Records    int        `json:"records"`
@@ -30,6 +33,8 @@ type TopKReport struct {
 	K          int        `json:"k"`
 	TauPct     int        `json:"tau_pct"`
 	IPct       int        `json:"i_pct"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Seed       int64      `json:"seed"`
 	Strategies []TopKPerf `json:"strategies"`
 	Probes     []TopKPerf `json:"probes"`
 }
@@ -70,6 +75,8 @@ func TopKPerfReport(cfg Config, dsName string) (*TopKReport, error) {
 	rep := &TopKReport{
 		Dataset: dsName, Records: ds.Len(), Dims: ds.Dims(),
 		K: spec.K, TauPct: spec.TauPct, IPct: spec.IPct,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       cfg.Seed,
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	s := RandomPreference(rng, ds.Dims())

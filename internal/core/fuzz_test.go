@@ -59,6 +59,95 @@ func FuzzDurableTopK(f *testing.F) {
 	})
 }
 
+// FuzzLiveAppend fuzzes the live-ingestion invariant: arbitrary append
+// streams with queries interleaved at arbitrary points must answer exactly
+// like a batch engine rebuilt over the same prefix — and like the
+// brute-force oracle. Each input byte is one appended record; the stride
+// byte decides how often a query point is injected. Run
+// `go test -fuzz FuzzLiveAppend ./internal/core` for continuous fuzzing;
+// the seed corpus below runs as a normal test.
+func FuzzLiveAppend(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5}, uint8(1), uint8(5), uint8(1))
+	f.Add([]byte{9, 9, 9, 9, 0, 0, 0}, uint8(2), uint8(1), uint8(3))
+	f.Add([]byte{0, 255, 0, 255, 7, 7, 7, 7, 7}, uint8(3), uint8(30), uint8(2))
+	f.Add([]byte{8, 1, 8, 1, 8, 1, 8, 1, 8, 1, 8, 1}, uint8(2), uint8(200), uint8(4))
+	f.Add([]byte{255}, uint8(1), uint8(0), uint8(0))
+	f.Fuzz(func(t *testing.T, raw []byte, kRaw, tauRaw, stride uint8) {
+		if len(raw) == 0 || len(raw) > 256 {
+			t.Skip()
+		}
+		k := int(kRaw%8) + 1
+		tau := int64(tauRaw)
+		every := int(stride%16) + 1
+		s := score.MustLinear(1)
+		opts := Options{Index: topk.Options{LengthThreshold: 4}}
+		le, err := NewLiveEngine(1, opts, LiveOptions{
+			MonitorK: k, MonitorTau: tau, MonitorScorer: s,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Decode bytes: low nibble = time gap (1..4), high nibble = score.
+		times := make([]int64, 0, len(raw))
+		rows := make([][]float64, 0, len(raw))
+		tt := int64(0)
+		anchors := [2]Anchor{LookBack, LookAhead}
+		for i, by := range raw {
+			tt += int64(by&3) + 1
+			times = append(times, tt)
+			rows = append(rows, []float64{float64(by >> 4)})
+			dec, _, err := le.Append(tt, rows[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (i+1)%every != 0 && i != len(raw)-1 {
+				continue
+			}
+			// Query point: compare live vs batch-rebuilt vs oracle over the
+			// prefix appended so far.
+			ds, err := data.New(times[:i+1:i+1], rows[:i+1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			lo, hi := ds.Span()
+			anchor := anchors[(i/every)%2]
+			want := BruteForce(ds, s, k, tau, lo, hi, anchor)
+			batch := NewEngine(ds, opts)
+			q := Query{K: k, Tau: tau, Start: lo, End: hi, Scorer: s, Anchor: anchor, Algorithm: SHop}
+			wantRes, err := batch.DurableTopK(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := le.DurableTopK(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.IDs(), want) && !(len(got.IDs()) == 0 && len(want) == 0) {
+				t.Fatalf("live vs oracle at prefix %d: k=%d tau=%d anchor=%v\n got %v\nwant %v",
+					i+1, k, tau, anchor, got.IDs(), want)
+			}
+			if !reflect.DeepEqual(got.Records, wantRes.Records) {
+				t.Fatalf("live vs batch at prefix %d: k=%d tau=%d anchor=%v\n got %v\nwant %v",
+					i+1, k, tau, anchor, got.Records, wantRes.Records)
+			}
+			// The instant monitor decision is the look-back verdict for the
+			// arriving (latest) record itself, which the oracle's answer
+			// over [lo, hi] also contains or omits.
+			if anchor == LookBack {
+				inAnswer := false
+				for _, id := range want {
+					if id == i {
+						inAnswer = true
+					}
+				}
+				if dec.Durable != inAnswer {
+					t.Fatalf("monitor decision for record %d: %v, oracle %v", i, dec.Durable, inAnswer)
+				}
+			}
+		}
+	})
+}
+
 // FuzzShardedQuery fuzzes the shard-boundary invariants of ShardedEngine:
 // arbitrary datasets and shard counts against the single-engine and
 // brute-force answers, with the interval optionally pinned exactly onto a

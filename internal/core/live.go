@@ -1,0 +1,251 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/data"
+	"repro/internal/monitor"
+	"repro/internal/planner"
+	"repro/internal/score"
+	"repro/internal/topk"
+)
+
+// LiveOptions configures a LiveEngine beyond the shared engine Options.
+type LiveOptions struct {
+	// Capacity pre-sizes the columnar storage for that many records; 0 is
+	// fine (growth is amortized either way).
+	Capacity int
+
+	// MonitorK, together with MonitorScorer, enables the online durability
+	// monitor: every Append additionally reports the instant look-back
+	// verdict for the arriving record under the fixed parameters
+	// (MonitorK, MonitorTau, MonitorScorer), and — with TrackAhead — the
+	// delayed look-ahead confirmations of past records whose forward
+	// windows just closed. MonitorK <= 0 disables monitoring; ad-hoc
+	// DurableTopK queries work either way.
+	MonitorK      int
+	MonitorTau    int64
+	MonitorScorer score.Scorer
+	TrackAhead    bool
+}
+
+// LiveEngine answers durable top-k queries over a still-growing dataset: the
+// streaming counterpart of Engine. Records arrive one at a time through
+// Append; queries at any point observe exactly the records appended so far
+// and return precisely what a batch Engine built over that prefix would —
+// the incremental index is the logarithmic-merge forest of package topk,
+// whose probes run the same pooled-Scratch bulk-scoring path as the static
+// tree, so interleaved append/query workloads stay on the hot path with no
+// full index rebuilds on the forward (look-back) direction.
+//
+// Auxiliary structures remain per-prefix: the time-reversed view
+// (LookAhead/General anchors) and the skyband ladders (S-Band) are built
+// lazily by the snapshot engine and are only reused until the next append.
+// An append-then-LookAhead-query loop therefore rebuilds the reversed index
+// each iteration — run such workloads through the monitor (look-ahead
+// confirmations are O(log w) per arrival) or batch queries between appends;
+// making these structures incremental is an open roadmap item.
+//
+// An optional monitor (see LiveOptions) additionally decides durability
+// online under one fixed (k, tau, scorer) triple: instant look-back
+// decisions with each arrival, and delayed look-ahead confirmations emitted
+// as durability windows close.
+//
+// Appends are serialized against queries with a RW lock: any number of
+// concurrent queries, one writer.
+type LiveEngine struct {
+	opts Options
+	mu   sync.RWMutex
+
+	forest *topk.Forest
+	mon    *monitor.Monitor
+
+	// engMu guards the memoized per-prefix engine; a query at an unchanged
+	// length reuses it (keeping lazily built reversed views and skyband
+	// ladders warm between appends), and the first query after an append
+	// swaps in a fresh one.
+	engMu  sync.Mutex
+	eng    *Engine
+	engLen int
+}
+
+// NewLiveEngine returns an empty live engine for d-dimensional records.
+func NewLiveEngine(d int, opts Options, live LiveOptions) (*LiveEngine, error) {
+	if d < 1 {
+		return nil, errors.New("core: live engine needs dimensionality >= 1")
+	}
+	le := &LiveEngine{opts: opts, forest: topk.NewForest(d, opts.Index)}
+	le.forest.Dataset().Reserve(live.Capacity)
+	if live.MonitorK > 0 {
+		if live.MonitorScorer == nil {
+			return nil, errors.New("core: live monitor needs a scorer")
+		}
+		if live.MonitorScorer.Dims() != d {
+			return nil, fmt.Errorf("%w: monitor scorer wants %d, live dataset has %d",
+				ErrDims, live.MonitorScorer.Dims(), d)
+		}
+		mon, err := monitor.New(live.MonitorK, live.MonitorTau, live.MonitorScorer,
+			monitor.Options{TrackAhead: live.TrackAhead})
+		if err != nil {
+			return nil, err
+		}
+		le.mon = mon
+	}
+	return le, nil
+}
+
+// Len returns the number of records appended so far.
+func (le *LiveEngine) Len() int {
+	le.mu.RLock()
+	defer le.mu.RUnlock()
+	return le.forest.Len()
+}
+
+// Rebuilds returns the number of chunk-tree (re)builds performed by the
+// incremental index, and IndexedRows the total rows those builds touched;
+// IndexedRows/Len is the observed rebuild amortization constant.
+func (le *LiveEngine) Rebuilds() int {
+	le.mu.RLock()
+	defer le.mu.RUnlock()
+	return le.forest.Rebuilds()
+}
+
+// IndexedRows returns the total rows (re)indexed across chunk-tree builds.
+func (le *LiveEngine) IndexedRows() int {
+	le.mu.RLock()
+	defer le.mu.RUnlock()
+	return le.forest.IndexedRows()
+}
+
+// Monitored reports whether the online monitor is enabled.
+func (le *LiveEngine) Monitored() bool { return le.mon != nil }
+
+// Append commits one record: t must exceed the last appended time and attrs
+// must have exactly Dims values (copied). With the monitor enabled, the
+// returned Decision is the record's instant look-back durability verdict and
+// confirms holds the look-ahead confirmations of records whose forward
+// windows closed strictly before t; without it both are zero.
+func (le *LiveEngine) Append(t int64, attrs []float64) (dec monitor.Decision, confirms []monitor.Confirmation, err error) {
+	le.mu.Lock()
+	defer le.mu.Unlock()
+	if err = le.forest.Append(t, attrs); err != nil {
+		return dec, nil, err
+	}
+	if le.mon != nil {
+		// The forest accepted the record, so the monitor (same ordering
+		// rule, same dims) cannot reject it.
+		dec, confirms, err = le.mon.Observe(t, attrs)
+	}
+	return dec, confirms, err
+}
+
+// Finish force-confirms every pending look-ahead candidate of the monitor at
+// the current end of stream (see monitor.Monitor.Finish). Appends may
+// continue afterwards.
+func (le *LiveEngine) Finish() []monitor.Confirmation {
+	le.mu.Lock()
+	defer le.mu.Unlock()
+	if le.mon == nil {
+		return nil
+	}
+	return le.mon.Finish()
+}
+
+// Dataset returns a stable snapshot view of the records appended so far.
+func (le *LiveEngine) Dataset() *data.Dataset {
+	le.mu.RLock()
+	defer le.mu.RUnlock()
+	return le.forest.Dataset().Prefix(le.forest.Len())
+}
+
+// snapshotEngine returns the engine over the current n-record prefix,
+// memoized until the next append. The forward building block is the live
+// forest itself (no rebuild); auxiliary structures a strategy may need — the
+// reversed view for look-ahead windows, skyband ladders — are built lazily
+// by the engine exactly as in the batch path.
+//
+// Callers hold le.mu (read) for the whole evaluation, so the forest cannot
+// grow under the returned engine.
+func (le *LiveEngine) snapshotEngine(n int) *Engine {
+	le.engMu.Lock()
+	defer le.engMu.Unlock()
+	if le.eng != nil && le.engLen == n {
+		return le.eng
+	}
+	snap := le.forest.Dataset().Prefix(n)
+	opts := le.opts
+	inner := le.opts // what non-forward views (the reversed mirror) build with
+	opts.NewBlock = func(d *data.Dataset) Block {
+		if d == snap {
+			return le.forest
+		}
+		return buildBlock(d, inner)
+	}
+	le.eng = NewEngine(snap, opts)
+	le.engLen = n
+	return le.eng
+}
+
+// errEmptyLive rejects operations that need at least one record.
+var errEmptyLive = errors.New("core: live engine has no records yet")
+
+// DurableTopK answers DurTop(k, I, tau) over the records appended so far; the
+// answer is identical to Engine.DurableTopK over a batch engine built on the
+// same prefix. An empty live engine returns an empty result (after parameter
+// validation against the configured dimensionality).
+func (le *LiveEngine) DurableTopK(q Query) (*Result, error) {
+	le.mu.RLock()
+	defer le.mu.RUnlock()
+	n := le.forest.Len()
+	if n == 0 {
+		if err := q.validate(le.forest.Dataset().Dims()); err != nil {
+			return nil, err
+		}
+		return &Result{Stats: Stats{Algorithm: q.Algorithm}}, nil
+	}
+	return le.snapshotEngine(n).DurableTopK(q)
+}
+
+// TopK answers the plain range top-k query over the records appended so far.
+func (le *LiveEngine) TopK(s score.Scorer, k int, t1, t2 int64) []topk.Item {
+	le.mu.RLock()
+	defer le.mu.RUnlock()
+	return le.forest.Query(s, k, t1, t2)
+}
+
+// Explain returns the planner's assessment of q over the current prefix.
+func (le *LiveEngine) Explain(q Query) (planner.Plan, error) {
+	le.mu.RLock()
+	defer le.mu.RUnlock()
+	n := le.forest.Len()
+	if n == 0 {
+		return planner.Plan{}, errEmptyLive
+	}
+	return le.snapshotEngine(n).Explain(q)
+}
+
+// MostDurable reports the n records with the largest maximum durability over
+// the current prefix (see Engine.MostDurable).
+func (le *LiveEngine) MostDurable(k int, s score.Scorer, anchor Anchor, n int) ([]DurabilityRecord, error) {
+	le.mu.RLock()
+	defer le.mu.RUnlock()
+	if le.forest.Len() == 0 {
+		return nil, errEmptyLive
+	}
+	return le.snapshotEngine(le.forest.Len()).MostDurable(k, s, anchor, n)
+}
+
+// DurabilityProfile computes every record's maximum durability over the
+// current prefix (see Engine.DurabilityProfile).
+func (le *LiveEngine) DurabilityProfile(k int, s score.Scorer, anchor Anchor) ([]DurabilityRecord, error) {
+	le.mu.RLock()
+	defer le.mu.RUnlock()
+	if le.forest.Len() == 0 {
+		return nil, errEmptyLive
+	}
+	return le.snapshotEngine(le.forest.Len()).DurabilityProfile(k, s, anchor)
+}
+
+var _ Querier = (*LiveEngine)(nil)

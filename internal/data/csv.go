@@ -11,45 +11,67 @@ import (
 // The header row is required; records must appear in strictly increasing
 // time order.
 func ReadCSV(r io.Reader) (*Dataset, error) {
+	var b *Builder
+	err := StreamCSV(r, func(t int64, attrs []float64) error {
+		if b == nil {
+			b = NewBuilder(len(attrs), 0)
+		}
+		return b.Append(t, attrs)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, ErrEmpty
+	}
+	return b.Build()
+}
+
+// StreamCSV parses the ReadCSV format incrementally, invoking fn for every
+// record as soon as its line is read instead of materializing a Dataset. The
+// attrs slice passed to fn is reused between calls; fn copies what it keeps
+// (dataset and forest appends already do). A non-nil error from fn aborts the
+// stream and is returned wrapped with the line number. This is the ingestion
+// path of live serving (durgen | durserved -live): records become queryable
+// while the producer is still emitting.
+func StreamCSV(r io.Reader, fn func(t int64, attrs []float64) error) error {
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("data: reading CSV header: %w", err)
+		return fmt.Errorf("data: reading CSV header: %w", err)
 	}
 	if len(header) < 2 || header[0] != "time" {
-		return nil, fmt.Errorf("data: CSV header must be \"time,attr0,...\", got %q", header)
+		return fmt.Errorf("data: CSV header must be \"time,attr0,...\", got %q", header)
 	}
 	d := len(header) - 1
-	b := NewBuilder(d, 0)
 	attrs := make([]float64, d)
 	for line := 2; ; line++ {
 		row, err := cr.Read()
 		if err == io.EOF {
-			break
+			return nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("data: reading CSV line %d: %w", line, err)
+			return fmt.Errorf("data: reading CSV line %d: %w", line, err)
 		}
 		if len(row) != d+1 {
-			return nil, fmt.Errorf("data: CSV line %d has %d fields, want %d", line, len(row), d+1)
+			return fmt.Errorf("data: CSV line %d has %d fields, want %d", line, len(row), d+1)
 		}
 		t, err := strconv.ParseInt(row[0], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("data: CSV line %d time: %w", line, err)
+			return fmt.Errorf("data: CSV line %d time: %w", line, err)
 		}
 		for j := 0; j < d; j++ {
 			v, err := strconv.ParseFloat(row[j+1], 64)
 			if err != nil {
-				return nil, fmt.Errorf("data: CSV line %d attr %d: %w", line, j, err)
+				return fmt.Errorf("data: CSV line %d attr %d: %w", line, j, err)
 			}
 			attrs[j] = v
 		}
-		if err := b.Append(t, attrs); err != nil {
-			return nil, fmt.Errorf("data: CSV line %d: %w", line, err)
+		if err := fn(t, attrs); err != nil {
+			return fmt.Errorf("data: CSV line %d: %w", line, err)
 		}
 	}
-	return b.Build()
 }
 
 // WriteCSV writes the dataset in the format accepted by ReadCSV.

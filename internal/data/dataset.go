@@ -1,16 +1,21 @@
 // Package data provides the core temporal dataset abstraction shared by all
 // durable top-k algorithms and substrates.
 //
-// A Dataset is an immutable sequence of instant-stamped records ordered by
-// strictly increasing arrival time. Each record carries a d-dimensional
-// real-valued attribute vector; ranking is performed by a user-specified
-// scoring function over those attributes (see package score).
+// A Dataset is a sequence of instant-stamped records ordered by strictly
+// increasing arrival time. Each record carries a d-dimensional real-valued
+// attribute vector; ranking is performed by a user-specified scoring
+// function over those attributes (see package score). Batch-constructed
+// datasets are immutable; datasets created with NewAppendable grow through
+// AppendRow, and committed records never change either way: views, slices
+// and indexes built over a prefix stay valid as the tail grows.
 //
 // Attribute storage is columnar-friendly: every constructor materializes one
 // contiguous row-major backing array (record i occupies flat[i*d : (i+1)*d]),
 // so the scoring hot loops of packages topk and rmq can evaluate whole index
 // spans with a single bounds-checked slice and no per-record pointer chase
-// (see score.BulkScorer).
+// (see score.BulkScorer). Live appends preserve the contiguity: AppendRow
+// grows both columns together in amortized chunks, so FlatAttrs is one
+// row-major array at every point of a stream's life.
 //
 // Timestamps are int64 ticks at granularity 1: a window of length tau
 // anchored at time t covers the closed range [t-tau, t].
@@ -28,6 +33,7 @@ var (
 	ErrDimMismatch    = errors.New("data: all records must have the same dimensionality")
 	ErrNotIncreasing  = errors.New("data: arrival times must be strictly increasing")
 	ErrLengthMismatch = errors.New("data: times and attribute rows must have equal length")
+	ErrNotAppendable  = errors.New("data: dataset was not constructed with NewAppendable")
 )
 
 // Record is a lightweight view of one record of a Dataset. The Attrs slice
@@ -38,8 +44,10 @@ type Record struct {
 	Attrs []float64 // d attribute values
 }
 
-// Dataset is an immutable, time-ordered collection of instant-stamped
-// records. The zero value is not usable; construct with New or a Builder.
+// Dataset is an append-only, time-ordered collection of instant-stamped
+// records. The zero value is not usable; construct with New, a Builder, or
+// NewAppendable for a live dataset that starts empty and grows via AppendRow.
+// Committed records are immutable.
 type Dataset struct {
 	times []int64
 	// flat is the single row-major attribute backing array: record i's
@@ -47,6 +55,13 @@ type Dataset struct {
 	// every constructor.
 	flat []float64
 	dims int
+	// appendable marks datasets created by NewAppendable — the only ones
+	// whose backing arrays this package owns outright. AppendRow refuses to
+	// grow any other dataset: batch constructors retain caller slices
+	// (NewFlat is zero-copy) and views share a parent's arrays, so an
+	// in-capacity append there would scribble over memory the caller or
+	// parent still owns.
+	appendable bool
 }
 
 // New validates and wraps the given parallel slices into a Dataset. The
@@ -102,6 +117,90 @@ func NewFlat(times []int64, flat []float64, d int) (*Dataset, error) {
 	return &Dataset{times: times, flat: flat, dims: d}, nil
 }
 
+// NewAppendable returns an empty live dataset for d-dimensional records,
+// ready to grow one record at a time via AppendRow. The capacity hint
+// pre-sizes the columnar storage for that many records and may be zero.
+// Unlike batch-constructed datasets, an appendable dataset may be empty;
+// Span reports (0, 0) until the first record arrives.
+func NewAppendable(d, capacity int) (*Dataset, error) {
+	if d < 1 {
+		return nil, ErrDimMismatch
+	}
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Dataset{
+		times:      make([]int64, 0, capacity),
+		flat:       make([]float64, 0, capacity*d),
+		dims:       d,
+		appendable: true,
+	}, nil
+}
+
+// appendChunkRows floors the growth quantum of AppendRow: reallocation
+// happens at most once per chunk of appends (then doubles), keeping the
+// amortized per-append cost O(1) while the columns stay contiguous.
+const appendChunkRows = 256
+
+// AppendRow commits one record to the growing tail: t must exceed the last
+// committed time and attrs must have exactly Dims values (copied). Both
+// columns grow together in amortized chunks, so FlatAttrs remains a single
+// contiguous row-major array across appends. Only datasets created with
+// NewAppendable accept appends (ErrNotAppendable otherwise): batch
+// constructors and views alias storage this package does not own.
+//
+// Growth never disturbs readers of the committed prefix: Prefix and Slice
+// views, and any index holding the Times/FlatAttrs slices of a prefix, keep
+// observing exactly the records they covered — a reallocation copies the
+// committed rows to the new array and leaves the old one intact. AppendRow
+// itself is not safe for use concurrently with other Dataset calls; callers
+// that mix writers and readers serialize externally (see core.LiveEngine).
+func (ds *Dataset) AppendRow(t int64, attrs []float64) error {
+	if !ds.appendable {
+		return ErrNotAppendable
+	}
+	if len(attrs) != ds.dims {
+		return fmt.Errorf("%w: got %d attrs, want %d", ErrDimMismatch, len(attrs), ds.dims)
+	}
+	if n := len(ds.times); n > 0 && t <= ds.times[n-1] {
+		return fmt.Errorf("%w: appending t=%d after t=%d", ErrNotIncreasing, t, ds.times[n-1])
+	}
+	ds.grow(1)
+	ds.times = append(ds.times, t)
+	ds.flat = append(ds.flat, attrs...)
+	return nil
+}
+
+// grow reserves capacity for n more records, reallocating both columns in
+// lockstep. Chunked doubling keeps appends amortized O(1); copying (rather
+// than growing in place) is what lets prefix views outlive the reallocation.
+func (ds *Dataset) grow(n int) {
+	need := len(ds.times) + n
+	if need <= cap(ds.times) && need*ds.dims <= cap(ds.flat) {
+		return
+	}
+	newCap := cap(ds.times) * 2
+	if newCap < appendChunkRows {
+		newCap = appendChunkRows
+	}
+	for newCap < need {
+		newCap *= 2
+	}
+	times := make([]int64, len(ds.times), newCap)
+	copy(times, ds.times)
+	flat := make([]float64, len(ds.flat), newCap*ds.dims)
+	copy(flat, ds.flat)
+	ds.times, ds.flat = times, flat
+}
+
+// Reserve pre-grows the columnar storage to hold n more records without
+// further reallocation, for callers that know an ingest's size up front.
+func (ds *Dataset) Reserve(n int) {
+	if n > 0 {
+		ds.grow(n)
+	}
+}
+
 // MustNew is like New but panics on error. Intended for tests and generators
 // whose inputs are correct by construction.
 func MustNew(times []int64, attrs [][]float64) *Dataset {
@@ -143,8 +242,12 @@ func (ds *Dataset) Record(i int) Record {
 	return Record{ID: i, Time: ds.times[i], Attrs: ds.Attrs(i)}
 }
 
-// Span returns the arrival times of the first and last records.
+// Span returns the arrival times of the first and last records, or (0, 0)
+// for an empty (appendable, not yet fed) dataset.
 func (ds *Dataset) Span() (lo, hi int64) {
+	if len(ds.times) == 0 {
+		return 0, 0
+	}
 	return ds.times[0], ds.times[len(ds.times)-1]
 }
 
@@ -183,11 +286,14 @@ func (ds *Dataset) At(t int64) int {
 }
 
 // Prefix returns a dataset view over the first n records, sharing storage.
+// The view's capacity is clipped to its length, so appends through the parent
+// never become visible to (or writable through) the view.
 func (ds *Dataset) Prefix(n int) *Dataset {
 	if n <= 0 || n > ds.Len() {
 		n = ds.Len()
 	}
-	return &Dataset{times: ds.times[:n], flat: ds.flat[:n*ds.dims], dims: ds.dims}
+	d := ds.dims
+	return &Dataset{times: ds.times[:n:n], flat: ds.flat[: n*d : n*d], dims: d}
 }
 
 // Slice returns a zero-copy view over the records of the half-open index
@@ -206,7 +312,7 @@ func (ds *Dataset) Slice(lo, hi int) *Dataset {
 		return nil
 	}
 	d := ds.dims
-	return &Dataset{times: ds.times[lo:hi], flat: ds.flat[lo*d : hi*d], dims: d}
+	return &Dataset{times: ds.times[lo:hi:hi], flat: ds.flat[lo*d : hi*d : hi*d], dims: d}
 }
 
 // SliceTime returns the zero-copy view (see Slice) over the records whose

@@ -408,3 +408,160 @@ func TestSliceTime(t *testing.T) {
 		}
 	}
 }
+
+func TestAppendable(t *testing.T) {
+	if _, err := NewAppendable(0, 4); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+	ds, err := NewAppendable(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 0 || ds.Dims() != 2 {
+		t.Fatalf("fresh appendable: len=%d dims=%d", ds.Len(), ds.Dims())
+	}
+	if lo, hi := ds.Span(); lo != 0 || hi != 0 {
+		t.Fatalf("empty Span = (%d, %d), want (0, 0)", lo, hi)
+	}
+	if err := ds.AppendRow(1, []float64{1}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	// Only NewAppendable datasets own their storage outright; batch
+	// constructors (zero-copy NewFlat especially) and views must refuse.
+	batch := MustNew([]int64{1, 2}, [][]float64{{1, 2}, {3, 4}})
+	if err := batch.AppendRow(3, []float64{5, 6}); !errors.Is(err, ErrNotAppendable) {
+		t.Fatalf("batch dataset append: %v, want ErrNotAppendable", err)
+	}
+	if err := ds.Prefix(0).AppendRow(99, []float64{1, 2}); !errors.Is(err, ErrNotAppendable) {
+		t.Fatal("view append accepted")
+	}
+	// Cross several chunk growth boundaries and verify contiguity plus
+	// content at every step.
+	n := 3*appendChunkRows + 17
+	for i := 0; i < n; i++ {
+		if err := ds.AppendRow(int64(i+1), []float64{float64(i), float64(-i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ds.AppendRow(int64(n), []float64{0, 0}); err == nil {
+		t.Fatal("non-increasing time accepted")
+	}
+	if ds.Len() != n {
+		t.Fatalf("Len=%d want %d", ds.Len(), n)
+	}
+	flat := ds.FlatAttrs()
+	if len(flat) != n*2 {
+		t.Fatalf("flat length %d want %d", len(flat), n*2)
+	}
+	for i := 0; i < n; i++ {
+		if ds.Time(i) != int64(i+1) || flat[i*2] != float64(i) || flat[i*2+1] != float64(-i) {
+			t.Fatalf("record %d corrupted after growth: t=%d attrs=(%g,%g)",
+				i, ds.Time(i), flat[i*2], flat[i*2+1])
+		}
+	}
+}
+
+func TestAppendRowCopiesAttrs(t *testing.T) {
+	ds, err := NewAppendable(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := []float64{7}
+	if err := ds.AppendRow(1, row); err != nil {
+		t.Fatal(err)
+	}
+	row[0] = 9
+	if ds.Attrs(0)[0] != 7 {
+		t.Fatal("AppendRow must copy attrs")
+	}
+}
+
+// TestAppendPreservesViews is the aliasing contract live indexes depend on:
+// prefix and slice views taken before appends keep observing exactly their
+// records, whether the tail growth reallocates or writes into spare capacity.
+func TestAppendPreservesViews(t *testing.T) {
+	ds, err := NewAppendable(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := ds.AppendRow(int64(i+1), []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pre := ds.Prefix(10)
+	sl := ds.Slice(3, 7)
+	// In-capacity appends (chunk already allocated) and reallocating
+	// appends (past several doublings) both happen below.
+	for i := 10; i < 5*appendChunkRows; i++ {
+		if err := ds.AppendRow(int64(i+1), []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pre.Len() != 10 || sl.Len() != 4 {
+		t.Fatalf("views resized: prefix=%d slice=%d", pre.Len(), sl.Len())
+	}
+	for i := 0; i < 10; i++ {
+		if pre.Attrs(i)[0] != float64(i) {
+			t.Fatalf("prefix record %d corrupted", i)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if sl.Attrs(i)[0] != float64(i+3) {
+			t.Fatalf("slice record %d corrupted", i)
+		}
+	}
+	// Reserve is a pure capacity hint: length and content unchanged.
+	before := ds.Len()
+	ds.Reserve(10_000)
+	if ds.Len() != before || ds.Time(0) != 1 {
+		t.Fatal("Reserve changed observable state")
+	}
+	if err := ds.AppendRow(int64(before+1), []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamCSV(t *testing.T) {
+	var buf bytes.Buffer
+	orig := MustNew([]int64{1, 3, 9}, [][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := NewAppendable(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows int
+	if err := StreamCSV(&buf, func(tm int64, attrs []float64) error {
+		rows++
+		return ds.AppendRow(tm, attrs)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 3 || ds.Len() != 3 {
+		t.Fatalf("streamed %d rows, dataset %d", rows, ds.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if ds.Time(i) != orig.Time(i) || ds.Attrs(i)[0] != orig.Attrs(i)[0] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+
+	// Callback errors abort the stream and surface verbatim.
+	buf.Reset()
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("stop here")
+	if err := StreamCSV(&buf, func(int64, []float64) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("callback error lost: %v", err)
+	}
+	// Malformed input surfaces as a parse error.
+	if err := StreamCSV(strings.NewReader("time,attr0\nnope,1\n"), func(int64, []float64) error { return nil }); err == nil {
+		t.Fatal("malformed time accepted")
+	}
+	if err := StreamCSV(strings.NewReader("wrong,header\n"), func(int64, []float64) error { return nil }); err == nil {
+		t.Fatal("bad header accepted")
+	}
+}

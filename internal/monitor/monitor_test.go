@@ -1,4 +1,6 @@
-package monitor
+// Package monitor_test verifies the monitor from outside (it cross-checks
+// against package core, which itself imports monitor for the live engine).
+package monitor_test
 
 import (
 	"math/rand"
@@ -9,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/monitor"
 	"repro/internal/score"
 )
 
@@ -26,9 +29,9 @@ func stream(rng *rand.Rand, n, spread int) ([]int64, [][]float64) {
 	return times, attrs
 }
 
-func mustMonitor(t testing.TB, k int, tau int64, opts Options) *Monitor {
+func mustMonitor(t testing.TB, k int, tau int64, opts monitor.Options) *monitor.Monitor {
 	t.Helper()
-	m, err := New(k, tau, score.MustLinear(1), opts)
+	m, err := monitor.New(k, tau, score.MustLinear(1), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +50,7 @@ func TestLookBackMatchesOracle(t *testing.T) {
 		}
 		for _, k := range []int{1, 3} {
 			const tau = 37
-			m := mustMonitor(t, k, tau, Options{})
+			m := mustMonitor(t, k, tau, monitor.Options{})
 			var live []int
 			for i := range times {
 				dec, confirms, err := m.Observe(times[i], attrs[i])
@@ -88,8 +91,8 @@ func TestLookAheadMatchesOracle(t *testing.T) {
 			t.Fatal(err)
 		}
 		const k, tau = 2, 41
-		m := mustMonitor(t, k, tau, Options{TrackAhead: true})
-		var confirmed []Confirmation
+		m := mustMonitor(t, k, tau, monitor.Options{TrackAhead: true})
+		var confirmed []monitor.Confirmation
 		for i := range times {
 			_, confirms, err := m.Observe(times[i], attrs[i])
 			if err != nil {
@@ -136,7 +139,7 @@ func TestQuickStreamAgainstOracle(t *testing.T) {
 		}
 		k := 1 + int(kRaw)%5
 		tau := int64(tauRaw)%80 + 1
-		m, err := New(k, tau, score.MustLinear(1), Options{TrackAhead: true})
+		m, err := monitor.New(k, tau, score.MustLinear(1), monitor.Options{TrackAhead: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -174,7 +177,7 @@ func TestQuickStreamAgainstOracle(t *testing.T) {
 }
 
 func TestTopKTracksWindow(t *testing.T) {
-	m := mustMonitor(t, 2, 10, Options{})
+	m := mustMonitor(t, 2, 10, monitor.Options{})
 	feed := []struct {
 		t int64
 		v float64
@@ -194,7 +197,7 @@ func TestTopKTracksWindow(t *testing.T) {
 }
 
 func TestTopKOrdering(t *testing.T) {
-	m := mustMonitor(t, 3, 100, Options{})
+	m := mustMonitor(t, 3, 100, monitor.Options{})
 	vals := []float64{4, 8, 6, 8, 2}
 	for i, v := range vals {
 		if _, _, err := m.Observe(int64(i+1), []float64{v}); err != nil {
@@ -208,16 +211,16 @@ func TestTopKOrdering(t *testing.T) {
 }
 
 func TestValidation(t *testing.T) {
-	if _, err := New(0, 1, score.MustLinear(1), Options{}); err == nil {
+	if _, err := monitor.New(0, 1, score.MustLinear(1), monitor.Options{}); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := New(1, -1, score.MustLinear(1), Options{}); err == nil {
+	if _, err := monitor.New(1, -1, score.MustLinear(1), monitor.Options{}); err == nil {
 		t.Error("negative tau accepted")
 	}
-	if _, err := New(1, 1, nil, Options{}); err == nil {
+	if _, err := monitor.New(1, 1, nil, monitor.Options{}); err == nil {
 		t.Error("nil scorer accepted")
 	}
-	m := mustMonitor(t, 1, 5, Options{})
+	m := mustMonitor(t, 1, 5, monitor.Options{})
 	if _, _, err := m.Observe(3, []float64{1}); err != nil {
 		t.Fatal(err)
 	}
@@ -230,9 +233,9 @@ func TestValidation(t *testing.T) {
 }
 
 func TestTauZero(t *testing.T) {
-	m := mustMonitor(t, 1, 0, Options{TrackAhead: true})
+	m := mustMonitor(t, 1, 0, monitor.Options{TrackAhead: true})
 	var durable int
-	var confirms []Confirmation
+	var confirms []monitor.Confirmation
 	for i := 1; i <= 5; i++ {
 		dec, cs, err := m.Observe(int64(i), []float64{float64(i % 2)})
 		if err != nil {
@@ -256,7 +259,7 @@ func TestTauZero(t *testing.T) {
 }
 
 func TestTiesDoNotBeat(t *testing.T) {
-	m := mustMonitor(t, 1, 100, Options{TrackAhead: true})
+	m := mustMonitor(t, 1, 100, monitor.Options{TrackAhead: true})
 	for i := 1; i <= 4; i++ {
 		dec, _, err := m.Observe(int64(i), []float64{42}) // all equal
 		if err != nil {
@@ -274,7 +277,7 @@ func TestTiesDoNotBeat(t *testing.T) {
 }
 
 func TestFinishThenContinue(t *testing.T) {
-	m := mustMonitor(t, 1, 3, Options{TrackAhead: true})
+	m := mustMonitor(t, 1, 3, monitor.Options{TrackAhead: true})
 	if _, _, err := m.Observe(1, []float64{5}); err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +297,7 @@ func TestFinishThenContinue(t *testing.T) {
 }
 
 func TestAccessors(t *testing.T) {
-	m := mustMonitor(t, 3, 17, Options{TrackAhead: true})
+	m := mustMonitor(t, 3, 17, monitor.Options{TrackAhead: true})
 	if m.K() != 3 || m.Tau() != 17 || m.Len() != 0 || m.Pending() != 0 {
 		t.Fatalf("fresh monitor accessors wrong: k=%d tau=%d len=%d pending=%d",
 			m.K(), m.Tau(), m.Len(), m.Pending())
@@ -307,45 +310,9 @@ func TestAccessors(t *testing.T) {
 	}
 }
 
-// TestTreapRemoveMissing covers the defensive branch.
-func TestTreapRemoveMissing(t *testing.T) {
-	var tr treap
-	tr.insert(streamKey{score: 1, seq: 1})
-	if _, ok := tr.remove(streamKey{score: 2, seq: 2}); ok {
-		t.Fatal("removed a missing key")
-	}
-	if v, ok := tr.remove(streamKey{score: 1, seq: 1}); !ok || v != 0 {
-		t.Fatalf("remove = %d, %v", v, ok)
-	}
-	if tr.len() != 0 {
-		t.Fatal("treap not empty")
-	}
-}
-
-// TestTreapLazyCounters exercises addBelowScore + remove accounting
-// directly.
-func TestTreapLazyCounters(t *testing.T) {
-	var tr treap
-	keys := []streamKey{{1, 0}, {3, 1}, {5, 2}, {3, 3}}
-	for _, k := range keys {
-		tr.insert(k)
-	}
-	tr.addBelowScore(4, 1)  // hits scores 1, 3, 3
-	tr.addBelowScore(3, 1)  // hits score 1 only (strictly below)
-	tr.addBelowScore(10, 1) // hits everything
-	wants := map[streamKey]int{
-		{1, 0}: 3, {3, 1}: 2, {5, 2}: 1, {3, 3}: 2,
-	}
-	for k, want := range wants {
-		if got, ok := tr.remove(k); !ok || got != want {
-			t.Errorf("counter of %v = %d (%v), want %d", k, got, ok, want)
-		}
-	}
-}
-
 func BenchmarkObserve(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
-	m, err := New(10, 1024, score.MustLinear(1), Options{TrackAhead: true})
+	m, err := monitor.New(10, 1024, score.MustLinear(1), monitor.Options{TrackAhead: true})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,0 +1,39 @@
+package monitor
+
+import "testing"
+
+// TestTreapRemoveMissing covers the defensive branch.
+func TestTreapRemoveMissing(t *testing.T) {
+	var tr treap
+	tr.insert(streamKey{score: 1, seq: 1})
+	if _, ok := tr.remove(streamKey{score: 2, seq: 2}); ok {
+		t.Fatal("removed a missing key")
+	}
+	if v, ok := tr.remove(streamKey{score: 1, seq: 1}); !ok || v != 0 {
+		t.Fatalf("remove = %d, %v", v, ok)
+	}
+	if tr.len() != 0 {
+		t.Fatal("treap not empty")
+	}
+}
+
+// TestTreapLazyCounters exercises addBelowScore + remove accounting
+// directly.
+func TestTreapLazyCounters(t *testing.T) {
+	var tr treap
+	keys := []streamKey{{1, 0}, {3, 1}, {5, 2}, {3, 3}}
+	for _, k := range keys {
+		tr.insert(k)
+	}
+	tr.addBelowScore(4, 1)  // hits scores 1, 3, 3
+	tr.addBelowScore(3, 1)  // hits score 1 only (strictly below)
+	tr.addBelowScore(10, 1) // hits everything
+	wants := map[streamKey]int{
+		{1, 0}: 3, {3, 1}: 2, {5, 2}: 1, {3, 3}: 2,
+	}
+	for k, want := range wants {
+		if got, ok := tr.remove(k); !ok || got != want {
+			t.Errorf("counter of %v = %d (%v), want %d", k, got, ok, want)
+		}
+	}
+}

@@ -15,17 +15,30 @@ import (
 // block (§II). Records must arrive in strictly increasing time order, the
 // natural regime for instant-stamped temporal data.
 //
-// Not safe for concurrent use.
+// Storage is the appendable columnar tail of data.Dataset: every append goes
+// through Dataset.AppendRow, so the attribute matrix stays one contiguous
+// row-major array and each chunk tree is built over a zero-copy Slice view of
+// it — tree probes run the same pooled-Scratch bulk-scoring path as a
+// statically built Index. Forest implements the engine's Block and
+// ScratchBlock contracts (ids address append order), so it can serve as the
+// building block of a live engine directly.
+//
+// Appends are not safe for concurrent use; queries are read-only and may run
+// concurrently with each other (not with Append).
 type Forest struct {
-	opts  Options
-	base  int
-	dims  int
-	times []int64
-	flat  []float64
+	opts Options
+	base int
+	// tail is the growing columnar storage; chunk trees index zero-copy
+	// prefix slices of it.
+	tail  *data.Dataset
 	trees []chunkTree
-	// buffered records are those in [bufStart, len(times)).
+	// buffered records are those in [bufStart, tail.Len()).
 	bufStart int
 	rebuilds int
+	// indexedRows counts every row (re)indexed by tree builds, the
+	// amortization metric: indexedRows/Len is the average number of times a
+	// record has been touched by a rebuild (O(log n) by the analysis).
+	indexedRows int
 }
 
 type chunkTree struct {
@@ -36,38 +49,58 @@ type chunkTree struct {
 // NewForest returns an empty forest for d-dimensional records.
 func NewForest(d int, opts Options) *Forest {
 	opts = opts.withDefaults()
-	return &Forest{opts: opts, base: opts.LengthThreshold, dims: d}
+	tail, err := data.NewAppendable(d, 0)
+	if err != nil {
+		panic(err) // unreachable: d >= 1 is checked by callers' constructors
+	}
+	return &Forest{opts: opts, base: opts.LengthThreshold, tail: tail}
 }
 
 // Len returns the number of appended records.
-func (f *Forest) Len() int { return len(f.times) }
+func (f *Forest) Len() int { return f.tail.Len() }
 
 // Time returns the arrival time of record i.
-func (f *Forest) Time(i int) int64 { return f.times[i] }
+func (f *Forest) Time(i int) int64 { return f.tail.Time(i) }
 
 // Attrs returns the attribute vector of record i (aliases internal storage).
-func (f *Forest) Attrs(i int) []float64 {
-	return f.flat[i*f.dims : (i+1)*f.dims]
-}
+func (f *Forest) Attrs(i int) []float64 { return f.tail.Attrs(i) }
+
+// Dataset returns the forest's growing backing storage. The committed prefix
+// is immutable; use Prefix to snapshot a stable view.
+func (f *Forest) Dataset() *data.Dataset { return f.tail }
 
 // Rebuilds returns the number of static tree (re)builds performed, an
 // ablation metric for the amortized analysis.
 func (f *Forest) Rebuilds() int { return f.rebuilds }
 
+// IndexedRows returns the total number of rows (re)indexed across all tree
+// builds; divided by Len it is the average rebuild work per appended record
+// (the amortization constant the logarithmic method bounds by O(log n)).
+func (f *Forest) IndexedRows() int { return f.indexedRows }
+
 // Trees returns the current number of static trees in the forest.
 func (f *Forest) Trees() int { return len(f.trees) }
 
-// Append adds one record; attrs is copied.
+// buffered returns the number of records still awaiting their first tree.
+func (f *Forest) buffered() int { return f.tail.Len() - f.bufStart }
+
+// treeSizes lists the chunk-tree sizes in position order (test hook for the
+// binary-counter shape invariant).
+func (f *Forest) treeSizes() []int {
+	sizes := make([]int, len(f.trees))
+	for i, ct := range f.trees {
+		sizes[i] = ct.size
+	}
+	return sizes
+}
+
+// Append adds one record; attrs is copied. Errors (dimension mismatch,
+// non-increasing time) leave the forest unchanged.
 func (f *Forest) Append(t int64, attrs []float64) error {
-	if len(attrs) != f.dims {
-		return fmt.Errorf("topk: append got %d attrs, want %d", len(attrs), f.dims)
+	if err := f.tail.AppendRow(t, attrs); err != nil {
+		return fmt.Errorf("topk: %w", err)
 	}
-	if n := len(f.times); n > 0 && t <= f.times[n-1] {
-		return fmt.Errorf("topk: append t=%d not after t=%d", t, f.times[len(f.times)-1])
-	}
-	f.times = append(f.times, t)
-	f.flat = append(f.flat, attrs...)
-	if len(f.times)-f.bufStart >= f.base {
+	if f.tail.Len()-f.bufStart >= f.base {
 		f.flush()
 	}
 	return nil
@@ -75,8 +108,8 @@ func (f *Forest) Append(t int64, attrs []float64) error {
 
 // flush turns the buffer into a tree and cascades equal-size merges.
 func (f *Forest) flush() {
-	start, size := f.bufStart, len(f.times)-f.bufStart
-	f.bufStart = len(f.times)
+	start, size := f.bufStart, f.tail.Len()-f.bufStart
+	f.bufStart = f.tail.Len()
 	for len(f.trees) > 0 && f.trees[len(f.trees)-1].size == size {
 		prev := f.trees[len(f.trees)-1]
 		f.trees = f.trees[:len(f.trees)-1]
@@ -84,17 +117,13 @@ func (f *Forest) flush() {
 	}
 	f.trees = append(f.trees, chunkTree{start: start, size: size, idx: f.buildTree(start, size)})
 	f.rebuilds++
+	f.indexedRows += size
 }
 
 func (f *Forest) buildTree(start, size int) *Index {
-	d := f.dims
-	ds, err := data.NewFlat(
-		f.times[start:start+size:start+size],
-		f.flat[start*d:(start+size)*d:(start+size)*d],
-		d,
-	)
-	if err != nil {
-		panic(err) // unreachable: forest appends maintain the invariants
+	ds := f.tail.Slice(start, start+size)
+	if ds == nil {
+		panic("topk: empty chunk tree") // unreachable: flush only runs on full buffers
 	}
 	return Build(ds, f.opts)
 }
@@ -103,20 +132,81 @@ func (f *Forest) buildTree(start, size int) *Index {
 // among records with arrival time in [t1, t2], with IDs referring to append
 // order.
 func (f *Forest) Query(s score.Scorer, k int, t1, t2 int64) []Item {
-	if k <= 0 || t1 > t2 {
-		return nil
+	sc := GetScratch()
+	out := f.QueryInto(s, k, t1, t2, sc, nil)
+	PutScratch(sc)
+	return out
+}
+
+// QueryRange is Query over the half-open append-order index range [lo, hi).
+func (f *Forest) QueryRange(s score.Scorer, k int, lo, hi int) []Item {
+	sc := GetScratch()
+	out := f.QueryRangeInto(s, k, lo, hi, sc, nil)
+	PutScratch(sc)
+	return out
+}
+
+// QueryInto is Query with caller-provided working memory; see
+// Index.QueryInto for the Scratch/dst contract.
+func (f *Forest) QueryInto(s score.Scorer, k int, t1, t2 int64, sc *Scratch, dst []Item) []Item {
+	lo, hi := f.tail.IndexRange(t1, t2)
+	return f.QueryRangeInto(s, k, lo, hi, sc, dst)
+}
+
+// QueryRangeInto is QueryRange with caller-provided working memory: each
+// overlapping chunk tree is probed through its own scratch-backed bulk-scoring
+// path, the still-buffered tail is bulk-scored directly, and the per-tree
+// results merge in a k-heap living in sc. With a warmed Scratch and a reused
+// dst the whole fan-out performs zero allocations — the steady-state live
+// query path.
+func (f *Forest) QueryRangeInto(s score.Scorer, k int, lo, hi int, sc *Scratch, dst []Item) []Item {
+	n := f.tail.Len()
+	if hi > n {
+		hi = n
 	}
-	res := newKHeap(k, f.Len())
+	if lo < 0 {
+		lo = 0
+	}
+	if k <= 0 || lo >= hi {
+		return dst[:0]
+	}
+	res := kHeap{k: k, items: sc.fheap[:0]}
 	for _, ct := range f.trees {
-		for _, it := range ct.idx.Query(s, k, t1, t2) {
+		clo, chi := ct.start, ct.start+ct.size
+		if clo < lo {
+			clo = lo
+		}
+		if chi > hi {
+			chi = hi
+		}
+		if clo >= chi {
+			continue
+		}
+		items := ct.idx.QueryRangeInto(s, k, clo-ct.start, chi-ct.start, sc, sc.fbuf[:0])
+		for _, it := range items {
 			it.ID += int32(ct.start)
 			res.offer(it)
 		}
+		sc.fbuf = items[:0]
 	}
-	for i := f.bufStart; i < len(f.times); i++ {
-		if f.times[i] >= t1 && f.times[i] <= t2 {
-			res.offer(Item{ID: int32(i), Time: f.times[i], Score: s.Score(f.Attrs(i))})
+	// Bulk-score the clipped still-buffered suffix in one stripe.
+	if blo, bhi := max(f.bufStart, lo), hi; blo < bhi {
+		times := f.tail.Times()
+		flat := f.tail.FlatAttrs()
+		d := f.tail.Dims()
+		buf := sc.scoreBuf(bhi - blo)
+		if bulk, ok := s.(score.BulkScorer); ok {
+			bulk.ScoreRange(buf, flat, d, blo, bhi)
+		} else {
+			for i := blo; i < bhi; i++ {
+				buf[i-blo] = s.Score(flat[i*d : (i+1)*d : (i+1)*d])
+			}
+		}
+		for i := blo; i < bhi; i++ {
+			res.offer(Item{ID: int32(i), Time: times[i], Score: buf[i-blo]})
 		}
 	}
-	return res.sortedDesc()
+	out := append(dst[:0], res.sortedDesc()...)
+	sc.fheap = res.items[:0]
+	return out
 }

@@ -99,6 +99,136 @@ func TestForestAttrsCopied(t *testing.T) {
 	}
 }
 
+// TestForestRangeMatchesStatic checks the append-order QueryRange surface
+// (the live engine's building-block contract) against a static index over the
+// same records, including ranges that straddle tree boundaries and the
+// pending buffer.
+func TestForestRangeMatchesStatic(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(900)
+		d := 1 + rng.Intn(3)
+		ds := randDS(rng, n, d, 4*(trial%2))
+		opts := Options{LengthThreshold: 16, MaxNodeSkyline: 16}
+		idx := Build(ds, opts)
+		f := NewForest(d, opts)
+		for i := 0; i < n; i++ {
+			if err := f.Append(ds.Time(i), ds.Attrs(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s := linearFor(rng, d)
+		sc := GetScratch()
+		var dst []Item
+		for q := 0; q < 25; q++ {
+			k := 1 + rng.Intn(6)
+			lo := rng.Intn(n + 1)
+			hi := lo + rng.Intn(n-lo+1)
+			dst = f.QueryRangeInto(s, k, lo, hi, sc, dst)
+			want := idx.QueryRange(s, k, lo, hi)
+			if !itemsEqual(dst, want) {
+				t.Fatalf("trial %d n=%d k=%d [%d,%d):\nforest %v\nstatic %v",
+					trial, n, k, lo, hi, dst, want)
+			}
+		}
+		PutScratch(sc)
+	}
+}
+
+// TestForestRebuildInvariants drives interleaved Append/Query traffic and
+// checks the logarithmic method's structural invariants at every step: trees
+// partition the committed prefix in ascending disjoint runs of strictly
+// decreasing size, the buffer holds the remainder, queries never trigger
+// rebuilds, and the amortized rebuild work stays within the O(log n) bound.
+func TestForestRebuildInvariants(t *testing.T) {
+	const base = 8
+	f := NewForest(1, Options{LengthThreshold: base})
+	s := score.MustLinear(1)
+	total := base*21 + 3
+	for i := 0; i < total; i++ {
+		if err := f.Append(int64(i+1), []float64{float64(i % 7)}); err != nil {
+			t.Fatal(err)
+		}
+		if i%13 == 0 {
+			before := f.Rebuilds()
+			_ = f.Query(s, 3, 1, int64(i+1))
+			if f.Rebuilds() != before {
+				t.Fatalf("query performed a rebuild at n=%d", i+1)
+			}
+		}
+		if f.buffered() >= base {
+			t.Fatalf("n=%d: %d records buffered, flush threshold is %d",
+				f.Len(), f.buffered(), base)
+		}
+	}
+	// Amortization: every record is (re)indexed at most ~log2(n/base)+1
+	// times on this adversarially regular stream.
+	n := f.Len()
+	bound := 1
+	for chunk := base; chunk < n; chunk *= 2 {
+		bound++
+	}
+	if got := float64(f.IndexedRows()) / float64(n); got > float64(bound) {
+		t.Fatalf("amortized rebuild work %.2f rows/append exceeds log bound %d", got, bound)
+	}
+	if f.Rebuilds() < total/base {
+		t.Fatalf("Rebuilds=%d want >= %d (one per full chunk)", f.Rebuilds(), total/base)
+	}
+	// Tree sizes strictly decrease left to right (binary-counter shape).
+	sizes := f.treeSizes()
+	sum := 0
+	for i, sz := range sizes {
+		sum += sz
+		if i > 0 && sizes[i-1] <= sz {
+			t.Fatalf("tree sizes not strictly decreasing: %v", sizes)
+		}
+		if sz%base != 0 {
+			t.Fatalf("tree size %d not a multiple of the chunk base %d", sz, base)
+		}
+	}
+	if sum+f.buffered() != f.Len() {
+		t.Fatalf("trees cover %d + buffer %d != Len %d", sum, f.buffered(), f.Len())
+	}
+}
+
+// TestForestQueryZeroAllocs asserts the steady-state live probe criterion:
+// with a warmed Scratch and reused dst, a forest fan-out probe — trees plus
+// pending buffer — performs zero allocations.
+func TestForestQueryZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	// 67 full chunks (1000011b => trees of 64, 2 and 1 chunks) plus a
+	// 17-record pending buffer: the fan-out hits every merge shape.
+	const n = 67*DefaultLengthThreshold + 17
+	f := NewForest(2, Options{})
+	tt := int64(0)
+	for i := 0; i < n; i++ {
+		tt += int64(1 + rng.Intn(3))
+		if err := f.Append(tt, []float64{rng.Float64() * 100, rng.Float64() * 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Trees() < 2 || f.buffered() == 0 {
+		t.Fatalf("want a multi-tree forest with a pending buffer, got %d trees %d buffered",
+			f.Trees(), f.buffered())
+	}
+	s := score.MustLinear(0.3, 0.7)
+	sc := GetScratch()
+	defer PutScratch(sc)
+	var dst []Item
+	for i := 0; i < 10; i++ { // warm the buffers
+		dst = f.QueryRangeInto(s, 10, i*128, n-i, sc, dst)
+	}
+	probes := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		lo := (probes * 37) % (n / 2)
+		dst = f.QueryRangeInto(s, 10, lo, lo+n/2, sc, dst)
+		probes++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state forest probe allocates %.1f times, want 0", allocs)
+	}
+}
+
 func BenchmarkForestAppend(b *testing.B) {
 	f := NewForest(2, Options{})
 	rng := rand.New(rand.NewSource(1))

@@ -15,6 +15,12 @@ type Scratch struct {
 	heap   []Item    // k-heap item storage
 	pq     []pqEntry // frontier priority-queue storage
 	scores []float64 // bulk leaf-scan score buffer
+
+	// Forest probes fan one query out over several per-chunk trees; they
+	// need storage disjoint from the per-tree probe's heap/pq above so the
+	// merged result survives the inner probes. See Forest.QueryRangeInto.
+	fheap []Item // forest merge k-heap storage
+	fbuf  []Item // forest per-tree probe result buffer
 }
 
 var scratchPool = sync.Pool{New: func() interface{} { return new(Scratch) }}

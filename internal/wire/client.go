@@ -105,6 +105,22 @@ func (c *Client) Explain(req Request) (string, error) {
 	return resp.Plan, nil
 }
 
+// Append ingests rows into the named live dataset, in order. It returns the
+// full append response: the committed row count and — on monitored live
+// datasets — the instant decisions and window-close confirmations. A partial
+// failure (some rows committed, then one rejected) is reported as an error
+// with the response still carrying the committed count.
+func (c *Client) Append(dataset string, rows []IngestRow) (*Response, error) {
+	resp, err := c.Do(Request{Op: OpAppend, Dataset: dataset, Rows: rows})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("wire: server: %s", resp.Error)
+	}
+	return resp, nil
+}
+
 // MostDurable returns the req.N records with the largest maximum
 // durability for req.K under the request's scorer and anchor, best first
 // (MaxDuration carries each record's duration).

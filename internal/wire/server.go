@@ -8,6 +8,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/data"
@@ -33,6 +34,17 @@ type Server struct {
 type served struct {
 	eng   core.Querier
 	attrs []string
+	// live is non-nil for datasets registered with AddLive; it is the same
+	// engine as eng, retyped for the ingestion surface.
+	live *core.LiveEngine
+	// ingesting marks a live dataset currently fed by a server-side stream
+	// (durserved -ingest); wire appends are rejected while it is set, since
+	// an external producer interleaving its own (later) timestamps would
+	// make the stream's next record non-increasing and kill the feed. The
+	// lockout is advisory against appends already in flight when the flag
+	// flips (checked before each row, not atomically with it); set it
+	// before serving connections for a hard guarantee.
+	ingesting atomic.Bool
 }
 
 // NewServer returns an empty server. logf (nil = log.Printf) receives
@@ -71,7 +83,34 @@ func (s *Server) AddQuerier(name string, eng core.Querier, attrs []string) error
 	return s.add(name, eng.Dataset(), attrs, func() core.Querier { return eng })
 }
 
+// AddLive registers an empty live dataset of the given dimensionality under
+// name and returns its engine. The dataset grows through append requests on
+// the wire (OpAppend) or direct LiveEngine.Append calls by the embedder;
+// queries serve whatever has been ingested so far, exactly as a batch engine
+// over the same records would answer them.
+func (s *Server) AddLive(name string, dims int, attrs []string, opts core.Options, live core.LiveOptions) (*core.LiveEngine, error) {
+	le, err := core.NewLiveEngine(dims, opts, live)
+	if err != nil {
+		return nil, err
+	}
+	// The entry is inserted fully initialized (live set before publication),
+	// so a concurrent append can never observe a registered-but-not-live
+	// window.
+	if err := s.addEntry(name, le.Dataset(), attrs, func() *served {
+		return &served{eng: le, attrs: attrs, live: le}
+	}); err != nil {
+		return nil, err
+	}
+	return le, nil
+}
+
 func (s *Server) add(name string, ds *data.Dataset, attrs []string, build func() core.Querier) error {
+	return s.addEntry(name, ds, attrs, func() *served {
+		return &served{eng: build(), attrs: attrs}
+	})
+}
+
+func (s *Server) addEntry(name string, ds *data.Dataset, attrs []string, build func() *served) error {
 	if name == "" {
 		return errors.New("wire: dataset name must not be empty")
 	}
@@ -92,13 +131,13 @@ func (s *Server) add(name string, ds *data.Dataset, attrs []string, build func()
 	if dup {
 		return fmt.Errorf("wire: dataset %q already registered", name)
 	}
-	eng := build()
+	sv := build()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.sets[name]; dup {
 		return fmt.Errorf("wire: dataset %q already registered", name)
 	}
-	s.sets[name] = &served{eng: eng, attrs: attrs}
+	s.sets[name] = sv
 	return nil
 }
 
@@ -183,6 +222,8 @@ func (s *Server) handle(req *Request) *Response {
 		return s.handleExplain(req)
 	case OpMostDurable:
 		return s.handleMostDurable(req)
+	case OpAppend:
+		return s.handleAppend(req)
 	default:
 		return errResponse(fmt.Errorf("wire: unknown op %q", req.Op))
 	}
@@ -203,7 +244,7 @@ func (s *Server) handleDatasets() *Response {
 		lo, hi := ds.Span()
 		resp.Datasets = append(resp.Datasets, DatasetInfo{
 			Name: name, Len: ds.Len(), Dims: ds.Dims(),
-			Start: lo, End: hi, Attrs: sv.attrs,
+			Start: lo, End: hi, Attrs: sv.attrs, Live: sv.live != nil,
 		})
 	}
 	return resp
@@ -317,6 +358,74 @@ func (s *Server) handleExplain(req *Request) *Response {
 		return errResponse(err)
 	}
 	return &Response{V: Version, OK: true, Plan: plan.String()}
+}
+
+// SetIngesting marks (on) or clears (off) the named live dataset as being
+// fed by a server-side ingest stream. While marked, wire append requests to
+// it are rejected; queries are unaffected. Returns an error for unknown or
+// non-live datasets.
+func (s *Server) SetIngesting(name string, on bool) error {
+	sv, err := s.lookup(name)
+	if err != nil {
+		return err
+	}
+	if sv.live == nil {
+		return fmt.Errorf("wire: dataset %q is not live", name)
+	}
+	sv.ingesting.Store(on)
+	return nil
+}
+
+// handleAppend ingests a batch of rows into a live dataset. Rows commit in
+// order until the first invalid one; the response reports how many committed
+// (so a partially rejected batch is visible to the producer) alongside the
+// error, plus the online monitor's decisions and confirmations when the live
+// dataset is monitored.
+func (s *Server) handleAppend(req *Request) *Response {
+	sv, err := s.lookup(req.Dataset)
+	if err != nil {
+		return errResponse(err)
+	}
+	if sv.live == nil {
+		return errResponse(fmt.Errorf("wire: dataset %q is not live (register with AddLive to ingest)", req.Dataset))
+	}
+	if len(req.Rows) == 0 {
+		return errResponse(errors.New("wire: append needs at least one row"))
+	}
+	resp := &Response{V: Version, OK: true}
+	monitored := sv.live.Monitored()
+	for _, row := range req.Rows {
+		// Re-checked per row so a SetIngesting(true) that lands mid-batch
+		// stops the batch at the next row. The lockout is still advisory
+		// for rows already past the check (see the ingesting field's doc);
+		// embedders that need a hard cut-over drain in-flight appends
+		// before starting a feed, as durserved does by setting the flag
+		// before serving.
+		if sv.ingesting.Load() {
+			resp.OK = false
+			resp.Error = fmt.Sprintf("wire: dataset %q is being fed by a server-side ingest stream; appends are rejected until it drains", req.Dataset)
+			break
+		}
+		dec, confirms, err := sv.live.Append(row.Time, row.Attrs)
+		if err != nil {
+			resp.OK = false
+			resp.Error = err.Error()
+			break
+		}
+		resp.Appended++
+		if !monitored {
+			continue
+		}
+		resp.Decisions = append(resp.Decisions, LiveDecision{
+			ID: dec.ID, Time: dec.Time, Durable: dec.Durable, Rank: dec.Rank,
+		})
+		for _, c := range confirms {
+			resp.Confirms = append(resp.Confirms, LiveConfirmation{
+				ID: c.ID, Time: c.Time, Durable: c.Durable, Beaten: c.Beaten, Truncated: c.Truncated,
+			})
+		}
+	}
+	return resp
 }
 
 // handleMostDurable answers the "stood the test of time" report: the N

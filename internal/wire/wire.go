@@ -37,6 +37,7 @@ const (
 	OpQuery       = "query"
 	OpExplain     = "explain"
 	OpMostDurable = "most-durable"
+	OpAppend      = "append"
 )
 
 // Request is one client frame.
@@ -70,6 +71,35 @@ type Request struct {
 
 	// WithDurations also reports each result's maximum durability.
 	WithDurations bool `json:"withDurations,omitempty"`
+
+	// Rows is the batch of records an append request ingests into a live
+	// dataset, in strictly increasing time order.
+	Rows []IngestRow `json:"rows,omitempty"`
+}
+
+// IngestRow is one record of an append request.
+type IngestRow struct {
+	Time  int64     `json:"time"`
+	Attrs []float64 `json:"attrs"`
+}
+
+// LiveDecision is the instant look-back verdict the server's online monitor
+// emits for one ingested record (only on monitored live datasets).
+type LiveDecision struct {
+	ID      int   `json:"id"`
+	Time    int64 `json:"time"`
+	Durable bool  `json:"durable"`
+	Rank    int   `json:"rank"`
+}
+
+// LiveConfirmation is the delayed look-ahead verdict for a past record whose
+// durability window closed during an append.
+type LiveConfirmation struct {
+	ID        int   `json:"id"`
+	Time      int64 `json:"time"`
+	Durable   bool  `json:"durable"`
+	Beaten    int   `json:"beaten"`
+	Truncated bool  `json:"truncated,omitempty"`
 }
 
 // Record is one durable record of a query response.
@@ -100,6 +130,7 @@ type DatasetInfo struct {
 	Start int64    `json:"start"`
 	End   int64    `json:"end"`
 	Attrs []string `json:"attrs,omitempty"` // names usable in expressions
+	Live  bool     `json:"live,omitempty"`  // accepts append requests
 }
 
 // Response is one server frame.
@@ -112,6 +143,12 @@ type Response struct {
 	Stats    *Stats        `json:"stats,omitempty"`
 	Datasets []DatasetInfo `json:"datasets,omitempty"`
 	Plan     string        `json:"plan,omitempty"` // explain output
+
+	// Append results: how many rows were committed, plus the online
+	// monitor's verdicts when the live dataset is monitored.
+	Appended  int                `json:"appended,omitempty"`
+	Decisions []LiveDecision     `json:"decisions,omitempty"`
+	Confirms  []LiveConfirmation `json:"confirms,omitempty"`
 }
 
 // Protocol errors shared by both sides.
