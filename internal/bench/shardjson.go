@@ -24,6 +24,11 @@ type ShardPerf struct {
 	Speedup     float64 `json:"speedup_vs_1_shard"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// ShardsPruned is Stats.ShardsPruned for one evaluation of the tracked
+	// query: shard visits skipped by the reach-based router plus
+	// cross-shard probes skipped by the per-shard score upper bound. It
+	// proves the pruning is actually exercised at this shard count.
+	ShardsPruned int `json:"shards_pruned_per_op"`
 }
 
 // ShardReport is the schema of BENCH_sharded.json: query latency and speedup
@@ -84,12 +89,17 @@ func ShardScaleReport(cfg Config, dsName string) (*ShardReport, error) {
 		if evalErr != nil {
 			return nil, fmt.Errorf("bench: %d shards: %w", shards, evalErr)
 		}
+		res, err := se.DurableTopK(q)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %d shards: %w", shards, err)
+		}
 		row := ShardPerf{
-			Shards:      shards,
-			Workers:     se.Workers(),
-			NsPerOp:     float64(r.NsPerOp()),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
+			Shards:       shards,
+			Workers:      se.Workers(),
+			NsPerOp:      float64(r.NsPerOp()),
+			AllocsPerOp:  r.AllocsPerOp(),
+			BytesPerOp:   r.AllocedBytesPerOp(),
+			ShardsPruned: res.Stats.ShardsPruned,
 		}
 		if len(rep.Rows) > 0 && row.NsPerOp > 0 {
 			row.Speedup = rep.Rows[0].NsPerOp / row.NsPerOp
@@ -128,10 +138,10 @@ func runShardScale(cfg Config, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "dataset=%s n=%d d=%d | k=%d tau=%d%% |I|=%d%% | strategy=%s | GOMAXPROCS=%d\n",
 		rep.Dataset, rep.Records, rep.Dims, rep.K, rep.TauPct, rep.IPct, rep.Strategy, rep.GOMAXPROCS)
-	fmt.Fprintf(w, "%-8s %-9s %14s %10s %12s\n", "shards", "workers", "ns/op", "speedup", "allocs/op")
+	fmt.Fprintf(w, "%-8s %-9s %14s %10s %12s %8s\n", "shards", "workers", "ns/op", "speedup", "allocs/op", "pruned")
 	for _, row := range rep.Rows {
-		fmt.Fprintf(w, "%-8d %-9d %14.0f %9.2fx %12d\n",
-			row.Shards, row.Workers, row.NsPerOp, row.Speedup, row.AllocsPerOp)
+		fmt.Fprintf(w, "%-8d %-9d %14.0f %9.2fx %12d %8d\n",
+			row.Shards, row.Workers, row.NsPerOp, row.Speedup, row.AllocsPerOp, row.ShardsPruned)
 	}
 	if rep.GOMAXPROCS == 1 {
 		fmt.Fprintln(w, "note: single-core host; shard fan-out runs serialized, so speedup ~1x is expected here")

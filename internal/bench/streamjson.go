@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"testing"
 	"time"
 
 	"repro/internal/core"
@@ -43,8 +44,12 @@ type StreamReport struct {
 	FreshnessLagNs          float64 `json:"freshness_lag_ns"`
 
 	// Steady state: repeated durable top-k queries with no appends in
-	// between (memoized snapshot engine, warm probe scratch).
-	SteadyQueryNs float64 `json:"steady_query_ns"`
+	// between (memoized snapshot engine, warm probe scratch). Allocation
+	// counts are host-independent, so the benchmark gate holds the line on
+	// them the way it does for the probe rows of BENCH_topk.json.
+	SteadyQueryNs     float64 `json:"steady_query_ns"`
+	SteadyQueryAllocs int64   `json:"steady_query_allocs"`
+	SteadyQueryBytes  int64   `json:"steady_query_bytes"`
 }
 
 // StreamPerfReport measures the live-ingestion subsystem on the given
@@ -110,16 +115,25 @@ func StreamPerfReport(cfg Config, dsName string) (*StreamReport, error) {
 	rep.FreshnessLagNs = float64(queryNs) / float64(n)
 
 	// Steady state: the batch-comparable query workload over the fully
-	// ingested live engine.
+	// ingested live engine, measured with allocation accounting so the
+	// benchmark gate can fail on per-query allocation growth.
 	q := spec.Materialize(le.Dataset(), s, core.SHop)
-	reps := 50
-	start = time.Now()
-	for i := 0; i < reps; i++ {
-		if _, err := le.DurableTopK(q); err != nil {
-			return nil, err
+	var evalErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := le.DurableTopK(q); err != nil {
+				evalErr = err
+				b.FailNow()
+			}
 		}
+	})
+	if evalErr != nil {
+		return nil, evalErr
 	}
-	rep.SteadyQueryNs = float64(time.Since(start).Nanoseconds()) / float64(reps)
+	rep.SteadyQueryNs = float64(r.NsPerOp())
+	rep.SteadyQueryAllocs = r.AllocsPerOp()
+	rep.SteadyQueryBytes = r.AllocedBytesPerOp()
 	return rep, nil
 }
 
@@ -155,6 +169,7 @@ func runStreamScale(cfg Config, w io.Writer) error {
 	fmt.Fprintf(w, "%-28s %14.0f\n", "appends/s (query each row)", rep.IngestWithQueriesPerSec)
 	fmt.Fprintf(w, "%-28s %14.0f\n", "freshness lag ns", rep.FreshnessLagNs)
 	fmt.Fprintf(w, "%-28s %14.0f\n", "steady live query ns", rep.SteadyQueryNs)
+	fmt.Fprintf(w, "%-28s %14d\n", "steady live query allocs", rep.SteadyQueryAllocs)
 	fmt.Fprintln(w, "\nexpected: indexed rows per append stays O(log n); freshness lag tracks a"+
 		"\nsingle trailing-window query (no index rebuild on the query path)")
 	return nil

@@ -37,6 +37,12 @@ type TopKReport struct {
 	Seed       int64      `json:"seed"`
 	Strategies []TopKPerf `json:"strategies"`
 	Probes     []TopKPerf `json:"probes"`
+
+	// GatherHitsPerProbe counts skyline upper bounds answered through the
+	// bulk ScoreGather path per probe of the tracked workload — evidence
+	// that the gathered tree descent is actually exercised (monotone
+	// scorers with retained node skylines), not just implemented.
+	GatherHitsPerProbe float64 `json:"gather_hits_per_probe"`
 }
 
 // Scalarized hides the BulkScorer capability of the wrapped scorer — while
@@ -126,6 +132,22 @@ func TopKPerfReport(cfg Config, dsName string) (*TopKReport, error) {
 			}
 		})
 		rep.Probes = append(rep.Probes, perfRow(pb.name, r))
+	}
+
+	// Gather-path instrumentation: rerun the bulk probe workload on a fresh
+	// scratch and record how often the descent's skyline upper bounds went
+	// through ScoreGather.
+	{
+		sc := topk.GetScratch()
+		sc.ResetCounters()
+		var dst []topk.Item
+		const reps = 64
+		for i := 0; i < reps; i++ {
+			lo := (i * 131) % (n - span)
+			dst = idx.QueryRangeInto(s, spec.K, lo, lo+span, sc, dst)
+		}
+		rep.GatherHitsPerProbe = float64(sc.GatherHits()) / reps
+		topk.PutScratch(sc)
 	}
 	return rep, nil
 }

@@ -11,27 +11,47 @@
 // in an order-statistic treap with O(log n) expected insert and count.
 package blocking
 
+// nilNode marks an absent child in the slab-backed treap.
+const nilNode = int32(-1)
+
 // Set maintains the left endpoints of equal-length blocking intervals and
 // answers coverage-count queries. The zero value is not usable; construct
-// with NewSet. Not safe for concurrent use.
+// with NewSet. Nodes live in one contiguous slab indexed by int32 handles
+// rather than per-node heap allocations, so a Set can be Reset and reused
+// across queries with zero steady-state allocations (the per-query arenas of
+// package core rely on this). Not safe for concurrent use.
 type Set struct {
-	tau  int64
-	root *node
-	size int // number of intervals added, counting duplicates
-	rng  uint64
+	tau   int64
+	nodes []node
+	root  int32
+	size  int // number of intervals added, counting duplicates
+	rng   uint64
 }
 
 type node struct {
 	key         int64 // interval left endpoint
-	mult        int   // multiplicity of key
-	count       int   // total multiplicity in subtree
 	prio        uint64
-	left, right *node
+	mult        int32 // multiplicity of key
+	count       int32 // total multiplicity in subtree
+	left, right int32
 }
 
 // NewSet returns an empty blocking set for intervals of length tau >= 0.
 func NewSet(tau int64) *Set {
-	return &Set{tau: tau, rng: 0x9e3779b97f4a7c15}
+	s := &Set{}
+	s.Reset(tau)
+	return s
+}
+
+// Reset empties the set and re-arms it for intervals of length tau, keeping
+// the node slab for reuse: after the first queries have grown the slab,
+// Reset-and-refill cycles allocate nothing.
+func (s *Set) Reset(tau int64) {
+	s.tau = tau
+	s.nodes = s.nodes[:0]
+	s.root = nilNode
+	s.size = 0
+	s.rng = 0x9e3779b97f4a7c15
 }
 
 // Tau returns the interval length.
@@ -50,14 +70,17 @@ func (s *Set) next() uint64 {
 	return z ^ (z >> 31)
 }
 
-func count(n *node) int {
-	if n == nil {
+func (s *Set) count(ni int32) int32 {
+	if ni == nilNode {
 		return 0
 	}
-	return n.count
+	return s.nodes[ni].count
 }
 
-func (n *node) recount() { n.count = n.mult + count(n.left) + count(n.right) }
+func (s *Set) recount(ni int32) {
+	n := &s.nodes[ni]
+	n.count = n.mult + s.count(n.left) + s.count(n.right)
+}
 
 // Add inserts the blocking interval [left, left+tau].
 func (s *Set) Add(left int64) {
@@ -65,61 +88,76 @@ func (s *Set) Add(left int64) {
 	s.size++
 }
 
-func (s *Set) insert(n *node, key int64) *node {
-	if n == nil {
-		return &node{key: key, mult: 1, count: 1, prio: s.next()}
+func (s *Set) insert(ni int32, key int64) int32 {
+	if ni == nilNode {
+		s.nodes = append(s.nodes, node{
+			key: key, mult: 1, count: 1, prio: s.next(),
+			left: nilNode, right: nilNode,
+		})
+		return int32(len(s.nodes) - 1)
 	}
-	switch {
+	// Re-acquire the node pointer after every recursive insert: the slab may
+	// have been reallocated by an append deeper in the tree.
+	switch n := &s.nodes[ni]; {
 	case key == n.key:
 		n.mult++
 		n.count++
-		return n
+		return ni
 	case key < n.key:
-		n.left = s.insert(n.left, key)
-		if n.left.prio > n.prio {
-			n = rotateRight(n)
+		l := s.insert(n.left, key)
+		n = &s.nodes[ni]
+		n.left = l
+		if s.nodes[l].prio > n.prio {
+			ni = s.rotateRight(ni)
 		}
 	default:
-		n.right = s.insert(n.right, key)
-		if n.right.prio > n.prio {
-			n = rotateLeft(n)
+		r := s.insert(n.right, key)
+		n = &s.nodes[ni]
+		n.right = r
+		if s.nodes[r].prio > n.prio {
+			ni = s.rotateLeft(ni)
 		}
 	}
-	n.recount()
-	return n
+	s.recount(ni)
+	return ni
 }
 
-func rotateRight(n *node) *node {
-	l := n.left
+func (s *Set) rotateRight(ni int32) int32 {
+	n := &s.nodes[ni]
+	li := n.left
+	l := &s.nodes[li]
 	n.left = l.right
-	l.right = n
-	n.recount()
-	l.recount()
-	return l
+	l.right = ni
+	s.recount(ni)
+	s.recount(li)
+	return li
 }
 
-func rotateLeft(n *node) *node {
-	r := n.right
+func (s *Set) rotateLeft(ni int32) int32 {
+	n := &s.nodes[ni]
+	ri := n.right
+	r := &s.nodes[ri]
 	n.right = r.left
-	r.left = n
-	n.recount()
-	r.recount()
-	return r
+	r.left = ni
+	s.recount(ni)
+	s.recount(ri)
+	return ri
 }
 
 // CountLE returns the number of intervals whose left endpoint is <= x.
 func (s *Set) CountLE(x int64) int {
-	n := s.root
-	total := 0
-	for n != nil {
+	ni := s.root
+	total := int32(0)
+	for ni != nilNode {
+		n := &s.nodes[ni]
 		if x < n.key {
-			n = n.left
+			ni = n.left
 		} else {
-			total += n.mult + count(n.left)
-			n = n.right
+			total += n.mult + s.count(n.left)
+			ni = n.right
 		}
 	}
-	return total
+	return int(total)
 }
 
 // CountRange returns the number of intervals with left endpoint in the
@@ -157,17 +195,18 @@ func (s *Set) KthLargestLE(x int64, k int) (key int64, ok bool) {
 // selectAsc returns the rank-th smallest key (1-based, counting
 // multiplicity). The caller guarantees 1 <= rank <= Len().
 func (s *Set) selectAsc(rank int) int64 {
-	n := s.root
+	ni := s.root
 	for {
-		leftCount := count(n.left)
+		n := &s.nodes[ni]
+		leftCount := int(s.count(n.left))
 		switch {
 		case rank <= leftCount:
-			n = n.left
-		case rank <= leftCount+n.mult:
+			ni = n.left
+		case rank <= leftCount+int(n.mult):
 			return n.key
 		default:
-			rank -= leftCount + n.mult
-			n = n.right
+			rank -= leftCount + int(n.mult)
+			ni = n.right
 		}
 	}
 }

@@ -279,17 +279,13 @@ func runSHopAnchored(v *view, pr *probe, q Query, st *Stats) []int32 {
 	if subLen < 1 {
 		subLen = 1
 	}
-	h := &shopHeap{}
-	// Prefetch lists live in the heap across probes (topkKeep), matching
-	// runSHop.
+	// Prefetch lists, heap entries, the heap, the visited/answer marks and
+	// the result ids are carved from the probe's arena, matching runSHop.
+	a := &pr.a
+	a.reset()
+	h := &a.shop
 	pushSub := func(lo, hi int64) {
-		if lo > hi {
-			return
-		}
-		items := v.topkKeep(pr, st, kindFind, q.Scorer, q.K, lo, hi)
-		if len(items) > 0 {
-			h.push(&shopEntry{items: items, lo: lo, hi: hi})
-		}
+		shopPrefetch(v, pr, st, q.Scorer, q.K, lo, hi)
 	}
 	for lo := q.Start; lo <= q.End; lo = satAdd(lo, subLen) {
 		hi := satAdd(lo, subLen-1)
@@ -303,9 +299,9 @@ func runSHopAnchored(v *view, pr *probe, q Query, st *Stats) []int32 {
 	}
 
 	blk := newCoverBlocks(v.ds, q.Tau, lead, q.K)
-	visited := make(map[int32]bool)
-	inAnswer := make(map[int32]bool)
-	var res []int32
+	visited := a.visitedMap()
+	inAnswer := a.markedMap()
+	res := a.ids
 	for h.len() > 0 {
 		e := h.pop()
 		p := e.current()
@@ -343,6 +339,7 @@ func runSHopAnchored(v *view, pr *probe, q Query, st *Stats) []int32 {
 			blk.add(p.Time, p.Score, p.Score)
 		}
 	}
+	a.ids = res
 	sortIDs(res)
 	return res
 }

@@ -187,7 +187,15 @@ type Stats struct {
 	MaintQueries   int // from-scratch recomputations in T-Base's sliding window
 	CandidateCount int // |C| for S-Band; sorted-set size for S-Base
 	Visited        int // records popped/inspected by the main loop
-	Elapsed        time.Duration
+
+	// ShardsPruned counts shard visits a ShardedEngine skipped: shards the
+	// query router proved cannot own an answer record (their arrivals all
+	// fall outside I, however far the durability windows reach), plus
+	// cross-shard strictly-higher-count probes skipped because the shard's
+	// global score upper bound cannot beat the reference score. Always 0 on
+	// a plain Engine.
+	ShardsPruned int
+	Elapsed      time.Duration
 }
 
 // TopKQueries returns the total number of building-block invocations.

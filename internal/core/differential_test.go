@@ -142,8 +142,44 @@ func runDifferentialTrial(t *testing.T, seed int64) {
 			seed, seed, flavor, n, d, engine, q.K, q.Tau, q.Lead, q.Start, q.End, q.Anchor, got, want)
 	}
 
-	for qi := 0; qi < 5; qi++ {
+	// reachQuery pins the window reach exactly onto a shard boundary of a
+	// random sharded engine (gap-1, gap, gap+1): the alignments where the
+	// reach-based shard pruning would first get an off-by-one wrong.
+	reachQuery := func() Query {
+		se := sharded[rng.Intn(len(sharded))]
+		infos := se.Shards()
+		in := infos[rng.Intn(len(infos))]
+		q := Query{K: 1 + rng.Intn(6)}
+		gap := int64(1)
+		if in.Lo > 0 {
+			gap = in.Start - ds.Time(in.Lo-1)
+		}
+		q.Tau = gap + int64(rng.Intn(3)) - 1
+		if q.Tau < 0 {
+			q.Tau = 0
+		}
+		q.Start = in.Start
+		q.End = q.Start + int64(rng.Intn(int(q.Tau)+2))
+		if in.End < q.End {
+			q.End = in.End
+		}
+		switch rng.Intn(3) {
+		case 0:
+			q.Anchor = LookAhead
+		case 1:
+			q.Anchor = General
+			if q.Tau > 0 {
+				q.Lead = int64(rng.Intn(int(q.Tau) + 1))
+			}
+		}
+		return q
+	}
+
+	for qi := 0; qi < 7; qi++ {
 		q := diffQuery(rng, ds)
+		if qi >= 5 {
+			q = reachQuery()
+		}
 		q.Scorer = s
 		var want []int
 		if q.Anchor == General {

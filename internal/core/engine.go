@@ -89,16 +89,30 @@ const (
 
 // probe carries the reusable working memory of one DurableTopK evaluation:
 // a single topk.Scratch shared by every building-block call of the query
-// (the strategy's own probes and the WithDurations binary searches) plus a
-// result buffer for transient probes.
+// (the strategy's own probes and the WithDurations binary searches), a
+// result buffer for transient probes, and the per-query arena the
+// score-prioritized strategies carve their retained state from. Probes are
+// pooled, so arena and buffer storage is reused across queries and the
+// strategy hot paths run with zero steady-state allocations.
 type probe struct {
 	sc  *topk.Scratch
 	buf []topk.Item
+	a   arena
 }
 
-func newProbe() *probe { return &probe{sc: topk.GetScratch()} }
+var probePool = sync.Pool{New: func() interface{} { return new(probe) }}
 
-func (pr *probe) release() { topk.PutScratch(pr.sc) }
+func newProbe() *probe {
+	pr := probePool.Get().(*probe)
+	pr.sc = topk.GetScratch()
+	return pr
+}
+
+func (pr *probe) release() {
+	topk.PutScratch(pr.sc)
+	pr.sc = nil
+	probePool.Put(pr)
+}
 
 func (st *Stats) count(kind queryKind) {
 	switch kind {

@@ -160,6 +160,14 @@ func FuzzShardedQuery(f *testing.F) {
 	f.Add([]byte{0, 255, 0, 255, 7, 7, 7, 7, 7}, uint8(3), uint8(30), uint8(16), uint8(3), uint8(9))
 	f.Add([]byte{255, 4, 129}, uint8(1), uint8(0), uint8(1), uint8(7), uint8(2))
 	f.Add([]byte{8, 1, 8, 1, 8, 1, 8, 1, 8, 1, 8, 1}, uint8(2), uint8(200), uint8(5), uint8(5), uint8(0))
+	// Window-reach edge cases: the interval pinned so the back-reach (cfg
+	// bit 5) or lead-reach (cfg bit 5 + look-ahead) lands exactly on a shard
+	// boundary arrival — the alignments the reach-based shard pruning must
+	// not get wrong by one tick.
+	f.Add([]byte{3, 7, 3, 7, 3, 7, 3, 7, 3, 7}, uint8(2), uint8(2), uint8(4), uint8(8|32), uint8(1))
+	f.Add([]byte{3, 7, 3, 7, 3, 7, 3, 7, 3, 7}, uint8(2), uint8(3), uint8(4), uint8(8|32|1), uint8(2))
+	f.Add([]byte{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}, uint8(1), uint8(1), uint8(6), uint8(8|32|2), uint8(3))
+	f.Add([]byte{240, 16, 240, 16, 240, 16, 240, 16}, uint8(3), uint8(4), uint8(3), uint8(8|32|16), uint8(1))
 	f.Fuzz(func(t *testing.T, raw []byte, kRaw, tauRaw, shardRaw, cfg, pin uint8) {
 		if len(raw) == 0 || len(raw) > 512 {
 			t.Skip()
@@ -203,6 +211,24 @@ func FuzzShardedQuery(f *testing.F) {
 		if cfg&8 != 0 {
 			in := infos[int(pin)%len(infos)]
 			start = in.Start
+			if cfg&32 != 0 {
+				// Window-reach pin: shift I so the durability window of a
+				// record arriving at start reaches exactly to the shard
+				// boundary arrival — back-reach for look-back anchors
+				// (start = boundary + tau), lead-reach for look-ahead
+				// (start = boundary - tau).
+				if anchor == LookAhead {
+					start = satSub(in.Start, tau)
+					if start < lo {
+						start = lo
+					}
+				} else {
+					start = satAdd(in.Start, tau)
+					if start > hi {
+						start = hi
+					}
+				}
+			}
 			end = start + int64(pin%16)
 			if cfg&16 != 0 {
 				end = in.End // exactly one whole shard

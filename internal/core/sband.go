@@ -1,7 +1,6 @@
 package core
 
 import (
-	"repro/internal/blocking"
 	"repro/internal/skyband"
 )
 
@@ -19,19 +18,26 @@ func runSBand(v *view, pr *probe, ladder *skyband.Ladder, q Query, st *Stats) []
 	if len(cands) == 0 {
 		return nil
 	}
-	refs := make([]scoredRef, len(cands))
-	for i, id := range cands {
-		refs[i] = scoredRef{
+	// The candidate refs, visited marks, blocking treap and result ids are
+	// all carved from the probe's per-query arena (see arena.go).
+	a := &pr.a
+	a.reset()
+	refs := a.scoredRefs(len(cands))
+	flat, d := ds.FlatAttrs(), ds.Dims()
+	for _, id := range cands {
+		i := int(id)
+		refs = append(refs, scoredRef{
 			id:    id,
-			time:  ds.Time(int(id)),
-			score: q.Scorer.Score(ds.Attrs(int(id))),
-		}
+			time:  ds.Time(i),
+			score: q.Scorer.Score(flat[i*d : (i+1)*d : (i+1)*d]),
+		})
 	}
+	a.refs = refs
 	sortScoredDesc(refs)
 
-	blk := blocking.NewSet(q.Tau)
-	visited := make(map[int32]bool, len(refs)*2)
-	var res []int32
+	blk := a.blocking(q.Tau)
+	visited := a.visitedMap()
+	res := a.ids
 	for _, p := range refs {
 		st.Visited++
 		if blk.Cover(p.time) < q.K {
@@ -54,6 +60,7 @@ func runSBand(v *view, pr *probe, ladder *skyband.Ladder, q Query, st *Stats) []
 			blk.Add(p.time)
 		}
 	}
+	a.ids = res
 	sortIDs(res)
 	return res
 }

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/blocking"
 )
@@ -14,12 +14,24 @@ type scoredRef struct {
 	score float64
 }
 
+// sortScoredDesc sorts by (score desc, time desc). slices.SortFunc rather
+// than sort.Slice: same pattern-defeating quicksort, but generic, so the
+// probe hot paths sort without the interface-boxing allocations. Arrival
+// times are unique, so the comparator is a total order and the unstable sort
+// is deterministic.
 func sortScoredDesc(refs []scoredRef) {
-	sort.Slice(refs, func(i, j int) bool {
-		if refs[i].score != refs[j].score {
-			return refs[i].score > refs[j].score
+	slices.SortFunc(refs, func(a, b scoredRef) int {
+		switch {
+		case a.score > b.score:
+			return -1
+		case a.score < b.score:
+			return 1
+		case a.time > b.time:
+			return -1
+		case a.time < b.time:
+			return 1
 		}
-		return refs[i].time > refs[j].time
+		return 0
 	})
 }
 
@@ -61,5 +73,5 @@ func runSBase(v *view, q Query, st *Stats) []int32 {
 }
 
 func sortIDs(ids []int32) {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -280,6 +281,38 @@ type shardPart struct {
 	err error
 }
 
+// upperBoundAller is the optional Block capability behind shard-level score
+// pruning: a single upper bound of the scorer over every record the block
+// indexes. *topk.Index implements it through the same skyline gather path
+// the tree descent uses.
+type upperBoundAller interface {
+	UpperBoundAll(s score.Scorer) float64
+}
+
+// shardBounds lazily caches every shard's global score upper bound for one
+// query's scorer. Built at most once per query (first cross-shard
+// strictly-higher-count probe), shared by all fan-out workers.
+type shardBounds struct {
+	once sync.Once
+	ub   []float64
+}
+
+// bounds returns the per-shard upper bounds for s, computing them on first
+// use. Shards whose block cannot report a bound get +Inf (never pruned).
+func (se *ShardedEngine) bounds(sb *shardBounds, s score.Scorer) []float64 {
+	sb.once.Do(func() {
+		sb.ub = make([]float64, len(se.shards))
+		for i := range se.shards {
+			if b, ok := se.shards[i].eng.Index().(upperBoundAller); ok {
+				sb.ub[i] = b.UpperBoundAll(s)
+			} else {
+				sb.ub[i] = math.Inf(1)
+			}
+		}
+	})
+	return sb.ub
+}
+
 // DurableTopK answers DurTop(k, I, tau) by fanning the query out across the
 // time shards on the bounded worker pool and concatenating the per-shard
 // answers (shards are time-ordered, so concatenation preserves the ascending
@@ -297,6 +330,15 @@ func (se *ShardedEngine) DurableTopK(q Query) (*Result, error) {
 	back, lead := windowSides(&q)
 
 	startAt := time.Now()
+	// Reach-based shard routing: an answer record arrives inside I, so only
+	// shards owning an arrival in I can contribute answers — a shard whose
+	// arrivals all fall outside I is skipped entirely, no matter how far the
+	// durability windows reach past its boundaries ([minT, maxT] ± back/lead
+	// may well overlap I without any arrival landing in it). Records beyond
+	// I still influence answers, but only as blocking evidence inside some
+	// window [t-back, t+lead]; that evidence is fetched by targeted
+	// cross-shard probes (higherCount), never by visiting the shard, so the
+	// pruning is exact. Skipped shards are tallied in Stats.ShardsPruned.
 	qlo, qhi := se.ds.IndexRange(q.Start, q.End)
 	var tasks []int
 	for i := range se.shards {
@@ -304,6 +346,7 @@ func (se *ShardedEngine) DurableTopK(q Query) (*Result, error) {
 			tasks = append(tasks, i)
 		}
 	}
+	sb := &shardBounds{}
 
 	parts := make([]shardPart, len(tasks))
 	workers := se.workers
@@ -313,7 +356,7 @@ func (se *ShardedEngine) DurableTopK(q Query) (*Result, error) {
 	if workers <= 1 {
 		pr := newProbe()
 		for ti, si := range tasks {
-			parts[ti] = se.evalShard(pr, si, &q, back, lead, qlo, qhi)
+			parts[ti] = se.evalShard(pr, sb, si, &q, back, lead, qlo, qhi)
 		}
 		pr.release()
 	} else {
@@ -326,7 +369,7 @@ func (se *ShardedEngine) DurableTopK(q Query) (*Result, error) {
 				pr := newProbe()
 				defer pr.release()
 				for ti := range feed {
-					parts[ti] = se.evalShard(pr, tasks[ti], &q, back, lead, qlo, qhi)
+					parts[ti] = se.evalShard(pr, sb, tasks[ti], &q, back, lead, qlo, qhi)
 				}
 			}()
 		}
@@ -337,7 +380,7 @@ func (se *ShardedEngine) DurableTopK(q Query) (*Result, error) {
 		wg.Wait()
 	}
 
-	out := &Result{Stats: Stats{Algorithm: alg}}
+	out := &Result{Stats: Stats{Algorithm: alg, ShardsPruned: len(se.shards) - len(tasks)}}
 	total := 0
 	for i := range parts {
 		if parts[i].err != nil {
@@ -369,7 +412,7 @@ func (se *ShardedEngine) DurableTopK(q Query) (*Result, error) {
 		if durWorkers <= 1 {
 			pr := newProbe()
 			for i := range out.Records {
-				dur, full := se.maxDurationSharded(pr, &out.Stats, q.Scorer, q.K, out.Records[i].ID, ahead)
+				dur, full := se.maxDurationSharded(pr, sb, &out.Stats, q.Scorer, q.K, out.Records[i].ID, ahead)
 				out.Records[i].MaxDuration = dur
 				out.Records[i].FullHistory = full
 			}
@@ -384,7 +427,7 @@ func (se *ShardedEngine) DurableTopK(q Query) (*Result, error) {
 					pr := newProbe()
 					defer pr.release()
 					for i := w; i < len(out.Records); i += durWorkers {
-						dur, full := se.maxDurationSharded(pr, &stats[w], q.Scorer, q.K, out.Records[i].ID, ahead)
+						dur, full := se.maxDurationSharded(pr, sb, &stats[w], q.Scorer, q.K, out.Records[i].ID, ahead)
 						out.Records[i].MaxDuration = dur
 						out.Records[i].FullHistory = full
 					}
@@ -403,7 +446,7 @@ func (se *ShardedEngine) DurableTopK(q Query) (*Result, error) {
 // evalShard answers the query restricted to one shard's records. Interior
 // records (whole window inside the shard) go through the shard engine;
 // boundary straddlers are decided across shards.
-func (se *ShardedEngine) evalShard(pr *probe, si int, q *Query, back, lead int64, qlo, qhi int) shardPart {
+func (se *ShardedEngine) evalShard(pr *probe, sb *shardBounds, si int, q *Query, back, lead int64, qlo, qhi int) shardPart {
 	var part shardPart
 	sh := &se.shards[si]
 	subLo, subHi := max(qlo, sh.lo), min(qhi, sh.hi)
@@ -425,7 +468,7 @@ func (se *ShardedEngine) evalShard(pr *probe, si int, q *Query, back, lead int64
 		iHi = clampInt(se.ds.UpperBound(maxT), iLo, subHi)
 	}
 
-	se.evalStraddlers(pr, &part, q, back, lead, subLo, iLo)
+	se.evalStraddlers(pr, sb, &part, q, back, lead, subLo, iLo)
 	if part.err != nil {
 		return part
 	}
@@ -443,7 +486,7 @@ func (se *ShardedEngine) evalShard(pr *probe, si int, q *Query, back, lead int64
 		}
 		addStats(&part.st, &res.Stats)
 	}
-	se.evalStraddlers(pr, &part, q, back, lead, iHi, subHi)
+	se.evalStraddlers(pr, sb, &part, q, back, lead, iHi, subHi)
 	return part
 }
 
@@ -453,6 +496,7 @@ func addStats(dst, src *Stats) {
 	dst.MaintQueries += src.MaintQueries
 	dst.CandidateCount += src.CandidateCount
 	dst.Visited += src.Visited
+	dst.ShardsPruned += src.ShardsPruned
 }
 
 // evalStraddlers decides the boundary records in [lo, hi): small runs by
@@ -461,14 +505,14 @@ func addStats(dst, src *Stats) {
 // through a zero-copy slice, so the run is answered by the hop machinery at
 // answer-proportional cost instead of per-record probing. Both paths are
 // exact.
-func (se *ShardedEngine) evalStraddlers(pr *probe, part *shardPart, q *Query, back, lead int64, lo, hi int) {
+func (se *ShardedEngine) evalStraddlers(pr *probe, sb *shardBounds, part *shardPart, q *Query, back, lead int64, lo, hi int) {
 	if lo >= hi {
 		return
 	}
 	if hi-lo <= se.straddle {
 		for i := lo; i < hi; i++ {
 			part.st.Visited++
-			if se.durableAt(pr, &part.st, q, back, lead, i) {
+			if se.durableAt(pr, sb, &part.st, q, back, lead, i) {
 				part.ids = append(part.ids, int32(i))
 			}
 		}
@@ -502,23 +546,36 @@ func (se *ShardedEngine) evalStraddlers(pr *probe, part *shardPart, q *Query, ba
 // durableAt decides one record from the definition: durable iff fewer than k
 // records of its anchored window score strictly higher, counted across every
 // overlapped shard.
-func (se *ShardedEngine) durableAt(pr *probe, st *Stats, q *Query, back, lead int64, i int) bool {
+func (se *ShardedEngine) durableAt(pr *probe, sb *shardBounds, st *Stats, q *Query, back, lead int64, i int) bool {
 	t := se.ds.Time(i)
 	wlo, whi := se.ds.IndexRange(satSub(t, back), satAdd(t, lead))
 	ref := q.Scorer.Score(se.ds.Attrs(i))
-	return se.higherCount(pr, st, q.Scorer, q.K, wlo, whi, ref) < q.K
+	return se.higherCount(pr, sb, st, q.Scorer, q.K, wlo, whi, ref) < q.K
 }
 
 // higherCount returns min(h, k) where h is the number of records in the
 // global index range [lo, hi) scoring strictly above ref. Each shard probe
 // contributes min(h_shard, k) — exact while all h_shard < k and saturating
 // at k otherwise — so the sum answers the "h >= k?" durability test exactly.
-func (se *ShardedEngine) higherCount(pr *probe, st *Stats, s score.Scorer, k, lo, hi int, ref float64) int {
+// A shard whose cached global upper bound is <= ref cannot contribute (no
+// record in it scores strictly above ref) and is skipped without a probe,
+// tallied in Stats.ShardsPruned; the window-reach binary searches of
+// maxDurationSharded sweep many shards per record, so the skip saves a full
+// tree descent per pruned shard.
+func (se *ShardedEngine) higherCount(pr *probe, sb *shardBounds, st *Stats, s score.Scorer, k, lo, hi int, ref float64) int {
 	higher := 0
+	var ubs []float64
 	for si := se.shardAt(lo); si < len(se.shards) && se.shards[si].lo < hi; si++ {
 		sh := &se.shards[si]
 		plo, phi := max(lo, sh.lo)-sh.lo, min(hi, sh.hi)-sh.lo
 		if plo >= phi {
+			continue
+		}
+		if ubs == nil {
+			ubs = se.bounds(sb, s)
+		}
+		if ubs[si] <= ref {
+			st.ShardsPruned++
 			continue
 		}
 		items := sh.eng.fwd.topkRange(pr, st, kindCheck, s, k, plo, phi)
@@ -537,7 +594,7 @@ func (se *ShardedEngine) higherCount(pr *probe, st *Stats, s score.Scorer, k, lo
 // maxDurationSharded is the cross-shard counterpart of maxDuration: a binary
 // search over the window start (end, when ahead) with sharded strictly-higher
 // counts as the membership predicate.
-func (se *ShardedEngine) maxDurationSharded(pr *probe, st *Stats, s score.Scorer, k, id int, ahead bool) (int64, bool) {
+func (se *ShardedEngine) maxDurationSharded(pr *probe, sb *shardBounds, st *Stats, s score.Scorer, k, id int, ahead bool) (int64, bool) {
 	ref := s.Score(se.ds.Attrs(id))
 	t := se.ds.Time(id)
 	n := se.ds.Len()
@@ -546,7 +603,7 @@ func (se *ShardedEngine) maxDurationSharded(pr *probe, st *Stats, s score.Scorer
 		lo, hi := 0, id
 		for lo < hi {
 			mid := (lo + hi) / 2
-			if se.higherCount(pr, st, s, k, mid, id+1, ref) < k {
+			if se.higherCount(pr, sb, st, s, k, mid, id+1, ref) < k {
 				hi = mid
 			} else {
 				lo = mid + 1
@@ -561,7 +618,7 @@ func (se *ShardedEngine) maxDurationSharded(pr *probe, st *Stats, s score.Scorer
 	lo, hi := id, n-1
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
-		if se.higherCount(pr, st, s, k, id, mid+1, ref) < k {
+		if se.higherCount(pr, sb, st, s, k, id, mid+1, ref) < k {
 			lo = mid
 		} else {
 			hi = mid - 1

@@ -1,14 +1,15 @@
 package core
 
 import (
-	"repro/internal/blocking"
+	"repro/internal/score"
 	"repro/internal/topk"
 )
 
 // shopEntry is a max-heap element of S-Hop: one live sub-interval of I with
-// its prefetched top-k list and a cursor into it.
+// its prefetched top-k list and a cursor into it. Entries live in the
+// probe's arena (stable chunked storage), not on the general heap.
 type shopEntry struct {
-	items  []topk.Item // top-k of [lo, hi], best first
+	items  []topk.Item // top-k of [lo, hi], best first (arena-backed)
 	pos    int
 	lo, hi int64 // closed sub-interval bounds
 }
@@ -16,7 +17,7 @@ type shopEntry struct {
 func (e *shopEntry) current() topk.Item { return e.items[e.pos] }
 
 // shopHeap orders entries by their current item under (score desc, time
-// desc).
+// desc). The backing slice lives in the probe's arena.
 type shopHeap struct {
 	es []*shopEntry
 }
@@ -62,6 +63,23 @@ func (h *shopHeap) pop() *shopEntry {
 	return top
 }
 
+// shopPrefetch runs one find query over the closed sub-interval [lo, hi] and
+// pushes a heap entry for it when non-empty. The prefetched list outlives the
+// transient probe buffer, so it is copied into the probe's arena; the heap
+// entry comes from the arena too. A plain function (not a closure) so the
+// S-Hop main loop stays allocation-free.
+func shopPrefetch(v *view, pr *probe, st *Stats, s score.Scorer, k int, lo, hi int64) {
+	if lo > hi {
+		return
+	}
+	items := v.topk(pr, st, kindFind, s, k, lo, hi)
+	if len(items) > 0 {
+		e := pr.a.newEntry()
+		e.items, e.lo, e.hi = pr.a.keep(items), lo, hi
+		pr.a.shop.push(e)
+	}
+}
+
 // runSHop is the Score-Hop algorithm (§IV-C, Algorithm 3): partition I into
 // tau-length sub-intervals, prefetch each sub-interval's top-k, and process
 // records globally in descending score order through a max-heap. A record
@@ -69,39 +87,33 @@ func (h *shopHeap) pop() *shopEntry {
 // splits its sub-interval at the record's timestamp (two fresh find
 // queries); a blocked record merely advances its sub-interval's cursor — the
 // hop in score domain. Building-block calls are O(|S| + k·ceil(|I|/tau))
-// (Lemma 3).
+// (Lemma 3). All retained per-query state — prefetch lists, heap entries,
+// the heap itself, the visited/answer marks, the blocking treap and the
+// result ids — is carved from the probe's arena, so a steady-state
+// evaluation allocates nothing.
 func runSHop(v *view, pr *probe, q Query, st *Stats) []int32 {
 	subLen := q.Tau
 	if subLen < 1 {
 		subLen = 1
 	}
-	h := &shopHeap{}
-	// Prefetch lists live in the heap across probes, so they need their own
-	// allocations (topkKeep); only the probe working memory is shared.
-	pushSub := func(lo, hi int64) {
-		if lo > hi {
-			return
-		}
-		items := v.topkKeep(pr, st, kindFind, q.Scorer, q.K, lo, hi)
-		if len(items) > 0 {
-			h.push(&shopEntry{items: items, lo: lo, hi: hi})
-		}
-	}
+	a := &pr.a
+	a.reset()
+	h := &a.shop
 	for lo := q.Start; lo <= q.End; lo = satAdd(lo, subLen) {
 		hi := satAdd(lo, subLen-1)
 		if hi > q.End {
 			hi = q.End
 		}
-		pushSub(lo, hi)
+		shopPrefetch(v, pr, st, q.Scorer, q.K, lo, hi)
 		if hi == q.End {
 			break
 		}
 	}
 
-	blk := blocking.NewSet(q.Tau)
-	visited := make(map[int32]bool)
-	inAnswer := make(map[int32]bool)
-	var res []int32
+	blk := a.blocking(q.Tau)
+	visited := a.visitedMap()
+	inAnswer := a.markedMap()
+	res := a.ids
 	for h.len() > 0 {
 		e := h.pop()
 		p := e.current()
@@ -123,8 +135,8 @@ func runSHop(v *view, pr *probe, q Query, st *Stats) []int32 {
 			}
 			// Split the sub-interval at p.t; the prefetched list is
 			// superseded by the two fresh halves.
-			pushSub(e.lo, p.Time-1)
-			pushSub(p.Time+1, e.hi)
+			shopPrefetch(v, pr, st, q.Scorer, q.K, e.lo, p.Time-1)
+			shopPrefetch(v, pr, st, q.Scorer, q.K, p.Time+1, e.hi)
 		} else if e.pos+1 < len(e.items) {
 			e.pos++
 			h.push(e)
@@ -134,6 +146,7 @@ func runSHop(v *view, pr *probe, q Query, st *Stats) []int32 {
 			blk.Add(p.Time)
 		}
 	}
+	a.ids = res
 	sortIDs(res)
 	return res
 }

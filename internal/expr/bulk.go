@@ -3,6 +3,8 @@ package expr
 import (
 	"math"
 	"sync"
+
+	"repro/internal/score"
 )
 
 // Block evaluation: compiled expressions score whole contiguous record spans
@@ -21,9 +23,12 @@ const blockLen = 512
 
 // blockScratch hands out temporary column buffers during one block walk.
 // Buffers are recycled via free lists, so the steady-state allocation count
-// is zero once the pool has warmed to the expression's operand depth.
+// is zero once the pool has warmed to the expression's operand depth. rows
+// is the gather staging area of ScoreGather, grown to one block of rows at
+// the widest dimensionality seen and then reused.
 type blockScratch struct {
 	free [][]float64
+	rows []float64
 }
 
 func (s *blockScratch) get() []float64 {
@@ -50,6 +55,26 @@ func (e *Expr) ScoreRange(dst []float64, flat []float64, d, lo, hi int) {
 			bhi = hi
 		}
 		e.root.evalBlock(dst[blo-lo:bhi-lo], sc, flat, d, blo, bhi)
+	}
+	scratchPool.Put(sc)
+}
+
+// ScoreGather implements score.BulkScorer's gather kernel. The AST has no
+// natural gather form (every node kernel walks a contiguous span), so the
+// named rows are gathered into a pooled contiguous staging buffer one block
+// at a time (score.GatherRows) and block-evaluated there — the
+// gather-into-contiguous-buffer fallback. Each gathered row is evaluated by
+// the same block kernels as ScoreRange, so results stay bit-for-bit
+// identical to Score.
+func (e *Expr) ScoreGather(dst []float64, flat []float64, d int, ids []int32) {
+	sc := scratchPool.Get().(*blockScratch)
+	for blo := 0; blo < len(ids); blo += blockLen {
+		bhi := blo + blockLen
+		if bhi > len(ids) {
+			bhi = len(ids)
+		}
+		sc.rows = score.GatherRows(sc.rows, flat, d, ids[blo:bhi])
+		e.root.evalBlock(dst[blo:bhi], sc, sc.rows, d, 0, bhi-blo)
 	}
 	scratchPool.Put(sc)
 }

@@ -52,6 +52,60 @@ func TestScoreRangeMatchesScore(t *testing.T) {
 	}
 }
 
+// TestScoreGatherMatchesScore checks the compiled-expression gather kernel
+// (gather-into-contiguous-buffer + block evaluation) against per-record AST
+// walks bit-for-bit, with id lists longer than one block and attribute data
+// containing NaN, ±Inf and -0.0.
+func TestScoreGatherMatchesScore(t *testing.T) {
+	exprs := []string{
+		"x0",
+		"-x0 + 2*x1",
+		"0.6*x0 + 0.3*x1 + 2*log1p(x2)",
+		"sqrt(abs(x0)) * exp(-x1/10)",
+		"min(x0, x1, x2) + max(x0, -x1)",
+		"(x0 + x1) / (x2 - 3)",
+	}
+	const d = 3
+	n := 2*blockLen + 5
+	rng := rand.New(rand.NewSource(17))
+	flat := make([]float64, n*d)
+	specials := []float64{math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1)}
+	for i := range flat {
+		if rng.Intn(12) == 0 {
+			flat[i] = specials[rng.Intn(len(specials))]
+		} else {
+			flat[i] = rng.NormFloat64() * 10
+		}
+	}
+	for _, src := range exprs {
+		e := MustCompile(src, Options{Dims: d})
+		for trial := 0; trial < 8; trial++ {
+			m := 1 + rng.Intn(blockLen+blockLen/2) // often spans two blocks
+			if trial == 0 {
+				m = n
+			}
+			ids := make([]int32, m)
+			for i := range ids {
+				ids[i] = int32(rng.Intn(n))
+			}
+			dst := make([]float64, len(ids))
+			e.ScoreGather(dst, flat, d, ids)
+			for j, id := range ids {
+				want := e.Score(flat[int(id)*d : (int(id)+1)*d])
+				// NaN payloads may differ between the block and scalar
+				// kernels (the compiler is free to pick the ADDSD operand
+				// order, which decides which operand's NaN propagates);
+				// every NaN behaves identically in score comparisons, so
+				// equality is modulo NaN payload.
+				if math.Float64bits(dst[j]) != math.Float64bits(want) &&
+					!(math.IsNaN(dst[j]) && math.IsNaN(want)) {
+					t.Fatalf("%q id %d: gather %v != scalar %v", src, id, dst[j], want)
+				}
+			}
+		}
+	}
+}
+
 func BenchmarkScoreRange(b *testing.B) {
 	e := MustCompile("0.6*x0 + 0.3*x1 + 2*log1p(x2)", Options{Dims: 3})
 	const n, d = 4096, 3

@@ -14,6 +14,17 @@ type BulkScorer interface {
 	// have length at least hi-lo. The results are bit-for-bit identical to
 	// calling Score on each row (same operations in the same order).
 	ScoreRange(dst []float64, flat []float64, d, lo, hi int)
+
+	// ScoreGather evaluates the scorer on the (generally non-contiguous)
+	// records named by ids: record ids[j]'s attributes are
+	// flat[ids[j]*d : (ids[j]+1)*d] and its score is written to dst[j]. dst
+	// must have length at least len(ids). Like ScoreRange, results are
+	// bit-for-bit identical to calling Score on each row. The tree descent
+	// uses it to bulk-score node skylines — id lists, not index ranges —
+	// without falling back to per-record interface dispatch.
+	// Implementations without a natural gather kernel can defer to
+	// GatherViaRange.
+	ScoreGather(dst []float64, flat []float64, d int, ids []int32)
 }
 
 // ScoreFlatRange scores records [lo, hi) of the flat row-major array into
@@ -27,6 +38,48 @@ func ScoreFlatRange(s Scorer, dst, flat []float64, d, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		dst[i-lo] = s.Score(flat[i*d : (i+1)*d : (i+1)*d])
 	}
+}
+
+// ScoreFlatGather scores the records named by ids into dst, dispatching once
+// to BulkScorer when s implements it and falling back to a per-record Score
+// loop otherwise.
+func ScoreFlatGather(s Scorer, dst, flat []float64, d int, ids []int32) {
+	if bs, ok := s.(BulkScorer); ok {
+		bs.ScoreGather(dst, flat, d, ids)
+		return
+	}
+	for j, id := range ids {
+		i := int(id)
+		dst[j] = s.Score(flat[i*d : (i+1)*d : (i+1)*d])
+	}
+}
+
+// GatherRows copies the attribute rows named by ids into a contiguous
+// row-major buffer: row j of the result is flat[ids[j]*d : (ids[j]+1)*d].
+// buf is reused when it has capacity len(ids)*d. It is the building block of
+// the gather-into-contiguous-buffer fallback for bulk scorers whose range
+// kernel has no natural gather counterpart (see GatherViaRange).
+func GatherRows(buf []float64, flat []float64, d int, ids []int32) []float64 {
+	n := len(ids) * d
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	buf = buf[:n]
+	for j, id := range ids {
+		copy(buf[j*d:(j+1)*d], flat[int(id)*d:(int(id)+1)*d])
+	}
+	return buf
+}
+
+// GatherViaRange implements ScoreGather for any BulkScorer by gathering the
+// named rows into the contiguous scratch buffer buf (grown as needed and
+// returned for reuse) and bulk-scoring the gathered block with ScoreRange.
+// ScoreRange evaluates each row independently with the same operations as
+// Score, so the indirection preserves bit-for-bit equality.
+func GatherViaRange(bs BulkScorer, dst, flat []float64, d int, ids []int32, buf []float64) []float64 {
+	buf = GatherRows(buf, flat, d, ids)
+	bs.ScoreRange(dst, buf, d, 0, len(ids))
+	return buf
 }
 
 // Compile-time checks: every built-in scorer supports bulk evaluation.
@@ -83,6 +136,49 @@ func (s *Linear) ScoreRange(dst []float64, flat []float64, d, lo, hi int) {
 	}
 }
 
+// ScoreGather implements BulkScorer. Like ScoreRange, the common low
+// dimensionalities are unrolled and the accumulation order matches Score.
+func (s *Linear) ScoreGather(dst []float64, flat []float64, d int, ids []int32) {
+	w := s.w
+	switch len(w) {
+	case 1:
+		w0 := w[0]
+		for j, id := range ids {
+			var sum float64
+			sum += w0 * flat[int(id)*d]
+			dst[j] = sum
+		}
+	case 2:
+		w0, w1 := w[0], w[1]
+		for j, id := range ids {
+			row := flat[int(id)*d:]
+			var sum float64
+			sum += w0 * row[0]
+			sum += w1 * row[1]
+			dst[j] = sum
+		}
+	case 3:
+		w0, w1, w2 := w[0], w[1], w[2]
+		for j, id := range ids {
+			row := flat[int(id)*d:]
+			var sum float64
+			sum += w0 * row[0]
+			sum += w1 * row[1]
+			sum += w2 * row[2]
+			dst[j] = sum
+		}
+	default:
+		for j, id := range ids {
+			row := flat[int(id)*d : int(id)*d+len(w)]
+			var sum float64
+			for i, wi := range w {
+				sum += wi * row[i]
+			}
+			dst[j] = sum
+		}
+	}
+}
+
 // ScoreRange implements BulkScorer.
 func (s *MonotoneCombo) ScoreRange(dst []float64, flat []float64, d, lo, hi int) {
 	w, h := s.w, s.h
@@ -93,6 +189,19 @@ func (s *MonotoneCombo) ScoreRange(dst []float64, flat []float64, d, lo, hi int)
 			sum += wj * h(row[j])
 		}
 		dst[i-lo] = sum
+	}
+}
+
+// ScoreGather implements BulkScorer.
+func (s *MonotoneCombo) ScoreGather(dst []float64, flat []float64, d int, ids []int32) {
+	w, h := s.w, s.h
+	for j, id := range ids {
+		row := flat[int(id)*d : int(id)*d+len(w)]
+		var sum float64
+		for i, wi := range w {
+			sum += wi * h(row[i])
+		}
+		dst[j] = sum
 	}
 }
 
@@ -114,9 +223,34 @@ func (s *Cosine) ScoreRange(dst []float64, flat []float64, d, lo, hi int) {
 	}
 }
 
+// ScoreGather implements BulkScorer.
+func (s *Cosine) ScoreGather(dst []float64, flat []float64, d int, ids []int32) {
+	w := s.w
+	for j, id := range ids {
+		row := flat[int(id)*d : int(id)*d+len(w)]
+		var dot, nx float64
+		for i, wi := range w {
+			dot += wi * row[i]
+			nx += row[i] * row[i]
+		}
+		if nx == 0 {
+			dst[j] = 0
+			continue
+		}
+		dst[j] = dot / (s.norm * math.Sqrt(nx))
+	}
+}
+
 // ScoreRange implements BulkScorer.
 func (s *Single) ScoreRange(dst []float64, flat []float64, d, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		dst[i-lo] = flat[i*d+s.dim]
+	}
+}
+
+// ScoreGather implements BulkScorer.
+func (s *Single) ScoreGather(dst []float64, flat []float64, d int, ids []int32) {
+	for j, id := range ids {
+		dst[j] = flat[int(id)*d+s.dim]
 	}
 }

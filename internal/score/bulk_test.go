@@ -95,6 +95,110 @@ func TestScoreRangeMatchesScore(t *testing.T) {
 	}
 }
 
+// randIDs draws a non-contiguous id list over [0, n): shuffled, with
+// duplicates and repeated runs — the shape of node skyline lists.
+func randIDs(rng *rand.Rand, n int) []int32 {
+	m := 1 + rng.Intn(2*n/3+1)
+	ids := make([]int32, m)
+	for i := range ids {
+		ids[i] = int32(rng.Intn(n))
+	}
+	return ids
+}
+
+// assertGatherBitIdentical checks ScoreGather against per-record Score
+// bit-for-bit over several random id lists, and the GatherViaRange fallback
+// against both.
+func assertGatherBitIdentical(t *testing.T, s Scorer, flat []float64, n, d int) {
+	t.Helper()
+	bs, ok := s.(BulkScorer)
+	if !ok {
+		t.Fatalf("%T must implement BulkScorer", s)
+	}
+	rng := rand.New(rand.NewSource(19))
+	var buf []float64
+	for trial := 0; trial < 20; trial++ {
+		ids := randIDs(rng, n)
+		dst := make([]float64, len(ids))
+		bs.ScoreGather(dst, flat, d, ids)
+		via := make([]float64, len(ids))
+		buf = GatherViaRange(bs, via, flat, d, ids, buf)
+		for j, id := range ids {
+			want := s.Score(flat[int(id)*d : (int(id)+1)*d])
+			if math.Float64bits(dst[j]) != math.Float64bits(want) {
+				t.Fatalf("%T id %d: gather %v (%#x) != scalar %v (%#x)",
+					s, id, dst[j], math.Float64bits(dst[j]), want, math.Float64bits(want))
+			}
+			if math.Float64bits(via[j]) != math.Float64bits(want) {
+				t.Fatalf("%T id %d: GatherViaRange %v != scalar %v", s, id, via[j], want)
+			}
+		}
+	}
+}
+
+// TestScoreGatherMatchesScore is the gather half of the bit-for-bit
+// guarantee, over attribute data seasoned with NaN, ±Inf and -0.0 for every
+// built-in scorer.
+func TestScoreGatherMatchesScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, d := range []int{1, 2, 3, 4, 7} {
+		n := 300
+		flat := adversarialFlat(rng, n, d)
+		w := make([]float64, d)
+		for i := range w {
+			w[i] = rng.NormFloat64()
+		}
+		lin, err := NewLinear(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertGatherBitIdentical(t, lin, flat, n, d)
+
+		pos := make([]float64, d)
+		for i := range pos {
+			pos[i] = 0.05 + rng.Float64()
+		}
+		combo, err := Log1pCombo(pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertGatherBitIdentical(t, combo, flat, n, d)
+
+		cos, err := NewCosine(pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertGatherBitIdentical(t, cos, flat, n, d)
+
+		single, err := NewSingle(d-1, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertGatherBitIdentical(t, single, flat, n, d)
+	}
+}
+
+func TestScoreFlatGatherFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n, d = 100, 3
+	flat := adversarialFlat(rng, n, d)
+	s := scalarOnly{MustLinear(0.25, -1.5, 3)}
+	ids := randIDs(rng, n)
+	dst := make([]float64, len(ids))
+	ScoreFlatGather(s, dst, flat, d, ids)
+	bulk := make([]float64, len(ids))
+	ScoreFlatGather(s.s, bulk, flat, d, ids)
+	for j, id := range ids {
+		want := s.Score(flat[int(id)*d : (int(id)+1)*d])
+		if math.Float64bits(dst[j]) != math.Float64bits(want) {
+			t.Fatalf("fallback id %d: %v != %v", id, dst[j], want)
+		}
+		if math.Float64bits(bulk[j]) != math.Float64bits(want) {
+			t.Fatalf("bulk id %d: %v != %v", id, bulk[j], want)
+		}
+	}
+}
+
 func TestScoreFlatRangeFallback(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	const n, d = 100, 3

@@ -192,18 +192,50 @@ func (x *Index) spanSkyline(lo, hi int32) []int32 {
 
 // upperBound returns a valid upper bound of the scorer over the node's span.
 // Monotone scorers use the skyline maximum when available (tighter); all
-// scorers fall back to the MBR bound.
-func (x *Index) upperBound(s score.Scorer, monotone bool, n *node) float64 {
+// scorers fall back to the MBR bound. Skyline ids are bulk-scored through
+// sc's gather buffer when the scorer has a gather kernel, so the descent —
+// like the leaf scan — runs without per-record interface dispatch; the
+// scalar loop repeats the same scores in the same order, so both paths
+// produce bit-for-bit identical bounds.
+func (x *Index) upperBound(s score.Scorer, monotone bool, bulk score.BulkScorer, sc *Scratch, n *node) float64 {
 	if monotone && n.skyline != nil {
 		best := math.Inf(-1)
+		if bulk != nil {
+			buf := sc.gatherBuf(len(n.skyline))
+			bulk.ScoreGather(buf, x.flat, x.dims, n.skyline)
+			sc.gatherHits++
+			for _, v := range buf {
+				if v > best {
+					best = v
+				}
+			}
+			return best
+		}
+		d := x.dims
 		for _, id := range n.skyline {
-			if v := s.Score(x.ds.Attrs(int(id))); v > best {
+			i := int(id)
+			if v := s.Score(x.flat[i*d : (i+1)*d : (i+1)*d]); v > best {
 				best = v
 			}
 		}
 		return best
 	}
 	return score.UpperBound(s, n.mbrLo, n.mbrHi)
+}
+
+// UpperBoundAll returns a valid upper bound of the scorer over every indexed
+// record (the root node's bound). The sharded engine uses it to prune whole
+// shards from cross-shard strictly-higher-count probes: a shard whose global
+// bound does not exceed the reference score cannot contribute.
+func (x *Index) UpperBoundAll(s score.Scorer) float64 {
+	if len(x.nodes) == 0 || x.ds.Len() == 0 {
+		return math.Inf(-1)
+	}
+	sc := GetScratch()
+	bulk, _ := s.(score.BulkScorer)
+	ub := x.upperBound(s, score.IsMonotone(s), bulk, sc, &x.nodes[x.root])
+	PutScratch(sc)
+	return ub
 }
 
 // Query returns up to k records with the highest scores among records with
@@ -283,7 +315,7 @@ func (x *Index) QueryRangeInto(s score.Scorer, k int, lo, hi int, sc *Scratch, d
 			if cclo >= cchi {
 				continue
 			}
-			ub := x.upperBound(s, monotone, cn)
+			ub := x.upperBound(s, monotone, bulk, sc, cn)
 			maxT := x.times[cchi-1]
 			if res.wouldImprove(ub, maxT) {
 				pq.push(pqEntry{node: c, ub: ub, maxT: maxT})

@@ -15,6 +15,12 @@ type Scratch struct {
 	heap   []Item    // k-heap item storage
 	pq     []pqEntry // frontier priority-queue storage
 	scores []float64 // bulk leaf-scan score buffer
+	gather []float64 // skyline upper-bound gather score buffer
+
+	// gatherHits counts tree-descent upper bounds answered through the
+	// bulk ScoreGather path (vs scalar skyline loops and MBR bounds); the
+	// perf snapshots record it to prove the gather path is exercised.
+	gatherHits int64
 
 	// Forest probes fan one query out over several per-chunk trees; they
 	// need storage disjoint from the per-tree probe's heap/pq above so the
@@ -43,3 +49,20 @@ func (sc *Scratch) scoreBuf(n int) []float64 {
 	}
 	return sc.scores[:n]
 }
+
+// gatherBuf returns a scratch buffer of length n for skyline gather scoring.
+// It is distinct from scoreBuf because upper bounds are computed while a
+// leaf scan's score column may still be live in the caller.
+func (sc *Scratch) gatherBuf(n int) []float64 {
+	if cap(sc.gather) < n {
+		sc.gather = make([]float64, n)
+	}
+	return sc.gather[:n]
+}
+
+// GatherHits returns the number of skyline upper bounds this Scratch has
+// answered through the bulk ScoreGather path since ResetCounters.
+func (sc *Scratch) GatherHits() int64 { return sc.gatherHits }
+
+// ResetCounters zeroes the instrumentation counters (buffers are kept).
+func (sc *Scratch) ResetCounters() { sc.gatherHits = 0 }

@@ -1,0 +1,194 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/expr"
+	"repro/internal/score"
+)
+
+// specialsDS builds a dataset whose attribute array is seasoned with the
+// IEEE specials (NaN, ±Inf, -0.0) so the gathered upper bounds are compared
+// on the values where bit-for-bit equality is hardest.
+func specialsDS(rng *rand.Rand, n, d int) *data.Dataset {
+	times := make([]int64, n)
+	rows := make([][]float64, n)
+	specials := []float64{math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1), 0}
+	t := int64(0)
+	for i := 0; i < n; i++ {
+		t += int64(1 + rng.Intn(3))
+		times[i] = t
+		row := make([]float64, d)
+		for j := range row {
+			if rng.Intn(10) == 0 {
+				row[j] = specials[rng.Intn(len(specials))]
+			} else {
+				row[j] = rng.NormFloat64() * 20
+			}
+		}
+		rows[i] = row
+	}
+	return data.MustNew(times, rows)
+}
+
+// upperBoundScorers enumerates one gather-capable scorer of every kind the
+// descent can meet: each built-in plus a compiled expression.
+func upperBoundScorers(t *testing.T, rng *rand.Rand, d int) []score.Scorer {
+	t.Helper()
+	w := make([]float64, d)
+	pos := make([]float64, d)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+		pos[i] = 0.05 + rng.Float64()
+	}
+	lin, err := score.NewLinear(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := score.NewLinear(pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combo, err := score.Log1pCombo(pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cos, err := score.NewCosine(pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := score.NewSingle(d-1, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := "0.7*x0"
+	if d > 1 {
+		src = "0.7*x0 + 0.2*x1"
+	}
+	e, err := expr.Compile(src, expr.Options{Dims: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []score.Scorer{lin, mono, combo, cos, single, e}
+}
+
+// TestUpperBoundGatherMatchesScalar walks every node of several indexes and
+// requires the gathered skyline upper bound to equal the scalar skyline loop
+// bit-for-bit, for every built-in scorer and for compiled expressions, on
+// datasets containing NaN and ±Inf attributes.
+func TestUpperBoundGatherMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	sc := GetScratch()
+	defer PutScratch(sc)
+	for trial := 0; trial < 12; trial++ {
+		n := 60 + rng.Intn(700)
+		d := 1 + rng.Intn(4)
+		var ds *data.Dataset
+		if trial%2 == 0 {
+			ds = specialsDS(rng, n, d)
+		} else {
+			ds = randDS(rng, n, d, 5)
+		}
+		x := Build(ds, Options{LengthThreshold: 1 + rng.Intn(32), MaxNodeSkyline: 1 << 20})
+		for _, s := range upperBoundScorers(t, rng, d) {
+			bulk, ok := s.(score.BulkScorer)
+			if !ok {
+				t.Fatalf("%T must implement BulkScorer", s)
+			}
+			monotone := score.IsMonotone(s)
+			for ni := range x.nodes {
+				node := &x.nodes[ni]
+				got := x.upperBound(s, monotone, bulk, sc, node)
+				want := x.upperBound(s, monotone, nil, sc, node)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("trial %d %T node %d (skyline %d ids): gather %v != scalar %v",
+						trial, s, ni, len(node.skyline), got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestQueryGatherVsScalarScorer runs identical query workloads with the
+// gather-capable scorer and a capability-stripped wrapper that keeps
+// bounding and monotonicity (so pruning decisions match) and requires
+// identical results — the end-to-end half of the gathered-descent guarantee.
+type boundedScalar struct{ s score.Scorer }
+
+func (w boundedScalar) Score(x []float64) float64 { return w.s.Score(x) }
+func (w boundedScalar) Dims() int                 { return w.s.Dims() }
+func (w boundedScalar) UpperBound(lo, hi []float64) float64 {
+	return score.UpperBound(w.s, lo, hi)
+}
+func (w boundedScalar) IsMonotone() bool { return score.IsMonotone(w.s) }
+
+// itemsEqualNaN is itemsEqual modulo NaN payload: NaN scores count as equal
+// (every NaN orders identically), since block and scalar kernels may
+// propagate different NaN payloads through commutative float ops.
+func itemsEqualNaN(a, b []Item) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			return false
+		}
+		if a[i].Score != b[i].Score && !(math.IsNaN(a[i].Score) && math.IsNaN(b[i].Score)) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQueryGatherVsScalarScorer(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 15; trial++ {
+		n := 80 + rng.Intn(600)
+		d := 1 + rng.Intn(3)
+		ds := specialsDS(rng, n, d)
+		x := Build(ds, Options{LengthThreshold: 1 + rng.Intn(24)})
+		for _, s := range upperBoundScorers(t, rng, d) {
+			for q := 0; q < 6; q++ {
+				k := 1 + rng.Intn(10)
+				lo := rng.Intn(n)
+				hi := lo + rng.Intn(n-lo) + 1
+				gather := x.QueryRange(s, k, lo, hi)
+				scalar := x.QueryRange(boundedScalar{s}, k, lo, hi)
+				if !itemsEqualNaN(gather, scalar) {
+					t.Fatalf("trial %d %T k=%d [%d,%d):\n gather %v\n scalar %v",
+						trial, s, k, lo, hi, gather, scalar)
+				}
+			}
+		}
+	}
+}
+
+// TestUpperBoundAll checks the root bound really bounds every record and
+// that gather hits are counted on monotone descents.
+func TestUpperBoundAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	ds := randDS(rng, 900, 3, 0)
+	x := Build(ds, Options{LengthThreshold: 16})
+	s := score.MustLinear(0.2, 0.5, 0.3)
+	ub := x.UpperBoundAll(s)
+	for i := 0; i < ds.Len(); i++ {
+		if v := s.Score(ds.Attrs(i)); v > ub {
+			t.Fatalf("record %d scores %v above root bound %v", i, v, ub)
+		}
+	}
+
+	sc := GetScratch()
+	defer PutScratch(sc)
+	sc.ResetCounters()
+	var dst []Item
+	dst = x.QueryRangeInto(s, 5, 0, ds.Len(), sc, dst)
+	if len(dst) != 5 {
+		t.Fatalf("got %d items, want 5", len(dst))
+	}
+	if sc.GatherHits() == 0 {
+		t.Fatal("monotone descent with skylines recorded no gather hits")
+	}
+}
