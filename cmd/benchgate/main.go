@@ -14,9 +14,12 @@
 // where the repo's hot-path guarantees live: any probe that was
 // allocation-free in the baseline and allocates in the fresh run fails the
 // build, as does any other allocs_per_op increase on the probe rows, the
-// sharded sweep rows, and the live engine's steady-query allocations.
-// Warnings are emitted in GitHub Actions annotation syntax so they surface
-// on the workflow run.
+// sharded sweep rows, and the live engine's steady-query allocations (the
+// live+sharded steady query gets the same pool-churn slack as the sharded
+// sweep rows). A baseline row that disappears from the fresh snapshot also
+// fails the build: a vanished row means its hot path silently stopped being
+// measured, which would let regressions land ungated. Warnings are emitted
+// in GitHub Actions annotation syntax so they surface on the workflow run.
 package main
 
 import (
@@ -70,6 +73,15 @@ func (g *gate) ns(kind, name string, old, new float64) {
 	fmt.Printf("%-10s %-14s ns/op %12.0f -> %12.0f (%.2fx, %s)\n", kind, name, old, new, ratio, verdict)
 }
 
+// missingRow fails the build for a baseline row absent from the fresh run: a
+// silently vanished row means its hot path stopped being measured, which
+// would let regressions land ungated. Renames must re-commit the baseline in
+// the same change that renames the row.
+func (g *gate) missingRow(kind, name string) {
+	fmt.Printf("::error::benchgate: %s %q present in the committed baseline but missing from the fresh run; measure and re-commit the baseline if the row was intentionally removed or renamed\n", kind, name)
+	g.failed = true
+}
+
 // allocs compares one allocation count; any increase fails the build.
 func (g *gate) allocs(kind, name string, old, new int64) {
 	fmt.Printf("%-10s %-14s allocs %d -> %d\n", kind, name, old, new)
@@ -101,8 +113,7 @@ func (g *gate) checkTopK(oldRep, newRep *bench.TopKReport) {
 		for name, o := range olds {
 			n, ok := news[name]
 			if !ok {
-				fmt.Printf("::warning::benchgate: %s %q missing from fresh run\n", kind, name)
-				g.warn++
+				g.missingRow(kind, name)
 				continue
 			}
 			g.ns(kind, name, o.NsPerOp, n.NsPerOp)
@@ -156,8 +167,7 @@ func (g *gate) checkShard(oldRep, newRep *bench.ShardReport) {
 	}
 	for _, o := range oldRep.Rows {
 		if _, ok := news[o.Shards]; !ok {
-			fmt.Printf("::warning::benchgate: sharded row shards=%d missing from fresh run\n", o.Shards)
-			g.warn++
+			g.missingRow("sharded", fmt.Sprintf("shards=%d", o.Shards))
 		}
 	}
 	for _, n := range newRep.Rows {
@@ -179,6 +189,35 @@ func (g *gate) checkStream(oldRep, newRep *bench.StreamReport) {
 	}
 	g.ns("stream", "steady-query", oldRep.SteadyQueryNs, newRep.SteadyQueryNs)
 	g.allocs("stream", "steady-query", oldRep.SteadyQueryAllocs, newRep.SteadyQueryAllocs)
+	// The live+sharded lifecycle rows (absent from pre-lifecycle baselines;
+	// gated once a baseline records them). The steady query fans out across
+	// sealed shards on a worker pool, so its allocations get the same
+	// pool-churn slack as the sharded sweep rows rather than the strict
+	// single-engine gate.
+	// The freeze amortization is structural (host-independent) and needs no
+	// baseline: a row can be frozen at most once, so any value beyond
+	// 1 + epsilon means the seal path re-froze history and the lifecycle's
+	// core guarantee broke. Checked before the baseline gating below so a
+	// pre-lifecycle baseline cannot mask it.
+	if newRep.LiveShardedSealRows > 0 && newRep.LiveShardedSealedRowsPerAppend > 1.001 {
+		fmt.Printf("::error::benchgate: stream \"livesharded\" sealed_rows_per_append %.3f > 1: sealed history was re-frozen\n",
+			newRep.LiveShardedSealedRowsPerAppend)
+		g.failed = true
+	}
+	if oldRep.LiveShardedSealRows == 0 && newRep.LiveShardedSealRows == 0 {
+		return
+	}
+	if newRep.LiveShardedSealRows == 0 {
+		g.missingRow("stream", "livesharded")
+		return
+	}
+	if oldRep.LiveShardedSealRows == 0 {
+		fmt.Printf("::warning::benchgate: stream \"livesharded\" has no committed baseline row (new?); re-commit the baseline to gate it\n")
+		g.warn++
+		return
+	}
+	g.ns("stream", "ls-steady", oldRep.LiveShardedSteadyQueryNs, newRep.LiveShardedSteadyQueryNs)
+	g.allocsSlack("stream", "ls-steady", oldRep.LiveShardedSteadyQueryAllocs, newRep.LiveShardedSteadyQueryAllocs)
 }
 
 func main() {
@@ -244,7 +283,7 @@ func main() {
 
 	switch {
 	case g.failed:
-		fmt.Println("benchgate: FAIL (allocation regression on a gated hot path)")
+		fmt.Println("benchgate: FAIL (allocation regression or vanished row on a gated hot path)")
 		os.Exit(1)
 	case g.warn > 0:
 		fmt.Printf("benchgate: pass with %d warning(s)\n", g.warn)

@@ -396,6 +396,23 @@ func TestQueryLiveMode(t *testing.T) {
 		t.Fatalf("live mostdurable wrong:\n%s", most)
 	}
 	runExpectError(t, "durquery", "-input", csv, "-live", "-shards", "4")
+
+	// The live+sharded lifecycle (-sealrows / -sealspan) must answer
+	// bit-identically too, across several seal boundaries.
+	for _, extra := range [][]string{
+		{"-sealrows", "300"},
+		{"-sealspan", "40"},
+		{"-sealrows", "256", "-sealspan", "500"},
+	} {
+		args := append([]string{"-input", csv, "-k", "3", "-tau", "150", "-live"}, extra...)
+		if got := recordLines(run(t, "durquery", args...)); got != batch {
+			t.Fatalf("live-sharded CLI records (%v) differ from batch:\n%s\n---\n%s", extra, got, batch)
+		}
+	}
+	durSharded := run(t, "durquery", "-input", csv, "-k", "2", "-tau", "100", "-live", "-sealrows", "300", "-durations")
+	if !strings.Contains(durSharded, "max-durability=") {
+		t.Fatalf("live-sharded durations missing:\n%s", durSharded)
+	}
 }
 
 // TestServedLiveIngest pipes a durgen stream into durserved -live -ingest
@@ -410,9 +427,12 @@ func TestServedLiveIngest(t *testing.T) {
 	}
 	defer feed.Close()
 
+	// -sealrows serves the feed through the live+sharded lifecycle: 1200
+	// ingested records seal exactly four 300-row shards (the tail is empty
+	// right at the drain point), all behind the same wire contract.
 	cmd := exec.Command(filepath.Join(binDir, "durserved"),
 		"-addr", "127.0.0.1:0", "-live", "feed=2", "-ingest", "feed",
-		"-livek", "3", "-livetau", "50")
+		"-livek", "3", "-livetau", "50", "-sealrows", "300")
 	cmd.Stdin = feed
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
@@ -469,6 +489,11 @@ func TestServedLiveIngest(t *testing.T) {
 	}
 	if got != 1200 {
 		t.Fatalf("ingest stalled at %d of 1200 records", got)
+	}
+	if infos, err := cl.Datasets(); err != nil {
+		t.Fatal(err)
+	} else if infos[0].Shards != 4 {
+		t.Fatalf("live-sharded feed reports %d shards, want 4 sealed (300-row seals over 1200 records)", infos[0].Shards)
 	}
 
 	// Queries serve the ingested stream.

@@ -5,6 +5,7 @@
 //	durbench -list
 //	durbench -exp fig8 [-scale 1.0] [-reps 12] [-seed 1] [-quick]
 //	durbench -exp all -out results.txt
+//	durbench -livesharded [-scale 0.25]
 //	durbench -topkjson BENCH_topk.json [-topkds nba-2] [-scale 0.25]
 //	durbench -shardjson BENCH_sharded.json [-shardds nba-2] [-scale 0.25]
 //	durbench -streamjson BENCH_stream.json [-streamds nba-2] [-scale 0.25]
@@ -30,21 +31,25 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "", "experiment id, or \"all\"")
-		list       = flag.Bool("list", false, "list experiments and exit")
-		scale      = flag.Float64("scale", 1.0, "dataset size multiplier")
-		reps       = flag.Int("reps", 12, "preference vectors per configuration (paper: 100)")
-		seed       = flag.Int64("seed", 1, "random seed")
-		quick      = flag.Bool("quick", false, "trim parameter sweeps")
-		out        = flag.String("out", "", "write output to file as well as stdout")
-		topkJSON   = flag.String("topkjson", "", "write per-strategy ns/op + allocs/op JSON to this path and exit")
-		topkDS     = flag.String("topkds", "nba-2", "dataset for -topkjson")
-		shardJSON  = flag.String("shardjson", "", "write the shard-scaling sweep (ns/op + speedup at 1/2/4/8 shards) to this path and exit")
-		shardDS    = flag.String("shardds", "nba-2", "dataset for -shardjson")
-		streamJSON = flag.String("streamjson", "", "write the live-ingestion snapshot (appends/sec, rebuild amortization, freshness lag) to this path and exit")
-		streamDS   = flag.String("streamds", "nba-2", "dataset for -streamjson")
+		exp         = flag.String("exp", "", "experiment id, or \"all\"")
+		list        = flag.Bool("list", false, "list experiments and exit")
+		scale       = flag.Float64("scale", 1.0, "dataset size multiplier")
+		reps        = flag.Int("reps", 12, "preference vectors per configuration (paper: 100)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		quick       = flag.Bool("quick", false, "trim parameter sweeps")
+		out         = flag.String("out", "", "write output to file as well as stdout")
+		topkJSON    = flag.String("topkjson", "", "write per-strategy ns/op + allocs/op JSON to this path and exit")
+		topkDS      = flag.String("topkds", "nba-2", "dataset for -topkjson")
+		shardJSON   = flag.String("shardjson", "", "write the shard-scaling sweep (ns/op + speedup at 1/2/4/8 shards) to this path and exit")
+		shardDS     = flag.String("shardds", "nba-2", "dataset for -shardjson")
+		streamJSON  = flag.String("streamjson", "", "write the live-ingestion snapshot (appends/sec, rebuild amortization, freshness lag, seal lifecycle) to this path and exit")
+		streamDS    = flag.String("streamds", "nba-2", "dataset for -streamjson")
+		liveSharded = flag.Bool("livesharded", false, "run the live+sharded seal/freeze lifecycle experiment (alias for -exp livesharded)")
 	)
 	flag.Parse()
+	if *liveSharded && *exp == "" {
+		*exp = "livesharded"
+	}
 
 	if *topkJSON != "" {
 		cfg := bench.Config{Scale: *scale, Reps: *reps, Seed: *seed, Quick: *quick}

@@ -28,7 +28,10 @@
 // are appended one at a time (exactly as durserved -live would receive
 // them) and the query runs over the incrementally built index. Answers are
 // identical to the default batch evaluation — this flag exists to exercise
-// and demonstrate the live path from the command line.
+// and demonstrate the live path from the command line. Adding -sealrows N
+// (and/or -sealspan T) replays the stream through the live+sharded
+// lifecycle: the mutable tail seals into immutable static shards as it
+// fills, and the query fans out over sealed shards plus the tail.
 //
 // -explain prints the cost-based planner's strategy assessment instead of
 // running the query.
@@ -67,6 +70,8 @@ func main() {
 		shardBy   = flag.String("shardby", "count", "shard partitioning: count|timespan")
 		useRMQ    = flag.Bool("rmq", false, "use the sparse-table RMQ building block (fixed-scorer workloads)")
 		live      = flag.Bool("live", false, "evaluate through the streaming ingestion engine (append records one at a time)")
+		sealRows  = flag.Int("sealrows", 0, "with -live: route appends through the live+sharded lifecycle, sealing the tail every N records")
+		sealSpan  = flag.Int64("sealspan", 0, "with -live: seal the tail once its arrivals span this many ticks")
 		asJSON    = flag.Bool("json", false, "emit results as JSON")
 	)
 	flag.Parse()
@@ -147,17 +152,37 @@ func main() {
 			workers = *parallel
 		}
 	})
+	if (*sealRows > 0 || *sealSpan > 0) && !*live {
+		fatal(fmt.Errorf("-sealrows/-sealspan require -live (they configure the live+sharded lifecycle)"))
+	}
 	var eng durable.Querier
 	switch {
 	case *live:
 		if *shards > 1 {
-			fatal(fmt.Errorf("-live and -shards are mutually exclusive"))
+			fatal(fmt.Errorf("-live and -shards are mutually exclusive (use -sealrows/-sealspan for live sharding)"))
 		}
 		if *useRMQ {
 			// The live engine's forward building block is always the
 			// incremental forest; silently overriding -rmq would misreport
 			// what was measured.
 			fatal(fmt.Errorf("-live and -rmq are mutually exclusive (the live path always uses the forest index)"))
+		}
+		if *sealRows > 0 || *sealSpan > 0 {
+			// Live+sharded lifecycle: the stream seals into static shards as
+			// it is replayed, and the query fans out over sealed + tail.
+			lse, err := durable.NewLiveSharded(ds.Dims(), engOpts,
+				durable.LiveOptions{Capacity: ds.Len()},
+				durable.LiveShardOptions{SealRows: *sealRows, SealSpan: *sealSpan, Workers: workers})
+			if err != nil {
+				fatal(err)
+			}
+			for i := 0; i < ds.Len(); i++ {
+				if _, _, err := lse.Append(ds.Time(i), ds.Attrs(i)); err != nil {
+					fatal(err)
+				}
+			}
+			eng = lse
+			break
 		}
 		le, err := durable.NewLive(ds.Dims(), engOpts, durable.LiveOptions{Capacity: ds.Len()})
 		if err != nil {

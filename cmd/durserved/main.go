@@ -31,6 +31,14 @@
 // the server runs, so a producer can be piped straight in:
 //
 //	durgen -kind nba -n 100000 | durserved -live games=2 -ingest games
+//
+// -sealrows N and/or -sealspan T serve -live datasets through the
+// live+sharded lifecycle instead: appends route to a mutable tail shard that
+// is sealed into an immutable static shard every N records (or once its
+// arrivals span T ticks) — bounding rebuild work and query fan-out on an
+// unbounded stream:
+//
+//	durgen -kind nba -n 1000000 | durserved -live games=2 -sealrows 100000 -ingest games
 package main
 
 import (
@@ -70,18 +78,20 @@ func (kv *keyValue) Set(s string) error {
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7411", "listen address")
-		seed    = flag.Int64("seed", 1, "seed for generated datasets")
-		shards  = flag.Int("shards", 1, "serve each dataset from this many time shards (sharded engine when > 1)")
-		shardBy = flag.String("shardby", "count", "shard partitioning: count|timespan")
-		workers = flag.Int("workers", 0, "per-query shard fan-out pool size (0 = min(shards, GOMAXPROCS))")
-		liveK   = flag.Int("livek", 0, "monitor live datasets online with this top-k (0 = no monitor)")
-		liveTau = flag.Int64("livetau", 0, "durability window length for -livek monitoring")
-		ingest  = flag.String("ingest", "", "stream CSV records from stdin into this live dataset")
-		files   keyValue
-		gens    keyValue
-		names   keyValue
-		lives   keyValue
+		addr     = flag.String("addr", "127.0.0.1:7411", "listen address")
+		seed     = flag.Int64("seed", 1, "seed for generated datasets")
+		shards   = flag.Int("shards", 1, "serve each dataset from this many time shards (sharded engine when > 1)")
+		shardBy  = flag.String("shardby", "count", "shard partitioning: count|timespan")
+		workers  = flag.Int("workers", 0, "per-query shard fan-out pool size (0 = min(shards, GOMAXPROCS))")
+		liveK    = flag.Int("livek", 0, "monitor live datasets online with this top-k (0 = no monitor)")
+		liveTau  = flag.Int64("livetau", 0, "durability window length for -livek monitoring")
+		ingest   = flag.String("ingest", "", "stream CSV records from stdin into this live dataset")
+		sealRows = flag.Int("sealrows", 0, "serve -live datasets live+sharded: seal the mutable tail into a static shard every N records (0 = plain live engine)")
+		sealSpan = flag.Int64("sealspan", 0, "serve -live datasets live+sharded: seal the tail once its arrivals span this many ticks (0 = no span rule)")
+		files    keyValue
+		gens     keyValue
+		names    keyValue
+		lives    keyValue
 	)
 	flag.Var(&files, "data", "serve a CSV dataset as name=path (repeatable)")
 	flag.Var(&gens, "gen", "serve a generated dataset as name=kind:n[:dims] (repeatable)")
@@ -150,7 +160,7 @@ func main() {
 		register(name, ds)
 	}
 
-	liveEngines := map[string]*core.LiveEngine{}
+	liveEngines := map[string]liveServed{}
 	for i, name := range lives.keys {
 		dims, err := strconv.Atoi(lives.values[i])
 		if err != nil || dims < 1 {
@@ -170,16 +180,30 @@ func main() {
 				MonitorK: *liveK, MonitorTau: *liveTau, MonitorScorer: s, TrackAhead: true,
 			}
 		}
-		le, err := srv.AddLive(name, dims, attrNames[name], engOpts, liveOpts)
-		if err != nil {
-			log.Fatalf("durserved: -live %s: %v", name, err)
+		var le liveServed
+		suffix := ""
+		if *sealRows > 0 || *sealSpan > 0 {
+			// Live+sharded lifecycle: appends route to a mutable tail shard
+			// that seals into immutable static shards as it fills.
+			lse, err := srv.AddLiveSharded(name, dims, attrNames[name], engOpts, liveOpts,
+				core.LiveShardOptions{SealRows: *sealRows, SealSpan: *sealSpan, Workers: *workers})
+			if err != nil {
+				log.Fatalf("durserved: -live %s: %v", name, err)
+			}
+			le = lse
+			suffix = fmt.Sprintf(", sealing every %s", sealRuleString(*sealRows, *sealSpan))
+		} else {
+			plain, err := srv.AddLive(name, dims, attrNames[name], engOpts, liveOpts)
+			if err != nil {
+				log.Fatalf("durserved: -live %s: %v", name, err)
+			}
+			le = plain
 		}
 		liveEngines[name] = le
-		monitored := ""
 		if *liveK > 0 {
-			monitored = fmt.Sprintf(", monitored k=%d tau=%d", *liveK, *liveTau)
+			suffix += fmt.Sprintf(", monitored k=%d tau=%d", *liveK, *liveTau)
 		}
-		log.Printf("durserved: serving live %q: %d dims, awaiting appends%s", name, dims, monitored)
+		log.Printf("durserved: serving live %q: %d dims, awaiting appends%s", name, dims, suffix)
 	}
 
 	if *ingest != "" {
@@ -254,6 +278,25 @@ func main() {
 
 func isClosed(err error) bool {
 	return strings.Contains(err.Error(), "use of closed network connection")
+}
+
+// liveServed is the ingestion surface durserved needs from a live dataset's
+// engine, satisfied by both core.LiveEngine and core.LiveShardedEngine.
+type liveServed interface {
+	wire.LiveIngest
+	Rebuilds() int
+}
+
+// sealRuleString renders the active seal thresholds for the startup log.
+func sealRuleString(rows int, span int64) string {
+	switch {
+	case rows > 0 && span > 0:
+		return fmt.Sprintf("%d records or %d ticks", rows, span)
+	case span > 0:
+		return fmt.Sprintf("%d ticks", span)
+	default:
+		return fmt.Sprintf("%d records", rows)
+	}
 }
 
 // generate builds a synthetic dataset from a kind:n[:dims] spec.

@@ -181,6 +181,34 @@ func NewLive(d int, opts Options, live LiveOptions) (*LiveEngine, error) {
 	return core.NewLiveEngine(d, opts, live)
 }
 
+// LiveShardedEngine composes live ingestion with time sharding: appends
+// route to a single mutable tail shard, and when the tail reaches a seal
+// threshold (row count or time span) it is frozen into an immutable static
+// shard and a fresh tail opens — the LSM-style lifecycle that bounds both
+// rebuild work and query fan-out on an unbounded stream. Queries fan out
+// over the sealed shards plus the tail with the exact cross-shard merge and
+// pruning of ShardedEngine; answers are bit-identical to a batch Engine over
+// the same prefix.
+type LiveShardedEngine = core.LiveShardedEngine
+
+// LiveShardOptions configures the seal/freeze lifecycle: the tail's seal
+// thresholds (rows and/or time span), the query fan-out pool, and straddler
+// handling.
+type LiveShardOptions = core.LiveShardOptions
+
+// DefaultSealRows is the tail seal threshold used when LiveShardOptions sets
+// neither a row nor a span rule.
+const DefaultSealRows = core.DefaultSealRows
+
+// NewLiveSharded returns an empty live+sharded engine for d-dimensional
+// records. Feed it with Append (seals happen automatically; Seal forces
+// one); query it at any time through the same Querier contract as New,
+// NewSharded and NewLive. live configures capacity hints and the optional
+// online monitor, which spans seals.
+func NewLiveSharded(d int, opts Options, live LiveOptions, shards LiveShardOptions) (*LiveShardedEngine, error) {
+	return core.NewLiveShardedEngine(d, opts, live, shards)
+}
+
 // NewLinear returns the preference scorer f(p) = sum w_i * x_i.
 func NewLinear(weights []float64) (Scorer, error) { return score.NewLinear(weights) }
 

@@ -214,6 +214,115 @@ func runDifferentialTrial(t *testing.T, seed int64) {
 	}
 }
 
+// runLiveShardedDifferentialTrial is the acceptance harness of the
+// live+sharded lifecycle: one dataset streamed through a LiveShardedEngine in
+// random batch sizes under a random seal policy (row- or span-triggered,
+// plus randomly forced seals so queries land right after epoch swaps), with
+// queries interleaved at every batch boundary — each answer compared
+// record-for-record (ID, time, score, durations) against a batch Engine
+// built fresh over exactly the prefix appended so far, across all five
+// strategies and both straddler paths.
+func runLiveShardedDifferentialTrial(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	flavor := []string{"clustered", "adversarial", "dense"}[rng.Intn(3)]
+	n := 40 + rng.Intn(260)
+	d := 1 + rng.Intn(3)
+	ds := diffDataset(rng, flavor, n, d)
+	s := randScorer(rng, d)
+
+	so := LiveShardOptions{
+		Workers:           1 + rng.Intn(3),
+		StraddleThreshold: []int{1, 16, 1 << 30}[rng.Intn(3)],
+	}
+	if rng.Intn(2) == 0 {
+		so.SealRows = 1 + rng.Intn(60)
+	} else {
+		so.SealSpan = 1 + int64(rng.Intn(int(ds.TimeSpan())+2))
+	}
+	lse, err := NewLiveShardedEngine(d, testEngineOpts(), LiveOptions{}, so)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fail := func(alg string, prefix int, q Query, got, want *Result) {
+		t.Fatalf("seed %d (LIVESHARD_SEED=%d to reproduce): flavor=%s n=%d d=%d prefix=%d shards=%d alg=%s\n"+
+			"seal rows=%d span=%d | query k=%d tau=%d lead=%d I=[%d,%d] anchor=%v durations=%v\n got %v\nwant %v",
+			seed, seed, flavor, n, d, prefix, lse.NumShards(), alg,
+			so.SealRows, so.SealSpan, q.K, q.Tau, q.Lead, q.Start, q.End,
+			q.Anchor, q.WithDurations, got.Records, want.Records)
+	}
+
+	appended := 0
+	for appended < n {
+		batch := 1 + rng.Intn(24)
+		for j := 0; j < batch && appended < n; j++ {
+			if _, _, err := lse.Append(ds.Time(appended), ds.Attrs(appended)); err != nil {
+				t.Fatalf("seed %d: append %d: %v", seed, appended, err)
+			}
+			appended++
+		}
+		if rng.Intn(4) == 0 {
+			// Forced seal: the next queries run against a just-swapped epoch
+			// with a momentarily empty tail.
+			lse.Seal()
+		}
+		prefix := ds.Prefix(appended)
+		batchEng := NewEngine(prefix, testEngineOpts())
+		for qi := 0; qi < 2; qi++ {
+			q := diffQuery(rng, prefix)
+			q.Scorer = s
+			q.WithDurations = rng.Intn(3) == 0 && q.Anchor != General
+			for _, alg := range Algorithms() {
+				sub := q
+				sub.Algorithm = alg
+				mid := q.Anchor == General && q.Lead > 0 && q.Lead < q.Tau
+				if mid && (alg == TBase || alg == SBand) {
+					continue // rejected by contract, covered elsewhere
+				}
+				if mid && q.WithDurations {
+					continue
+				}
+				want, err := batchEng.DurableTopK(sub)
+				if err != nil {
+					t.Fatalf("seed %d: batch %v: %v", seed, alg, err)
+				}
+				got, err := lse.DurableTopK(sub)
+				if err != nil {
+					t.Fatalf("seed %d: live-sharded %v: %v", seed, alg, err)
+				}
+				if !reflect.DeepEqual(got.Records, want.Records) {
+					fail(alg.String(), appended, sub, got, want)
+				}
+			}
+		}
+	}
+	if lse.Len() != n {
+		t.Fatalf("live-sharded Len=%d want %d", lse.Len(), n)
+	}
+	if lse.SealedRows()+lse.TailLen() != n {
+		t.Fatalf("sealed %d + tail %d records, want %d", lse.SealedRows(), lse.TailLen(), n)
+	}
+}
+
+func TestLiveShardedDifferential(t *testing.T) {
+	if env := os.Getenv("LIVESHARD_SEED"); env != "" {
+		seed, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("bad LIVESHARD_SEED %q: %v", env, err)
+		}
+		runLiveShardedDifferentialTrial(t, seed)
+		return
+	}
+	master := rand.New(rand.NewSource(20260729))
+	trials := 12
+	if testing.Short() {
+		trials = 4
+	}
+	for trial := 0; trial < trials; trial++ {
+		runLiveShardedDifferentialTrial(t, master.Int63())
+	}
+}
+
 func TestDifferentialAllStrategies(t *testing.T) {
 	if env := os.Getenv("DIFF_SEED"); env != "" {
 		seed, err := strconv.ParseInt(env, 10, 64)

@@ -148,6 +148,101 @@ func FuzzLiveAppend(f *testing.F) {
 	})
 }
 
+// FuzzLiveShardedAppend fuzzes the seal/freeze lifecycle invariant: arbitrary
+// append streams routed through a LiveShardedEngine under arbitrary (small)
+// seal thresholds, with queries interleaved at arbitrary points, must answer
+// exactly like a batch engine rebuilt over the same prefix — and like the
+// brute-force oracle. cfg bit 4 switches the seal rule from rows to time
+// span, bit 5 the straddler path; query points that coincide with a seal
+// boundary (the seed corpus pins several) exercise the just-sealed empty
+// tail. Run `go test -fuzz FuzzLiveShardedAppend ./internal/core` for
+// continuous fuzzing; the seed corpus below runs as a normal test.
+func FuzzLiveShardedAppend(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5}, uint8(1), uint8(5), uint8(2), uint8(1))
+	f.Add([]byte{9, 9, 9, 9, 0, 0, 0}, uint8(2), uint8(1), uint8(3), uint8(3))
+	// Seal boundary pins: sealRows divides the stream length and the query
+	// stride, so queries land exactly on freshly sealed (empty-tail) epochs.
+	f.Add([]byte{8, 1, 8, 1, 8, 1, 8, 1, 8, 1, 8, 1}, uint8(2), uint8(200), uint8(3), uint8(1))
+	f.Add([]byte{0, 255, 0, 255, 7, 7, 7, 7, 7, 16, 32, 64}, uint8(3), uint8(30), uint8(3), uint8(3))
+	f.Add([]byte{3, 7, 3, 7, 3, 7, 3, 7, 3, 7, 3, 7, 3, 7, 3, 7}, uint8(1), uint8(4), uint8(1), uint8(32|1))
+	// Span-triggered seals (bit 4), tiny span so boundaries are dense.
+	f.Add([]byte{240, 16, 240, 16, 240, 16, 240, 16}, uint8(3), uint8(4), uint8(2), uint8(16|2))
+	f.Add([]byte{255}, uint8(1), uint8(0), uint8(0), uint8(0))
+	f.Fuzz(func(t *testing.T, raw []byte, kRaw, tauRaw, sealRaw, cfg uint8) {
+		if len(raw) == 0 || len(raw) > 256 {
+			t.Skip()
+		}
+		k := int(kRaw%8) + 1
+		tau := int64(tauRaw)
+		every := int(cfg%16) + 1
+		so := LiveShardOptions{Workers: 1 + int(cfg>>6)}
+		if cfg&16 != 0 {
+			so.SealSpan = int64(sealRaw%12) + 1
+		} else {
+			so.SealRows = int(sealRaw%12) + 1
+		}
+		if cfg&32 != 0 {
+			so.StraddleThreshold = 1 // transient straddle-region engines
+		} else {
+			so.StraddleThreshold = 1 << 30 // per-record cross-shard probes
+		}
+		s := score.MustLinear(1)
+		opts := Options{Index: topk.Options{LengthThreshold: 4}}
+		lse, err := NewLiveShardedEngine(1, opts, LiveOptions{}, so)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Decode bytes: low nibble = time gap (1..4), high nibble = score.
+		times := make([]int64, 0, len(raw))
+		rows := make([][]float64, 0, len(raw))
+		tt := int64(0)
+		anchors := [2]Anchor{LookBack, LookAhead}
+		for i, by := range raw {
+			tt += int64(by&3) + 1
+			times = append(times, tt)
+			rows = append(rows, []float64{float64(by >> 4)})
+			if _, _, err := lse.Append(tt, rows[i]); err != nil {
+				t.Fatal(err)
+			}
+			if (i+1)%every != 0 && i != len(raw)-1 {
+				continue
+			}
+			if (i/every)%3 == 2 {
+				// Forced seal right before the query: the interval often sits
+				// entirely inside the now-empty tail's time range.
+				lse.Seal()
+			}
+			// Query point: live-sharded vs batch-rebuilt vs oracle over the
+			// prefix appended so far.
+			ds, err := data.New(times[:i+1:i+1], rows[:i+1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			lo, hi := ds.Span()
+			anchor := anchors[(i/every)%2]
+			want := BruteForce(ds, s, k, tau, lo, hi, anchor)
+			batch := NewEngine(ds, opts)
+			q := Query{K: k, Tau: tau, Start: lo, End: hi, Scorer: s, Anchor: anchor, Algorithm: SHop}
+			wantRes, err := batch.DurableTopK(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := lse.DurableTopK(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.IDs(), want) && !(len(got.IDs()) == 0 && len(want) == 0) {
+				t.Fatalf("live-sharded vs oracle at prefix %d: k=%d tau=%d anchor=%v seals=%d shards=%d\n got %v\nwant %v",
+					i+1, k, tau, anchor, lse.Seals(), lse.NumShards(), got.IDs(), want)
+			}
+			if !reflect.DeepEqual(got.Records, wantRes.Records) {
+				t.Fatalf("live-sharded vs batch at prefix %d: k=%d tau=%d anchor=%v seals=%d\n got %v\nwant %v",
+					i+1, k, tau, anchor, lse.Seals(), got.Records, wantRes.Records)
+			}
+		}
+	})
+}
+
 // FuzzShardedQuery fuzzes the shard-boundary invariants of ShardedEngine:
 // arbitrary datasets and shard counts against the single-engine and
 // brute-force answers, with the interval optionally pinned exactly onto a

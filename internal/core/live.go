@@ -161,31 +161,55 @@ func (le *LiveEngine) Dataset() *data.Dataset {
 }
 
 // snapshotEngine returns the engine over the current n-record prefix,
-// memoized until the next append. The forward building block is the live
-// forest itself (no rebuild); auxiliary structures a strategy may need — the
-// reversed view for look-ahead windows, skyband ladders — are built lazily
-// by the engine exactly as in the batch path.
+// memoized until the next append. The forward building block is an
+// append-stable prefix view of the live forest (topk.Forest.Snapshot — no
+// rebuild, the chunk trees are shared); auxiliary structures a strategy may
+// need — the reversed view for look-ahead windows, skyband ladders — are
+// built lazily by the engine exactly as in the batch path.
 //
-// Callers hold le.mu (read) for the whole evaluation, so the forest cannot
-// grow under the returned engine.
+// Callers hold le.mu (read), which keeps n current for the duration of their
+// evaluation. The pinned view additionally makes the returned engine sound
+// on its own: it keeps answering exactly over records [0, n) even if it
+// outlives the next append, closing the torn-prefix hazard a raw forest
+// block would have (the forest's time-window probes would otherwise see
+// records appended after the snapshot). The live+sharded lifecycle relies on
+// this to evaluate against a frozen tail epoch after releasing its lock.
 func (le *LiveEngine) snapshotEngine(n int) *Engine {
 	le.engMu.Lock()
 	defer le.engMu.Unlock()
 	if le.eng != nil && le.engLen == n {
 		return le.eng
 	}
-	snap := le.forest.Dataset().Prefix(n)
+	view := le.forest.Snapshot(n)
+	snap := view.Dataset()
 	opts := le.opts
 	inner := le.opts // what non-forward views (the reversed mirror) build with
 	opts.NewBlock = func(d *data.Dataset) Block {
 		if d == snap {
-			return le.forest
+			return view
 		}
 		return buildBlock(d, inner)
 	}
 	le.eng = NewEngine(snap, opts)
 	le.engLen = n
 	return le.eng
+}
+
+// Snapshot returns the memoized engine over the prefix of records appended
+// so far, together with that prefix's length, or (nil, 0) while the live
+// engine is empty. The engine is append-stable: built over prefix-pinned
+// storage and a pinned forest view, it keeps answering exactly over those n
+// records no matter how far the stream grows afterwards. The live+sharded
+// engine snapshots its mutable tail through this to assemble frozen query
+// epochs.
+func (le *LiveEngine) Snapshot() (*Engine, int) {
+	le.mu.RLock()
+	defer le.mu.RUnlock()
+	n := le.forest.Len()
+	if n == 0 {
+		return nil, 0
+	}
+	return le.snapshotEngine(n), n
 }
 
 // errEmptyLive rejects operations that need at least one record.

@@ -1,0 +1,491 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/data"
+	"repro/internal/monitor"
+	"repro/internal/planner"
+	"repro/internal/score"
+)
+
+// LiveShardOptions configures the seal/freeze lifecycle of a
+// LiveShardedEngine.
+type LiveShardOptions struct {
+	// SealRows freezes the mutable tail into an immutable static shard once
+	// it holds this many records. 0 disables the row rule — unless SealSpan
+	// is also 0, in which case SealRows defaults to DefaultSealRows (an
+	// unbounded tail would degenerate into a plain live engine).
+	SealRows int
+	// SealSpan freezes the tail once its arrivals span at least this many
+	// time ticks (last arrival - first arrival >= SealSpan). 0 disables the
+	// span rule. When both rules are set, whichever trips first seals.
+	SealSpan int64
+	// Workers bounds the per-query shard fan-out pool; <= 0 selects
+	// min(shard count, GOMAXPROCS) per query.
+	Workers int
+	// StraddleThreshold tunes boundary-straddler handling exactly as in
+	// ShardOptions; 0 selects the default.
+	StraddleThreshold int
+}
+
+// DefaultSealRows is the tail seal threshold when LiveShardOptions specifies
+// neither rule.
+const DefaultSealRows = 4096
+
+// LiveShardedEngine composes live ingestion with time sharding — the
+// LSM-flavored lifecycle that keeps both the unit of rebuild work and the
+// unit of query fan-out bounded on an unbounded stream. Appends route to a
+// single mutable tail shard (a LiveEngine over an appendable columnar tail);
+// when the tail trips a seal threshold (row count or time span, see
+// LiveShardOptions) it is sealed — immediately immutable and queryable
+// through its pinned snapshot — then frozen in the background into a static
+// Engine shard over a zero-copy slice of the global storage, while a fresh
+// empty tail takes the appends.
+// Queries fan out over the sealed shards plus the tail with the exact
+// straddler/higher-count merge, reach-based shard routing and per-shard score
+// upper-bound pruning of ShardedEngine — the tail participates through an
+// append-stable snapshot (its score bounds are re-derived per epoch, so an
+// append can never leave a stale bound behind).
+//
+// Every append and seal swaps in a fresh immutable query epoch (shardGroup)
+// under a RW lock; a query snapshots the current epoch and then evaluates
+// lock-free, so long scans never block ingestion. Answers are bit-identical
+// to a batch Engine built over the same prefix for all five strategies,
+// enforced by the differential harness and FuzzLiveShardedAppend.
+//
+// Safe for concurrent use: any number of concurrent queries, one appender.
+type LiveShardedEngine struct {
+	opts Options
+	so   LiveShardOptions
+	dims int
+
+	mon *monitor.Monitor
+
+	// mu serializes lifecycle transitions (append, seal) against epoch
+	// snapshots; queries hold it only while grabbing the current epoch.
+	mu     sync.RWMutex
+	global *data.Dataset // appendable columnar storage of every record
+	sealed []timeShard   // frozen shards, ascending, over global slices
+	tail   *LiveEngine   // mutable tail shard over records [tailLo, Len)
+	tailLo int
+	seq    uint64 // bumped on every append and seal; keys epoch caches
+
+	// Lifecycle metrics (guarded by mu): seals counts freeze events,
+	// sealedRows the rows frozen into static engines (each row is frozen
+	// exactly once), rebuilds/indexedRows the accumulated incremental-index
+	// work of retired tails plus their freeze builds (freeze work lands when
+	// the background build completes; see WaitSealed).
+	seals       int
+	sealedRows  int
+	rebuilds    int
+	indexedRows int
+
+	// freezeWG tracks in-flight background freeze builds; freezing counts
+	// them (guarded by mu) so seal backpressure can bound the retired tails
+	// kept alive awaiting their freeze.
+	freezeWG sync.WaitGroup
+	freezing int
+
+	// groupMu guards the memoized query epoch; a query at an unchanged seq
+	// reuses it (keeping the tail snapshot engine and its lazily built
+	// auxiliary structures warm between appends), and the first query after
+	// an append or seal assembles a fresh one.
+	groupMu  sync.Mutex
+	group    *shardGroup
+	groupSeq uint64
+
+	// revMu guards the memoized time-mirrored prefix for look-ahead
+	// durability sweeps, keyed by prefix length.
+	revMu  sync.Mutex
+	rev    *data.Dataset
+	revLen int
+}
+
+// NewLiveShardedEngine returns an empty live+sharded engine for
+// d-dimensional records. live configures storage capacity hints and the
+// optional online monitor (which spans seals: it watches the whole stream,
+// not the current tail); so configures the seal lifecycle.
+func NewLiveShardedEngine(d int, opts Options, live LiveOptions, so LiveShardOptions) (*LiveShardedEngine, error) {
+	if d < 1 {
+		return nil, errors.New("core: live sharded engine needs dimensionality >= 1")
+	}
+	if so.SealRows < 0 || so.SealSpan < 0 {
+		return nil, errors.New("core: seal thresholds must be >= 0")
+	}
+	if so.SealRows == 0 && so.SealSpan == 0 {
+		so.SealRows = DefaultSealRows
+	}
+	global, err := data.NewAppendable(d, live.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	e := &LiveShardedEngine{opts: opts, so: so, dims: d, global: global}
+	if live.MonitorK > 0 {
+		if live.MonitorScorer == nil {
+			return nil, errors.New("core: live monitor needs a scorer")
+		}
+		if live.MonitorScorer.Dims() != d {
+			return nil, fmt.Errorf("%w: monitor scorer wants %d, live dataset has %d",
+				ErrDims, live.MonitorScorer.Dims(), d)
+		}
+		mon, err := monitor.New(live.MonitorK, live.MonitorTau, live.MonitorScorer,
+			monitor.Options{TrackAhead: live.TrackAhead})
+		if err != nil {
+			return nil, err
+		}
+		e.mon = mon
+	}
+	e.tail = e.newTail()
+	return e, nil
+}
+
+// newTail opens a fresh empty tail engine sized for one seal cycle. The tail
+// never carries its own monitor — the wrapper's monitor spans seals.
+func (e *LiveShardedEngine) newTail() *LiveEngine {
+	cap := e.so.SealRows
+	if cap <= 0 || cap > DefaultSealRows {
+		cap = DefaultSealRows
+	}
+	tl, err := NewLiveEngine(e.dims, e.opts, LiveOptions{Capacity: cap})
+	if err != nil {
+		panic(err) // unreachable: dims validated at construction
+	}
+	return tl
+}
+
+// Append commits one record: t must exceed the last appended time and attrs
+// must have exactly Dims values (copied). The record lands in the mutable
+// tail shard; if it trips a seal threshold the tail is sealed — retired to
+// an immutable shard and replaced by a fresh tail — before Append returns,
+// with the static freeze index built in the background (see sealLocked).
+// With the monitor enabled, the returned values mirror LiveEngine.Append.
+func (e *LiveShardedEngine) Append(t int64, attrs []float64) (dec monitor.Decision, confirms []monitor.Confirmation, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err = e.global.AppendRow(t, attrs); err != nil {
+		return dec, nil, err
+	}
+	if _, _, err = e.tail.Append(t, attrs); err != nil {
+		// Unreachable: the tail shares the global ordering and dimension
+		// rules and starts strictly after every sealed record. A failure
+		// here would desynchronize tail and global storage, so fail loudly.
+		panic(fmt.Sprintf("core: tail append diverged from global storage: %v", err))
+	}
+	e.seq++
+	if e.sealDue(t) {
+		e.sealLocked()
+	}
+	if e.mon != nil {
+		dec, confirms, err = e.mon.Observe(t, attrs)
+	}
+	return dec, confirms, err
+}
+
+// sealDue reports whether the tail has reached a seal threshold after an
+// append at time t.
+func (e *LiveShardedEngine) sealDue(t int64) bool {
+	rows := e.global.Len() - e.tailLo
+	if e.so.SealRows > 0 && rows >= e.so.SealRows {
+		return true
+	}
+	return e.so.SealSpan > 0 && rows > 0 && t-e.global.Time(e.tailLo) >= e.so.SealSpan
+}
+
+// Seal freezes the current tail into an immutable static shard immediately,
+// regardless of thresholds (no-op on an empty tail). Exposed for operational
+// cutovers — e.g. sealing before a burst of historical queries — and tests.
+func (e *LiveShardedEngine) Seal() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sealLocked()
+}
+
+// sealLocked seals records [tailLo, Len) and opens a fresh tail. Caller
+// holds mu.
+//
+// The seal is two-phase so neither the appender nor queries ever wait on an
+// index build. Under the lock, the retired tail's append-stable snapshot
+// engine becomes the sealed shard immediately — it is final (nothing appends
+// to a retired tail) and answers bit-identically to a static engine, so the
+// shard is queryable the moment Append returns. The freeze build — a static
+// Engine over the zero-copy global slice, the lifecycle's bounded rebuild
+// unit: one build per seal, touching only the tail's rows, never the sealed
+// history — runs in a background goroutine and is swapped into the shard
+// slot under a short write lock when ready (epochs already holding the
+// snapshot engine stay valid; the swap only upgrades future epochs to the
+// tighter, denser static index).
+func (e *LiveShardedEngine) sealLocked() {
+	n := e.global.Len()
+	if n == e.tailLo {
+		return // empty tail: nothing to freeze (e.g. Seal right after a seal)
+	}
+	tail, lo := e.tail, e.tailLo
+	te, _ := tail.Snapshot()
+	si := len(e.sealed)
+	e.sealed = append(e.sealed, timeShard{lo: lo, hi: n, eng: te})
+	e.seals++
+	e.sealedRows += n - lo
+	e.rebuilds += tail.Rebuilds()
+	e.indexedRows += tail.IndexedRows()
+	sub := e.global.Slice(lo, n) // captured under mu: Slice reads mutable headers
+	e.tail = e.newTail()
+	e.tailLo = n
+	e.seq++
+	if e.freezing >= maxPendingFreezes {
+		// Backpressure: seals are outpacing freeze builds, and every
+		// unfrozen retired tail keeps a duplicate copy of its rows alive.
+		// Degrade to the synchronous build rather than queueing unboundedly
+		// — the appender pays one build, exactly the pre-async behavior.
+		e.sealed[si].eng = NewEngine(sub, e.opts)
+		e.rebuilds++
+		e.indexedRows += n - lo
+		e.seq++
+		return
+	}
+	e.freezing++
+	e.freezeWG.Add(1)
+	go func() {
+		defer e.freezeWG.Done()
+		eng := NewEngine(sub, e.opts)
+		e.mu.Lock()
+		e.sealed[si].eng = eng
+		e.rebuilds++
+		e.indexedRows += n - lo
+		e.freezing--
+		e.seq++ // invalidate the memoized epoch so new queries pick it up
+		e.mu.Unlock()
+	}()
+}
+
+// maxPendingFreezes bounds concurrent background freeze builds (and with
+// them the retired tails whose duplicate storage stays alive until their
+// freeze lands); seals beyond the bound build synchronously.
+const maxPendingFreezes = 2
+
+// WaitSealed blocks until every background freeze build kicked off by past
+// seals has completed and been swapped in. Metrics (Rebuilds, IndexedRows)
+// include freeze work only after the build lands, so benchmarks and tests
+// call this before reading them. Callers must not invoke it concurrently
+// with appends that could trigger new seals (quiesce the stream first).
+func (e *LiveShardedEngine) WaitSealed() {
+	e.freezeWG.Wait()
+}
+
+// snapshotEpoch returns the immutable query epoch for the current stream
+// state, memoized until the next append or seal. Caller holds mu (read).
+//
+// The epoch is fully append-stable: sealed shards are static engines over
+// prefix-stable slices, the tail joins through LiveEngine.Snapshot (a pinned
+// forest view), and the dataset is a capacity-clipped prefix — so queries
+// evaluate against it after releasing the lock, and ingestion never waits on
+// a long scan. Per-epoch caches (the cross-shard score upper bounds) carry
+// the epoch seq and regenerate rather than serve stale values if they ever
+// meet a different epoch.
+func (e *LiveShardedEngine) snapshotEpoch() *shardGroup {
+	e.groupMu.Lock()
+	defer e.groupMu.Unlock()
+	if e.group != nil && e.groupSeq == e.seq {
+		return e.group
+	}
+	n := e.global.Len()
+	if n == 0 {
+		return nil
+	}
+	shards := make([]timeShard, 0, len(e.sealed)+1)
+	shards = append(shards, e.sealed...)
+	if n > e.tailLo {
+		// Appends are locked out while we hold mu (read), so the tail
+		// snapshot covers exactly records [tailLo, n).
+		te, tn := e.tail.Snapshot()
+		shards = append(shards, timeShard{lo: e.tailLo, hi: e.tailLo + tn, eng: te})
+	}
+	e.group = &shardGroup{
+		ds:       e.global.Prefix(n),
+		opts:     e.opts,
+		workers:  resolveShardWorkers(e.so.Workers, len(shards)),
+		straddle: resolveStraddle(e.so.StraddleThreshold),
+		shards:   shards,
+		seq:      e.seq,
+	}
+	e.groupSeq = e.seq
+	return e.group
+}
+
+// epoch grabs the current query epoch under the read lock (nil when empty).
+func (e *LiveShardedEngine) epoch() *shardGroup {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.snapshotEpoch()
+}
+
+// Len returns the number of records appended so far.
+func (e *LiveShardedEngine) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.global.Len()
+}
+
+// NumShards returns the current shard count: sealed shards plus the tail
+// when it holds records.
+func (e *LiveShardedEngine) NumShards() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	n := len(e.sealed)
+	if e.global.Len() > e.tailLo {
+		n++
+	}
+	return n
+}
+
+// TailLen returns the number of records in the mutable tail shard.
+func (e *LiveShardedEngine) TailLen() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.global.Len() - e.tailLo
+}
+
+// Seals returns the number of freeze events so far.
+func (e *LiveShardedEngine) Seals() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.seals
+}
+
+// SealedRows returns the total rows frozen into static shards; every row is
+// frozen at most once, so SealedRows/Len <= 1 is the freeze amortization.
+func (e *LiveShardedEngine) SealedRows() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.sealedRows
+}
+
+// Rebuilds returns the total index (re)builds across the lifecycle: the
+// incremental chunk-tree builds of every tail plus one freeze build per seal.
+func (e *LiveShardedEngine) Rebuilds() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.rebuilds + e.tail.Rebuilds()
+}
+
+// IndexedRows returns the total rows (re)indexed across the lifecycle —
+// incremental tail index work plus freeze builds. IndexedRows/Len is the
+// end-to-end amortization constant: O(log SealRows) + 1, bounded regardless
+// of stream length because sealed history is never re-indexed.
+func (e *LiveShardedEngine) IndexedRows() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.indexedRows + e.tail.IndexedRows()
+}
+
+// Shards describes the current shards (sealed plus non-empty tail) in
+// ascending time order.
+func (e *LiveShardedEngine) Shards() []ShardInfo {
+	g := e.epoch()
+	if g == nil {
+		return nil
+	}
+	return g.infos()
+}
+
+// Monitored reports whether the online monitor is enabled.
+func (e *LiveShardedEngine) Monitored() bool { return e.mon != nil }
+
+// Finish force-confirms every pending look-ahead candidate of the monitor at
+// the current end of stream (see monitor.Monitor.Finish). Appends may
+// continue afterwards.
+func (e *LiveShardedEngine) Finish() []monitor.Confirmation {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.mon == nil {
+		return nil
+	}
+	return e.mon.Finish()
+}
+
+// Dataset returns a stable snapshot view of the records appended so far.
+func (e *LiveShardedEngine) Dataset() *data.Dataset {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.global.Prefix(e.global.Len())
+}
+
+// DurableTopK answers DurTop(k, I, tau) over the records appended so far,
+// fanned out across the sealed shards and the tail; the answer is identical
+// to Engine.DurableTopK over a batch engine built on the same prefix. An
+// empty engine returns an empty result (after parameter validation), as does
+// a query whose interval the router proves no shard can answer.
+func (e *LiveShardedEngine) DurableTopK(q Query) (*Result, error) {
+	g := e.epoch()
+	if g == nil {
+		if err := q.validate(e.dims); err != nil {
+			return nil, err
+		}
+		return &Result{Stats: Stats{Algorithm: q.Algorithm}}, nil
+	}
+	return g.DurableTopK(q)
+}
+
+// Explain returns the planner's assessment of q over the current prefix.
+func (e *LiveShardedEngine) Explain(q Query) (planner.Plan, error) {
+	g := e.epoch()
+	if g == nil {
+		return planner.Plan{}, errEmptyLive
+	}
+	return g.Explain(q)
+}
+
+// reversedPrefix returns the time-mirrored snapshot of the current prefix,
+// memoized by prefix length (a seal does not change record content, so the
+// length keys it fully).
+func (e *LiveShardedEngine) reversedPrefix(ds *data.Dataset) *data.Dataset {
+	e.revMu.Lock()
+	defer e.revMu.Unlock()
+	if e.rev == nil || e.revLen != ds.Len() {
+		e.rev = ds.Reversed()
+		e.revLen = ds.Len()
+	}
+	return e.rev
+}
+
+// DurabilityProfile computes every record's maximum durability over the
+// current prefix (see Engine.DurabilityProfile; the sweep needs no index, so
+// the shard lifecycle does not change it).
+func (e *LiveShardedEngine) DurabilityProfile(k int, s score.Scorer, anchor Anchor) ([]DurabilityRecord, error) {
+	if k < 1 {
+		return nil, ErrBadK
+	}
+	if s == nil {
+		return nil, ErrNoScorer
+	}
+	if s.Dims() != e.dims {
+		return nil, ErrDims
+	}
+	prefix := e.Dataset()
+	if prefix.Len() == 0 {
+		return nil, errEmptyLive
+	}
+	ds := prefix
+	if anchor == LookAhead {
+		ds = e.reversedPrefix(prefix)
+	}
+	out := durabilitySweep(ds, k, s)
+	if anchor == LookAhead {
+		out = mirrorProfile(out, prefix)
+	}
+	return out, nil
+}
+
+// MostDurable reports the n records with the largest maximum durability over
+// the current prefix (see Engine.MostDurable).
+func (e *LiveShardedEngine) MostDurable(k int, s score.Scorer, anchor Anchor, n int) ([]DurabilityRecord, error) {
+	profile, err := e.DurabilityProfile(k, s, anchor)
+	if err != nil {
+		return nil, err
+	}
+	return mostDurable(profile, n), nil
+}
+
+var _ Querier = (*LiveShardedEngine)(nil)

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/data"
@@ -81,6 +82,44 @@ type ShardInfo struct {
 	Start, End int64 // arrival times of the shard's first and last record
 }
 
+// shardGroup is one immutable epoch of a sharded deployment: a dataset
+// snapshot, the contiguous time shards covering it, and the evaluation knobs.
+// All cross-shard query machinery (fan-out, straddler merge, reach routing,
+// score upper-bound pruning) runs against a group, never against the engine
+// wrapper that produced it — a batch ShardedEngine owns exactly one group for
+// its whole life, while a LiveShardedEngine swaps in a fresh group whenever an
+// append or a seal changes the shard set. Queries therefore always evaluate
+// against a coherent frozen epoch, no matter how the lifecycle moves on.
+type shardGroup struct {
+	ds       *data.Dataset
+	opts     Options
+	workers  int
+	straddle int
+	shards   []timeShard
+
+	// seq identifies the shard set so per-query caches derived from it (the
+	// shardBounds score upper bounds) can detect that they were built against
+	// a different epoch and regenerate instead of serving stale bounds. A
+	// batch engine's group keeps seq 0 forever; the live lifecycle bumps it
+	// on every append and seal.
+	seq uint64
+}
+
+// Querier is the query-serving contract shared by Engine, ShardedEngine,
+// LiveEngine and LiveShardedEngine; callers that only evaluate queries (the
+// wire server, CLIs) can hold any of them behind it.
+type Querier interface {
+	DurableTopK(q Query) (*Result, error)
+	Explain(q Query) (planner.Plan, error)
+	MostDurable(k int, s score.Scorer, anchor Anchor, n int) ([]DurabilityRecord, error)
+	Dataset() *data.Dataset
+}
+
+var (
+	_ Querier = (*Engine)(nil)
+	_ Querier = (*ShardedEngine)(nil)
+)
+
 // ShardedEngine scales durable top-k evaluation horizontally: the dataset is
 // partitioned into contiguous time-range shards, each served by an
 // independent Engine over a zero-copy data.Dataset.Slice view, and queries
@@ -99,38 +138,46 @@ type ShardInfo struct {
 //
 // Safe for concurrent queries, like Engine.
 type ShardedEngine struct {
-	ds       *data.Dataset
-	opts     Options
-	workers  int
+	group    shardGroup
 	strategy ShardStrategy
-	straddle int
-	shards   []timeShard
 
 	mu  sync.Mutex
 	rev *data.Dataset // lazily built mirror for look-ahead durability sweeps
 }
-
-// Querier is the query-serving contract shared by Engine and ShardedEngine;
-// callers that only evaluate queries (the wire server, CLIs) can hold either
-// behind it.
-type Querier interface {
-	DurableTopK(q Query) (*Result, error)
-	Explain(q Query) (planner.Plan, error)
-	MostDurable(k int, s score.Scorer, anchor Anchor, n int) ([]DurabilityRecord, error)
-	Dataset() *data.Dataset
-}
-
-var (
-	_ Querier = (*Engine)(nil)
-	_ Querier = (*ShardedEngine)(nil)
-)
 
 // NewShardedEngine partitions ds into so.Shards contiguous time shards and
 // builds one engine per shard (concurrently, on the bounded worker pool).
 func NewShardedEngine(ds *data.Dataset, opts Options, so ShardOptions) *ShardedEngine {
 	cuts := shardCuts(ds, so.Shards, so.Strategy)
 	count := len(cuts) - 1
-	workers := so.Workers
+	workers := resolveShardWorkers(so.Workers, count)
+	se := &ShardedEngine{
+		group: shardGroup{
+			ds: ds, opts: opts, workers: workers,
+			straddle: resolveStraddle(so.StraddleThreshold),
+			shards:   make([]timeShard, count),
+		},
+		strategy: so.Strategy,
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range se.group.shards {
+		se.group.shards[i] = timeShard{lo: cuts[i], hi: cuts[i+1]}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			sh := &se.group.shards[i]
+			sh.eng = NewEngine(ds.Slice(sh.lo, sh.hi), opts)
+		}(i)
+	}
+	wg.Wait()
+	return se
+}
+
+// resolveShardWorkers applies the ShardOptions.Workers default rule.
+func resolveShardWorkers(workers, count int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 		if workers > count {
@@ -140,30 +187,15 @@ func NewShardedEngine(ds *data.Dataset, opts Options, so ShardOptions) *ShardedE
 	if workers < 1 {
 		workers = 1
 	}
-	straddle := so.StraddleThreshold
+	return workers
+}
+
+// resolveStraddle applies the ShardOptions.StraddleThreshold default rule.
+func resolveStraddle(straddle int) int {
 	if straddle <= 0 {
-		straddle = defaultStraddleThreshold
+		return defaultStraddleThreshold
 	}
-	se := &ShardedEngine{
-		ds: ds, opts: opts, workers: workers,
-		strategy: so.Strategy, straddle: straddle,
-		shards: make([]timeShard, count),
-	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := range se.shards {
-		se.shards[i] = timeShard{lo: cuts[i], hi: cuts[i+1]}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			sh := &se.shards[i]
-			sh.eng = NewEngine(ds.Slice(sh.lo, sh.hi), opts)
-		}(i)
-	}
-	wg.Wait()
-	return se
+	return straddle
 }
 
 // shardCuts returns ascending record-index cut points partitioning [0, n)
@@ -203,22 +235,25 @@ func shardCuts(ds *data.Dataset, count int, strategy ShardStrategy) []int {
 }
 
 // Dataset returns the full (unsharded) dataset.
-func (se *ShardedEngine) Dataset() *data.Dataset { return se.ds }
+func (se *ShardedEngine) Dataset() *data.Dataset { return se.group.ds }
 
 // NumShards returns the number of time shards actually built (duplicate cut
 // points collapse, so it can be below ShardOptions.Shards).
-func (se *ShardedEngine) NumShards() int { return len(se.shards) }
+func (se *ShardedEngine) NumShards() int { return len(se.group.shards) }
 
 // Workers returns the bounded fan-out width.
-func (se *ShardedEngine) Workers() int { return se.workers }
+func (se *ShardedEngine) Workers() int { return se.group.workers }
 
 // Shards describes the time shards in ascending time order.
-func (se *ShardedEngine) Shards() []ShardInfo {
-	out := make([]ShardInfo, len(se.shards))
-	for i, sh := range se.shards {
+func (se *ShardedEngine) Shards() []ShardInfo { return se.group.infos() }
+
+// infos describes the group's shards in ascending time order.
+func (g *shardGroup) infos() []ShardInfo {
+	out := make([]ShardInfo, len(g.shards))
+	for i, sh := range g.shards {
 		out[i] = ShardInfo{
 			Lo: sh.lo, Hi: sh.hi,
-			Start: se.ds.Time(sh.lo), End: se.ds.Time(sh.hi - 1),
+			Start: g.ds.Time(sh.lo), End: g.ds.Time(sh.hi - 1),
 		}
 	}
 	return out
@@ -227,8 +262,8 @@ func (se *ShardedEngine) Shards() []ShardInfo {
 // PrepareSkyband eagerly materializes every shard's durable k-skyband ladder
 // level for queries with parameter k (see Engine.PrepareSkyband).
 func (se *ShardedEngine) PrepareSkyband(k int, anchor Anchor) {
-	for i := range se.shards {
-		se.shards[i].eng.PrepareSkyband(k, anchor)
+	for i := range se.group.shards {
+		se.group.shards[i].eng.PrepareSkyband(k, anchor)
 	}
 }
 
@@ -236,24 +271,29 @@ func (se *ShardedEngine) PrepareSkyband(k int, anchor Anchor) {
 // one strategy shared by every shard (per-shard resolution could diverge).
 // The first shard's ladder state stands in for SBandReady: PrepareSkyband
 // materializes every shard, and lazy S-Band builds reach all queried shards.
-func (se *ShardedEngine) plan(q *Query) planner.Plan {
-	return planner.Choose(queryPlannerInputs(se.ds, q, se.shards[0].eng.ladderBuilt(normalizedAnchor(q))))
+func (g *shardGroup) plan(q *Query) planner.Plan {
+	return planner.Choose(queryPlannerInputs(g.ds, q, g.shards[0].eng.ladderBuilt(normalizedAnchor(q))))
 }
 
 // Explain returns the planner's cost-based assessment of q over the full
 // dataset shape (shard fan-out does not change the strategy choice).
 func (se *ShardedEngine) Explain(q Query) (planner.Plan, error) {
-	if err := q.validate(se.ds.Dims()); err != nil {
-		return planner.Plan{}, err
-	}
-	return se.plan(&q), nil
+	return se.group.Explain(q)
 }
 
-func (se *ShardedEngine) resolveAlgorithm(q *Query) Algorithm {
+// Explain validates q and runs the group's cost model.
+func (g *shardGroup) Explain(q Query) (planner.Plan, error) {
+	if err := q.validate(g.ds.Dims()); err != nil {
+		return planner.Plan{}, err
+	}
+	return g.plan(&q), nil
+}
+
+func (g *shardGroup) resolveAlgorithm(q *Query) Algorithm {
 	if q.Algorithm != Auto {
 		return q.Algorithm
 	}
-	return strategyAlgorithm(se.plan(q).Chosen)
+	return strategyAlgorithm(g.plan(q).Chosen)
 }
 
 // windowSides returns the portions of the durability window before (back)
@@ -270,8 +310,8 @@ func windowSides(q *Query) (back, lead int64) {
 }
 
 // shardAt returns the index of the shard owning global record index idx.
-func (se *ShardedEngine) shardAt(idx int) int {
-	return sort.Search(len(se.shards), func(i int) bool { return se.shards[i].hi > idx })
+func (g *shardGroup) shardAt(idx int) int {
+	return sort.Search(len(g.shards), func(i int) bool { return g.shards[i].hi > idx })
 }
 
 // shardPart is one shard's contribution to a fanned-out query.
@@ -284,33 +324,62 @@ type shardPart struct {
 // upperBoundAller is the optional Block capability behind shard-level score
 // pruning: a single upper bound of the scorer over every record the block
 // indexes. *topk.Index implements it through the same skyline gather path
-// the tree descent uses.
+// the tree descent uses, and *topk.View (the live tail's pinned snapshot)
+// through the captured chunk-tree bounds plus a buffered-suffix scan.
 type upperBoundAller interface {
 	UpperBoundAll(s score.Scorer) float64
 }
 
-// shardBounds lazily caches every shard's global score upper bound for one
-// query's scorer. Built at most once per query (first cross-shard
-// strictly-higher-count probe), shared by all fan-out workers.
+// shardBounds caches every shard's global score upper bound for one query's
+// scorer. Built at most once per (query, epoch) — on the first cross-shard
+// strictly-higher-count probe — and shared by all fan-out workers. The
+// steady-state read is a single atomic load: higherCount consults it on
+// every cross-shard probe and the WithDurations binary searches issue
+// thousands of those per query, so a lock here would serialize the fan-out.
+//
+// The cache is valid only for the exact shard set it was computed from: a
+// bound indexed by shard position would silently misprune if the shard set
+// changed underneath it (a live seal splits the tail into a new sealed shard
+// plus a fresh tail, shifting positions and shrinking reaches). The cached
+// value therefore carries the epoch seq it was computed under, and bounds()
+// regenerates on mismatch rather than serving stale upper bounds; queries
+// snapshot one group up front, so in the current call graph a mismatch is
+// impossible — the guard makes the immutability assumption explicit instead
+// of implicit.
 type shardBounds struct {
-	once sync.Once
-	ub   []float64
+	v  atomic.Pointer[boundsEpoch]
+	mu sync.Mutex // serializes (re)computation; readers never take it
 }
 
-// bounds returns the per-shard upper bounds for s, computing them on first
-// use. Shards whose block cannot report a bound get +Inf (never pruned).
-func (se *ShardedEngine) bounds(sb *shardBounds, s score.Scorer) []float64 {
-	sb.once.Do(func() {
-		sb.ub = make([]float64, len(se.shards))
-		for i := range se.shards {
-			if b, ok := se.shards[i].eng.Index().(upperBoundAller); ok {
-				sb.ub[i] = b.UpperBoundAll(s)
-			} else {
-				sb.ub[i] = math.Inf(1)
-			}
+// boundsEpoch is one immutable (epoch, bounds) publication.
+type boundsEpoch struct {
+	seq uint64
+	ub  []float64
+}
+
+// bounds returns the per-shard upper bounds for s under the group's epoch,
+// computing them on first use and regenerating them if sb was built against
+// a different epoch. Shards whose block cannot report a bound get +Inf
+// (never pruned).
+func (g *shardGroup) bounds(sb *shardBounds, s score.Scorer) []float64 {
+	if be := sb.v.Load(); be != nil && be.seq == g.seq {
+		return be.ub
+	}
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if be := sb.v.Load(); be != nil && be.seq == g.seq {
+		return be.ub
+	}
+	ub := make([]float64, len(g.shards))
+	for i := range g.shards {
+		if b, ok := g.shards[i].eng.Index().(upperBoundAller); ok {
+			ub[i] = b.UpperBoundAll(s)
+		} else {
+			ub[i] = math.Inf(1)
 		}
-	})
-	return sb.ub
+	}
+	sb.v.Store(&boundsEpoch{seq: g.seq, ub: ub})
+	return ub
 }
 
 // DurableTopK answers DurTop(k, I, tau) by fanning the query out across the
@@ -319,10 +388,15 @@ func (se *ShardedEngine) bounds(sb *shardBounds, s score.Scorer) []float64 {
 // time order of the Result contract). Results are identical to
 // Engine.DurableTopK over the unsharded dataset.
 func (se *ShardedEngine) DurableTopK(q Query) (*Result, error) {
-	if err := q.validate(se.ds.Dims()); err != nil {
+	return se.group.DurableTopK(q)
+}
+
+// DurableTopK evaluates q against the group's frozen shard epoch.
+func (g *shardGroup) DurableTopK(q Query) (*Result, error) {
+	if err := q.validate(g.ds.Dims()); err != nil {
 		return nil, err
 	}
-	alg := se.resolveAlgorithm(&q)
+	alg := g.resolveAlgorithm(&q)
 	q.Algorithm = alg
 	if err := checkAlgorithm(&q, alg); err != nil {
 		return nil, err
@@ -339,24 +413,26 @@ func (se *ShardedEngine) DurableTopK(q Query) (*Result, error) {
 	// window [t-back, t+lead]; that evidence is fetched by targeted
 	// cross-shard probes (higherCount), never by visiting the shard, so the
 	// pruning is exact. Skipped shards are tallied in Stats.ShardsPruned.
-	qlo, qhi := se.ds.IndexRange(q.Start, q.End)
+	// Pruning every shard (I between two shards' arrivals, or inside a
+	// just-sealed empty tail) legitimately yields an empty answer.
+	qlo, qhi := g.ds.IndexRange(q.Start, q.End)
 	var tasks []int
-	for i := range se.shards {
-		if se.shards[i].lo < qhi && se.shards[i].hi > qlo {
+	for i := range g.shards {
+		if g.shards[i].lo < qhi && g.shards[i].hi > qlo {
 			tasks = append(tasks, i)
 		}
 	}
 	sb := &shardBounds{}
 
 	parts := make([]shardPart, len(tasks))
-	workers := se.workers
+	workers := g.workers
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
 	if workers <= 1 {
 		pr := newProbe()
 		for ti, si := range tasks {
-			parts[ti] = se.evalShard(pr, sb, si, &q, back, lead, qlo, qhi)
+			parts[ti] = g.evalShard(pr, sb, si, &q, back, lead, qlo, qhi)
 		}
 		pr.release()
 	} else {
@@ -369,7 +445,7 @@ func (se *ShardedEngine) DurableTopK(q Query) (*Result, error) {
 				pr := newProbe()
 				defer pr.release()
 				for ti := range feed {
-					parts[ti] = se.evalShard(pr, sb, tasks[ti], &q, back, lead, qlo, qhi)
+					parts[ti] = g.evalShard(pr, sb, tasks[ti], &q, back, lead, qlo, qhi)
 				}
 			}()
 		}
@@ -380,7 +456,7 @@ func (se *ShardedEngine) DurableTopK(q Query) (*Result, error) {
 		wg.Wait()
 	}
 
-	out := &Result{Stats: Stats{Algorithm: alg, ShardsPruned: len(se.shards) - len(tasks)}}
+	out := &Result{Stats: Stats{Algorithm: alg, ShardsPruned: len(g.shards) - len(tasks)}}
 	total := 0
 	for i := range parts {
 		if parts[i].err != nil {
@@ -395,8 +471,8 @@ func (se *ShardedEngine) DurableTopK(q Query) (*Result, error) {
 			gid := int(id)
 			out.Records = append(out.Records, ResultRecord{
 				ID:          gid,
-				Time:        se.ds.Time(gid),
-				Score:       q.Scorer.Score(se.ds.Attrs(gid)),
+				Time:        g.ds.Time(gid),
+				Score:       q.Scorer.Score(g.ds.Attrs(gid)),
 				MaxDuration: -1,
 			})
 		}
@@ -408,11 +484,11 @@ func (se *ShardedEngine) DurableTopK(q Query) (*Result, error) {
 		// The duration binary searches are the most expensive per-record
 		// step; stride them over the same worker budget as the fan-out,
 		// with per-worker probes and stats merged afterwards.
-		durWorkers := min(se.workers, len(out.Records))
+		durWorkers := min(g.workers, len(out.Records))
 		if durWorkers <= 1 {
 			pr := newProbe()
 			for i := range out.Records {
-				dur, full := se.maxDurationSharded(pr, sb, &out.Stats, q.Scorer, q.K, out.Records[i].ID, ahead)
+				dur, full := g.maxDurationSharded(pr, sb, &out.Stats, q.Scorer, q.K, out.Records[i].ID, ahead)
 				out.Records[i].MaxDuration = dur
 				out.Records[i].FullHistory = full
 			}
@@ -427,7 +503,7 @@ func (se *ShardedEngine) DurableTopK(q Query) (*Result, error) {
 					pr := newProbe()
 					defer pr.release()
 					for i := w; i < len(out.Records); i += durWorkers {
-						dur, full := se.maxDurationSharded(pr, sb, &stats[w], q.Scorer, q.K, out.Records[i].ID, ahead)
+						dur, full := g.maxDurationSharded(pr, sb, &stats[w], q.Scorer, q.K, out.Records[i].ID, ahead)
 						out.Records[i].MaxDuration = dur
 						out.Records[i].FullHistory = full
 					}
@@ -446,35 +522,35 @@ func (se *ShardedEngine) DurableTopK(q Query) (*Result, error) {
 // evalShard answers the query restricted to one shard's records. Interior
 // records (whole window inside the shard) go through the shard engine;
 // boundary straddlers are decided across shards.
-func (se *ShardedEngine) evalShard(pr *probe, sb *shardBounds, si int, q *Query, back, lead int64, qlo, qhi int) shardPart {
+func (g *shardGroup) evalShard(pr *probe, sb *shardBounds, si int, q *Query, back, lead int64, qlo, qhi int) shardPart {
 	var part shardPart
-	sh := &se.shards[si]
+	sh := &g.shards[si]
 	subLo, subHi := max(qlo, sh.lo), min(qhi, sh.hi)
 	if subLo >= subHi {
 		return part
 	}
-	n := se.ds.Len()
+	n := g.ds.Len()
 
 	// The interior is the contiguous index run whose windows touch no other
 	// shard: strictly after the previous shard's last arrival plus back, and
 	// strictly before the next shard's first arrival minus lead.
 	iLo, iHi := subLo, subHi
 	if sh.lo > 0 {
-		minT := satAdd(satAdd(se.ds.Time(sh.lo-1), back), 1)
-		iLo = clampInt(se.ds.LowerBound(minT), subLo, subHi)
+		minT := satAdd(satAdd(g.ds.Time(sh.lo-1), back), 1)
+		iLo = clampInt(g.ds.LowerBound(minT), subLo, subHi)
 	}
 	if sh.hi < n {
-		maxT := satSub(satSub(se.ds.Time(sh.hi), lead), 1)
-		iHi = clampInt(se.ds.UpperBound(maxT), iLo, subHi)
+		maxT := satSub(satSub(g.ds.Time(sh.hi), lead), 1)
+		iHi = clampInt(g.ds.UpperBound(maxT), iLo, subHi)
 	}
 
-	se.evalStraddlers(pr, sb, &part, q, back, lead, subLo, iLo)
+	g.evalStraddlers(pr, sb, &part, q, back, lead, subLo, iLo)
 	if part.err != nil {
 		return part
 	}
 	if iLo < iHi {
 		sub := *q
-		sub.Start, sub.End = se.ds.Time(iLo), se.ds.Time(iHi-1)
+		sub.Start, sub.End = g.ds.Time(iLo), g.ds.Time(iHi-1)
 		sub.WithDurations = false
 		res, err := sh.eng.DurableTopK(sub)
 		if err != nil {
@@ -486,7 +562,7 @@ func (se *ShardedEngine) evalShard(pr *probe, sb *shardBounds, si int, q *Query,
 		}
 		addStats(&part.st, &res.Stats)
 	}
-	se.evalStraddlers(pr, sb, &part, q, back, lead, iHi, subHi)
+	g.evalStraddlers(pr, sb, &part, q, back, lead, iHi, subHi)
 	return part
 }
 
@@ -505,14 +581,14 @@ func addStats(dst, src *Stats) {
 // through a zero-copy slice, so the run is answered by the hop machinery at
 // answer-proportional cost instead of per-record probing. Both paths are
 // exact.
-func (se *ShardedEngine) evalStraddlers(pr *probe, sb *shardBounds, part *shardPart, q *Query, back, lead int64, lo, hi int) {
+func (g *shardGroup) evalStraddlers(pr *probe, sb *shardBounds, part *shardPart, q *Query, back, lead int64, lo, hi int) {
 	if lo >= hi {
 		return
 	}
-	if hi-lo <= se.straddle {
+	if hi-lo <= g.straddle {
 		for i := lo; i < hi; i++ {
 			part.st.Visited++
-			if se.durableAt(pr, sb, &part.st, q, back, lead, i) {
+			if g.durableAt(pr, sb, &part.st, q, back, lead, i) {
 				part.ids = append(part.ids, int32(i))
 			}
 		}
@@ -521,17 +597,17 @@ func (se *ShardedEngine) evalStraddlers(pr *probe, sb *shardBounds, part *shardP
 
 	// Region = union of the straddlers' windows; contiguous because windows
 	// are anchored to sorted arrivals.
-	rlo := se.ds.LowerBound(satSub(se.ds.Time(lo), back))
-	rhi := se.ds.UpperBound(satAdd(se.ds.Time(hi-1), lead))
+	rlo := g.ds.LowerBound(satSub(g.ds.Time(lo), back))
+	rhi := g.ds.UpperBound(satAdd(g.ds.Time(hi-1), lead))
 	sub := *q
-	sub.Start, sub.End = se.ds.Time(lo), se.ds.Time(hi-1)
+	sub.Start, sub.End = g.ds.Time(lo), g.ds.Time(hi-1)
 	sub.WithDurations = false
 	if sub.Algorithm == SBand {
 		// S-Band amortizes a skyband ladder across queries; on a transient
 		// engine that build is pure overhead, so hop instead.
 		sub.Algorithm = SHop
 	}
-	mini := NewEngine(se.ds.Slice(rlo, rhi), se.opts)
+	mini := NewEngine(g.ds.Slice(rlo, rhi), g.opts)
 	res, err := mini.DurableTopK(sub)
 	if err != nil {
 		part.err = err
@@ -546,11 +622,11 @@ func (se *ShardedEngine) evalStraddlers(pr *probe, sb *shardBounds, part *shardP
 // durableAt decides one record from the definition: durable iff fewer than k
 // records of its anchored window score strictly higher, counted across every
 // overlapped shard.
-func (se *ShardedEngine) durableAt(pr *probe, sb *shardBounds, st *Stats, q *Query, back, lead int64, i int) bool {
-	t := se.ds.Time(i)
-	wlo, whi := se.ds.IndexRange(satSub(t, back), satAdd(t, lead))
-	ref := q.Scorer.Score(se.ds.Attrs(i))
-	return se.higherCount(pr, sb, st, q.Scorer, q.K, wlo, whi, ref) < q.K
+func (g *shardGroup) durableAt(pr *probe, sb *shardBounds, st *Stats, q *Query, back, lead int64, i int) bool {
+	t := g.ds.Time(i)
+	wlo, whi := g.ds.IndexRange(satSub(t, back), satAdd(t, lead))
+	ref := q.Scorer.Score(g.ds.Attrs(i))
+	return g.higherCount(pr, sb, st, q.Scorer, q.K, wlo, whi, ref) < q.K
 }
 
 // higherCount returns min(h, k) where h is the number of records in the
@@ -562,17 +638,17 @@ func (se *ShardedEngine) durableAt(pr *probe, sb *shardBounds, st *Stats, q *Que
 // tallied in Stats.ShardsPruned; the window-reach binary searches of
 // maxDurationSharded sweep many shards per record, so the skip saves a full
 // tree descent per pruned shard.
-func (se *ShardedEngine) higherCount(pr *probe, sb *shardBounds, st *Stats, s score.Scorer, k, lo, hi int, ref float64) int {
+func (g *shardGroup) higherCount(pr *probe, sb *shardBounds, st *Stats, s score.Scorer, k, lo, hi int, ref float64) int {
 	higher := 0
 	var ubs []float64
-	for si := se.shardAt(lo); si < len(se.shards) && se.shards[si].lo < hi; si++ {
-		sh := &se.shards[si]
+	for si := g.shardAt(lo); si < len(g.shards) && g.shards[si].lo < hi; si++ {
+		sh := &g.shards[si]
 		plo, phi := max(lo, sh.lo)-sh.lo, min(hi, sh.hi)-sh.lo
 		if plo >= phi {
 			continue
 		}
 		if ubs == nil {
-			ubs = se.bounds(sb, s)
+			ubs = g.bounds(sb, s)
 		}
 		if ubs[si] <= ref {
 			st.ShardsPruned++
@@ -594,40 +670,40 @@ func (se *ShardedEngine) higherCount(pr *probe, sb *shardBounds, st *Stats, s sc
 // maxDurationSharded is the cross-shard counterpart of maxDuration: a binary
 // search over the window start (end, when ahead) with sharded strictly-higher
 // counts as the membership predicate.
-func (se *ShardedEngine) maxDurationSharded(pr *probe, sb *shardBounds, st *Stats, s score.Scorer, k, id int, ahead bool) (int64, bool) {
-	ref := s.Score(se.ds.Attrs(id))
-	t := se.ds.Time(id)
-	n := se.ds.Len()
+func (g *shardGroup) maxDurationSharded(pr *probe, sb *shardBounds, st *Stats, s score.Scorer, k, id int, ahead bool) (int64, bool) {
+	ref := s.Score(g.ds.Attrs(id))
+	t := g.ds.Time(id)
+	n := g.ds.Len()
 	if !ahead {
 		// Smallest j such that id stays top-k of records [j, id].
 		lo, hi := 0, id
 		for lo < hi {
 			mid := (lo + hi) / 2
-			if se.higherCount(pr, sb, st, s, k, mid, id+1, ref) < k {
+			if g.higherCount(pr, sb, st, s, k, mid, id+1, ref) < k {
 				hi = mid
 			} else {
 				lo = mid + 1
 			}
 		}
 		if lo == 0 {
-			return t - se.ds.Time(0), true
+			return t - g.ds.Time(0), true
 		}
-		return t - se.ds.Time(lo-1) - 1, false
+		return t - g.ds.Time(lo-1) - 1, false
 	}
 	// Largest j such that id stays top-k of records [id, j].
 	lo, hi := id, n-1
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
-		if se.higherCount(pr, sb, st, s, k, id, mid+1, ref) < k {
+		if g.higherCount(pr, sb, st, s, k, id, mid+1, ref) < k {
 			lo = mid
 		} else {
 			hi = mid - 1
 		}
 	}
 	if lo == n-1 {
-		return se.ds.Time(n-1) - t, true
+		return g.ds.Time(n-1) - t, true
 	}
-	return se.ds.Time(lo+1) - t - 1, false
+	return g.ds.Time(lo+1) - t - 1, false
 }
 
 // reversedDS returns the lazily built, cached time-mirrored dataset.
@@ -635,7 +711,7 @@ func (se *ShardedEngine) reversedDS() *data.Dataset {
 	se.mu.Lock()
 	defer se.mu.Unlock()
 	if se.rev == nil {
-		se.rev = se.ds.Reversed()
+		se.rev = se.group.ds.Reversed()
 	}
 	return se.rev
 }
@@ -650,16 +726,16 @@ func (se *ShardedEngine) DurabilityProfile(k int, s score.Scorer, anchor Anchor)
 	if s == nil {
 		return nil, ErrNoScorer
 	}
-	if s.Dims() != se.ds.Dims() {
+	if s.Dims() != se.group.ds.Dims() {
 		return nil, ErrDims
 	}
-	ds := se.ds
+	ds := se.group.ds
 	if anchor == LookAhead {
 		ds = se.reversedDS()
 	}
 	out := durabilitySweep(ds, k, s)
 	if anchor == LookAhead {
-		out = mirrorProfile(out, se.ds)
+		out = mirrorProfile(out, se.group.ds)
 	}
 	return out, nil
 }

@@ -300,7 +300,8 @@ func (ds *Dataset) Prefix(n int) *Dataset {
 // range [lo, hi): both the time slice and the flat columnar attribute array
 // are re-sliced, never copied, so record i of the view is record lo+i of ds
 // backed by the same storage. Out-of-range bounds are clamped; an empty range
-// returns nil (a Dataset always holds at least one record).
+// (including any slice of an empty appendable dataset) returns an empty,
+// non-nil view — callers iterate zero records instead of dereferencing nil.
 func (ds *Dataset) Slice(lo, hi int) *Dataset {
 	if lo < 0 {
 		lo = 0
@@ -309,16 +310,17 @@ func (ds *Dataset) Slice(lo, hi int) *Dataset {
 		hi = ds.Len()
 	}
 	if lo >= hi {
-		return nil
+		return &Dataset{dims: ds.dims}
 	}
 	d := ds.dims
 	return &Dataset{times: ds.times[lo:hi:hi], flat: ds.flat[lo*d : hi*d : hi*d], dims: d}
 }
 
 // SliceTime returns the zero-copy view (see Slice) over the records whose
-// arrival time lies in the closed window [t1, t2], or nil when no record
-// does. Time shards carve a dataset into contiguous per-engine views with
-// this without duplicating the columnar storage.
+// arrival time lies in the closed window [t1, t2]; the view is empty (never
+// nil) when no record falls inside the window. Time shards carve a dataset
+// into contiguous per-engine views with this without duplicating the columnar
+// storage.
 func (ds *Dataset) SliceTime(t1, t2 int64) *Dataset {
 	lo, hi := ds.IndexRange(t1, t2)
 	return ds.Slice(lo, hi)

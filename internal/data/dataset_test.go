@@ -370,8 +370,10 @@ func TestSlice(t *testing.T) {
 	if full := ds.Slice(-3, 99); full.Len() != ds.Len() {
 		t.Fatalf("clamped slice len %d", full.Len())
 	}
-	if ds.Slice(3, 3) != nil || ds.Slice(4, 2) != nil {
-		t.Fatal("empty range must return nil")
+	for _, v := range []*Dataset{ds.Slice(3, 3), ds.Slice(4, 2)} {
+		if v == nil || v.Len() != 0 || v.Dims() != ds.Dims() {
+			t.Fatalf("empty range must return an empty non-nil view, got %v", v)
+		}
 	}
 }
 
@@ -393,8 +395,8 @@ func TestSliceTime(t *testing.T) {
 	for _, c := range cases {
 		v := ds.SliceTime(c.t1, c.t2)
 		if c.want == nil {
-			if v != nil {
-				t.Fatalf("SliceTime(%d,%d): want nil, got %d records", c.t1, c.t2, v.Len())
+			if v == nil || v.Len() != 0 {
+				t.Fatalf("SliceTime(%d,%d): want empty view, got %v", c.t1, c.t2, v)
 			}
 			continue
 		}
@@ -406,6 +408,48 @@ func TestSliceTime(t *testing.T) {
 				t.Fatalf("SliceTime(%d,%d)[%d] = %d want %d", c.t1, c.t2, i, v.Time(i), wt)
 			}
 		}
+	}
+}
+
+// TestEmptyAppendableViews pins the empty-tail edge contract the live+sharded
+// seal path relies on: Slice, SliceTime and Prefix over a just-opened (or
+// just-sealed, momentarily empty) appendable tail return empty views — never
+// nil, never a panic — and the views answer every read-only accessor sanely.
+func TestEmptyAppendableViews(t *testing.T) {
+	ds, err := NewAppendable(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]*Dataset{
+		"Slice":     ds.Slice(0, 0),
+		"SliceWide": ds.Slice(-5, 10),
+		"SliceTime": ds.SliceTime(0, 100),
+		"Prefix":    ds.Prefix(0),
+		"PrefixBig": ds.Prefix(7),
+	} {
+		if v == nil {
+			t.Fatalf("%s on empty appendable: nil view", name)
+		}
+		if v.Len() != 0 || v.Dims() != 3 {
+			t.Fatalf("%s on empty appendable: len=%d dims=%d", name, v.Len(), v.Dims())
+		}
+		if lo, hi := v.Span(); lo != 0 || hi != 0 {
+			t.Fatalf("%s: Span()=(%d,%d) want (0,0)", name, lo, hi)
+		}
+		if got := v.LowerBound(5); got != 0 {
+			t.Fatalf("%s: LowerBound=%d want 0", name, got)
+		}
+		if qlo, qhi := v.IndexRange(0, 100); qlo != 0 || qhi != 0 {
+			t.Fatalf("%s: IndexRange=(%d,%d) want (0,0)", name, qlo, qhi)
+		}
+	}
+	// Views taken while empty must not observe records appended later.
+	empty := ds.Prefix(0)
+	if err := ds.AppendRow(1, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 {
+		t.Fatalf("empty prefix view grew to %d records", empty.Len())
 	}
 }
 

@@ -2,6 +2,7 @@ package topk
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/data"
 	"repro/internal/score"
@@ -122,10 +123,148 @@ func (f *Forest) flush() {
 
 func (f *Forest) buildTree(start, size int) *Index {
 	ds := f.tail.Slice(start, start+size)
-	if ds == nil {
+	if ds.Len() == 0 {
 		panic("topk: empty chunk tree") // unreachable: flush only runs on full buffers
 	}
 	return Build(ds, f.opts)
+}
+
+// Snapshot returns an append-stable view of the forest's first n records
+// (clamped to the current length). The view captures its own copy of the
+// chunk-tree set and the buffered range, so later Appends — including flushes
+// that pop and merge trees — are invisible to it: the view keeps answering
+// exactly over records [0, n) for as long as it is held, with no lock
+// required. Chunk trees are immutable once built and the columnar storage is
+// prefix-stable, which is what makes the capture sound.
+//
+// Snapshot itself must not run concurrently with Append (callers serialize,
+// see core.LiveEngine); the returned view's queries are read-only and safe
+// for concurrent use with each other and with later Appends.
+func (f *Forest) Snapshot(n int) *View {
+	if n < 0 || n > f.tail.Len() {
+		n = f.tail.Len()
+	}
+	v := &View{
+		ds:       f.tail.Prefix(n),
+		bufStart: min(f.bufStart, n),
+	}
+	for _, ct := range f.trees {
+		if ct.start >= n {
+			break // trees are position-ordered; the rest lie past the prefix
+		}
+		v.trees = append(v.trees, ct)
+	}
+	return v
+}
+
+// View is an append-stable prefix snapshot of a Forest (see Forest.Snapshot).
+// It implements the same Block/ScratchBlock probe contract as the forest,
+// pinned to the records committed at snapshot time.
+type View struct {
+	ds       *data.Dataset // prefix view of the storage, Len() == n
+	trees    []chunkTree   // captured tree set (may straddle n; probes clip)
+	bufStart int           // records [bufStart, Len()) are scanned unindexed
+}
+
+// Len returns the number of records the view covers.
+func (v *View) Len() int { return v.ds.Len() }
+
+// Dataset returns the view's stable prefix storage.
+func (v *View) Dataset() *data.Dataset { return v.ds }
+
+// Query returns up to k records with highest (score desc, time desc) rank
+// among the view's records with arrival time in [t1, t2].
+func (v *View) Query(s score.Scorer, k int, t1, t2 int64) []Item {
+	sc := GetScratch()
+	out := v.QueryInto(s, k, t1, t2, sc, nil)
+	PutScratch(sc)
+	return out
+}
+
+// QueryRange is Query over the half-open append-order index range [lo, hi).
+func (v *View) QueryRange(s score.Scorer, k int, lo, hi int) []Item {
+	sc := GetScratch()
+	out := v.QueryRangeInto(s, k, lo, hi, sc, nil)
+	PutScratch(sc)
+	return out
+}
+
+// QueryInto is Query with caller-provided working memory.
+func (v *View) QueryInto(s score.Scorer, k int, t1, t2 int64, sc *Scratch, dst []Item) []Item {
+	lo, hi := v.ds.IndexRange(t1, t2)
+	return v.QueryRangeInto(s, k, lo, hi, sc, dst)
+}
+
+// QueryRangeInto is QueryRange with caller-provided working memory; see
+// Forest.QueryRangeInto for the Scratch/dst contract.
+func (v *View) QueryRangeInto(s score.Scorer, k int, lo, hi int, sc *Scratch, dst []Item) []Item {
+	return forestQueryRange(v.ds, v.trees, v.bufStart, s, k, lo, hi, sc, dst)
+}
+
+// UpperBoundAll returns a valid upper bound of the scorer over every record
+// the view covers: the max of the captured chunk-tree root bounds and a bulk
+// scan of the still-unindexed buffered suffix. The sharded engine's
+// cross-shard pruning uses it for the mutable tail shard; because a View is
+// pinned at snapshot time, the bound can never go stale under later appends —
+// a fresh snapshot (and with it a fresh bound) is taken per query epoch.
+func (v *View) UpperBoundAll(s score.Scorer) float64 {
+	n := v.ds.Len()
+	best := math.Inf(-1)
+	for _, ct := range v.trees {
+		if ct.start >= n {
+			break
+		}
+		if ct.start+ct.size <= n {
+			if ub := ct.idx.UpperBoundAll(s); ub > best {
+				best = ub
+			}
+			continue
+		}
+		// A tree straddling the prefix end (merged after the snapshot point):
+		// bound just its in-prefix rows by scoring them directly.
+		if ub := maxScoreRange(v.ds, s, ct.start, n); ub > best {
+			best = ub
+		}
+	}
+	if ub := maxScoreRange(v.ds, s, max(v.bufStart, treesEnd(v.trees, n)), n); ub > best {
+		best = ub
+	}
+	return best
+}
+
+// treesEnd returns the first record index not covered by the captured trees,
+// clamped to n.
+func treesEnd(trees []chunkTree, n int) int {
+	if len(trees) == 0 {
+		return 0
+	}
+	last := trees[len(trees)-1]
+	return min(last.start+last.size, n)
+}
+
+// maxScoreRange bulk-scores records [lo, hi) of ds and returns the maximum.
+func maxScoreRange(ds *data.Dataset, s score.Scorer, lo, hi int) float64 {
+	best := math.Inf(-1)
+	if lo >= hi {
+		return best
+	}
+	flat, d := ds.FlatAttrs(), ds.Dims()
+	sc := GetScratch()
+	buf := sc.scoreBuf(hi - lo)
+	if bulk, ok := s.(score.BulkScorer); ok {
+		bulk.ScoreRange(buf, flat, d, lo, hi)
+	} else {
+		for i := lo; i < hi; i++ {
+			buf[i-lo] = s.Score(flat[i*d : (i+1)*d : (i+1)*d])
+		}
+	}
+	for _, v := range buf {
+		if v > best {
+			best = v
+		}
+	}
+	PutScratch(sc)
+	return best
 }
 
 // Query returns up to k records with highest (score desc, time desc) rank
@@ -160,7 +299,15 @@ func (f *Forest) QueryInto(s score.Scorer, k int, t1, t2 int64, sc *Scratch, dst
 // dst the whole fan-out performs zero allocations — the steady-state live
 // query path.
 func (f *Forest) QueryRangeInto(s score.Scorer, k int, lo, hi int, sc *Scratch, dst []Item) []Item {
-	n := f.tail.Len()
+	return forestQueryRange(f.tail, f.trees, f.bufStart, s, k, lo, hi, sc, dst)
+}
+
+// forestQueryRange is the shared probe core of Forest and View: trees and
+// bufStart describe an indexed prefix of ds ([bufStart, ds.Len()) is scanned
+// unindexed); the range is clamped to ds, so a View's prefix storage pins hi
+// regardless of how far the parent forest has grown since the snapshot.
+func forestQueryRange(ds *data.Dataset, trees []chunkTree, bufStart int, s score.Scorer, k, lo, hi int, sc *Scratch, dst []Item) []Item {
+	n := ds.Len()
 	if hi > n {
 		hi = n
 	}
@@ -171,7 +318,7 @@ func (f *Forest) QueryRangeInto(s score.Scorer, k int, lo, hi int, sc *Scratch, 
 		return dst[:0]
 	}
 	res := kHeap{k: k, items: sc.fheap[:0]}
-	for _, ct := range f.trees {
+	for _, ct := range trees {
 		clo, chi := ct.start, ct.start+ct.size
 		if clo < lo {
 			clo = lo
@@ -190,10 +337,10 @@ func (f *Forest) QueryRangeInto(s score.Scorer, k int, lo, hi int, sc *Scratch, 
 		sc.fbuf = items[:0]
 	}
 	// Bulk-score the clipped still-buffered suffix in one stripe.
-	if blo, bhi := max(f.bufStart, lo), hi; blo < bhi {
-		times := f.tail.Times()
-		flat := f.tail.FlatAttrs()
-		d := f.tail.Dims()
+	if blo, bhi := max(bufStart, lo), hi; blo < bhi {
+		times := ds.Times()
+		flat := ds.FlatAttrs()
+		d := ds.Dims()
 		buf := sc.scoreBuf(bhi - blo)
 		if bulk, ok := s.(score.BulkScorer); ok {
 			bulk.ScoreRange(buf, flat, d, blo, bhi)

@@ -237,3 +237,92 @@ func BenchmarkForestAppend(b *testing.B) {
 		_ = f.Append(int64(i+1), []float64{rng.Float64(), rng.Float64()})
 	}
 }
+
+// TestForestSnapshotStable pins the append-stability contract of Snapshot:
+// a view taken at prefix n answers exactly like a static index over those n
+// records forever — across later appends, buffer flushes, and the tree merges
+// they cascade (which pop and rewrite the parent's tree set in place).
+func TestForestSnapshotStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 8; trial++ {
+		n := 1 + rng.Intn(400)
+		d := 1 + rng.Intn(3)
+		total := n + 1 + rng.Intn(600) // appends continuing past the snapshot
+		ds := randDS(rng, total, d, 4*(trial%2))
+		opts := Options{LengthThreshold: 8, MaxNodeSkyline: 16}
+		f := NewForest(d, opts)
+		for i := 0; i < n; i++ {
+			if err := f.Append(ds.Time(i), ds.Attrs(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		view := f.Snapshot(n)
+		for i := n; i < total; i++ {
+			if err := f.Append(ds.Time(i), ds.Attrs(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if view.Len() != n {
+			t.Fatalf("view grew: Len=%d want %d", view.Len(), n)
+		}
+		prefix := ds.Prefix(n)
+		idx := Build(prefix, opts)
+		s := linearFor(rng, d)
+		lo, hi := ds.Span() // deliberately spans past the prefix end
+		for q := 0; q < 12; q++ {
+			k := 1 + rng.Intn(6)
+			t1 := lo + int64(rng.Intn(int(hi-lo)+1)) - 2
+			t2 := t1 + int64(rng.Intn(int(hi-lo)+2))
+			got := view.Query(s, k, t1, t2)
+			want := idx.Query(s, k, t1, t2)
+			if !itemsEqual(got, want) {
+				t.Fatalf("trial %d n=%d total=%d k=%d [%d,%d]:\nview   %v\nstatic %v",
+					trial, n, total, k, t1, t2, got, want)
+			}
+		}
+		// The pinned upper bound must bound every prefix record and be
+		// attained by one (linear scorers admit a tight max).
+		ub := view.UpperBoundAll(s)
+		best := -1e300
+		for i := 0; i < n; i++ {
+			if v := s.Score(prefix.Attrs(i)); v > best {
+				best = v
+			}
+		}
+		if ub < best {
+			t.Fatalf("trial %d: UpperBoundAll=%g below true max %g", trial, ub, best)
+		}
+	}
+}
+
+// TestForestSnapshotOldPrefix exercises snapshots taken at a length the
+// forest has long grown past: merged trees straddling the prefix end must be
+// clipped, not over-answer.
+func TestForestSnapshotOldPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	const total = 500
+	ds := randDS(rng, total, 2, 0)
+	opts := Options{LengthThreshold: 8}
+	f := NewForest(2, opts)
+	for i := 0; i < total; i++ {
+		if err := f.Append(ds.Time(i), ds.Attrs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := linearFor(rng, 2)
+	for _, n := range []int{1, 7, 8, 9, 63, 64, 65, 200, total} {
+		view := f.Snapshot(n)
+		idx := Build(ds.Prefix(n), opts)
+		lo, hi := ds.Span()
+		for q := 0; q < 8; q++ {
+			k := 1 + rng.Intn(5)
+			t1 := lo + int64(rng.Intn(int(hi-lo)+1))
+			t2 := t1 + int64(rng.Intn(int(hi-lo)+2))
+			got := view.Query(s, k, t1, t2)
+			want := idx.Query(s, k, t1, t2)
+			if !itemsEqual(got, want) {
+				t.Fatalf("n=%d k=%d [%d,%d]:\nview   %v\nstatic %v", n, k, t1, t2, got, want)
+			}
+		}
+	}
+}

@@ -230,3 +230,107 @@ func TestLiveConfirmationsOverWire(t *testing.T) {
 		t.Fatalf("first confirmation id %d", ids[0])
 	}
 }
+
+// TestLiveShardedOverWire drives the live+sharded lifecycle through the wire:
+// ingest rows into an AddLiveSharded dataset in batches that cross seal
+// boundaries, check the Datasets listing reports the shard count, and require
+// every interleaved query to answer exactly like a local batch engine over
+// the same prefix.
+func TestLiveShardedOverWire(t *testing.T) {
+	srv := NewServer(func(string, ...interface{}) {})
+	lse, err := srv.AddLiveSharded("stream", 2, []string{"points", "assists"},
+		core.Options{}, core.LiveOptions{}, core.LiveShardOptions{SealRows: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	ds := testDataset(t, 70, 9)
+	appended := 0
+	for appended < ds.Len() {
+		batch := 7
+		if appended+batch > ds.Len() {
+			batch = ds.Len() - appended
+		}
+		rows := make([]IngestRow, 0, batch)
+		for j := 0; j < batch; j++ {
+			rows = append(rows, IngestRow{Time: ds.Time(appended + j), Attrs: ds.Attrs(appended + j)})
+		}
+		resp, err := cl.Append("stream", rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Appended != batch {
+			t.Fatalf("appended=%d want %d", resp.Appended, batch)
+		}
+		appended += batch
+
+		got, _, err := cl.Query(Request{Dataset: "stream", K: 3, Tau: 12, Weights: []float64{1, 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prefix := ds.Prefix(appended)
+		lo, hi := prefix.Span()
+		want, err := core.NewEngine(prefix, core.Options{}).DurableTopK(core.Query{
+			K: 3, Tau: 12, Start: lo, End: hi, Scorer: score.MustLinear(1, 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want.Records) {
+			t.Fatalf("prefix %d: wire %d records, batch %d", appended, len(got), len(want.Records))
+		}
+		for i := range got {
+			w := want.Records[i]
+			if got[i].ID != w.ID || got[i].Time != w.Time || got[i].Score != w.Score {
+				t.Fatalf("prefix %d record %d: wire %+v batch %+v", appended, i, got[i], w)
+			}
+		}
+	}
+	if lse.Seals() != 4 { // 70 rows / 16 per seal
+		t.Fatalf("seals=%d want 4", lse.Seals())
+	}
+
+	infos, err := cl.Datasets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, in := range infos {
+		if in.Name != "stream" {
+			continue
+		}
+		found = true
+		if !in.Live || in.Len != 70 || in.Shards != lse.NumShards() || in.Shards != 5 {
+			t.Fatalf("live-sharded dataset info wrong: %+v (engine shards %d)", in, lse.NumShards())
+		}
+	}
+	if !found {
+		t.Fatal("live-sharded dataset not listed")
+	}
+
+	// The ingest lockout applies to live-sharded datasets too.
+	if err := srv.SetIngesting("stream", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Append("stream", []IngestRow{{Time: 10000, Attrs: []float64{1, 2}}}); err == nil {
+		t.Fatal("append during ingest accepted")
+	}
+	if err := srv.SetIngesting("stream", false); err != nil {
+		t.Fatal(err)
+	}
+	// Expression scoring resolves the registered attribute names.
+	if _, _, err := cl.Query(Request{Dataset: "stream", K: 1, Tau: 5, Expr: "points + 2*assists"}); err != nil {
+		t.Fatal(err)
+	}
+}

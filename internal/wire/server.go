@@ -13,8 +13,17 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/expr"
+	"repro/internal/monitor"
 	"repro/internal/score"
 )
+
+// LiveIngest is the append surface shared by core.LiveEngine and
+// core.LiveShardedEngine: the server ingests wire append batches through it
+// and reports the online monitor's verdicts when enabled.
+type LiveIngest interface {
+	Append(t int64, attrs []float64) (monitor.Decision, []monitor.Confirmation, error)
+	Monitored() bool
+}
 
 // Server hosts durable top-k engines over named datasets and answers wire
 // requests. Engines are built once at registration; queries on one engine
@@ -34,9 +43,10 @@ type Server struct {
 type served struct {
 	eng   core.Querier
 	attrs []string
-	// live is non-nil for datasets registered with AddLive; it is the same
-	// engine as eng, retyped for the ingestion surface.
-	live *core.LiveEngine
+	// live is non-nil for datasets registered with AddLive or
+	// AddLiveSharded; it is the same engine as eng, retyped for the
+	// ingestion surface.
+	live LiveIngest
 	// ingesting marks a live dataset currently fed by a server-side stream
 	// (durserved -ingest); wire appends are rejected while it is set, since
 	// an external producer interleaving its own (later) timestamps would
@@ -102,6 +112,25 @@ func (s *Server) AddLive(name string, dims int, attrs []string, opts core.Option
 		return nil, err
 	}
 	return le, nil
+}
+
+// AddLiveSharded registers an empty live+sharded dataset of the given
+// dimensionality under name and returns its engine: appends route to a
+// mutable tail shard that seals into immutable static shards per the
+// LiveShardOptions lifecycle (see core.LiveShardedEngine). The wire contract
+// is identical to AddLive — same append and query requests, same answers —
+// only the serving engine's scaling behavior differs.
+func (s *Server) AddLiveSharded(name string, dims int, attrs []string, opts core.Options, live core.LiveOptions, shards core.LiveShardOptions) (*core.LiveShardedEngine, error) {
+	lse, err := core.NewLiveShardedEngine(dims, opts, live, shards)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.addEntry(name, lse.Dataset(), attrs, func() *served {
+		return &served{eng: lse, attrs: attrs, live: lse}
+	}); err != nil {
+		return nil, err
+	}
+	return lse, nil
 }
 
 func (s *Server) add(name string, ds *data.Dataset, attrs []string, build func() core.Querier) error {
@@ -242,9 +271,17 @@ func (s *Server) handleDatasets() *Response {
 		sv := s.sets[name]
 		ds := sv.eng.Dataset()
 		lo, hi := ds.Span()
+		shards := 0
+		switch eng := sv.eng.(type) {
+		case *core.ShardedEngine:
+			shards = eng.NumShards()
+		case *core.LiveShardedEngine:
+			shards = eng.NumShards()
+		}
 		resp.Datasets = append(resp.Datasets, DatasetInfo{
 			Name: name, Len: ds.Len(), Dims: ds.Dims(),
 			Start: lo, End: hi, Attrs: sv.attrs, Live: sv.live != nil,
+			Shards: shards,
 		})
 	}
 	return resp

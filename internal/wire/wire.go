@@ -131,6 +131,10 @@ type DatasetInfo struct {
 	End   int64    `json:"end"`
 	Attrs []string `json:"attrs,omitempty"` // names usable in expressions
 	Live  bool     `json:"live,omitempty"`  // accepts append requests
+	// Shards is the number of time shards currently serving the dataset:
+	// fixed for a sharded registration, sealed+tail for a live+sharded one,
+	// and 0 for single-engine datasets.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Response is one server frame.
