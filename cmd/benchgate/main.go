@@ -73,6 +73,23 @@ func (g *gate) ns(kind, name string, old, new float64) {
 	fmt.Printf("%-10s %-14s ns/op %12.0f -> %12.0f (%.2fx, %s)\n", kind, name, old, new, ratio, verdict)
 }
 
+// throughput compares one higher-is-better rate (rows/sec); wall-clock like
+// ns, so over-tolerance slowdown only warns.
+func (g *gate) throughput(kind, name string, old, new float64) {
+	if old <= 0 || new <= 0 {
+		return
+	}
+	ratio := old / new // > 1 means the fresh run is slower
+	verdict := "ok"
+	if ratio > g.maxRatio {
+		verdict = "SLOWER"
+		fmt.Printf("::warning::benchgate: %s %q rows/s %.0f -> %.0f (%.2fx slower > %.2fx tolerance)\n",
+			kind, name, old, new, ratio, g.maxRatio)
+		g.warn++
+	}
+	fmt.Printf("%-10s %-14s rows/s %12.0f -> %12.0f (%.2fx, %s)\n", kind, name, old, new, ratio, verdict)
+}
+
 // missingRow fails the build for a baseline row absent from the fresh run: a
 // silently vanished row means its hot path stopped being measured, which
 // would let regressions land ungated. Renames must re-commit the baseline in
@@ -189,6 +206,9 @@ func (g *gate) checkStream(oldRep, newRep *bench.StreamReport) {
 	}
 	g.ns("stream", "steady-query", oldRep.SteadyQueryNs, newRep.SteadyQueryNs)
 	g.allocs("stream", "steady-query", oldRep.SteadyQueryAllocs, newRep.SteadyQueryAllocs)
+	// Durability rows first: the live+sharded gating below returns early on
+	// pre-lifecycle baselines and must not take the WAL rows with it.
+	g.checkStreamWAL(oldRep, newRep)
 	// The live+sharded lifecycle rows (absent from pre-lifecycle baselines;
 	// gated once a baseline records them). The steady query fans out across
 	// sealed shards on a worker pool, so its allocations get the same
@@ -218,6 +238,38 @@ func (g *gate) checkStream(oldRep, newRep *bench.StreamReport) {
 	}
 	g.ns("stream", "ls-steady", oldRep.LiveShardedSteadyQueryNs, newRep.LiveShardedSteadyQueryNs)
 	g.allocsSlack("stream", "ls-steady", oldRep.LiveShardedSteadyQueryAllocs, newRep.LiveShardedSteadyQueryAllocs)
+}
+
+// checkStreamWAL gates the durability rows: WAL ingest throughput per fsync
+// policy and recovery replay speed. Throughput is wall-clock, so drifts warn
+// like ns rows; a vanished row still fails (the durability path silently
+// stopped being measured).
+func (g *gate) checkStreamWAL(oldRep, newRep *bench.StreamReport) {
+	for _, pol := range []string{"none", "interval", "always"} {
+		name := "wal-fsync-" + pol
+		o, oldHas := oldRep.WALAppendsPerSec[pol]
+		n, newHas := newRep.WALAppendsPerSec[pol]
+		switch {
+		case !oldHas && !newHas:
+		case oldHas && !newHas:
+			g.missingRow("stream", name)
+		case !oldHas:
+			fmt.Printf("::warning::benchgate: stream %q has no committed baseline row (new?); re-commit the baseline to gate it\n", name)
+			g.warn++
+		default:
+			g.throughput("stream", name, o, n)
+		}
+	}
+	switch {
+	case oldRep.RecoveryReplayRowsPerSec == 0 && newRep.RecoveryReplayRowsPerSec == 0:
+	case newRep.RecoveryReplayRowsPerSec == 0:
+		g.missingRow("stream", "recovery-replay")
+	case oldRep.RecoveryReplayRowsPerSec == 0:
+		fmt.Printf("::warning::benchgate: stream \"recovery-replay\" has no committed baseline row (new?); re-commit the baseline to gate it\n")
+		g.warn++
+	default:
+		g.throughput("stream", "recovery-replay", oldRep.RecoveryReplayRowsPerSec, newRep.RecoveryReplayRowsPerSec)
+	}
 }
 
 func main() {

@@ -512,19 +512,120 @@ func TestServedLiveIngest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var resp *wire.Response
-	for retry := time.Now().Add(10 * time.Second); ; {
-		resp, err = cl.Append("feed", []wire.IngestRow{{Time: infos[0].End + 10, Attrs: []float64{1, 2}}})
-		if err == nil || !strings.Contains(err.Error(), "ingest stream") || !time.Now().Before(retry) {
-			break
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+	resp, err := cl.AppendRetry("feed",
+		[]wire.IngestRow{{Time: infos[0].End + 10, Attrs: []float64{1, 2}}},
+		wire.RetryPolicy{MaxAttempts: 1 << 10, BaseDelay: 5 * time.Millisecond,
+			MaxDelay: 100 * time.Millisecond, MaxElapsed: 10 * time.Second})
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("append after ingest drain: %v (after %d retries)", err, cl.Retries())
 	}
 	if resp.Appended != 1 || len(resp.Decisions) != 1 {
 		t.Fatalf("wire append response %+v", resp)
+	}
+}
+
+// startServed launches durserved with args, waits for its listen address,
+// and returns the process plus every stderr line emitted before "listening".
+func startServed(t *testing.T, args ...string) (*exec.Cmd, string, []string) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, "durserved"),
+		append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	type startup struct {
+		addr  string
+		lines []string
+	}
+	ch := make(chan startup, 1)
+	go func() {
+		var lines []string
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				ch <- startup{strings.TrimSpace(line[i+len("listening on "):]), lines}
+				return
+			}
+			lines = append(lines, line)
+		}
+	}()
+	select {
+	case st := <-ch:
+		return cmd, st.addr, st.lines
+	case <-time.After(10 * time.Second):
+		t.Fatal("durserved did not report its address")
+		return nil, "", nil
+	}
+}
+
+// TestServedWALCrashRecovery is the end-to-end durability flow: feed a
+// served live dataset over the wire, SIGKILL the server, restart it on the
+// same -wal directory and require every acknowledged record back —
+// checkpointed shards loaded in bulk, only the unsealed tail replayed.
+func TestServedWALCrashRecovery(t *testing.T) {
+	walDir := filepath.Join(t.TempDir(), "wal")
+	served := []string{"-live", "feed=2", "-livek", "2", "-livetau", "50",
+		"-sealrows", "100", "-wal", walDir, "-fsync", "always", "-conntimeout", "30s"}
+	retry := wire.RetryPolicy{MaxAttempts: 100, BaseDelay: 10 * time.Millisecond, MaxElapsed: 10 * time.Second}
+
+	cmd, addr, _ := startServed(t, served...)
+	cl, err := wire.DialRetry(addr, retry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]wire.IngestRow, 250)
+	for i := range rows {
+		rows[i] = wire.IngestRow{Time: int64(i + 1), Attrs: []float64{float64(i % 37), float64(i % 11)}}
+	}
+	for off := 0; off < len(rows); off += 50 {
+		resp, err := cl.AppendRetry("feed", rows[off:off+50], retry)
+		if err != nil || resp.Appended != 50 {
+			t.Fatalf("append batch at %d: %d rows, %v", off, resp.Appended, err)
+		}
+	}
+	cl.Close()
+	// SIGKILL: no graceful close, no final flush. With -fsync always every
+	// acknowledged append must already be on disk.
+	cmd.Process.Kill()
+	cmd.Wait()
+
+	_, addr2, lines := startServed(t, served...)
+	recovered := strings.Join(lines, "\n")
+	// 250 rows at -sealrows 100: two checkpointed shards load without WAL
+	// replay; only the 50-row unsealed tail replays.
+	if !strings.Contains(recovered, "recovered \"feed\": 200 rows from 2 checkpointed shards, 50 replayed") {
+		t.Fatalf("recovery line missing or wrong:\n%s", recovered)
+	}
+	cl2, err := wire.DialRetry(addr2, retry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	infos, err := cl2.Datasets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || !infos[0].Live || infos[0].Len != 250 {
+		t.Fatalf("recovered dataset info %+v, want live feed with 250 rows", infos)
+	}
+	// Ingestion resumes at the exact next record, and queries serve the
+	// reunited stream.
+	resp, err := cl2.AppendRetry("feed", []wire.IngestRow{{Time: 251, Attrs: []float64{5, 5}}}, retry)
+	if err != nil || resp.Appended != 1 || len(resp.Decisions) != 1 {
+		t.Fatalf("resumed append: %+v, %v", resp, err)
+	}
+	recs, _, err := cl2.Query(wire.Request{Dataset: "feed", K: 2, Tau: 40, Weights: []float64{1, 0.5}})
+	if err != nil || len(recs) == 0 {
+		t.Fatalf("query after recovery: %d records, %v", len(recs), err)
 	}
 }
 

@@ -39,6 +39,16 @@
 // unbounded stream:
 //
 //	durgen -kind nba -n 1000000 | durserved -live games=2 -sealrows 100000 -ingest games
+//
+// -wal DIR makes every -live dataset crash-safe: each append is framed into
+// a write-ahead log under DIR/<name> before the engine applies it, sealed
+// tail shards are checkpointed into page files, and a restart recovers the
+// full acknowledged stream and resumes ingestion at the exact next record
+// (-wal implies the live+sharded lifecycle; -fsync picks the WAL fsync
+// policy). -conntimeout bounds each read and write per connection so a
+// stalled client cannot pin a handler goroutine:
+//
+//	durserved -live games=2 -wal /var/lib/durserved -fsync interval -conntimeout 30s
 package main
 
 import (
@@ -48,10 +58,12 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
 
+	durable "repro"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/datagen"
@@ -88,6 +100,10 @@ func main() {
 		ingest   = flag.String("ingest", "", "stream CSV records from stdin into this live dataset")
 		sealRows = flag.Int("sealrows", 0, "serve -live datasets live+sharded: seal the mutable tail into a static shard every N records (0 = plain live engine)")
 		sealSpan = flag.Int64("sealspan", 0, "serve -live datasets live+sharded: seal the tail once its arrivals span this many ticks (0 = no span rule)")
+		walDir   = flag.String("wal", "", "serve -live datasets crash-safe from a write-ahead-logged store under this directory (one subdirectory per dataset; implies the live+sharded lifecycle)")
+		fsyncPol = flag.String("fsync", "always", "WAL fsync policy for -wal: always|interval|none")
+		fsyncEvy = flag.Duration("fsyncevery", 0, "fsync period for -fsync interval (0 = 50ms default)")
+		connTO   = flag.Duration("conntimeout", 0, "per-connection read/write deadline; idle or stalled clients are disconnected after this long (0 = none)")
 		files    keyValue
 		gens     keyValue
 		names    keyValue
@@ -102,6 +118,10 @@ func main() {
 	strategy, err := core.ParseShardStrategy(*shardBy)
 	if err != nil {
 		log.Fatalf("durserved: %v", err)
+	}
+	syncPolicy, err := durable.ParseSyncPolicy(*fsyncPol)
+	if err != nil {
+		log.Fatalf("durserved: -fsync: %v", err)
 	}
 
 	if len(files.keys)+len(gens.keys)+len(lives.keys) == 0 {
@@ -161,6 +181,7 @@ func main() {
 	}
 
 	liveEngines := map[string]liveServed{}
+	var stores []*durable.Store // closed on shutdown so the WAL flushes
 	for i, name := range lives.keys {
 		dims, err := strconv.Atoi(lives.values[i])
 		if err != nil || dims < 1 {
@@ -182,7 +203,29 @@ func main() {
 		}
 		var le liveServed
 		suffix := ""
-		if *sealRows > 0 || *sealSpan > 0 {
+		if *walDir != "" {
+			st, err := durable.Recover(filepath.Join(*walDir, name), dims, durable.StoreOptions{
+				Sync: syncPolicy, SyncEvery: *fsyncEvy,
+				Engine: engOpts, Live: liveOpts,
+				Shard: core.LiveShardOptions{SealRows: *sealRows, SealSpan: *sealSpan, Workers: *workers},
+			})
+			if err != nil {
+				log.Fatalf("durserved: -wal %s: %v", name, err)
+			}
+			if err := srv.AddLiveQuerier(name, st.Engine(), st, attrNames[name]); err != nil {
+				log.Fatalf("durserved: -live %s: %v", name, err)
+			}
+			stats := st.Stats()
+			reset := ""
+			if stats.WALReset {
+				reset = "; corrupt tail WAL discarded behind the last checkpoint"
+			}
+			log.Printf("durserved: recovered %q: %d rows from %d checkpointed shards, %d replayed from the WAL%s",
+				name, stats.RestoredRows, stats.RestoredShards, stats.ReplayedRows, reset)
+			stores = append(stores, st)
+			le = st
+			suffix = fmt.Sprintf(", crash-safe (wal under %s, fsync=%s)", filepath.Join(*walDir, name), syncPolicy)
+		} else if *sealRows > 0 || *sealSpan > 0 {
 			// Live+sharded lifecycle: appends route to a mutable tail shard
 			// that seals into immutable static shards as it fills.
 			lse, err := srv.AddLiveSharded(name, dims, attrNames[name], engOpts, liveOpts,
@@ -258,6 +301,7 @@ func main() {
 		}()
 	}
 
+	srv.SetConnTimeout(*connTO)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("durserved: %v", err)
@@ -273,6 +317,14 @@ func main() {
 	}()
 	if err := srv.Serve(ln); err != nil && !isClosed(err) {
 		log.Fatalf("durserved: %v", err)
+	}
+	srv.Close() // idempotent; waits until in-flight connections drain
+	// Connections have drained; flush and close the durable stores so the
+	// final WAL tail is on stable storage before exit.
+	for _, st := range stores {
+		if err := st.Close(); err != nil {
+			log.Printf("durserved: closing store: %v", err)
+		}
 	}
 }
 

@@ -29,6 +29,12 @@ type LiveShardOptions struct {
 	// StraddleThreshold tunes boundary-straddler handling exactly as in
 	// ShardOptions; 0 selects the default.
 	StraddleThreshold int
+	// OnSeal, when set, is invoked after every tail seal with the half-open
+	// global row range [lo, hi) that was frozen. It runs with the engine's
+	// internal lock held, so it must be fast and must not call back into
+	// the engine — the durability layer uses it to hand the range to a
+	// checkpointing goroutine.
+	OnSeal func(lo, hi int)
 }
 
 // DefaultSealRows is the tail seal threshold when LiveShardOptions specifies
@@ -142,6 +148,54 @@ func NewLiveShardedEngine(d int, opts Options, live LiveOptions, so LiveShardOpt
 	return e, nil
 }
 
+// RestoredShard carries one checkpointed sealed shard's rows for
+// RestoreLiveShardedEngine: parallel time/row-major attribute columns, in
+// ascending time order.
+type RestoredShard struct {
+	Times []int64
+	Flat  []float64
+}
+
+// RestoreLiveShardedEngine rebuilds a live+sharded engine from checkpointed
+// sealed shards, in order. Each shard's rows are bulk-appended to the global
+// columnar storage and frozen synchronously into a static shard — no WAL
+// replay, no incremental index work — after which the engine's tail is empty
+// and appends resume at the exact next row. The monitor (when configured)
+// re-observes every restored row so its online state matches a process that
+// never crashed; the resulting decisions are discarded (they were already
+// emitted before the crash).
+func RestoreLiveShardedEngine(d int, opts Options, live LiveOptions, so LiveShardOptions, shards []RestoredShard) (*LiveShardedEngine, error) {
+	e, err := NewLiveShardedEngine(d, opts, live, so)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range shards {
+		lo := e.global.Len()
+		if err := e.global.AppendRows(s.Times, s.Flat); err != nil {
+			return nil, fmt.Errorf("core: restoring sealed shard at row %d: %w", lo, err)
+		}
+		hi := e.global.Len()
+		if hi == lo {
+			continue
+		}
+		e.sealed = append(e.sealed, timeShard{lo: lo, hi: hi, eng: NewEngine(e.global.Slice(lo, hi), opts)})
+		e.seals++
+		e.sealedRows += hi - lo
+		e.rebuilds++
+		e.indexedRows += hi - lo
+		e.tailLo = hi
+		e.seq++
+		if e.mon != nil {
+			for i := lo; i < hi; i++ {
+				if _, _, err := e.mon.Observe(e.global.Time(i), e.global.Attrs(i)); err != nil {
+					return nil, fmt.Errorf("core: restoring monitor at row %d: %w", i, err)
+				}
+			}
+		}
+	}
+	return e, nil
+}
+
 // newTail opens a fresh empty tail engine sized for one seal cycle. The tail
 // never carries its own monitor — the wrapper's monitor spans seals.
 func (e *LiveShardedEngine) newTail() *LiveEngine {
@@ -234,6 +288,9 @@ func (e *LiveShardedEngine) sealLocked() {
 	e.tail = e.newTail()
 	e.tailLo = n
 	e.seq++
+	if e.so.OnSeal != nil {
+		e.so.OnSeal(lo, n)
+	}
 	if e.freezing >= maxPendingFreezes {
 		// Backpressure: seals are outpacing freeze builds, and every
 		// unfrozen retired tail keeps a duplicate copy of its rows alive.

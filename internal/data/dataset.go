@@ -171,6 +171,39 @@ func (ds *Dataset) AppendRow(t int64, attrs []float64) error {
 	return nil
 }
 
+// AppendRows bulk-commits n records from parallel columns: times must be
+// strictly increasing (and exceed the last committed time) and flat must
+// hold exactly len(times)*Dims values in row-major order. Both inputs are
+// copied after one up-front validation pass, so a failed call commits
+// nothing. Recovery paths use it to reload checkpointed shards without
+// per-row overhead; the same view-stability guarantees as AppendRow apply.
+func (ds *Dataset) AppendRows(times []int64, flat []float64) error {
+	if !ds.appendable {
+		return ErrNotAppendable
+	}
+	if len(flat) != len(times)*ds.dims {
+		return fmt.Errorf("%w: %d attribute values for %d records of dim %d", ErrLengthMismatch, len(flat), len(times), ds.dims)
+	}
+	if len(times) == 0 {
+		return nil
+	}
+	last := int64(-1 << 62)
+	ok := false
+	if n := len(ds.times); n > 0 {
+		last, ok = ds.times[n-1], true
+	}
+	for i, t := range times {
+		if (ok || i > 0) && t <= last {
+			return fmt.Errorf("%w: appending t=%d after t=%d", ErrNotIncreasing, t, last)
+		}
+		last, ok = t, true
+	}
+	ds.grow(len(times))
+	ds.times = append(ds.times, times...)
+	ds.flat = append(ds.flat, flat...)
+	return nil
+}
+
 // grow reserves capacity for n more records, reallocating both columns in
 // lockstep. Chunked doubling keeps appends amortized O(1); copying (rather
 // than growing in place) is what lets prefix views outlive the reallocation.

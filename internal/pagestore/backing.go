@@ -14,6 +14,7 @@ package pagestore
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 )
 
@@ -79,9 +80,21 @@ func (m *MemBacking) NumPages() int { return len(m.pages) }
 // Close implements Backing.
 func (m *MemBacking) Close() error { return nil }
 
+// BlockFile is the random-access file contract FileBacking stores pages
+// through. *os.File satisfies it directly; the method set is intentionally
+// identical to wal.File, so the WAL's in-memory and fault-injection
+// filesystems can back a page store in tests without an import cycle.
+type BlockFile interface {
+	io.ReaderAt
+	io.WriterAt
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
 // FileBacking stores pages in a file.
 type FileBacking struct {
-	f *os.File
+	f BlockFile
 	n int
 }
 
@@ -92,6 +105,16 @@ func NewFileBacking(path string) (*FileBacking, error) {
 		return nil, err
 	}
 	return &FileBacking{f: f}, nil
+}
+
+// NewFileBackingOn wraps an already-open file of the given size (in bytes,
+// which must be a whole number of pages). The checkpoint layer uses it to
+// run page stores over an abstract filesystem; Close closes f.
+func NewFileBackingOn(f BlockFile, size int64) (*FileBacking, error) {
+	if size%PageSize != 0 {
+		return nil, fmt.Errorf("pagestore: size %d is not page-aligned", size)
+	}
+	return &FileBacking{f: f, n: int(size / PageSize)}, nil
 }
 
 // OpenFileBacking opens an existing file-backed store; the file size must be
@@ -143,6 +166,10 @@ func (fb *FileBacking) Alloc() (PageID, error) {
 
 // NumPages implements Backing.
 func (fb *FileBacking) NumPages() int { return fb.n }
+
+// Sync flushes written pages to stable storage. The checkpoint layer calls
+// it before publishing a manifest that references the file.
+func (fb *FileBacking) Sync() error { return fb.f.Sync() }
 
 // Close implements Backing.
 func (fb *FileBacking) Close() error { return fb.f.Close() }

@@ -1,0 +1,195 @@
+package pagestore
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/wal"
+	"repro/internal/wal/faultfs"
+)
+
+// buildTableOn writes a sealed one-dimensional table of n rows into the file
+// named name on fs, returning the metadata RestoreTable needs.
+func buildTableOn(t *testing.T, fs wal.FS, name string, n int) (meta []PageMeta, lastTime int64) {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := NewFileBackingOn(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewBufferPool(fb, 8)
+	tbl, err := CreateTable(pool, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := tbl.Append(uint32(i), int64(i+1), []float64{float64(i)}); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if err := tbl.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fb.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	return tbl.Meta(), tbl.LastTime()
+}
+
+// reopenTable restores the table from name on fs and scans it fully.
+func reopenTable(fs wal.FS, name string, meta []PageMeta, n int, lastTime int64) (rows int, err error) {
+	size, err := fs.Size(name)
+	if err != nil {
+		return 0, err
+	}
+	f, err := fs.Open(name)
+	if err != nil {
+		return 0, err
+	}
+	fb, err := NewFileBackingOn(f, size)
+	if err != nil {
+		return 0, err
+	}
+	defer fb.Close()
+	tbl, err := RestoreTable(NewBufferPool(fb, 8), 1, meta, n, lastTime)
+	if err != nil {
+		return 0, err
+	}
+	err = tbl.ScanRange(0, int64(n)+1, func(uint32, int64, []float64) bool {
+		rows++
+		return true
+	})
+	return rows, err
+}
+
+// TestFileBackingDetectsBitFlip: a single flipped bit in a durable page file
+// must surface as ErrCorruptPage on the next scan, never as wrong data.
+func TestFileBackingDetectsBitFlip(t *testing.T) {
+	const n = 600 // several 8 KiB pages of 16-byte tuples
+	fs := faultfs.New(wal.NewMemFS())
+	meta, lastTime := buildTableOn(t, fs, "pages", n)
+
+	if rows, err := reopenTable(fs, "pages", meta, n, lastTime); err != nil || rows != n {
+		t.Fatalf("clean reopen: %d rows, %v", rows, err)
+	}
+	// Flip one payload bit in the middle of the second page.
+	fs.FlipBit("pages", PageSize+PageSize/2, 0x10)
+	if _, err := reopenTable(fs, "pages", meta, n, lastTime); !errors.Is(err, ErrCorruptPage) {
+		t.Fatalf("scan over flipped bit: %v, want ErrCorruptPage", err)
+	}
+}
+
+// TestFileBackingShortFileReopen: reopening a page file that lost its tail
+// (torn at a non-page boundary) fails cleanly in the scan, not with a panic
+// or silent truncation.
+func TestFileBackingShortFileReopen(t *testing.T) {
+	const n = 600
+	fs := wal.NewMemFS()
+	meta, lastTime := buildTableOn(t, fs, "pages", n)
+	size, err := fs.Size("pages")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Open("pages")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(size - PageSize - 100); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// The raw size is no longer page-aligned: the straight reopen fails its
+	// alignment check.
+	if _, err := reopenTable(fs, "pages", meta, n, lastTime); err == nil {
+		t.Fatal("reopen of unaligned torn file succeeded")
+	}
+
+	// Even aligned down to whole pages, the scan must fail — the metadata
+	// references pages beyond the torn end — rather than silently shrink.
+	short, err := fs.Size("pages")
+	if err != nil {
+		t.Fatal(err)
+	}
+	aligned := short - short%PageSize
+	f2, err := fs.Open("pages")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := NewFileBackingOn(f2, aligned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+	tbl, err := RestoreTable(NewBufferPool(fb, 8), 1, meta, n, lastTime)
+	if err == nil {
+		err = tbl.ScanRange(0, int64(n)+1, func(uint32, int64, []float64) bool { return true })
+	}
+	if !errors.Is(err, ErrPageRange) {
+		t.Fatalf("scan of aligned torn file: %v, want ErrPageRange", err)
+	}
+}
+
+// TestFileBackingWriteFailures: injected write and allocation failures
+// propagate out of WritePage/Alloc instead of being swallowed.
+func TestFileBackingWriteFailures(t *testing.T) {
+	fs := faultfs.New(wal.NewMemFS())
+	f, err := fs.Create("pages")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := NewFileBackingOn(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := fb.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+
+	fs.FailWrites("pages", faultfs.ErrInjected)
+	if err := fb.WritePage(id, buf); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("WritePage under failure: %v", err)
+	}
+	// FailWrites is one-shot: the retry goes through.
+	if err := fb.WritePage(id, buf); err != nil {
+		t.Fatalf("WritePage after failure cleared: %v", err)
+	}
+
+	// A crash mid-Alloc (truncate counts against the budget) surfaces too,
+	// and the page count stays consistent with what was durable.
+	fs.CrashNow()
+	if _, err := fb.Alloc(); !errors.Is(err, faultfs.ErrCrashed) {
+		t.Fatalf("Alloc after crash: %v", err)
+	}
+	if got := fb.NumPages(); got != 1 {
+		t.Fatalf("NumPages = %d after failed Alloc, want 1", got)
+	}
+	if err := fb.Sync(); !errors.Is(err, faultfs.ErrCrashed) {
+		t.Fatalf("Sync after crash: %v", err)
+	}
+}
+
+// TestFileBackingShortReads: a read that crosses an injected device cut
+// errors instead of returning a partial page.
+func TestFileBackingShortReads(t *testing.T) {
+	const n = 600
+	fs := faultfs.New(wal.NewMemFS())
+	meta, lastTime := buildTableOn(t, fs, "pages", n)
+	fs.ShortReads("pages", PageSize+512) // cut inside the second page
+	_, err := reopenTable(fs, "pages", meta, n, lastTime)
+	if err == nil {
+		t.Fatal("scan across the read cut succeeded")
+	}
+	fs.ShortReads("pages", -1) // cleared: full scan works again
+	if rows, err := reopenTable(fs, "pages", meta, n, lastTime); err != nil || rows != n {
+		t.Fatalf("scan after clearing short reads: %d rows, %v", rows, err)
+	}
+}

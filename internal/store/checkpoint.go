@@ -1,0 +1,230 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/pagestore"
+	"repro/internal/wal"
+)
+
+// manifestName is the checkpoint manifest file, atomically replaced (write
+// to a temp name, sync, rename) on every checkpoint.
+const manifestName = "MANIFEST"
+
+// manifest is the durable index of checkpointed sealed shards. A shard's
+// pages file is referenced only after its contents are synced, and the WAL
+// is truncated only after the manifest referencing the shard is durable.
+type manifest struct {
+	Version int          `json:"version"`
+	Dims    int          `json:"dims"`
+	Shards  []shardEntry `json:"shards"`
+}
+
+// shardEntry describes one checkpointed sealed shard.
+type shardEntry struct {
+	// File is the pages file name within the store directory.
+	File string `json:"file"`
+	// Lo and Hi are the shard's half-open global row range.
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// LastTime is the arrival time of row Hi-1 (RestoreTable needs it).
+	LastTime int64 `json:"lastTime"`
+	// Pages are the heap-page summaries of the shard's table.
+	Pages []pagestore.PageMeta `json:"pages"`
+}
+
+// shardFileName names a shard's pages file by its global row range.
+func shardFileName(lo, hi int) string {
+	return fmt.Sprintf("shard-%012d-%012d.pages", lo, hi)
+}
+
+// checkpointPoolFrames bounds the buffer pool used while writing or reading
+// one checkpoint file; pages stream through, so a small pool suffices.
+const checkpointPoolFrames = 32
+
+// checkpoint persists sealed rows [lo,hi), republishes the manifest and
+// advances the WAL low-water mark. Runs on the checkpointer goroutine.
+func (s *Store) checkpoint(sp span) error {
+	entry, err := s.writeShardFile(sp.lo, sp.hi)
+	if err != nil {
+		return err
+	}
+	s.man.Shards = append(s.man.Shards, entry)
+	if err := writeManifest(s.fs, s.dir, s.man); err != nil {
+		// Roll the in-memory manifest back so a later retry (next seal's
+		// checkpoint) does not reference this shard twice.
+		s.man.Shards = s.man.Shards[:len(s.man.Shards)-1]
+		return err
+	}
+	// The shard and manifest are durable; rows below hi can leave the WAL.
+	if err := s.log.TruncateBefore(uint64(sp.hi)); err != nil {
+		return fmt.Errorf("advancing wal low-water mark: %w", err)
+	}
+	s.logf("store: checkpointed rows [%d,%d) to %s (%d pages)", sp.lo, sp.hi, entry.File, len(entry.Pages))
+	return nil
+}
+
+// writeShardFile persists rows [lo,hi) of the engine's global storage into
+// a freshly created pages file and syncs it.
+func (s *Store) writeShardFile(lo, hi int) (shardEntry, error) {
+	name := shardFileName(lo, hi)
+	f, err := s.fs.Create(filepath.Join(s.dir, name))
+	if err != nil {
+		return shardEntry{}, fmt.Errorf("creating %s: %w", name, err)
+	}
+	backing, err := pagestore.NewFileBackingOn(f, 0)
+	if err != nil {
+		f.Close()
+		return shardEntry{}, err
+	}
+	defer backing.Close()
+	pool := pagestore.NewBufferPool(backing, checkpointPoolFrames)
+	tbl, err := pagestore.CreateTable(pool, s.dims)
+	if err != nil {
+		return shardEntry{}, err
+	}
+	// Dataset() is an append-stable prefix view, so reading [lo,hi) is safe
+	// while the appender keeps running.
+	view := s.eng.Dataset().Slice(lo, hi)
+	for i := 0; i < view.Len(); i++ {
+		if err := tbl.Append(uint32(lo+i), view.Time(i), view.Attrs(i)); err != nil {
+			return shardEntry{}, fmt.Errorf("writing %s: %w", name, err)
+		}
+	}
+	if err := tbl.Seal(); err != nil {
+		return shardEntry{}, err
+	}
+	if err := pool.FlushAll(); err != nil {
+		return shardEntry{}, fmt.Errorf("flushing %s: %w", name, err)
+	}
+	if err := backing.Sync(); err != nil {
+		return shardEntry{}, fmt.Errorf("syncing %s: %w", name, err)
+	}
+	return shardEntry{
+		File:     name,
+		Lo:       lo,
+		Hi:       hi,
+		LastTime: view.Time(view.Len() - 1),
+		Pages:    tbl.Meta(),
+	}, nil
+}
+
+// loadShard reads one checkpointed shard back into columnar rows, verifying
+// every page checksum along the way.
+func loadShard(fs wal.FS, dir string, e shardEntry, dims int) (core.RestoredShard, error) {
+	if e.Hi <= e.Lo {
+		return core.RestoredShard{}, fmt.Errorf("empty shard range [%d,%d)", e.Lo, e.Hi)
+	}
+	path := filepath.Join(dir, e.File)
+	size, err := fs.Size(path)
+	if err != nil {
+		return core.RestoredShard{}, err
+	}
+	f, err := fs.Open(path)
+	if err != nil {
+		return core.RestoredShard{}, err
+	}
+	backing, err := pagestore.NewFileBackingOn(f, size)
+	if err != nil {
+		f.Close()
+		return core.RestoredShard{}, err
+	}
+	defer backing.Close()
+	pool := pagestore.NewBufferPool(backing, checkpointPoolFrames)
+	tbl, err := pagestore.RestoreTable(pool, dims, e.Pages, e.Hi-e.Lo, e.LastTime)
+	if err != nil {
+		return core.RestoredShard{}, err
+	}
+	n := e.Hi - e.Lo
+	sh := core.RestoredShard{
+		Times: make([]int64, 0, n),
+		Flat:  make([]float64, 0, n*dims),
+	}
+	nextID := uint32(e.Lo)
+	var scanErr error
+	err = tbl.ScanRange(math.MinInt64, math.MaxInt64, func(id uint32, tm int64, attrs []float64) bool {
+		if id != nextID {
+			scanErr = fmt.Errorf("row id %d out of sequence (want %d)", id, nextID)
+			return false
+		}
+		nextID++
+		sh.Times = append(sh.Times, tm)
+		sh.Flat = append(sh.Flat, attrs...)
+		return true
+	})
+	if err == nil {
+		err = scanErr
+	}
+	if err != nil {
+		return core.RestoredShard{}, err
+	}
+	if len(sh.Times) != n {
+		return core.RestoredShard{}, fmt.Errorf("shard holds %d rows, manifest says %d", len(sh.Times), n)
+	}
+	return sh, nil
+}
+
+// readManifest loads the manifest, returning an empty one when none exists.
+func readManifest(fs wal.FS, dir string) (manifest, error) {
+	path := filepath.Join(dir, manifestName)
+	size, err := fs.Size(path)
+	if err != nil {
+		if notExist(err) {
+			return manifest{Version: 1}, nil
+		}
+		return manifest{}, fmt.Errorf("store: reading manifest: %w", err)
+	}
+	f, err := fs.Open(path)
+	if err != nil {
+		return manifest{}, fmt.Errorf("store: opening manifest: %w", err)
+	}
+	defer f.Close()
+	buf := make([]byte, size)
+	if size > 0 {
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			return manifest{}, fmt.Errorf("store: reading manifest: %w", err)
+		}
+	}
+	var m manifest
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return manifest{}, fmt.Errorf("store: decoding manifest: %w", err)
+	}
+	if m.Version != 1 {
+		return manifest{}, fmt.Errorf("store: unsupported manifest version %d", m.Version)
+	}
+	return m, nil
+}
+
+// writeManifest atomically replaces the manifest: write a temp file, sync
+// it, rename over the live name. A crash at any point leaves either the old
+// or the new manifest, never a torn one.
+func writeManifest(fs wal.FS, dir string, m manifest) error {
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encoding manifest: %w", err)
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: creating manifest temp: %w", err)
+	}
+	if _, err := f.WriteAt(buf, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("store: writing manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: syncing manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fs.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("store: publishing manifest: %w", err)
+	}
+	return nil
+}

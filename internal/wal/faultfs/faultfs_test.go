@@ -1,0 +1,175 @@
+package faultfs
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+func TestCrashBudgetTearsWrite(t *testing.T) {
+	inner := wal.NewMemFS()
+	ffs := New(inner)
+	f, err := ffs.Create("seg")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	ffs.SetCrashBudget(10)
+
+	n, err := f.WriteAt([]byte("0123456"), 0) // 7 bytes, within budget
+	if err != nil || n != 7 {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	n, err = f.WriteAt([]byte("789abcdef"), 7) // 9 bytes, only 3 left
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn write error = %v, want ErrCrashed", err)
+	}
+	if n != 3 {
+		t.Fatalf("torn write applied %d bytes, want 3", n)
+	}
+	if !ffs.Crashed() {
+		t.Fatal("FS not crashed after budget exhausted")
+	}
+
+	// Everything after the crash fails.
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write = %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync = %v", err)
+	}
+	if _, err := ffs.Open("seg"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open = %v", err)
+	}
+
+	// The durable state holds exactly the applied prefix.
+	if size, _ := inner.Size("seg"); size != 10 {
+		t.Fatalf("durable size = %d, want 10", size)
+	}
+	h, _ := inner.Open("seg")
+	buf := make([]byte, 10)
+	if _, err := h.ReadAt(buf, 0); err != nil {
+		t.Fatalf("inner read: %v", err)
+	}
+	if string(buf) != "0123456789" {
+		t.Fatalf("durable content = %q", buf)
+	}
+}
+
+func TestBytesWrittenAndOps(t *testing.T) {
+	ffs := New(wal.NewMemFS())
+	f, _ := ffs.Create("a")
+	f.WriteAt(make([]byte, 5), 0)
+	f.WriteAt(make([]byte, 3), 5)
+	f.Sync()
+	f.Truncate(4)
+	if got := ffs.BytesWritten(); got != 8 {
+		t.Fatalf("BytesWritten = %d, want 8", got)
+	}
+	ops := ffs.Ops()
+	if len(ops) != 4 || ops[0].Op != "write" || ops[2].Op != "sync" || ops[3].Op != "truncate" {
+		t.Fatalf("ops = %+v", ops)
+	}
+}
+
+func TestFailWritesOnce(t *testing.T) {
+	ffs := New(wal.NewMemFS())
+	f, _ := ffs.Create("a")
+	boom := errors.New("disk full")
+	ffs.FailWrites("a", boom)
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, boom) {
+		t.Fatalf("injected write error = %v, want %v", err, boom)
+	}
+	if _, err := f.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatalf("second write should succeed, got %v", err)
+	}
+}
+
+func TestShortReads(t *testing.T) {
+	ffs := New(wal.NewMemFS())
+	f, _ := ffs.Create("a")
+	f.WriteAt([]byte("0123456789"), 0)
+	ffs.ShortReads("a", 6)
+
+	buf := make([]byte, 4)
+	if _, err := f.ReadAt(buf, 0); err != nil { // [0,4) below the cut
+		t.Fatalf("read below cut: %v", err)
+	}
+	n, err := f.ReadAt(buf, 4) // [4,8) crosses the cut
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("read across cut = %v, want ErrInjected", err)
+	}
+	if n != 2 || string(buf[:n]) != "45" {
+		t.Fatalf("short read returned %d bytes %q", n, buf[:n])
+	}
+	if _, err := f.ReadAt(buf, 8); !errors.Is(err, ErrInjected) { // fully past
+		t.Fatalf("read past cut = %v, want ErrInjected", err)
+	}
+	ffs.ShortReads("a", -1)
+	if _, err := f.ReadAt(buf, 4); err != nil {
+		t.Fatalf("read after clearing: %v", err)
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	ffs := New(wal.NewMemFS())
+	f, _ := ffs.Create("a")
+	f.WriteAt([]byte{0x0f}, 0)
+	if err := ffs.FlipBit("a", 0, 0xff); err != nil {
+		t.Fatalf("FlipBit: %v", err)
+	}
+	var b [1]byte
+	f.ReadAt(b[:], 0)
+	if b[0] != 0xf0 {
+		t.Fatalf("flipped byte = %#x, want 0xf0", b[0])
+	}
+}
+
+// TestWALTornTailThroughFaultFS is the end-to-end shape the crash tests
+// use: run a WAL through a crashing faultfs, then recover from the inner
+// filesystem and check the durable prefix survived.
+func TestWALTornTailThroughFaultFS(t *testing.T) {
+	inner := wal.NewMemFS()
+	ffs := New(inner)
+	l, err := wal.Open("wal", wal.Options{FS: ffs})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// Commit 20 rows, then crash partway through the next commit.
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append(int64(i), []float64{float64(i)}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	ffs.SetCrashBudget(5) // tear the next frame mid-header
+	for i := 20; i < 25; i++ {
+		l.Append(int64(i), []float64{float64(i)})
+	}
+	if err := l.Commit(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crashing commit = %v, want ErrCrashed", err)
+	}
+
+	// Recover from the durable state.
+	r, err := wal.Open("wal", wal.Options{FS: inner})
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer r.Close()
+	if got := r.Next(); got != 20 {
+		t.Fatalf("recovered Next = %d, want 20 (torn frame dropped)", got)
+	}
+	var n int
+	r.Replay(0, func(lsn uint64, tm int64, attrs []float64) error {
+		if lsn != uint64(n) || tm != int64(n) {
+			t.Fatalf("replay record %d: lsn=%d t=%d", n, lsn, tm)
+		}
+		n++
+		return nil
+	})
+	if n != 20 {
+		t.Fatalf("replayed %d, want 20", n)
+	}
+}

@@ -1,0 +1,84 @@
+package wal
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzWALReplay feeds arbitrary bytes to the torn-tail repair path: the
+// decoder must never panic, must recover a prefix that re-encodes to the
+// exact bytes it read, and a Log opened over the same bytes must agree
+// with the standalone scan and replay cleanly.
+func FuzzWALReplay(f *testing.F) {
+	// Seeds: a clean log, a torn tail, a flipped payload bit, a flipped
+	// length field, garbage, and an oversized length.
+	var clean []byte
+	for i := 0; i < 8; i++ {
+		clean = encodeAppend(clean, int64(i*10), []float64{float64(i), -float64(i)})
+	}
+	f.Add(clean)
+	f.Add(clean[:len(clean)-5])
+	torn := append([]byte(nil), clean...)
+	torn[len(torn)-9] ^= 0x10
+	f.Add(torn)
+	badLen := append([]byte(nil), clean...)
+	badLen[0] = 0xff
+	badLen[3] = 0xff
+	f.Add(badLen)
+	f.Add([]byte("not a wal segment"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		times, attrs := RepairScan(data)
+
+		// The recovered records must re-encode to a byte-exact prefix.
+		var re []byte
+		for i := range times {
+			re = encodeAppend(re, times[i], attrs[i])
+		}
+		if !bytes.HasPrefix(data, re) {
+			t.Fatalf("recovered %d records do not re-encode to a prefix of the input", len(times))
+		}
+
+		// A Log opened over the same bytes repairs without panicking and
+		// replays at least the structurally-decodable prefix.
+		fs := NewMemFS()
+		if err := fs.MkdirAll("wal"); err != nil {
+			t.Fatalf("MkdirAll: %v", err)
+		}
+		seg, err := fs.Create(filepath.Join("wal", segmentName(0)))
+		if err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		if len(data) > 0 {
+			if _, err := seg.WriteAt(data, 0); err != nil {
+				t.Fatalf("WriteAt: %v", err)
+			}
+		}
+		seg.Close()
+		l, err := Open("wal", Options{FS: fs})
+		if err != nil {
+			t.Fatalf("Open over fuzzed segment: %v", err)
+		}
+		defer l.Close()
+		// Open counts CRC-valid frames; RepairScan additionally requires
+		// the payload to decode as an append record, so it can stop early.
+		if l.Next() < uint64(len(times)) {
+			t.Fatalf("Open recovered %d records, standalone scan %d", l.Next(), len(times))
+		}
+		n := 0
+		err = l.Replay(0, func(lsn uint64, tm int64, a []float64) error {
+			if n < len(times) && tm != times[n] {
+				t.Fatalf("replay record %d: t=%d, scan said %d", n, tm, times[n])
+			}
+			n++
+			return nil
+		})
+		// Replay may error on a CRC-valid frame whose payload is not a
+		// well-formed append record — but never before the scanned prefix.
+		if err != nil && n < len(times) {
+			t.Fatalf("Replay failed at record %d (< scanned prefix %d): %v", n, len(times), err)
+		}
+	})
+}

@@ -1,0 +1,343 @@
+package wal
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// fsUnderTest runs f against both the in-memory FS and the real one.
+func fsUnderTest(t *testing.T, f func(t *testing.T, fs FS, dir string)) {
+	t.Helper()
+	t.Run("memfs", func(t *testing.T) { f(t, NewMemFS(), "wal") })
+	t.Run("osfs", func(t *testing.T) { f(t, OSFS{}, filepath.Join(t.TempDir(), "wal")) })
+}
+
+// appendN appends rows i=from..from+n-1 with t=i and attrs {i, 2i} and
+// commits once (group commit).
+func appendN(t *testing.T, l *Log, from, n int) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		lsn, err := l.Append(int64(i), []float64{float64(i), 2 * float64(i)})
+		if err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+		if lsn != uint64(i) {
+			t.Fatalf("Append(%d): lsn = %d, want %d", i, lsn, i)
+		}
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+}
+
+// collect replays [from, ∞) into slices.
+func collect(t *testing.T, l *Log, from uint64) (lsns []uint64, times []int64, attrs [][]float64) {
+	t.Helper()
+	err := l.Replay(from, func(lsn uint64, tm int64, a []float64) error {
+		lsns = append(lsns, lsn)
+		times = append(times, tm)
+		attrs = append(attrs, append([]float64(nil), a...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay(%d): %v", from, err)
+	}
+	return
+}
+
+func TestLogAppendReplayRoundTrip(t *testing.T) {
+	fsUnderTest(t, func(t *testing.T, fs FS, dir string) {
+		l, err := Open(dir, Options{FS: fs})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		appendN(t, l, 0, 100)
+		lsns, times, attrs := collect(t, l, 0)
+		if len(lsns) != 100 {
+			t.Fatalf("replayed %d records, want 100", len(lsns))
+		}
+		for i := range lsns {
+			if lsns[i] != uint64(i) || times[i] != int64(i) {
+				t.Fatalf("record %d: lsn=%d t=%d", i, lsns[i], times[i])
+			}
+			if want := []float64{float64(i), 2 * float64(i)}; !reflect.DeepEqual(attrs[i], want) {
+				t.Fatalf("record %d: attrs = %v, want %v", i, attrs[i], want)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+
+		// Reopen resumes at the exact next LSN with all records intact.
+		l2, err := Open(dir, Options{FS: fs})
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		defer l2.Close()
+		if got := l2.Next(); got != 100 {
+			t.Fatalf("Next after reopen = %d, want 100", got)
+		}
+		lsns, _, _ = collect(t, l2, 42)
+		if len(lsns) != 58 || lsns[0] != 42 {
+			t.Fatalf("partial replay: %d records from %d", len(lsns), lsns[0])
+		}
+	})
+}
+
+func TestLogUncommittedNotReplayed(t *testing.T) {
+	l, err := Open("wal", Options{FS: NewMemFS()})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	appendN(t, l, 0, 5)
+	if _, err := l.Append(5, []float64{5}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	lsns, _, _ := collect(t, l, 0)
+	if len(lsns) != 5 {
+		t.Fatalf("replayed %d records, want 5 committed only", len(lsns))
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if lsns, _, _ = collect(t, l, 0); len(lsns) != 6 {
+		t.Fatalf("replayed %d records after commit, want 6", len(lsns))
+	}
+}
+
+func TestLogSegmentRotationAndTruncate(t *testing.T) {
+	fsUnderTest(t, func(t *testing.T, fs FS, dir string) {
+		// Tiny segments force rotation every few records.
+		l, err := Open(dir, Options{FS: fs, SegmentSize: 256})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		for i := 0; i < 50; i++ {
+			appendN(t, l, i, 1)
+		}
+		names, err := fs.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("ReadDir: %v", err)
+		}
+		if len(names) < 3 {
+			t.Fatalf("expected several segments, got %v", names)
+		}
+
+		// Truncating below the low-water mark removes whole old segments
+		// but never the active one, and replay from the mark still works.
+		if err := l.TruncateBefore(30); err != nil {
+			t.Fatalf("TruncateBefore: %v", err)
+		}
+		if base := l.Base(); base > 30 {
+			t.Fatalf("Base after truncate = %d, want <= 30", base)
+		}
+		left, _ := fs.ReadDir(dir)
+		if len(left) >= len(names) {
+			t.Fatalf("truncate removed nothing: %d -> %d segments", len(names), len(left))
+		}
+		lsns, _, _ := collect(t, l, 30)
+		if len(lsns) != 20 || lsns[0] != 30 {
+			t.Fatalf("replay after truncate: %d records from %v", len(lsns), lsns[:1])
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+
+		// Reopen after truncation: Next is preserved, Base is the oldest
+		// surviving segment.
+		l2, err := Open(dir, Options{FS: fs, SegmentSize: 256})
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		defer l2.Close()
+		if got := l2.Next(); got != 50 {
+			t.Fatalf("Next after reopen = %d, want 50", got)
+		}
+	})
+}
+
+func TestLogTornTailRepair(t *testing.T) {
+	fsUnderTest(t, func(t *testing.T, fs FS, dir string) {
+		l, err := Open(dir, Options{FS: fs})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		appendN(t, l, 0, 10)
+		l.Close()
+
+		// Tear the final record: chop a few bytes off the segment.
+		name := filepath.Join(dir, segmentName(0))
+		size, _ := fs.Size(name)
+		f, err := fs.Open(name)
+		if err != nil {
+			t.Fatalf("open segment: %v", err)
+		}
+		if err := f.Truncate(size - 3); err != nil {
+			t.Fatalf("tear: %v", err)
+		}
+		f.Close()
+
+		l2, err := Open(dir, Options{FS: fs})
+		if err != nil {
+			t.Fatalf("reopen torn: %v", err)
+		}
+		if got := l2.Next(); got != 9 {
+			t.Fatalf("Next after torn-tail repair = %d, want 9", got)
+		}
+		lsns, _, _ := collect(t, l2, 0)
+		if len(lsns) != 9 {
+			t.Fatalf("replayed %d records, want 9", len(lsns))
+		}
+		// The log accepts new appends at the repaired position.
+		appendN(t, l2, 9, 1)
+		if lsns, _, _ = collect(t, l2, 0); len(lsns) != 10 {
+			t.Fatalf("replayed %d records after repair+append, want 10", len(lsns))
+		}
+		l2.Close()
+	})
+}
+
+func TestLogCorruptMiddleDropsLaterSegments(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open("wal", Options{FS: fs, SegmentSize: 256})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		appendN(t, l, i, 1)
+	}
+	l.Close()
+	names, _ := fs.ReadDir("wal")
+	if len(names) < 3 {
+		t.Fatalf("need >=3 segments, got %d", len(names))
+	}
+
+	// Flip a payload bit in the second segment.
+	target := filepath.Join("wal", names[1])
+	f, _ := fs.Open(target)
+	var hdr [8]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		t.Fatalf("read hdr: %v", err)
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], 8); err != nil {
+		t.Fatalf("read byte: %v", err)
+	}
+	b[0] ^= 0x40
+	if _, err := f.WriteAt(b[:], 8); err != nil {
+		t.Fatalf("flip: %v", err)
+	}
+	f.Close()
+	secondBase, _ := parseSegmentName(names[1])
+
+	l2, err := Open("wal", Options{FS: fs, SegmentSize: 256})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if got := l2.Next(); got != secondBase {
+		t.Fatalf("Next = %d, want %d (corruption truncates at segment %s)", got, secondBase, names[1])
+	}
+	left, _ := fs.ReadDir("wal")
+	if len(left) != 2 {
+		t.Fatalf("later segments not removed: %v", left)
+	}
+	lsns, _, _ := collect(t, l2, 0)
+	if uint64(len(lsns)) != secondBase {
+		t.Fatalf("replayed %d records, want %d", len(lsns), secondBase)
+	}
+}
+
+func TestLogSyncPolicies(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncAlways, SyncInterval, SyncNone} {
+		t.Run(pol.String(), func(t *testing.T) {
+			l, err := Open("wal", Options{FS: NewMemFS(), Sync: pol, SyncEvery: time.Millisecond})
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			appendN(t, l, 0, 20)
+			if pol == SyncInterval {
+				time.Sleep(5 * time.Millisecond) // let the ticker fire
+			}
+			if err := l.Sync(); err != nil {
+				t.Fatalf("Sync: %v", err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			if _, err := l.Append(0, nil); err != ErrClosed {
+				t.Fatalf("Append after Close = %v, want ErrClosed", err)
+			}
+		})
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+	}{{"always", SyncAlways}, {"interval", SyncInterval}, {"none", SyncNone}} {
+		got, err := ParseSyncPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Fatalf("String() = %q, want %q", got.String(), tc.in)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("ParseSyncPolicy accepted garbage")
+	}
+}
+
+func TestRepairScanRandomTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var buf []byte
+	var wantTimes []int64
+	var offsets []int // frame boundaries
+	for i := 0; i < 40; i++ {
+		offsets = append(offsets, len(buf))
+		attrs := make([]float64, 2)
+		for j := range attrs {
+			attrs[j] = rng.NormFloat64()
+		}
+		buf = encodeAppend(buf, int64(i), attrs)
+		wantTimes = append(wantTimes, int64(i))
+	}
+	offsets = append(offsets, len(buf))
+
+	for cut := 0; cut <= len(buf); cut += 1 + rng.Intn(7) {
+		times, _ := RepairScan(buf[:cut])
+		// The recovered prefix is the number of complete frames before cut.
+		want := 0
+		for want+1 < len(offsets) && offsets[want+1] <= cut {
+			want++
+		}
+		if len(times) != want {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(times), want)
+		}
+		if !reflect.DeepEqual(times, append([]int64(nil), wantTimes[:want]...)) && want > 0 {
+			t.Fatalf("cut %d: wrong prefix", cut)
+		}
+	}
+}
+
+func TestSegmentNameRoundTrip(t *testing.T) {
+	for _, base := range []uint64{0, 1, 999, 1 << 40} {
+		name := segmentName(base)
+		got, ok := parseSegmentName(name)
+		if !ok || got != base {
+			t.Fatalf("parseSegmentName(%q) = %d, %v", name, got, ok)
+		}
+	}
+	for _, bad := range []string{"x.wal", "0000.wal", "aaaaaaaaaaaaaaaaaaaa.wal", fmt.Sprintf("%020d.tmp", 3)} {
+		if _, ok := parseSegmentName(bad); ok {
+			t.Fatalf("parseSegmentName accepted %q", bad)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package wal
+
+import (
+	"fmt"
+	"path/filepath"
+)
+
+// Replay invokes fn for every committed record with LSN >= from, in LSN
+// order. It reads segments from disk, so records appended but not yet
+// committed are not visited — recovery calls it immediately after Open,
+// before any new appends. fn must not call back into the log, and must
+// copy attrs if it retains the slice past the call.
+func (l *Log) Replay(from uint64, fn func(lsn uint64, t int64, attrs []float64) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	segs := append([]segment(nil), l.sealed...)
+	segs = append(segs, segment{name: segmentName(l.segBase), base: l.segBase})
+	var attrs []float64
+	for i, s := range segs {
+		end := l.next
+		if i+1 < len(segs) {
+			end = segs[i+1].base
+		}
+		if end <= from {
+			continue
+		}
+		path := filepath.Join(l.dir, s.name)
+		size, err := l.fs.Size(path)
+		if err != nil {
+			return fmt.Errorf("wal: sizing %s: %w", s.name, err)
+		}
+		f, err := l.fs.Open(path)
+		if err != nil {
+			return fmt.Errorf("wal: opening %s: %w", s.name, err)
+		}
+		data := make([]byte, size)
+		if size > 0 {
+			if _, err := f.ReadAt(data, 0); err != nil {
+				f.Close()
+				return fmt.Errorf("wal: reading %s: %w", s.name, err)
+			}
+		}
+		f.Close()
+		lsn := s.base
+		off := 0
+		for off < len(data) && lsn < end {
+			payload, n, ok := parseFrame(data[off:])
+			if !ok {
+				return fmt.Errorf("wal: corrupt frame in %s at offset %d (lsn %d)", s.name, off, lsn)
+			}
+			off += n
+			if lsn >= from {
+				var t int64
+				t, attrs, err = decodeAppend(payload, attrs)
+				if err != nil {
+					return fmt.Errorf("wal: %s lsn %d: %w", s.name, lsn, err)
+				}
+				if err := fn(lsn, t, attrs); err != nil {
+					return err
+				}
+			}
+			lsn++
+		}
+	}
+	return nil
+}
+
+// RepairScan walks raw segment bytes the way Open's repair does, returning
+// the decoded records of the valid prefix. It never fails on corrupt input
+// — it stops at the first invalid frame — and exists for the fuzz harness
+// and tests that reason about torn logs without constructing a Log.
+func RepairScan(data []byte) (times []int64, attrs [][]float64) {
+	off := 0
+	for off < len(data) {
+		payload, n, ok := parseFrame(data[off:])
+		if !ok {
+			return times, attrs
+		}
+		off += n
+		t, a, err := decodeAppend(payload, nil)
+		if err != nil {
+			return times, attrs
+		}
+		times = append(times, t)
+		attrs = append(attrs, append([]float64(nil), a...))
+	}
+	return times, attrs
+}

@@ -1,0 +1,87 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Frame layout. Every record in a segment is framed as
+//
+//	uint32 LE payload length | uint32 LE CRC32-IEEE(payload) | payload
+//
+// The length is bounded by MaxRecord so a corrupt length field cannot drive
+// a huge allocation; the checksum covers only the payload, so a torn write
+// anywhere inside a frame (header or body) is detected and the reader
+// truncates the log at that frame.
+const (
+	frameHeaderSize = 8
+	// MaxRecord bounds one record's payload size. Append records are tiny
+	// (8 + 8·dims bytes); the bound exists purely to reject garbage lengths
+	// while scanning a damaged segment.
+	MaxRecord = 1 << 20
+)
+
+// Record payload layout for one appended row:
+//
+//	int64 LE time | dims × float64 LE attrs
+//
+// The dimensionality is implicit (payloadLen/8 − 1), fixed per log by the
+// owning engine; the decoder only checks structural validity.
+
+// appendRecordSize returns the encoded payload size for a row of d attrs.
+func appendRecordSize(d int) int { return 8 + 8*d }
+
+// encodeAppend appends the framed record for (t, attrs) to buf and returns
+// the extended slice.
+func encodeAppend(buf []byte, t int64, attrs []float64) []byte {
+	n := appendRecordSize(len(attrs))
+	off := len(buf)
+	buf = append(buf, make([]byte, frameHeaderSize+n)...)
+	payload := buf[off+frameHeaderSize:]
+	binary.LittleEndian.PutUint64(payload[0:], uint64(t))
+	for i, a := range attrs {
+		binary.LittleEndian.PutUint64(payload[8+8*i:], math.Float64bits(a))
+	}
+	binary.LittleEndian.PutUint32(buf[off:], uint32(n))
+	binary.LittleEndian.PutUint32(buf[off+4:], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// decodeAppend parses one record payload into (t, attrs). attrs is appended
+// to dst (pass a reused slice to avoid allocation).
+func decodeAppend(payload []byte, dst []float64) (t int64, attrs []float64, err error) {
+	if len(payload) < 8 || len(payload)%8 != 0 {
+		return 0, nil, fmt.Errorf("wal: malformed append record: %d bytes", len(payload))
+	}
+	t = int64(binary.LittleEndian.Uint64(payload))
+	d := len(payload)/8 - 1
+	attrs = dst[:0]
+	for i := 0; i < d; i++ {
+		attrs = append(attrs, math.Float64frombits(binary.LittleEndian.Uint64(payload[8+8*i:])))
+	}
+	return t, attrs, nil
+}
+
+// parseFrame reads one frame from buf. It returns the payload (aliasing buf)
+// and the total frame size consumed. ok is false when buf holds no complete,
+// checksum-valid frame at offset 0 — the torn/corrupt-tail signal.
+func parseFrame(buf []byte) (payload []byte, size int, ok bool) {
+	if len(buf) < frameHeaderSize {
+		return nil, 0, false
+	}
+	n := binary.LittleEndian.Uint32(buf)
+	if n > MaxRecord {
+		return nil, 0, false
+	}
+	size = frameHeaderSize + int(n)
+	if len(buf) < size {
+		return nil, 0, false
+	}
+	payload = buf[frameHeaderSize:size]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(buf[4:]) {
+		return nil, 0, false
+	}
+	return payload, size, true
+}

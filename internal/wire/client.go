@@ -2,9 +2,13 @@ package wire
 
 import (
 	"bufio"
-	"fmt"
+	"errors"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
 )
 
 // Client speaks the wire protocol over one connection. Method calls are
@@ -15,6 +19,8 @@ type Client struct {
 	conn net.Conn
 	bw   *bufio.Writer
 	br   *bufio.Reader
+
+	retries atomic.Int64
 }
 
 // Dial connects to a durable top-k server at addr (host:port).
@@ -24,6 +30,84 @@ func Dial(addr string) (*Client, error) {
 		return nil, err
 	}
 	return NewClient(conn), nil
+}
+
+// RetryPolicy bounds the retry loops of DialRetry and Client.AppendRetry:
+// capped exponential backoff with jitter, limited by both an attempt count
+// and an overall time budget. The zero value means the defaults.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, first included (default 5).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 10ms); each
+	// further retry doubles it up to MaxDelay (default 1s). The actual sleep
+	// is jittered uniformly over [delay/2, delay) so synchronized clients
+	// spread out.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// MaxElapsed, when positive, stops retrying once the loop has run this
+	// long, regardless of attempts left.
+	MaxElapsed time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 5
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	return p
+}
+
+// sleep backs off one step and returns the doubled (capped) next delay.
+func (p RetryPolicy) sleep(delay time.Duration) time.Duration {
+	d := delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+	time.Sleep(d)
+	if delay *= 2; delay > p.MaxDelay {
+		delay = p.MaxDelay
+	}
+	return delay
+}
+
+// IsTransient reports whether err is worth retrying: a server rejection
+// marked transient (e.g. a live dataset locked by a draining ingest stream),
+// a network timeout, or a connection refused/reset by a restarting server.
+func IsTransient(err error) bool {
+	var se *ServerError
+	if errors.As(err, &se) {
+		return se.Transient
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET)
+}
+
+// DialRetry connects to addr, retrying transient dial failures (connection
+// refused, timeouts) under p — the usual way to wait out a server that is
+// still replaying its write-ahead log at startup.
+func DialRetry(addr string, p RetryPolicy) (*Client, error) {
+	p = p.withDefaults()
+	var deadline time.Time
+	if p.MaxElapsed > 0 {
+		deadline = time.Now().Add(p.MaxElapsed)
+	}
+	delay := p.BaseDelay
+	for attempt := 1; ; attempt++ {
+		c, err := Dial(addr)
+		if err == nil {
+			return c, nil
+		}
+		if !IsTransient(err) || attempt >= p.MaxAttempts ||
+			(!deadline.IsZero() && !time.Now().Before(deadline)) {
+			return nil, err
+		}
+		delay = p.sleep(delay)
+	}
 }
 
 // NewClient wraps an established connection (e.g. one side of net.Pipe).
@@ -64,10 +148,14 @@ func (c *Client) do(req Request) (*Response, error) {
 		return nil, err
 	}
 	if !resp.OK {
-		return nil, fmt.Errorf("wire: server: %s", resp.Error)
+		return nil, &ServerError{Msg: resp.Error, Transient: resp.Transient}
 	}
 	return resp, nil
 }
+
+// Retries reports how many backoff retries this client has performed across
+// all AppendRetry calls, for surfacing in ingest statistics.
+func (c *Client) Retries() int64 { return c.retries.Load() }
 
 // Ping round-trips a no-op frame.
 func (c *Client) Ping() error {
@@ -116,9 +204,45 @@ func (c *Client) Append(dataset string, rows []IngestRow) (*Response, error) {
 		return nil, err
 	}
 	if !resp.OK {
-		return resp, fmt.Errorf("wire: server: %s", resp.Error)
+		return resp, &ServerError{Msg: resp.Error, Transient: resp.Transient}
 	}
 	return resp, nil
+}
+
+// AppendRetry appends rows like Append but retries transient failures under
+// p, resuming after the committed prefix: rows the server acknowledged in a
+// partially-applied attempt are never re-sent, so each row commits exactly
+// once. The returned response aggregates the committed count, decisions and
+// confirmations across attempts. Non-transient failures (validation errors,
+// unknown dataset) return immediately.
+func (c *Client) AppendRetry(dataset string, rows []IngestRow, p RetryPolicy) (*Response, error) {
+	p = p.withDefaults()
+	var deadline time.Time
+	if p.MaxElapsed > 0 {
+		deadline = time.Now().Add(p.MaxElapsed)
+	}
+	total := &Response{V: Version, OK: true}
+	delay := p.BaseDelay
+	for attempt := 1; ; attempt++ {
+		resp, err := c.Append(dataset, rows)
+		if resp != nil {
+			// Keep the committed prefix even when the attempt failed
+			// part-way: retrying re-sends only what is still pending.
+			total.Appended += resp.Appended
+			total.Decisions = append(total.Decisions, resp.Decisions...)
+			total.Confirms = append(total.Confirms, resp.Confirms...)
+			rows = rows[resp.Appended:]
+		}
+		if err == nil {
+			return total, nil
+		}
+		if !IsTransient(err) || attempt >= p.MaxAttempts ||
+			(!deadline.IsZero() && !time.Now().Before(deadline)) {
+			return total, err
+		}
+		c.retries.Add(1)
+		delay = p.sleep(delay)
+	}
 }
 
 // MostDurable returns the req.N records with the largest maximum

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/data"
@@ -35,9 +36,19 @@ type Server struct {
 	sets   map[string]*served
 	closed bool
 
-	lnMu sync.Mutex
-	lns  map[net.Listener]struct{}
-	wg   sync.WaitGroup
+	lnMu  sync.Mutex
+	lns   map[net.Listener]struct{}
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+
+	// connTimeout (nanoseconds; 0 = none) bounds each read and each write on
+	// a connection, so a stalled or vanished client cannot pin a handler
+	// goroutine forever.
+	connTimeout atomic.Int64
+	// draining flips when Close starts: connection loops finish the request
+	// in flight (its response is still written), then exit instead of
+	// reading the next frame.
+	draining atomic.Bool
 }
 
 type served struct {
@@ -65,10 +76,23 @@ func NewServer(logf func(format string, args ...interface{})) *Server {
 		logf = log.Printf
 	}
 	return &Server{
-		logf: logf,
-		sets: make(map[string]*served),
-		lns:  make(map[net.Listener]struct{}),
+		logf:  logf,
+		sets:  make(map[string]*served),
+		lns:   make(map[net.Listener]struct{}),
+		conns: make(map[net.Conn]struct{}),
 	}
+}
+
+// SetConnTimeout bounds each frame read and each response write on every
+// connection (zero disables, the default). An idle client is disconnected
+// after d without a request; a client that stops draining responses is
+// disconnected after its write stalls for d. Applies to connections accepted
+// after the call.
+func (s *Server) SetConnTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.connTimeout.Store(int64(d))
 }
 
 // Add registers ds under name, building its engine. attrs optionally names
@@ -131,6 +155,20 @@ func (s *Server) AddLiveSharded(name string, dims int, attrs []string, opts core
 		return nil, err
 	}
 	return lse, nil
+}
+
+// AddLiveQuerier registers an already-built live engine under name with a
+// custom ingestion surface: queries answer from eng while wire appends route
+// through ingest. Use it when appends must pass through a wrapper around the
+// engine — e.g. a crash-safe store that write-ahead logs each row before the
+// engine it serves queries from applies it.
+func (s *Server) AddLiveQuerier(name string, eng core.Querier, ingest LiveIngest, attrs []string) error {
+	if ingest == nil {
+		return errors.New("wire: AddLiveQuerier needs a non-nil ingest surface")
+	}
+	return s.addEntry(name, eng.Dataset(), attrs, func() *served {
+		return &served{eng: eng, attrs: attrs, live: ingest}
+	})
 }
 
 func (s *Server) add(name string, ds *data.Dataset, attrs []string, build func() core.Querier) error {
@@ -199,37 +237,85 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// Close stops all listeners and waits for in-flight connections to finish.
+// Close stops all listeners and shuts down gracefully: connections finish
+// (and get the response for) the request they are handling, but no further
+// requests are read. Idle connections — blocked waiting for a client frame —
+// are unblocked immediately rather than waited on.
 func (s *Server) Close() error {
+	s.draining.Store(true)
 	s.lnMu.Lock()
 	s.closed = true
 	for ln := range s.lns {
 		ln.Close()
+	}
+	for conn := range s.conns {
+		// Expire pending reads so idle connection loops wake up and see the
+		// draining flag. In-flight handlers are untouched: their response
+		// write carries its own deadline and still completes.
+		conn.SetReadDeadline(time.Now())
 	}
 	s.lnMu.Unlock()
 	s.wg.Wait()
 	return nil
 }
 
-// ServeConn answers requests on one connection until EOF or a protocol
-// error; it closes conn before returning. Exported so tests and embedders
-// can drive the protocol over net.Pipe.
+// ServeConn answers requests on one connection until EOF, a protocol error,
+// a deadline (SetConnTimeout) or server shutdown; it closes conn before
+// returning. Exported so tests and embedders can drive the protocol over
+// net.Pipe.
 func (s *Server) ServeConn(conn net.Conn) {
 	defer conn.Close()
+	s.lnMu.Lock()
+	if s.closed {
+		s.lnMu.Unlock()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.lnMu.Unlock()
+	defer func() {
+		s.lnMu.Lock()
+		delete(s.conns, conn)
+		s.lnMu.Unlock()
+	}()
+	timeout := time.Duration(s.connTimeout.Load())
 	for {
+		// Deadline before the draining check: if Close lands between the two,
+		// its SetReadDeadline(now) overrides this one and the read below
+		// returns immediately, so shutdown never waits a full idle timeout.
+		if timeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(timeout))
+		}
+		if s.draining.Load() {
+			return
+		}
 		var req Request
 		if err := ReadFrame(conn, &req); err != nil {
-			if !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.EOF) {
+			switch {
+			case errors.Is(err, net.ErrClosed), errors.Is(err, io.EOF):
+			case s.draining.Load():
+				// Shutdown expired the deadline; not a client failure.
+			case isTimeout(err):
+				s.logf("wire: %s: closing idle connection after %v", conn.RemoteAddr(), timeout)
+			default:
 				s.logf("wire: %s: read: %v", conn.RemoteAddr(), err)
 			}
 			return
 		}
 		resp := s.handle(&req)
+		if timeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(timeout))
+		}
 		if err := WriteFrame(conn, resp); err != nil {
 			s.logf("wire: %s: write: %v", conn.RemoteAddr(), err)
 			return
 		}
 	}
+}
+
+// isTimeout reports whether err is a deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 func errResponse(err error) *Response {
@@ -441,6 +527,7 @@ func (s *Server) handleAppend(req *Request) *Response {
 		if sv.ingesting.Load() {
 			resp.OK = false
 			resp.Error = fmt.Sprintf("wire: dataset %q is being fed by a server-side ingest stream; appends are rejected until it drains", req.Dataset)
+			resp.Transient = true // the feed drains; retrying is correct
 			break
 		}
 		dec, confirms, err := sv.live.Append(row.Time, row.Attrs)

@@ -142,6 +142,10 @@ type Response struct {
 	V     int    `json:"v"`
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
+	// Transient marks a failure the client may retry verbatim (e.g. a live
+	// dataset momentarily locked by a server-side ingest stream); the
+	// request was rejected without side effects beyond Appended.
+	Transient bool `json:"transient,omitempty"`
 
 	Records  []Record      `json:"records,omitempty"`
 	Stats    *Stats        `json:"stats,omitempty"`
@@ -160,6 +164,16 @@ var (
 	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
 	ErrBadVersion    = errors.New("wire: unsupported protocol version")
 )
+
+// ServerError is a request-level failure reported by the server. Transient
+// mirrors Response.Transient: the request may be retried verbatim.
+type ServerError struct {
+	Msg       string
+	Transient bool
+}
+
+// Error keeps the historical "wire: server: ..." rendering.
+func (e *ServerError) Error() string { return "wire: server: " + e.Msg }
 
 // WriteFrame marshals v and writes one length-prefixed frame.
 func WriteFrame(w io.Writer, v interface{}) error {
