@@ -1,7 +1,9 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -59,7 +61,9 @@ type Log struct {
 // Open opens (or creates) the log in dir and repairs any torn tail: the
 // first frame that fails its length or checksum validation truncates its
 // segment, and every later segment is removed. The returned log appends at
-// the LSN after the last valid record (opts.Base for a fresh log).
+// the LSN after the last valid record (opts.Base for a fresh log). Only
+// frame validation triggers repair; an I/O error while scanning fails Open
+// so a transient read fault can never truncate durable records.
 func Open(dir string, opts Options) (*Log, error) {
 	opts = opts.withDefaults()
 	if err := opts.FS.MkdirAll(dir); err != nil {
@@ -154,10 +158,18 @@ func (l *Log) scanSegment(s segment) (records int, validBytes int64, clean bool,
 	defer f.Close()
 	data := make([]byte, size)
 	if size > 0 {
-		if _, err := f.ReadAt(data, 0); err != nil {
-			// A short read mid-scan is treated like a torn tail: keep what
-			// verified so far. Re-slice to whatever is addressable.
-			data = data[:0]
+		n, rerr := f.ReadAt(data, 0)
+		switch {
+		case rerr == nil:
+		case errors.Is(rerr, io.EOF):
+			// The file is shorter than Size reported: scan the bytes that
+			// were read and let frame validation find the torn tail.
+			data = data[:n]
+		default:
+			// A read failure is not a torn tail. Repairing here would
+			// truncate durable fsynced records over a transient I/O error,
+			// so fail Open and leave the segment untouched.
+			return 0, 0, false, fmt.Errorf("wal: reading %s: %w", s.name, rerr)
 		}
 	}
 	off := 0

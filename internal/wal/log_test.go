@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"path/filepath"
@@ -250,6 +251,77 @@ func TestLogCorruptMiddleDropsLaterSegments(t *testing.T) {
 	lsns, _, _ := collect(t, l2, 0)
 	if uint64(len(lsns)) != secondBase {
 		t.Fatalf("replayed %d records, want %d", len(lsns), secondBase)
+	}
+}
+
+// readErrFS fails every ReadAt on one file, simulating a transient I/O
+// fault (not torn data: the bytes on disk are intact).
+type readErrFS struct {
+	FS
+	name string
+	err  error
+}
+
+func (fs readErrFS) Open(name string) (File, error) {
+	f, err := fs.FS.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	if filepath.Base(name) == fs.name {
+		return readErrFile{File: f, err: fs.err}, nil
+	}
+	return f, nil
+}
+
+type readErrFile struct {
+	File
+	err error
+}
+
+func (f readErrFile) ReadAt([]byte, int64) (int, error) { return 0, f.err }
+
+// TestOpenReadErrorFailsWithoutRepair: an I/O error while scanning is not a
+// torn tail. Open must fail and leave every segment untouched — repairing
+// here would truncate durable fsynced records (and delete every later
+// segment) over a transient read fault.
+func TestOpenReadErrorFailsWithoutRepair(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open("wal", Options{FS: fs, SegmentSize: 256, Sync: SyncAlways})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 30; i++ {
+		appendN(t, l, i, 1)
+	}
+	l.Close()
+	names, _ := fs.ReadDir("wal")
+	if len(names) < 2 {
+		t.Fatalf("need >=2 segments, got %v", names)
+	}
+
+	// Reads of the first segment fail: Open must surface the error, not
+	// treat the unreadable segment as empty.
+	boom := errors.New("transient read fault")
+	if _, err := Open("wal", Options{FS: readErrFS{FS: fs, name: names[0], err: boom}, SegmentSize: 256}); !errors.Is(err, boom) {
+		t.Fatalf("Open over failing reads = %v, want the injected error", err)
+	}
+
+	// Nothing was repaired: every segment survives, and once the fault
+	// clears a plain reopen replays all 30 durable records.
+	after, _ := fs.ReadDir("wal")
+	if !reflect.DeepEqual(after, names) {
+		t.Fatalf("failed Open changed the segment set: %v -> %v", names, after)
+	}
+	l2, err := Open("wal", Options{FS: fs, SegmentSize: 256})
+	if err != nil {
+		t.Fatalf("reopen after fault cleared: %v", err)
+	}
+	defer l2.Close()
+	if got := l2.Next(); got != 30 {
+		t.Fatalf("Next after fault cleared = %d, want 30", got)
+	}
+	if lsns, _, _ := collect(t, l2, 0); len(lsns) != 30 {
+		t.Fatalf("replayed %d records, want all 30", len(lsns))
 	}
 }
 

@@ -3,6 +3,7 @@ package wire
 import (
 	"bufio"
 	"errors"
+	"fmt"
 	"math/rand"
 	"net"
 	"sync"
@@ -10,6 +11,12 @@ import (
 	"syscall"
 	"time"
 )
+
+// ErrIndeterminate wraps a transport-level append failure: the connection
+// died before a response frame arrived, so the server may or may not have
+// applied some of the in-flight rows. AppendRetry stops rather than re-send
+// through it — see its doc for how callers reconcile and resume.
+var ErrIndeterminate = errors.New("wire: append outcome indeterminate")
 
 // Client speaks the wire protocol over one connection. Method calls are
 // serialized (one in-flight request per connection); open several clients
@@ -209,12 +216,20 @@ func (c *Client) Append(dataset string, rows []IngestRow) (*Response, error) {
 	return resp, nil
 }
 
-// AppendRetry appends rows like Append but retries transient failures under
+// AppendRetry appends rows like Append but retries server-reported transient
+// rejections (e.g. a live dataset locked by a draining ingest stream) under
 // p, resuming after the committed prefix: rows the server acknowledged in a
-// partially-applied attempt are never re-sent, so each row commits exactly
-// once. The returned response aggregates the committed count, decisions and
-// confirmations across attempts. Non-transient failures (validation errors,
-// unknown dataset) return immediately.
+// partially-applied response are never re-sent, so as long as the server
+// keeps answering, each row commits exactly once. The returned response
+// aggregates the committed count, decisions and confirmations across
+// attempts. Non-transient failures (validation errors, unknown dataset)
+// return immediately — and so do transport-level failures (timeout, reset
+// connection): with no response frame the commit state of the in-flight rows
+// is unknown and this client never re-dials, so blindly re-sending could
+// apply rows twice. Those return an error wrapping ErrIndeterminate with the
+// response covering only server-acknowledged rows; callers that want to
+// resume must reconcile first — re-dial and compare the dataset's reported
+// length against the rows they consider acknowledged.
 func (c *Client) AppendRetry(dataset string, rows []IngestRow, p RetryPolicy) (*Response, error) {
 	p = p.withDefaults()
 	var deadline time.Time
@@ -232,6 +247,14 @@ func (c *Client) AppendRetry(dataset string, rows []IngestRow, p RetryPolicy) (*
 			total.Decisions = append(total.Decisions, resp.Decisions...)
 			total.Confirms = append(total.Confirms, resp.Confirms...)
 			rows = rows[resp.Appended:]
+		} else if err != nil {
+			// No response frame: the connection failed mid-request, so the
+			// server may or may not have applied some of rows, and this
+			// connection is dead. Re-sending could double-apply (on
+			// strictly-increasing-time live datasets it turns into a
+			// permanent validation failure instead), so stop and surface
+			// the indeterminacy rather than guess.
+			return total, fmt.Errorf("%w: %w", ErrIndeterminate, err)
 		}
 		if err == nil {
 			return total, nil

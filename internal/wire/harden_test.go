@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"errors"
 	"net"
 	"strings"
 	"testing"
@@ -202,6 +203,37 @@ func TestAppendRetryResumesAfterPartialCommit(t *testing.T) {
 	}
 	if len(resent) != 2 || resent[0].Time != 3 || resent[1].Time != 4 {
 		t.Fatalf("retry re-sent %+v, want exactly the uncommitted suffix [3 4]", resent)
+	}
+}
+
+// TestAppendRetryStopsOnTransportFailure: a connection that dies before the
+// response frame leaves the commit state of the in-flight rows unknown, so
+// AppendRetry must not blindly re-send over a dead connection — it returns
+// ErrIndeterminate immediately, burning no retries, instead of risking a
+// double-applied batch.
+func TestAppendRetryStopsOnTransportFailure(t *testing.T) {
+	cconn, sconn := net.Pipe()
+	defer cconn.Close()
+	cl := NewClient(cconn)
+	go func() {
+		var req Request
+		if err := ReadFrame(sconn, &req); err != nil {
+			return
+		}
+		sconn.Close() // hang up after reading: the rows may have been applied
+	}()
+	resp, err := cl.AppendRetry("stream", []IngestRow{
+		{Time: 1, Attrs: []float64{1}},
+		{Time: 2, Attrs: []float64{2}},
+	}, fastRetry())
+	if !errors.Is(err, ErrIndeterminate) {
+		t.Fatalf("transport failure returned %v, want ErrIndeterminate", err)
+	}
+	if resp.Appended != 0 {
+		t.Fatalf("no response frame ever arrived, yet Appended = %d", resp.Appended)
+	}
+	if cl.Retries() != 0 {
+		t.Fatalf("dead connection burned %d retries", cl.Retries())
 	}
 }
 
