@@ -209,6 +209,9 @@ func (g *gate) checkStream(oldRep, newRep *bench.StreamReport) {
 	// Durability rows first: the live+sharded gating below returns early on
 	// pre-lifecycle baselines and must not take the WAL rows with it.
 	g.checkStreamWAL(oldRep, newRep)
+	// Concurrent-serving rows likewise gate independently of the lifecycle
+	// rows' early returns.
+	g.checkStreamServe(oldRep, newRep)
 	// The live+sharded lifecycle rows (absent from pre-lifecycle baselines;
 	// gated once a baseline records them). The steady query fans out across
 	// sealed shards on a worker pool, so its allocations get the same
@@ -269,6 +272,45 @@ func (g *gate) checkStreamWAL(oldRep, newRep *bench.StreamReport) {
 		g.warn++
 	default:
 		g.throughput("stream", "recovery-replay", oldRep.RecoveryReplayRowsPerSec, newRep.RecoveryReplayRowsPerSec)
+	}
+}
+
+// checkStreamServe gates the concurrent-serving rows: queries/sec per client
+// count and the result-cache hit rate. Throughput is wall-clock, so
+// regressions warn like the other rate rows; a vanished row fails (the
+// serving path silently stopped being measured). The hit rate is structural —
+// the hot-pool phase repeats a fixed query set at a fixed epoch — so a
+// collapse below half the baseline warns even within wall-clock tolerance.
+func (g *gate) checkStreamServe(oldRep, newRep *bench.StreamReport) {
+	for _, clients := range []string{"1", "4", "16"} {
+		name := "serve-clients-" + clients
+		o, oldHas := oldRep.ServeQueriesPerSec[clients]
+		n, newHas := newRep.ServeQueriesPerSec[clients]
+		switch {
+		case !oldHas && !newHas:
+		case oldHas && !newHas:
+			g.missingRow("stream", name)
+		case !oldHas:
+			fmt.Printf("::warning::benchgate: stream %q has no committed baseline row (new?); re-commit the baseline to gate it\n", name)
+			g.warn++
+		default:
+			g.throughput("stream", name, o, n)
+		}
+	}
+	switch {
+	case oldRep.ServeCacheHitRate == 0 && newRep.ServeCacheHitRate == 0:
+	case newRep.ServeCacheHitRate == 0:
+		g.missingRow("stream", "serve-cache-hit-rate")
+	case oldRep.ServeCacheHitRate == 0:
+		fmt.Printf("::warning::benchgate: stream \"serve-cache-hit-rate\" has no committed baseline row (new?); re-commit the baseline to gate it\n")
+		g.warn++
+	default:
+		fmt.Printf("%-10s %-20s hit rate %.2f -> %.2f\n", "stream", "serve-cache", oldRep.ServeCacheHitRate, newRep.ServeCacheHitRate)
+		if newRep.ServeCacheHitRate < oldRep.ServeCacheHitRate/2 {
+			fmt.Printf("::warning::benchgate: stream serve cache hit rate collapsed %.2f -> %.2f; repeats no longer replay\n",
+				oldRep.ServeCacheHitRate, newRep.ServeCacheHitRate)
+			g.warn++
+		}
 	}
 }
 

@@ -49,6 +49,18 @@
 // stalled client cannot pin a handler goroutine:
 //
 //	durserved -live games=2 -wal /var/lib/durserved -fsync interval -conntimeout 30s
+//
+// -queryworkers N serves connections pipelined: read-only requests evaluate
+// concurrently — across the requests of one connection and across
+// connections — on an admission pool of N workers, while responses still
+// leave each connection in request order (-workers, by contrast, sizes the
+// per-query shard fan-out inside one evaluation). -cache M adds a shared
+// result cache of M entries: exact-match repeated queries at an unchanged
+// data epoch replay their response without touching the engine, and sharded
+// engines additionally reuse each immutable shard's interior answers across
+// overlapping queries forever:
+//
+//	durserved -gen net=network:1000000:4 -shards 16 -queryworkers 8 -cache 4096
 package main
 
 import (
@@ -68,6 +80,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/datagen"
 	"repro/internal/score"
+	"repro/internal/serve"
 	"repro/internal/wire"
 )
 
@@ -104,6 +117,8 @@ func main() {
 		fsyncPol = flag.String("fsync", "always", "WAL fsync policy for -wal: always|interval|none")
 		fsyncEvy = flag.Duration("fsyncevery", 0, "fsync period for -fsync interval (0 = 50ms default)")
 		connTO   = flag.Duration("conntimeout", 0, "per-connection read/write deadline; idle or stalled clients are disconnected after this long (0 = none)")
+		qWorkers = flag.Int("queryworkers", 0, "admit this many concurrent query evaluations (pipelined serving; 0 = serial, one request at a time per connection)")
+		cacheSz  = flag.Int("cache", 0, "shared result cache size in entries; repeated queries at an unchanged data epoch replay without engine work (0 = no cache)")
 		files    keyValue
 		gens     keyValue
 		names    keyValue
@@ -136,6 +151,16 @@ func main() {
 	}
 
 	srv := wire.NewServer(nil)
+	// Install the concurrency layer before registering datasets so sharded
+	// engines pick up the partial cache at registration.
+	if *qWorkers > 0 {
+		srv.SetScheduler(serve.NewScheduler(*qWorkers))
+		log.Printf("durserved: pipelined serving, %d query workers", *qWorkers)
+	}
+	if *cacheSz > 0 {
+		srv.SetCache(serve.NewCache(*cacheSz))
+		log.Printf("durserved: result cache, %d entries", *cacheSz)
+	}
 	// The bounded skyband scan keeps S-Band's lazy index build tractable on
 	// adversarial data while staying exact (see DESIGN.md §2).
 	engOpts := core.Options{SkybandScanBudget: 4096}

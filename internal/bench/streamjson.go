@@ -83,6 +83,18 @@ type StreamReport struct {
 	WALBatchRows             int                `json:"wal_batch_rows,omitempty"`
 	WALAppendsPerSec         map[string]float64 `json:"wal_appends_per_sec,omitempty"`
 	RecoveryReplayRowsPerSec float64            `json:"recovery_replay_rows_per_sec,omitempty"`
+
+	// Concurrent serving: wire queries over loopback TCP against a
+	// time-sharded engine behind the admission scheduler (ServeWorkers
+	// workers) and shared result cache. QueriesPerSec is keyed by client
+	// count ("1", "4", "16"); each query carries a unique scorer so the rows
+	// measure real concurrent evaluation, while CacheHitRate comes from a
+	// separate hot-pool phase where every client repeats a small query set
+	// (see serveThroughput). Wall-clock and host-dependent like the other
+	// throughput rows.
+	ServeWorkers       int                `json:"serve_workers,omitempty"`
+	ServeQueriesPerSec map[string]float64 `json:"queries_per_sec,omitempty"`
+	ServeCacheHitRate  float64            `json:"cache_hit_rate,omitempty"`
 }
 
 // StreamPerfReport measures the live-ingestion subsystem on the given
@@ -252,6 +264,11 @@ func StreamPerfReport(cfg Config, dsName string) (*StreamReport, error) {
 	}
 	rep.RecoveryReplayRowsPerSec = float64(n) / recoverSecs
 	if err := rec.Close(); err != nil {
+		return nil, err
+	}
+
+	// Concurrent serving throughput + cache effectiveness over the wire.
+	if err := serveThroughput(rep, ds, cfg.Seed); err != nil {
 		return nil, err
 	}
 	return rep, nil

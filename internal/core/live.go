@@ -122,6 +122,16 @@ func (le *LiveEngine) IndexedRows() int {
 // Monitored reports whether the online monitor is enabled.
 func (le *LiveEngine) Monitored() bool { return le.mon != nil }
 
+// EpochSeq returns the current query-epoch sequence number. A live engine's
+// query state is fully keyed by its prefix length (appends only extend it),
+// so the length is the epoch; results computed at equal seqs are
+// interchangeable, which is what whole-result caches key entries by.
+func (le *LiveEngine) EpochSeq() uint64 {
+	le.mu.RLock()
+	defer le.mu.RUnlock()
+	return uint64(le.forest.Len())
+}
+
 // Append commits one record: t must exceed the last appended time and attrs
 // must have exactly Dims values (copied). With the monitor enabled, the
 // returned Decision is the record's instant look-back durability verdict and

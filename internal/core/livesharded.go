@@ -108,6 +108,11 @@ type LiveShardedEngine struct {
 	revMu  sync.Mutex
 	rev    *data.Dataset
 	revLen int
+
+	// pc, when set (before serving; see SetPartialCache), is copied into
+	// every query epoch so sealed-shard interior answers are cached across
+	// queries and epochs.
+	pc PartialCache
 }
 
 // NewLiveShardedEngine returns an empty live+sharded engine for
@@ -178,7 +183,7 @@ func RestoreLiveShardedEngine(d int, opts Options, live LiveOptions, so LiveShar
 		if hi == lo {
 			continue
 		}
-		e.sealed = append(e.sealed, timeShard{lo: lo, hi: hi, eng: NewEngine(e.global.Slice(lo, hi), opts)})
+		e.sealed = append(e.sealed, timeShard{lo: lo, hi: hi, eng: NewEngine(e.global.Slice(lo, hi), opts), immutable: true})
 		e.seals++
 		e.sealedRows += hi - lo
 		e.rebuilds++
@@ -279,7 +284,11 @@ func (e *LiveShardedEngine) sealLocked() {
 	tail, lo := e.tail, e.tailLo
 	te, _ := tail.Snapshot()
 	si := len(e.sealed)
-	e.sealed = append(e.sealed, timeShard{lo: lo, hi: n, eng: te})
+	// Sealed rows never change again, so the shard is immutable from the
+	// moment it retires — partial-cache entries built against it (under
+	// either its snapshot engine or the later freeze build, which answer
+	// bit-identically) stay valid forever.
+	e.sealed = append(e.sealed, timeShard{lo: lo, hi: n, eng: te, immutable: true})
 	e.seals++
 	e.sealedRows += n - lo
 	e.rebuilds += tail.Rebuilds()
@@ -366,6 +375,7 @@ func (e *LiveShardedEngine) snapshotEpoch() *shardGroup {
 		straddle: resolveStraddle(e.so.StraddleThreshold),
 		shards:   shards,
 		seq:      e.seq,
+		pc:       e.pc,
 	}
 	e.groupSeq = e.seq
 	return e.group
@@ -376,6 +386,27 @@ func (e *LiveShardedEngine) epoch() *shardGroup {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.snapshotEpoch()
+}
+
+// SetPartialCache attaches a cross-query cache for sealed-shard interior
+// answers; entries stay valid across epochs because sealed rows never change.
+// Call before serving queries — epochs already snapshotted keep whatever
+// cache (or none) they were assembled with.
+func (e *LiveShardedEngine) SetPartialCache(pc PartialCache) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pc = pc
+	e.seq++ // retire the memoized epoch so the next query picks the cache up
+}
+
+// EpochSeq returns the current query-epoch sequence number: it changes on
+// every append, seal and background freeze swap, so results computed at equal
+// seqs are interchangeable. Whole-result caches key entries by it to get
+// epoch-based invalidation for free.
+func (e *LiveShardedEngine) EpochSeq() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.seq
 }
 
 // Len returns the number of records appended so far.

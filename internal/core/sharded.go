@@ -71,9 +71,46 @@ const defaultStraddleThreshold = 128
 
 // timeShard is one contiguous partition of the parent dataset: records
 // [lo, hi) served by an independent engine over a zero-copy slice view.
+// immutable marks shards whose rows can never change — every shard of a
+// batch ShardedEngine, and the sealed shards of a LiveShardedEngine (a
+// sealed shard's engine may still be swapped for its denser freeze build,
+// but the rows, and therefore every answer, are final). Only immutable
+// shards may publish entries into a PartialCache.
 type timeShard struct {
-	lo, hi int
-	eng    *Engine
+	lo, hi    int
+	eng       *Engine
+	immutable bool
+}
+
+// PartialKey identifies one shard-interior evaluation: the shard (by its
+// global row range — stable for the engine's life, and rows in it immutable
+// when the shard is), the interior row range actually evaluated, and every
+// query parameter the answer depends on. Two queries with different [Start,
+// End] that clamp to the same interior share the key — the normalization that
+// lets overlapping intervals reuse each other's per-shard work.
+type PartialKey struct {
+	ShardLo, ShardHi int    // the shard's global row range [lo, hi)
+	Lo, Hi           int    // interior rows evaluated, [Lo, Hi) ⊆ [ShardLo, ShardHi)
+	Scorer           string // canonical scorer form (score.CanonicalKey)
+	K                int
+	Tau, Lead        int64
+	Anchor           Anchor
+	Algorithm        Algorithm
+}
+
+// PartialCache caches per-shard interior answers of fanned-out durable top-k
+// queries. An interior record's durability window lies entirely inside its
+// shard, so the answer depends only on the shard's own rows and the key's
+// parameters — for an immutable shard such an entry never goes stale and is
+// reusable across epochs forever, the LSM-style payoff of sealing. Engines
+// only consult the cache for immutable shards and only for queries whose
+// scorer has a canonical form.
+//
+// Implementations must be safe for concurrent use and must treat stored
+// slices as immutable (they are shared by every future hit).
+type PartialCache interface {
+	GetPartial(key PartialKey) ([]int32, bool)
+	PutPartial(key PartialKey, ids []int32)
 }
 
 // ShardInfo describes one time shard of a ShardedEngine.
@@ -96,6 +133,11 @@ type shardGroup struct {
 	workers  int
 	straddle int
 	shards   []timeShard
+
+	// pc, when non-nil, caches interior answers of immutable shards across
+	// queries (and, for the live lifecycle, across epochs — sealed rows never
+	// change). Set at registration time, before the first query.
+	pc PartialCache
 
 	// seq identifies the shard set so per-query caches derived from it (the
 	// shardBounds score upper bounds) can detect that they were built against
@@ -162,7 +204,8 @@ func NewShardedEngine(ds *data.Dataset, opts Options, so ShardOptions) *ShardedE
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
 	for i := range se.group.shards {
-		se.group.shards[i] = timeShard{lo: cuts[i], hi: cuts[i+1]}
+		// A batch engine's dataset never changes, so every shard is immutable.
+		se.group.shards[i] = timeShard{lo: cuts[i], hi: cuts[i+1], immutable: true}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int) {
@@ -258,6 +301,11 @@ func (g *shardGroup) infos() []ShardInfo {
 	}
 	return out
 }
+
+// SetPartialCache attaches a cross-query cache for per-shard interior
+// answers. Must be called before the engine serves queries (registration
+// time); the field is read without synchronization on the query path.
+func (se *ShardedEngine) SetPartialCache(pc PartialCache) { se.group.pc = pc }
 
 // PrepareSkyband eagerly materializes every shard's durable k-skyband ladder
 // level for queries with parameter k (see Engine.PrepareSkyband).
@@ -424,6 +472,14 @@ func (g *shardGroup) DurableTopK(q Query) (*Result, error) {
 	}
 	sb := &shardBounds{}
 
+	// Resolve the scorer's canonical form once per query; shards reuse it for
+	// their interior cache keys. Scorers without a canonical form (and
+	// engines without an attached cache) evaluate everything as before.
+	var scorerKey string
+	if g.pc != nil {
+		scorerKey, _ = score.CanonicalKey(q.Scorer)
+	}
+
 	parts := make([]shardPart, len(tasks))
 	workers := g.workers
 	if workers > len(tasks) {
@@ -432,7 +488,7 @@ func (g *shardGroup) DurableTopK(q Query) (*Result, error) {
 	if workers <= 1 {
 		pr := newProbe()
 		for ti, si := range tasks {
-			parts[ti] = g.evalShard(pr, sb, si, &q, back, lead, qlo, qhi)
+			parts[ti] = g.evalShard(pr, sb, si, &q, scorerKey, back, lead, qlo, qhi)
 		}
 		pr.release()
 	} else {
@@ -445,7 +501,7 @@ func (g *shardGroup) DurableTopK(q Query) (*Result, error) {
 				pr := newProbe()
 				defer pr.release()
 				for ti := range feed {
-					parts[ti] = g.evalShard(pr, sb, tasks[ti], &q, back, lead, qlo, qhi)
+					parts[ti] = g.evalShard(pr, sb, tasks[ti], &q, scorerKey, back, lead, qlo, qhi)
 				}
 			}()
 		}
@@ -522,7 +578,7 @@ func (g *shardGroup) DurableTopK(q Query) (*Result, error) {
 // evalShard answers the query restricted to one shard's records. Interior
 // records (whole window inside the shard) go through the shard engine;
 // boundary straddlers are decided across shards.
-func (g *shardGroup) evalShard(pr *probe, sb *shardBounds, si int, q *Query, back, lead int64, qlo, qhi int) shardPart {
+func (g *shardGroup) evalShard(pr *probe, sb *shardBounds, si int, q *Query, scorerKey string, back, lead int64, qlo, qhi int) shardPart {
 	var part shardPart
 	sh := &g.shards[si]
 	subLo, subHi := max(qlo, sh.lo), min(qhi, sh.hi)
@@ -549,6 +605,26 @@ func (g *shardGroup) evalShard(pr *probe, sb *shardBounds, si int, q *Query, bac
 		return part
 	}
 	if iLo < iHi {
+		// The interior answer depends only on the shard's own rows plus the
+		// key parameters ([Time(iLo), Time(iHi-1)] is derived from rows of
+		// this shard), so for an immutable shard it can be served from — and
+		// published into — the cross-query partial cache. Straddlers are
+		// never cached: their verdicts read neighboring shards, which the
+		// live lifecycle reshapes.
+		var pkey PartialKey
+		cacheable := g.pc != nil && sh.immutable && scorerKey != ""
+		if cacheable {
+			pkey = PartialKey{
+				ShardLo: sh.lo, ShardHi: sh.hi, Lo: iLo, Hi: iHi,
+				Scorer: scorerKey, K: q.K, Tau: q.Tau, Lead: q.Lead,
+				Anchor: q.Anchor, Algorithm: q.Algorithm,
+			}
+			if ids, ok := g.pc.GetPartial(pkey); ok {
+				part.ids = append(part.ids, ids...)
+				g.evalStraddlers(pr, sb, &part, q, back, lead, iHi, subHi)
+				return part
+			}
+		}
 		sub := *q
 		sub.Start, sub.End = g.ds.Time(iLo), g.ds.Time(iHi-1)
 		sub.WithDurations = false
@@ -557,8 +633,17 @@ func (g *shardGroup) evalShard(pr *probe, sb *shardBounds, si int, q *Query, bac
 			part.err = err
 			return part
 		}
-		for _, r := range res.Records {
-			part.ids = append(part.ids, int32(sh.lo+r.ID))
+		if cacheable {
+			ids := make([]int32, 0, len(res.Records))
+			for _, r := range res.Records {
+				ids = append(ids, int32(sh.lo+r.ID))
+			}
+			g.pc.PutPartial(pkey, ids)
+			part.ids = append(part.ids, ids...)
+		} else {
+			for _, r := range res.Records {
+				part.ids = append(part.ids, int32(sh.lo+r.ID))
+			}
 		}
 		addStats(&part.st, &res.Stats)
 	}

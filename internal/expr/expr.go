@@ -70,6 +70,7 @@ type Expr struct {
 	src  string
 	vars []int
 	mono bool
+	key  string
 }
 
 // Compile parses and analyzes src. The returned Expr is ready for scoring.
@@ -115,7 +116,14 @@ func Compile(src string, opts Options) (*Expr, error) {
 			break
 		}
 	}
-	return &Expr{root: root, dims: dims, src: src, vars: vars, mono: mono}, nil
+	e := &Expr{root: root, dims: dims, src: src, vars: vars, mono: mono}
+	// The canonical render is the cache identity: two sources that parse and
+	// fold to the same AST (under the same attribute-name table) score
+	// identically, so "0.5*pts + pts*0.5" and "pts" keyed apart is the only
+	// cost of keying by render rather than by deep AST equality. Precomputed
+	// here so per-query key derivation is a field read.
+	e.key = fmt.Sprintf("expr:%d:%s", dims, e.String())
+	return e, nil
 }
 
 // MustCompile is Compile that panics on error; for tests and constants.
@@ -177,6 +185,13 @@ func (e *Expr) Source() string { return e.src }
 // String renders a canonical form of the parsed expression (minimal
 // parentheses); Compile(String()) evaluates identically.
 func (e *Expr) String() string { return render(e.root, precAdd) }
+
+// CanonicalKey implements score.Keyed: the canonical render plus the
+// dimensionality. Attribute names resolve to positions at compile time, so
+// the key is only comparable among expressions compiled against the same
+// name table — which holds wherever the key is used, since result caches
+// scope keys by dataset.
+func (e *Expr) CanonicalKey() string { return e.key }
 
 // nameTable validates user attribute names and indexes them.
 func nameTable(names []string) (map[string]int, error) {

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 )
 
 // Scorer maps a d-dimensional attribute vector to a real-valued score.
@@ -42,6 +43,37 @@ type Bounder interface {
 // skyline-based pruning and the durable k-skyband candidate index (S-Band).
 type MonotoneAware interface {
 	IsMonotone() bool
+}
+
+// Keyed is implemented by scorers whose scoring behavior can be captured in a
+// canonical string: two scorers with equal keys must score every input
+// identically (bit for bit). Result caches use the key to recognize repeated
+// queries, so an implementation must encode every behavior-affecting
+// parameter exactly — weights are rendered from their IEEE-754 bits, never
+// through lossy decimal formatting. Scorers that cannot guarantee this (e.g.
+// MonotoneCombo, whose transform is an arbitrary function value) must not
+// implement it; they simply bypass caching.
+type Keyed interface {
+	CanonicalKey() string
+}
+
+// CanonicalKey returns the canonical cache key of s, or ok=false for scorers
+// that do not support canonicalization.
+func CanonicalKey(s Scorer) (string, bool) {
+	if k, ok := s.(Keyed); ok {
+		return k.CanonicalKey(), true
+	}
+	return "", false
+}
+
+// bitsKey renders a weight vector from its exact float64 bit patterns.
+func bitsKey(prefix string, w []float64) string {
+	buf := make([]byte, 0, len(prefix)+17*len(w))
+	buf = append(buf, prefix...)
+	for _, v := range w {
+		buf = strconv.AppendUint(append(buf, ','), math.Float64bits(v), 16)
+	}
+	return string(buf)
 }
 
 // IsMonotone reports whether s declares itself monotone non-decreasing in
@@ -148,6 +180,9 @@ func (s *Linear) IsMonotone() bool {
 
 // String describes the scorer.
 func (s *Linear) String() string { return fmt.Sprintf("linear%v", s.w) }
+
+// CanonicalKey implements Keyed: the exact weight bits determine the function.
+func (s *Linear) CanonicalKey() string { return bitsKey("lin", s.w) }
 
 // MonotoneCombo is the preference function f_u(p) = Σ u_i·h(p.x_i) for a
 // monotone non-decreasing transform h (the paper's example: h = log).
@@ -281,6 +316,9 @@ func (s *Cosine) IsMonotone() bool { return false }
 // String describes the scorer.
 func (s *Cosine) String() string { return fmt.Sprintf("cosine%v", s.w) }
 
+// CanonicalKey implements Keyed.
+func (s *Cosine) CanonicalKey() string { return bitsKey("cos", s.w) }
+
 // Single ranks by one attribute: f(p) = p.x_dim. It is the k=1-attribute
 // special case used by the NBA-1 style workloads.
 type Single struct {
@@ -310,3 +348,6 @@ func (s *Single) IsMonotone() bool { return true }
 
 // String describes the scorer.
 func (s *Single) String() string { return fmt.Sprintf("attr[%d]", s.dim) }
+
+// CanonicalKey implements Keyed.
+func (s *Single) CanonicalKey() string { return fmt.Sprintf("single:%d/%d", s.dim, s.dims) }

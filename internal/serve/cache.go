@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// ResultKey identifies one whole-query answer. Two requests with equal keys
+// received identical answers, so a cached response can be replayed verbatim.
+//
+// Scorer is the canonical scorer key (score.CanonicalKey); requests whose
+// scorer cannot be canonicalized are uncacheable and never reach the cache.
+// Epoch is the engine's query-epoch sequence at evaluation time: it changes
+// whenever the underlying data changes (append, seal, freeze swap), so stale
+// entries can never be returned — they simply stop being looked up and age
+// out of the LRU. Start/End are the resolved interval (whole-span defaults
+// already substituted), so an omitted interval and its explicit equivalent
+// share an entry.
+type ResultKey struct {
+	Dataset       string
+	Op            string
+	Scorer        string
+	K             int
+	N             int
+	Tau           int64
+	Lead          int64
+	Start         int64
+	End           int64
+	Anchor        core.Anchor
+	Algorithm     core.Algorithm
+	WithDurations bool
+	Epoch         uint64
+}
+
+// partialKey scopes a per-shard partial answer to its dataset: shard row
+// ranges from different datasets must never collide.
+type partialKey struct {
+	dataset string
+	key     core.PartialKey
+}
+
+// entry is one cached value; key is the map key (ResultKey or partialKey).
+type entry struct {
+	key any
+	val any
+}
+
+// Cache is a bounded LRU shared by every connection of a server. It holds two
+// kinds of entries in one budget:
+//
+//   - whole-result entries (ResultKey): the full answer to a query, keyed by
+//     epoch — exact-match repeats at an unchanged epoch replay it with zero
+//     engine work;
+//   - partial entries (core.PartialKey via Partial): the interior answer of
+//     one sealed shard. Sealed shards are immutable, so these have no epoch
+//     and stay valid across appends — a repeated query after the dataset has
+//     grown re-evaluates only the tail and any shards it has not seen.
+//
+// All methods are safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	items   map[any]*list.Element
+	lru     *list.List // front = most recent
+	evicted uint64
+
+	hits, misses               uint64
+	partialHits, partialMisses uint64
+}
+
+// NewCache returns a cache bounded to max entries (whole results and shard
+// partials combined); max < 1 is clamped to 1.
+func NewCache(max int) *Cache {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache{max: max, items: make(map[any]*list.Element), lru: list.New()}
+}
+
+// GetResult returns the cached whole answer for key, if present.
+func (c *Cache) GetResult(key ResultKey) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry).val, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// PutResult stores the whole answer for key, evicting the least recently used
+// entries if the cache is full.
+func (c *Cache) PutResult(key ResultKey, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.put(key, val)
+}
+
+// put inserts or refreshes under c.mu.
+func (c *Cache) put(key, val any) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).val = val
+		c.lru.MoveToFront(el)
+		return
+	}
+	for len(c.items) >= c.max {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		c.lru.Remove(back)
+		delete(c.items, back.Value.(*entry).key)
+		c.evicted++
+	}
+	c.items[key] = c.lru.PushFront(&entry{key: key, val: val})
+}
+
+// Partial returns a view of the cache implementing core.PartialCache with
+// every key scoped to dataset. Install it on that dataset's engine
+// (SetPartialCache); the engine only consults it for immutable shards.
+func (c *Cache) Partial(dataset string) core.PartialCache {
+	return &partialView{c: c, dataset: dataset}
+}
+
+type partialView struct {
+	c       *Cache
+	dataset string
+}
+
+// GetPartial implements core.PartialCache.
+func (v *partialView) GetPartial(key core.PartialKey) ([]int32, bool) {
+	c := v.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[partialKey{v.dataset, key}]; ok {
+		c.lru.MoveToFront(el)
+		c.partialHits++
+		return el.Value.(*entry).val.([]int32), true
+	}
+	c.partialMisses++
+	return nil, false
+}
+
+// PutPartial implements core.PartialCache. The engine hands over a fresh
+// slice it will not mutate, so it is stored without copying.
+func (v *partialView) PutPartial(key core.PartialKey, ids []int32) {
+	c := v.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.put(partialKey{v.dataset, key}, ids)
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Entries       int    // current entries (results + partials)
+	Max           int    // capacity
+	Hits          uint64 // whole-result hits
+	Misses        uint64 // whole-result misses
+	PartialHits   uint64 // per-shard partial hits
+	PartialMisses uint64 // per-shard partial misses
+	Evicted       uint64 // entries dropped by the LRU bound
+}
+
+// HitRate returns whole-result hits over lookups, or 0 with no lookups.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:       len(c.items),
+		Max:           c.max,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		PartialHits:   c.partialHits,
+		PartialMisses: c.partialMisses,
+		Evicted:       c.evicted,
+	}
+}

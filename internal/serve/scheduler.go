@@ -1,0 +1,110 @@
+// Package serve provides the concurrency layer between the wire protocol and
+// the query engines: an admission scheduler that bounds how many queries
+// evaluate at once, and an epoch-keyed result cache that recognizes repeated
+// work across queries and connections.
+//
+// Both pieces lean on properties the engines already guarantee. Queries run
+// against immutable epoch snapshots (core.LiveShardedEngine assembles a frozen
+// shardGroup per epoch), so any number of admitted queries can evaluate in
+// parallel without coordinating with appends — the scheduler only has to bound
+// resource usage, not correctness. And sealed shards never change, so partial
+// answers computed inside one stay valid forever; the cache exploits this with
+// per-shard entries that survive epoch changes, alongside whole-result entries
+// that are keyed by epoch and naturally expire when the data grows.
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrSchedulerClosed rejects work submitted after Close.
+var ErrSchedulerClosed = errors.New("serve: scheduler closed")
+
+// Scheduler admits a bounded number of concurrent query evaluations.
+// Admission is a counting semaphore: Do blocks until a worker slot frees up or
+// the caller's context expires, so a burst of queries queues instead of
+// oversubscribing the CPU (engine evaluations are compute-bound; running far
+// more of them than cores thrashes caches and inflates every query's latency).
+type Scheduler struct {
+	sem    chan struct{}
+	closed chan struct{}
+
+	queued   atomic.Int64
+	inflight atomic.Int64
+	admitted atomic.Uint64
+	rejected atomic.Uint64
+}
+
+// NewScheduler returns a scheduler admitting at most workers concurrent
+// evaluations; workers < 1 is clamped to 1.
+func NewScheduler(workers int) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Scheduler{sem: make(chan struct{}, workers), closed: make(chan struct{})}
+}
+
+// Workers returns the admission bound.
+func (s *Scheduler) Workers() int { return cap(s.sem) }
+
+// Do runs fn once a worker slot is available, blocking at most until ctx
+// expires. The returned error is nil when fn ran, ctx.Err() when admission
+// timed out or was canceled, or ErrSchedulerClosed. fn runs on the calling
+// goroutine; the scheduler only gates entry.
+func (s *Scheduler) Do(ctx context.Context, fn func()) error {
+	s.queued.Add(1)
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.queued.Add(-1)
+		s.rejected.Add(1)
+		return ctx.Err()
+	case <-s.closed:
+		s.queued.Add(-1)
+		s.rejected.Add(1)
+		return ErrSchedulerClosed
+	}
+	s.queued.Add(-1)
+	s.admitted.Add(1)
+	s.inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		<-s.sem
+	}()
+	fn()
+	return nil
+}
+
+// Close rejects all queued and future admissions. Work already admitted runs
+// to completion. Close is idempotent.
+func (s *Scheduler) Close() {
+	select {
+	case <-s.closed:
+	default:
+		close(s.closed)
+	}
+}
+
+// SchedulerMetrics is a point-in-time snapshot of scheduler state.
+type SchedulerMetrics struct {
+	Workers  int    // admission bound
+	Queued   int64  // callers blocked waiting for a slot
+	InFlight int64  // evaluations currently running
+	Admitted uint64 // total admissions since creation
+	Rejected uint64 // total admission timeouts/cancellations
+}
+
+// Metrics snapshots the scheduler counters. Queued and InFlight are sampled
+// independently and may be momentarily inconsistent with each other; the
+// totals are exact.
+func (s *Scheduler) Metrics() SchedulerMetrics {
+	return SchedulerMetrics{
+		Workers:  cap(s.sem),
+		Queued:   s.queued.Load(),
+		InFlight: s.inflight.Load(),
+		Admitted: s.admitted.Load(),
+		Rejected: s.rejected.Load(),
+	}
+}

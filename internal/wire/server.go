@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/monitor"
 	"repro/internal/score"
+	"repro/internal/serve"
 )
 
 // LiveIngest is the append surface shared by core.LiveEngine and
@@ -49,6 +51,16 @@ type Server struct {
 	// in flight (its response is still written), then exit instead of
 	// reading the next frame.
 	draining atomic.Bool
+
+	// sched, when set, switches connections to pipelined serving: read-only
+	// requests are dispatched through the scheduler and evaluate concurrently
+	// (bounded by its worker pool) while responses still go out in request
+	// order. Nil (the default) keeps the serial one-request-at-a-time loop.
+	sched atomic.Pointer[serve.Scheduler]
+	// cache, when set, is consulted before evaluating query and most-durable
+	// requests and installed as the per-shard partial cache of engines that
+	// support it.
+	cache atomic.Pointer[serve.Cache]
 }
 
 type served struct {
@@ -66,6 +78,42 @@ type served struct {
 	// flips (checked before each row, not atomically with it); set it
 	// before serving connections for a hard guarantee.
 	ingesting atomic.Bool
+
+	// exprCache memoizes compiled scoring expressions by source text.
+	// Dimensionality and attribute names — the other compile inputs — are
+	// fixed per served dataset, so the source alone keys the cache; a busy
+	// client re-sending the same expression skips the parse + analysis on
+	// every query. Bounded by clearing: past maxExprCache distinct sources
+	// the map resets, which is simpler than LRU bookkeeping and costs at
+	// worst one recompile per entry per cycle.
+	exprMu    sync.Mutex
+	exprCache map[string]*expr.Expr
+}
+
+// maxExprCache bounds each dataset's compiled-expression cache.
+const maxExprCache = 256
+
+// compileExpr returns the compiled form of src, memoized per dataset.
+// Compilation errors are not cached: they are cheap to reproduce (parsing
+// fails early) and caching them would let junk sources evict useful entries.
+func (sv *served) compileExpr(src string, dims int) (*expr.Expr, error) {
+	sv.exprMu.Lock()
+	defer sv.exprMu.Unlock()
+	if e, ok := sv.exprCache[src]; ok {
+		return e, nil
+	}
+	e, err := expr.Compile(src, expr.Options{Dims: dims, Names: sv.attrs})
+	if err != nil {
+		return nil, err
+	}
+	if len(sv.exprCache) >= maxExprCache {
+		sv.exprCache = nil
+	}
+	if sv.exprCache == nil {
+		sv.exprCache = make(map[string]*expr.Expr)
+	}
+	sv.exprCache[src] = e
+	return e, nil
 }
 
 // NewServer returns an empty server. logf (nil = log.Printf) receives
@@ -93,6 +141,56 @@ func (s *Server) SetConnTimeout(d time.Duration) {
 		d = 0
 	}
 	s.connTimeout.Store(int64(d))
+}
+
+// SetScheduler installs the admission scheduler that enables pipelined
+// serving: each connection's read-only requests (query, explain,
+// most-durable) evaluate concurrently — across requests of one connection and
+// across connections — bounded by the scheduler's worker pool, while
+// responses are still written in request order per connection. Appends keep
+// executing in arrival order on the connection's read loop, so an
+// append-then-query sequence on one connection always queries the appended
+// state. A nil scheduler restores the serial loop. Applies to connections
+// accepted after the call.
+func (s *Server) SetScheduler(sched *serve.Scheduler) { s.sched.Store(sched) }
+
+// SetCache installs the shared result cache: query and most-durable responses
+// are replayed verbatim for exact-match repeats at an unchanged data epoch,
+// and engines that support per-shard partial caching (the sharded flavors)
+// additionally memoize each immutable shard's interior answers across
+// queries. Installing a cache wires it into every registered dataset and
+// every dataset registered later; a nil cache disables both layers for
+// subsequent registrations and requests (already-installed partial views stay
+// on their engines). Safe to call while serving.
+func (s *Server) SetCache(c *serve.Cache) {
+	s.cache.Store(c)
+	if c == nil {
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for name, sv := range s.sets {
+		if pc, ok := sv.eng.(partialCacheSetter); ok {
+			pc.SetPartialCache(c.Partial(name))
+		}
+	}
+}
+
+// partialCacheSetter is implemented by engines that can memoize per-shard
+// interior answers (core.ShardedEngine, core.LiveShardedEngine).
+type partialCacheSetter interface{ SetPartialCache(core.PartialCache) }
+
+// epochSequenced is implemented by engines whose query state changes over
+// time; EpochSeq ticks on every mutation. Static engines do not implement it
+// and are treated as epoch 0 forever — correct, since they never change.
+type epochSequenced interface{ EpochSeq() uint64 }
+
+// epochOf returns eng's current query epoch (0 for immutable engines).
+func epochOf(eng core.Querier) uint64 {
+	if e, ok := eng.(epochSequenced); ok {
+		return e.EpochSeq()
+	}
+	return 0
 }
 
 // Add registers ds under name, building its engine. attrs optionally names
@@ -199,6 +297,11 @@ func (s *Server) addEntry(name string, ds *data.Dataset, attrs []string, build f
 		return fmt.Errorf("wire: dataset %q already registered", name)
 	}
 	sv := build()
+	if c := s.cache.Load(); c != nil {
+		if pc, ok := sv.eng.(partialCacheSetter); ok {
+			pc.SetPartialCache(c.Partial(name))
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.sets[name]; dup {
@@ -261,8 +364,10 @@ func (s *Server) Close() error {
 
 // ServeConn answers requests on one connection until EOF, a protocol error,
 // a deadline (SetConnTimeout) or server shutdown; it closes conn before
-// returning. Exported so tests and embedders can drive the protocol over
-// net.Pipe.
+// returning. With a scheduler installed (SetScheduler) the connection is
+// served pipelined — read-only requests evaluate concurrently, responses go
+// out in request order — otherwise one request at a time. Exported so tests
+// and embedders can drive the protocol over net.Pipe.
 func (s *Server) ServeConn(conn net.Conn) {
 	defer conn.Close()
 	s.lnMu.Lock()
@@ -277,32 +382,21 @@ func (s *Server) ServeConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.lnMu.Unlock()
 	}()
-	timeout := time.Duration(s.connTimeout.Load())
+	if sched := s.sched.Load(); sched != nil {
+		s.serveConnPipelined(conn, sched)
+		return
+	}
 	for {
-		// Deadline before the draining check: if Close lands between the two,
-		// its SetReadDeadline(now) overrides this one and the read below
-		// returns immediately, so shutdown never waits a full idle timeout.
-		if timeout > 0 {
-			conn.SetReadDeadline(time.Now().Add(timeout))
-		}
-		if s.draining.Load() {
+		if !s.armRead(conn) {
 			return
 		}
 		var req Request
 		if err := ReadFrame(conn, &req); err != nil {
-			switch {
-			case errors.Is(err, net.ErrClosed), errors.Is(err, io.EOF):
-			case s.draining.Load():
-				// Shutdown expired the deadline; not a client failure.
-			case isTimeout(err):
-				s.logf("wire: %s: closing idle connection after %v", conn.RemoteAddr(), timeout)
-			default:
-				s.logf("wire: %s: read: %v", conn.RemoteAddr(), err)
-			}
+			s.logReadErr(conn, err)
 			return
 		}
 		resp := s.handle(&req)
-		if timeout > 0 {
+		if timeout := time.Duration(s.connTimeout.Load()); timeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(timeout))
 		}
 		if err := WriteFrame(conn, resp); err != nil {
@@ -310,6 +404,149 @@ func (s *Server) ServeConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// armRead prepares one frame read: it applies the current connection timeout
+// and checks for shutdown, reporting whether the caller should proceed with
+// the read. The timeout is re-loaded every iteration — a SetConnTimeout
+// during a long-lived connection takes effect at its next frame, not only on
+// new connections — and a failed SetReadDeadline (the fd already dead) drops
+// the connection instead of silently reading without a bound. The deadline is
+// set before the draining check: if Close lands between the two, its
+// SetReadDeadline(now) overrides this one and the read returns immediately,
+// so shutdown never waits out a full idle timeout.
+func (s *Server) armRead(conn net.Conn) bool {
+	timeout := time.Duration(s.connTimeout.Load())
+	var err error
+	if timeout > 0 {
+		err = conn.SetReadDeadline(time.Now().Add(timeout))
+	} else {
+		// Clear any deadline from a previous iteration so lowering the
+		// timeout to zero mid-connection does not leave a stale expiry armed.
+		err = conn.SetReadDeadline(time.Time{})
+	}
+	if err != nil {
+		s.logf("wire: %s: set read deadline: %v", conn.RemoteAddr(), err)
+		return false
+	}
+	return !s.draining.Load()
+}
+
+// logReadErr reports a failed frame read, distinguishing clean closes and
+// shutdown-induced deadline expiries from genuine client failures.
+func (s *Server) logReadErr(conn net.Conn, err error) {
+	switch {
+	case errors.Is(err, net.ErrClosed), errors.Is(err, io.EOF):
+	case s.draining.Load():
+		// Shutdown expired the deadline; not a client failure.
+	case isTimeout(err):
+		s.logf("wire: %s: closing idle connection after %v",
+			conn.RemoteAddr(), time.Duration(s.connTimeout.Load()))
+	default:
+		s.logf("wire: %s: read: %v", conn.RemoteAddr(), err)
+	}
+}
+
+// pipelineDepth bounds how many responses may be pending per connection; a
+// client that pipelines faster than the server evaluates blocks in its writes
+// once the window fills, instead of growing an unbounded queue server-side.
+const pipelineDepth = 32
+
+// concurrentOp reports whether op may evaluate off the connection's read
+// loop. Read-only operations qualify: they run against immutable epoch
+// snapshots, so any interleaving with appends yields some valid serial order.
+// Appends do not — their effects must land in arrival order (timestamps are
+// strictly increasing) and be visible to every later request on the same
+// connection, which handling them inline on the read loop guarantees.
+func concurrentOp(op string) bool {
+	switch op {
+	case OpQuery, OpExplain, OpMostDurable:
+		return true
+	}
+	return false
+}
+
+// serveConnPipelined runs the concurrent per-connection protocol: the read
+// loop parses frames and dispatches read-only requests through sched to
+// evaluate in parallel, while a writer goroutine drains a FIFO of response
+// slots so responses leave in exactly the order their requests arrived — the
+// protocol's one-response-per-request-in-order contract is preserved, clients
+// cannot tell the difference (except in latency).
+//
+// Backpressure: at most pipelineDepth responses may be outstanding; the
+// scheduler additionally bounds how many evaluate at once, with admission
+// itself bounded by the connection timeout — a saturated server answers
+// "transient: retry" instead of queueing without limit.
+func (s *Server) serveConnPipelined(conn net.Conn, sched *serve.Scheduler) {
+	type slot chan *Response
+	slots := make(chan slot, pipelineDepth)
+	writeFailed := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for sl := range slots {
+			resp := <-sl
+			if timeout := time.Duration(s.connTimeout.Load()); timeout > 0 {
+				conn.SetWriteDeadline(time.Now().Add(timeout))
+			}
+			if err := WriteFrame(conn, resp); err != nil {
+				s.logf("wire: %s: write: %v", conn.RemoteAddr(), err)
+				close(writeFailed)
+				// Keep draining so in-flight handlers can deliver into their
+				// slots and exit; the frames are discarded, the client is gone.
+				for sl := range slots {
+					<-sl
+				}
+				return
+			}
+		}
+	}()
+
+	for {
+		if !s.armRead(conn) {
+			break
+		}
+		var req Request
+		if err := ReadFrame(conn, &req); err != nil {
+			s.logReadErr(conn, err)
+			break
+		}
+		sl := make(slot, 1)
+		select {
+		case slots <- sl:
+		case <-writeFailed:
+			// The writer is gone; nothing can answer this request.
+			goto done
+		}
+		if !concurrentOp(req.Op) {
+			// Appends (and ping/datasets, too cheap to dispatch) run inline:
+			// by the time the next frame is read, their effects are visible.
+			sl <- s.handle(&req)
+			continue
+		}
+		// req is declared inside the loop body, so the handler goroutine
+		// captures this iteration's frame, not a shared variable.
+		go func() {
+			ctx := context.Background()
+			if timeout := time.Duration(s.connTimeout.Load()); timeout > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, timeout)
+				defer cancel()
+			}
+			err := sched.Do(ctx, func() { sl <- s.handle(&req) })
+			if err != nil {
+				// Slot already reserved, so the ordering contract holds even
+				// for rejections. Admission timeouts are transient: the pool
+				// drains, retrying verbatim is correct.
+				sl <- &Response{V: Version, Error: "wire: server overloaded: " + err.Error(),
+					Transient: errors.Is(err, ctx.Err())}
+			}
+		}()
+	}
+done:
+	close(slots)
+	wg.Wait()
 }
 
 // isTimeout reports whether err is a deadline expiry.
@@ -410,7 +647,10 @@ func buildQuery(req *Request, sv *served) (core.Query, error) {
 		return q, fmt.Errorf("wire: unknown anchor %q", req.Anchor)
 	}
 	start, end := req.Start, req.End
-	if start == 0 && end == 0 {
+	if start == 0 && end == 0 && !req.ExplicitInterval {
+		// Legacy whole-span default. Clients that really mean the point
+		// interval [0,0] — addressable on datasets starting at time 0 — set
+		// ExplicitInterval to suppress the rewrite.
 		start, end = ds.Span()
 	}
 	return core.Query{
@@ -429,10 +669,27 @@ func requestScorer(req *Request, sv *served) (score.Scorer, error) {
 	case len(req.Weights) > 0:
 		return score.NewLinear(req.Weights)
 	case req.Expr != "":
-		return expr.Compile(req.Expr, expr.Options{Dims: ds.Dims(), Names: sv.attrs})
+		return sv.compileExpr(req.Expr, ds.Dims())
 	default:
 		return nil, errors.New("wire: query needs weights or expr")
 	}
+}
+
+// resultKey derives the whole-result cache key of a query-shaped request, or
+// ok=false when the request is uncacheable (no canonical scorer form). The
+// caller supplies the epoch it read before consulting the cache.
+func resultKey(req *Request, q core.Query, epoch uint64) (serve.ResultKey, bool) {
+	sk, ok := score.CanonicalKey(q.Scorer)
+	if !ok {
+		return serve.ResultKey{}, false
+	}
+	return serve.ResultKey{
+		Dataset: req.Dataset, Op: req.Op, Scorer: sk,
+		K: q.K, N: req.N, Tau: q.Tau, Lead: q.Lead,
+		Start: q.Start, End: q.End,
+		Anchor: q.Anchor, Algorithm: q.Algorithm,
+		WithDurations: q.WithDurations, Epoch: epoch,
+	}, true
 }
 
 func (s *Server) handleQuery(req *Request) *Response {
@@ -443,6 +700,26 @@ func (s *Server) handleQuery(req *Request) *Response {
 	q, err := buildQuery(req, sv)
 	if err != nil {
 		return errResponse(err)
+	}
+	// Whole-result fast path: an exact-match repeat at an unchanged data
+	// epoch replays the previous response verbatim. The epoch is read before
+	// the lookup and re-checked after evaluation; a store happens only when
+	// it did not move, so an entry can never carry an answer from a newer
+	// state than its key claims. Cached responses are shared across requests
+	// and must not be mutated after the store (WriteFrame only reads them).
+	var (
+		cache = s.cache.Load()
+		rk    serve.ResultKey
+		epoch uint64
+		keyed bool
+	)
+	if cache != nil {
+		epoch = epochOf(sv.eng)
+		if rk, keyed = resultKey(req, q, epoch); keyed {
+			if v, ok := cache.GetResult(rk); ok {
+				return v.(*Response)
+			}
+		}
 	}
 	res, err := sv.eng.DurableTopK(q)
 	if err != nil {
@@ -463,6 +740,9 @@ func (s *Server) handleQuery(req *Request) *Response {
 			ID: r.ID, Time: r.Time, Score: r.Score,
 			MaxDuration: r.MaxDuration, FullHistory: r.FullHistory,
 		})
+	}
+	if keyed && epochOf(sv.eng) == epoch {
+		cache.PutResult(rk, resp)
 	}
 	return resp
 }
@@ -576,6 +856,25 @@ func (s *Server) handleMostDurable(req *Request) *Response {
 	if req.N < 1 {
 		return errResponse(errors.New("wire: most-durable needs n >= 1"))
 	}
+	// Same epoch-checked fast path as handleQuery; most-durable is the more
+	// expensive report (a full durability profile), so repeats benefit most.
+	var (
+		cache = s.cache.Load()
+		rk    serve.ResultKey
+		epoch uint64
+		keyed bool
+	)
+	if cache != nil {
+		if sk, ok := score.CanonicalKey(scorer); ok {
+			epoch = epochOf(sv.eng)
+			rk = serve.ResultKey{Dataset: req.Dataset, Op: req.Op, Scorer: sk,
+				K: req.K, N: req.N, Anchor: anchor, Epoch: epoch}
+			keyed = true
+			if v, ok := cache.GetResult(rk); ok {
+				return v.(*Response)
+			}
+		}
+	}
 	top, err := sv.eng.MostDurable(req.K, scorer, anchor, req.N)
 	if err != nil {
 		return errResponse(err)
@@ -586,6 +885,9 @@ func (s *Server) handleMostDurable(req *Request) *Response {
 			ID: r.ID, Time: r.Time, Score: r.Score,
 			MaxDuration: r.Duration, FullHistory: r.FullHistory,
 		})
+	}
+	if keyed && epochOf(sv.eng) == epoch {
+		cache.PutResult(rk, resp)
 	}
 	return resp
 }

@@ -55,6 +55,15 @@ type Request struct {
 	Start int64 `json:"start,omitempty"`
 	End   int64 `json:"end,omitempty"`
 
+	// ExplicitInterval marks Start/End as a deliberate query interval even
+	// when both are zero. Without it a start==end==0 request keeps its
+	// historical meaning — "the dataset's full span" — which made the point
+	// interval [0,0] unaddressable on datasets whose records start at time 0.
+	// Old clients never set the field (it marshals away when false), so the
+	// legacy default is preserved; new clients set it whenever the user
+	// supplied an interval.
+	ExplicitInterval bool `json:"explicitInterval,omitempty"`
+
 	// N is the number of records a most-durable request reports.
 	N int `json:"n,omitempty"`
 
