@@ -212,6 +212,9 @@ func (g *gate) checkStream(oldRep, newRep *bench.StreamReport) {
 	// Concurrent-serving rows likewise gate independently of the lifecycle
 	// rows' early returns.
 	g.checkStreamServe(oldRep, newRep)
+	// Standing-query rows: append fan-out and confirm latency per
+	// subscription count.
+	g.checkStreamStanding(oldRep, newRep)
 	// The live+sharded lifecycle rows (absent from pre-lifecycle baselines;
 	// gated once a baseline records them). The steady query fans out across
 	// sealed shards on a worker pool, so its allocations get the same
@@ -310,6 +313,43 @@ func (g *gate) checkStreamServe(oldRep, newRep *bench.StreamReport) {
 			fmt.Printf("::warning::benchgate: stream serve cache hit rate collapsed %.2f -> %.2f; repeats no longer replay\n",
 				oldRep.ServeCacheHitRate, newRep.ServeCacheHitRate)
 			g.warn++
+		}
+	}
+}
+
+// checkStreamStanding gates the standing-query rows: sustained append
+// throughput and mean confirmation latency with 1/16/256 subscriptions
+// attached. Both are wall-clock, so regressions warn like the other rate
+// rows; a vanished row fails — the subscription path silently stopped being
+// measured, and these rows are the only coverage the per-append fan-out
+// cost has.
+func (g *gate) checkStreamStanding(oldRep, newRep *bench.StreamReport) {
+	for _, subs := range []string{"1", "16", "256"} {
+		name := "standing-subs-" + subs
+		o, oldHas := oldRep.StandingAppendsPerSec[subs]
+		n, newHas := newRep.StandingAppendsPerSec[subs]
+		switch {
+		case !oldHas && !newHas:
+		case oldHas && !newHas:
+			g.missingRow("stream", name)
+		case !oldHas:
+			fmt.Printf("::warning::benchgate: stream %q has no committed baseline row (new?); re-commit the baseline to gate it\n", name)
+			g.warn++
+		default:
+			g.throughput("stream", name, o, n)
+		}
+		name = "standing-confirm-" + subs
+		o, oldHas = oldRep.StandingConfirmLatencyNs[subs]
+		n, newHas = newRep.StandingConfirmLatencyNs[subs]
+		switch {
+		case !oldHas && !newHas:
+		case oldHas && !newHas:
+			g.missingRow("stream", name)
+		case !oldHas:
+			fmt.Printf("::warning::benchgate: stream %q has no committed baseline row (new?); re-commit the baseline to gate it\n", name)
+			g.warn++
+		default:
+			g.ns("stream", name, o, n)
 		}
 	}
 }

@@ -268,7 +268,7 @@ func TestServedEndToEnd(t *testing.T) {
 	if err != nil || len(infos) != 1 || infos[0].Name != "toy" {
 		t.Fatalf("datasets: %v %+v", err, infos)
 	}
-	recs, st, err := cl.Query(wire.Request{Dataset: "toy", K: 2, Tau: 150, Expr: "x0 + x1"})
+	recs, st, err := cl.Query(wire.Request{Dataset: "toy", QuerySpec: wire.QuerySpec{K: 2, Tau: 150, Expr: "x0 + x1"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +356,7 @@ func TestServedSharded(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	recs, st, err := cl.Query(wire.Request{Dataset: "toy", K: 2, Tau: 150, Expr: "x0 + x1"})
+	recs, st, err := cl.Query(wire.Request{Dataset: "toy", QuerySpec: wire.QuerySpec{K: 2, Tau: 150, Expr: "x0 + x1"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -497,7 +497,7 @@ func TestServedLiveIngest(t *testing.T) {
 	}
 
 	// Queries serve the ingested stream.
-	recs, st, err := cl.Query(wire.Request{Dataset: "feed", K: 3, Tau: 150, Weights: []float64{1, 0.5}})
+	recs, st, err := cl.Query(wire.Request{Dataset: "feed", QuerySpec: wire.QuerySpec{K: 3, Tau: 150, Weights: []float64{1, 0.5}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -623,7 +623,7 @@ func TestServedWALCrashRecovery(t *testing.T) {
 	if err != nil || resp.Appended != 1 || len(resp.Decisions) != 1 {
 		t.Fatalf("resumed append: %+v, %v", resp, err)
 	}
-	recs, _, err := cl2.Query(wire.Request{Dataset: "feed", K: 2, Tau: 40, Weights: []float64{1, 0.5}})
+	recs, _, err := cl2.Query(wire.Request{Dataset: "feed", QuerySpec: wire.QuerySpec{K: 2, Tau: 40, Weights: []float64{1, 0.5}}})
 	if err != nil || len(recs) == 0 {
 		t.Fatalf("query after recovery: %d records, %v", len(recs), err)
 	}

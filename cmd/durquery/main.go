@@ -35,6 +35,17 @@
 //
 // -explain prints the cost-based planner's strategy assessment instead of
 // running the query.
+//
+// -follow turns durquery into a standing-query consumer: instead of loading
+// a CSV it subscribes to a live dataset on a durserved server (started with
+// -subscriptions) and streams per-append durability verdicts until
+// interrupted. The scorer must be given explicitly (-weights or -score); an
+// explicit -anchor narrows the stream to instant look-back decisions or
+// delayed look-ahead confirmations, and the default follows both. The
+// connection re-dials and re-subscribes if the server restarts; a seam shows
+// as a jump in the printed prefix:
+//
+//	durquery -follow -addr 127.0.0.1:7411 -dataset games -k 3 -tau 500 -weights 1,0.5
 package main
 
 import (
@@ -42,11 +53,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	durable "repro"
 	"repro/internal/data"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -73,8 +87,30 @@ func main() {
 		sealRows  = flag.Int("sealrows", 0, "with -live: route appends through the live+sharded lifecycle, sealing the tail every N records")
 		sealSpan  = flag.Int64("sealspan", 0, "with -live: seal the tail once its arrivals span this many ticks")
 		asJSON    = flag.Bool("json", false, "emit results as JSON")
+		follow    = flag.Bool("follow", false, "follow a standing query against a durserved server instead of querying a CSV (requires -addr, -dataset and a scorer)")
+		addr      = flag.String("addr", "", "with -follow: durserved address (host:port)")
+		dataset   = flag.String("dataset", "", "with -follow: live dataset name on the server")
+		maxEvents = flag.Int("maxevents", 0, "with -follow: exit after this many events (0 = stream until interrupted)")
 	)
 	flag.Parse()
+	if *follow {
+		cfg := followConfig{
+			addr: *addr, dataset: *dataset,
+			k: *k, tau: *tau, lead: *lead, start: *start, end: *end,
+			weightsCS: *weightsCS, scoreExpr: *scoreExpr, anchor: *anchorStr,
+			maxEvents: *maxEvents, asJSON: *asJSON,
+		}
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "anchor":
+				cfg.anchorSet = true
+			case "start", "end":
+				cfg.intervalSet = true
+			}
+		})
+		runFollow(cfg)
+		return
+	}
 	if *input == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -170,12 +206,16 @@ func main() {
 		if *sealRows > 0 || *sealSpan > 0 {
 			// Live+sharded lifecycle: the stream seals into static shards as
 			// it is replayed, and the query fans out over sealed + tail.
-			lse, err := durable.NewLiveSharded(ds.Dims(), engOpts,
-				durable.LiveOptions{Capacity: ds.Len()},
-				durable.LiveShardOptions{SealRows: *sealRows, SealSpan: *sealSpan, Workers: workers})
+			q, err := durable.Open(durable.FromStream(ds.Dims()),
+				durable.WithOptions(engOpts),
+				durable.WithLiveOptions(durable.LiveOptions{Capacity: ds.Len()}),
+				durable.WithLiveSharding(durable.LiveShardOptions{
+					SealRows: *sealRows, SealSpan: *sealSpan, Workers: workers,
+				}))
 			if err != nil {
 				fatal(err)
 			}
+			lse := q.(*durable.LiveShardedEngine)
 			for i := 0; i < ds.Len(); i++ {
 				if _, _, err := lse.Append(ds.Time(i), ds.Attrs(i)); err != nil {
 					fatal(err)
@@ -184,10 +224,12 @@ func main() {
 			eng = lse
 			break
 		}
-		le, err := durable.NewLive(ds.Dims(), engOpts, durable.LiveOptions{Capacity: ds.Len()})
+		q, err := durable.Open(durable.FromStream(ds.Dims()), durable.WithOptions(engOpts),
+			durable.WithLiveOptions(durable.LiveOptions{Capacity: ds.Len()}))
 		if err != nil {
 			fatal(err)
 		}
+		le := q.(*durable.LiveEngine)
 		for i := 0; i < ds.Len(); i++ {
 			if _, _, err := le.Append(ds.Time(i), ds.Attrs(i)); err != nil {
 				fatal(err)
@@ -195,11 +237,20 @@ func main() {
 		}
 		eng = le
 	case *shards > 1:
-		eng = durable.NewSharded(ds, engOpts, durable.ShardOptions{
-			Shards: *shards, Workers: workers, Strategy: strategy,
-		})
+		q, err := durable.Open(durable.FromDataset(ds), durable.WithOptions(engOpts),
+			durable.WithSharding(durable.ShardOptions{
+				Shards: *shards, Workers: workers, Strategy: strategy,
+			}))
+		if err != nil {
+			fatal(err)
+		}
+		eng = q
 	default:
-		eng = durable.NewWithOptions(ds, engOpts)
+		q, err := durable.Open(durable.FromDataset(ds), durable.WithOptions(engOpts))
+		if err != nil {
+			fatal(err)
+		}
+		eng = q
 	}
 
 	if *mostDur > 0 {
@@ -273,6 +324,116 @@ func main() {
 			fmt.Printf("id=%d\ttime=%d\tscore=%g\n", r.ID, r.Time, r.Score)
 		}
 	}
+}
+
+// followConfig carries the -follow flag set into runFollow. anchorSet and
+// intervalSet record whether the user typed the corresponding flags: an
+// untyped -anchor subscribes to both verdict streams, and an untyped
+// interval leaves the subscription unbounded.
+type followConfig struct {
+	addr, dataset          string
+	k                      int
+	tau, lead, start, end  int64
+	weightsCS, scoreExpr   string
+	anchor                 string
+	anchorSet, intervalSet bool
+	maxEvents              int
+	asJSON                 bool
+}
+
+// runFollow registers a standing query on a durserved server and streams its
+// per-append durability verdicts to stdout until interrupted (or until
+// -maxevents). The connection reconnects and re-subscribes on failure; a
+// seam shows as a jump in the printed prefix.
+func runFollow(cfg followConfig) {
+	if cfg.addr == "" || cfg.dataset == "" {
+		fatal(fmt.Errorf("-follow needs -addr and -dataset"))
+	}
+	if cfg.lead != 0 {
+		fatal(fmt.Errorf("-follow does not support -lead (mid-anchored windows have no online verdict)"))
+	}
+	spec := wire.QuerySpec{K: cfg.k, Tau: cfg.tau}
+	if cfg.anchorSet {
+		// An explicit anchor narrows the subscription to one verdict
+		// stream; the default subscribes to both decisions and confirms.
+		switch cfg.anchor {
+		case "look-back", "look-ahead":
+			spec.Anchor = cfg.anchor
+		default:
+			fatal(fmt.Errorf("-follow supports look-back or look-ahead anchors, not %q", cfg.anchor))
+		}
+	}
+	if cfg.intervalSet {
+		spec.Start, spec.End, spec.ExplicitInterval = cfg.start, cfg.end, true
+	}
+	switch {
+	case cfg.scoreExpr != "":
+		spec.Expr = cfg.scoreExpr
+	case cfg.weightsCS != "":
+		for _, p := range strings.Split(cfg.weightsCS, ",") {
+			w, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				fatal(err)
+			}
+			spec.Weights = append(spec.Weights, w)
+		}
+	default:
+		// The dataset lives on the server, so its dimensionality is unknown
+		// here — there is no all-ones default to fall back on.
+		fatal(fmt.Errorf("-follow needs a scorer: -weights or -score"))
+	}
+
+	f, err := wire.Follow(cfg.addr, wire.Request{Dataset: cfg.dataset, QuerySpec: spec}, wire.RetryPolicy{})
+	if err != nil {
+		fatal(err)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		signal.Stop(sig) // a second interrupt kills the process outright
+		f.Close()
+	}()
+
+	enc := json.NewEncoder(os.Stdout)
+	var events, decisions, confirms int
+	closed := false
+	for ev := range f.Events() {
+		events++
+		if cfg.asJSON {
+			if err := enc.Encode(ev); err != nil {
+				fatal(err)
+			}
+		} else {
+			if d := ev.Decision; d != nil {
+				fmt.Printf("prefix=%d\tdecision\tid=%d\ttime=%d\tdurable=%t\trank=%d\n",
+					ev.Prefix, d.ID, d.Time, d.Durable, d.Rank)
+			}
+			for _, c := range ev.Confirms {
+				suffix := ""
+				if c.Truncated {
+					suffix = "\ttruncated"
+				}
+				fmt.Printf("prefix=%d\tconfirm\tid=%d\ttime=%d\tdurable=%t\tbeaten=%d%s\n",
+					ev.Prefix, c.ID, c.Time, c.Durable, c.Beaten, suffix)
+			}
+		}
+		if ev.Decision != nil {
+			decisions++
+		}
+		confirms += len(ev.Confirms)
+		if cfg.maxEvents > 0 && events >= cfg.maxEvents && !closed {
+			// Keep draining: Close flushes the subscription's final
+			// truncated confirmations through the channel before it closes.
+			closed = true
+			f.Close()
+		}
+	}
+	if err := f.Err(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "durquery: follow ended: %d events (%d decisions, %d confirmations), %d reconnects\n",
+		events, decisions, confirms, f.Reconnects())
 }
 
 func fatal(err error) {

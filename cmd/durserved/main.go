@@ -61,6 +61,15 @@
 // overlapping queries forever:
 //
 //	durserved -gen net=network:1000000:4 -shards 16 -queryworkers 8 -cache 4096
+//
+// -subscriptions enables standing queries: protocol-v2 clients subscribe to
+// a live dataset with a scorer, k and tau (durquery -follow is the
+// command-line consumer) and are pushed per-append durability verdicts —
+// instant look-back decisions and delayed look-ahead confirmations — as
+// server-initiated event frames, covering wire appends and the -ingest
+// stdin feed alike:
+//
+//	durgen -kind nba -n 100000 | durserved -live games=2 -ingest games -subscriptions
 package main
 
 import (
@@ -119,6 +128,7 @@ func main() {
 		connTO   = flag.Duration("conntimeout", 0, "per-connection read/write deadline; idle or stalled clients are disconnected after this long (0 = none)")
 		qWorkers = flag.Int("queryworkers", 0, "admit this many concurrent query evaluations (pipelined serving; 0 = serial, one request at a time per connection)")
 		cacheSz  = flag.Int("cache", 0, "shared result cache size in entries; repeated queries at an unchanged data epoch replay without engine work (0 = no cache)")
+		subsOn   = flag.Bool("subscriptions", false, "serve standing queries: protocol-v2 clients may subscribe to live datasets and are pushed per-append durability verdicts")
 		files    keyValue
 		gens     keyValue
 		names    keyValue
@@ -161,6 +171,13 @@ func main() {
 		srv.SetCache(serve.NewCache(*cacheSz))
 		log.Printf("durserved: result cache, %d entries", *cacheSz)
 	}
+	// Standing queries are an operator opt-in: without -subscriptions the
+	// "events" feature is withheld at hello time and subscribe requests fail
+	// with a clear error, while everything else serves unchanged.
+	srv.SetSubscriptions(*subsOn)
+	if *subsOn {
+		log.Printf("durserved: standing-query subscriptions enabled (protocol v2, feature %q)", wire.FeatureEvents)
+	}
 	// The bounded skyband scan keeps S-Band's lazy index build tractable on
 	// adversarial data while staying exact (see DESIGN.md §2).
 	engOpts := core.Options{SkybandScanBudget: 4096}
@@ -171,7 +188,12 @@ func main() {
 		if *shards > 1 {
 			// Build first so the log reports the shard count actually
 			// constructed (cut collapse can yield fewer than requested).
-			se := core.NewShardedEngine(ds, engOpts, shardOpts)
+			q, oerr := durable.Open(durable.FromDataset(ds),
+				durable.WithOptions(engOpts), durable.WithSharding(shardOpts))
+			if oerr != nil {
+				log.Fatalf("durserved: %v", oerr)
+			}
+			se := q.(*core.ShardedEngine)
 			err = srv.AddQuerier(name, se, attrNames[name])
 			suffix = fmt.Sprintf(", %d %s-partitioned time shards", se.NumShards(), strategy)
 		} else {
@@ -294,9 +316,12 @@ func main() {
 			// The monitor's per-record verdicts would swamp the log on a
 			// bulk feed; aggregate them and report the totals at drain
 			// time. Wire appends still return verdicts row by row.
+			// Rows go through the server's append path (not the bare
+			// engine) so standing-query subscribers observe the stdin feed
+			// exactly like wire appends, at exact prefixes.
 			var n, instant, confirmedDur, confirmed int
 			err := data.StreamCSV(os.Stdin, func(t int64, attrs []float64) error {
-				dec, confirms, err := le.Append(t, attrs)
+				dec, confirms, err := srv.AppendRow(*ingest, t, attrs)
 				if err != nil {
 					return err
 				}

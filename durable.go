@@ -12,7 +12,7 @@
 // Quick start:
 //
 //	ds, _ := durable.NewDataset(times, attrs)      // strictly increasing times
-//	eng := durable.New(ds)                          // builds the range top-k index
+//	eng, _ := durable.Open(durable.FromDataset(ds)) // builds the range top-k index
 //	res, _ := eng.DurableTopK(durable.Query{
 //	        K:      3,
 //	        Tau:    3650,                           // e.g. ten years of day ticks
@@ -114,11 +114,24 @@ func NewDataset(times []int64, attrs [][]float64) (*Dataset, error) {
 func NewBuilder(d, capacity int) *Builder { return data.NewBuilder(d, capacity) }
 
 // New builds an engine (and its range top-k index) over ds with default
-// options.
-func New(ds *Dataset) *Engine { return core.NewEngine(ds, Options{}) }
+// options. Thin wrapper over Open(FromDataset(ds)).
+func New(ds *Dataset) *Engine { return mustOpen(FromDataset(ds)).(*Engine) }
 
-// NewWithOptions builds an engine with explicit options.
-func NewWithOptions(ds *Dataset, opts Options) *Engine { return core.NewEngine(ds, opts) }
+// NewWithOptions builds an engine with explicit options. Thin wrapper over
+// Open(FromDataset(ds), WithOptions(opts)).
+func NewWithOptions(ds *Dataset, opts Options) *Engine {
+	return mustOpen(FromDataset(ds), WithOptions(opts)).(*Engine)
+}
+
+// mustOpen backs the historical constructors that cannot return an error;
+// their option combinations are valid by construction.
+func mustOpen(options ...OpenOption) Querier {
+	q, err := Open(options...)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
 
 // ShardedEngine scales durable top-k evaluation horizontally: contiguous
 // time-range shards, one independent engine per shard over a zero-copy
@@ -150,9 +163,10 @@ type Querier = core.Querier
 
 // NewSharded partitions ds into time shards and builds one engine per shard;
 // see ShardOptions for sizing. It shares the Query/Result contract with New:
-// the same queries return the same answers, evaluated shard-parallel.
+// the same queries return the same answers, evaluated shard-parallel. Thin
+// wrapper over Open(FromDataset(ds), WithOptions(opts), WithSharding(shards)).
 func NewSharded(ds *Dataset, opts Options, shards ShardOptions) *ShardedEngine {
-	return core.NewShardedEngine(ds, opts, shards)
+	return mustOpen(FromDataset(ds), WithOptions(opts), WithSharding(shards)).(*ShardedEngine)
 }
 
 // ParseShardStrategy converts "count" or "timespan" to a ShardStrategy.
@@ -176,9 +190,13 @@ type LiveOptions = core.LiveOptions
 
 // NewLive returns an empty live engine for d-dimensional records. Feed it
 // with Append; query it at any time through the same Querier contract as New
-// and NewSharded.
+// and NewSharded. Thin wrapper over Open(FromStream(d), ...).
 func NewLive(d int, opts Options, live LiveOptions) (*LiveEngine, error) {
-	return core.NewLiveEngine(d, opts, live)
+	q, err := Open(FromStream(d), WithOptions(opts), WithLiveOptions(live))
+	if err != nil {
+		return nil, err
+	}
+	return q.(*LiveEngine), nil
 }
 
 // LiveShardedEngine composes live ingestion with time sharding: appends
@@ -205,8 +223,13 @@ const DefaultSealRows = core.DefaultSealRows
 // one); query it at any time through the same Querier contract as New,
 // NewSharded and NewLive. live configures capacity hints and the optional
 // online monitor, which spans seals.
+// Thin wrapper over Open(FromStream(d), ..., WithLiveSharding(shards)).
 func NewLiveSharded(d int, opts Options, live LiveOptions, shards LiveShardOptions) (*LiveShardedEngine, error) {
-	return core.NewLiveShardedEngine(d, opts, live, shards)
+	q, err := Open(FromStream(d), WithOptions(opts), WithLiveOptions(live), WithLiveSharding(shards))
+	if err != nil {
+		return nil, err
+	}
+	return q.(*LiveShardedEngine), nil
 }
 
 // NewLinear returns the preference scorer f(p) = sum w_i * x_i.

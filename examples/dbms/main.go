@@ -49,7 +49,10 @@ func main() {
 		float64(baseStats.PageReads)/float64(max(1, hopStats.PageReads)))
 
 	// Cross-check against the in-memory engine.
-	eng := durable.New(ds)
+	eng, err := durable.Open(durable.FromDataset(ds))
+	if err != nil {
+		log.Fatal(err)
+	}
 	res, err := eng.DurableTopK(durable.Query{K: k, Tau: tau, Start: start, End: hi, Scorer: scorer})
 	if err != nil {
 		log.Fatal(err)

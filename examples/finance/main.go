@@ -20,7 +20,10 @@ func main() {
 	// [P/E, volume, momentum]; ticks advance per observation, so one day
 	// spans `tickers` ticks.
 	ds := datagen.Stocks(5, tickers, days)
-	eng := durable.New(ds)
+	eng, err := durable.Open(durable.FromDataset(ds))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	scorer, err := durable.NewSingleAttr(0, 3) // rank by P/E
 	if err != nil {

@@ -20,7 +20,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng := durable.New(ds)
+	q, err := durable.Open(durable.FromDataset(ds))
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := q.(*durable.Engine) // concrete engine: the windows helpers need eng.Index()
 
 	lo, hi := ds.Span()
 	span := hi - lo

@@ -16,7 +16,10 @@ func main() {
 	// 200k synthetic sessions with 10 heavy-tailed, MinMax-normalized
 	// features (duration, bytes, login counters, error rates, ...).
 	ds := datagen.Network(99, 200_000, 10)
-	eng := durable.New(ds)
+	eng, err := durable.Open(durable.FromDataset(ds))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Analyst preference: emphasize transfer volume (x1), login counters
 	// (x2) and connection duration (x0); mild weight elsewhere.

@@ -25,7 +25,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	eng := durable.New(ds) // builds the range top-k index
+	eng, err := durable.Open(durable.FromDataset(ds)) // builds the range top-k index
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// f(p) = 1.0*x0 + 5.0*x1; k=3; 300-tick durability windows.
 	q := durable.Query{

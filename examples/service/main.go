@@ -62,8 +62,11 @@ func main() {
 	// 1. A linear preference query: who led scoring+playmaking for a tenth
 	// of recorded history?
 	recs, st, err := cl.Query(wire.Request{
-		Dataset: "games", K: 3, Tau: tau,
-		Weights: []float64{1, 0.7, 0},
+		Dataset: "games",
+		QuerySpec: wire.QuerySpec{
+			K: 3, Tau: tau,
+			Weights: []float64{1, 0.7, 0},
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -77,9 +80,12 @@ func main() {
 	// 2. The same exploration with a non-linear scoring expression —
 	// compiled server-side against the dataset's column names.
 	recs, st, err = cl.Query(wire.Request{
-		Dataset: "games", K: 3, Tau: tau,
-		Expr:          "points + 6*log1p(assists) + 2*sqrt(max(rebounds, 0))",
-		WithDurations: true,
+		Dataset: "games",
+		QuerySpec: wire.QuerySpec{
+			K: 3, Tau: tau,
+			Expr:          "points + 6*log1p(assists) + 2*sqrt(max(rebounds, 0))",
+			WithDurations: true,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -93,7 +99,8 @@ func main() {
 
 	// 3. Ask the server-side planner why it picked its strategy.
 	plan, err := cl.Explain(wire.Request{
-		Dataset: "games", K: 3, Tau: tau, Weights: []float64{1, 0.7, 0},
+		Dataset:   "games",
+		QuerySpec: wire.QuerySpec{K: 3, Tau: tau, Weights: []float64{1, 0.7, 0}},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -103,8 +110,11 @@ func main() {
 	// 4. Mid-anchored windows over the wire: records that dominated the
 	// surrounding window, half before and half after their arrival.
 	recs, _, err = cl.Query(wire.Request{
-		Dataset: "games", K: 1, Tau: tau, Lead: tau / 2, Anchor: "general",
-		Weights: []float64{1, 0, 0},
+		Dataset: "games",
+		QuerySpec: wire.QuerySpec{
+			K: 1, Tau: tau, Lead: tau / 2, Anchor: "general",
+			Weights: []float64{1, 0, 0},
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -115,7 +125,8 @@ func main() {
 	// 5. The "stood the test of time" report: which scoring performances
 	// kept their top-1 rank the longest?
 	champs, err := cl.MostDurable(wire.Request{
-		Dataset: "games", K: 1, N: 3, Weights: []float64{1, 0, 0},
+		Dataset:   "games",
+		QuerySpec: wire.QuerySpec{K: 1, N: 3, Weights: []float64{1, 0, 0}},
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -69,7 +69,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng := durable.New(ds)
+	eng, err := durable.Open(durable.FromDataset(ds))
+	if err != nil {
+		log.Fatal(err)
+	}
 	lo, hi := ds.Span()
 	res, err := eng.DurableTopK(durable.Query{K: k, Tau: tau, Start: lo, End: hi, Scorer: scorer})
 	if err != nil {

@@ -17,7 +17,10 @@ func main() {
 	const years = 40
 	days := int(365.25 * years)
 	ds := datagen.Weather(19, days)
-	eng := durable.New(ds)
+	eng, err := durable.Open(durable.FromDataset(ds))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Rank by coldness: f(p) = -temperature. The negative weight makes the
 	// scorer non-monotone, which the tree index handles via MBR bounds (only

@@ -74,9 +74,12 @@ func serveThroughput(rep *StreamReport, ds *data.Dataset, seed int64) error {
 		}
 		start := lo + rng.Int63n(span-iLen+1)
 		return wire.Request{
-			Dataset: "bench", K: defaultK, Tau: tau,
-			Start: start, End: start + iLen, ExplicitInterval: true,
-			Weights: w,
+			Dataset: "bench",
+			QuerySpec: wire.QuerySpec{
+				K: defaultK, Tau: tau,
+				Start: start, End: start + iLen, ExplicitInterval: true,
+				Weights: w,
+			},
 		}
 	}
 

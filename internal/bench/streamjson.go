@@ -95,6 +95,19 @@ type StreamReport struct {
 	ServeWorkers       int                `json:"serve_workers,omitempty"`
 	ServeQueriesPerSec map[string]float64 `json:"queries_per_sec,omitempty"`
 	ServeCacheHitRate  float64            `json:"cache_hit_rate,omitempty"`
+
+	// Standing queries: the first StandingSubRows records fed through the
+	// server's append path with N standing subscriptions attached over
+	// loopback TCP, keyed by subscription count ("1", "16", "256"); each
+	// subscription carries a distinct random scorer, so the appends/sec rows
+	// measure worst-case verdict fan-out (identical scorers would share
+	// their scoring). AppendsPerSec stops its clock only once every
+	// subscriber holds the final append's event; ConfirmLatencyNs is the
+	// mean delay from starting the append that closed a record's look-ahead
+	// window to a subscriber holding the confirmation (see standingbench.go).
+	StandingSubRows          int                `json:"standing_sub_rows,omitempty"`
+	StandingAppendsPerSec    map[string]float64 `json:"standing_appends_per_sec,omitempty"`
+	StandingConfirmLatencyNs map[string]float64 `json:"standing_confirm_latency_ns,omitempty"`
 }
 
 // StreamPerfReport measures the live-ingestion subsystem on the given
@@ -269,6 +282,10 @@ func StreamPerfReport(cfg Config, dsName string) (*StreamReport, error) {
 
 	// Concurrent serving throughput + cache effectiveness over the wire.
 	if err := serveThroughput(rep, ds, cfg.Seed); err != nil {
+		return nil, err
+	}
+	// Standing-query fan-out: appends with 1/16/256 subscriptions attached.
+	if err := standingThroughput(rep, ds, cfg.Seed); err != nil {
 		return nil, err
 	}
 	return rep, nil

@@ -23,9 +23,30 @@ package monitor
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/score"
 )
+
+// satAdd returns a+b saturated at math.MaxInt64; b must be >= 0. Forward
+// windows [p.t, p.t+tau] with a huge tau must never wrap negative, which
+// would confirm candidates prematurely (and mislabel Truncated in Finish).
+func satAdd(a, b int64) int64 {
+	if s := a + b; s >= a {
+		return s
+	}
+	return math.MaxInt64
+}
+
+// satSub returns a-b saturated at math.MinInt64; b must be >= 0. The
+// trailing-window cut t-tau must never wrap positive, which would evict the
+// whole window.
+func satSub(a, b int64) int64 {
+	if s := a - b; s <= a {
+		return s
+	}
+	return math.MinInt64
+}
 
 // Decision is the instant look-back verdict for one arrival.
 type Decision struct {
@@ -121,15 +142,21 @@ func (m *Monitor) Pending() int { return len(m.pending) }
 // before t (windows [p.t, p.t+tau] with p.t+tau < t are complete, since no
 // further arrival can fall inside them).
 func (m *Monitor) Observe(t int64, attrs []float64) (Decision, []Confirmation, error) {
-	if m.started && t <= m.lastTime {
-		return Decision{}, nil, fmt.Errorf("monitor: time %d not after %d", t, m.lastTime)
-	}
 	if d := m.s.Dims(); len(attrs) != d {
 		return Decision{}, nil, fmt.Errorf("monitor: got %d attrs, want %d", len(attrs), d)
 	}
+	return m.ObserveScored(t, m.s.Score(attrs))
+}
+
+// ObserveScored is Observe with the record's score already computed. It lets
+// a caller maintaining many monitors under the same canonical scorer (the
+// subscription registry) score each arrival once and fan the value out.
+func (m *Monitor) ObserveScored(t int64, sc float64) (Decision, []Confirmation, error) {
+	if m.started && t <= m.lastTime {
+		return Decision{}, nil, fmt.Errorf("monitor: time %d not after %d", t, m.lastTime)
+	}
 	m.started = true
 	m.lastTime = t
-	sc := m.s.Score(attrs)
 
 	confirms := m.confirmDue(t)
 
@@ -140,7 +167,7 @@ func (m *Monitor) Observe(t int64, attrs []float64) (Decision, []Confirmation, e
 	}
 
 	// Evict trailing records older than t - tau, then decide instantly.
-	cut := t - m.tau
+	cut := satSub(t, m.tau)
 	for len(m.queue) > 0 && m.queue[0].time < cut {
 		m.win.remove(m.queue[0].key)
 		m.queue = m.queue[1:]
@@ -173,7 +200,7 @@ func (m *Monitor) confirmDue(now int64) []Confirmation {
 		return nil
 	}
 	var out []Confirmation
-	for len(m.pending) > 0 && m.pending[0].time+m.tau < now {
+	for len(m.pending) > 0 && satAdd(m.pending[0].time, m.tau) < now {
 		p := m.pending[0]
 		m.pending = m.pending[1:]
 		beaten, ok := m.ahead.remove(p.key)
@@ -204,7 +231,7 @@ func (m *Monitor) Finish() []Confirmation {
 			ID: p.id, Time: p.time,
 			Durable:   beaten < m.k,
 			Beaten:    beaten,
-			Truncated: p.time+m.tau > m.lastTime,
+			Truncated: satAdd(p.time, m.tau) > m.lastTime,
 		})
 	}
 	m.pending = nil

@@ -296,6 +296,87 @@ func TestFinishThenContinue(t *testing.T) {
 	}
 }
 
+// TestFinishThenObserveNoReemission drives tie-heavy schedules with Finish
+// calls interleaved mid-stream and asserts no record is ever confirmed
+// twice and every record is confirmed exactly once by the end. The
+// subscription registry calls Finish on live monitors, so the
+// Finish-then-Observe path must stay single-emission under every tie
+// schedule.
+func TestFinishThenObserveNoReemission(t *testing.T) {
+	seeds := 200
+	if testing.Short() {
+		seeds = 40
+	}
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		n := 20 + rng.Intn(60)
+		spread := 1 + rng.Intn(4) // heavy ties
+		times, attrs := stream(rng, n, spread)
+		k := 1 + rng.Intn(3)
+		tau := int64(1 + rng.Intn(25))
+		m, err := monitor.New(k, tau, score.MustLinear(1), monitor.Options{TrackAhead: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[int]bool)
+		record := func(cs []monitor.Confirmation) {
+			for _, c := range cs {
+				if seen[c.ID] {
+					t.Fatalf("seed %d: record %d confirmed twice", seed, c.ID)
+				}
+				seen[c.ID] = true
+			}
+		}
+		for i := range times {
+			_, cs, err := m.Observe(times[i], attrs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			record(cs)
+			if rng.Intn(7) == 0 {
+				record(m.Finish())
+			}
+		}
+		record(m.Finish())
+		if len(seen) != n {
+			t.Fatalf("seed %d: confirmed %d of %d records", seed, len(seen), n)
+		}
+	}
+}
+
+// TestHugeTauNoOverflow: a tau near MaxInt64 must behave like an unbounded
+// window — nothing evicts, nothing confirms early, and Finish marks
+// everything truncated — rather than wrapping p.t+tau negative.
+func TestHugeTauNoOverflow(t *testing.T) {
+	const hugeTau = int64(1)<<62 + 12345
+	m, err := monitor.New(1, hugeTau, score.MustLinear(1), monitor.Options{TrackAhead: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []float64{3, 9, 5, 9, 1}
+	for i, v := range vals {
+		dec, cs, err := m.Observe(int64(i+1), []float64{v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cs) != 0 {
+			t.Fatalf("record %d confirmed early under huge tau: %+v", i, cs)
+		}
+		// Nothing may have been evicted from the trailing window.
+		if dec.Window != i+1 {
+			t.Fatalf("record %d window %d, want %d (eviction under huge tau)", i, dec.Window, i+1)
+		}
+	}
+	for _, c := range m.Finish() {
+		if !c.Truncated {
+			t.Fatalf("confirmation %+v not truncated under huge tau", c)
+		}
+	}
+	if m.Len() != len(vals) {
+		t.Fatalf("window len %d, want %d", m.Len(), len(vals))
+	}
+}
+
 func TestAccessors(t *testing.T) {
 	m := mustMonitor(t, 3, 17, monitor.Options{TrackAhead: true})
 	if m.K() != 3 || m.Tau() != 17 || m.Len() != 0 || m.Pending() != 0 {

@@ -1,0 +1,285 @@
+// Package sub maintains standing durable top-k queries over a live append
+// stream — the "continuous top-k" serving mode of Vouzoukidou et al. that
+// the ROADMAP targets. Clients register subscriptions (scorer, k, tau,
+// optional interval filter); every append then yields per-subscription
+// verdicts from a dedicated online monitor: an instant look-back Decision
+// for the new record and delayed look-ahead Confirmations for past records
+// whose windows closed.
+//
+// The registry shares per-append work across subscriptions: all
+// subscriptions whose scorers have the same canonical key
+// (score.CanonicalKey) form a group that scores each arrival exactly once,
+// fanning the value out through monitor.ObserveScored. Subscriptions are
+// keyed to the engine's absolute row count ("prefix"): every emitted event
+// names the exact acknowledged prefix it corresponds to, so a consumer can
+// reproduce any verdict bit-identically by re-running the equivalent
+// durable query over that prefix.
+//
+// The registry is engine-agnostic on purpose: it consumes the committed
+// append stream (Observe) and does not care whether rows land in a
+// LiveEngine or a LiveShardedEngine, nor when shards seal or freeze —
+// those only bump the engine's epoch, never reorder or drop committed
+// rows, so monitor state carries across seals untouched.
+package sub
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/monitor"
+	"repro/internal/score"
+)
+
+// Spec describes one standing query.
+type Spec struct {
+	Scorer score.Scorer
+	K      int
+	Tau    int64
+
+	// Bounded restricts pushed verdicts to records whose arrival time lies
+	// in [Start, End]; the monitor still observes every append to keep its
+	// windows exact.
+	Bounded    bool
+	Start, End int64
+
+	// Decisions pushes the instant look-back verdict per append; Confirms
+	// pushes the delayed look-ahead verdicts. At least one must be set.
+	Decisions bool
+	Confirms  bool
+}
+
+// Event is one batch of verdicts for one subscription, produced by a single
+// append (or by Unsubscribe/Close, which flush truncated confirmations).
+// Record IDs are absolute dataset row indices.
+type Event struct {
+	SubID uint64
+	// Prefix is the engine's committed row count immediately after the
+	// append this event describes.
+	Prefix   int
+	Decision *monitor.Decision
+	Confirms []monitor.Confirmation
+}
+
+// Emit delivers one event to a subscriber. Called with the registry lock
+// held, so implementations must not call back into the registry and should
+// hand off quickly (enqueue, not write).
+type Emit func(Event)
+
+// Registry multiplexes many standing queries over one append stream.
+type Registry struct {
+	mu     sync.Mutex
+	next   uint64
+	prefix int
+	subs   map[uint64]*entry
+	groups map[string]*group // canonical scorer key → shared-scoring group
+	closed bool
+}
+
+type group struct {
+	scorer  score.Scorer
+	members map[uint64]*entry
+}
+
+type entry struct {
+	id   uint64
+	spec Spec
+	base int // absolute row index the monitor's local id 0 maps to
+	mon  *monitor.Monitor
+	emit Emit
+	key  string // canonical scorer key; "" when unkeyed
+}
+
+// NewRegistry returns a registry attached at the given committed row count.
+func NewRegistry(prefix int) *Registry {
+	return &Registry{
+		prefix: prefix,
+		subs:   make(map[uint64]*entry),
+		groups: make(map[string]*group),
+	}
+}
+
+var (
+	ErrClosed     = errors.New("sub: registry closed")
+	ErrNotFound   = errors.New("sub: no such subscription")
+	ErrNoVerdicts = errors.New("sub: subscription must request decisions or confirmations")
+)
+
+// Subscribe registers a standing query and returns its id. Events flow to
+// emit from the next Observe on; the subscription's monitor starts at the
+// current prefix, so verdicts are relative to arrivals from this point.
+func (r *Registry) Subscribe(spec Spec, emit Emit) (uint64, error) {
+	if !spec.Decisions && !spec.Confirms {
+		return 0, ErrNoVerdicts
+	}
+	if spec.Bounded && spec.Start > spec.End {
+		return 0, errors.New("sub: interval start must be <= end")
+	}
+	if emit == nil {
+		return 0, errors.New("sub: emit must not be nil")
+	}
+	mon, err := monitor.New(spec.K, spec.Tau, spec.Scorer, monitor.Options{TrackAhead: spec.Confirms})
+	if err != nil {
+		return 0, fmt.Errorf("sub: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return 0, ErrClosed
+	}
+	r.next++
+	e := &entry{id: r.next, spec: spec, base: r.prefix, mon: mon, emit: emit}
+	if key, ok := score.CanonicalKey(spec.Scorer); ok {
+		e.key = key
+		g := r.groups[key]
+		if g == nil {
+			g = &group{scorer: spec.Scorer, members: make(map[uint64]*entry)}
+			r.groups[key] = g
+		}
+		g.members[e.id] = e
+	} else {
+		// Unkeyed scorers score per subscription; park them in a private
+		// group under an unshareable synthetic key.
+		key := fmt.Sprintf("\x00unkeyed:%d", e.id)
+		e.key = key
+		r.groups[key] = &group{scorer: spec.Scorer, members: map[uint64]*entry{e.id: e}}
+	}
+	r.subs[e.id] = e
+	return e.id, nil
+}
+
+// Unsubscribe drops a subscription. If it tracked confirmations, the still
+// pending look-ahead candidates are flushed as one final event, marked
+// Truncated — nothing observed refuted them, but their windows were cut
+// short (monitor.Finish semantics).
+func (r *Registry) Unsubscribe(id uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropLocked(id)
+}
+
+func (r *Registry) dropLocked(id uint64) error {
+	e, ok := r.subs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	delete(r.subs, id)
+	if g := r.groups[e.key]; g != nil {
+		delete(g.members, id)
+		if len(g.members) == 0 {
+			delete(r.groups, e.key)
+		}
+	}
+	if final := e.finalEvent(r.prefix); final != nil {
+		e.emit(*final)
+	}
+	return nil
+}
+
+// Close drops every subscription, flushing truncated confirmations.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	for id := range r.subs {
+		_ = r.dropLocked(id)
+	}
+}
+
+// Observe ingests one committed append. The caller must present every
+// committed row exactly once, in commit order; times are strictly
+// increasing (enforced by the engines upstream and re-checked by each
+// monitor).
+func (r *Registry) Observe(t int64, attrs []float64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	r.prefix++
+	for _, g := range r.groups {
+		sc := g.scorer.Score(attrs)
+		for _, e := range g.members {
+			dec, confs, err := e.mon.ObserveScored(t, sc)
+			if err != nil {
+				return fmt.Errorf("sub: subscription %d: %w", e.id, err)
+			}
+			if ev := e.event(r.prefix, t, dec, confs); ev != nil {
+				e.emit(*ev)
+			}
+		}
+	}
+	return nil
+}
+
+// event assembles the filtered, id-translated event for one append, or nil
+// when nothing passes the subscription's filters.
+func (e *entry) event(prefix int, t int64, dec monitor.Decision, confs []monitor.Confirmation) *Event {
+	ev := Event{SubID: e.id, Prefix: prefix}
+	if e.spec.Decisions && e.inInterval(t) {
+		dec.ID += e.base
+		ev.Decision = &dec
+	}
+	if e.spec.Confirms {
+		for _, c := range confs {
+			if !e.inInterval(c.Time) {
+				continue
+			}
+			c.ID += e.base
+			ev.Confirms = append(ev.Confirms, c)
+		}
+	}
+	if ev.Decision == nil && len(ev.Confirms) == 0 {
+		return nil
+	}
+	return &ev
+}
+
+// finalEvent flushes the monitor's pending candidates on teardown, or nil
+// if nothing was pending or confirmations were not requested.
+func (e *entry) finalEvent(prefix int) *Event {
+	if !e.spec.Confirms {
+		return nil
+	}
+	ev := Event{SubID: e.id, Prefix: prefix}
+	for _, c := range e.mon.Finish() {
+		if !e.inInterval(c.Time) {
+			continue
+		}
+		c.ID += e.base
+		ev.Confirms = append(ev.Confirms, c)
+	}
+	if len(ev.Confirms) == 0 {
+		return nil
+	}
+	return &ev
+}
+
+func (e *entry) inInterval(t int64) bool {
+	return !e.spec.Bounded || (t >= e.spec.Start && t <= e.spec.End)
+}
+
+// Len returns the number of active subscriptions.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.subs)
+}
+
+// Groups returns the number of shared-scoring groups currently active —
+// subscriptions with the same canonical scorer count once.
+func (r *Registry) Groups() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.groups)
+}
+
+// Prefix returns the committed row count the registry has observed through.
+func (r *Registry) Prefix() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.prefix
+}

@@ -1,0 +1,259 @@
+package sub
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/monitor"
+	"repro/internal/score"
+)
+
+// countingScorer counts Score invocations and shares a canonical key with
+// every other countingScorer built over the same weights, proving the
+// registry scores once per group, not once per subscription.
+type countingScorer struct {
+	inner *score.Linear
+	calls *int
+}
+
+func (c *countingScorer) Score(a []float64) float64 { *c.calls++; return c.inner.Score(a) }
+func (c *countingScorer) Dims() int                 { return c.inner.Dims() }
+func (c *countingScorer) CanonicalKey() string      { return c.inner.CanonicalKey() }
+
+func feed(rng *rand.Rand, n, spread int) ([]int64, [][]float64) {
+	times := make([]int64, n)
+	attrs := make([][]float64, n)
+	t := int64(0)
+	for i := 0; i < n; i++ {
+		t += int64(1 + rng.Intn(3))
+		times[i] = t
+		attrs[i] = []float64{float64(rng.Intn(spread)), rng.Float64()}
+	}
+	return times, attrs
+}
+
+// TestMatchesStandaloneMonitor: a subscription's events must equal a
+// dedicated monitor fed the same stream — the registry adds routing and
+// shared scoring, never different verdicts.
+func TestMatchesStandaloneMonitor(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	times, attrs := feed(rng, 300, 6)
+	s := score.MustLinear(1, 0.25)
+
+	ref, err := monitor.New(3, 20, s, monitor.Options{TrackAhead: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRegistry(0)
+	var got []Event
+	id, err := r.Subscribe(Spec{Scorer: s, K: 3, Tau: 20, Decisions: true, Confirms: true},
+		func(ev Event) { got = append(got, ev) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want []Event
+	for i := range times {
+		dec, confs, err := ref.Observe(times[i], attrs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := Event{SubID: id, Prefix: i + 1, Decision: &dec, Confirms: confs}
+		want = append(want, ev)
+		if err := r.Observe(times[i], attrs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("event %d:\n got  %+v\n want %+v", i, got[i], want[i])
+		}
+	}
+
+	// Teardown flushes the same pending set Finish would.
+	wantFinal := ref.Finish()
+	var final []Event
+	r.subs[id].emit = func(ev Event) { final = append(final, ev) }
+	if err := r.Unsubscribe(id); err != nil {
+		t.Fatal(err)
+	}
+	if len(final) != 1 || !reflect.DeepEqual(final[0].Confirms, wantFinal) {
+		t.Fatalf("final flush %+v, want confirms %+v", final, wantFinal)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("registry holds %d subscriptions after unsubscribe", r.Len())
+	}
+}
+
+// TestSharedScoringByCanonicalKey: 16 subscriptions over the same canonical
+// scorer must score each append exactly once; a subscription with different
+// weights forms its own group.
+func TestSharedScoringByCanonicalKey(t *testing.T) {
+	r := NewRegistry(0)
+	var calls int
+	const members = 16
+	for i := 0; i < members; i++ {
+		cs := &countingScorer{inner: score.MustLinear(1, 2), calls: &calls}
+		if _, err := r.Subscribe(Spec{Scorer: cs, K: 1 + i%3, Tau: int64(5 + i), Decisions: true, Confirms: true},
+			func(Event) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var otherCalls int
+	other := &countingScorer{inner: score.MustLinear(2, 1), calls: &otherCalls}
+	if _, err := r.Subscribe(Spec{Scorer: other, K: 1, Tau: 5, Decisions: true}, func(Event) {}); err != nil {
+		t.Fatal(err)
+	}
+	if g := r.Groups(); g != 2 {
+		t.Fatalf("%d groups, want 2", g)
+	}
+	const appends = 50
+	for i := 1; i <= appends; i++ {
+		if err := r.Observe(int64(i), []float64{float64(i % 7), 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != appends {
+		t.Fatalf("shared group scored %d times over %d appends (want one per append, not %d)",
+			calls, appends, appends*members)
+	}
+	if otherCalls != appends {
+		t.Fatalf("singleton group scored %d times, want %d", otherCalls, appends)
+	}
+}
+
+// TestUnkeyedScorersDoNotShare: scorers without a canonical key must stay in
+// private groups (sharing would require proving the functions equal).
+func TestUnkeyedScorersDoNotShare(t *testing.T) {
+	r := NewRegistry(0)
+	mk := func() score.Scorer {
+		s, err := score.NewMonotoneCombo([]float64{1, 1}, func(x float64) float64 { return x * x }, "sq")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	if _, err := r.Subscribe(Spec{Scorer: mk(), K: 1, Tau: 5, Decisions: true}, func(Event) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Subscribe(Spec{Scorer: mk(), K: 1, Tau: 5, Decisions: true}, func(Event) {}); err != nil {
+		t.Fatal(err)
+	}
+	if g := r.Groups(); g != 2 {
+		t.Fatalf("unkeyed scorers merged into %d group(s), want 2", g)
+	}
+}
+
+// TestIntervalFilterAndBase: a bounded subscription registered mid-stream
+// only reports verdicts for records inside its interval, with IDs offset to
+// absolute row indices.
+func TestIntervalFilterAndBase(t *testing.T) {
+	r := NewRegistry(0)
+	s := score.MustLinear(1)
+	// Rows 1..10 exist before this subscription attaches.
+	for i := 1; i <= 10; i++ {
+		if err := r.Observe(int64(i), []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var evs []Event
+	_, err := r.Subscribe(Spec{
+		Scorer: s, K: 1, Tau: 3,
+		Bounded: true, Start: 13, End: 16,
+		Decisions: true, Confirms: true,
+	}, func(ev Event) { evs = append(evs, ev) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 11; i <= 20; i++ {
+		if err := r.Observe(int64(i), []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var decIDs, confIDs []int
+	for _, ev := range evs {
+		if ev.Decision != nil {
+			decIDs = append(decIDs, ev.Decision.ID)
+			if ev.Decision.Time < 13 || ev.Decision.Time > 16 {
+				t.Fatalf("decision outside interval: %+v", ev.Decision)
+			}
+		}
+		for _, c := range ev.Confirms {
+			confIDs = append(confIDs, c.ID)
+		}
+	}
+	// Times 13..16 are rows 12..15 (0-based): the base offset must map the
+	// monitor's local ids (2..5) onto the absolute ones.
+	if want := []int{12, 13, 14, 15}; !reflect.DeepEqual(decIDs, want) {
+		t.Fatalf("decision ids %v, want %v", decIDs, want)
+	}
+	if want := []int{12, 13, 14, 15}; !reflect.DeepEqual(confIDs, want) {
+		t.Fatalf("confirmation ids %v, want %v", confIDs, want)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	r := NewRegistry(0)
+	s := score.MustLinear(1)
+	if _, err := r.Subscribe(Spec{Scorer: s, K: 1, Tau: 5}, func(Event) {}); err != ErrNoVerdicts {
+		t.Fatalf("no-verdict spec: %v", err)
+	}
+	if _, err := r.Subscribe(Spec{Scorer: s, K: 0, Tau: 5, Decisions: true}, func(Event) {}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := r.Subscribe(Spec{Scorer: s, K: 1, Tau: 5, Bounded: true, Start: 9, End: 3, Decisions: true}, func(Event) {}); err == nil {
+		t.Fatal("inverted interval accepted")
+	}
+	if err := r.Unsubscribe(99); err != ErrNotFound {
+		t.Fatalf("unknown unsubscribe: %v", err)
+	}
+	r.Close()
+	if _, err := r.Subscribe(Spec{Scorer: s, K: 1, Tau: 5, Decisions: true}, func(Event) {}); err != ErrClosed {
+		t.Fatalf("subscribe after close: %v", err)
+	}
+	if err := r.Observe(1, []float64{1}); err != ErrClosed {
+		t.Fatalf("observe after close: %v", err)
+	}
+}
+
+// TestCloseFlushesAll: Close must flush every subscription's pending
+// confirmations, truncated.
+func TestCloseFlushesAll(t *testing.T) {
+	r := NewRegistry(0)
+	s := score.MustLinear(1)
+	flushed := make(map[uint64]int)
+	for i := 0; i < 4; i++ {
+		var id uint64
+		got, err := r.Subscribe(Spec{Scorer: s, K: 1, Tau: 1000, Confirms: true}, func(ev Event) {
+			for _, c := range ev.Confirms {
+				if !c.Truncated {
+					panic("pending confirmation not truncated on close")
+				}
+			}
+			flushed[id] += len(ev.Confirms)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		id = got
+	}
+	for i := 1; i <= 6; i++ {
+		if err := r.Observe(int64(i), []float64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Close()
+	if len(flushed) != 4 {
+		t.Fatalf("flushed %d subscriptions, want 4", len(flushed))
+	}
+	for id, n := range flushed {
+		if n != 6 {
+			t.Fatalf("subscription %d flushed %d confirmations, want 6", id, n)
+		}
+	}
+}

@@ -28,6 +28,20 @@ type Client struct {
 	br   *bufio.Reader
 
 	retries atomic.Int64
+
+	// Protocol v2 session state (see client_v2.go). All nil/zero until Hello
+	// negotiates v2; the v1 request path never touches it. respCh non-nil is
+	// the "reader goroutine owns the connection's read side" signal: Do then
+	// receives its response from the demultiplexer instead of the socket.
+	respCh   chan *Response
+	readDone chan struct{}
+	features []string
+
+	subMu   sync.Mutex
+	subs    map[uint64]*Subscription
+	pending map[uint64][]Event // early events for a subscribe still in flight
+	maxSub  uint64
+	readErr error
 }
 
 // Dial connects to a durable top-k server at addr (host:port).
@@ -132,9 +146,25 @@ func (c *Client) Close() error { return c.conn.Close() }
 // Do sends one request and waits for its response. Protocol-level failures
 // return an error; request-level failures are reported in Response.Error.
 func (c *Client) Do(req Request) (*Response, error) {
-	req.V = Version
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.respCh != nil {
+		// V2 session: the reader goroutine owns the read side and routes the
+		// response here, interleaved event frames notwithstanding.
+		req.V = Version2
+		if err := WriteFrame(c.bw, &req); err != nil {
+			return nil, err
+		}
+		if err := c.bw.Flush(); err != nil {
+			return nil, err
+		}
+		resp, ok := <-c.respCh
+		if !ok {
+			return nil, c.readError()
+		}
+		return resp, nil
+	}
+	req.V = Version
 	if err := WriteFrame(c.bw, &req); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,376 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// subEventBuffer is each client subscription's event channel capacity. The
+// reader goroutine never blocks delivering into it — a consumer that stops
+// draining loses events locally (counted by Subscription.Dropped) instead of
+// stalling responses for the whole client.
+const subEventBuffer = 1024
+
+// Hello negotiates the connection's protocol version, offering the given
+// feature flags (FeatureEvents enables subscriptions). It returns the
+// negotiated version and the feature subset the server accepted. Against a
+// v1 server the call fails with a version error and the connection remains a
+// perfectly good v1 session — clients that can work without subscriptions
+// should treat that as a downgrade, not a failure.
+//
+// When v2 is negotiated the client hands its read side to a demultiplexer
+// goroutine: responses still arrive strictly in request order, with
+// server-pushed event frames routed to their subscriptions in between. The
+// v1 request methods all keep working unchanged on top.
+func (c *Client) Hello(features ...string) (int, []string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.respCh != nil {
+		return 0, nil, errors.New("wire: hello already negotiated on this connection")
+	}
+	req := Request{V: Version2, Op: OpHello, Features: features}
+	if err := WriteFrame(c.bw, &req); err != nil {
+		return 0, nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, nil, err
+	}
+	var resp Response
+	if err := ReadFrame(c.br, &resp); err != nil {
+		return 0, nil, err
+	}
+	if !resp.OK {
+		return 0, nil, &ServerError{Msg: resp.Error, Transient: resp.Transient}
+	}
+	if resp.V >= Version2 {
+		c.features = resp.Features
+		c.respCh = make(chan *Response, 1)
+		c.readDone = make(chan struct{})
+		c.subMu.Lock()
+		c.subs = make(map[uint64]*Subscription)
+		c.pending = make(map[uint64][]Event)
+		c.subMu.Unlock()
+		go c.readLoop()
+	}
+	return resp.V, resp.Features, nil
+}
+
+// V2 reports whether this connection negotiated protocol v2.
+func (c *Client) V2() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.respCh != nil
+}
+
+// Features returns the feature flags the server accepted at Hello.
+func (c *Client) Features() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.features
+}
+
+// readLoop demultiplexes the connection's inbound frames on a v2 session:
+// event frames (non-empty "event" key) route to their subscription, anything
+// else is the response to the single in-flight request.
+func (c *Client) readLoop() {
+	defer close(c.readDone)
+	for {
+		payload, err := ReadRawFrame(c.br)
+		if err != nil {
+			c.failRead(err)
+			return
+		}
+		var probe struct {
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal(payload, &probe); err != nil {
+			c.failRead(fmt.Errorf("wire: decoding frame: %w", err))
+			return
+		}
+		if probe.Event != "" {
+			var ev Event
+			if err := json.Unmarshal(payload, &ev); err != nil {
+				c.failRead(fmt.Errorf("wire: decoding event frame: %w", err))
+				return
+			}
+			c.dispatchEvent(&ev)
+			continue
+		}
+		var resp Response
+		if err := json.Unmarshal(payload, &resp); err != nil {
+			c.failRead(fmt.Errorf("wire: decoding frame: %w", err))
+			return
+		}
+		// Buffered (capacity 1): with one request in flight there is at most
+		// one routable response, so this never blocks the demultiplexer.
+		c.respCh <- &resp
+	}
+}
+
+// failRead records the terminal read error, wakes the in-flight request (if
+// any) and closes every subscription's event channel so consumers observe
+// the end of their streams.
+func (c *Client) failRead(err error) {
+	c.subMu.Lock()
+	c.readErr = err
+	subs := c.subs
+	c.subs = make(map[uint64]*Subscription)
+	c.pending = nil
+	c.subMu.Unlock()
+	close(c.respCh)
+	for _, s := range subs {
+		close(s.events)
+	}
+}
+
+// readError renders the reason the demultiplexer stopped.
+func (c *Client) readError() error {
+	c.subMu.Lock()
+	defer c.subMu.Unlock()
+	if c.readErr != nil {
+		return c.readErr
+	}
+	return errors.New("wire: connection closed")
+}
+
+// dispatchEvent routes one event frame. Events can legitimately arrive for a
+// subscription whose subscribe response is still in flight — the server may
+// interleave an append's verdicts ahead of the acknowledgment — so unknown
+// ids above the acknowledged watermark are parked and replayed, in order,
+// when Subscribe learns its id. Ids at or below the watermark belong to
+// subscriptions already torn down; those frames are dropped.
+func (c *Client) dispatchEvent(ev *Event) {
+	c.subMu.Lock()
+	if s := c.subs[ev.SubID]; s != nil {
+		c.subMu.Unlock()
+		s.deliver(*ev)
+		return
+	}
+	if c.pending != nil && ev.SubID > c.maxSub {
+		c.pending[ev.SubID] = append(c.pending[ev.SubID], *ev)
+	}
+	c.subMu.Unlock()
+}
+
+// Subscription is a standing durable top-k query held on one client
+// connection. Events arrive on Events() in append order, gap-free unless the
+// consumer falls behind (see Dropped).
+type Subscription struct {
+	id      uint64
+	c       *Client
+	events  chan Event
+	dropped atomic.Int64
+}
+
+func (s *Subscription) deliver(ev Event) {
+	select {
+	case s.events <- ev:
+	default:
+		s.dropped.Add(1)
+	}
+}
+
+// ID returns the server-assigned (connection-local) subscription id.
+func (s *Subscription) ID() uint64 { return s.id }
+
+// Events is the subscription's verdict stream. It closes when the
+// subscription is dropped (Unsubscribe) or the connection dies; consumers
+// should drain promptly — the channel buffers subEventBuffer frames and the
+// client drops, counting, beyond that.
+func (s *Subscription) Events() <-chan Event { return s.events }
+
+// Dropped reports how many events were discarded because the consumer let
+// the channel buffer fill. The server-side stream itself is gap-free: a
+// nonzero count means this process fell behind, not the protocol.
+func (s *Subscription) Dropped() int64 { return s.dropped.Load() }
+
+// Subscribe registers a standing query on a live dataset and returns its
+// event stream. The request carries Dataset plus the query parameters
+// (K, Tau, Weights or Expr, optional Anchor and interval); see the server's
+// subscribe contract for what is accepted. Requires a v2 session with the
+// events feature (Hello(FeatureEvents)).
+func (c *Client) Subscribe(req Request) (*Subscription, error) {
+	if !c.V2() {
+		return nil, errors.New("wire: subscribe requires protocol v2 (call Hello first)")
+	}
+	req.Op = OpSubscribe
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	s := &Subscription{id: resp.SubID, c: c, events: make(chan Event, subEventBuffer)}
+	c.subMu.Lock()
+	if c.subs == nil {
+		// The reader died between the response and here; the stream is over
+		// before it began.
+		c.subMu.Unlock()
+		close(s.events)
+		return s, nil
+	}
+	if resp.SubID > c.maxSub {
+		c.maxSub = resp.SubID
+	}
+	for _, ev := range c.pending[resp.SubID] {
+		s.deliver(ev)
+	}
+	delete(c.pending, resp.SubID)
+	c.subs[resp.SubID] = s
+	c.subMu.Unlock()
+	return s, nil
+}
+
+// Unsubscribe drops a standing query. The server flushes the subscription's
+// still-pending look-ahead candidates as one final truncated event before
+// acknowledging, so by the time Unsubscribe returns the final event has been
+// delivered and the subscription's channel is closed.
+func (c *Client) Unsubscribe(s *Subscription) error {
+	_, err := c.do(Request{Op: OpUnsubscribe, SubID: s.id})
+	if err != nil {
+		return err
+	}
+	// The acknowledgment was routed by the reader after every earlier frame —
+	// the final event included — so closing here cannot race a delivery.
+	c.subMu.Lock()
+	_, live := c.subs[s.id]
+	delete(c.subs, s.id)
+	c.subMu.Unlock()
+	if live {
+		close(s.events)
+	}
+	return nil
+}
+
+// Follower maintains a standing query across reconnects: it dials, upgrades
+// to v2, subscribes, and forwards events to one channel; when the connection
+// dies it re-dials under the retry policy and re-subscribes. Each reconnect
+// re-registers the query fresh — the new subscription's monitor starts from
+// the dataset's then-current prefix, so verdicts for rows appended while
+// disconnected are not replayed. Consumers detect the seam by the jump in
+// Event.Prefix (and can re-query the interval to backfill).
+type Follower struct {
+	addr   string
+	req    Request
+	policy RetryPolicy
+
+	events chan Event
+	stop   chan struct{}
+
+	reconnects atomic.Int64
+	err        atomic.Pointer[error]
+}
+
+// Follow starts a follower for the given subscribe request against addr.
+// The initial connection is established synchronously so misconfiguration
+// (bad address, unknown dataset, invalid query) fails fast; subsequent
+// reconnects happen in the background.
+func Follow(addr string, req Request, p RetryPolicy) (*Follower, error) {
+	p = p.withDefaults()
+	f := &Follower{
+		addr: addr, req: req, policy: p,
+		events: make(chan Event, subEventBuffer),
+		stop:   make(chan struct{}),
+	}
+	c, s, err := f.connect()
+	if err != nil {
+		return nil, err
+	}
+	go f.run(c, s)
+	return f, nil
+}
+
+// connect dials, negotiates v2 with events, and subscribes.
+func (f *Follower) connect() (*Client, *Subscription, error) {
+	c, err := DialRetry(f.addr, f.policy)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, _, err := c.Hello(FeatureEvents); err != nil {
+		c.Close()
+		return nil, nil, err
+	}
+	s, err := c.Subscribe(f.req)
+	if err != nil {
+		c.Close()
+		return nil, nil, err
+	}
+	return c, s, nil
+}
+
+func (f *Follower) run(c *Client, s *Subscription) {
+	defer close(f.events)
+	for {
+		if !f.forward(c, s) {
+			c.Close()
+			return
+		}
+		// The subscription's stream ended: the connection is gone. Re-dial
+		// and re-subscribe until stopped or the policy gives up.
+		c.Close()
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		var err error
+		c, s, err = f.connect()
+		if err != nil {
+			f.err.Store(&err)
+			return
+		}
+		f.reconnects.Add(1)
+	}
+}
+
+// forward drains one subscription until its stream closes (false to stop
+// following entirely, true to reconnect).
+func (f *Follower) forward(c *Client, s *Subscription) bool {
+	for {
+		select {
+		case <-f.stop:
+			// Best-effort clean teardown: the final truncated event is
+			// forwarded if it fits, then the stream ends.
+			if err := c.Unsubscribe(s); err == nil {
+				for ev := range s.Events() {
+					select {
+					case f.events <- ev:
+					default:
+					}
+				}
+			}
+			return false
+		case ev, ok := <-s.Events():
+			if !ok {
+				return true
+			}
+			select {
+			case f.events <- ev:
+			case <-f.stop:
+				return false
+			}
+		}
+	}
+}
+
+// Events is the follower's merged verdict stream across reconnects. It
+// closes when Close is called or reconnection gives up (see Err).
+func (f *Follower) Events() <-chan Event { return f.events }
+
+// Reconnects reports how many times the follower re-established its
+// subscription after losing a connection.
+func (f *Follower) Reconnects() int64 { return f.reconnects.Load() }
+
+// Err reports why the follower stopped, or nil if it is running or was
+// closed deliberately.
+func (f *Follower) Err() error {
+	if p := f.err.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Close stops following and closes the event stream. Safe to call once.
+func (f *Follower) Close() {
+	close(f.stop)
+}

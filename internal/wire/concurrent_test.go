@@ -53,7 +53,7 @@ func TestPipelinedOrdering(t *testing.T) {
 	const pairs = 16
 	for i := 0; i < pairs; i++ {
 		q := Request{V: Version, Op: OpQuery, Dataset: "games",
-			K: 1 + i%4, Tau: 10, Weights: []float64{1, 0.5}}
+			QuerySpec: QuerySpec{K: 1 + i%4, Tau: 10, Weights: []float64{1, 0.5}}}
 		if err := WriteFrame(conn, &q); err != nil {
 			t.Fatal(err)
 		}
@@ -99,7 +99,8 @@ func TestExplicitIntervalZero(t *testing.T) {
 	eng := core.NewEngine(ds, core.Options{})
 	scorer := mustScorer(t, 1)
 
-	base := Request{V: Version, Op: OpQuery, Dataset: "zero", K: 2, Tau: 3, Weights: []float64{1}}
+	base := Request{V: Version, Op: OpQuery, Dataset: "zero",
+		QuerySpec: QuerySpec{K: 2, Tau: 3, Weights: []float64{1}}}
 
 	legacy := srv.handle(&base)
 	if !legacy.OK {
@@ -203,8 +204,8 @@ func TestResultCacheEpochInvalidation(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	req := Request{V: Version, Op: OpQuery, Dataset: "live",
-		K: 2, Tau: 4, Start: 1, End: 20, ExplicitInterval: true, Weights: []float64{1}}
+	req := Request{V: Version, Op: OpQuery, Dataset: "live", QuerySpec: QuerySpec{
+		K: 2, Tau: 4, Start: 1, End: 20, ExplicitInterval: true, Weights: []float64{1}}}
 
 	r1 := srv.handle(&req)
 	if !r1.OK {
@@ -247,25 +248,25 @@ func TestExprCompileCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s1, err := requestScorer(&Request{Expr: "points + 2*assists"}, sv)
+	s1, err := requestScorer(&Request{QuerySpec: QuerySpec{Expr: "points + 2*assists"}}, sv)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := requestScorer(&Request{Expr: "points + 2*assists"}, sv)
+	s2, err := requestScorer(&Request{QuerySpec: QuerySpec{Expr: "points + 2*assists"}}, sv)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s1 != s2 {
 		t.Fatal("identical sources compiled twice; cache missed")
 	}
-	s3, err := requestScorer(&Request{Expr: "points"}, sv)
+	s3, err := requestScorer(&Request{QuerySpec: QuerySpec{Expr: "points"}}, sv)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s3 == s1 {
 		t.Fatal("distinct sources collided in the compile cache")
 	}
-	if _, err := requestScorer(&Request{Expr: "points +"}, sv); err == nil {
+	if _, err := requestScorer(&Request{QuerySpec: QuerySpec{Expr: "points +"}}, sv); err == nil {
 		t.Fatal("invalid expression compiled")
 	}
 }
@@ -340,11 +341,11 @@ func TestConcurrentServingStress(t *testing.T) {
 					return
 				default:
 				}
-				req := Request{Dataset: "stream",
+				req := Request{Dataset: "stream", QuerySpec: QuerySpec{
 					K:       1 + qrng.Intn(5),
 					Tau:     int64(5 + qrng.Intn(20)),
 					Weights: weightPool[qrng.Intn(len(weightPool))],
-				}
+				}}
 				req.Algorithm = algoPool[qrng.Intn(len(algoPool))]
 				if max := lastTime.Load(); qrng.Intn(2) == 0 && max > 2 {
 					a := 1 + qrng.Int63n(max-1)
@@ -405,15 +406,16 @@ func TestConcurrentServingStress(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			req := Request{Dataset: "stream", K: 3, Tau: 20, Algorithm: algo,
-				Weights: []float64{1, 0.5}, WithDurations: algo == "s-hop"}
+			req := Request{Dataset: "stream", QuerySpec: QuerySpec{K: 3, Tau: 20, Algorithm: algo,
+				Weights: []float64{1, 0.5}, WithDurations: algo == "s-hop"}}
 			q := core.Query{K: 3, Tau: 20, Start: 1, End: span, Algorithm: alg,
 				Scorer: mustScorer(t, 1, 0.5), WithDurations: algo == "s-hop"}
 			checkOne(eng, span, req, q)
 		}
 		// Look-ahead through the default strategy, and the most-durable
 		// report, so both cached handlers face the moving dataset.
-		req := Request{Dataset: "stream", K: 2, Tau: 15, Anchor: "look-ahead", Weights: []float64{0.2, 2}}
+		req := Request{Dataset: "stream",
+			QuerySpec: QuerySpec{K: 2, Tau: 15, Anchor: "look-ahead", Weights: []float64{0.2, 2}}}
 		q := core.Query{K: 2, Tau: 15, Start: 1, End: span, Anchor: core.LookAhead,
 			Scorer: mustScorer(t, 0.2, 2)}
 		checkOne(eng, span, req, q)
@@ -423,7 +425,8 @@ func TestConcurrentServingStress(t *testing.T) {
 			t.Fatal(err)
 		}
 		for round := 0; round < 2; round++ {
-			recs, err := checker.MostDurable(Request{Dataset: "stream", K: 3, N: 5, Weights: []float64{1, 0.5}})
+			recs, err := checker.MostDurable(Request{Dataset: "stream",
+				QuerySpec: QuerySpec{K: 3, N: 5, Weights: []float64{1, 0.5}}})
 			if err != nil {
 				t.Fatalf("most-durable round %d: %v", round, err)
 			}

@@ -1,0 +1,126 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"testing"
+)
+
+// The golden frames below are byte captures of v1 requests as the
+// pre-QuerySpec god-struct marshaled them. The QuerySpec extraction must not
+// move, rename or reorder any JSON key: v1 servers and clients in the field
+// parse these exact bytes, and the embedded-struct refactor is only
+// backward compatible if marshaling reproduces them bit-for-bit.
+var goldenV1Frames = []struct {
+	name string
+	req  Request
+	json string
+}{
+	{
+		name: "query with weights and explicit interval",
+		req: Request{V: Version, Op: OpQuery, Dataset: "games", QuerySpec: QuerySpec{
+			K: 3, Tau: 60, Start: 5, End: 90, ExplicitInterval: true,
+			Weights: []float64{1, 0.5},
+		}},
+		json: `{"v":1,"op":"query","dataset":"games","k":3,"tau":60,"start":5,"end":90,"explicitInterval":true,"weights":[1,0.5]}`,
+	},
+	{
+		name: "most-durable with expression and anchor",
+		req: Request{V: Version, Op: OpMostDurable, Dataset: "games", QuerySpec: QuerySpec{
+			K: 1, N: 5, Anchor: "look-ahead", Expr: "points + log1p(assists)",
+		}},
+		json: `{"v":1,"op":"most-durable","dataset":"games","k":1,"n":5,"anchor":"look-ahead","expr":"points + log1p(assists)"}`,
+	},
+	{
+		name: "explain with every scalar knob",
+		req: Request{V: Version, Op: OpExplain, Dataset: "d", QuerySpec: QuerySpec{
+			K: 2, Tau: 10, Lead: 4, Anchor: "general", Algorithm: "s-hop",
+			Weights: []float64{1}, WithDurations: true,
+		}},
+		json: `{"v":1,"op":"explain","dataset":"d","k":2,"tau":10,"lead":4,"anchor":"general","algorithm":"s-hop","weights":[1],"withDurations":true}`,
+	},
+	{
+		name: "append batch",
+		req: Request{V: Version, Op: OpAppend, Dataset: "stream",
+			Rows: []IngestRow{{Time: 7, Attrs: []float64{1, 2}}, {Time: 9, Attrs: []float64{3, 4}}}},
+		json: `{"v":1,"op":"append","dataset":"stream","rows":[{"time":7,"attrs":[1,2]},{"time":9,"attrs":[3,4]}]}`,
+	},
+	{
+		name: "ping carries nothing extra",
+		req:  Request{V: Version, Op: OpPing},
+		json: `{"v":1,"op":"ping"}`,
+	},
+}
+
+// TestGoldenV1RequestFrames: marshaling a post-refactor Request must emit the
+// pre-refactor bytes, and parsing the pre-refactor bytes must rebuild the
+// identical struct.
+func TestGoldenV1RequestFrames(t *testing.T) {
+	for _, g := range goldenV1Frames {
+		t.Run(g.name, func(t *testing.T) {
+			got, err := json.Marshal(g.req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != g.json {
+				t.Fatalf("marshal drifted from the v1 capture:\n got  %s\n want %s", got, g.json)
+			}
+			var back Request
+			if err := json.Unmarshal([]byte(g.json), &back); err != nil {
+				t.Fatal(err)
+			}
+			reGot, err := json.Marshal(back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(reGot, got) {
+				t.Fatalf("unmarshal/marshal round trip drifted:\n got  %s\n want %s", reGot, got)
+			}
+		})
+	}
+}
+
+// TestGoldenV1WireFraming pins the full frame encoding (4-byte big-endian
+// length prefix + JSON payload) for one representative request.
+func TestGoldenV1WireFraming(t *testing.T) {
+	g := goldenV1Frames[0]
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &g.req); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	if len(frame) < 4 {
+		t.Fatalf("frame too short: %d bytes", len(frame))
+	}
+	if n := binary.BigEndian.Uint32(frame[:4]); int(n) != len(g.json) {
+		t.Fatalf("length prefix %d, payload is %d bytes", n, len(g.json))
+	}
+	if string(frame[4:]) != g.json {
+		t.Fatalf("payload drifted:\n got  %s\n want %s", frame[4:], g.json)
+	}
+}
+
+// TestV2FieldsMarshalAway: the fields added for protocol v2 must be
+// invisible on v1 frames — a v1 request marshals without features/subId and
+// a v1 response without them either, so old peers never see unknown keys.
+func TestV2FieldsMarshalAway(t *testing.T) {
+	b, err := json.Marshal(Request{V: Version, Op: OpPing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"features", "subId"} {
+		if bytes.Contains(b, []byte(key)) {
+			t.Fatalf("v1 request leaks v2 key %q: %s", key, b)
+		}
+	}
+	rb, err := json.Marshal(Response{V: Version, OK: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"features", "subId", "event"} {
+		if bytes.Contains(rb, []byte(key)) {
+			t.Fatalf("v1 response leaks v2 key %q: %s", key, rb)
+		}
+	}
+}

@@ -94,7 +94,7 @@ func TestGracefulCloseWithIdleConnections(t *testing.T) {
 	go func() {
 		defer close(stop)
 		for {
-			if _, _, err := busy.Query(Request{Dataset: "games", K: 2, Tau: 50, Weights: []float64{1, 1}}); err != nil {
+			if _, _, err := busy.Query(Request{Dataset: "games", QuerySpec: QuerySpec{K: 2, Tau: 50, Weights: []float64{1, 1}}}); err != nil {
 				return // server shut down mid-stream: expected
 			}
 		}
@@ -320,7 +320,7 @@ func TestAddLiveQuerier(t *testing.T) {
 // matching on the string keep working.
 func TestServerErrorRendering(t *testing.T) {
 	_, cl := startServer(t)
-	_, _, err := cl.Query(Request{Dataset: "nope", K: 1, Tau: 1, Weights: []float64{1, 1}})
+	_, _, err := cl.Query(Request{Dataset: "nope", QuerySpec: QuerySpec{K: 1, Tau: 1, Weights: []float64{1, 1}}})
 	if err == nil || !strings.Contains(err.Error(), "wire: server: ") {
 		t.Fatalf("server error lost its rendering: %v", err)
 	}

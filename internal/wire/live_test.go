@@ -87,7 +87,7 @@ func TestLiveAppendAndQuery(t *testing.T) {
 		appended += batch
 
 		// Query through the wire, compare with a batch engine over the prefix.
-		got, _, err := cl.Query(Request{Dataset: "stream", K: 3, Tau: 12, Weights: []float64{1, 1}})
+		got, _, err := cl.Query(Request{Dataset: "stream", QuerySpec: QuerySpec{K: 3, Tau: 12, Weights: []float64{1, 1}}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -114,7 +114,7 @@ func TestLiveAppendAndQuery(t *testing.T) {
 	}
 
 	// The scoring-expression path resolves the registered attribute names.
-	if _, _, err := cl.Query(Request{Dataset: "stream", K: 1, Tau: 5, Expr: "points + 2*assists"}); err != nil {
+	if _, _, err := cl.Query(Request{Dataset: "stream", QuerySpec: QuerySpec{K: 1, Tau: 5, Expr: "points + 2*assists"}}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -178,7 +178,7 @@ func TestIngestLock(t *testing.T) {
 		t.Fatal("locked append committed rows")
 	}
 	// Queries stay available throughout.
-	if _, _, err := cl.Query(Request{Dataset: "batch", K: 1, Tau: 5, Weights: []float64{1, 1}}); err != nil {
+	if _, _, err := cl.Query(Request{Dataset: "batch", QuerySpec: QuerySpec{K: 1, Tau: 5, Weights: []float64{1, 1}}}); err != nil {
 		t.Fatal(err)
 	}
 	if err := srv.SetIngesting("stream", false); err != nil {
@@ -275,7 +275,7 @@ func TestLiveShardedOverWire(t *testing.T) {
 		}
 		appended += batch
 
-		got, _, err := cl.Query(Request{Dataset: "stream", K: 3, Tau: 12, Weights: []float64{1, 1}})
+		got, _, err := cl.Query(Request{Dataset: "stream", QuerySpec: QuerySpec{K: 3, Tau: 12, Weights: []float64{1, 1}}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -330,7 +330,7 @@ func TestLiveShardedOverWire(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Expression scoring resolves the registered attribute names.
-	if _, _, err := cl.Query(Request{Dataset: "stream", K: 1, Tau: 5, Expr: "points + 2*assists"}); err != nil {
+	if _, _, err := cl.Query(Request{Dataset: "stream", QuerySpec: QuerySpec{K: 1, Tau: 5, Expr: "points + 2*assists"}}); err != nil {
 		t.Fatal(err)
 	}
 }

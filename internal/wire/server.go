@@ -18,6 +18,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/score"
 	"repro/internal/serve"
+	"repro/internal/sub"
 )
 
 // LiveIngest is the append surface shared by core.LiveEngine and
@@ -61,6 +62,12 @@ type Server struct {
 	// requests and installed as the per-shard partial cache of engines that
 	// support it.
 	cache atomic.Pointer[serve.Cache]
+
+	// subsOff withholds the "events" feature from hello negotiation, so
+	// clients cannot subscribe (durserved makes standing queries an operator
+	// opt-in). Protocol v2 itself still negotiates; only the feature is
+	// denied. Default off: embedders get subscriptions without ceremony.
+	subsOff atomic.Bool
 }
 
 type served struct {
@@ -79,6 +86,17 @@ type served struct {
 	// before serving connections for a hard guarantee.
 	ingesting atomic.Bool
 
+	// appendMu serializes committed appends with the subscription registry's
+	// observation of them: an append and its Observe form one atomic step, so
+	// every subscriber event names the exact committed prefix it describes
+	// and monitors never see rows out of order. Wire appends from concurrent
+	// connections contend here only per dataset; the engines serialize
+	// internally anyway (strictly increasing timestamps).
+	appendMu sync.Mutex
+	// subReg is the dataset's standing-query registry, created lazily on the
+	// first subscribe (under appendMu, so its starting prefix is exact).
+	subReg atomic.Pointer[sub.Registry]
+
 	// exprCache memoizes compiled scoring expressions by source text.
 	// Dimensionality and attribute names — the other compile inputs — are
 	// fixed per served dataset, so the source alone keys the cache; a busy
@@ -92,6 +110,46 @@ type served struct {
 
 // maxExprCache bounds each dataset's compiled-expression cache.
 const maxExprCache = 256
+
+// appendRow commits one row and, atomically with the commit, feeds it to the
+// dataset's standing-query registry so subscriber events carry the exact
+// committed prefix. All committed appends — wire batches and the embedder's
+// Server.AppendRow — funnel through here.
+func (sv *served) appendRow(t int64, attrs []float64, logf func(string, ...interface{})) (monitor.Decision, []monitor.Confirmation, error) {
+	sv.appendMu.Lock()
+	defer sv.appendMu.Unlock()
+	dec, confirms, err := sv.live.Append(t, attrs)
+	if err != nil {
+		return dec, confirms, err
+	}
+	if reg := sv.subReg.Load(); reg != nil {
+		if oerr := reg.Observe(t, attrs); oerr != nil && logf != nil {
+			// Unreachable while appends stay strictly increasing (the engine
+			// just accepted the row); surfaced rather than swallowed so a
+			// registry bug cannot silently starve subscribers.
+			logf("wire: subscription registry: %v", oerr)
+		}
+	}
+	return dec, confirms, nil
+}
+
+// registry returns the dataset's standing-query registry, creating it on
+// first use. Creation holds appendMu so the registry's starting prefix is
+// the exact committed row count — no append can land between the count and
+// the registry's attachment.
+func (sv *served) registry() *sub.Registry {
+	if r := sv.subReg.Load(); r != nil {
+		return r
+	}
+	sv.appendMu.Lock()
+	defer sv.appendMu.Unlock()
+	if r := sv.subReg.Load(); r != nil {
+		return r
+	}
+	r := sub.NewRegistry(sv.eng.Dataset().Len())
+	sv.subReg.Store(r)
+	return r
+}
 
 // compileExpr returns the compiled form of src, memoized per dataset.
 // Compilation errors are not cached: they are cheap to reproduce (parsing
@@ -153,6 +211,13 @@ func (s *Server) SetConnTimeout(d time.Duration) {
 // state. A nil scheduler restores the serial loop. Applies to connections
 // accepted after the call.
 func (s *Server) SetScheduler(sched *serve.Scheduler) { s.sched.Store(sched) }
+
+// SetSubscriptions enables or disables standing-query serving: when off, the
+// "events" feature is withheld during hello negotiation, so subscribe
+// requests are rejected with a clear error while every other v1 and v2
+// operation works unchanged. On by default; durserved turns it off unless
+// started with -subscriptions. Applies to hellos negotiated after the call.
+func (s *Server) SetSubscriptions(on bool) { s.subsOff.Store(!on) }
 
 // SetCache installs the shared result cache: query and most-durable responses
 // are replayed verbatim for exact-match repeats at an unchanged data epoch,
@@ -383,7 +448,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 		s.lnMu.Unlock()
 	}()
 	if sched := s.sched.Load(); sched != nil {
-		s.serveConnPipelined(conn, sched)
+		s.serveConnPipelined(conn, sched, newConnState())
 		return
 	}
 	for {
@@ -395,12 +460,28 @@ func (s *Server) ServeConn(conn net.Conn) {
 			s.logReadErr(conn, err)
 			return
 		}
-		resp := s.handle(&req)
+		var resp *Response
+		var st *connState
+		if req.Op == OpHello {
+			// A hello may upgrade this connection to v2. The response is
+			// written below on the serial path; if v2 was negotiated the
+			// connection then switches to the event-capable loop (a writer
+			// goroutine is required to push events while the read loop is
+			// blocked on the next frame).
+			st = newConnState()
+			resp = s.handleHello(&req, st)
+		} else {
+			resp = s.handle(&req)
+		}
 		if timeout := time.Duration(s.connTimeout.Load()); timeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(timeout))
 		}
 		if err := WriteFrame(conn, resp); err != nil {
 			s.logf("wire: %s: write: %v", conn.RemoteAddr(), err)
+			return
+		}
+		if st != nil && st.v2 {
+			s.serveConnPipelined(conn, nil, st)
 			return
 		}
 	}
@@ -473,11 +554,24 @@ func concurrentOp(op string) bool {
 // protocol's one-response-per-request-in-order contract is preserved, clients
 // cannot tell the difference (except in latency).
 //
+// The same writer also delivers server-initiated event frames (protocol v2):
+// events from st.events interleave with responses at frame granularity.
+// Events have no ordering contract against responses except one the teardown
+// paths rely on: events enqueued by a request's handler are flushed before
+// that request's response (so an unsubscribe's final truncated confirmations
+// precede its acknowledgment). With sched == nil every request is handled
+// inline on the read loop — the shape a serial v1 connection upgrades into
+// after a v2 hello, when it needs the writer to push events while the read
+// loop blocks on the next frame.
+//
 // Backpressure: at most pipelineDepth responses may be outstanding; the
 // scheduler additionally bounds how many evaluate at once, with admission
 // itself bounded by the connection timeout — a saturated server answers
-// "transient: retry" instead of queueing without limit.
-func (s *Server) serveConnPipelined(conn net.Conn, sched *serve.Scheduler) {
+// "transient: retry" instead of queueing without limit. Subscribers that
+// stop draining their TCP window stall the writer and are disconnected by
+// the write deadline (SetConnTimeout) or, if their event queue overflows
+// first, by the slow-subscriber eviction in pushEvent.
+func (s *Server) serveConnPipelined(conn net.Conn, sched *serve.Scheduler, st *connState) {
 	type slot chan *Response
 	slots := make(chan slot, pipelineDepth)
 	writeFailed := make(chan struct{})
@@ -485,20 +579,70 @@ func (s *Server) serveConnPipelined(conn net.Conn, sched *serve.Scheduler) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		for sl := range slots {
-			resp := <-sl
+		write := func(v interface{}) bool {
 			if timeout := time.Duration(s.connTimeout.Load()); timeout > 0 {
 				conn.SetWriteDeadline(time.Now().Add(timeout))
 			}
-			if err := WriteFrame(conn, resp); err != nil {
+			if err := WriteFrame(conn, v); err != nil {
 				s.logf("wire: %s: write: %v", conn.RemoteAddr(), err)
-				close(writeFailed)
-				// Keep draining so in-flight handlers can deliver into their
-				// slots and exit; the frames are discarded, the client is gone.
-				for sl := range slots {
-					<-sl
+				return false
+			}
+			return true
+		}
+		// flushEvents forwards every queued event without blocking.
+		flushEvents := func() bool {
+			for {
+				select {
+				case ev := <-st.events:
+					if !write(ev) {
+						return false
+					}
+				default:
+					return true
 				}
-				return
+			}
+		}
+		fail := func() {
+			st.dead.Store(true)
+			close(writeFailed)
+			// Keep draining so in-flight handlers can deliver into their
+			// slots and exit; the frames are discarded, the client is gone.
+			for sl := range slots {
+				<-sl
+			}
+		}
+		for {
+			select {
+			case ev := <-st.events:
+				if !write(ev) {
+					fail()
+					return
+				}
+			case sl, ok := <-slots:
+				if !ok {
+					// Read loop ended and every response is out; flush the
+					// events still queued (e.g. truncated confirmations from
+					// connection teardown) before the connection closes.
+					flushEvents()
+					return
+				}
+				resp := (*Response)(nil)
+				for resp == nil {
+					select {
+					case resp = <-sl:
+					case ev := <-st.events:
+						// Keep events flowing while a slow handler computes.
+						if !write(ev) {
+							fail()
+							return
+						}
+					}
+				}
+				// Events enqueued by this request's handler go first.
+				if !flushEvents() || !write(resp) {
+					fail()
+					return
+				}
 			}
 		}
 	}()
@@ -519,7 +663,22 @@ func (s *Server) serveConnPipelined(conn net.Conn, sched *serve.Scheduler) {
 			// The writer is gone; nothing can answer this request.
 			goto done
 		}
-		if !concurrentOp(req.Op) {
+		if st.v2 && req.V == Version2 {
+			// The connection negotiated v2; its frames pass the common
+			// handlers' version check as the baseline version.
+			req.V = Version
+		}
+		switch {
+		case req.Op == OpHello:
+			sl <- s.handleHello(&req, st)
+			continue
+		case req.Op == OpSubscribe:
+			sl <- s.handleSubscribe(&req, st, conn)
+			continue
+		case req.Op == OpUnsubscribe:
+			sl <- s.handleUnsubscribe(&req, st)
+			continue
+		case sched == nil || !concurrentOp(req.Op):
 			// Appends (and ping/datasets, too cheap to dispatch) run inline:
 			// by the time the next frame is read, their effects are visible.
 			sl <- s.handle(&req)
@@ -545,6 +704,11 @@ func (s *Server) serveConnPipelined(conn net.Conn, sched *serve.Scheduler) {
 		}()
 	}
 done:
+	// Retire this connection's subscriptions before the writer shuts down:
+	// their final truncated confirmations enqueue as events and are flushed
+	// by the writer's close path, so a mid-stream server Close still delivers
+	// every pending verdict.
+	s.unsubscribeAll(st)
 	close(slots)
 	wg.Wait()
 }
@@ -576,6 +740,15 @@ func (s *Server) handle(req *Request) *Response {
 		return s.handleMostDurable(req)
 	case OpAppend:
 		return s.handleAppend(req)
+	case OpSubscribe, OpUnsubscribe:
+		// Reachable only on connections that never negotiated v2 (the v2 read
+		// loop intercepts these before handle). The version check above
+		// already caught v2-stamped frames; this catches v1-stamped ones.
+		return errResponse(fmt.Errorf("wire: %s requires protocol v2 (send hello first)", req.Op))
+	case OpHello:
+		// Hello is intercepted by every connection loop; a frame reaching the
+		// common handler means an embedder called handle directly.
+		return errResponse(errors.New("wire: hello must be the subject of its own connection handshake"))
 	default:
 		return errResponse(fmt.Errorf("wire: unknown op %q", req.Op))
 	}
@@ -810,7 +983,7 @@ func (s *Server) handleAppend(req *Request) *Response {
 			resp.Transient = true // the feed drains; retrying is correct
 			break
 		}
-		dec, confirms, err := sv.live.Append(row.Time, row.Attrs)
+		dec, confirms, err := sv.appendRow(row.Time, row.Attrs, s.logf)
 		if err != nil {
 			resp.OK = false
 			resp.Error = err.Error()

@@ -1,0 +1,239 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/monitor"
+	"repro/internal/sub"
+)
+
+// eventQueueDepth bounds how many event frames may be queued per connection
+// awaiting the writer. A subscriber that falls this far behind the append
+// stream is evicted (see connState.pushEvent) rather than silently losing
+// events or stalling appends: every delivered event stream is gap-free.
+const eventQueueDepth = 1024
+
+// connState is one connection's protocol v2 state. Connections that never
+// send a hello keep the zero-ish state from newConnState (v2 false, empty
+// queue) and behave exactly as v1 — the fields cost nothing until used.
+type connState struct {
+	// v2 flips when a hello negotiates protocol v2. Written and read only by
+	// the connection's read loop (hello is always handled inline).
+	v2 bool
+	// eventsOK records that the hello accepted the "events" feature flag;
+	// subscriptions require it.
+	eventsOK bool
+
+	// events carries server-initiated frames to the connection's writer,
+	// which interleaves them with responses at frame granularity.
+	events chan *Event
+	// dead marks the connection undeliverable (write failure or event-queue
+	// overflow); emitters stop enqueueing once set.
+	dead atomic.Bool
+
+	// mu guards the subscription table. Registry emit closures never take it:
+	// they capture their conn-local id by value.
+	mu      sync.Mutex
+	nextSub uint64
+	subs    map[uint64]connSub
+}
+
+// connSub ties a conn-local subscription id to its dataset registry entry.
+// Ids are conn-local because registry ids are per dataset: two subscriptions
+// on different datasets could otherwise collide on one connection.
+type connSub struct {
+	sv    *served
+	regID uint64
+}
+
+func newConnState() *connState {
+	return &connState{
+		events: make(chan *Event, eventQueueDepth),
+		subs:   make(map[uint64]connSub),
+	}
+}
+
+// pushEvent enqueues one event frame for the connection's writer without
+// blocking. Called from registry emit closures, which run under the registry
+// lock on whatever goroutine committed the append — so it must never wait.
+// On overflow the connection is killed instead of dropping the frame: a
+// subscriber that cannot keep up would otherwise see a silent gap in a
+// stream whose whole point is that every verdict is accounted for.
+func (st *connState) pushEvent(ev *Event, conn net.Conn, logf func(string, ...interface{})) {
+	if st.dead.Load() {
+		return
+	}
+	select {
+	case st.events <- ev:
+	default:
+		st.dead.Store(true)
+		if logf != nil {
+			logf("wire: %s: subscriber fell %d events behind; disconnecting", conn.RemoteAddr(), eventQueueDepth)
+		}
+		// Closing the connection fails the read loop and the writer, which
+		// tear the subscriptions down through the normal path.
+		conn.Close()
+	}
+}
+
+// handleHello negotiates the connection's protocol version: the result is
+// min(client version, Version2), with feature flags intersected when v2 wins.
+// The response's V carries the negotiated version — the one place a v1-shaped
+// frame reports something other than the baseline version.
+func (s *Server) handleHello(req *Request, st *connState) *Response {
+	if req.V < Version {
+		return errResponse(fmt.Errorf("%w: %d (want %d or newer)", ErrBadVersion, req.V, Version))
+	}
+	if st.v2 {
+		return errResponse(errors.New("wire: hello already negotiated on this connection"))
+	}
+	negotiated := req.V
+	if negotiated > Version2 {
+		negotiated = Version2
+	}
+	resp := &Response{V: negotiated, OK: true}
+	if negotiated >= Version2 {
+		st.v2 = true
+		for _, f := range req.Features {
+			if f == FeatureEvents && !s.subsOff.Load() {
+				st.eventsOK = true
+				resp.Features = append(resp.Features, FeatureEvents)
+			}
+		}
+	}
+	return resp
+}
+
+// handleSubscribe registers a standing durable top-k query on a live dataset
+// and starts pushing per-append event frames to this connection.
+func (s *Server) handleSubscribe(req *Request, st *connState, conn net.Conn) *Response {
+	if !st.v2 {
+		return errResponse(errors.New("wire: subscribe requires protocol v2 (send hello first)"))
+	}
+	if !st.eventsOK {
+		return errResponse(errors.New("wire: subscribe requires the events feature (offer it in hello)"))
+	}
+	sv, err := s.lookup(req.Dataset)
+	if err != nil {
+		return errResponse(err)
+	}
+	if sv.live == nil {
+		return errResponse(fmt.Errorf("wire: dataset %q is not live; standing queries need an append stream", req.Dataset))
+	}
+	scorer, err := requestScorer(req, sv)
+	if err != nil {
+		return errResponse(err)
+	}
+	spec := sub.Spec{Scorer: scorer, K: req.K, Tau: req.Tau}
+	// The anchor selects which verdict stream the subscription receives:
+	// look-back is the instant per-append decision, look-ahead the delayed
+	// confirmation once a record's forward window closes, and the default is
+	// both. Mid-anchored (general) windows have no online counterpart — the
+	// monitor cannot decide them until lead has elapsed and confirm them
+	// until tau-lead more has — so they are rejected rather than approximated.
+	switch req.Anchor {
+	case "":
+		spec.Decisions, spec.Confirms = true, true
+	case "look-back":
+		spec.Decisions = true
+	case "look-ahead":
+		spec.Confirms = true
+	default:
+		return errResponse(fmt.Errorf("wire: subscribe supports look-back or look-ahead anchors, not %q", req.Anchor))
+	}
+	if req.Lead != 0 {
+		return errResponse(errors.New("wire: subscribe does not support lead (mid-anchored windows have no online verdict)"))
+	}
+	if req.Start != 0 || req.End != 0 || req.ExplicitInterval {
+		spec.Bounded, spec.Start, spec.End = true, req.Start, req.End
+	}
+
+	st.mu.Lock()
+	st.nextSub++
+	id := st.nextSub
+	st.mu.Unlock()
+	logf := s.logf
+	regID, err := sv.registry().Subscribe(spec, func(ev sub.Event) {
+		st.pushEvent(subEventFrame(id, ev), conn, logf)
+	})
+	if err != nil {
+		return errResponse(err)
+	}
+	st.mu.Lock()
+	st.subs[id] = connSub{sv: sv, regID: regID}
+	st.mu.Unlock()
+	return &Response{V: Version, OK: true, SubID: id}
+}
+
+// handleUnsubscribe drops a subscription. Its final event — the still-pending
+// look-ahead candidates, flushed as truncated confirmations — is enqueued by
+// the registry during the drop, and the writer flushes queued events before
+// any response, so the final event always precedes this acknowledgment.
+func (s *Server) handleUnsubscribe(req *Request, st *connState) *Response {
+	if !st.v2 {
+		return errResponse(errors.New("wire: unsubscribe requires protocol v2 (send hello first)"))
+	}
+	st.mu.Lock()
+	cs, ok := st.subs[req.SubID]
+	delete(st.subs, req.SubID)
+	st.mu.Unlock()
+	if !ok {
+		return errResponse(fmt.Errorf("wire: no subscription %d on this connection", req.SubID))
+	}
+	if reg := cs.sv.subReg.Load(); reg != nil {
+		if err := reg.Unsubscribe(cs.regID); err != nil {
+			return errResponse(err)
+		}
+	}
+	return &Response{V: Version, OK: true, SubID: req.SubID}
+}
+
+// unsubscribeAll retires every subscription of a closing connection, flushing
+// their final truncated confirmations into the event queue for the writer's
+// shutdown drain.
+func (s *Server) unsubscribeAll(st *connState) {
+	st.mu.Lock()
+	subs := st.subs
+	st.subs = make(map[uint64]connSub)
+	st.mu.Unlock()
+	for _, cs := range subs {
+		if reg := cs.sv.subReg.Load(); reg != nil {
+			_ = reg.Unsubscribe(cs.regID)
+		}
+	}
+}
+
+// subEventFrame converts a registry event into its wire frame, stamping the
+// connection-local subscription id.
+func subEventFrame(id uint64, ev sub.Event) *Event {
+	frame := &Event{V: Version2, Event: EventSub, SubID: id, Prefix: ev.Prefix}
+	if d := ev.Decision; d != nil {
+		frame.Decision = &LiveDecision{ID: d.ID, Time: d.Time, Durable: d.Durable, Rank: d.Rank}
+	}
+	for _, c := range ev.Confirms {
+		frame.Confirms = append(frame.Confirms, LiveConfirmation{
+			ID: c.ID, Time: c.Time, Durable: c.Durable, Beaten: c.Beaten, Truncated: c.Truncated,
+		})
+	}
+	return frame
+}
+
+// AppendRow commits one row into the named live dataset through the server's
+// append path, so standing-query subscribers observe rows the embedder feeds
+// directly (durserved's server-side ingest stream) exactly like wire appends.
+// It deliberately bypasses the SetIngesting lockout — that lockout exists to
+// protect this feed from interleaved wire appends, not the other way around.
+func (s *Server) AppendRow(name string, t int64, attrs []float64) (monitor.Decision, []monitor.Confirmation, error) {
+	sv, err := s.lookup(name)
+	if err != nil {
+		return monitor.Decision{}, nil, err
+	}
+	if sv.live == nil {
+		return monitor.Decision{}, nil, fmt.Errorf("wire: dataset %q is not live", name)
+	}
+	return sv.appendRow(t, attrs, s.logf)
+}

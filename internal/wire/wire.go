@@ -13,6 +13,13 @@
 //
 // The wire types are versioned through Request.V; servers reject frames
 // whose version or size they do not understand rather than guessing.
+//
+// Protocol v2 (negotiated per connection by an initial "hello" frame) adds
+// standing queries: subscribe/unsubscribe operations register a durable
+// top-k query against a live dataset, after which the server pushes Event
+// frames — interleaved with the usual FIFO responses — carrying the online
+// monitor's per-append decisions and confirmations. Connections that never
+// send hello stay on v1 semantics untouched. See docs/wire-protocol.md.
 package wire
 
 import (
@@ -23,8 +30,13 @@ import (
 	"io"
 )
 
-// Version is the protocol version spoken by this package.
-const Version = 1
+// Version is the baseline protocol version; every server and client speaks
+// it. Version2 adds the hello handshake, subscriptions and server-pushed
+// event frames; connections opt in per connection via OpHello.
+const (
+	Version  = 1
+	Version2 = 2
+)
 
 // MaxFrame is the default limit on one frame's payload size; both sides
 // reject larger frames to bound memory under malformed input.
@@ -38,17 +50,23 @@ const (
 	OpExplain     = "explain"
 	OpMostDurable = "most-durable"
 	OpAppend      = "append"
+
+	// Protocol v2 operations.
+	OpHello       = "hello"
+	OpSubscribe   = "subscribe"
+	OpUnsubscribe = "unsubscribe"
 )
 
-// Request is one client frame.
-type Request struct {
-	V  int    `json:"v"`
-	Op string `json:"op"`
+// FeatureEvents is the v2 feature flag for server-initiated event frames
+// (required for subscriptions). Hello requests offer feature flags; the
+// response carries the subset the server accepted.
+const FeatureEvents = "events"
 
-	// Dataset names the served dataset (query, explain).
-	Dataset string `json:"dataset,omitempty"`
-
-	// Query parameters (query, explain, most-durable).
+// QuerySpec carries the durable top-k query parameters shared by the
+// query, explain, most-durable and subscribe operations. It is embedded in
+// Request, so on the wire its fields stay flat and the v1 JSON frame shape
+// is byte-for-byte unchanged.
+type QuerySpec struct {
 	K     int   `json:"k,omitempty"`
 	Tau   int64 `json:"tau,omitempty"`
 	Lead  int64 `json:"lead,omitempty"`
@@ -80,10 +98,30 @@ type Request struct {
 
 	// WithDurations also reports each result's maximum durability.
 	WithDurations bool `json:"withDurations,omitempty"`
+}
+
+// Request is one client frame.
+type Request struct {
+	V  int    `json:"v"`
+	Op string `json:"op"`
+
+	// Dataset names the served dataset (query, explain, subscribe).
+	Dataset string `json:"dataset,omitempty"`
+
+	// QuerySpec is embedded so its fields marshal flat, exactly as the v1
+	// god-struct laid them out.
+	QuerySpec
 
 	// Rows is the batch of records an append request ingests into a live
 	// dataset, in strictly increasing time order.
 	Rows []IngestRow `json:"rows,omitempty"`
+
+	// Features offers feature flags on a hello request (protocol v2); the
+	// request's V field carries the highest version the client speaks.
+	Features []string `json:"features,omitempty"`
+
+	// SubID names the subscription an unsubscribe request drops.
+	SubID uint64 `json:"subId,omitempty"`
 }
 
 // IngestRow is one record of an append request.
@@ -166,7 +204,38 @@ type Response struct {
 	Appended  int                `json:"appended,omitempty"`
 	Decisions []LiveDecision     `json:"decisions,omitempty"`
 	Confirms  []LiveConfirmation `json:"confirms,omitempty"`
+
+	// Protocol v2: Features echoes the accepted feature flags on a hello
+	// response (with V set to the negotiated version); SubID reports the
+	// server-assigned id on a subscribe response.
+	Features []string `json:"features,omitempty"`
+	SubID    uint64   `json:"subId,omitempty"`
 }
+
+// Event is a server-initiated v2 frame pushed to a subscribed connection,
+// interleaved with responses. It is distinguishable from a Response by its
+// non-empty "event" key; clients sniff that key before decoding. Events for
+// one subscription arrive in append order.
+type Event struct {
+	V     int    `json:"v"`
+	Event string `json:"event"` // EventSub
+	SubID uint64 `json:"subId"`
+
+	// Prefix is the live dataset's acknowledged row count immediately after
+	// the append this event describes — the exact prefix a client can
+	// re-query to reproduce the verdicts below bit-identically.
+	Prefix int `json:"prefix"`
+
+	// Decision is the instant look-back verdict for the appended record, if
+	// it falls inside the subscription's interval filter.
+	Decision *LiveDecision `json:"decision,omitempty"`
+	// Confirms are the delayed look-ahead verdicts that became due at this
+	// append (or at subscription shutdown, marked Truncated).
+	Confirms []LiveConfirmation `json:"confirms,omitempty"`
+}
+
+// EventSub is the Event.Event marker for subscription verdicts.
+const EventSub = "sub"
 
 // Protocol errors shared by both sides.
 var (
@@ -204,20 +273,32 @@ func WriteFrame(w io.Writer, v interface{}) error {
 
 // ReadFrame reads one length-prefixed frame into v.
 func ReadFrame(r io.Reader, v interface{}) error {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return err // io.EOF signals a cleanly closed peer
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return fmt.Errorf("wire: reading frame body: %w", err)
+	payload, err := ReadRawFrame(r)
+	if err != nil {
+		return err
 	}
 	if err := json.Unmarshal(payload, v); err != nil {
 		return fmt.Errorf("wire: decoding frame: %w", err)
 	}
 	return nil
+}
+
+// ReadRawFrame reads one length-prefixed frame and returns its payload
+// undecoded. V2 clients use it to sniff whether a frame is a server-pushed
+// Event (non-empty "event" key) or the response to an in-flight request
+// before committing to a decode target.
+func ReadRawFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF signals a cleanly closed peer
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire: reading frame body: %w", err)
+	}
+	return payload, nil
 }

@@ -59,7 +59,7 @@ func startServer(tb testing.TB) (*Server, *Client) {
 
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	in := Request{V: Version, Op: OpQuery, Dataset: "d", K: 3, Weights: []float64{1, 2}}
+	in := Request{V: Version, Op: OpQuery, Dataset: "d", QuerySpec: QuerySpec{K: 3, Weights: []float64{1, 2}}}
 	if err := WriteFrame(&buf, &in); err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,8 @@ func TestPingAndDatasets(t *testing.T) {
 func TestQueryWithWeightsMatchesLocal(t *testing.T) {
 	srv, cl := startServer(t)
 	recs, st, err := cl.Query(Request{
-		Dataset: "games", K: 2, Tau: 60, Weights: []float64{1, 0.5},
+		Dataset:   "games",
+		QuerySpec: QuerySpec{K: 2, Tau: 60, Weights: []float64{1, 0.5}},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -159,8 +160,11 @@ func TestQueryWithWeightsMatchesLocal(t *testing.T) {
 func TestQueryWithExpression(t *testing.T) {
 	_, cl := startServer(t)
 	recs, _, err := cl.Query(Request{
-		Dataset: "games", K: 1, Tau: 100,
-		Expr: "points + 4*log1p(assists)",
+		Dataset: "games",
+		QuerySpec: QuerySpec{
+			K: 1, Tau: 100,
+			Expr: "points + 4*log1p(assists)",
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -170,8 +174,11 @@ func TestQueryWithExpression(t *testing.T) {
 	}
 	// Positional syntax works too and yields the same answer.
 	recs2, _, err := cl.Query(Request{
-		Dataset: "games", K: 1, Tau: 100,
-		Expr: "x0 + 4*log1p(x1)",
+		Dataset: "games",
+		QuerySpec: QuerySpec{
+			K: 1, Tau: 100,
+			Expr: "x0 + 4*log1p(x1)",
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -184,8 +191,11 @@ func TestQueryWithExpression(t *testing.T) {
 func TestQueryDurationsAndAnchors(t *testing.T) {
 	_, cl := startServer(t)
 	recs, _, err := cl.Query(Request{
-		Dataset: "games", K: 1, Tau: 50, Weights: []float64{1, 0},
-		WithDurations: true,
+		Dataset: "games",
+		QuerySpec: QuerySpec{
+			K: 1, Tau: 50, Weights: []float64{1, 0},
+			WithDurations: true,
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -197,8 +207,11 @@ func TestQueryDurationsAndAnchors(t *testing.T) {
 	}
 	// Mid-anchored query over the wire.
 	mid, _, err := cl.Query(Request{
-		Dataset: "games", K: 1, Tau: 50, Lead: 25, Anchor: "general",
-		Weights: []float64{1, 0},
+		Dataset: "games",
+		QuerySpec: QuerySpec{
+			K: 1, Tau: 50, Lead: 25, Anchor: "general",
+			Weights: []float64{1, 0},
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -207,7 +220,8 @@ func TestQueryDurationsAndAnchors(t *testing.T) {
 		t.Fatal("mid-anchored query returned nothing")
 	}
 	if _, _, err := cl.Query(Request{
-		Dataset: "games", K: 1, Tau: 50, Anchor: "sideways", Weights: []float64{1, 0},
+		Dataset:   "games",
+		QuerySpec: QuerySpec{K: 1, Tau: 50, Anchor: "sideways", Weights: []float64{1, 0}},
 	}); err == nil || !strings.Contains(err.Error(), "anchor") {
 		t.Fatalf("bad anchor: got %v", err)
 	}
@@ -216,7 +230,8 @@ func TestQueryDurationsAndAnchors(t *testing.T) {
 func TestExplainOverWire(t *testing.T) {
 	_, cl := startServer(t)
 	plan, err := cl.Explain(Request{
-		Dataset: "games", K: 5, Tau: 100, Weights: []float64{1, 1},
+		Dataset:   "games",
+		QuerySpec: QuerySpec{K: 5, Tau: 100, Weights: []float64{1, 1}},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -235,13 +250,13 @@ func TestRequestErrors(t *testing.T) {
 		req  Request
 		want string
 	}{
-		{"unknown dataset", Request{Op: OpQuery, Dataset: "nope", K: 1, Tau: 1, Weights: []float64{1, 1}}, "unknown dataset"},
-		{"no scorer", Request{Op: OpQuery, Dataset: "games", K: 1, Tau: 1}, "weights or expr"},
-		{"both scorers", Request{Op: OpQuery, Dataset: "games", K: 1, Tau: 1, Weights: []float64{1, 1}, Expr: "x0"}, "mutually exclusive"},
-		{"bad expression", Request{Op: OpQuery, Dataset: "games", K: 1, Tau: 1, Expr: "(("}, "expr"},
-		{"bad algorithm", Request{Op: OpQuery, Dataset: "games", K: 1, Tau: 1, Weights: []float64{1, 1}, Algorithm: "warp"}, "unknown algorithm"},
-		{"bad k", Request{Op: OpQuery, Dataset: "games", K: 0, Tau: 1, Weights: []float64{1, 1}}, "k must be"},
-		{"wrong dims", Request{Op: OpQuery, Dataset: "games", K: 1, Tau: 1, Weights: []float64{1}}, "dimensionality"},
+		{"unknown dataset", Request{Op: OpQuery, Dataset: "nope", QuerySpec: QuerySpec{K: 1, Tau: 1, Weights: []float64{1, 1}}}, "unknown dataset"},
+		{"no scorer", Request{Op: OpQuery, Dataset: "games", QuerySpec: QuerySpec{K: 1, Tau: 1}}, "weights or expr"},
+		{"both scorers", Request{Op: OpQuery, Dataset: "games", QuerySpec: QuerySpec{K: 1, Tau: 1, Weights: []float64{1, 1}, Expr: "x0"}}, "mutually exclusive"},
+		{"bad expression", Request{Op: OpQuery, Dataset: "games", QuerySpec: QuerySpec{K: 1, Tau: 1, Expr: "(("}}, "expr"},
+		{"bad algorithm", Request{Op: OpQuery, Dataset: "games", QuerySpec: QuerySpec{K: 1, Tau: 1, Weights: []float64{1, 1}, Algorithm: "warp"}}, "unknown algorithm"},
+		{"bad k", Request{Op: OpQuery, Dataset: "games", QuerySpec: QuerySpec{K: 0, Tau: 1, Weights: []float64{1, 1}}}, "k must be"},
+		{"wrong dims", Request{Op: OpQuery, Dataset: "games", QuerySpec: QuerySpec{K: 1, Tau: 1, Weights: []float64{1}}}, "dimensionality"},
 		{"unknown op", Request{Op: "dance"}, "unknown op"},
 	}
 	for _, c := range cases {
@@ -315,8 +330,11 @@ func TestConcurrentClients(t *testing.T) {
 			defer cl.Close()
 			for rep := 0; rep < 10; rep++ {
 				recs, _, err := cl.Query(Request{
-					Dataset: "games", K: 1 + i%3, Tau: int64(20 + 10*i),
-					Weights: []float64{1, float64(i)},
+					Dataset: "games",
+					QuerySpec: QuerySpec{
+						K: 1 + i%3, Tau: int64(20 + 10*i),
+						Weights: []float64{1, float64(i)},
+					},
 				})
 				if err != nil {
 					errs <- err
@@ -351,7 +369,7 @@ func TestServeConnOverPipe(t *testing.T) {
 	if err := cl.Ping(); err != nil {
 		t.Fatal(err)
 	}
-	recs, _, err := cl.Query(Request{Dataset: "d", K: 1, Tau: 10, Weights: []float64{1, 1}})
+	recs, _, err := cl.Query(Request{Dataset: "d", QuerySpec: QuerySpec{K: 1, Tau: 10, Weights: []float64{1, 1}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -394,7 +412,8 @@ var _ io.Closer = (*Client)(nil)
 func TestMostDurableOverWire(t *testing.T) {
 	srv, cl := startServer(t)
 	recs, err := cl.MostDurable(Request{
-		Dataset: "games", K: 1, N: 5, Weights: []float64{1, 0},
+		Dataset:   "games",
+		QuerySpec: QuerySpec{K: 1, N: 5, Weights: []float64{1, 0}},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -422,8 +441,11 @@ func TestMostDurableOverWire(t *testing.T) {
 
 	// Expression scorers and the look-ahead anchor both work.
 	ahead, err := cl.MostDurable(Request{
-		Dataset: "games", K: 1, N: 3, Anchor: "look-ahead",
-		Expr: "points + log1p(assists)",
+		Dataset: "games",
+		QuerySpec: QuerySpec{
+			K: 1, N: 3, Anchor: "look-ahead",
+			Expr: "points + log1p(assists)",
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -433,10 +455,10 @@ func TestMostDurableOverWire(t *testing.T) {
 	}
 
 	// Error taxonomy.
-	if _, err := cl.MostDurable(Request{Dataset: "games", K: 1, N: 0, Weights: []float64{1, 0}}); err == nil {
+	if _, err := cl.MostDurable(Request{Dataset: "games", QuerySpec: QuerySpec{K: 1, N: 0, Weights: []float64{1, 0}}}); err == nil {
 		t.Error("n=0 accepted")
 	}
-	if _, err := cl.MostDurable(Request{Dataset: "games", K: 1, N: 2, Anchor: "general", Weights: []float64{1, 0}}); err == nil {
+	if _, err := cl.MostDurable(Request{Dataset: "games", QuerySpec: QuerySpec{K: 1, N: 2, Anchor: "general", Weights: []float64{1, 0}}}); err == nil {
 		t.Error("general anchor accepted for most-durable")
 	}
 }
@@ -472,7 +494,7 @@ func TestShardedDatasetOverWire(t *testing.T) {
 	}
 	t.Cleanup(func() { cl.Close() })
 
-	base := Request{K: 3, Tau: 80, Weights: []float64{1, 0.5}, WithDurations: true}
+	base := Request{QuerySpec: QuerySpec{K: 3, Tau: 80, Weights: []float64{1, 0.5}, WithDurations: true}}
 	reqPlain, reqSharded := base, base
 	reqPlain.Dataset, reqSharded.Dataset = "plain", "sharded"
 	wantRecs, _, err := cl.Query(reqPlain)
