@@ -352,6 +352,19 @@ func (g *gate) checkStreamStanding(oldRep, newRep *bench.StreamReport) {
 			g.ns("stream", name, o, n)
 		}
 	}
+	// Backfill replay: the catch-up rate a reconnecting durable subscriber
+	// gets. Like the other rows, a vanished value fails — it would mean the
+	// resume path silently stopped being measured.
+	switch o, n := oldRep.BackfillReplayEventsPerSec, newRep.BackfillReplayEventsPerSec; {
+	case o == 0 && n == 0:
+	case o > 0 && n == 0:
+		g.missingRow("stream", "backfill-replay")
+	case o == 0:
+		fmt.Printf("::warning::benchgate: stream \"backfill-replay\" has no committed baseline row (new?); re-commit the baseline to gate it\n")
+		g.warn++
+	default:
+		g.throughput("stream", "backfill-replay", o, n)
+	}
 }
 
 func main() {

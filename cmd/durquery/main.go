@@ -57,6 +57,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	durable "repro"
 	"repro/internal/data"
@@ -383,7 +384,16 @@ func runFollow(cfg followConfig) {
 		fatal(fmt.Errorf("-follow needs a scorer: -weights or -score"))
 	}
 
-	f, err := wire.Follow(cfg.addr, wire.Request{Dataset: cfg.dataset, QuerySpec: spec}, wire.RetryPolicy{})
+	// A follower's whole point is outliving server restarts, so the default
+	// 5-attempt budget (exhausted in ~1.5s) is far too tight here: keep
+	// retrying for minutes of outage, backing off to 2s between dials.
+	policy := wire.RetryPolicy{
+		MaxAttempts: 1 << 16,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		MaxElapsed:  5 * time.Minute,
+	}
+	f, err := wire.Follow(cfg.addr, wire.Request{Dataset: cfg.dataset, QuerySpec: spec}, policy)
 	if err != nil {
 		fatal(err)
 	}

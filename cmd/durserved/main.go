@@ -45,10 +45,13 @@
 // tail shards are checkpointed into page files, and a restart recovers the
 // full acknowledged stream and resumes ingestion at the exact next record
 // (-wal implies the live+sharded lifecycle; -fsync picks the WAL fsync
-// policy). -conntimeout bounds each read and write per connection so a
-// stalled client cannot pin a handler goroutine:
+// policy). -keepcheckpoints N additionally retains the newest N checkpoint
+// manifest generations as backups — a torn MANIFEST recovers losslessly from
+// the newest — and garbage-collects older generations plus page files no
+// manifest references. -conntimeout bounds each read and write per
+// connection so a stalled client cannot pin a handler goroutine:
 //
-//	durserved -live games=2 -wal /var/lib/durserved -fsync interval -conntimeout 30s
+//	durserved -live games=2 -wal /var/lib/durserved -fsync interval -keepcheckpoints 3 -conntimeout 30s
 //
 // -queryworkers N serves connections pipelined: read-only requests evaluate
 // concurrently — across the requests of one connection and across
@@ -67,9 +70,14 @@
 // command-line consumer) and are pushed per-append durability verdicts —
 // instant look-back decisions and delayed look-ahead confirmations — as
 // server-initiated event frames, covering wire appends and the -ingest
-// stdin feed alike:
+// stdin feed alike. Clients that additionally negotiate the backfill feature
+// get durable subscriptions: the registration survives its connection
+// (resumable by key with the missed events replayed server-side) and, when
+// combined with -wal, survives server crashes too — the registry rides the
+// checkpoint manifest, so a follower reconnecting after a restart resumes
+// gap-free:
 //
-//	durgen -kind nba -n 100000 | durserved -live games=2 -ingest games -subscriptions
+//	durgen -kind nba -n 100000 | durserved -live games=2 -ingest games -subscriptions -wal /var/lib/durserved
 package main
 
 import (
@@ -125,6 +133,7 @@ func main() {
 		walDir   = flag.String("wal", "", "serve -live datasets crash-safe from a write-ahead-logged store under this directory (one subdirectory per dataset; implies the live+sharded lifecycle)")
 		fsyncPol = flag.String("fsync", "always", "WAL fsync policy for -wal: always|interval|none")
 		fsyncEvy = flag.Duration("fsyncevery", 0, "fsync period for -fsync interval (0 = 50ms default)")
+		keepCk   = flag.Int("keepcheckpoints", 0, "with -wal, retain the newest N checkpoint-manifest generations as backups and garbage-collect older ones plus unreferenced page files (0 = single manifest, no GC)")
 		connTO   = flag.Duration("conntimeout", 0, "per-connection read/write deadline; idle or stalled clients are disconnected after this long (0 = none)")
 		qWorkers = flag.Int("queryworkers", 0, "admit this many concurrent query evaluations (pipelined serving; 0 = serial, one request at a time per connection)")
 		cacheSz  = flag.Int("cache", 0, "shared result cache size in entries; repeated queries at an unchanged data epoch replay without engine work (0 = no cache)")
@@ -254,7 +263,9 @@ func main() {
 			st, err := durable.Recover(filepath.Join(*walDir, name), dims, durable.StoreOptions{
 				Sync: syncPolicy, SyncEvery: *fsyncEvy,
 				Engine: engOpts, Live: liveOpts,
-				Shard: core.LiveShardOptions{SealRows: *sealRows, SealSpan: *sealSpan, Workers: *workers},
+				Shard:           core.LiveShardOptions{SealRows: *sealRows, SealSpan: *sealSpan, Workers: *workers},
+				KeepCheckpoints: *keepCk,
+				Logf:            log.Printf,
 			})
 			if err != nil {
 				log.Fatalf("durserved: -wal %s: %v", name, err)

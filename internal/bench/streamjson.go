@@ -108,6 +108,16 @@ type StreamReport struct {
 	StandingSubRows          int                `json:"standing_sub_rows,omitempty"`
 	StandingAppendsPerSec    map[string]float64 `json:"standing_appends_per_sec,omitempty"`
 	StandingConfirmLatencyNs map[string]float64 `json:"standing_confirm_latency_ns,omitempty"`
+
+	// BackfillReplayEventsPerSec is the server-side catch-up rate for a
+	// reconnecting durable subscriber: the whole StandingSubRows stream
+	// commits while the registration is detached (its connection gone), then
+	// one client resumes by key from prefix zero and drains the replayed
+	// verdict stream — re-scored server-side, paginated by the bounded event
+	// queue's evict/resume cycles — until it has caught up. This is the cost
+	// of healing a gap after a disconnect or crash, the number the wire
+	// chaos harness leans on (see backfillReplay in standingbench.go).
+	BackfillReplayEventsPerSec float64 `json:"backfill_replay_events_per_sec,omitempty"`
 }
 
 // StreamPerfReport measures the live-ingestion subsystem on the given

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"math"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/pagestore"
@@ -15,13 +18,27 @@ import (
 // to a temp name, sync, rename) on every checkpoint.
 const manifestName = "MANIFEST"
 
-// manifest is the durable index of checkpointed sealed shards. A shard's
-// pages file is referenced only after its contents are synced, and the WAL
-// is truncated only after the manifest referencing the shard is durable.
+// manifest is the durable index of checkpointed sealed shards and standing
+// subscriptions. A shard's pages file is referenced only after its contents
+// are synced, and the WAL is truncated only after the manifest referencing
+// the shard is durable.
 type manifest struct {
 	Version int          `json:"version"`
 	Dims    int          `json:"dims"`
 	Shards  []shardEntry `json:"shards"`
+
+	// Gen counts manifest publications; with retention enabled each
+	// generation is also written as a MANIFEST.<gen> backup before it
+	// replaces MANIFEST, so the newest backup is byte-identical to the
+	// live manifest and a corrupted MANIFEST recovers from it losslessly.
+	Gen uint64 `json:"gen,omitempty"`
+
+	// Subs are the durable standing-query registrations; NextSub is the
+	// registry's id high-water mark, persisted so retired ids are never
+	// reissued (a reissue would alias a client's resume onto an unrelated
+	// subscription).
+	NextSub uint64     `json:"nextSub,omitempty"`
+	Subs    []subEntry `json:"subs,omitempty"`
 }
 
 // shardEntry describes one checkpointed sealed shard.
@@ -54,7 +71,7 @@ func (s *Store) checkpoint(sp span) error {
 		return err
 	}
 	s.man.Shards = append(s.man.Shards, entry)
-	if err := writeManifest(s.fs, s.dir, s.man); err != nil {
+	if err := s.publishManifest(); err != nil {
 		// Roll the in-memory manifest back so a later retry (next seal's
 		// checkpoint) does not reference this shard twice.
 		s.man.Shards = s.man.Shards[:len(s.man.Shards)-1]
@@ -65,6 +82,35 @@ func (s *Store) checkpoint(sp span) error {
 		return fmt.Errorf("advancing wal low-water mark: %w", err)
 	}
 	s.logf("store: checkpointed rows [%d,%d) to %s (%d pages)", sp.lo, sp.hi, entry.File, len(entry.Pages))
+	return nil
+}
+
+// publishManifest refreshes the manifest's subscription section from the
+// live registry, bumps the generation and writes it out — through the
+// retention path (backup generation first, then the atomic rename) when
+// KeepCheckpoints is set, plus a best-effort GC sweep afterwards.
+func (s *Store) publishManifest() error {
+	if s.reg != nil {
+		s.man.Subs = subEntriesFrom(s.reg.Snapshot())
+		s.man.NextSub = s.reg.NextID()
+	}
+	s.man.Gen++
+	if s.opts.KeepCheckpoints > 0 {
+		// The backup must be durable before MANIFEST claims its
+		// generation: readManifest falls back to the newest backup, which
+		// must therefore never lag the live manifest.
+		if err := writeManifestGen(s.fs, s.dir, s.man); err != nil {
+			s.man.Gen--
+			return err
+		}
+	}
+	if err := writeManifest(s.fs, s.dir, s.man); err != nil {
+		s.man.Gen--
+		return err
+	}
+	if s.opts.KeepCheckpoints > 0 {
+		s.gcRetired()
+	}
 	return nil
 }
 
@@ -168,33 +214,89 @@ func loadShard(fs wal.FS, dir string, e shardEntry, dims int) (core.RestoredShar
 	return sh, nil
 }
 
+// manifestGenName names one retained manifest generation backup.
+func manifestGenName(gen uint64) string {
+	return fmt.Sprintf("%s.%012d", manifestName, gen)
+}
+
+// parseManifestGen extracts the generation from a MANIFEST.<gen> backup
+// name; ok is false for anything else (including MANIFEST itself and temp
+// files).
+func parseManifestGen(name string) (uint64, bool) {
+	rest, found := strings.CutPrefix(name, manifestName+".")
+	if !found || rest == "" || strings.HasSuffix(rest, ".tmp") {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
 // readManifest loads the manifest, returning an empty one when none exists.
+// A MANIFEST that exists but cannot be decoded falls back to the newest
+// valid MANIFEST.<gen> retention backup: the backup for a generation is made
+// durable before MANIFEST adopts it, so the newest backup never lags the
+// live manifest and the fallback is lossless.
 func readManifest(fs wal.FS, dir string) (manifest, error) {
-	path := filepath.Join(dir, manifestName)
+	m, err := readManifestFile(fs, dir, manifestName)
+	if err == nil {
+		return m, nil
+	}
+	if notExist(err) {
+		return manifest{Version: 1}, nil
+	}
+	names, lerr := fs.ReadDir(dir)
+	if lerr != nil {
+		return manifest{}, err
+	}
+	gens := make([]uint64, 0, len(names))
+	for _, name := range names {
+		if g, ok := parseManifestGen(name); ok {
+			gens = append(gens, g)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] > gens[j] })
+	for _, g := range gens {
+		b, berr := readManifestFile(fs, dir, manifestGenName(g))
+		if berr != nil {
+			continue
+		}
+		return b, nil
+	}
+	return manifest{}, err
+}
+
+// readManifestFile loads and validates one manifest file. Missing files
+// surface as a notExist error so the caller can tell "never checkpointed"
+// from "checkpointed and damaged".
+func readManifestFile(fs wal.FS, dir, name string) (manifest, error) {
+	path := filepath.Join(dir, name)
 	size, err := fs.Size(path)
 	if err != nil {
 		if notExist(err) {
-			return manifest{Version: 1}, nil
+			return manifest{}, err
 		}
-		return manifest{}, fmt.Errorf("store: reading manifest: %w", err)
+		return manifest{}, fmt.Errorf("store: reading %s: %w", name, err)
 	}
 	f, err := fs.Open(path)
 	if err != nil {
-		return manifest{}, fmt.Errorf("store: opening manifest: %w", err)
+		return manifest{}, fmt.Errorf("store: opening %s: %w", name, err)
 	}
 	defer f.Close()
 	buf := make([]byte, size)
 	if size > 0 {
 		if _, err := f.ReadAt(buf, 0); err != nil {
-			return manifest{}, fmt.Errorf("store: reading manifest: %w", err)
+			return manifest{}, fmt.Errorf("store: reading %s: %w", name, err)
 		}
 	}
 	var m manifest
 	if err := json.Unmarshal(buf, &m); err != nil {
-		return manifest{}, fmt.Errorf("store: decoding manifest: %w", err)
+		return manifest{}, fmt.Errorf("store: decoding %s: %w", name, err)
 	}
 	if m.Version != 1 {
-		return manifest{}, fmt.Errorf("store: unsupported manifest version %d", m.Version)
+		return manifest{}, fmt.Errorf("store: unsupported %s version %d", name, m.Version)
 	}
 	return m, nil
 }
@@ -203,11 +305,20 @@ func readManifest(fs wal.FS, dir string) (manifest, error) {
 // it, rename over the live name. A crash at any point leaves either the old
 // or the new manifest, never a torn one.
 func writeManifest(fs wal.FS, dir string, m manifest) error {
+	return writeManifestAs(fs, dir, manifestName, m)
+}
+
+// writeManifestGen durably writes m as its MANIFEST.<gen> retention backup.
+func writeManifestGen(fs wal.FS, dir string, m manifest) error {
+	return writeManifestAs(fs, dir, manifestGenName(m.Gen), m)
+}
+
+func writeManifestAs(fs wal.FS, dir, name string, m manifest) error {
 	buf, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return fmt.Errorf("store: encoding manifest: %w", err)
 	}
-	tmp := filepath.Join(dir, manifestName+".tmp")
+	tmp := filepath.Join(dir, name+".tmp")
 	f, err := fs.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("store: creating manifest temp: %w", err)
@@ -223,8 +334,48 @@ func writeManifest(fs wal.FS, dir string, m manifest) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := fs.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+	if err := fs.Rename(tmp, filepath.Join(dir, name)); err != nil {
 		return fmt.Errorf("store: publishing manifest: %w", err)
 	}
 	return nil
+}
+
+// gcRetired is the best-effort retention sweep after a successful manifest
+// publish: drop MANIFEST.<gen> backups older than the newest KeepCheckpoints
+// generations, page files the live manifest no longer references (crash
+// leftovers from a checkpoint that never published), and stale manifest temp
+// files. Failures are logged, never escalated — GC losing a race with the
+// filesystem must not poison the store.
+func (s *Store) gcRetired() {
+	names, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		s.logf("store: retention sweep: %v", err)
+		return
+	}
+	referenced := make(map[string]bool, len(s.man.Shards))
+	for _, e := range s.man.Shards {
+		referenced[e.File] = true
+	}
+	var oldest uint64
+	if keep := uint64(s.opts.KeepCheckpoints); s.man.Gen > keep {
+		oldest = s.man.Gen - keep + 1
+	}
+	for _, name := range names {
+		var stale bool
+		switch {
+		case strings.HasSuffix(name, ".tmp") && strings.HasPrefix(name, manifestName):
+			stale = true
+		case strings.HasSuffix(name, ".pages"):
+			stale = !referenced[name]
+		default:
+			g, ok := parseManifestGen(name)
+			stale = ok && g < oldest
+		}
+		if !stale {
+			continue
+		}
+		if err := s.fs.Remove(filepath.Join(s.dir, name)); err != nil && !notExist(err) {
+			s.logf("store: retention sweep: removing %s: %v", name, err)
+		}
+	}
 }

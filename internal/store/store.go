@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/monitor"
+	"repro/internal/sub"
 	"repro/internal/wal"
 )
 
@@ -50,6 +51,14 @@ type Options struct {
 	Engine core.Options
 	Live   core.LiveOptions
 	Shard  core.LiveShardOptions
+	// KeepCheckpoints, when positive, retains the newest N manifest
+	// generations as MANIFEST.<gen> backups (the newest is always
+	// byte-identical to MANIFEST, so a torn or corrupted MANIFEST recovers
+	// losslessly from it) and garbage-collects older generations plus any
+	// page files the current manifest no longer references (crash
+	// leftovers). Zero keeps the historical behavior: one MANIFEST, no
+	// backups, no GC.
+	KeepCheckpoints int
 	// Logf, when set, receives recovery and checkpoint progress lines.
 	Logf func(format string, args ...interface{})
 }
@@ -84,6 +93,7 @@ type Store struct {
 
 	log *wal.Log
 	eng *core.LiveShardedEngine
+	reg *sub.Registry
 
 	// mu serializes appends and guards the sticky durability error.
 	mu       sync.Mutex
@@ -100,6 +110,7 @@ type Store struct {
 	cond        *sync.Cond
 	pending     []span
 	busy        bool
+	subsDirty   bool // a registration changed; manifest needs republishing
 	checkpoints int
 	man         manifest // owned by the checkpointer after Open
 	stop        chan struct{}
@@ -211,7 +222,15 @@ func Open(dir string, dims int, opts Options) (*Store, error) {
 			s.stats.RestoredRows+s.stats.ReplayedRows, s.stats.RestoredRows, s.stats.RestoredShards, s.stats.ReplayedRows)
 	}
 
-	// 4. Start the checkpointer; seals queued during replay drain first.
+	// 4. Rebuild the standing-query registry at the recovered prefix and
+	// restore the manifest's durable registrations (detached, awaiting
+	// Resume). No appends run yet, so the replay inside each restore sees a
+	// quiescent engine.
+	s.reg = sub.NewRegistry(s.eng.Len())
+	s.restoreSubs()
+	s.reg.SetOnChange(s.markSubsDirty)
+
+	// 5. Start the checkpointer; seals queued during replay drain first.
 	s.wg.Add(1)
 	go s.checkpointLoop()
 	return s, nil
@@ -324,10 +343,13 @@ func (s *Store) Append(t int64, attrs []float64) (monitor.Decision, []monitor.Co
 	}
 	if err := s.log.Commit(); err != nil {
 		// The row reached the engine but its durability is unknown; poison
-		// the store so the caller cannot keep acknowledging appends.
+		// the store so the caller cannot keep acknowledging appends. The
+		// registry never observes the row: subscribers must not be told
+		// about a row that may not survive a crash.
 		s.err = fmt.Errorf("store: wal commit: %w", err)
 		return dec, confirms, s.err
 	}
+	s.observe(t, attrs)
 	return dec, confirms, nil
 }
 
@@ -372,6 +394,11 @@ func (s *Store) AppendBatch(rows []Row) (appended int, decs []monitor.Decision, 
 	if cerr := s.log.Commit(); cerr != nil {
 		s.err = fmt.Errorf("store: wal commit: %w", cerr)
 		return appended, decs, confirms, s.err
+	}
+	// Only now that the single group commit made the batch durable do
+	// subscribers get to see it.
+	for _, r := range rows[:appended] {
+		s.observe(r.T, r.Attrs)
 	}
 	return appended, decs, confirms, err
 }
@@ -423,7 +450,18 @@ func (s *Store) Close() error {
 	s.cond.Broadcast()
 	s.wg.Wait()
 	s.eng.WaitSealed()
+	// Final manifest publish: captures the last acked prefixes and any
+	// registration change the checkpointer had not flushed. Skipped when
+	// there is nothing subscription-related to record, so stores that never
+	// saw a durable subscription keep their historical on-disk layout.
+	var perr error
+	if len(s.man.Subs) > 0 || len(s.reg.Snapshot()) > 0 || s.man.NextSub != s.reg.NextID() {
+		perr = s.publishManifest()
+	}
 	err := s.log.Close()
+	if perr != nil && err == nil {
+		err = perr
+	}
 	s.mu.Lock()
 	if s.err != nil && err == nil {
 		err = s.err
@@ -432,14 +470,15 @@ func (s *Store) Close() error {
 	return err
 }
 
-// checkpointLoop drains sealed ranges: persist shard pages, republish the
-// manifest, advance the WAL low-water mark. One range at a time, in seal
-// order; on stop it finishes the queue before exiting.
+// checkpointLoop drains sealed ranges — persist shard pages, republish the
+// manifest, advance the WAL low-water mark — and republishes the manifest
+// when the subscription registration set changes. One unit of work at a
+// time, in order; on stop it finishes the queue before exiting.
 func (s *Store) checkpointLoop() {
 	defer s.wg.Done()
 	for {
 		s.ckptMu.Lock()
-		for len(s.pending) == 0 {
+		for len(s.pending) == 0 && !s.subsDirty {
 			if s.stopped() {
 				s.ckptMu.Unlock()
 				return
@@ -447,22 +486,40 @@ func (s *Store) checkpointLoop() {
 			// Close broadcasts after closing stop, so this always wakes.
 			s.cond.Wait()
 		}
-		sp := s.pending[0]
-		s.pending = s.pending[1:]
+		var sp span
+		doCkpt := len(s.pending) > 0
+		if doCkpt {
+			sp = s.pending[0]
+			s.pending = s.pending[1:]
+		}
+		// Every manifest write refreshes the registration set, so a queued
+		// checkpoint also clears the dirty flag. Cleared before the
+		// snapshot is taken: a registration landing mid-write re-dirties
+		// and triggers another publish.
+		s.subsDirty = false
 		s.busy = true
 		s.ckptMu.Unlock()
 
-		err := s.checkpoint(sp)
+		var err error
+		if doCkpt {
+			err = s.checkpoint(sp)
+		} else {
+			err = s.publishManifest()
+		}
 
 		s.ckptMu.Lock()
 		s.busy = false
-		if err == nil {
+		if err == nil && doCkpt {
 			s.checkpoints++
 		}
 		s.ckptMu.Unlock()
 		s.cond.Broadcast()
 		if err != nil {
-			s.logf("store: checkpoint of rows [%d,%d) failed: %v", sp.lo, sp.hi, err)
+			if doCkpt {
+				s.logf("store: checkpoint of rows [%d,%d) failed: %v", sp.lo, sp.hi, err)
+			} else {
+				s.logf("store: persisting subscriptions failed: %v", err)
+			}
 			s.mu.Lock()
 			if s.err == nil {
 				s.err = fmt.Errorf("store: checkpoint failed: %w", err)

@@ -60,7 +60,7 @@ func TestMatchesStandaloneMonitor(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ev := Event{SubID: id, Prefix: i + 1, Decision: &dec, Confirms: confs}
+		ev := Event{SubID: id, Prefix: i + 1, Seq: uint64(i + 1), Decision: &dec, Confirms: confs}
 		want = append(want, ev)
 		if err := r.Observe(times[i], attrs[i]); err != nil {
 			t.Fatal(err)
@@ -255,5 +255,299 @@ func TestCloseFlushesAll(t *testing.T) {
 		if n != 6 {
 			t.Fatalf("subscription %d flushed %d confirmations, want 6", id, n)
 		}
+	}
+}
+
+// replayFrom builds a RowSource over parallel time/attr slices.
+func replayFrom(times []int64, attrs [][]float64) RowSource {
+	return func(lo, hi int, observe func(t int64, attrs []float64) error) error {
+		for i := lo; i < hi; i++ {
+			if err := observe(times[i], attrs[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// TestSubscribeFromBackfill: a historical-base subscription must receive
+// the exact event stream — verdicts and sequence numbers — that a
+// subscription registered at that base would have produced live.
+func TestSubscribeFromBackfill(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	times, attrs := feed(rng, 200, 8)
+	s := score.MustLinear(1, 0.5)
+	rows := replayFrom(times, attrs)
+	spec := Spec{Scorer: s, K: 2, Tau: 15, Decisions: true, Confirms: true}
+
+	// Reference: subscribed at base 40, observed everything live.
+	ref := NewRegistry(40)
+	var want []Event
+	refID, err := ref.Subscribe(spec, func(ev Event) { want = append(want, ev) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Candidate: rows flow first, subscription arrives late with
+	// fromPrefix=40 and must backfill.
+	r := NewRegistry(40)
+	for i := 40; i < 150; i++ {
+		if err := ref.Observe(times[i], attrs[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Observe(times[i], attrs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Event
+	id, err := r.SubscribeFrom(spec, 40, func(ev Event) { got = append(got, ev) }, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Splice: both keep observing live past the subscribe point.
+	for i := 150; i < 200; i++ {
+		if err := ref.Observe(times[i], attrs[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Observe(times[i], attrs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("backfill+live produced %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w := want[i]
+		w.SubID = id
+		_ = refID
+		if !reflect.DeepEqual(got[i], w) {
+			t.Fatalf("event %d:\n got  %+v\n want %+v", i, got[i], w)
+		}
+	}
+	// Seqs are contiguous from 1.
+	for i, ev := range got {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+}
+
+// TestDetachResume: detaching discards events but keeps the registration
+// observing; resume re-derives exactly the missed suffix with the original
+// sequence numbers.
+func TestDetachResume(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	times, attrs := feed(rng, 240, 8)
+	s := score.MustLinear(0.3, 2)
+	rows := replayFrom(times, attrs)
+	spec := Spec{Scorer: s, K: 1, Tau: 12, Decisions: true, Confirms: true}
+
+	// Reference stream: one subscription that never detaches.
+	ref := NewRegistry(0)
+	var want []Event
+	if _, err := ref.Subscribe(spec, func(ev Event) { want = append(want, ev) }); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRegistry(0)
+	var got []Event
+	id, err := r.Subscribe(spec, func(ev Event) { got = append(got, ev) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedBoth := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if err := ref.Observe(times[i], attrs[i]); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Observe(times[i], attrs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	feedBoth(0, 80)
+	delivered := len(got)
+	lastPrefix := 0
+	if delivered > 0 {
+		lastPrefix = got[delivered-1].Prefix
+	}
+	if err := r.Detach(id); err != nil {
+		t.Fatal(err)
+	}
+	feedBoth(80, 160) // discarded while detached
+	if len(got) != delivered {
+		t.Fatalf("detached subscription delivered %d new events", len(got)-delivered)
+	}
+	base, err := r.Resume(id, lastPrefix, func(ev Event) { got = append(got, ev) }, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != 0 {
+		t.Fatalf("resume returned base %d, want 0", base)
+	}
+	feedBoth(160, 240) // live again
+	if len(got) != len(want) {
+		t.Fatalf("stitched stream has %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w := want[i]
+		w.SubID = got[i].SubID
+		if !reflect.DeepEqual(got[i], w) {
+			t.Fatalf("event %d:\n got  %+v\n want %+v", i, got[i], w)
+		}
+	}
+	// Resume with a stale fromPrefix replays overlap too — duplicates are
+	// the client's to drop by seq; here we just prove determinism: same
+	// seq, same payload.
+	var dup []Event
+	if _, err := r.Resume(id, 0, func(ev Event) { dup = append(dup, ev) }, rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(dup) != len(want) {
+		t.Fatalf("full re-replay produced %d events, want %d", len(dup), len(want))
+	}
+	for i := range dup {
+		if dup[i].Seq != want[i].Seq || dup[i].Prefix != want[i].Prefix {
+			t.Fatalf("re-replayed event %d: (seq %d, prefix %d), want (%d, %d)",
+				i, dup[i].Seq, dup[i].Prefix, want[i].Seq, want[i].Prefix)
+		}
+	}
+}
+
+// TestSnapshotRestore: a registry rebuilt from Snapshot via RestoreSub must
+// carry on producing the identical event stream, including sequence
+// numbers, from the restore point forward.
+func TestSnapshotRestore(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	times, attrs := feed(rng, 200, 10)
+	rows := replayFrom(times, attrs)
+	src := &Source{Weights: []float64{1, 0.25}}
+	spec := Spec{Scorer: score.MustLinear(1, 0.25), K: 2, Tau: 18,
+		Decisions: true, Confirms: true, Source: src}
+	ephemeral := Spec{Scorer: score.MustLinear(2, 2), K: 1, Tau: 9, Decisions: true}
+
+	ref := NewRegistry(0)
+	var want []Event
+	id, err := ref.Subscribe(spec, func(ev Event) { want = append(want, ev) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Subscribe(ephemeral, func(Event) {}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 120; i++ {
+		if err := ref.Observe(times[i], attrs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	states := ref.Snapshot()
+	if len(states) != 1 {
+		t.Fatalf("snapshot holds %d states, want 1 (ephemeral subs excluded)", len(states))
+	}
+	st := states[0]
+	if st.ID != id || st.Base != 0 || st.Spec.Source != src {
+		t.Fatalf("snapshot state %+v", st)
+	}
+	if st.Acked != 120 {
+		t.Fatalf("acked %d, want 120", st.Acked)
+	}
+
+	// "Restart": fresh registry at the same committed prefix.
+	restored := NewRegistry(120)
+	if err := restored.RestoreSub(st, rows); err != nil {
+		t.Fatal(err)
+	}
+	restored.RestoreNextID(ref.NextID())
+	if restored.Len() != 1 {
+		t.Fatalf("restored registry holds %d subs", restored.Len())
+	}
+	// Resume from the acked prefix: nothing to backfill, stream continues.
+	var got []Event
+	if _, err := restored.Resume(st.ID, st.Acked, func(ev Event) { got = append(got, ev) }, rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("resume at acked prefix replayed %d events", len(got))
+	}
+	seen := len(want)
+	for i := 120; i < 200; i++ {
+		if err := ref.Observe(times[i], attrs[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.Observe(times[i], attrs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tail := want[seen:]
+	if len(got) != len(tail) {
+		t.Fatalf("restored stream has %d events past restart, want %d", len(got), len(tail))
+	}
+	for i := range tail {
+		if !reflect.DeepEqual(got[i], tail[i]) {
+			t.Fatalf("post-restore event %d:\n got  %+v\n want %+v", i, got[i], tail[i])
+		}
+	}
+	// New ids never alias restored ones.
+	nid, err := restored.Subscribe(ephemeral, func(Event) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nid <= id {
+		t.Fatalf("new id %d not past restored id %d", nid, id)
+	}
+}
+
+// TestRestoreValidation: restore rejects duplicates, missing scorers, and
+// bases beyond the committed prefix.
+func TestRestoreValidation(t *testing.T) {
+	rows := replayFrom(nil, nil)
+	r := NewRegistry(0)
+	spec := Spec{Scorer: score.MustLinear(1), K: 1, Tau: 5, Decisions: true}
+	if err := r.RestoreSub(State{ID: 1, Spec: spec, Base: 7}, rows); err == nil {
+		t.Fatal("base beyond prefix accepted")
+	}
+	noScorer := spec
+	noScorer.Scorer = nil
+	if err := r.RestoreSub(State{ID: 1, Spec: noScorer, Base: 0}, rows); err == nil {
+		t.Fatal("nil scorer accepted")
+	}
+	if err := r.RestoreSub(State{ID: 3, Spec: spec, Base: 0}, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RestoreSub(State{ID: 3, Spec: spec, Base: 0}, rows); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if _, err := r.Resume(99, 0, func(Event) {}, rows); err != ErrNotFound {
+		t.Fatalf("resume of unknown id: %v", err)
+	}
+	if err := r.Detach(99); err != ErrNotFound {
+		t.Fatalf("detach of unknown id: %v", err)
+	}
+}
+
+// TestOnChange fires on registration-set mutations only.
+func TestOnChange(t *testing.T) {
+	r := NewRegistry(0)
+	var fires int
+	r.SetOnChange(func() { fires++ })
+	id, err := r.Subscribe(Spec{Scorer: score.MustLinear(1), K: 1, Tau: 5, Decisions: true}, func(Event) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fires != 1 {
+		t.Fatalf("%d fires after subscribe, want 1", fires)
+	}
+	if err := r.Observe(1, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if fires != 1 {
+		t.Fatalf("observe fired onChange (%d fires)", fires)
+	}
+	if err := r.Unsubscribe(id); err != nil {
+		t.Fatal(err)
+	}
+	if fires != 2 {
+		t.Fatalf("%d fires after unsubscribe, want 2", fires)
 	}
 }

@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// TestResumePaginatesHugeBacklog pins the evict/resume pagination contract
+// for backlogs larger than the per-connection event queue: a durable
+// subscription detaches, far more rows commit than eventQueueDepth can hold,
+// and a raw client catches up by resuming, draining until the terminal
+// evicted frame (or EOF), and resuming again from the last prefix it holds.
+// Every page must be gap-free and the union must cover the whole stream.
+func TestResumePaginatesHugeBacklog(t *testing.T) {
+	const rows = 3 * eventQueueDepth
+	fs := wal.NewMemFS()
+	srv, st, addr := startStoreServer(t, fs, "db")
+	defer srv.Close()
+	defer st.Close()
+
+	cl := dialT(t, addr)
+	if _, _, err := cl.Hello(FeatureEvents, FeatureBackfill); err != nil {
+		t.Fatal(err)
+	}
+	s, err := cl.Subscribe(Request{Dataset: "stream",
+		QuerySpec: QuerySpec{K: 1, Tau: 1 << 40, Anchor: "look-back", Weights: []float64{1, 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := s.SubKey()
+	if key == 0 {
+		t.Fatal("no durable key")
+	}
+	cl.Close()
+
+	for i := 1; i <= rows; i++ {
+		if _, _, err := st.Append(int64(i), []float64{float64(i), 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	lastPrefix, pages := 0, 0
+	for lastPrefix < rows {
+		pages++
+		if pages > rows {
+			t.Fatalf("no forward progress: %d resumes for %d rows", pages, rows)
+		}
+		rcl := dialT(t, addr)
+		if _, _, err := rcl.Hello(FeatureEvents, FeatureBackfill); err != nil {
+			t.Fatal(err)
+		}
+		rs, err := rcl.Subscribe(Request{Dataset: "stream", SubKey: key, FromPrefix: lastPrefix})
+		if err != nil {
+			t.Fatalf("resume at prefix %d: %v", lastPrefix, err)
+		}
+		got := 0
+	drain:
+		for lastPrefix < rows {
+			select {
+			case ev, ok := <-rs.Events():
+				if !ok || ev.Event == EventEvicted {
+					break drain
+				}
+				if ev.Prefix != lastPrefix+1 {
+					t.Fatalf("gap inside page %d: prefix %d after %d", pages, ev.Prefix, lastPrefix)
+				}
+				lastPrefix = ev.Prefix
+				got++
+			case <-time.After(15 * time.Second):
+				t.Fatalf("page %d stalled at prefix %d/%d after %d events", pages, lastPrefix, rows, got)
+			}
+		}
+		rcl.Close()
+	}
+	if pages < 2 {
+		t.Fatalf("backlog of %d rows fit one page; eviction pagination untested", rows)
+	}
+	t.Logf("caught up %d rows in %d pages", rows, pages)
+}

@@ -1,0 +1,242 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/score"
+	"repro/internal/wal"
+	"repro/internal/wire/chaosproxy"
+)
+
+// TestFollowerUnderWireChaos drives a durable standing query through a
+// deliberately hostile network: a chaosproxy between the Follower and a
+// store-backed server cuts every connection after a few KB (almost always
+// mid-frame), dribbles bytes in tiny chunks, and jitters delivery — while
+// rows keep committing. The Follower must reconnect and resume by key each
+// time, and the merged event stream it hands the application must be exactly
+// the stream a never-disconnected subscriber would have seen: one event per
+// committed prefix, strictly contiguous, no duplicates, with every verdict
+// re-derived bit-identically by batch queries over the exact prefix each
+// event names — across all five strategies.
+func TestFollowerUnderWireChaos(t *testing.T) {
+	rows := 200
+	if testing.Short() {
+		rows = 80
+	}
+	fs := wal.NewMemFS()
+	srv, st, addr := startStoreServer(t, fs, "db")
+	defer srv.Close()
+	defer st.Close()
+
+	proxy, err := chaosproxy.New(addr, chaosproxy.Options{
+		Seed:     7,
+		MinBytes: 1024, MaxBytes: 6144,
+		MaxChunk: 13,
+		MaxDelay: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	const k, tau = 2, 8
+	weights := []float64{1, 0.5}
+	f, err := Follow(proxy.Addr(), Request{Dataset: "stream",
+		QuerySpec: QuerySpec{K: k, Tau: tau, Weights: weights}},
+		RetryPolicy{MaxAttempts: 1 << 16, BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Commit rows directly on the store (the appender is not under test);
+	// mirror the exact committed stream for the re-derivation below. Light
+	// pacing interleaves live delivery with the replay-after-cut path.
+	rng := rand.New(rand.NewSource(42))
+	var (
+		mirrorTimes []int64
+		mirrorAttrs [][]float64
+		tm          int64
+	)
+	for i := 0; i < rows; i++ {
+		tm += int64(1 + rng.Intn(3))
+		attrs := []float64{rng.Float64() * 50, rng.Float64() * 10}
+		if _, _, err := st.Append(tm, attrs); err != nil {
+			t.Fatal(err)
+		}
+		mirrorTimes = append(mirrorTimes, tm)
+		mirrorAttrs = append(mirrorAttrs, attrs)
+		if i%10 == 9 {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// Collect until the event naming the final committed prefix arrives.
+	// Contiguity is the whole claim: prefix P+1 right after P, every time,
+	// regardless of how many connections died in between.
+	var events []Event
+	lastPrefix := 0
+	deadline := time.After(60 * time.Second)
+	for lastPrefix < rows {
+		select {
+		case ev, ok := <-f.Events():
+			if !ok {
+				t.Fatalf("follower stream died at prefix %d: %v", lastPrefix, f.Err())
+			}
+			if ev.Prefix != lastPrefix+1 {
+				t.Fatalf("merged stream not gap-free: prefix %d after %d (reconnects=%d)",
+					ev.Prefix, lastPrefix, f.Reconnects())
+			}
+			lastPrefix = ev.Prefix
+			events = append(events, ev)
+		case <-deadline:
+			t.Fatalf("stalled at prefix %d/%d (reconnects=%d cuts=%d): %v",
+				lastPrefix, rows, f.Reconnects(), proxy.Cuts(), f.Err())
+		}
+	}
+
+	// The chaos must actually have happened, and every recovery must have
+	// been a durable resume — never a fresh-subscription reset (which would
+	// re-deliver history) and never an eviction.
+	if proxy.Cuts() == 0 {
+		t.Fatal("proxy never cut a connection; chaos schedule too lenient")
+	}
+	if f.Reconnects() == 0 {
+		t.Fatal("follower never reconnected")
+	}
+	if got := f.Resets(); got != 0 {
+		t.Fatalf("%d resets: a durable resume was rejected and history re-delivered", got)
+	}
+	if got := f.Evictions(); got != 0 {
+		t.Fatalf("follower was evicted %d times", got)
+	}
+	t.Logf("survived %d cuts / %d reconnects over %d relayed bytes",
+		proxy.Cuts(), f.Reconnects(), proxy.Relayed())
+
+	// Re-derive every pushed verdict from batch engines over the exact
+	// prefix each event named, across all five strategies — the same bar
+	// TestStandingQueryStress sets for the chaos-free path.
+	engines := make(map[int]*core.Engine)
+	engineAt := func(prefix int) *core.Engine {
+		if e, ok := engines[prefix]; ok {
+			return e
+		}
+		ds, err := data.New(mirrorTimes[:prefix:prefix], mirrorAttrs[:prefix:prefix])
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := core.NewEngine(ds, core.Options{})
+		engines[prefix] = e
+		return e
+	}
+	strategies := []core.Algorithm{core.TBase, core.THop, core.SBase, core.SBand, core.SHop}
+	verify := func(prefix, id int, evTime int64, durable, ahead bool) {
+		t.Helper()
+		if id >= prefix {
+			t.Fatalf("verdict names record %d beyond its prefix %d", id, prefix)
+		}
+		if mirrorTimes[id] != evTime {
+			t.Fatalf("record %d: event time %d, stream committed %d", id, evTime, mirrorTimes[id])
+		}
+		anchor := core.LookBack
+		if ahead {
+			anchor = core.LookAhead
+		}
+		eng := engineAt(prefix)
+		for _, alg := range strategies {
+			res, err := eng.DurableTopK(core.Query{
+				K: k, Tau: tau, Start: evTime, End: evTime,
+				Scorer: score.MustLinear(weights...), Anchor: anchor, Algorithm: alg,
+			})
+			if err != nil {
+				t.Fatalf("reference query (%v): %v", alg, err)
+			}
+			found := false
+			for _, r := range res.Records {
+				if r.ID == id {
+					found = true
+				}
+			}
+			if found != durable {
+				t.Fatalf("prefix %d record %d (ahead=%v): pushed durable=%v, %v re-derives %v",
+					prefix, id, ahead, durable, alg, found)
+			}
+		}
+	}
+	decisions, confirms := 0, 0
+	for _, ev := range events {
+		if d := ev.Decision; d != nil {
+			decisions++
+			if d.ID != ev.Prefix-1 || d.Time != mirrorTimes[ev.Prefix-1] {
+				t.Fatalf("decision %+v does not describe prefix %d's append", d, ev.Prefix)
+			}
+			verify(ev.Prefix, d.ID, d.Time, d.Durable, false)
+		}
+		for _, c := range ev.Confirms {
+			if c.Truncated {
+				continue
+			}
+			confirms++
+			verify(ev.Prefix, c.ID, c.Time, c.Durable, true)
+		}
+	}
+	if decisions != rows {
+		t.Fatalf("merged stream carries %d decisions over %d committed rows", decisions, rows)
+	}
+	if confirms == 0 {
+		t.Fatal("no look-ahead confirmations flowed; raise rows or shrink tau")
+	}
+	t.Logf("re-derived %d decisions and %d confirmations across %d strategies",
+		decisions, confirms, len(strategies))
+}
+
+// TestChaosProxyControl pins the proxy's zero-chaos mode: with no budget, no
+// chunking and no delay it must be a faithful relay — the full protocol
+// session works through it unchanged. This keeps chaos findings attributable
+// to the schedule, not to relay bugs.
+func TestChaosProxyControl(t *testing.T) {
+	fs := wal.NewMemFS()
+	srv, st, addr := startStoreServer(t, fs, "db")
+	defer srv.Close()
+	defer st.Close()
+	proxy, err := chaosproxy.New(addr, chaosproxy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	cl := dialT(t, proxy.Addr())
+	if _, _, err := cl.Hello(FeatureEvents, FeatureBackfill); err != nil {
+		t.Fatal(err)
+	}
+	s, err := cl.Subscribe(Request{Dataset: "stream",
+		QuerySpec: QuerySpec{K: 1, Tau: 1 << 40, Anchor: "look-back", Weights: []float64{1, 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SubKey() == 0 {
+		t.Fatal("no durable key through the control proxy")
+	}
+	for i := 1; i <= 20; i++ {
+		if _, err := cl.Append("stream", []IngestRow{{Time: int64(i), Attrs: []float64{float64(i), 1}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for prefix := 1; prefix <= 20; prefix++ {
+		select {
+		case ev := <-s.Events():
+			if ev.Prefix != prefix || ev.Seq != uint64(prefix) {
+				t.Fatalf("control relay disturbed the stream: %+v at prefix %d", ev, prefix)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("control relay stalled at prefix %d", prefix)
+		}
+	}
+	if proxy.Cuts() != 0 {
+		t.Fatalf("control proxy cut %d connections", proxy.Cuts())
+	}
+}

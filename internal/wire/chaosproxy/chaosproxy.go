@@ -1,0 +1,247 @@
+// Package chaosproxy is a deliberately unreliable TCP relay for torturing
+// the wire protocol: it forwards bytes between a client and a real server
+// while injecting, from a seeded deterministic schedule, the failure modes a
+// flaky network produces — connection cuts after a random byte budget
+// (which lands mid-frame far more often than not, exercising truncated-frame
+// handling on both peers), partial writes (frames dribbled out in small
+// chunks), and per-chunk delays. It never corrupts bytes it does deliver:
+// the protocol's length-prefixed framing treats corruption and truncation
+// identically (the JSON fails to parse or the read comes up short), and
+// truncation is the variant a real TCP failure produces.
+//
+// The schedule derives entirely from the seed and the order in which
+// connections arrive, so a failing run reproduces with its seed. Byte counts
+// and cut decisions are per-connection, not global, keeping concurrent
+// connections independent.
+package chaosproxy
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options tunes the injected chaos. The zero value forwards faithfully
+// (infinite budget, whole-buffer writes, no delay) — useful as a control.
+type Options struct {
+	// Seed drives every random decision. Runs with the same seed and the
+	// same connection arrival order inject identical chaos.
+	Seed int64
+
+	// MinBytes/MaxBytes bound the per-connection byte budget: once a
+	// connection has relayed a budget drawn uniformly from [MinBytes,
+	// MaxBytes), both sides are severed immediately — usually mid-frame.
+	// MaxBytes <= 0 disables cutting.
+	MinBytes, MaxBytes int64
+
+	// MaxChunk > 0 relays in chunks of 1..MaxChunk bytes instead of whole
+	// buffers, so peers see partial writes and short reads.
+	MaxChunk int
+
+	// MaxDelay > 0 sleeps up to MaxDelay before each relayed chunk.
+	MaxDelay time.Duration
+}
+
+// Proxy is one listening relay in front of a target address.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	opts   Options
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	cuts    atomic.Int64
+	relayed atomic.Int64
+}
+
+// New starts a proxy on a fresh loopback port relaying to target.
+func New(target string, opts Options) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		ln: ln, target: target, opts: opts,
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+		conns: make(map[net.Conn]struct{}),
+	}
+	go p.accept()
+	return p, nil
+}
+
+// Addr is the address clients dial instead of the real server.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Cuts reports how many connections the proxy severed on budget exhaustion
+// (CutAll and Close are not counted — only scheduled chaos).
+func (p *Proxy) Cuts() int64 { return p.cuts.Load() }
+
+// Relayed reports the total bytes faithfully forwarded, both directions.
+func (p *Proxy) Relayed() int64 { return p.relayed.Load() }
+
+// CutAll severs every live connection immediately, leaving the listener up:
+// the next dial goes through. Use it to force a reconnect at a chosen point.
+func (p *Proxy) CutAll() {
+	p.connMu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.connMu.Unlock()
+}
+
+// Close stops the listener and severs everything.
+func (p *Proxy) Close() error {
+	p.connMu.Lock()
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.connMu.Unlock()
+	return p.ln.Close()
+}
+
+func (p *Proxy) accept() {
+	for {
+		down, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		up, err := net.Dial("tcp", p.target)
+		if err != nil {
+			down.Close()
+			continue
+		}
+		if !p.track(down, up) {
+			return
+		}
+		go p.relay(down, up)
+	}
+}
+
+// track registers the pair for CutAll/Close, refusing after Close.
+func (p *Proxy) track(down, up net.Conn) bool {
+	p.connMu.Lock()
+	defer p.connMu.Unlock()
+	if p.closed {
+		down.Close()
+		up.Close()
+		return false
+	}
+	p.conns[down] = struct{}{}
+	p.conns[up] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(down, up net.Conn) {
+	p.connMu.Lock()
+	delete(p.conns, down)
+	delete(p.conns, up)
+	p.connMu.Unlock()
+}
+
+// relay shuttles both directions until the budget expires or either side
+// closes. The budget is shared across directions, so a cut can land inside
+// a request frame just as easily as inside an event frame.
+func (p *Proxy) relay(down, up net.Conn) {
+	defer p.untrack(down, up)
+	defer down.Close()
+	defer up.Close()
+
+	budget := int64(-1)
+	if p.opts.MaxBytes > 0 {
+		span := p.opts.MaxBytes - p.opts.MinBytes
+		if span < 1 {
+			span = 1
+		}
+		p.rngMu.Lock()
+		budget = p.opts.MinBytes + p.rng.Int63n(span)
+		p.rngMu.Unlock()
+	}
+	var remaining atomic.Int64
+	remaining.Store(budget)
+
+	var wg sync.WaitGroup
+	cut := func() {
+		p.cuts.Add(1)
+		down.Close()
+		up.Close()
+	}
+	pipe := func(dst, src net.Conn) {
+		defer wg.Done()
+		// Closing both sides on either direction's exit models a real TCP
+		// reset: the peer cannot be half-alive across a proxy.
+		defer down.Close()
+		defer up.Close()
+		buf := make([]byte, 32*1024)
+		for {
+			n, err := src.Read(buf)
+			if n > 0 {
+				if !p.forward(dst, buf[:n], &remaining, cut) {
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go pipe(up, down)
+	go pipe(down, up)
+	wg.Wait()
+}
+
+// forward writes b to dst under the chaos schedule, returning false once the
+// connection was cut. Bytes beyond the budget are never delivered — the
+// receiver sees a clean mid-frame truncation, not reordered tails.
+func (p *Proxy) forward(dst net.Conn, b []byte, remaining *atomic.Int64, cut func()) bool {
+	for len(b) > 0 {
+		chunk := len(b)
+		var delay time.Duration
+		if p.opts.MaxChunk > 0 || p.opts.MaxDelay > 0 {
+			p.rngMu.Lock()
+			if p.opts.MaxChunk > 0 && chunk > 1 {
+				if c := 1 + p.rng.Intn(p.opts.MaxChunk); c < chunk {
+					chunk = c
+				}
+			}
+			if p.opts.MaxDelay > 0 {
+				delay = time.Duration(p.rng.Int63n(int64(p.opts.MaxDelay)))
+			}
+			p.rngMu.Unlock()
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		piece := b[:chunk]
+		if r := remaining.Load(); r >= 0 {
+			if r == 0 {
+				cut()
+				return false
+			}
+			if int64(len(piece)) > r {
+				piece = piece[:r]
+			}
+		}
+		n, err := dst.Write(piece)
+		p.relayed.Add(int64(n))
+		if r := remaining.Load(); r >= 0 {
+			if remaining.Add(-int64(n)) <= 0 {
+				cut()
+				return false
+			}
+		}
+		if err != nil {
+			return false
+		}
+		b = b[n:]
+	}
+	return true
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 )
 
 // subEventBuffer is each client subscription's event channel capacity. The
@@ -111,13 +112,16 @@ func (c *Client) readLoop() {
 
 // failRead records the terminal read error, wakes the in-flight request (if
 // any) and closes every subscription's event channel so consumers observe
-// the end of their streams.
+// the end of their streams. c.subs goes nil — the marker Subscribe checks to
+// learn the reader died under it — but c.pending survives: a Subscribe whose
+// response was already in flight claims its parked events from there, so a
+// page the server delivered right before closing (an eviction's backlog) is
+// handed to the consumer instead of vanishing.
 func (c *Client) failRead(err error) {
 	c.subMu.Lock()
 	c.readErr = err
 	subs := c.subs
-	c.subs = make(map[uint64]*Subscription)
-	c.pending = nil
+	c.subs = nil
 	c.subMu.Unlock()
 	close(c.respCh)
 	for _, s := range subs {
@@ -159,6 +163,8 @@ func (c *Client) dispatchEvent(ev *Event) {
 // consumer falls behind (see Dropped).
 type Subscription struct {
 	id      uint64
+	subKey  uint64
+	base    int
 	c       *Client
 	events  chan Event
 	dropped atomic.Int64
@@ -174,6 +180,17 @@ func (s *Subscription) deliver(ev Event) {
 
 // ID returns the server-assigned (connection-local) subscription id.
 func (s *Subscription) ID() uint64 { return s.id }
+
+// SubKey returns the subscription's durable registry key, or zero on
+// connections that did not negotiate the backfill feature. The key outlives
+// this connection: a later connection resumes the subscription by sending it
+// in a subscribe request (with FromPrefix naming the last event received).
+func (s *Subscription) SubKey() uint64 { return s.subKey }
+
+// Base returns the committed prefix the subscription's verdicts start after,
+// as reported by a backfill-negotiated subscribe; zero otherwise. A consumer
+// that has received no events yet resumes from Base.
+func (s *Subscription) Base() int { return s.base }
 
 // Events is the subscription's verdict stream. It closes when the
 // subscription is dropped (Unsubscribe) or the connection dies; consumers
@@ -200,11 +217,18 @@ func (c *Client) Subscribe(req Request) (*Subscription, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Subscription{id: resp.SubID, c: c, events: make(chan Event, subEventBuffer)}
+	s := &Subscription{id: resp.SubID, subKey: resp.SubKey, base: resp.Base, c: c, events: make(chan Event, subEventBuffer)}
 	c.subMu.Lock()
 	if c.subs == nil {
-		// The reader died between the response and here; the stream is over
-		// before it began.
+		// The reader died between the response and here. Frames it parked
+		// for this subscription before dying still count — a server that
+		// evicts immediately after replaying a backlog page closes exactly
+		// this way, and dropping the page would cost the consumer progress
+		// it already paid for — so deliver them, then close.
+		for _, ev := range c.pending[resp.SubID] {
+			s.deliver(ev)
+		}
+		delete(c.pending, resp.SubID)
 		c.subMu.Unlock()
 		close(s.events)
 		return s, nil
@@ -243,10 +267,27 @@ func (c *Client) Unsubscribe(s *Subscription) error {
 }
 
 // Follower maintains a standing query across reconnects: it dials, upgrades
-// to v2, subscribes, and forwards events to one channel; when the connection
-// dies it re-dials under the retry policy and re-subscribes. Each reconnect
-// re-registers the query fresh — the new subscription's monitor starts from
-// the dataset's then-current prefix, so verdicts for rows appended while
+// to v2 offering the events and backfill features, subscribes, and forwards
+// events to one channel; when the connection dies it re-dials under the
+// retry policy and splices back into the stream.
+//
+// Against a backfill-capable server the merged stream is gap-free and
+// duplicate-free: the first subscribe yields a durable registry key, each
+// reconnect resumes that key from the last event received, the server
+// replays everything missed before going live, and sequence numbers let the
+// follower drop the rare overlap a conservative resume point produces. A
+// server-side eviction (the follower fell too far behind) announces itself
+// with a terminal evicted frame; the follower swallows it, counts it
+// (Evictions) and resumes exactly like any other disconnect. Only if a
+// resume is rejected — the registration no longer exists, e.g. a restart of
+// a server that does not persist its registry — does the follower fall back
+// to a fresh subscription, counting the seam in Resets; verdicts for rows
+// appended before the fresh base are then permanently missed, exactly the
+// legacy behavior.
+//
+// Against a server that grants only the events feature every reconnect
+// re-registers fresh — the new subscription's monitor starts from the
+// dataset's then-current prefix, so verdicts for rows appended while
 // disconnected are not replayed. Consumers detect the seam by the jump in
 // Event.Prefix (and can re-query the interval to backfill).
 type Follower struct {
@@ -257,7 +298,16 @@ type Follower struct {
 	events chan Event
 	stop   chan struct{}
 
+	// Resume state, touched only by the follower's own goroutine (Follow's
+	// synchronous first connect included — run starts after).
+	backfill   bool
+	subKey     uint64
+	lastPrefix int
+	lastSeq    uint64
+
 	reconnects atomic.Int64
+	resets     atomic.Int64
+	evictions  atomic.Int64
 	err        atomic.Pointer[error]
 }
 
@@ -280,20 +330,90 @@ func Follow(addr string, req Request, p RetryPolicy) (*Follower, error) {
 	return f, nil
 }
 
-// connect dials, negotiates v2 with events, and subscribes.
+// connect establishes a subscribed session under the retry policy. Transport
+// failures — the dial itself, or a connection cut mid-handshake — back off
+// and retry like any other disconnect; only a server that answers with a
+// permanent rejection (bad dataset, invalid query) fails fast, because
+// misconfiguration does not heal by redialing.
 func (f *Follower) connect() (*Client, *Subscription, error) {
-	c, err := DialRetry(f.addr, f.policy)
+	var deadline time.Time
+	if f.policy.MaxElapsed > 0 {
+		deadline = time.Now().Add(f.policy.MaxElapsed)
+	}
+	delay := f.policy.BaseDelay
+	for attempt := 1; ; attempt++ {
+		select {
+		case <-f.stop:
+			return nil, nil, errors.New("wire: follower closed")
+		default:
+		}
+		c, s, err := f.connectOnce()
+		if err == nil {
+			return c, s, nil
+		}
+		var se *ServerError
+		if errors.As(err, &se) && !se.Transient {
+			return nil, nil, err
+		}
+		if attempt >= f.policy.MaxAttempts ||
+			(!deadline.IsZero() && !time.Now().Before(deadline)) {
+			return nil, nil, err
+		}
+		delay = f.policy.sleep(delay)
+	}
+}
+
+// connectOnce dials, negotiates v2 offering events+backfill, and subscribes:
+// resuming the durable registration when one exists, registering fresh
+// otherwise.
+func (f *Follower) connectOnce() (*Client, *Subscription, error) {
+	c, err := Dial(f.addr)
 	if err != nil {
 		return nil, nil, err
 	}
-	if _, _, err := c.Hello(FeatureEvents); err != nil {
+	_, feats, err := c.Hello(FeatureEvents, FeatureBackfill)
+	if err != nil {
 		c.Close()
 		return nil, nil, err
+	}
+	backfill := false
+	for _, ft := range feats {
+		if ft == FeatureBackfill {
+			backfill = true
+		}
+	}
+	if backfill && f.subKey != 0 {
+		req := f.req
+		req.SubKey = f.subKey
+		req.FromPrefix = f.lastPrefix
+		s, err := c.Subscribe(req)
+		if err == nil {
+			f.backfill = true
+			return c, s, nil
+		}
+		var se *ServerError
+		if !errors.As(err, &se) {
+			// The connection died under the resume request; nothing was
+			// rejected and the key is still good. Retry the whole handshake.
+			c.Close()
+			return nil, nil, err
+		}
+		// The server answered no: the registration is gone (dropped, or the
+		// server restarted without a durable registry). Fall back to a fresh
+		// subscription: a seam, not a failure — but a counted one.
+		f.resets.Add(1)
+		f.subKey = 0
 	}
 	s, err := c.Subscribe(f.req)
 	if err != nil {
 		c.Close()
 		return nil, nil, err
+	}
+	f.backfill = backfill
+	if backfill {
+		f.subKey = s.SubKey()
+		f.lastPrefix = s.Base()
+		f.lastSeq = 0
 	}
 	return c, s, nil
 }
@@ -344,10 +464,28 @@ func (f *Follower) forward(c *Client, s *Subscription) bool {
 			if !ok {
 				return true
 			}
+			if ev.Event == EventEvicted {
+				// The server is cutting this connection for falling behind;
+				// the frame is bookkeeping, not a verdict. The stream closes
+				// next, and the normal resume path replays from lastPrefix.
+				f.evictions.Add(1)
+				continue
+			}
+			if f.backfill && ev.Seq != 0 && ev.Seq <= f.lastSeq {
+				// A conservative resume point replayed an event already
+				// forwarded; the deterministic sequence numbers expose it.
+				continue
+			}
 			select {
 			case f.events <- ev:
 			case <-f.stop:
 				return false
+			}
+			if f.backfill {
+				if ev.Seq != 0 {
+					f.lastSeq = ev.Seq
+				}
+				f.lastPrefix = ev.Prefix
 			}
 		}
 	}
@@ -360,6 +498,17 @@ func (f *Follower) Events() <-chan Event { return f.events }
 // Reconnects reports how many times the follower re-established its
 // subscription after losing a connection.
 func (f *Follower) Reconnects() int64 { return f.reconnects.Load() }
+
+// Resets reports how many reconnects could not resume the durable
+// registration and fell back to a fresh subscription — each one a seam in
+// the stream where verdicts for rows appended while disconnected were
+// permanently missed. Zero against a server with a durable registry.
+func (f *Follower) Resets() int64 { return f.resets.Load() }
+
+// Evictions reports how many times the server evicted this follower for
+// falling behind the event stream. Evictions are not seams: the follower
+// resumes from its last received event with the gap replayed.
+func (f *Follower) Evictions() int64 { return f.evictions.Load() }
 
 // Err reports why the follower stopped, or nil if it is running or was
 // closed deliberately.

@@ -101,15 +101,16 @@ func TestGoldenV1WireFraming(t *testing.T) {
 	}
 }
 
-// TestV2FieldsMarshalAway: the fields added for protocol v2 must be
-// invisible on v1 frames — a v1 request marshals without features/subId and
-// a v1 response without them either, so old peers never see unknown keys.
+// TestV2FieldsMarshalAway: the fields added for protocol v2 and v2.1 must be
+// invisible on v1 frames — a v1 request marshals without features/subId (or
+// the v2.1 backfill keys) and a v1 response without them either, so old
+// peers never see unknown keys.
 func TestV2FieldsMarshalAway(t *testing.T) {
 	b, err := json.Marshal(Request{V: Version, Op: OpPing})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"features", "subId"} {
+	for _, key := range []string{"features", "subId", "backfill", "fromPrefix", "subKey"} {
 		if bytes.Contains(b, []byte(key)) {
 			t.Fatalf("v1 request leaks v2 key %q: %s", key, b)
 		}
@@ -118,9 +119,37 @@ func TestV2FieldsMarshalAway(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"features", "subId", "event"} {
+	for _, key := range []string{"features", "subId", "event", "subKey", "base"} {
 		if bytes.Contains(rb, []byte(key)) {
 			t.Fatalf("v1 response leaks v2 key %q: %s", key, rb)
 		}
+	}
+}
+
+// TestV21FieldsMarshalAwayOnV20Frames: a v2.0 session's frames must not grow
+// the v2.1 keys either — subscribe responses without the backfill feature
+// carry no subKey/base, and event frames no seq — so v2.0 golden bytes in
+// the field stay byte-identical.
+func TestV21FieldsMarshalAwayOnV20Frames(t *testing.T) {
+	rb, err := json.Marshal(Response{V: Version2, OK: true, SubID: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"subKey", "base", "backfill", "fromPrefix"} {
+		if bytes.Contains(rb, []byte(key)) {
+			t.Fatalf("v2.0 subscribe response leaks v2.1 key %q: %s", key, rb)
+		}
+	}
+	eb, err := json.Marshal(Event{V: Version2, Event: EventSub, SubID: 3, Prefix: 17,
+		Decision: &LiveDecision{ID: 16, Time: 99, Durable: true, Rank: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(eb, []byte("seq")) {
+		t.Fatalf("v2.0 event frame leaks v2.1 key \"seq\": %s", eb)
+	}
+	want := `{"v":2,"event":"sub","subId":3,"prefix":17,"decision":{"id":16,"time":99,"durable":true,"rank":1}}`
+	if string(eb) != want {
+		t.Fatalf("v2.0 event frame drifted:\n got  %s\n want %s", eb, want)
 	}
 }

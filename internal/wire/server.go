@@ -29,6 +29,20 @@ type LiveIngest interface {
 	Monitored() bool
 }
 
+// RegistryProvider is implemented by ingestion surfaces that own their
+// dataset's standing-query registry and make registrations durable — the
+// crash-safe store. When an AddLiveQuerier ingest surface implements it, the
+// server uses the provider's registry (so registrations persist through
+// checkpoints and survive restarts), replays history through its RowSource,
+// feeds no rows itself (the provider observes its own committed appends),
+// and withholds subscribe/unsubscribe acknowledgments until
+// SyncSubscriptions reports the registration change durable.
+type RegistryProvider interface {
+	Registry() *sub.Registry
+	RowSource() sub.RowSource
+	SyncSubscriptions() error
+}
+
 // Server hosts durable top-k engines over named datasets and answers wire
 // requests. Engines are built once at registration; queries on one engine
 // run concurrently. The zero value is not usable; construct with NewServer.
@@ -96,6 +110,18 @@ type served struct {
 	// subReg is the dataset's standing-query registry, created lazily on the
 	// first subscribe (under appendMu, so its starting prefix is exact).
 	subReg atomic.Pointer[sub.Registry]
+	// provider, when non-nil, supplies the registry instead (see
+	// RegistryProvider): the ingest surface owns it, persists registrations
+	// and observes its own committed appends, so appendRow must not.
+	provider RegistryProvider
+
+	// subOwners maps a registry subscription key to the connection currently
+	// attached to it. A durable subscription outlives connections; on conn
+	// teardown it is detached (not dropped) — but only by its current owner,
+	// so a stale connection dying after another one resumed the subscription
+	// cannot sever the new consumer.
+	ownMu     sync.Mutex
+	subOwners map[uint64]*connState
 
 	// exprCache memoizes compiled scoring expressions by source text.
 	// Dimensionality and attribute names — the other compile inputs — are
@@ -122,12 +148,17 @@ func (sv *served) appendRow(t int64, attrs []float64, logf func(string, ...inter
 	if err != nil {
 		return dec, confirms, err
 	}
-	if reg := sv.subReg.Load(); reg != nil {
-		if oerr := reg.Observe(t, attrs); oerr != nil && logf != nil {
-			// Unreachable while appends stay strictly increasing (the engine
-			// just accepted the row); surfaced rather than swallowed so a
-			// registry bug cannot silently starve subscribers.
-			logf("wire: subscription registry: %v", oerr)
+	// Provider-backed datasets observe their own committed appends (after
+	// the WAL commit, so subscribers never see a row a crash could lose);
+	// feeding the registry here would double-observe every row.
+	if sv.provider == nil {
+		if reg := sv.subReg.Load(); reg != nil {
+			if oerr := reg.Observe(t, attrs); oerr != nil && logf != nil {
+				// Unreachable while appends stay strictly increasing (the engine
+				// just accepted the row); surfaced rather than swallowed so a
+				// registry bug cannot silently starve subscribers.
+				logf("wire: subscription registry: %v", oerr)
+			}
 		}
 	}
 	return dec, confirms, nil
@@ -138,6 +169,9 @@ func (sv *served) appendRow(t int64, attrs []float64, logf func(string, ...inter
 // the exact committed row count — no append can land between the count and
 // the registry's attachment.
 func (sv *served) registry() *sub.Registry {
+	if sv.provider != nil {
+		return sv.provider.Registry()
+	}
 	if r := sv.subReg.Load(); r != nil {
 		return r
 	}
@@ -149,6 +183,107 @@ func (sv *served) registry() *sub.Registry {
 	r := sub.NewRegistry(sv.eng.Dataset().Len())
 	sv.subReg.Store(r)
 	return r
+}
+
+// loadRegistry returns the dataset's registry if one exists, without
+// creating it — the teardown paths' flavor.
+func (sv *served) loadRegistry() *sub.Registry {
+	if sv.provider != nil {
+		return sv.provider.Registry()
+	}
+	return sv.subReg.Load()
+}
+
+// rowSource replays committed rows for backfill and resume: the provider's
+// (WAL-committed rows only) when one is installed, otherwise the engine's
+// append-stable dataset view.
+func (sv *served) rowSource() sub.RowSource {
+	if sv.provider != nil {
+		return sv.provider.RowSource()
+	}
+	return func(lo, hi int, observe func(t int64, attrs []float64) error) error {
+		ds := sv.eng.Dataset()
+		if hi > ds.Len() {
+			return fmt.Errorf("wire: row source asked for [%d,%d) of %d committed rows", lo, hi, ds.Len())
+		}
+		for i := lo; i < hi; i++ {
+			if err := observe(ds.Time(i), ds.Attrs(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// syncSubscriptions makes a registration change durable before it is
+// acknowledged; a no-op for in-memory registries.
+func (sv *served) syncSubscriptions() error {
+	if sv.provider == nil {
+		return nil
+	}
+	return sv.provider.SyncSubscriptions()
+}
+
+// claimSub records st as the connection currently attached to registry
+// subscription key regID. Used when the subscription is first created, so no
+// competing resume can exist yet (the key has not been disclosed).
+func (sv *served) claimSub(regID uint64, st *connState) {
+	sv.ownMu.Lock()
+	if sv.subOwners == nil {
+		sv.subOwners = make(map[uint64]*connState)
+	}
+	sv.subOwners[regID] = st
+	sv.ownMu.Unlock()
+}
+
+// resumeOwned reattaches st to durable subscription regID, replaying missed
+// events past fromPrefix, and transfers ownership to st. The registry call
+// happens under ownMu so it cannot interleave with a stale owner's
+// detachIfOwner — lock order is always ownMu → registry lock. ready fires
+// once the resume is certain to succeed, before the backlog is emitted (see
+// Registry.ResumeNotify); handleResume acks through it so the client learns
+// its subscription id ahead of a possibly long replay.
+func (sv *served) resumeOwned(regID uint64, fromPrefix int, st *connState, emit sub.Emit, ready func(base int)) (int, error) {
+	reg := sv.loadRegistry()
+	if reg == nil {
+		return 0, sub.ErrNotFound
+	}
+	sv.ownMu.Lock()
+	defer sv.ownMu.Unlock()
+	base, err := reg.ResumeNotify(regID, fromPrefix, emit, sv.rowSource(), ready)
+	if err != nil {
+		return 0, err
+	}
+	if sv.subOwners == nil {
+		sv.subOwners = make(map[uint64]*connState)
+	}
+	sv.subOwners[regID] = st
+	return base, nil
+}
+
+// detachIfOwner detaches durable subscription regID — discarding events until
+// a Resume — but only if st is still its owner. Holding ownMu across the
+// Detach means a connection that resumed the subscription concurrently (and
+// took ownership) can never have its freshly attached emitter severed by the
+// stale connection's teardown.
+func (sv *served) detachIfOwner(regID uint64, st *connState) {
+	sv.ownMu.Lock()
+	defer sv.ownMu.Unlock()
+	if sv.subOwners[regID] != st {
+		return
+	}
+	delete(sv.subOwners, regID)
+	if reg := sv.loadRegistry(); reg != nil {
+		_ = reg.Detach(regID)
+	}
+}
+
+// dropSubOwner unconditionally forgets regID's owner — the unsubscribe paths,
+// where the registration itself is being dropped.
+func (sv *served) dropSubOwner(regID uint64) {
+	sv.ownMu.Lock()
+	delete(sv.subOwners, regID)
+	sv.ownMu.Unlock()
 }
 
 // compileExpr returns the compiled form of src, memoized per dataset.
@@ -330,7 +465,11 @@ func (s *Server) AddLiveQuerier(name string, eng core.Querier, ingest LiveIngest
 		return errors.New("wire: AddLiveQuerier needs a non-nil ingest surface")
 	}
 	return s.addEntry(name, eng.Dataset(), attrs, func() *served {
-		return &served{eng: eng, attrs: attrs, live: ingest}
+		sv := &served{eng: eng, attrs: attrs, live: ingest}
+		// An ingest surface that owns a durable registry (the crash-safe
+		// store) takes over standing-query state for this dataset.
+		sv.provider, _ = ingest.(RegistryProvider)
+		return sv
 	})
 }
 
@@ -613,6 +752,14 @@ func (s *Server) serveConnPipelined(conn net.Conn, sched *serve.Scheduler, st *c
 		}
 		for {
 			select {
+			case <-st.evict:
+				// Slow-subscriber eviction (pushEvent overflowed): drain what
+				// is queued, write each subscription's terminal evicted frame,
+				// close the connection. fail() then releases any in-flight
+				// handlers into their buffered slots.
+				evictConn(conn, st)
+				fail()
+				return
 			case ev := <-st.events:
 				if !write(ev) {
 					fail()
@@ -630,6 +777,10 @@ func (s *Server) serveConnPipelined(conn net.Conn, sched *serve.Scheduler, st *c
 				for resp == nil {
 					select {
 					case resp = <-sl:
+					case <-st.evict:
+						evictConn(conn, st)
+						fail()
+						return
 					case ev := <-st.events:
 						// Keep events flowing while a slow handler computes.
 						if !write(ev) {
@@ -638,8 +789,14 @@ func (s *Server) serveConnPipelined(conn net.Conn, sched *serve.Scheduler, st *c
 						}
 					}
 				}
-				// Events enqueued by this request's handler go first.
-				if !flushEvents() || !write(resp) {
+				// Events enqueued by this request's handler go first. A
+				// deferred response already rode the event FIFO (resume's
+				// ack-before-backlog); only the flush remains.
+				if !flushEvents() {
+					fail()
+					return
+				}
+				if resp != respDeferred && !write(resp) {
 					fail()
 					return
 				}

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/monitor"
 	"repro/internal/sub"
@@ -17,6 +19,12 @@ import (
 // events or stalling appends: every delivered event stream is gap-free.
 const eventQueueDepth = 1024
 
+// evictGrace bounds how long an eviction spends delivering the queued
+// backlog and the terminal evicted frames to a slow subscriber before the
+// connection is cut regardless. A watchdog closes the connection at twice
+// this grace in case the writer itself is wedged in a deadline-less write.
+const evictGrace = 2 * time.Second
+
 // connState is one connection's protocol v2 state. Connections that never
 // send a hello keep the zero-ish state from newConnState (v2 false, empty
 // queue) and behave exactly as v1 — the fields cost nothing until used.
@@ -27,63 +35,166 @@ type connState struct {
 	// eventsOK records that the hello accepted the "events" feature flag;
 	// subscriptions require it.
 	eventsOK bool
+	// backfillOK records that the hello accepted the "backfill" feature:
+	// subscriptions on this connection are durable (they survive the
+	// connection, resumable by SubKey), event frames carry sequence numbers,
+	// and subscribe may anchor at a historical prefix.
+	backfillOK bool
 
 	// events carries server-initiated frames to the connection's writer,
-	// which interleaves them with responses at frame granularity.
-	events chan *Event
+	// which interleaves them with responses at frame granularity. Mostly
+	// *Event; a resume handler also routes its acknowledgment *Response
+	// through here so the ack precedes the replay backlog on one FIFO.
+	events chan interface{}
+	// evict signals the writer (buffered, never blocks) that pushEvent
+	// overflowed: deliver the backlog and the terminal evicted frames, then
+	// close. Only the CAS winner on dead sends, so one signal per life.
+	evict chan struct{}
 	// dead marks the connection undeliverable (write failure or event-queue
 	// overflow); emitters stop enqueueing once set.
 	dead atomic.Bool
 
-	// mu guards the subscription table. Registry emit closures never take it:
-	// they capture their conn-local id by value.
+	// mu guards the subscription table and progress map. Registry emit
+	// closures take it only for the progress update in pushEvent; no code
+	// path acquires the registry lock while holding mu, so the registry-lock
+	// → mu order in emit closures cannot deadlock.
 	mu      sync.Mutex
 	nextSub uint64
 	subs    map[uint64]connSub
+	// progress records, per conn-local subscription id, the last event frame
+	// enqueued for delivery — what the terminal evicted frame reports so a
+	// resuming consumer knows where the stream stopped.
+	progress map[uint64]subProgress
+}
+
+// subProgress is the last enqueued event position of one subscription.
+type subProgress struct {
+	seq    uint64
+	prefix int
 }
 
 // connSub ties a conn-local subscription id to its dataset registry entry.
 // Ids are conn-local because registry ids are per dataset: two subscriptions
-// on different datasets could otherwise collide on one connection.
+// on different datasets could otherwise collide on one connection. durable
+// marks registrations that outlive the connection (backfill feature): conn
+// teardown detaches them for a later resume instead of dropping them.
 type connSub struct {
-	sv    *served
-	regID uint64
+	sv      *served
+	regID   uint64
+	durable bool
 }
 
 func newConnState() *connState {
 	return &connState{
-		events: make(chan *Event, eventQueueDepth),
+		events: make(chan interface{}, eventQueueDepth),
+		evict:  make(chan struct{}, 1),
 		subs:   make(map[uint64]connSub),
+	}
+}
+
+// respDeferred is the sentinel a handler returns when it already routed its
+// real response through the connection's event FIFO (handleResume's
+// ack-before-backlog ordering); the writer skips the slot's write.
+var respDeferred = &Response{}
+
+// pushFrame enqueues an arbitrary frame (a resume acknowledgment) on the
+// event FIFO without blocking; ok reports whether it was accepted. Unlike
+// pushEvent an overflow here does not evict — the caller still holds the
+// failure path for its request.
+func (st *connState) pushFrame(frame interface{}) bool {
+	if st.dead.Load() {
+		return false
+	}
+	select {
+	case st.events <- frame:
+		return true
+	default:
+		return false
 	}
 }
 
 // pushEvent enqueues one event frame for the connection's writer without
 // blocking. Called from registry emit closures, which run under the registry
 // lock on whatever goroutine committed the append — so it must never wait.
-// On overflow the connection is killed instead of dropping the frame: a
+// On overflow the connection is evicted instead of dropping the frame: a
 // subscriber that cannot keep up would otherwise see a silent gap in a
-// stream whose whole point is that every verdict is accounted for.
+// stream whose whole point is that every verdict is accounted for. Eviction
+// is announced (terminal evicted frames, written by the connection's writer)
+// rather than a bare close, so the consumer can resume without guessing.
 func (st *connState) pushEvent(ev *Event, conn net.Conn, logf func(string, ...interface{})) {
 	if st.dead.Load() {
 		return
 	}
 	select {
 	case st.events <- ev:
-	default:
-		st.dead.Store(true)
-		if logf != nil {
-			logf("wire: %s: subscriber fell %d events behind; disconnecting", conn.RemoteAddr(), eventQueueDepth)
+		st.mu.Lock()
+		if st.progress == nil {
+			st.progress = make(map[uint64]subProgress)
 		}
-		// Closing the connection fails the read loop and the writer, which
-		// tear the subscriptions down through the normal path.
-		conn.Close()
+		st.progress[ev.SubID] = subProgress{seq: ev.Seq, prefix: ev.Prefix}
+		st.mu.Unlock()
+	default:
+		if !st.dead.CompareAndSwap(false, true) {
+			return
+		}
+		if logf != nil {
+			logf("wire: %s: subscriber fell %d events behind; evicting", conn.RemoteAddr(), eventQueueDepth)
+		}
+		select {
+		case st.evict <- struct{}{}:
+		default:
+		}
+		// Backstop: if the writer never reaches the evict signal (wedged in a
+		// deadline-less write to this very connection), cut the socket out
+		// from under it after the grace has clearly been exhausted.
+		time.AfterFunc(2*evictGrace, func() { conn.Close() })
+	}
+}
+
+// evictConn runs on the connection's writer after pushEvent overflowed: no
+// new events are being enqueued (dead is set), so the queue is quiescent.
+// Deliver it, then one terminal evicted frame per live subscription carrying
+// the last enqueued sequence number and prefix, then close. All writes share
+// one absolute deadline so a stalled client cannot pin the writer.
+func evictConn(conn net.Conn, st *connState) {
+	defer conn.Close()
+	conn.SetWriteDeadline(time.Now().Add(evictGrace))
+	for {
+		select {
+		case ev := <-st.events:
+			if err := WriteFrame(conn, ev); err != nil {
+				return
+			}
+			continue
+		default:
+		}
+		break
+	}
+	st.mu.Lock()
+	type evicted struct {
+		id uint64
+		p  subProgress
+	}
+	list := make([]evicted, 0, len(st.subs))
+	for id := range st.subs {
+		list = append(list, evicted{id: id, p: st.progress[id]})
+	}
+	st.mu.Unlock()
+	sort.Slice(list, func(i, j int) bool { return list[i].id < list[j].id })
+	for _, e := range list {
+		frame := &Event{V: Version2, Event: EventEvicted, SubID: e.id, Prefix: e.p.prefix, Seq: e.p.seq}
+		if err := WriteFrame(conn, frame); err != nil {
+			return
+		}
 	}
 }
 
 // handleHello negotiates the connection's protocol version: the result is
 // min(client version, Version2), with feature flags intersected when v2 wins.
 // The response's V carries the negotiated version — the one place a v1-shaped
-// frame reports something other than the baseline version.
+// frame reports something other than the baseline version. The backfill
+// feature is granted only alongside events (it refines the event stream);
+// offering it without events yields neither.
 func (s *Server) handleHello(req *Request, st *connState) *Response {
 	if req.V < Version {
 		return errResponse(fmt.Errorf("%w: %d (want %d or newer)", ErrBadVersion, req.V, Version))
@@ -98,10 +209,21 @@ func (s *Server) handleHello(req *Request, st *connState) *Response {
 	resp := &Response{V: negotiated, OK: true}
 	if negotiated >= Version2 {
 		st.v2 = true
+		var wantEvents, wantBackfill bool
 		for _, f := range req.Features {
-			if f == FeatureEvents && !s.subsOff.Load() {
-				st.eventsOK = true
-				resp.Features = append(resp.Features, FeatureEvents)
+			switch f {
+			case FeatureEvents:
+				wantEvents = true
+			case FeatureBackfill:
+				wantBackfill = true
+			}
+		}
+		if wantEvents && !s.subsOff.Load() {
+			st.eventsOK = true
+			resp.Features = append(resp.Features, FeatureEvents)
+			if wantBackfill {
+				st.backfillOK = true
+				resp.Features = append(resp.Features, FeatureBackfill)
 			}
 		}
 	}
@@ -109,7 +231,13 @@ func (s *Server) handleHello(req *Request, st *connState) *Response {
 }
 
 // handleSubscribe registers a standing durable top-k query on a live dataset
-// and starts pushing per-append event frames to this connection.
+// and starts pushing per-append event frames to this connection. On
+// backfill-negotiated connections the registration is durable — the response
+// carries its registry key (SubKey) and base prefix, its events carry
+// sequence numbers, and a non-zero FromPrefix (marked by Backfill) anchors
+// it at a historical prefix with the missed events replayed server-side
+// before the live splice. A SubKey in the request resumes an existing
+// durable registration instead of creating one.
 func (s *Server) handleSubscribe(req *Request, st *connState, conn net.Conn) *Response {
 	if !st.v2 {
 		return errResponse(errors.New("wire: subscribe requires protocol v2 (send hello first)"))
@@ -117,12 +245,18 @@ func (s *Server) handleSubscribe(req *Request, st *connState, conn net.Conn) *Re
 	if !st.eventsOK {
 		return errResponse(errors.New("wire: subscribe requires the events feature (offer it in hello)"))
 	}
+	if (req.Backfill || req.SubKey != 0) && !st.backfillOK {
+		return errResponse(errors.New("wire: backfill and resume require the backfill feature (offer it in hello)"))
+	}
 	sv, err := s.lookup(req.Dataset)
 	if err != nil {
 		return errResponse(err)
 	}
 	if sv.live == nil {
 		return errResponse(fmt.Errorf("wire: dataset %q is not live; standing queries need an append stream", req.Dataset))
+	}
+	if req.SubKey != 0 {
+		return s.handleResume(req, st, sv, conn)
 	}
 	scorer, err := requestScorer(req, sv)
 	if err != nil {
@@ -151,31 +285,154 @@ func (s *Server) handleSubscribe(req *Request, st *connState, conn net.Conn) *Re
 	if req.Start != 0 || req.End != 0 || req.ExplicitInterval {
 		spec.Bounded, spec.Start, spec.End = true, req.Start, req.End
 	}
+	if st.backfillOK {
+		// The persistable scorer recipe makes the registration durable: it
+		// survives connection loss (resumable by key) and, on provider-backed
+		// datasets, process restarts. Ephemeral v2.0 subscriptions carry no
+		// Source and die with their connection, exactly as before — a crashed
+		// v2.0 client cannot leak registrations.
+		src := &sub.Source{}
+		if len(req.Weights) > 0 {
+			src.Weights = append([]float64(nil), req.Weights...)
+		} else {
+			src.Expr = req.Expr
+			src.Names = sv.attrs
+		}
+		spec.Source = src
+	}
 
 	st.mu.Lock()
 	st.nextSub++
 	id := st.nextSub
 	st.mu.Unlock()
 	logf := s.logf
-	regID, err := sv.registry().Subscribe(spec, func(ev sub.Event) {
-		st.pushEvent(subEventFrame(id, ev), conn, logf)
+	emit := func(ev sub.Event) {
+		st.pushEvent(subEventFrame(id, ev, st.backfillOK), conn, logf)
+	}
+	reg := sv.registry()
+	// Read before Subscribe, so it can only undershoot the subscription's
+	// true base: no event exists at or below an undershot base, hence a
+	// consumer resuming "from base" can neither miss nor repeat anything.
+	base := reg.Prefix()
+	var regID uint64
+	if req.Backfill {
+		regID, err = reg.SubscribeFrom(spec, req.FromPrefix, emit, sv.rowSource())
+		base = req.FromPrefix
+	} else {
+		regID, err = reg.Subscribe(spec, emit)
+	}
+	if err != nil {
+		return errResponse(err)
+	}
+	if spec.Source != nil {
+		// A durable registration is acknowledged only once it actually is
+		// durable: provider-backed datasets persist the registry to the
+		// checkpoint manifest before the response leaves. On failure the
+		// registration rolls back — better no subscription than one that
+		// silently evaporates on restart.
+		if serr := sv.syncSubscriptions(); serr != nil {
+			_ = reg.Unsubscribe(regID)
+			return errResponse(fmt.Errorf("wire: subscription could not be made durable: %w", serr))
+		}
+		sv.claimSub(regID, st)
+	}
+	st.mu.Lock()
+	st.subs[id] = connSub{sv: sv, regID: regID, durable: spec.Source != nil}
+	st.mu.Unlock()
+	resp := &Response{V: Version, OK: true, SubID: id}
+	if st.backfillOK {
+		resp.SubKey = regID
+		resp.Base = base
+	}
+	return resp
+}
+
+// handleResume splices this connection onto an existing durable
+// subscription: every event past req.FromPrefix — discarded while detached,
+// lost in flight, or queued at the previous connection when it died — is
+// re-derived from the committed rows and delivered (with its original
+// sequence numbers) before the subscription resumes live delivery.
+//
+// The acknowledgment goes out ahead of the replay backlog: once the registry
+// validates the resume (the ready hook), the ack is enqueued on the event
+// FIFO, so on the wire the client sees ack, then backlog, then live events.
+// Ack-first is what makes resume converge on a flaky link — the client
+// records progress event by event as the backlog arrives, so each retry
+// replays only the remainder; were the ack behind the backlog, a connection
+// that dies mid-replay would leave the client with nothing and every retry
+// would start over (a livelock once the backlog outgrows what the link
+// delivers between failures). If the FIFO is momentarily full the ack falls
+// back to the ordinary response slot — backlog first, exactly the old
+// ordering, which the client demultiplexes just as well.
+func (s *Server) handleResume(req *Request, st *connState, sv *served, conn net.Conn) *Response {
+	if req.FromPrefix < 0 {
+		return errResponse(fmt.Errorf("wire: resume fromPrefix %d must not be negative", req.FromPrefix))
+	}
+	st.mu.Lock()
+	st.nextSub++
+	id := st.nextSub
+	st.mu.Unlock()
+	logf := s.logf
+	ackSent := false
+	base, err := sv.resumeOwned(req.SubKey, req.FromPrefix, st, func(ev sub.Event) {
+		st.pushEvent(subEventFrame(id, ev, true), conn, logf)
+	}, func(base int) {
+		ackSent = st.pushFrame(&Response{V: Version, OK: true, SubID: id, SubKey: req.SubKey, Base: base})
 	})
 	if err != nil {
 		return errResponse(err)
 	}
 	st.mu.Lock()
-	st.subs[id] = connSub{sv: sv, regID: regID}
+	st.subs[id] = connSub{sv: sv, regID: req.SubKey, durable: true}
 	st.mu.Unlock()
-	return &Response{V: Version, OK: true, SubID: id}
+	if ackSent {
+		return respDeferred
+	}
+	return &Response{V: Version, OK: true, SubID: id, SubKey: req.SubKey, Base: base}
 }
 
-// handleUnsubscribe drops a subscription. Its final event — the still-pending
+// handleUnsubscribe drops a subscription — really drops it, durable or not:
+// unsubscribe is the client saying "done", as opposed to the implicit
+// detach of a vanishing connection. Its final event — the still-pending
 // look-ahead candidates, flushed as truncated confirmations — is enqueued by
 // the registry during the drop, and the writer flushes queued events before
 // any response, so the final event always precedes this acknowledgment.
+// A non-zero SubKey (with Dataset, backfill feature required) addresses a
+// durable registration by key, letting a client retire a subscription it no
+// longer holds a conn-local id for.
 func (s *Server) handleUnsubscribe(req *Request, st *connState) *Response {
 	if !st.v2 {
 		return errResponse(errors.New("wire: unsubscribe requires protocol v2 (send hello first)"))
+	}
+	if req.SubKey != 0 {
+		if !st.backfillOK {
+			return errResponse(errors.New("wire: keyed unsubscribe requires the backfill feature (offer it in hello)"))
+		}
+		sv, err := s.lookup(req.Dataset)
+		if err != nil {
+			return errResponse(err)
+		}
+		reg := sv.loadRegistry()
+		if reg == nil {
+			return errResponse(fmt.Errorf("wire: %w", sub.ErrNotFound))
+		}
+		if err := reg.Unsubscribe(req.SubKey); err != nil {
+			return errResponse(err)
+		}
+		sv.dropSubOwner(req.SubKey)
+		// Retire any conn-local alias this connection holds for the key, so a
+		// later conn-local unsubscribe doesn't double-drop.
+		st.mu.Lock()
+		for id, cs := range st.subs {
+			if cs.sv == sv && cs.regID == req.SubKey {
+				delete(st.subs, id)
+			}
+		}
+		st.mu.Unlock()
+		if err := sv.syncSubscriptions(); err != nil {
+			return errResponse(fmt.Errorf("wire: subscription dropped but not yet durably: %w", err))
+		}
+		return &Response{V: Version, OK: true, SubKey: req.SubKey}
 	}
 	st.mu.Lock()
 	cs, ok := st.subs[req.SubID]
@@ -184,33 +441,52 @@ func (s *Server) handleUnsubscribe(req *Request, st *connState) *Response {
 	if !ok {
 		return errResponse(fmt.Errorf("wire: no subscription %d on this connection", req.SubID))
 	}
-	if reg := cs.sv.subReg.Load(); reg != nil {
+	if reg := cs.sv.loadRegistry(); reg != nil {
 		if err := reg.Unsubscribe(cs.regID); err != nil {
 			return errResponse(err)
+		}
+	}
+	if cs.durable {
+		cs.sv.dropSubOwner(cs.regID)
+		if err := cs.sv.syncSubscriptions(); err != nil {
+			return errResponse(fmt.Errorf("wire: subscription dropped but not yet durably: %w", err))
 		}
 	}
 	return &Response{V: Version, OK: true, SubID: req.SubID}
 }
 
-// unsubscribeAll retires every subscription of a closing connection, flushing
-// their final truncated confirmations into the event queue for the writer's
-// shutdown drain.
+// unsubscribeAll retires every subscription of a closing connection:
+// ephemeral ones are dropped (flushing their final truncated confirmations
+// into the event queue for the writer's shutdown drain); durable ones are
+// detached — the registration stays, sequence numbers keep advancing, and a
+// reconnecting consumer resumes by key with the gap replayed. The ownership
+// check inside detachIfOwner keeps a stale connection's teardown from
+// severing a subscription another connection has since resumed.
 func (s *Server) unsubscribeAll(st *connState) {
 	st.mu.Lock()
 	subs := st.subs
 	st.subs = make(map[uint64]connSub)
 	st.mu.Unlock()
 	for _, cs := range subs {
-		if reg := cs.sv.subReg.Load(); reg != nil {
+		if cs.durable {
+			cs.sv.detachIfOwner(cs.regID, st)
+			continue
+		}
+		if reg := cs.sv.loadRegistry(); reg != nil {
 			_ = reg.Unsubscribe(cs.regID)
 		}
 	}
 }
 
 // subEventFrame converts a registry event into its wire frame, stamping the
-// connection-local subscription id.
-func subEventFrame(id uint64, ev sub.Event) *Event {
+// connection-local subscription id. Sequence numbers travel only on
+// backfill-negotiated connections (withSeq): v2.0 frames stay byte-identical
+// to what they always were.
+func subEventFrame(id uint64, ev sub.Event, withSeq bool) *Event {
 	frame := &Event{V: Version2, Event: EventSub, SubID: id, Prefix: ev.Prefix}
+	if withSeq {
+		frame.Seq = ev.Seq
+	}
 	if d := ev.Decision; d != nil {
 		frame.Decision = &LiveDecision{ID: d.ID, Time: d.Time, Durable: d.Durable, Rank: d.Rank}
 	}

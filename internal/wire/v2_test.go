@@ -765,12 +765,18 @@ func TestFollowerReconnects(t *testing.T) {
 		}
 	}
 	evs = recv(2)
-	// The fresh server's dataset starts empty: the prefix restarts at 1 —
-	// exactly the seam Follower documents for consumers to detect.
+	// The fresh server's dataset starts empty and its in-memory registry
+	// does not know the follower's durable key, so the resume is rejected
+	// and the follower falls back to a fresh subscription: the prefix
+	// restarts at 1 — exactly the seam Follower documents — and the fallback
+	// is counted in Resets.
 	if evs[0].Prefix != 1 || evs[1].Prefix != 2 {
 		t.Fatalf("post-restart prefixes %d,%d, want 1,2", evs[0].Prefix, evs[1].Prefix)
 	}
 	if got := f.Reconnects(); got != 1 {
 		t.Fatalf("%d reconnects, want 1", got)
+	}
+	if got := f.Resets(); got != 1 {
+		t.Fatalf("%d resets, want 1 (restart discarded the in-memory registry)", got)
 	}
 }

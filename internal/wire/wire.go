@@ -62,6 +62,15 @@ const (
 // response carries the subset the server accepted.
 const FeatureEvents = "events"
 
+// FeatureBackfill is the v2.1 feature flag for gap-free standing queries:
+// subscribe requests may anchor at a historical prefix (FromPrefix) or
+// resume a durable registration (SubKey), event frames carry per-
+// subscription sequence numbers, and slow subscribers receive a terminal
+// "evicted" frame instead of a silent disconnect. Only granted alongside
+// FeatureEvents; servers predating v2.1 simply never echo it, and clients
+// then fall back to v2.0 semantics.
+const FeatureBackfill = "backfill"
+
 // QuerySpec carries the durable top-k query parameters shared by the
 // query, explain, most-durable and subscribe operations. It is embedded in
 // Request, so on the wire its fields stay flat and the v1 JSON frame shape
@@ -122,6 +131,19 @@ type Request struct {
 
 	// SubID names the subscription an unsubscribe request drops.
 	SubID uint64 `json:"subId,omitempty"`
+
+	// Protocol v2.1 (feature "backfill"). Backfill marks FromPrefix as a
+	// deliberate historical anchor for a subscribe request even when it is
+	// zero (mirroring ExplicitInterval): the server replays committed rows
+	// [FromPrefix, now) through the new subscription before splicing it into
+	// the live stream. SubKey resumes an existing durable subscription
+	// instead of creating one — the server re-derives and re-sends every
+	// event past FromPrefix, so a reconnect is provably gap-free. On an
+	// unsubscribe request a non-zero SubKey (with Dataset) drops a durable
+	// registration by its key, attached to this connection or not.
+	Backfill   bool   `json:"backfill,omitempty"`
+	FromPrefix int    `json:"fromPrefix,omitempty"`
+	SubKey     uint64 `json:"subKey,omitempty"`
 }
 
 // IngestRow is one record of an append request.
@@ -210,6 +232,15 @@ type Response struct {
 	// server-assigned id on a subscribe response.
 	Features []string `json:"features,omitempty"`
 	SubID    uint64   `json:"subId,omitempty"`
+
+	// Protocol v2.1 subscribe responses (backfill connections only — both
+	// marshal away otherwise, keeping v2.0 frames byte-identical). SubKey is
+	// the subscription's durable key: it survives the connection (and, on
+	// crash-safe stores, the server process) and names the registration in a
+	// resume or keyed unsubscribe. Base is the committed prefix the
+	// subscription's verdict stream is anchored at.
+	SubKey uint64 `json:"subKey,omitempty"`
+	Base   int    `json:"base,omitempty"`
 }
 
 // Event is a server-initiated v2 frame pushed to a subscribed connection,
@@ -226,6 +257,15 @@ type Event struct {
 	// re-query to reproduce the verdicts below bit-identically.
 	Prefix int `json:"prefix"`
 
+	// Seq numbers this subscription's events 1, 2, 3, … from its base
+	// prefix (protocol v2.1; stamped only on backfill connections, so v2.0
+	// frames are byte-identical). The numbering is derived from the
+	// committed row stream — a replayed event carries the same number the
+	// original did — so a consumer proves gap-freedom by checking
+	// contiguity. On an EventEvicted frame, Seq and Prefix report the last
+	// event actually delivered to this connection.
+	Seq uint64 `json:"seq,omitempty"`
+
 	// Decision is the instant look-back verdict for the appended record, if
 	// it falls inside the subscription's interval filter.
 	Decision *LiveDecision `json:"decision,omitempty"`
@@ -236,6 +276,14 @@ type Event struct {
 
 // EventSub is the Event.Event marker for subscription verdicts.
 const EventSub = "sub"
+
+// EventEvicted is the terminal Event.Event marker a slow subscriber
+// receives before its connection is severed: the event queue overflowed,
+// and rather than silently dropping verdicts (the stream's contract is that
+// every verdict is accounted for) the server reports the last delivered
+// sequence number and prefix per subscription, then closes. The consumer
+// reconnects and resumes from that point with no gap.
+const EventEvicted = "evicted"
 
 // Protocol errors shared by both sides.
 var (
