@@ -215,6 +215,8 @@ func (g *gate) checkStream(oldRep, newRep *bench.StreamReport) {
 	// Standing-query rows: append fan-out and confirm latency per
 	// subscription count.
 	g.checkStreamStanding(oldRep, newRep)
+	// Compaction rows: shard-count leverage is structural, timing warns.
+	g.checkStreamCompact(oldRep, newRep)
 	// The live+sharded lifecycle rows (absent from pre-lifecycle baselines;
 	// gated once a baseline records them). The steady query fans out across
 	// sealed shards on a worker pool, so its allocations get the same
@@ -364,6 +366,43 @@ func (g *gate) checkStreamStanding(oldRep, newRep *bench.StreamReport) {
 		g.warn++
 	default:
 		g.throughput("stream", "backfill-replay", o, n)
+	}
+}
+
+// checkStreamCompact gates the compaction rows. The shard-count leverage is
+// structural and host-independent, so it fails outright: with a fine seal
+// cadence the uncompacted baseline carries ~one shard per seal, and the
+// compacted run must hold the live set strictly below half of that — the
+// O(log n) bound the LSM lifecycle exists to enforce. Steady-query ns is
+// wall-clock (warns), allocations get the usual fan-out slack, and a
+// vanished row fails like every other gated row.
+func (g *gate) checkStreamCompact(oldRep, newRep *bench.StreamReport) {
+	if newRep.CompactSealRows > 0 {
+		if newRep.Compactions == 0 {
+			fmt.Printf("::error::benchgate: stream \"compaction\" row measured %d seals but zero compactions ran\n",
+				newRep.CompactShardsBaseline)
+			g.failed = true
+		}
+		if newRep.CompactShards*2 >= newRep.CompactShardsBaseline {
+			fmt.Printf("::error::benchgate: stream \"compaction\" shard count %d not below half the uncompacted %d: LSM leveling stopped bounding the live set\n",
+				newRep.CompactShards, newRep.CompactShardsBaseline)
+			g.failed = true
+		}
+		fmt.Printf("%-10s %-14s shards %d (baseline %d), visited %d (baseline %d), max level %d\n",
+			"stream", "compaction", newRep.CompactShards, newRep.CompactShardsBaseline,
+			newRep.CompactVisitedShards, newRep.CompactVisitedBaseline, newRep.CompactMaxLevel)
+	}
+	switch {
+	case oldRep.CompactSealRows == 0 && newRep.CompactSealRows == 0:
+	case newRep.CompactSealRows == 0:
+		g.missingRow("stream", "compaction")
+	case oldRep.CompactSealRows == 0:
+		fmt.Printf("::warning::benchgate: stream \"compaction\" has no committed baseline row (new?); re-commit the baseline to gate it\n")
+		g.warn++
+	default:
+		g.ns("stream", "compact-steady", oldRep.CompactSteadyQueryNs, newRep.CompactSteadyQueryNs)
+		g.allocsSlack("stream", "compact-steady", oldRep.CompactSteadyQueryAllocs, newRep.CompactSteadyQueryAllocs)
+		g.throughput("stream", "compact-ingest", oldRep.CompactAppendsPerSec, newRep.CompactAppendsPerSec)
 	}
 }
 

@@ -6,6 +6,7 @@
 //	durbench -exp fig8 [-scale 1.0] [-reps 12] [-seed 1] [-quick]
 //	durbench -exp all -out results.txt
 //	durbench -livesharded [-scale 0.25]
+//	durbench -compaction [-scale 0.25]
 //	durbench -topkjson BENCH_topk.json [-topkds nba-2] [-scale 0.25]
 //	durbench -shardjson BENCH_sharded.json [-shardds nba-2] [-scale 0.25]
 //	durbench -streamjson BENCH_stream.json [-streamds nba-2] [-scale 0.25]
@@ -45,10 +46,14 @@ func main() {
 		streamJSON  = flag.String("streamjson", "", "write the live-ingestion snapshot (appends/sec, rebuild amortization, freshness lag, seal lifecycle) to this path and exit")
 		streamDS    = flag.String("streamds", "nba-2", "dataset for -streamjson")
 		liveSharded = flag.Bool("livesharded", false, "run the live+sharded seal/freeze lifecycle experiment (alias for -exp livesharded)")
+		compaction  = flag.Bool("compaction", false, "run the sealed-shard compaction experiment (alias for -exp compaction)")
 	)
 	flag.Parse()
 	if *liveSharded && *exp == "" {
 		*exp = "livesharded"
+	}
+	if *compaction && *exp == "" {
+		*exp = "compaction"
 	}
 
 	if *topkJSON != "" {

@@ -40,6 +40,18 @@
 //
 //	durgen -kind nba -n 1000000 | durserved -live games=2 -sealrows 100000 -ingest games
 //
+// -compactfanout N adds LSM leveling on top of the seal lifecycle: every run
+// of N adjacent same-level sealed shards is merged in the background into
+// one shard a level up, bounding the live shard count (and with it straddler
+// fan-out and checkpoint manifest size) to O(N·log n) however long the
+// stream runs. -retain T bounds retention: sealed shards whose arrivals all
+// lag the stream head by more than T ticks are retired — queries then answer
+// over the retained suffix only. Both compose with -wal: merges land as
+// atomic manifest level swaps and retirement advances the manifest base, so
+// a restart recovers the leveled, bounded layout:
+//
+//	durgen -kind nba -n 1000000 | durserved -live games=2 -sealrows 10000 -compactfanout 4 -retain 500000 -ingest games
+//
 // -wal DIR makes every -live dataset crash-safe: each append is framed into
 // a write-ahead log under DIR/<name> before the engine applies it, sealed
 // tail shards are checkpointed into page files, and a restart recovers the
@@ -130,6 +142,8 @@ func main() {
 		ingest   = flag.String("ingest", "", "stream CSV records from stdin into this live dataset")
 		sealRows = flag.Int("sealrows", 0, "serve -live datasets live+sharded: seal the mutable tail into a static shard every N records (0 = plain live engine)")
 		sealSpan = flag.Int64("sealspan", 0, "serve -live datasets live+sharded: seal the tail once its arrivals span this many ticks (0 = no span rule)")
+		compactN = flag.Int("compactfanout", 0, "compact every run of N adjacent same-level sealed shards into one shard a level up, bounding shard count to O(log n) on an unbounded stream (0 = no compaction; needs -sealrows/-sealspan)")
+		retain   = flag.Int64("retain", 0, "retire sealed shards whose arrivals are all older than this many ticks behind the stream head (0 = retain everything; needs -sealrows/-sealspan)")
 		walDir   = flag.String("wal", "", "serve -live datasets crash-safe from a write-ahead-logged store under this directory (one subdirectory per dataset; implies the live+sharded lifecycle)")
 		fsyncPol = flag.String("fsync", "always", "WAL fsync policy for -wal: always|interval|none")
 		fsyncEvy = flag.Duration("fsyncevery", 0, "fsync period for -fsync interval (0 = 50ms default)")
@@ -263,7 +277,7 @@ func main() {
 			st, err := durable.Recover(filepath.Join(*walDir, name), dims, durable.StoreOptions{
 				Sync: syncPolicy, SyncEvery: *fsyncEvy,
 				Engine: engOpts, Live: liveOpts,
-				Shard:           core.LiveShardOptions{SealRows: *sealRows, SealSpan: *sealSpan, Workers: *workers},
+				Shard:           core.LiveShardOptions{SealRows: *sealRows, SealSpan: *sealSpan, Workers: *workers, CompactFanout: *compactN, RetainSpan: *retain},
 				KeepCheckpoints: *keepCk,
 				Logf:            log.Printf,
 			})
@@ -287,7 +301,7 @@ func main() {
 			// Live+sharded lifecycle: appends route to a mutable tail shard
 			// that seals into immutable static shards as it fills.
 			lse, err := srv.AddLiveSharded(name, dims, attrNames[name], engOpts, liveOpts,
-				core.LiveShardOptions{SealRows: *sealRows, SealSpan: *sealSpan, Workers: *workers})
+				core.LiveShardOptions{SealRows: *sealRows, SealSpan: *sealSpan, Workers: *workers, CompactFanout: *compactN, RetainSpan: *retain})
 			if err != nil {
 				log.Fatalf("durserved: -live %s: %v", name, err)
 			}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/score"
 	"repro/internal/store"
 	"repro/internal/wal"
 )
@@ -71,6 +72,29 @@ type StreamReport struct {
 	LiveShardedSteadyQueryNs        float64 `json:"livesharded_steady_query_ns"`
 	LiveShardedSteadyQueryAllocs    int64   `json:"livesharded_steady_query_allocs"`
 	LiveShardedSteadyQueryBytes     int64   `json:"livesharded_steady_query_bytes"`
+
+	// Compaction: the same stream under a deliberately fine seal cadence
+	// (CompactSealRows, ~64 level-0 shards per run) ingested twice — once
+	// with background size-tiered compaction (CompactFanout) and once
+	// without. The shard counts are the headline: without compaction the
+	// live set grows linearly with the seal count; with it the LSM leveling
+	// holds it at O(fanout · log n). VisitedShards counts the shards whose
+	// row range intersects the steady query's window reach — the straddler
+	// fan-out the query planner must stitch across — and the steady-query
+	// ns/allocs pairs price that fan-out with and without compaction.
+	CompactSealRows          int     `json:"compact_seal_rows,omitempty"`
+	CompactFanout            int     `json:"compact_fanout,omitempty"`
+	Compactions              int     `json:"compactions,omitempty"`
+	CompactMaxLevel          int     `json:"compact_max_level,omitempty"`
+	CompactShards            int     `json:"compact_shards,omitempty"`
+	CompactShardsBaseline    int     `json:"compact_shards_baseline,omitempty"`
+	CompactVisitedShards     int     `json:"compact_visited_shards,omitempty"`
+	CompactVisitedBaseline   int     `json:"compact_visited_shards_baseline,omitempty"`
+	CompactAppendsPerSec     float64 `json:"compact_appends_per_sec,omitempty"`
+	CompactSteadyQueryNs     float64 `json:"compact_steady_query_ns,omitempty"`
+	CompactSteadyQueryAllocs int64   `json:"compact_steady_query_allocs,omitempty"`
+	CompactSteadyQueryBytes  int64   `json:"compact_steady_query_bytes,omitempty"`
+	CompactBaselineQueryNs   float64 `json:"compact_baseline_steady_query_ns,omitempty"`
 
 	// Durability: the same ingest write-ahead logged through the crash-safe
 	// store, one rate per fsync policy ("none", "interval", "always"),
@@ -248,6 +272,11 @@ func StreamPerfReport(cfg Config, dsName string) (*StreamReport, error) {
 	rep.LiveShardedSteadyQueryAllocs = r.AllocsPerOp()
 	rep.LiveShardedSteadyQueryBytes = r.AllocedBytesPerOp()
 
+	// Compaction: fine seal cadence, with and without LSM leveling.
+	if err := compactionLifecycle(rep, ds, spec, s); err != nil {
+		return nil, err
+	}
+
 	// Durability: the ingest write-ahead logged through the crash-safe store,
 	// once per fsync policy.
 	rep.WALBatchRows = walBatchRows
@@ -299,6 +328,118 @@ func StreamPerfReport(cfg Config, dsName string) (*StreamReport, error) {
 		return nil, err
 	}
 	return rep, nil
+}
+
+// compactFanout is the size-tiered merge fanout of the compaction rows:
+// wide enough that levels are visibly larger than their constituents, small
+// enough that a 64-seal run climbs several levels.
+const compactFanout = 4
+
+// compactionLifecycle fills the compaction rows of the stream report: the
+// same stream ingested under a fine seal cadence twice — once without
+// compaction (the linearly growing baseline) and once with background LSM
+// leveling — then the same trailing steady query over both final epochs.
+func compactionLifecycle(rep *StreamReport, ds *data.Dataset, spec QuerySpec, s score.Scorer) error {
+	n, d := ds.Len(), ds.Dims()
+	sealRows := n / 64
+	if sealRows < 1 {
+		sealRows = 1
+	}
+	rep.CompactSealRows = sealRows
+	rep.CompactFanout = compactFanout
+
+	build := func(fanout int) (*core.LiveShardedEngine, float64, error) {
+		lse, err := core.NewLiveShardedEngine(d, EngineOptions(), core.LiveOptions{Capacity: sealRows},
+			core.LiveShardOptions{SealRows: sealRows, CompactFanout: fanout})
+		if err != nil {
+			return nil, 0, err
+		}
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if _, _, err := lse.Append(ds.Time(i), ds.Attrs(i)); err != nil {
+				return nil, 0, err
+			}
+		}
+		// Include the background freeze and merge work in the window: the
+		// rate prices the whole lifecycle, not just the appender's half.
+		lse.WaitSealed()
+		lse.WaitCompacted()
+		return lse, float64(n) / time.Since(start).Seconds(), nil
+	}
+	steady := func(lse *core.LiveShardedEngine, q core.Query) (ns float64, allocs, bytes int64, err error) {
+		var evalErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := lse.DurableTopK(q); err != nil {
+					evalErr = err
+					b.FailNow()
+				}
+			}
+		})
+		return float64(r.NsPerOp()), r.AllocsPerOp(), r.AllocedBytesPerOp(), evalErr
+	}
+	// visited counts the shards whose rows a look-back query over [Start-Tau,
+	// End] can touch: the straddler fan-out of the final epoch.
+	visited := func(lse *core.LiveShardedEngine, q core.Query) int {
+		count := 0
+		for _, in := range lse.Shards() {
+			if in.End >= q.Start-q.Tau && in.Start <= q.End {
+				count++
+			}
+		}
+		return count
+	}
+
+	base, _, err := build(0)
+	if err != nil {
+		return err
+	}
+	q := spec.Materialize(base.Dataset(), s, core.SHop)
+	rep.CompactShardsBaseline = base.NumShards()
+	rep.CompactVisitedBaseline = visited(base, q)
+	rep.CompactBaselineQueryNs, _, _, err = steady(base, q)
+	if err != nil {
+		return err
+	}
+
+	lse, perSec, err := build(compactFanout)
+	if err != nil {
+		return err
+	}
+	rep.CompactAppendsPerSec = perSec
+	rep.Compactions = lse.Compactions()
+	rep.CompactMaxLevel = lse.MaxLevel()
+	rep.CompactShards = lse.NumShards()
+	rep.CompactVisitedShards = visited(lse, q)
+	rep.CompactSteadyQueryNs, rep.CompactSteadyQueryAllocs, rep.CompactSteadyQueryBytes, err = steady(lse, q)
+	return err
+}
+
+// runCompactionScale is the registry experiment behind `durbench
+// -exp compaction`: the compaction rows of BENCH_stream.json as a table.
+func runCompactionScale(cfg Config, w io.Writer) error {
+	dsName := "nba-2"
+	if cfg.Quick {
+		dsName = "ind-4000"
+	}
+	rep, err := StreamPerfReport(cfg, dsName)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "dataset=%s n=%d d=%d | seal every %d rows | fanout=%d | GOMAXPROCS=%d seed=%d\n",
+		rep.Dataset, rep.Records, rep.Dims, rep.CompactSealRows, rep.CompactFanout, rep.GOMAXPROCS, rep.Seed)
+	fmt.Fprintf(w, "%-34s %12d %12d\n", "live shards (without / with)", rep.CompactShardsBaseline, rep.CompactShards)
+	fmt.Fprintf(w, "%-34s %12d %12d\n", "query-visited shards (w/o / with)", rep.CompactVisitedBaseline, rep.CompactVisitedShards)
+	fmt.Fprintf(w, "%-34s %12.0f %12.0f\n", "steady query ns (without / with)", rep.CompactBaselineQueryNs, rep.CompactSteadyQueryNs)
+	fmt.Fprintf(w, "%-34s %25d\n", "compactions", rep.Compactions)
+	fmt.Fprintf(w, "%-34s %25d\n", "max level", rep.CompactMaxLevel)
+	fmt.Fprintf(w, "%-34s %25.0f\n", "appends/s (compacting lifecycle)", rep.CompactAppendsPerSec)
+	fmt.Fprintf(w, "%-34s %25d\n", "steady query allocs (with)", rep.CompactSteadyQueryAllocs)
+	fmt.Fprintln(w, "\nexpected: without compaction the shard count equals the seal count (linear"+
+		"\nin stream length); with it the count stays O(fanout * log n), shrinking the"+
+		"\nstraddler fan-out every windowed query pays to stitch across shard seams")
+	return nil
 }
 
 // walBatchRows is the group-commit batch size of the WAL ingest rows: large

@@ -221,7 +221,9 @@ func runDifferentialTrial(t *testing.T, seed int64) {
 // queries interleaved at every batch boundary — each answer compared
 // record-for-record (ID, time, score, durations) against a batch Engine
 // built fresh over exactly the prefix appended so far, across all five
-// strategies and both straddler paths.
+// strategies and both straddler paths. Most trials also run background
+// compaction, so queries land on epochs mid-merge and just after level
+// swaps.
 func runLiveShardedDifferentialTrial(t *testing.T, seed int64) {
 	rng := rand.New(rand.NewSource(seed))
 	flavor := []string{"clustered", "adversarial", "dense"}[rng.Intn(3)]
@@ -233,6 +235,12 @@ func runLiveShardedDifferentialTrial(t *testing.T, seed int64) {
 	so := LiveShardOptions{
 		Workers:           1 + rng.Intn(3),
 		StraddleThreshold: []int{1, 16, 1 << 30}[rng.Intn(3)],
+		// Background compaction on two trials out of three: merges race the
+		// interleaved queries below, so answers are checked against epochs
+		// before, during and after level swaps. (No RetainSpan here — the
+		// batch engine holds the full prefix; retention equivalence has its
+		// own suffix-differential in compact_test.go.)
+		CompactFanout: []int{0, 2, 2 + rng.Intn(3)}[rng.Intn(3)],
 	}
 	if rng.Intn(2) == 0 {
 		so.SealRows = 1 + rng.Intn(60)
@@ -246,9 +254,9 @@ func runLiveShardedDifferentialTrial(t *testing.T, seed int64) {
 
 	fail := func(alg string, prefix int, q Query, got, want *Result) {
 		t.Fatalf("seed %d (LIVESHARD_SEED=%d to reproduce): flavor=%s n=%d d=%d prefix=%d shards=%d alg=%s\n"+
-			"seal rows=%d span=%d | query k=%d tau=%d lead=%d I=[%d,%d] anchor=%v durations=%v\n got %v\nwant %v",
+			"seal rows=%d span=%d fanout=%d compactions=%d | query k=%d tau=%d lead=%d I=[%d,%d] anchor=%v durations=%v\n got %v\nwant %v",
 			seed, seed, flavor, n, d, prefix, lse.NumShards(), alg,
-			so.SealRows, so.SealSpan, q.K, q.Tau, q.Lead, q.Start, q.End,
+			so.SealRows, so.SealSpan, so.CompactFanout, lse.Compactions(), q.K, q.Tau, q.Lead, q.Start, q.End,
 			q.Anchor, q.WithDurations, got.Records, want.Records)
 	}
 

@@ -243,6 +243,125 @@ func FuzzLiveShardedAppend(f *testing.F) {
 	})
 }
 
+// FuzzCompaction fuzzes the LSM half of the lifecycle: arbitrary append
+// streams under tiny seal thresholds and fanouts 2..5, with retention
+// optionally shearing ancient shards off the front (cfg bit 6), must answer
+// exactly like a batch engine rebuilt over the retained suffix of the same
+// prefix. Queries run right after quiescing the compactor, so they land on
+// freshly swapped levels; the seed corpus pins streams whose seal counts sit
+// exactly at level boundaries (fanout^i seals), where the cascade chains
+// merges back-to-back. Run `go test -fuzz FuzzCompaction ./internal/core`
+// for continuous fuzzing; the seed corpus below runs as a normal test.
+func FuzzCompaction(f *testing.F) {
+	// 8 seals of 2 rows at fanout 2: the 2^3 level boundary — the final seal
+	// triggers a three-merge cascade into one level-3 shard.
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, uint8(2), uint8(5), uint8(0), uint8(0))
+	// 9 seals of 1 row at fanout 3: 3^2 boundary, double cascade.
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9, 9}, uint8(1), uint8(3), uint8(16), uint8(1))
+	// 4 seals at fanout 4: single wide merge exactly at the boundary.
+	f.Add([]byte{8, 1, 8, 1, 8, 1, 8, 1}, uint8(2), uint8(200), uint8(32), uint8(2))
+	// One row past a level boundary: a lone level-0 shard trails the merge.
+	f.Add([]byte{0, 255, 0, 255, 7, 7, 7, 7, 7, 16}, uint8(3), uint8(30), uint8(0), uint8(1))
+	// Retention on (bit 6): tiny span plus large gaps retires mid-stream.
+	f.Add([]byte{3, 7, 3, 7, 3, 7, 3, 7, 3, 7, 3, 7, 3, 7, 3, 7}, uint8(1), uint8(4), uint8(64|1), uint8(3))
+	f.Add([]byte{255}, uint8(1), uint8(0), uint8(64), uint8(0))
+	f.Fuzz(func(t *testing.T, raw []byte, kRaw, tauRaw, cfg, sealRaw uint8) {
+		if len(raw) == 0 || len(raw) > 256 {
+			t.Skip()
+		}
+		k := int(kRaw%8) + 1
+		tau := int64(tauRaw)
+		every := int(cfg%8) + 1
+		so := LiveShardOptions{
+			SealRows:          int(sealRaw%6) + 1,
+			CompactFanout:     2 + int(cfg>>4&3),
+			StraddleThreshold: []int{1, 1 << 30}[int(cfg>>3&1)],
+		}
+		if cfg&64 != 0 {
+			so.RetainSpan = 8 + int64(tauRaw%32)
+		}
+		s := score.MustLinear(1)
+		opts := Options{Index: topk.Options{LengthThreshold: 4}}
+		lse, err := NewLiveShardedEngine(1, opts, LiveOptions{}, so)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Decode bytes: low nibble = time gap (1..4), high nibble = score.
+		times := make([]int64, 0, len(raw))
+		rows := make([][]float64, 0, len(raw))
+		tt := int64(0)
+		anchors := [2]Anchor{LookBack, LookAhead}
+		for i, by := range raw {
+			tt += int64(by&3) + 1
+			times = append(times, tt)
+			rows = append(rows, []float64{float64(by >> 4)})
+			if _, _, err := lse.Append(tt, rows[i]); err != nil {
+				t.Fatal(err)
+			}
+			if (i+1)%every != 0 && i != len(raw)-1 {
+				continue
+			}
+			// Quiesce: freeze builds and the whole merge cascade land before
+			// the query, so it evaluates the compacted level layout.
+			lse.WaitSealed()
+			lse.WaitCompacted()
+			lo := lse.RetiredRows()
+			if lo > i {
+				continue // everything sealed so far retired; nothing to compare
+			}
+			ds, err := data.New(times[lo:i+1:i+1], rows[lo:i+1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			qlo, qhi := ds.Span()
+			anchor := anchors[(i/every)%2]
+			want := BruteForce(ds, s, k, tau, qlo, qhi, anchor)
+			batch := NewEngine(ds, opts)
+			q := Query{K: k, Tau: tau, Start: qlo, End: qhi, Scorer: s, Anchor: anchor, Algorithm: SHop}
+			wantRes, err := batch.DurableTopK(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := lse.DurableTopK(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotIDs := got.IDs()
+			for j := range gotIDs {
+				gotIDs[j] -= lo // stream-global -> suffix-relative
+			}
+			if !reflect.DeepEqual(gotIDs, want) && !(len(gotIDs) == 0 && len(want) == 0) {
+				t.Fatalf("compacted vs oracle at prefix %d: k=%d tau=%d anchor=%v fanout=%d retain=%d compactions=%d retired=%d shards=%d\n got %v\nwant %v",
+					i+1, k, tau, anchor, so.CompactFanout, so.RetainSpan, lse.Compactions(), lo, lse.NumShards(), gotIDs, want)
+			}
+			if len(got.Records) != len(wantRes.Records) {
+				t.Fatalf("compacted vs batch at prefix %d: %d records want %d", i+1, len(got.Records), len(wantRes.Records))
+			}
+			for j := range got.Records {
+				g, w := got.Records[j], wantRes.Records[j]
+				w.ID += lo
+				if !reflect.DeepEqual(g, w) {
+					t.Fatalf("compacted vs batch at prefix %d record %d: got %+v want %+v (retired=%d)", i+1, j, g, w, lo)
+				}
+			}
+		}
+		// Compaction must never lose or duplicate a row: live shards plus
+		// the retired prefix tile the whole stream.
+		lse.WaitSealed()
+		lse.WaitCompacted()
+		prev := lse.RetiredRows()
+		for _, in := range lse.Shards() {
+			if in.Lo != prev {
+				t.Fatalf("shard layout gap at %d, want %d: %+v", in.Lo, prev, lse.Shards())
+			}
+			prev = in.Hi
+		}
+		if prev != len(raw) {
+			t.Fatalf("shards + retired tile [?,%d), want [?,%d)", prev, len(raw))
+		}
+	})
+}
+
 // FuzzShardedQuery fuzzes the shard-boundary invariants of ShardedEngine:
 // arbitrary datasets and shard counts against the single-engine and
 // brute-force answers, with the interval optionally pinned exactly onto a

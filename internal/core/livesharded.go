@@ -29,12 +29,32 @@ type LiveShardOptions struct {
 	// StraddleThreshold tunes boundary-straddler handling exactly as in
 	// ShardOptions; 0 selects the default.
 	StraddleThreshold int
+	// CompactFanout, when >= 2, enables background LSM compaction: every run
+	// of CompactFanout adjacent sealed shards sharing a level is merged into
+	// one shard at the next level (see compact.go), bounding the live shard
+	// count to O(CompactFanout · log n) on an unbounded stream. 0 (and 1)
+	// disable compaction — the historical flat lifecycle.
+	CompactFanout int
+	// RetainSpan, when > 0, bounds retention: after each seal, sealed shards
+	// whose every arrival is older than (latest arrival − RetainSpan) ticks
+	// are retired — removed whole from every future query epoch, so answers
+	// match a batch engine over the retained suffix. 0 retains everything.
+	RetainSpan int64
 	// OnSeal, when set, is invoked after every tail seal with the half-open
 	// global row range [lo, hi) that was frozen. It runs with the engine's
 	// internal lock held, so it must be fast and must not call back into
 	// the engine — the durability layer uses it to hand the range to a
 	// checkpointing goroutine.
 	OnSeal func(lo, hi int)
+	// OnCompact, when set, is invoked after a compaction merges sealed rows
+	// [lo, hi) into one shard at the given level. Same contract as OnSeal
+	// (lock held, must be fast, no reentry); the durability layer uses it to
+	// queue the atomic manifest level swap.
+	OnCompact func(lo, hi, level int)
+	// OnRetire, when set, is invoked after retention retires sealed rows
+	// [lo, hi) from the live set. Same contract as OnSeal; the durability
+	// layer uses it to advance the manifest's retention base.
+	OnRetire func(lo, hi int)
 }
 
 // DefaultSealRows is the tail seal threshold when LiveShardOptions specifies
@@ -72,12 +92,13 @@ type LiveShardedEngine struct {
 
 	// mu serializes lifecycle transitions (append, seal) against epoch
 	// snapshots; queries hold it only while grabbing the current epoch.
-	mu     sync.RWMutex
-	global *data.Dataset // appendable columnar storage of every record
-	sealed []timeShard   // frozen shards, ascending, over global slices
-	tail   *LiveEngine   // mutable tail shard over records [tailLo, Len)
-	tailLo int
-	seq    uint64 // bumped on every append and seal; keys epoch caches
+	mu        sync.RWMutex
+	global    *data.Dataset // appendable columnar storage of every record
+	sealed    []timeShard   // frozen shards, ascending, over global slices
+	tail      *LiveEngine   // mutable tail shard over records [tailLo, Len)
+	tailLo    int
+	retiredLo int    // rows [0, retiredLo) retired by retention; absent from epochs
+	seq       uint64 // bumped on every append, seal, compaction and retirement; keys epoch caches
 
 	// Lifecycle metrics (guarded by mu): seals counts freeze events,
 	// sealedRows the rows frozen into static engines (each row is frozen
@@ -95,6 +116,16 @@ type LiveShardedEngine struct {
 	freezeWG sync.WaitGroup
 	freezing int
 
+	// Compaction and retention state (guarded by mu): compacting marks the
+	// single in-flight background merge, compactWG tracks it (and its
+	// cascades) for WaitCompacted, and the counters feed the bench rows.
+	compacting    bool
+	compactWG     sync.WaitGroup
+	compactions   int
+	compactedRows int
+	retires       int
+	retiredRows   int
+
 	// groupMu guards the memoized query epoch; a query at an unchanged seq
 	// reuses it (keeping the tail snapshot engine and its lazily built
 	// auxiliary structures warm between appends), and the first query after
@@ -103,10 +134,11 @@ type LiveShardedEngine struct {
 	group    *shardGroup
 	groupSeq uint64
 
-	// revMu guards the memoized time-mirrored prefix for look-ahead
-	// durability sweeps, keyed by prefix length.
+	// revMu guards the memoized time-mirrored retained suffix for look-ahead
+	// durability sweeps, keyed by (retirement boundary, prefix length).
 	revMu  sync.Mutex
 	rev    *data.Dataset
+	revLo  int
 	revLen int
 
 	// pc, when set (before serving; see SetPartialCache), is copied into
@@ -125,6 +157,9 @@ func NewLiveShardedEngine(d int, opts Options, live LiveOptions, so LiveShardOpt
 	}
 	if so.SealRows < 0 || so.SealSpan < 0 {
 		return nil, errors.New("core: seal thresholds must be >= 0")
+	}
+	if so.CompactFanout < 0 || so.RetainSpan < 0 {
+		return nil, errors.New("core: compaction fanout and retain span must be >= 0")
 	}
 	if so.SealRows == 0 && so.SealSpan == 0 {
 		so.SealRows = DefaultSealRows
@@ -155,10 +190,12 @@ func NewLiveShardedEngine(d int, opts Options, live LiveOptions, so LiveShardOpt
 
 // RestoredShard carries one checkpointed sealed shard's rows for
 // RestoreLiveShardedEngine: parallel time/row-major attribute columns, in
-// ascending time order.
+// ascending time order. Level restores the shard's LSM level (0 for a plain
+// sealed shard; see LiveShardOptions.CompactFanout).
 type RestoredShard struct {
 	Times []int64
 	Flat  []float64
+	Level int
 }
 
 // RestoreLiveShardedEngine rebuilds a live+sharded engine from checkpointed
@@ -183,7 +220,7 @@ func RestoreLiveShardedEngine(d int, opts Options, live LiveOptions, so LiveShar
 		if hi == lo {
 			continue
 		}
-		e.sealed = append(e.sealed, timeShard{lo: lo, hi: hi, eng: NewEngine(e.global.Slice(lo, hi), opts), immutable: true})
+		e.sealed = append(e.sealed, timeShard{lo: lo, hi: hi, eng: NewEngine(e.global.Slice(lo, hi), opts), level: s.Level, immutable: true})
 		e.seals++
 		e.sealedRows += hi - lo
 		e.rebuilds++
@@ -198,6 +235,12 @@ func RestoreLiveShardedEngine(d int, opts Options, live LiveOptions, so LiveShar
 			}
 		}
 	}
+	// A crash can land between a merge's install and its durable level swap;
+	// the restored layout then still holds the constituent run, and re-planning
+	// here simply redoes the merge in the background.
+	e.mu.Lock()
+	e.maybeCompactLocked()
+	e.mu.Unlock()
 	return e, nil
 }
 
@@ -287,7 +330,8 @@ func (e *LiveShardedEngine) sealLocked() {
 	// Sealed rows never change again, so the shard is immutable from the
 	// moment it retires — partial-cache entries built against it (under
 	// either its snapshot engine or the later freeze build, which answer
-	// bit-identically) stay valid forever.
+	// bit-identically) stay valid for as long as the shard stays in the live
+	// set (compaction and retention announce departures; see compact.go).
 	e.sealed = append(e.sealed, timeShard{lo: lo, hi: n, eng: te, immutable: true})
 	e.seals++
 	e.sealedRows += n - lo
@@ -309,21 +353,29 @@ func (e *LiveShardedEngine) sealLocked() {
 		e.rebuilds++
 		e.indexedRows += n - lo
 		e.seq++
-		return
+	} else {
+		e.freezing++
+		e.freezeWG.Add(1)
+		go func() {
+			defer e.freezeWG.Done()
+			eng := NewEngine(sub, e.opts)
+			e.mu.Lock()
+			// Locate the shard by its range, not a captured index: a
+			// compaction or retirement may have respliced (or removed) the
+			// sealed slice while the freeze built. A departed shard simply
+			// discards its build — the merged shard's index covers the rows.
+			if fi, ok := e.findSealedLocked(lo, n); ok {
+				e.sealed[fi].eng = eng
+				e.seq++ // invalidate the memoized epoch so new queries pick it up
+			}
+			e.rebuilds++
+			e.indexedRows += n - lo
+			e.freezing--
+			e.mu.Unlock()
+		}()
 	}
-	e.freezing++
-	e.freezeWG.Add(1)
-	go func() {
-		defer e.freezeWG.Done()
-		eng := NewEngine(sub, e.opts)
-		e.mu.Lock()
-		e.sealed[si].eng = eng
-		e.rebuilds++
-		e.indexedRows += n - lo
-		e.freezing--
-		e.seq++ // invalidate the memoized epoch so new queries pick it up
-		e.mu.Unlock()
-	}()
+	e.maybeRetireLocked(e.global.Time(n - 1))
+	e.maybeCompactLocked()
 }
 
 // maxPendingFreezes bounds concurrent background freeze builds (and with
@@ -367,6 +419,11 @@ func (e *LiveShardedEngine) snapshotEpoch() *shardGroup {
 		// snapshot covers exactly records [tailLo, n).
 		te, tn := e.tail.Snapshot()
 		shards = append(shards, timeShard{lo: e.tailLo, hi: e.tailLo + tn, eng: te})
+	}
+	if len(shards) == 0 {
+		// Retention can retire every sealed shard while the tail is empty;
+		// the engine then answers like an empty one until the next append.
+		return nil
 	}
 	e.group = &shardGroup{
 		ds:       e.global.Prefix(n),
@@ -525,22 +582,24 @@ func (e *LiveShardedEngine) Explain(q Query) (planner.Plan, error) {
 	return g.Explain(q)
 }
 
-// reversedPrefix returns the time-mirrored snapshot of the current prefix,
-// memoized by prefix length (a seal does not change record content, so the
-// length keys it fully).
-func (e *LiveShardedEngine) reversedPrefix(ds *data.Dataset) *data.Dataset {
+// reversedSuffix returns the time-mirrored snapshot of the retained suffix,
+// memoized by (retirement boundary, length) — content never changes for a
+// fixed boundary and length, so the pair keys it fully.
+func (e *LiveShardedEngine) reversedSuffix(ds *data.Dataset, lo int) *data.Dataset {
 	e.revMu.Lock()
 	defer e.revMu.Unlock()
-	if e.rev == nil || e.revLen != ds.Len() {
+	if e.rev == nil || e.revLo != lo || e.revLen != ds.Len() {
 		e.rev = ds.Reversed()
+		e.revLo = lo
 		e.revLen = ds.Len()
 	}
 	return e.rev
 }
 
-// DurabilityProfile computes every record's maximum durability over the
-// current prefix (see Engine.DurabilityProfile; the sweep needs no index, so
-// the shard lifecycle does not change it).
+// DurabilityProfile computes every retained record's maximum durability (see
+// Engine.DurabilityProfile; the sweep needs no index, so the shard lifecycle
+// does not change it). With retention enabled the sweep covers the retained
+// suffix only — matching what queries can see — and reported IDs stay global.
 func (e *LiveShardedEngine) DurabilityProfile(k int, s score.Scorer, anchor Anchor) ([]DurabilityRecord, error) {
 	if k < 1 {
 		return nil, ErrBadK
@@ -551,17 +610,26 @@ func (e *LiveShardedEngine) DurabilityProfile(k int, s score.Scorer, anchor Anch
 	if s.Dims() != e.dims {
 		return nil, ErrDims
 	}
-	prefix := e.Dataset()
-	if prefix.Len() == 0 {
+	e.mu.RLock()
+	lo, n := e.retiredLo, e.global.Len()
+	var suffix *data.Dataset
+	if n > lo {
+		suffix = e.global.Slice(lo, n) // captured under mu: Slice reads mutable headers
+	}
+	e.mu.RUnlock()
+	if suffix == nil {
 		return nil, errEmptyLive
 	}
-	ds := prefix
+	ds := suffix
 	if anchor == LookAhead {
-		ds = e.reversedPrefix(prefix)
+		ds = e.reversedSuffix(suffix, lo)
 	}
 	out := durabilitySweep(ds, k, s)
 	if anchor == LookAhead {
-		out = mirrorProfile(out, prefix)
+		out = mirrorProfile(out, suffix)
+	}
+	for i := range out {
+		out[i].ID += lo
 	}
 	return out, nil
 }

@@ -75,10 +75,14 @@ const defaultStraddleThreshold = 128
 // batch ShardedEngine, and the sealed shards of a LiveShardedEngine (a
 // sealed shard's engine may still be swapped for its denser freeze build,
 // but the rows, and therefore every answer, are final). Only immutable
-// shards may publish entries into a PartialCache.
+// shards may publish entries into a PartialCache. level is the shard's LSM
+// level in the live lifecycle: fresh seals are level 0, and each compaction
+// merges a run of same-level shards into one shard at level+1 (batch shards
+// stay 0 — they never compact).
 type timeShard struct {
 	lo, hi    int
 	eng       *Engine
+	level     int
 	immutable bool
 }
 
@@ -117,6 +121,7 @@ type PartialCache interface {
 type ShardInfo struct {
 	Lo, Hi     int   // record index range [Lo, Hi) in the parent dataset
 	Start, End int64 // arrival times of the shard's first and last record
+	Level      int   // LSM level (live lifecycle; 0 for batch shards and fresh seals)
 }
 
 // shardGroup is one immutable epoch of a sharded deployment: a dataset
@@ -297,6 +302,7 @@ func (g *shardGroup) infos() []ShardInfo {
 		out[i] = ShardInfo{
 			Lo: sh.lo, Hi: sh.hi,
 			Start: g.ds.Time(sh.lo), End: g.ds.Time(sh.hi - 1),
+			Level: sh.level,
 		}
 	}
 	return out
@@ -589,9 +595,11 @@ func (g *shardGroup) evalShard(pr *probe, sb *shardBounds, si int, q *Query, sco
 
 	// The interior is the contiguous index run whose windows touch no other
 	// shard: strictly after the previous shard's last arrival plus back, and
-	// strictly before the next shard's first arrival minus lead.
+	// strictly before the next shard's first arrival minus lead. The first
+	// live shard has no previous shard — rows below g.shards[0].lo (retired
+	// by retention) are not evidence, so its interior extends to its lo.
 	iLo, iHi := subLo, subHi
-	if sh.lo > 0 {
+	if sh.lo > g.shards[0].lo {
 		minT := satAdd(satAdd(g.ds.Time(sh.lo-1), back), 1)
 		iLo = clampInt(g.ds.LowerBound(minT), subLo, subHi)
 	}
@@ -681,8 +689,14 @@ func (g *shardGroup) evalStraddlers(pr *probe, sb *shardBounds, part *shardPart,
 	}
 
 	// Region = union of the straddlers' windows; contiguous because windows
-	// are anchored to sorted arrivals.
+	// are anchored to sorted arrivals. Clamped below to the first live
+	// shard's lo: rows retired by retention are not evidence, and letting
+	// the transient engine read them would resurrect retired rows into
+	// verdicts the probe path (which only visits live shards) excludes.
 	rlo := g.ds.LowerBound(satSub(g.ds.Time(lo), back))
+	if rlo < g.shards[0].lo {
+		rlo = g.shards[0].lo
+	}
 	rhi := g.ds.UpperBound(satAdd(g.ds.Time(hi-1), lead))
 	sub := *q
 	sub.Start, sub.End = g.ds.Time(lo), g.ds.Time(hi-1)
@@ -760,8 +774,12 @@ func (g *shardGroup) maxDurationSharded(pr *probe, sb *shardBounds, st *Stats, s
 	t := g.ds.Time(id)
 	n := g.ds.Len()
 	if !ahead {
-		// Smallest j such that id stays top-k of records [j, id].
-		lo, hi := 0, id
+		// Smallest j such that id stays top-k of records [j, id]. The search
+		// floor is the first live row — rows retired by retention are not
+		// evidence, and a record surviving back to the retention boundary has
+		// full (retained) history.
+		base := g.shards[0].lo
+		lo, hi := base, id
 		for lo < hi {
 			mid := (lo + hi) / 2
 			if g.higherCount(pr, sb, st, s, k, mid, id+1, ref) < k {
@@ -770,8 +788,8 @@ func (g *shardGroup) maxDurationSharded(pr *probe, sb *shardBounds, st *Stats, s
 				lo = mid + 1
 			}
 		}
-		if lo == 0 {
-			return t - g.ds.Time(0), true
+		if lo == base {
+			return t - g.ds.Time(base), true
 		}
 		return t - g.ds.Time(lo-1) - 1, false
 	}

@@ -41,6 +41,19 @@ type partialKey struct {
 	key     core.PartialKey
 }
 
+// shardRef identifies one shard of one dataset — the invalidation unit. When
+// the live lifecycle compacts or retires a shard, every partial entry keyed
+// by its exact row range dies with it.
+type shardRef struct {
+	dataset string
+	lo, hi  int
+}
+
+// ref returns the partial key's shard identity.
+func (k partialKey) ref() shardRef {
+	return shardRef{dataset: k.dataset, lo: k.key.ShardLo, hi: k.key.ShardHi}
+}
+
 // entry is one cached value; key is the map key (ResultKey or partialKey).
 type entry struct {
 	key any
@@ -56,7 +69,12 @@ type entry struct {
 //   - partial entries (core.PartialKey via Partial): the interior answer of
 //     one sealed shard. Sealed shards are immutable, so these have no epoch
 //     and stay valid across appends — a repeated query after the dataset has
-//     grown re-evaluates only the tail and any shards it has not seen.
+//     grown re-evaluates only the tail and any shards it has not seen. They
+//     are valid only while their shard stays in the engine's live set: the
+//     Partial view implements core.PartialInvalidator, and a compaction or
+//     retirement drops the departed shard's entries eagerly (without the
+//     hook they would be unreachable-but-resident until LRU pressure — a
+//     leak once shard identity can change).
 //
 // All methods are safe for concurrent use.
 type Cache struct {
@@ -66,8 +84,14 @@ type Cache struct {
 	lru     *list.List // front = most recent
 	evicted uint64
 
+	// byShard indexes the live partial entries by shard identity so
+	// InvalidateShard drops exactly its shard's entries without scanning
+	// the whole cache. Maintained by put and every removal path.
+	byShard map[shardRef]map[partialKey]struct{}
+
 	hits, misses               uint64
 	partialHits, partialMisses uint64
+	invalidated                uint64
 }
 
 // NewCache returns a cache bounded to max entries (whole results and shard
@@ -76,7 +100,12 @@ func NewCache(max int) *Cache {
 	if max < 1 {
 		max = 1
 	}
-	return &Cache{max: max, items: make(map[any]*list.Element), lru: list.New()}
+	return &Cache{
+		max:     max,
+		items:   make(map[any]*list.Element),
+		lru:     list.New(),
+		byShard: make(map[shardRef]map[partialKey]struct{}),
+	}
 }
 
 // GetResult returns the cached whole answer for key, if present.
@@ -113,15 +142,62 @@ func (c *Cache) put(key, val any) {
 			break
 		}
 		c.lru.Remove(back)
-		delete(c.items, back.Value.(*entry).key)
+		bk := back.Value.(*entry).key
+		delete(c.items, bk)
+		c.unindex(bk)
 		c.evicted++
 	}
 	c.items[key] = c.lru.PushFront(&entry{key: key, val: val})
+	if pk, ok := key.(partialKey); ok {
+		ref := pk.ref()
+		set := c.byShard[ref]
+		if set == nil {
+			set = make(map[partialKey]struct{})
+			c.byShard[ref] = set
+		}
+		set[pk] = struct{}{}
+	}
 }
 
-// Partial returns a view of the cache implementing core.PartialCache with
-// every key scoped to dataset. Install it on that dataset's engine
-// (SetPartialCache); the engine only consults it for immutable shards.
+// unindex removes a departing key from the by-shard index under c.mu.
+func (c *Cache) unindex(key any) {
+	pk, ok := key.(partialKey)
+	if !ok {
+		return
+	}
+	ref := pk.ref()
+	if set := c.byShard[ref]; set != nil {
+		delete(set, pk)
+		if len(set) == 0 {
+			delete(c.byShard, ref)
+		}
+	}
+}
+
+// invalidateShard drops every partial entry of one dataset shard; see
+// core.PartialInvalidator.
+func (c *Cache) invalidateShard(ref shardRef) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set := c.byShard[ref]
+	if len(set) == 0 {
+		return
+	}
+	for pk := range set {
+		if el, ok := c.items[pk]; ok {
+			c.lru.Remove(el)
+			delete(c.items, pk)
+			c.invalidated++
+		}
+	}
+	delete(c.byShard, ref)
+}
+
+// Partial returns a view of the cache implementing core.PartialCache — and
+// core.PartialInvalidator, so the live lifecycle's compactions and
+// retirements drop departed shards' entries eagerly — with every key scoped
+// to dataset. Install it on that dataset's engine (SetPartialCache); the
+// engine only consults it for immutable shards.
 func (c *Cache) Partial(dataset string) core.PartialCache {
 	return &partialView{c: c, dataset: dataset}
 }
@@ -129,6 +205,14 @@ func (c *Cache) Partial(dataset string) core.PartialCache {
 type partialView struct {
 	c       *Cache
 	dataset string
+}
+
+// InvalidateShard implements core.PartialInvalidator: shard [shardLo,
+// shardHi) of this view's dataset left the engine's live set, so its interior
+// entries can never be looked up again. Called under the engine's lifecycle
+// lock — only the cache's own lock is taken, never back into the engine.
+func (v *partialView) InvalidateShard(shardLo, shardHi int) {
+	v.c.invalidateShard(shardRef{dataset: v.dataset, lo: shardLo, hi: shardHi})
 }
 
 // GetPartial implements core.PartialCache.
@@ -163,6 +247,7 @@ type CacheStats struct {
 	PartialHits   uint64 // per-shard partial hits
 	PartialMisses uint64 // per-shard partial misses
 	Evicted       uint64 // entries dropped by the LRU bound
+	Invalidated   uint64 // partial entries dropped because their shard left the live set
 }
 
 // HitRate returns whole-result hits over lookups, or 0 with no lookups.
@@ -185,5 +270,6 @@ func (c *Cache) Stats() CacheStats {
 		PartialHits:   c.partialHits,
 		PartialMisses: c.partialMisses,
 		Evicted:       c.evicted,
+		Invalidated:   c.invalidated,
 	}
 }

@@ -57,6 +57,16 @@ func (s *Scheduler) Do(ctx context.Context, fn func()) error {
 	s.queued.Add(1)
 	select {
 	case s.sem <- struct{}{}:
+		// A free slot and a concurrent (or prior) Close can both be ready;
+		// the contract is that Close wins, so re-check before admitting.
+		select {
+		case <-s.closed:
+			<-s.sem
+			s.queued.Add(-1)
+			s.rejected.Add(1)
+			return ErrSchedulerClosed
+		default:
+		}
 	case <-ctx.Done():
 		s.queued.Add(-1)
 		s.rejected.Add(1)

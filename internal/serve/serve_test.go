@@ -166,6 +166,78 @@ func TestCachePartialScopedByDataset(t *testing.T) {
 	}
 }
 
+func TestCacheInvalidateShard(t *testing.T) {
+	c := NewCache(32)
+	mk := func(lo, hi, k int) core.PartialKey {
+		return core.PartialKey{ShardLo: lo, ShardHi: hi, Lo: lo, Hi: hi, Scorer: "lin,x", K: k, Tau: 5}
+	}
+	a, b := c.Partial("a"), c.Partial("b")
+	// Two shards on dataset a (several entries each), one on dataset b that
+	// shares shard a's row range — invalidation must be dataset-scoped.
+	for k := 1; k <= 3; k++ {
+		a.PutPartial(mk(0, 100, k), []int32{int32(k)})
+		a.PutPartial(mk(100, 200, k), []int32{int32(k)})
+		b.PutPartial(mk(0, 100, k), []int32{int32(k)})
+	}
+	c.PutResult(ResultKey{Dataset: "a", K: 1}, "whole")
+
+	inv := a.(interface{ InvalidateShard(lo, hi int) })
+	inv.InvalidateShard(0, 100) // shard [0,100) of dataset a left the live set
+
+	for k := 1; k <= 3; k++ {
+		if _, ok := a.GetPartial(mk(0, 100, k)); ok {
+			t.Fatalf("entry k=%d of the invalidated shard survived", k)
+		}
+		if _, ok := a.GetPartial(mk(100, 200, k)); !ok {
+			t.Fatalf("entry k=%d of an unrelated shard was dropped", k)
+		}
+		if _, ok := b.GetPartial(mk(0, 100, k)); !ok {
+			t.Fatalf("dataset b entry k=%d dropped by dataset a's invalidation", k)
+		}
+	}
+	if _, ok := c.GetResult(ResultKey{Dataset: "a", K: 1}); !ok {
+		t.Fatal("whole-result entry dropped by a shard invalidation")
+	}
+	st := c.Stats()
+	if st.Invalidated != 3 {
+		t.Fatalf("Invalidated = %d, want 3", st.Invalidated)
+	}
+	if st.Entries != 7 {
+		t.Fatalf("Entries = %d, want 7 (9+1 inserted, 3 invalidated)", st.Entries)
+	}
+	// Idempotent: a second invalidation of the same (now absent) shard.
+	inv.InvalidateShard(0, 100)
+	if st := c.Stats(); st.Invalidated != 3 {
+		t.Fatalf("re-invalidation counted entries: %+v", st)
+	}
+}
+
+// TestCacheInvalidateAfterEviction: the by-shard index must track LRU
+// evictions, or invalidation could double-count or touch reinserted keys.
+func TestCacheInvalidateAfterEviction(t *testing.T) {
+	c := NewCache(2)
+	p := c.Partial("ds")
+	mk := func(lo, hi, k int) core.PartialKey {
+		return core.PartialKey{ShardLo: lo, ShardHi: hi, Lo: lo, Hi: hi, Scorer: "lin,x", K: k}
+	}
+	p.PutPartial(mk(0, 10, 1), []int32{1})
+	p.PutPartial(mk(0, 10, 2), []int32{2}) // cache full
+	p.PutPartial(mk(10, 20, 1), []int32{3})
+	p.PutPartial(mk(10, 20, 2), []int32{4}) // evicts both shard-[0,10) entries
+	if st := c.Stats(); st.Evicted != 2 {
+		t.Fatalf("Evicted = %d, want 2", st.Evicted)
+	}
+	p.(interface{ InvalidateShard(lo, hi int) }).InvalidateShard(0, 10)
+	if st := c.Stats(); st.Invalidated != 0 {
+		t.Fatalf("invalidation counted evicted entries: %+v", st)
+	}
+	p.(interface{ InvalidateShard(lo, hi int) }).InvalidateShard(10, 20)
+	st := c.Stats()
+	if st.Invalidated != 2 || st.Entries != 0 {
+		t.Fatalf("stats after invalidating the live shard: %+v", st)
+	}
+}
+
 func TestCacheConcurrentAccess(t *testing.T) {
 	c := NewCache(64)
 	var wg sync.WaitGroup

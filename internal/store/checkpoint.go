@@ -27,6 +27,12 @@ type manifest struct {
 	Dims    int          `json:"dims"`
 	Shards  []shardEntry `json:"shards"`
 
+	// Base is the absolute stream row where retained history starts: rows
+	// below it were retired by bounded retention and their pages files
+	// removed. Shards tile contiguously from Base; WAL LSNs are absolute, so
+	// recovery of a fully retired store still resumes at the right row.
+	Base int `json:"base,omitempty"`
+
 	// Gen counts manifest publications; with retention enabled each
 	// generation is also written as a MANIFEST.<gen> backup before it
 	// replaces MANIFEST, so the newest backup is byte-identical to the
@@ -50,13 +56,23 @@ type shardEntry struct {
 	Hi int `json:"hi"`
 	// LastTime is the arrival time of row Hi-1 (RestoreTable needs it).
 	LastTime int64 `json:"lastTime"`
+	// Level is the shard's LSM level: 0 for a plain sealed shard, l+1 for
+	// the merge of a run of level-l shards (see core.LiveShardOptions.
+	// CompactFanout). Manifests from before compaction decode as level 0.
+	Level int `json:"level,omitempty"`
 	// Pages are the heap-page summaries of the shard's table.
 	Pages []pagestore.PageMeta `json:"pages"`
 }
 
-// shardFileName names a shard's pages file by its global row range.
-func shardFileName(lo, hi int) string {
-	return fmt.Sprintf("shard-%012d-%012d.pages", lo, hi)
+// shardFileName names a shard's pages file by its global row range and
+// level. Level 0 keeps the historical name so pre-compaction stores load
+// unchanged; merged shards carry their level so a range recompacted after a
+// crash can never collide with a live constituent's file.
+func shardFileName(lo, hi, level int) string {
+	if level == 0 {
+		return fmt.Sprintf("shard-%012d-%012d.pages", lo, hi)
+	}
+	return fmt.Sprintf("shard-%012d-%012d.L%d.pages", lo, hi, level)
 }
 
 // checkpointPoolFrames bounds the buffer pool used while writing or reading
@@ -65,8 +81,8 @@ const checkpointPoolFrames = 32
 
 // checkpoint persists sealed rows [lo,hi), republishes the manifest and
 // advances the WAL low-water mark. Runs on the checkpointer goroutine.
-func (s *Store) checkpoint(sp span) error {
-	entry, err := s.writeShardFile(sp.lo, sp.hi)
+func (s *Store) checkpoint(w ckptWork) error {
+	entry, err := s.writeShardFile(w.lo, w.hi, 0)
 	if err != nil {
 		return err
 	}
@@ -78,10 +94,102 @@ func (s *Store) checkpoint(sp span) error {
 		return err
 	}
 	// The shard and manifest are durable; rows below hi can leave the WAL.
-	if err := s.log.TruncateBefore(uint64(sp.hi)); err != nil {
+	if err := s.log.TruncateBefore(uint64(w.hi)); err != nil {
 		return fmt.Errorf("advancing wal low-water mark: %w", err)
 	}
-	s.logf("store: checkpointed rows [%d,%d) to %s (%d pages)", sp.lo, sp.hi, entry.File, len(entry.Pages))
+	s.logf("store: checkpointed rows [%d,%d) to %s (%d pages)", w.lo, w.hi, entry.File, len(entry.Pages))
+	return nil
+}
+
+// compact mirrors one engine merge into the manifest as an atomic level
+// swap: write and sync the merged pages file, splice it over the manifest
+// entries tiling [lo,hi), publish the manifest (the atomic rename is the
+// commit point), then GC the replaced pages files. A crash before the rename
+// leaves the old level plus an orphaned merged file; a crash after it leaves
+// the new level plus orphaned constituent files — either way the next Open
+// sweeps the orphans and recovery sees exactly one coherent level. The WAL
+// is untouched: every merged row was already below the low-water mark.
+// Runs on the checkpointer goroutine.
+func (s *Store) compact(w ckptWork) error {
+	a := -1
+	for i, e := range s.man.Shards {
+		if e.Lo == w.lo {
+			a = i
+			break
+		}
+	}
+	if a < 0 {
+		return fmt.Errorf("compacting [%d,%d): no manifest entry starts at %d", w.lo, w.hi, w.lo)
+	}
+	b := a
+	for b < len(s.man.Shards) && s.man.Shards[b].Hi <= w.hi {
+		b++
+	}
+	if b == a || s.man.Shards[b-1].Hi != w.hi {
+		return fmt.Errorf("compacting [%d,%d): manifest entries do not tile the range", w.lo, w.hi)
+	}
+	entry, err := s.writeShardFile(w.lo, w.hi, w.level)
+	if err != nil {
+		return err
+	}
+	replaced := make([]string, 0, b-a)
+	for _, e := range s.man.Shards[a:b] {
+		replaced = append(replaced, e.File)
+	}
+	old := s.man.Shards
+	next := make([]shardEntry, 0, len(old)-(b-a)+1)
+	next = append(next, old[:a]...)
+	next = append(next, entry)
+	next = append(next, old[b:]...)
+	s.man.Shards = next
+	if err := s.publishManifest(); err != nil {
+		s.man.Shards = old
+		return err
+	}
+	// Commit point passed: the constituents are garbage. Best-effort removal
+	// here; anything missed is unreferenced and falls to the next sweep.
+	for _, name := range replaced {
+		if err := s.fs.Remove(filepath.Join(s.dir, name)); err != nil && !notExist(err) {
+			s.logf("store: removing compacted shard file %s: %v", name, err)
+		}
+	}
+	s.logf("store: compacted rows [%d,%d) into %s (level %d, replaced %d files)",
+		w.lo, w.hi, entry.File, w.level, len(replaced))
+	return nil
+}
+
+// retire advances the manifest's retention base past retired shards and GCs
+// their pages files. Same commit discipline as compact: the manifest rename
+// is the commit point, file removal afterwards is best-effort. Runs on the
+// checkpointer goroutine.
+func (s *Store) retire(w ckptWork) error {
+	if s.man.Base != w.lo {
+		return fmt.Errorf("retiring [%d,%d): manifest base is %d", w.lo, w.hi, s.man.Base)
+	}
+	cut := 0
+	for cut < len(s.man.Shards) && s.man.Shards[cut].Hi <= w.hi {
+		cut++
+	}
+	if cut == 0 || s.man.Shards[cut-1].Hi != w.hi {
+		return fmt.Errorf("retiring [%d,%d): manifest entries do not tile the range", w.lo, w.hi)
+	}
+	dropped := make([]string, 0, cut)
+	for _, e := range s.man.Shards[:cut] {
+		dropped = append(dropped, e.File)
+	}
+	old, oldBase := s.man.Shards, s.man.Base
+	s.man.Shards = append([]shardEntry(nil), old[cut:]...)
+	s.man.Base = w.hi
+	if err := s.publishManifest(); err != nil {
+		s.man.Shards, s.man.Base = old, oldBase
+		return err
+	}
+	for _, name := range dropped {
+		if err := s.fs.Remove(filepath.Join(s.dir, name)); err != nil && !notExist(err) {
+			s.logf("store: removing retired shard file %s: %v", name, err)
+		}
+	}
+	s.logf("store: retired rows [%d,%d); retention base now %d", w.lo, w.hi, w.hi)
 	return nil
 }
 
@@ -108,16 +216,16 @@ func (s *Store) publishManifest() error {
 		s.man.Gen--
 		return err
 	}
-	if s.opts.KeepCheckpoints > 0 {
-		s.gcRetired()
-	}
+	s.gcRetired()
 	return nil
 }
 
-// writeShardFile persists rows [lo,hi) of the engine's global storage into
-// a freshly created pages file and syncs it.
-func (s *Store) writeShardFile(lo, hi int) (shardEntry, error) {
-	name := shardFileName(lo, hi)
+// writeShardFile persists absolute rows [lo,hi) of the engine's global
+// storage into a freshly created pages file and syncs it. Page row ids are
+// absolute, so recovery after retention restores the same global row
+// numbering the rows were acknowledged under.
+func (s *Store) writeShardFile(lo, hi, level int) (shardEntry, error) {
+	name := shardFileName(lo, hi, level)
 	f, err := s.fs.Create(filepath.Join(s.dir, name))
 	if err != nil {
 		return shardEntry{}, fmt.Errorf("creating %s: %w", name, err)
@@ -133,9 +241,10 @@ func (s *Store) writeShardFile(lo, hi int) (shardEntry, error) {
 	if err != nil {
 		return shardEntry{}, err
 	}
-	// Dataset() is an append-stable prefix view, so reading [lo,hi) is safe
-	// while the appender keeps running.
-	view := s.eng.Dataset().Slice(lo, hi)
+	// Dataset() is an append-stable prefix view over the engine's physical
+	// rows (absolute minus base), so reading the range is safe while the
+	// appender keeps running; retired rows stay readable until restart.
+	view := s.eng.Dataset().Slice(lo-s.base, hi-s.base)
 	for i := 0; i < view.Len(); i++ {
 		if err := tbl.Append(uint32(lo+i), view.Time(i), view.Attrs(i)); err != nil {
 			return shardEntry{}, fmt.Errorf("writing %s: %w", name, err)
@@ -155,6 +264,7 @@ func (s *Store) writeShardFile(lo, hi int) (shardEntry, error) {
 		Lo:       lo,
 		Hi:       hi,
 		LastTime: view.Time(view.Len() - 1),
+		Level:    level,
 		Pages:    tbl.Meta(),
 	}, nil
 }
@@ -189,6 +299,7 @@ func loadShard(fs wal.FS, dir string, e shardEntry, dims int) (core.RestoredShar
 	sh := core.RestoredShard{
 		Times: make([]int64, 0, n),
 		Flat:  make([]float64, 0, n*dims),
+		Level: e.Level,
 	}
 	nextID := uint32(e.Lo)
 	var scanErr error
@@ -340,12 +451,15 @@ func writeManifestAs(fs wal.FS, dir, name string, m manifest) error {
 	return nil
 }
 
-// gcRetired is the best-effort retention sweep after a successful manifest
-// publish: drop MANIFEST.<gen> backups older than the newest KeepCheckpoints
-// generations, page files the live manifest no longer references (crash
-// leftovers from a checkpoint that never published), and stale manifest temp
-// files. Failures are logged, never escalated — GC losing a race with the
-// filesystem must not poison the store.
+// gcRetired is the best-effort sweep run after every successful manifest
+// publish and once at Open: drop page files the live manifest no longer
+// references (crash leftovers from a checkpoint or compaction that never
+// published, constituents of a committed level swap, retired shards) and
+// stale manifest temp files — unconditionally, since nothing can ever
+// reference them again — plus, when KeepCheckpoints is set, MANIFEST.<gen>
+// backups older than the newest KeepCheckpoints generations. Failures are
+// logged, never escalated — GC losing a race with the filesystem must not
+// poison the store.
 func (s *Store) gcRetired() {
 	names, err := s.fs.ReadDir(s.dir)
 	if err != nil {
@@ -356,8 +470,11 @@ func (s *Store) gcRetired() {
 	for _, e := range s.man.Shards {
 		referenced[e.File] = true
 	}
+	// With retention disabled no backups are written, so no generation is
+	// ever stale (oldest 0); pre-existing backups from an earlier retention
+	// configuration are left alone.
 	var oldest uint64
-	if keep := uint64(s.opts.KeepCheckpoints); s.man.Gen > keep {
+	if keep := uint64(s.opts.KeepCheckpoints); keep > 0 && s.man.Gen > keep {
 		oldest = s.man.Gen - keep + 1
 	}
 	for _, name := range names {

@@ -75,11 +75,13 @@ func TestCrashRecoveryDifferential(t *testing.T) {
 	}
 }
 
+// crashOpts enables compaction so the budget sweep also lands inside merged
+// pages files and the manifest renames that commit level swaps.
 func crashOpts(fs wal.FS) Options {
 	return Options{
 		FS:    fs,
 		Sync:  wal.SyncAlways,
-		Shard: core.LiveShardOptions{SealRows: 64},
+		Shard: core.LiveShardOptions{SealRows: 64, CompactFanout: 2},
 	}
 }
 

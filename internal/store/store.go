@@ -46,8 +46,12 @@ type Options struct {
 	// SegmentSize is the WAL segment rotation threshold (default 4 MiB).
 	SegmentSize int64
 	// Engine, Live and Shard configure the underlying live+sharded engine
-	// exactly as core.NewLiveShardedEngine; Shard.OnSeal is reserved for
-	// the store's checkpointer and must be nil.
+	// exactly as core.NewLiveShardedEngine; Shard.OnSeal, Shard.OnCompact
+	// and Shard.OnRetire are reserved for the store's checkpointer and must
+	// be nil. Shard.CompactFanout enables LSM compaction (the checkpointer
+	// mirrors every merge as an atomic manifest level swap) and
+	// Shard.RetainSpan bounded retention (mirrored as a manifest base
+	// advance).
 	Engine core.Options
 	Live   core.LiveOptions
 	Shard  core.LiveShardOptions
@@ -78,8 +82,30 @@ type RecoveryStats struct {
 	WALReset bool
 }
 
-// span is one sealed row range awaiting checkpoint.
-type span struct{ lo, hi int }
+// workKind tags one unit of checkpointer work.
+type workKind int
+
+const (
+	// workSeal persists a freshly sealed shard's pages and advances the WAL
+	// low-water mark.
+	workSeal workKind = iota
+	// workCompact swaps a compacted run for its merged level shard in the
+	// manifest: new pages file first, then the atomic manifest rename, then
+	// GC of the replaced pages files.
+	workCompact
+	// workRetire advances the manifest's retention base past retired shards
+	// and GCs their pages files.
+	workRetire
+)
+
+// ckptWork is one queued unit of checkpointer work. lo and hi are absolute
+// stream rows (the engine's physical rows plus the store's base); level is
+// the merged shard's level for workCompact.
+type ckptWork struct {
+	kind   workKind
+	lo, hi int
+	level  int
+}
 
 // Store is a crash-safe live+sharded engine: appends are logged before they
 // are applied, sealed shards are checkpointed, and Open recovers the full
@@ -90,6 +116,14 @@ type Store struct {
 	fs   wal.FS
 	dims int
 	opts Options
+
+	// base is the absolute stream row of the engine's physical row 0: rows
+	// below it were retired by retention before this process opened the
+	// store, so the engine never restored them. Constant after Open (further
+	// retirement advances the manifest base and the engine's retirement
+	// boundary in lockstep, leaving the mapping fixed); WAL LSNs, manifest
+	// row ranges, page row ids and subscription positions are all absolute.
+	base int
 
 	log *wal.Log
 	eng *core.LiveShardedEngine
@@ -108,7 +142,7 @@ type Store struct {
 	// completed work (for WaitCheckpoints).
 	ckptMu      sync.Mutex
 	cond        *sync.Cond
-	pending     []span
+	pending     []ckptWork
 	busy        bool
 	subsDirty   bool // a registration changed; manifest needs republishing
 	checkpoints int
@@ -126,8 +160,8 @@ func Open(dir string, dims int, opts Options) (*Store, error) {
 	if opts.FS == nil {
 		opts.FS = wal.OSFS{}
 	}
-	if opts.Shard.OnSeal != nil {
-		return nil, errors.New("store: Shard.OnSeal is reserved for the checkpointer")
+	if opts.Shard.OnSeal != nil || opts.Shard.OnCompact != nil || opts.Shard.OnRetire != nil {
+		return nil, errors.New("store: Shard lifecycle hooks are reserved for the checkpointer")
 	}
 	if err := opts.FS.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
@@ -145,7 +179,8 @@ func Open(dir string, dims int, opts Options) (*Store, error) {
 	}
 	man.Dims = dims
 	restored := make([]core.RestoredShard, 0, len(man.Shards))
-	tailLo := 0
+	tailLo := man.Base // absolute: rows below Base were retired before this open
+	s.base = man.Base
 	for _, e := range man.Shards {
 		if e.Lo != tailLo {
 			return nil, fmt.Errorf("store: manifest shard [%d,%d) is not contiguous with previous end %d", e.Lo, e.Hi, tailLo)
@@ -160,12 +195,20 @@ func Open(dir string, dims int, opts Options) (*Store, error) {
 		s.stats.RestoredShards++
 	}
 	s.man = man
+	// Sweep crash leftovers before anything new is written: a checkpoint or
+	// compaction that died before its manifest rename leaves synced pages
+	// files no manifest references, and they would otherwise accumulate
+	// silently forever.
+	s.gcRetired()
 
 	// 2. Rebuild the engine over the checkpointed history — no WAL replay
-	// for sealed rows. The OnSeal hook queues newly sealed ranges for the
-	// checkpointer (including seals re-fired during tail replay below).
+	// for sealed rows. The lifecycle hooks queue newly sealed, compacted and
+	// retired ranges for the checkpointer (including events re-fired during
+	// tail replay below).
 	so := opts.Shard
 	so.OnSeal = s.onSeal
+	so.OnCompact = s.onCompact
+	so.OnRetire = s.onRetire
 	eng, err := core.RestoreLiveShardedEngine(dims, opts.Engine, opts.Live, so, restored)
 	if err != nil {
 		return nil, err
@@ -196,8 +239,8 @@ func Open(dir string, dims int, opts Options) (*Store, error) {
 	}
 	s.log = log
 	err = log.Replay(uint64(tailLo), func(lsn uint64, t int64, attrs []float64) error {
-		if uint64(s.eng.Len()) != lsn {
-			return fmt.Errorf("store: replay desync: wal lsn %d, engine at row %d", lsn, s.eng.Len())
+		if uint64(s.base+s.eng.Len()) != lsn {
+			return fmt.Errorf("store: replay desync: wal lsn %d, engine at row %d of base %d", lsn, s.eng.Len(), s.base)
 		}
 		if _, _, err := s.eng.Append(t, attrs); err != nil {
 			return fmt.Errorf("store: replaying lsn %d: %w", lsn, err)
@@ -209,9 +252,9 @@ func Open(dir string, dims int, opts Options) (*Store, error) {
 		log.Close()
 		return nil, err
 	}
-	if got, want := uint64(s.eng.Len()), s.log.Next(); got != want {
+	if got, want := uint64(s.base+s.eng.Len()), s.log.Next(); got != want {
 		log.Close()
-		return nil, fmt.Errorf("store: after replay engine has %d rows but wal resumes at %d", got, want)
+		return nil, fmt.Errorf("store: after replay engine has %d absolute rows but wal resumes at %d", got, want)
 	}
 	if ds := s.eng.Dataset(); ds.Len() > 0 {
 		s.lastTime = ds.Time(ds.Len() - 1)
@@ -226,7 +269,7 @@ func Open(dir string, dims int, opts Options) (*Store, error) {
 	// restore the manifest's durable registrations (detached, awaiting
 	// Resume). No appends run yet, so the replay inside each restore sees a
 	// quiescent engine.
-	s.reg = sub.NewRegistry(s.eng.Len())
+	s.reg = sub.NewRegistry(s.base + s.eng.Len())
 	s.restoreSubs()
 	s.reg.SetOnChange(s.markSubsDirty)
 
@@ -260,12 +303,30 @@ func (s *Store) logf(format string, args ...interface{}) {
 	}
 }
 
-// onSeal runs inside the engine's lifecycle lock: just queue the range.
-func (s *Store) onSeal(lo, hi int) {
+// enqueue hands one unit of work to the checkpointer. The lifecycle hooks
+// run inside the engine's lock, so they only queue; the FIFO order mirrors
+// the engine's own state transitions (a compaction's constituent seals are
+// always queued — and therefore checkpointed — before the compaction).
+func (s *Store) enqueue(w ckptWork) {
 	s.ckptMu.Lock()
-	s.pending = append(s.pending, span{lo, hi})
+	s.pending = append(s.pending, w)
 	s.ckptMu.Unlock()
 	s.cond.Broadcast()
+}
+
+// onSeal queues a freshly sealed physical range for checkpointing.
+func (s *Store) onSeal(lo, hi int) {
+	s.enqueue(ckptWork{kind: workSeal, lo: s.base + lo, hi: s.base + hi})
+}
+
+// onCompact queues a merged physical range for its manifest level swap.
+func (s *Store) onCompact(lo, hi, level int) {
+	s.enqueue(ckptWork{kind: workCompact, lo: s.base + lo, hi: s.base + hi, level: level})
+}
+
+// onRetire queues a retired physical range for the manifest base advance.
+func (s *Store) onRetire(lo, hi int) {
+	s.enqueue(ckptWork{kind: workRetire, lo: s.base + lo, hi: s.base + hi})
 }
 
 // Engine returns the underlying live+sharded engine for queries. Appends
@@ -414,8 +475,13 @@ func (s *Store) Sync() error {
 	return s.log.Sync()
 }
 
-// Len returns the number of records appended so far.
+// Len returns the number of retained records (rows retired by retention
+// before this open are not counted; see Base for the absolute offset).
 func (s *Store) Len() int { return s.eng.Len() }
+
+// Base returns the absolute stream row of the engine's physical row 0 —
+// 0 unless bounded retention retired history before this open.
+func (s *Store) Base() int { return s.base }
 
 // Checkpoints returns the number of sealed shards checkpointed so far.
 func (s *Store) Checkpoints() int {
@@ -446,6 +512,11 @@ func (s *Store) Close() error {
 	s.closed = true
 	s.mu.Unlock()
 
+	// No further appends means no further seals; wait for any in-flight
+	// compaction chain so its manifest level swaps are queued before the
+	// checkpointer drains and exits (a swap missed here is merely redone
+	// after the next Open, but shutting down clean avoids the rework).
+	s.eng.WaitCompacted()
 	close(s.stop)
 	s.cond.Broadcast()
 	s.wg.Wait()
@@ -486,10 +557,10 @@ func (s *Store) checkpointLoop() {
 			// Close broadcasts after closing stop, so this always wakes.
 			s.cond.Wait()
 		}
-		var sp span
+		var w ckptWork
 		doCkpt := len(s.pending) > 0
 		if doCkpt {
-			sp = s.pending[0]
+			w = s.pending[0]
 			s.pending = s.pending[1:]
 		}
 		// Every manifest write refreshes the registration set, so a queued
@@ -501,22 +572,27 @@ func (s *Store) checkpointLoop() {
 		s.ckptMu.Unlock()
 
 		var err error
-		if doCkpt {
-			err = s.checkpoint(sp)
-		} else {
+		switch {
+		case !doCkpt:
 			err = s.publishManifest()
+		case w.kind == workSeal:
+			err = s.checkpoint(w)
+		case w.kind == workCompact:
+			err = s.compact(w)
+		default:
+			err = s.retire(w)
 		}
 
 		s.ckptMu.Lock()
 		s.busy = false
-		if err == nil && doCkpt {
+		if err == nil && doCkpt && w.kind == workSeal {
 			s.checkpoints++
 		}
 		s.ckptMu.Unlock()
 		s.cond.Broadcast()
 		if err != nil {
 			if doCkpt {
-				s.logf("store: checkpoint of rows [%d,%d) failed: %v", sp.lo, sp.hi, err)
+				s.logf("store: checkpoint work (kind %d) on rows [%d,%d) failed: %v", w.kind, w.lo, w.hi, err)
 			} else {
 				s.logf("store: persisting subscriptions failed: %v", err)
 			}

@@ -92,14 +92,21 @@ func (e subEntry) toState(dims int) (sub.State, error) {
 func (s *Store) Registry() *sub.Registry { return s.reg }
 
 // RowSource replays committed rows from the engine's append-stable dataset
-// view; the registry uses it to re-derive verdict streams.
+// view; the registry uses it to re-derive verdict streams. Positions are
+// absolute stream rows (subscription state survives restarts, so positions
+// must not shift when retention retires history); a range reaching below the
+// store's base asks for rows retired before this open, which no longer
+// exist — the caller's subscription is then dropped rather than fed a gap.
 func (s *Store) RowSource() sub.RowSource {
 	return func(lo, hi int, observe func(t int64, attrs []float64) error) error {
 		ds := s.eng.Dataset()
-		if hi > ds.Len() {
-			return fmt.Errorf("store: row source asked for [%d,%d) of %d committed rows", lo, hi, ds.Len())
+		if lo < s.base {
+			return fmt.Errorf("store: row source asked for [%d,%d) but rows below %d were retired", lo, hi, s.base)
 		}
-		for i := lo; i < hi; i++ {
+		if hi-s.base > ds.Len() {
+			return fmt.Errorf("store: row source asked for [%d,%d) of %d committed rows", lo, hi, s.base+ds.Len())
+		}
+		for i := lo - s.base; i < hi-s.base; i++ {
 			if err := observe(ds.Time(i), ds.Attrs(i)); err != nil {
 				return err
 			}

@@ -158,7 +158,7 @@ func TestStoreKeepCheckpointsRetention(t *testing.T) {
 	}
 	// Plant an orphan pages file (a crash leftover shape) and force one more
 	// publish cycle to sweep it.
-	orphan := filepath.Join("db", shardFileName(9000, 9064))
+	orphan := filepath.Join("db", shardFileName(9000, 9064, 0))
 	if f, err := fs.Create(orphan); err == nil {
 		f.Close()
 	}
